@@ -1,0 +1,229 @@
+// Command dsmsd runs an end-to-end multi-day simulation of the paper's DSMS
+// cloud center: a population of clients submits continuous queries over
+// stock-quote and news streams with daily bids; each day the center runs the
+// configured admission auction, transitions the shared engine to the winning
+// plan, processes a day of tuples through the goroutine-free deterministic
+// dataflow, and bills the winners. The daily report shows admissions,
+// revenue, utilization and per-query result counts — the paper's business
+// model in motion.
+//
+// Usage:
+//
+//	dsmsd [-days N] [-clients N] [-capacity F] [-mechanism CAT] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/auction"
+	"repro/internal/cloud"
+	"repro/internal/market"
+	"repro/internal/sched"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		days      = flag.Int("days", 5, "number of subscription periods to simulate")
+		clients   = flag.Int("clients", 40, "number of client users")
+		capacity  = flag.Float64("capacity", 60, "server capacity")
+		mechanism = flag.String("mechanism", "CAT", "admission mechanism: CAR CAF CAF+ CAT CAT+ GV Two-price")
+		seed      = flag.Int64("seed", 7, "simulation seed")
+		tuples    = flag.Int("tuples", 2000, "tuples pushed per stream per day")
+	)
+	flag.Parse()
+	mech, err := auction.ByName(*mechanism, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmsd:", err)
+		os.Exit(1)
+	}
+	if err := run(mech, *days, *clients, *capacity, *seed, *tuples); err != nil {
+		fmt.Fprintln(os.Stderr, "dsmsd:", err)
+		os.Exit(1)
+	}
+}
+
+var symbols = []string{"AAA", "BBB", "CCC", "DDD", "EEE", "FFF"}
+
+// clientSpec is one client's recurring query: a template instantiated with
+// a symbol and threshold, re-submitted daily with a drifting bid.
+type clientSpec struct {
+	user      int
+	template  int // 0: alert, 1: vwap, 2: correlate
+	symbol    string
+	threshold float64
+	baseBid   float64
+}
+
+func run(mech auction.Mechanism, days, clients int, capacity float64, seed int64, tuplesPerDay int) error {
+	rng := rand.New(rand.NewSource(seed))
+	feed := market.MustFeed(seed, symbols...)
+	center := cloud.New(mech, capacity)
+	center.DeclareSource("stocks", market.QuoteSchema)
+	center.DeclareSource("news", market.NewsSchema)
+
+	specs := make([]clientSpec, clients)
+	for i := range specs {
+		specs[i] = clientSpec{
+			user:      i + 1,
+			template:  rng.Intn(3),
+			symbol:    symbols[rng.Intn(len(symbols))],
+			threshold: 50 + float64(rng.Intn(4))*50,
+			baseBid:   5 + rng.Float64()*95,
+		}
+	}
+
+	fmt.Printf("dsmsd: %d clients, capacity %.0f, mechanism %s\n\n", clients, capacity, mech.Name())
+	for day := 0; day < days; day++ {
+		for _, spec := range specs {
+			// Bids drift day to day: demand shifts, admissions change, the
+			// engine transitions.
+			bid := spec.baseBid * (0.8 + 0.4*rng.Float64())
+			if err := center.Submit(buildSubmission(spec, bid)); err != nil {
+				return err
+			}
+		}
+		report, err := center.ClosePeriod()
+		if err != nil {
+			return err
+		}
+		pumpDay(center, feed, tuplesPerDay)
+		center.Engine().Advance(int64(tuplesPerDay))
+
+		// Execution-layer check: the admitted set must be schedulable.
+		schedNote := "schedulable"
+		if _, err := sched.ValidateAdmission(report.Outcome, 200, sched.RoundRobin{}); err != nil {
+			schedNote = "NOT SCHEDULABLE"
+		}
+		fmt.Printf("day %d: admitted %d/%d  revenue $%.2f  utilization %.0f%%  (%s)\n",
+			day+1, len(report.Admitted), len(report.Admitted)+len(report.Rejected),
+			report.Revenue, 100*report.Utilization, schedNote)
+		for _, a := range report.Admitted {
+			results := len(center.Results(a.Name))
+			fmt.Printf("  %-18s user %2d  bid $%6.2f  paid $%6.2f  results %d\n",
+				a.Name, a.User, a.Bid, a.Payment, results)
+		}
+	}
+	fmt.Printf("\ntotal revenue: $%.2f\n", center.Ledger().Revenue(-1))
+	fmt.Println("top accounts:")
+	for _, u := range center.Ledger().TopUsers(5) {
+		fmt.Printf("  user %2d: $%.2f\n", u, center.Ledger().Balance(u))
+	}
+	return nil
+}
+
+// buildSubmission instantiates a client's template into operators + deploy
+// function. Operator keys encode the full upstream semantics, so identical
+// sub-plans are physically shared across clients.
+func buildSubmission(spec clientSpec, bid float64) cloud.Submission {
+	switch spec.template {
+	case 0: // alert: stocks where symbol == S and price > T
+		selSym := fmt.Sprintf("sel-sym-%s", spec.symbol)
+		selHigh := fmt.Sprintf("%s-price>%.0f", selSym, spec.threshold)
+		return cloud.Submission{
+			User: spec.user,
+			Name: fmt.Sprintf("alert-%d", spec.user),
+			Bid:  bid,
+			Operators: []cloud.OperatorSpec{
+				{Key: selSym, Load: 2},
+				{Key: selHigh, Load: 1},
+			},
+			Deploy: func(reg *cloud.SharedOps) error {
+				src, err := reg.Source("stocks")
+				if err != nil {
+					return err
+				}
+				sym := reg.Unary(selSym, src, func() stream.Transform {
+					s := spec.symbol
+					return stream.NewFilter(selSym, 2, stream.FieldEqString(0, s))
+				})
+				high := reg.Unary(selHigh, sym, func() stream.Transform {
+					th := spec.threshold
+					return stream.NewFilter(selHigh, 1, stream.FieldCmp(1, stream.Gt, th))
+				})
+				reg.Sink(high)
+				return nil
+			},
+		}
+	case 1: // vwap-ish: avg price over a tumbling window per symbol
+		selSym := fmt.Sprintf("sel-sym-%s", spec.symbol)
+		avg := fmt.Sprintf("%s-avg20", selSym)
+		return cloud.Submission{
+			User: spec.user,
+			Name: fmt.Sprintf("vwap-%d", spec.user),
+			Bid:  bid,
+			Operators: []cloud.OperatorSpec{
+				{Key: selSym, Load: 2},
+				{Key: avg, Load: 3},
+			},
+			Deploy: func(reg *cloud.SharedOps) error {
+				src, err := reg.Source("stocks")
+				if err != nil {
+					return err
+				}
+				sym := reg.Unary(selSym, src, func() stream.Transform {
+					s := spec.symbol
+					return stream.NewFilter(selSym, 2, stream.FieldEqString(0, s))
+				})
+				out := reg.Unary(avg, sym, func() stream.Transform {
+					return stream.MustWindowAgg(avg, 3, stream.WindowSpec{
+						Size: 20, Agg: stream.AggAvg, Field: 1, GroupBy: -1,
+					})
+				})
+				reg.Sink(out)
+				return nil
+			},
+		}
+	default: // correlate: join high-value trades with news on symbol
+		selHigh := fmt.Sprintf("sel-price>%.0f", spec.threshold)
+		join := fmt.Sprintf("join-%s-news", selHigh)
+		return cloud.Submission{
+			User: spec.user,
+			Name: fmt.Sprintf("corr-%d", spec.user),
+			Bid:  bid,
+			Operators: []cloud.OperatorSpec{
+				{Key: selHigh, Load: 2},
+				{Key: "news-pass", Load: 1},
+				{Key: join, Load: 4},
+			},
+			Deploy: func(reg *cloud.SharedOps) error {
+				stocks, err := reg.Source("stocks")
+				if err != nil {
+					return err
+				}
+				news, err := reg.Source("news")
+				if err != nil {
+					return err
+				}
+				high := reg.Unary(selHigh, stocks, func() stream.Transform {
+					th := spec.threshold
+					return stream.NewFilter(selHigh, 2, stream.FieldCmp(1, stream.Gt, th))
+				})
+				pass := reg.Unary("news-pass", news, func() stream.Transform {
+					return stream.NewFilter("news-pass", 1, func(stream.Tuple) bool { return true })
+				})
+				out := reg.Binary(join, high, pass, func() stream.BinaryTransform {
+					return stream.NewHashJoin(join, 4, 0, 0, 16)
+				})
+				reg.Sink(out)
+				return nil
+			},
+		}
+	}
+}
+
+// pumpDay pushes one day of synthetic market data.
+func pumpDay(center *cloud.Center, feed *market.Feed, n int) {
+	if center.Engine() == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		_ = center.Push("stocks", feed.Quote())
+		if i%5 == 0 {
+			_ = center.Push("news", feed.Headline())
+		}
+	}
+}

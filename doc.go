@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Admission Control
+// Mechanisms for Continuous Queries in the Cloud" (Al Moakar, Chrysanthis,
+// Chung, Guirguis, Labrinidis, Neophytou, Pruhs — ICDE 2010): auction-based
+// admission control for a for-profit data-stream-management cloud, the
+// Aurora-style shared stream engine it runs on, and the paper's full
+// experimental evaluation.
+//
+// The root package holds the benchmark harness (bench_test.go) that
+// regenerates every table and figure in the paper's Section VI; the library
+// lives under internal/ (see DESIGN.md for the module map), the runnable
+// tools under cmd/, and the worked scenarios under examples/.
+package repro

@@ -1,0 +1,107 @@
+// Cqlfrontend shows the DSMS center driven entirely by query text: clients
+// write CQL, the compiler canonicalizes each physical operator into a key,
+// and textually different but semantically identical sub-plans — here the
+// WHERE clauses of Alice and Bob, written in different order and case —
+// share one operator both in the auction (fair-share loads drop) and in the
+// engine (the filter runs once per tuple).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/auction"
+	"repro/internal/cloud"
+	"repro/internal/cql"
+	"repro/internal/stream"
+)
+
+func main() {
+	catalog := cql.Catalog{
+		"trades": {
+			Schema: stream.MustSchema(
+				stream.Field{Name: "symbol", Kind: stream.KindString},
+				stream.Field{Name: "price", Kind: stream.KindFloat},
+				stream.Field{Name: "size", Kind: stream.KindInt},
+			),
+			Rate: 10,
+		},
+		"headlines": {
+			Schema: stream.MustSchema(
+				stream.Field{Name: "symbol", Kind: stream.KindString},
+				stream.Field{Name: "text", Kind: stream.KindString},
+			),
+			Rate: 2,
+		},
+	}
+
+	clients := []struct {
+		user int
+		name string
+		text string
+		bid  float64
+	}{
+		{1, "alice", "SELECT * FROM trades WHERE price > 100 AND symbol = 'ACME'", 60},
+		{2, "bob", "select * from trades where symbol='ACME' and price>100", 55},
+		{3, "carol", "SELECT AVG(price) FROM trades WINDOW 25 GROUP BY symbol", 70},
+		{4, "dave", "SELECT * FROM trades JOIN headlines ON symbol WINDOW 8 WHERE price > 200", 45},
+		{5, "erin", "SELECT COUNT(*) FROM trades WHERE size >= 5000 WINDOW 50", 20},
+	}
+
+	center := cloud.New(auction.NewCAT(), 70)
+	for name, src := range catalog {
+		center.DeclareSource(name, src.Schema)
+	}
+	fmt.Println("submissions:")
+	for _, cl := range clients {
+		comp := cql.MustCompile(cl.text, catalog, cql.DefaultCosts())
+		fmt.Printf("  %-6s $%3.0f  %s\n", cl.name, cl.bid, comp.Query)
+		for _, op := range comp.Operators {
+			fmt.Printf("           op %-52s load %.1f\n", op.Key, op.Load)
+		}
+		err := center.Submit(cloud.Submission{
+			User: cl.user, Name: cl.name, Bid: cl.bid,
+			Operators: comp.Operators, Deploy: comp.Deploy,
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	report, err := center.ClosePeriod()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nauction (CAT, capacity %.0f): revenue $%.2f, utilization %.0f%%\n",
+		center.Capacity(), report.Revenue, 100*report.Utilization)
+	for _, a := range report.Admitted {
+		fmt.Printf("  + %-6s paid $%.2f\n", a.Name, a.Payment)
+	}
+	for _, r := range report.Rejected {
+		fmt.Printf("  - %-6s rejected\n", r)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	syms := []string{"ACME", "GLOBO"}
+	for i := 0; i < 500; i++ {
+		sym := syms[rng.Intn(2)]
+		err := center.Push("trades", stream.NewTuple(int64(i), sym, 50+rng.Float64()*250, int64(rng.Intn(10000))))
+		if err != nil {
+			panic(err)
+		}
+		if i%25 == 0 {
+			_ = center.Push("headlines", stream.NewTuple(int64(i), sym, "news about "+sym))
+		}
+	}
+
+	fmt.Println("\nresults after 500 trades:")
+	for _, cl := range clients {
+		fmt.Printf("  %-6s %4d tuples\n", cl.name, len(center.Results(cl.name)))
+	}
+	fmt.Println("\nshared operators (engine view):")
+	for _, nl := range center.Engine().Loads() {
+		if len(nl.Owners) > 1 {
+			fmt.Printf("  %-52s %4d tuples, owners %v\n", nl.Name, nl.Tuples, nl.Owners)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Stockmonitor runs the paper's motivating scenario (Sections I-II): several
+// clients register continuous queries over a stock-quote stream and a news
+// stream — two of them sharing a selection operator, exactly like Example
+// 1's query plan — the CAT auction decides admission, and the admitted
+// queries then actually execute on the shared Aurora-style engine: high-value
+// trades are selected, news stories filtered, and the two streams joined on
+// the company symbol.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/auction"
+	"repro/internal/cloud"
+	"repro/internal/stream"
+)
+
+var (
+	stockSchema = stream.MustSchema(
+		stream.Field{Name: "symbol", Kind: stream.KindString},
+		stream.Field{Name: "price", Kind: stream.KindFloat},
+	)
+	newsSchema = stream.MustSchema(
+		stream.Field{Name: "symbol", Kind: stream.KindString},
+		stream.Field{Name: "headline", Kind: stream.KindString},
+	)
+)
+
+func main() {
+	center := cloud.New(auction.NewCAT(), 12)
+	center.DeclareSource("stocks", stockSchema)
+	center.DeclareSource("news", newsSchema)
+
+	// q1: Alice — high-value trades (select A: price > 150).
+	submit(center, cloud.Submission{
+		User: 1, Name: "alice-high-trades", Bid: 55,
+		Operators: []cloud.OperatorSpec{{Key: "sel-high", Load: 4}, {Key: "proj-alice", Load: 1}},
+		Deploy: func(reg *cloud.SharedOps) error {
+			src, err := reg.Source("stocks")
+			if err != nil {
+				return err
+			}
+			high := reg.Unary("sel-high", src, func() stream.Transform {
+				return stream.NewFilter("sel-high", 4, stream.FieldCmp(1, stream.Gt, 150))
+			})
+			proj := reg.Unary("proj-alice", high, func() stream.Transform {
+				return stream.NewProject("proj-alice", 1, stockSchema, 0, 1)
+			})
+			reg.Sink(proj)
+			return nil
+		},
+	})
+
+	// q2: Bob — join high-value trades (sharing operator A with Alice!) with
+	// news on the symbol.
+	submit(center, cloud.Submission{
+		User: 2, Name: "bob-trade-news", Bid: 72,
+		Operators: []cloud.OperatorSpec{{Key: "sel-high", Load: 4}, {Key: "join-news", Load: 2}},
+		Deploy: func(reg *cloud.SharedOps) error {
+			stocks, err := reg.Source("stocks")
+			if err != nil {
+				return err
+			}
+			news, err := reg.Source("news")
+			if err != nil {
+				return err
+			}
+			high := reg.Unary("sel-high", stocks, func() stream.Transform {
+				return stream.NewFilter("sel-high", 4, stream.FieldCmp(1, stream.Gt, 150))
+			})
+			join := reg.Binary("join-news", high, news, func() stream.BinaryTransform {
+				return stream.NewHashJoin("join-news", 2, 0, 0, 8)
+			})
+			reg.Sink(join)
+			return nil
+		},
+	})
+
+	// q3: Carol — average price over every trade, a heavy standalone query.
+	submit(center, cloud.Submission{
+		User: 3, Name: "carol-market-avg", Bid: 100,
+		Operators: []cloud.OperatorSpec{{Key: "avg-all", Load: 6}, {Key: "sel-carol", Load: 4}},
+		Deploy: func(reg *cloud.SharedOps) error {
+			src, err := reg.Source("stocks")
+			if err != nil {
+				return err
+			}
+			avg := reg.Unary("avg-all", src, func() stream.Transform {
+				return stream.MustWindowAgg("avg-all", 6, stream.WindowSpec{
+					Size: 10, Agg: stream.AggAvg, Field: 1, GroupBy: -1,
+				})
+			})
+			sel := reg.Unary("sel-carol", avg, func() stream.Transform {
+				return stream.NewFilter("sel-carol", 4, stream.FieldCmp(1, stream.Gt, 100))
+			})
+			reg.Sink(sel)
+			return nil
+		},
+	})
+
+	report, err := center.ClosePeriod()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("auction (%s, capacity %.0f): admitted %d of %d, revenue $%.2f\n",
+		report.Outcome.Mechanism, center.Capacity(), len(report.Admitted),
+		len(report.Admitted)+len(report.Rejected), report.Revenue)
+	for _, a := range report.Admitted {
+		fmt.Printf("  + %-18s paid $%.2f (bid $%.2f)\n", a.Name, a.Payment, a.Bid)
+	}
+	for _, r := range report.Rejected {
+		fmt.Printf("  - %-18s rejected\n", r)
+	}
+
+	// A day of market data flows through the shared plan.
+	rng := rand.New(rand.NewSource(42))
+	syms := []string{"ACME", "GLOBO", "INITECH"}
+	for i := 0; i < 300; i++ {
+		sym := syms[rng.Intn(len(syms))]
+		price := 50 + rng.Float64()*200
+		check(center.Push("stocks", stream.NewTuple(int64(i), sym, price)))
+		if i%10 == 0 {
+			check(center.Push("news", stream.NewTuple(int64(i), sym, "headline about "+sym)))
+		}
+	}
+
+	fmt.Println("\nafter 300 quotes and 30 stories:")
+	for _, name := range []string{"alice-high-trades", "bob-trade-news", "carol-market-avg"} {
+		results := center.Results(name)
+		fmt.Printf("  %-18s %3d result tuples", name, len(results))
+		if len(results) > 0 {
+			last := results[len(results)-1]
+			fmt.Printf("  (last: %v)", last.Vals)
+		}
+		fmt.Println()
+	}
+
+	// The shared operator ran once for both Alice and Bob: the engine's
+	// load report shows "sel-high" owned by both queries.
+	fmt.Println("\nshared physical operators (engine load report):")
+	for _, nl := range center.Engine().Loads() {
+		if len(nl.Owners) > 1 {
+			fmt.Printf("  %-10s processed %4d tuples for %v\n", nl.Name, nl.Tuples, nl.Owners)
+		}
+	}
+}
+
+func submit(c *cloud.Center, s cloud.Submission) {
+	if err := c.Submit(s); err != nil {
+		panic(err)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,53 @@
+// Sybilattack reproduces the paper's Section V analysis end to end:
+//
+//  1. the Table II attack in which user 2 forges "user 3" to beat CAT+,
+//  2. the same attack bouncing off CAT (which is sybil-strategyproof), and
+//  3. the universal fair-share attack that defeats CAF on Example 1.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/auction"
+	"repro/internal/gametheory"
+	"repro/internal/query"
+)
+
+func main() {
+	attack, capacity := gametheory.TableII(1e-3)
+
+	fmt.Println("Table II: user 2 (bid 89, load 0.9) loses to user 1 (bid 100, load 1.0)")
+	fmt.Println("on a capacity-1 server — unless she forges 'user 3' (bid 101ε, load ε).")
+	fmt.Println()
+
+	for _, mech := range []auction.Mechanism{auction.NewCATPlus(), auction.NewCAT()} {
+		honest := mech.Run(attack.Original, capacity)
+		attacked := mech.Run(attack.Attacked, capacity)
+		gain := attack.Gain(mech, capacity)
+		fmt.Printf("%s:\n", mech.Name())
+		fmt.Printf("  honest:   winners %v, user 2 payoff $%.4f\n", honest.Winners, honest.UserPayoff(2))
+		fmt.Printf("  attacked: winners %v, user 2 payoff $%.4f (covers the fake's bill)\n",
+			attacked.Winners, attacked.UserPayoff(2))
+		if gain > 0 {
+			fmt.Printf("  -> attack SUCCEEDS: payoff gain $%.4f (Theorem 17)\n\n", gain)
+		} else {
+			fmt.Printf("  -> attack fails: gain $%.4f (Theorem 19: CAT is sybil-strategyproof)\n\n", gain)
+		}
+	}
+
+	// The universal fair-share attack (Theorem 15): on Example 1, q3 loses
+	// under CAF. By forging fakes that share her operators, her static
+	// fair-share load collapses and she wins almost for free.
+	pool, cap1 := query.Example1()
+	caf := auction.NewCAF()
+	fs, err := gametheory.FairShareAttack(pool, 2, 9, 1e-6)
+	if err != nil {
+		panic(err)
+	}
+	honest := caf.Run(pool, cap1)
+	attacked := caf.Run(fs.Attacked, cap1)
+	fmt.Println("Fair-share attack on CAF (Example 1, attacker q3 forging 9 fakes):")
+	fmt.Printf("  honest:   winners %v, q3's user payoff $%.2f\n", honest.Winners, honest.UserPayoff(3))
+	fmt.Printf("  attacked: winners %v, q3's user payoff $%.2f (gain $%.2f)\n",
+		attacked.Winners, attacked.UserPayoff(3), fs.Gain(caf, cap1))
+}

@@ -1,0 +1,171 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/cloud"
+	"repro/internal/query"
+	"repro/internal/stream"
+	"repro/internal/subscription"
+)
+
+// TestEndToEndDayCycle drives the whole stack the way cmd/dsmsd does, but
+// deterministically: three periods of submissions over a shared engine,
+// verifying auction outcomes, billing totals, operator sharing, transition
+// correctness, and result delivery together.
+func TestEndToEndDayCycle(t *testing.T) {
+	schema := stream.MustSchema(
+		stream.Field{Name: "sym", Kind: stream.KindString},
+		stream.Field{Name: "price", Kind: stream.KindFloat},
+	)
+	center := cloud.New(auction.NewCAT(), 10)
+	center.DeclareSource("stocks", schema)
+
+	filterSub := func(user int, name string, bid float64, key string, load, threshold float64) cloud.Submission {
+		return cloud.Submission{
+			User: user, Name: name, Bid: bid,
+			Operators: []cloud.OperatorSpec{{Key: key, Load: load}},
+			Deploy: func(reg *cloud.SharedOps) error {
+				src, err := reg.Source("stocks")
+				if err != nil {
+					return err
+				}
+				out := reg.Unary(key, src, func() stream.Transform {
+					return stream.NewFilter(key, load, stream.FieldCmp(1, stream.Gt, threshold))
+				})
+				reg.Sink(out)
+				return nil
+			},
+		}
+	}
+
+	// Period 0: two queries sharing one operator plus a big standalone one.
+	check(t, center.Submit(filterSub(1, "alice", 50, "sel-100", 6, 100)))
+	check(t, center.Submit(filterSub(2, "bob", 40, "sel-100", 6, 100)))
+	check(t, center.Submit(filterSub(3, "carol", 45, "sel-carol", 9, 50)))
+	r0, err := center.ClosePeriod()
+	check(t, err)
+	// Shared operator: alice+bob aggregate load 6 ≤ 10; carol (9) cannot
+	// join them.
+	if len(r0.Admitted) != 2 {
+		t.Fatalf("period 0 admitted %+v, want alice and bob", r0.Admitted)
+	}
+	for i := 0; i < 5; i++ {
+		check(t, center.Push("stocks", stream.NewTuple(int64(i), "X", float64(90+10*i))))
+	}
+	// Prices 90..130: three exceed 100. Both sharers see identical results.
+	if a, b := len(center.Results("alice")), len(center.Results("bob")); a != 3 || b != 3 {
+		t.Fatalf("results alice=%d bob=%d, want 3 each", a, b)
+	}
+
+	// Period 1: bob drops out; carol outbids and displaces.
+	check(t, center.Submit(filterSub(1, "alice", 20, "sel-100", 6, 100)))
+	check(t, center.Submit(filterSub(3, "carol", 95, "sel-carol", 9, 50)))
+	r1, err := center.ClosePeriod()
+	check(t, err)
+	if len(r1.Admitted) != 1 || r1.Admitted[0].Name != "carol" {
+		t.Fatalf("period 1 admitted %+v, want carol only", r1.Admitted)
+	}
+	check(t, center.Push("stocks", stream.NewTuple(10, "X", 60.0)))
+	if got := len(center.Results("carol")); got != 1 {
+		t.Fatalf("carol results = %d, want 1", got)
+	}
+	if got := len(center.Results("alice")); got != 0 {
+		t.Fatalf("alice should be offline, got %d results", got)
+	}
+
+	// Billing: period 0 charged positive (carol was the priced-out loser);
+	// period 1 charged carol by alice's density.
+	if rev := center.Ledger().Revenue(0); rev <= 0 {
+		t.Errorf("period 0 revenue = %v, want positive (carol lost but priced the winners)", rev)
+	}
+	if total := center.Ledger().Revenue(-1); total != center.Ledger().Revenue(0)+center.Ledger().Revenue(1) {
+		t.Error("ledger totals inconsistent")
+	}
+}
+
+// TestDeployErrorPropagates: a failing Deploy aborts the period close.
+func TestDeployErrorPropagates(t *testing.T) {
+	center := cloud.New(auction.NewCAT(), 10)
+	err := center.Submit(cloud.Submission{
+		User: 1, Name: "bad", Bid: 5,
+		Operators: []cloud.OperatorSpec{{Key: "k", Load: 1}},
+		Deploy: func(reg *cloud.SharedOps) error {
+			_, err := reg.Source("missing")
+			return err
+		},
+	})
+	check(t, err)
+	if _, err := center.ClosePeriod(); err == nil {
+		t.Fatal("want deploy error")
+	}
+}
+
+// TestSubscriptionAndAuctionCompose: the Section VII manager running CAT
+// auctions produces only feasible, billed outcomes across a busy week.
+func TestSubscriptionAndAuctionCompose(t *testing.T) {
+	const capacity = 12
+	mgr, err := subscription.NewManager(auction.NewCAT(), capacity, subscription.EqualShares(subscription.Day, subscription.Week))
+	check(t, err)
+	for day := 0; day < 9; day++ {
+		// Demand far exceeds the per-category capacity share, so the
+		// threshold prices are positive.
+		for i := 0; i < 6; i++ {
+			cat := subscription.Day
+			if i%2 == 0 {
+				cat = subscription.Week
+			}
+			err := mgr.Submit(subscription.Request{
+				User: day*10 + i, Name: fmt.Sprintf("q%d-%d", day, i),
+				Bid: float64(5 + (day*7+i*3)%40), Category: cat,
+				Operators: []subscription.OperatorSpec{
+					{Key: fmt.Sprintf("op%d-%d", day, i), Load: float64(3 + i%3)},
+				},
+			})
+			check(t, err)
+		}
+		report, err := mgr.RunDay()
+		check(t, err)
+		// Committed load (shared operators counted once) never exceeds
+		// capacity.
+		if committed := mgr.CommittedLoad(); committed > capacity+1e-9 {
+			t.Fatalf("day %d: committed %v exceeds capacity", day, committed)
+		}
+		if report.Revenue < 0 {
+			t.Fatalf("day %d: negative revenue", day)
+		}
+	}
+	if mgr.Revenue() <= 0 {
+		t.Error("week of competitive auctions should earn revenue")
+	}
+}
+
+// TestMechanismsAgreeOnExample1Winners: every strategyproof mechanism admits
+// {q1, q2} on Example 1 (they differ only in payments), and the profits
+// order CAT ≥ CAF as the paper's worked numbers show.
+func TestMechanismsAgreeOnExample1Winners(t *testing.T) {
+	pool, capacity := query.Example1()
+	for _, m := range []auction.Mechanism{
+		auction.NewCAR(), auction.NewCAF(), auction.NewCAFPlus(),
+		auction.NewCAT(), auction.NewCATPlus(),
+	} {
+		out := m.Run(pool, capacity)
+		if !out.IsWinner(0) || !out.IsWinner(1) || out.IsWinner(2) {
+			t.Errorf("%s winners = %v, want {q1,q2}", m.Name(), out.Winners)
+		}
+	}
+	caf := auction.NewCAF().Run(pool, capacity).Profit()
+	cat := auction.NewCAT().Run(pool, capacity).Profit()
+	if cat <= caf {
+		t.Errorf("CAT profit %v should exceed CAF %v on Example 1 (110 vs 70)", cat, caf)
+	}
+}
+
+func check(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package auction implements the paper's auction-based admission-control
+// mechanisms for continuous queries (Section IV): the greedy density
+// mechanisms CAF, CAF+, CAT and CAT+, the non-strategyproof CAR baseline, the
+// bid-ordered GV mechanism, the randomized Two-Price mechanism with a profit
+// guarantee, a random-admission runtime baseline, and the optimal
+// constant-pricing benchmark OPT_C.
+//
+// All mechanisms consume a query.Pool (the abstract operator/query incidence
+// structure of paper Figure 2) and a server capacity, and produce an Outcome:
+// the admitted queries and the payment charged to each. The capacity
+// constraint is always on the aggregate load of the union of the winners'
+// operators — shared operators are paid for once.
+package auction
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// fitEps absorbs floating-point rounding in capacity-fit comparisons.
+const fitEps = 1e-9
+
+// Mechanism is an admission-control auction: given the submitted queries and
+// the server capacity it decides which queries to admit and what to charge.
+// Implementations must not mutate the pool.
+type Mechanism interface {
+	// Name returns the mechanism's display name as used in the paper
+	// ("CAF", "CAT+", "Two-price", ...).
+	Name() string
+	// Run executes the auction and returns the outcome.
+	Run(p *query.Pool, capacity float64) *Outcome
+}
+
+// Outcome is the result of running a mechanism: the winner set (in admission
+// order) and the payment charged to every query (zero for losers), together
+// with the inputs needed to derive the paper's evaluation metrics.
+type Outcome struct {
+	// Mechanism is the name of the mechanism that produced the outcome.
+	Mechanism string
+	// Capacity is the server capacity the auction ran against.
+	Capacity float64
+	// Winners lists admitted queries in admission order.
+	Winners []query.QueryID
+	// Payments[i] is the payment charged to query i; zero for losers.
+	Payments []float64
+
+	pool   *query.Pool
+	winner []bool
+	load   float64
+	// allowAboveBid marks mechanisms that do not guarantee individual
+	// rationality. CAR's payment rate b_lost/C_R(lost) is evaluated at stop
+	// time, after sharing has shrunk the loser's remaining load, so it can
+	// exceed a winner's admission-time priority and push her payment above
+	// her bid — one more reason users shade bids under CAR (Section IV-A).
+	allowAboveBid bool
+}
+
+// newOutcome assembles an Outcome, computing the winner mask and aggregate
+// load once.
+func newOutcome(name string, p *query.Pool, capacity float64, winners []query.QueryID, payments []float64) *Outcome {
+	mask := make([]bool, p.NumQueries())
+	for _, w := range winners {
+		mask[w] = true
+	}
+	return &Outcome{
+		Mechanism: name,
+		Capacity:  capacity,
+		Winners:   winners,
+		Payments:  payments,
+		pool:      p,
+		winner:    mask,
+		load:      p.AggregateLoad(winners),
+	}
+}
+
+// Pool returns the pool the auction ran on.
+func (o *Outcome) Pool() *query.Pool { return o.pool }
+
+// IsWinner reports whether query id was admitted.
+func (o *Outcome) IsWinner(id query.QueryID) bool { return o.winner[id] }
+
+// Payment returns the payment charged to query id (zero for losers).
+func (o *Outcome) Payment(id query.QueryID) float64 { return o.Payments[id] }
+
+// Profit returns the system profit: the sum of all payments (paper §VI-A).
+func (o *Outcome) Profit() float64 {
+	var sum float64
+	for _, p := range o.Payments {
+		sum += p
+	}
+	return sum
+}
+
+// AdmissionRate returns the fraction of submitted queries admitted.
+func (o *Outcome) AdmissionRate() float64 {
+	if o.pool.NumQueries() == 0 {
+		return 0
+	}
+	return float64(len(o.Winners)) / float64(o.pool.NumQueries())
+}
+
+// TotalPayoff returns the sum over winners of valuation minus payment — the
+// paper's total-user-payoff (user satisfaction) metric. For truthful
+// workloads valuation equals bid.
+func (o *Outcome) TotalPayoff() float64 {
+	var sum float64
+	for _, w := range o.Winners {
+		sum += o.pool.Value(w) - o.Payments[w]
+	}
+	return sum
+}
+
+// Load returns the aggregate load of the winner set.
+func (o *Outcome) Load() float64 { return o.load }
+
+// Utilization returns the fraction of server capacity used by the winners.
+func (o *Outcome) Utilization() float64 {
+	if o.Capacity == 0 {
+		return 0
+	}
+	return o.load / o.Capacity
+}
+
+// PayoffOf returns the payoff of the user owning query id: value − payment
+// if admitted, zero otherwise.
+func (o *Outcome) PayoffOf(id query.QueryID) float64 {
+	if !o.winner[id] {
+		return 0
+	}
+	return o.pool.Value(id) - o.Payments[id]
+}
+
+// UserPayoff returns the aggregate payoff of the given principal across all
+// of her queries: Σ (value − payment) over her admitted queries, minus the
+// payments of any admitted queries she values at zero (the sybil-attack
+// accounting of paper Section V, where the attacker covers her fake
+// identities' bills).
+func (o *Outcome) UserPayoff(user int) float64 {
+	var sum float64
+	for _, q := range o.pool.Queries() {
+		if q.User != user || !o.winner[q.ID] {
+			continue
+		}
+		sum += q.Value - o.Payments[q.ID]
+	}
+	return sum
+}
+
+// Validate checks the universal mechanism invariants: winners fit within
+// capacity, losers pay zero, and every payment is non-negative and (for
+// bid-respecting mechanisms) at most the bid. It returns the first violation
+// found, or nil.
+func (o *Outcome) Validate() error {
+	if o.load > o.Capacity+fitEps {
+		return fmt.Errorf("auction %s: winner load %.6f exceeds capacity %.6f", o.Mechanism, o.load, o.Capacity)
+	}
+	for i, p := range o.Payments {
+		id := query.QueryID(i)
+		switch {
+		case !o.winner[id] && p != 0:
+			return fmt.Errorf("auction %s: loser %d charged %.6f", o.Mechanism, id, p)
+		case p < -fitEps:
+			return fmt.Errorf("auction %s: negative payment %.6f for query %d", o.Mechanism, p, id)
+		case !o.allowAboveBid && o.winner[id] && p > o.pool.Bid(id)+1e-6:
+			return fmt.Errorf("auction %s: winner %d charged %.6f above bid %.6f", o.Mechanism, id, p, o.pool.Bid(id))
+		}
+	}
+	return nil
+}
+
+// byPriority returns query IDs sorted by non-increasing priority, breaking
+// ties by ascending query ID so every mechanism is deterministic.
+func byPriority(n int, pri []float64) []query.QueryID {
+	order := make([]query.QueryID, n)
+	for i := range order {
+		order[i] = query.QueryID(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := pri[order[a]], pri[order[b]]
+		if pa != pb {
+			return pa > pb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// fits reports whether admitting a query with the given remaining load keeps
+// the tracker within capacity.
+func fits(t *query.LoadTracker, rem, capacity float64) bool {
+	return t.Load()+rem <= capacity+fitEps
+}
+
+// priorityOf computes b_i / load_i, treating zero load as infinite priority
+// (a query whose every operator is free rides for free and always fits).
+func priorityOf(bid, load float64) float64 {
+	if load <= 0 {
+		return math.Inf(1)
+	}
+	return bid / load
+}

@@ -1,0 +1,93 @@
+package auction
+
+import (
+	"math"
+
+	"repro/internal/query"
+)
+
+// car implements the CAR mechanism (paper Section IV-A): queries are chosen
+// iteratively by highest remaining-load priority b_i / C_R(i), where C_R(i)
+// shrinks as winners that share i's operators are admitted. Payments charge
+// each winner her admission-time remaining load at the first loser's
+// per-unit remaining-load price.
+//
+// CAR is the paper's cautionary baseline: it is NOT bid-strategyproof — a
+// user sharing operators with other winners can lower her bid so she is
+// picked later, with a smaller C_R and hence a smaller payment (demonstrated
+// by gametheory.FindBidDeviation and the Fig 5 lying workloads).
+type car struct{}
+
+// NewCAR returns the CAR mechanism.
+func NewCAR() Mechanism { return car{} }
+
+func (car) Name() string { return "CAR" }
+
+func (car) Run(p *query.Pool, capacity float64) *Outcome {
+	n := p.NumQueries()
+	tracker := query.NewLoadTracker(p)
+	chosen := make([]bool, n)
+	admissionCR := make([]float64, n)
+	winners := make([]query.QueryID, 0, n)
+
+	// remaining[i] caches C_R(i) against the current winner set; it is
+	// refreshed incrementally after each admission (operators are only ever
+	// newly provisioned, so C_R only decreases).
+	remaining := make([]float64, n)
+	for i := 0; i < n; i++ {
+		remaining[i] = p.TotalLoad(query.QueryID(i))
+	}
+
+	var lostID query.QueryID = -1
+	var lostCR float64
+	for len(winners) < n {
+		best := -1
+		bestPri := math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			pri := priorityOf(p.Bid(query.QueryID(i)), remaining[i])
+			if pri > bestPri {
+				bestPri, best = pri, i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		id := query.QueryID(best)
+		if !fits(tracker, remaining[best], capacity) {
+			// First query that does not fit: CAR stops here; this is q_lost.
+			lostID, lostCR = id, remaining[best]
+			break
+		}
+		chosen[best] = true
+		admissionCR[best] = remaining[best]
+		winners = append(winners, id)
+		// Newly provisioned operators shrink the remaining load of every
+		// query sharing them.
+		for _, op := range p.Query(id).Operators {
+			if tracker.Provisioned(op) {
+				continue
+			}
+			load := p.Operator(op).Load
+			for _, q := range p.Operator(op).Queries {
+				if !chosen[q] {
+					remaining[q] -= load
+				}
+			}
+		}
+		tracker.Admit(id)
+	}
+
+	payments := make([]float64, n)
+	if lostID >= 0 && lostCR > 0 {
+		unit := p.Bid(lostID) / lostCR
+		for _, w := range winners {
+			payments[w] = admissionCR[w] * unit
+		}
+	}
+	out := newOutcome("CAR", p, capacity, winners, payments)
+	out.allowAboveBid = true
+	return out
+}

@@ -1,0 +1,150 @@
+package auction
+
+import (
+	"repro/internal/query"
+)
+
+// LoadNotion selects which per-query load definition a density mechanism
+// uses for its priorities and payments (the capacity check always uses the
+// actual incremental load, per paper Algorithms 1-2).
+type LoadNotion int
+
+const (
+	// FairShare uses the static fair-share load C_SF (paper Definition 3).
+	FairShare LoadNotion = iota
+	// Total uses the total load C_T (paper Section IV-C).
+	Total
+)
+
+func (ln LoadNotion) loadOf(p *query.Pool, id query.QueryID) float64 {
+	if ln == FairShare {
+		return p.FairShareLoad(id)
+	}
+	return p.TotalLoad(id)
+}
+
+// density implements the four greedy density mechanisms. With skip == false
+// it admits the maximal priority-ordered prefix that fits and charges every
+// winner the first loser's per-unit-load price (CAF, CAT). With skip == true
+// it skips over queries that do not fit, continues down the list (CAF+,
+// CAT+), and charges each winner her movement-window critical value (paper
+// Definitions 5-6).
+type density struct {
+	name   string
+	notion LoadNotion
+	skip   bool
+}
+
+// NewCAF returns the CAF mechanism: fair-share priorities, prefix stop,
+// first-loser pricing (paper Algorithm 1). Strategyproof; universally
+// vulnerable to sybil attack.
+func NewCAF() Mechanism { return &density{name: "CAF", notion: FairShare} }
+
+// NewCAFPlus returns the CAF+ mechanism: fair-share priorities,
+// skip-and-continue, movement-window pricing (paper Algorithm 2).
+// Strategyproof; universally vulnerable to sybil attack.
+func NewCAFPlus() Mechanism { return &density{name: "CAF+", notion: FairShare, skip: true} }
+
+// NewCAT returns the CAT mechanism: total-load priorities, prefix stop,
+// first-loser pricing. Strategyproof and sybil-strategyproof (paper
+// Theorem 19) — the only mechanism with both properties.
+func NewCAT() Mechanism { return &density{name: "CAT", notion: Total} }
+
+// NewCATPlus returns the CAT+ mechanism: total-load priorities,
+// skip-and-continue, movement-window pricing. Strategyproof but vulnerable
+// to the paper's Table II sybil attack.
+func NewCATPlus() Mechanism { return &density{name: "CAT+", notion: Total, skip: true} }
+
+func (d *density) Name() string { return d.name }
+
+func (d *density) Run(p *query.Pool, capacity float64) *Outcome {
+	n := p.NumQueries()
+	loads := make([]float64, n)
+	pri := make([]float64, n)
+	for i := 0; i < n; i++ {
+		id := query.QueryID(i)
+		loads[i] = d.notion.loadOf(p, id)
+		pri[i] = priorityOf(p.Bid(id), loads[i])
+	}
+	order := byPriority(n, pri)
+
+	winners, lost := d.selectWinners(p, capacity, order)
+	payments := make([]float64, n)
+	if d.skip {
+		d.movementWindowPayments(p, capacity, order, winners, loads, payments)
+	} else if lost >= 0 {
+		lostID := order[lost]
+		unit := p.Bid(lostID) / loads[lostID] // loads[lost] > 0: zero-load queries always fit
+		for _, w := range winners {
+			payments[w] = loads[w] * unit
+		}
+	}
+	return newOutcome(d.name, p, capacity, winners, payments)
+}
+
+// selectWinners runs the greedy admission over the priority order. It
+// returns the winners in admission order and, for prefix mode, the position
+// in order of the first loser (-1 if every query was admitted).
+func (d *density) selectWinners(p *query.Pool, capacity float64, order []query.QueryID) ([]query.QueryID, int) {
+	tracker := query.NewLoadTracker(p)
+	winners := make([]query.QueryID, 0, len(order))
+	for pos, id := range order {
+		rem := tracker.Remaining(id)
+		if fits(tracker, rem, capacity) {
+			tracker.Admit(id)
+			winners = append(winners, id)
+			continue
+		}
+		if !d.skip {
+			return winners, pos
+		}
+	}
+	return winners, -1
+}
+
+// movementWindowPayments computes the CAF+/CAT+ critical-value payments.
+//
+// For winner i, last(i) is the first position j after i in the priority list
+// such that, were i's priority lowered to sit directly below position j, the
+// skip-greedy would reject i. Because skip-greedy admits a query exactly
+// when it fits against the set admitted from earlier positions, this is
+// equivalent to simulating one greedy pass over the order with i removed and
+// testing, after each position j ≥ pos(i), whether i still fits. That turns
+// the textbook O(W·n) full re-runs into a single O(n) pass per winner while
+// computing the identical quantity (see DESIGN.md "Substitutions").
+func (d *density) movementWindowPayments(p *query.Pool, capacity float64, order []query.QueryID, winners []query.QueryID, loads, payments []float64) {
+	posOf := make([]int, p.NumQueries())
+	for pos, id := range order {
+		posOf[id] = pos
+	}
+	for _, w := range winners {
+		payments[w] = d.criticalPayment(p, capacity, order, w, posOf[w], loads)
+	}
+}
+
+// criticalPayment simulates skip-greedy over order with query w removed,
+// checking after each position j ≥ pos whether w would still fit. The first
+// failing position is last(w); the payment is load(w) · Pr(last(w)). If w
+// fits after every position the movement window spans the whole remaining
+// list and the payment is zero (paper Definition 6).
+func (d *density) criticalPayment(p *query.Pool, capacity float64, order []query.QueryID, w query.QueryID, pos int, loads []float64) float64 {
+	tracker := query.NewLoadTracker(p)
+	for j, id := range order {
+		if id == w {
+			continue
+		}
+		if rem := tracker.Remaining(id); fits(tracker, rem, capacity) {
+			tracker.Admit(id)
+		}
+		if j < pos {
+			continue
+		}
+		if !fits(tracker, tracker.Remaining(w), capacity) {
+			// Moving w directly below position j gets w rejected: position j
+			// holds last(w).
+			unit := priorityOf(p.Bid(id), loads[id])
+			return loads[w] * unit
+		}
+	}
+	return 0
+}

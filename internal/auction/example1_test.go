@@ -1,0 +1,87 @@
+package auction_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/query"
+)
+
+// almost reports approximate float equality.
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestExample1Loads pins the load bookkeeping of the paper's Example 1.
+func TestExample1Loads(t *testing.T) {
+	p, capacity := query.Example1()
+	if capacity != 10 {
+		t.Fatalf("capacity = %v, want 10", capacity)
+	}
+	wantTotal := []float64{5, 6, 10}
+	wantFair := []float64{3, 4, 10}
+	for i := 0; i < 3; i++ {
+		id := query.QueryID(i)
+		if got := p.TotalLoad(id); !almost(got, wantTotal[i]) {
+			t.Errorf("TotalLoad(q%d) = %v, want %v", i+1, got, wantTotal[i])
+		}
+		if got := p.FairShareLoad(id); !almost(got, wantFair[i]) {
+			t.Errorf("FairShareLoad(q%d) = %v, want %v", i+1, got, wantFair[i])
+		}
+	}
+	if got := p.AggregateLoad([]query.QueryID{0, 1}); !almost(got, 7) {
+		t.Errorf("AggregateLoad(q1,q2) = %v, want 7 (operator A shared)", got)
+	}
+}
+
+// TestExample1Payments reproduces the worked payments of Sections IV-A to
+// IV-C: CAR charges q1 $10 and q2 $60; CAF charges $30 and $40; CAT charges
+// $50 and $60. All three admit exactly q1 and q2.
+func TestExample1Payments(t *testing.T) {
+	cases := []struct {
+		mech   auction.Mechanism
+		p1, p2 float64
+	}{
+		{auction.NewCAR(), 10, 60},
+		{auction.NewCAF(), 30, 40},
+		{auction.NewCAT(), 50, 60},
+	}
+	for _, tc := range cases {
+		t.Run(tc.mech.Name(), func(t *testing.T) {
+			p, capacity := query.Example1()
+			out := tc.mech.Run(p, capacity)
+			if err := out.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Winners) != 2 || !out.IsWinner(0) || !out.IsWinner(1) || out.IsWinner(2) {
+				t.Fatalf("winners = %v, want {q1, q2}", out.Winners)
+			}
+			if got := out.Payment(0); !almost(got, tc.p1) {
+				t.Errorf("payment(q1) = %v, want %v", got, tc.p1)
+			}
+			if got := out.Payment(1); !almost(got, tc.p2) {
+				t.Errorf("payment(q2) = %v, want %v", got, tc.p2)
+			}
+			if got := out.Profit(); !almost(got, tc.p1+tc.p2) {
+				t.Errorf("profit = %v, want %v", got, tc.p1+tc.p2)
+			}
+			if got := out.Load(); !almost(got, 7) {
+				t.Errorf("winner load = %v, want 7", got)
+			}
+		})
+	}
+}
+
+// TestExample1AdmissionOrder pins the selection order the paper narrates:
+// CAR picks q2 first (priority 12 vs 11), then q1 at remaining load 1; CAF
+// picks q1 first (18.33 vs 18).
+func TestExample1AdmissionOrder(t *testing.T) {
+	p, capacity := query.Example1()
+	car := auction.NewCAR().Run(p, capacity)
+	if car.Winners[0] != 1 || car.Winners[1] != 0 {
+		t.Errorf("CAR admission order = %v, want [q2 q1]", car.Winners)
+	}
+	caf := auction.NewCAF().Run(p, capacity)
+	if caf.Winners[0] != 0 || caf.Winners[1] != 1 {
+		t.Errorf("CAF admission order = %v, want [q1 q2]", caf.Winners)
+	}
+}

@@ -1,0 +1,72 @@
+package auction_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/query"
+)
+
+// ExampleMechanism runs the paper's Example 1 under CAT: operator A (load
+// 4) is shared by q1 and q2, so the pair's aggregate load is 7 and both fit
+// in capacity 10; q3 prices them at $10 per unit of total load.
+func ExampleMechanism() {
+	b := query.NewBuilder()
+	opA := b.AddOperator(4)
+	opB := b.AddOperator(1)
+	opC := b.AddOperator(2)
+	opD := b.AddOperator(6)
+	opE := b.AddOperator(4)
+	b.AddQuery(55, opA, opB)
+	b.AddQuery(72, opA, opC)
+	b.AddQuery(100, opD, opE)
+	pool := b.MustBuild()
+
+	out := auction.NewCAT().Run(pool, 10)
+	fmt.Printf("winners: %v\n", out.Winners)
+	fmt.Printf("q1 pays $%.0f, q2 pays $%.0f, profit $%.0f\n",
+		out.Payment(0), out.Payment(1), out.Profit())
+	// Output:
+	// winners: [1 0]
+	// q1 pays $50, q2 pays $60, profit $110
+}
+
+func ExampleByName() {
+	m, err := auction.ByName("CAF", 0)
+	if err != nil {
+		panic(err)
+	}
+	pool, capacity := query.Example1()
+	fmt.Printf("%s profit: $%.0f\n", m.Name(), m.Run(pool, capacity).Profit())
+	// Output: CAF profit: $70
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range auction.Names() {
+		m, err := auction.ByName(name, 7)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := auction.ByName("nope", 0); err == nil {
+		t.Error("want error for unknown name")
+	}
+}
+
+// TestThresholdStructure: for the prefix mechanisms, every winner's priority
+// is at least the first loser's priority — the threshold structure that
+// makes first-loser pricing a critical value.
+func TestThresholdStructure(t *testing.T) {
+	pool, capacity := query.Example1()
+	out := auction.NewCAT().Run(pool, capacity)
+	lostPri := pool.Bid(2) / pool.TotalLoad(2)
+	for _, w := range out.Winners {
+		if pri := pool.Bid(w) / pool.TotalLoad(w); pri < lostPri {
+			t.Errorf("winner %d priority %.2f below loser's %.2f", w, pri, lostPri)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package auction
+
+import (
+	"math/rand"
+
+	"repro/internal/query"
+)
+
+// gv implements the Greedy-by-Valuation mechanism (paper Section IV-D):
+// queries sorted by decreasing bid, admitted until the first that does not
+// fit; every winner pays the bid of the first losing query. GV is
+// strategyproof (it is a k-unit (k+1)st-price auction over whatever number
+// of queries happens to fit) but admits no profit guarantee.
+type gv struct{}
+
+// NewGV returns the GV mechanism.
+func NewGV() Mechanism { return gv{} }
+
+func (gv) Name() string { return "GV" }
+
+func (gv) Run(p *query.Pool, capacity float64) *Outcome {
+	n := p.NumQueries()
+	pri := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pri[i] = p.Bid(query.QueryID(i))
+	}
+	order := byPriority(n, pri)
+
+	tracker := query.NewLoadTracker(p)
+	winners := make([]query.QueryID, 0, n)
+	payments := make([]float64, n)
+	for pos, id := range order {
+		rem := tracker.Remaining(id)
+		if !fits(tracker, rem, capacity) {
+			price := p.Bid(order[pos])
+			for _, w := range winners {
+				payments[w] = price
+			}
+			break
+		}
+		tracker.Admit(id)
+		winners = append(winners, id)
+	}
+	return newOutcome("GV", p, capacity, winners, payments)
+}
+
+// randomMech is the random-admission baseline from the paper's Table IV:
+// pick queries uniformly at random, stop at the first that does not fit the
+// remaining capacity. It charges nothing — it exists purely as a runtime
+// (and utilization) baseline, not as an auction.
+type randomMech struct {
+	seed int64
+}
+
+// NewRandom returns the random-admission baseline. The seed makes runs
+// reproducible; distinct instances (or distinct pools) explore distinct
+// orders.
+func NewRandom(seed int64) Mechanism { return &randomMech{seed: seed} }
+
+func (*randomMech) Name() string { return "Random" }
+
+func (m *randomMech) Run(p *query.Pool, capacity float64) *Outcome {
+	n := p.NumQueries()
+	rng := rand.New(rand.NewSource(m.seed))
+	order := rng.Perm(n)
+	tracker := query.NewLoadTracker(p)
+	winners := make([]query.QueryID, 0, n)
+	for _, i := range order {
+		id := query.QueryID(i)
+		rem := tracker.Remaining(id)
+		if !fits(tracker, rem, capacity) {
+			break
+		}
+		tracker.Admit(id)
+		winners = append(winners, id)
+	}
+	return newOutcome("Random", p, capacity, winners, make([]float64, n))
+}

@@ -1,0 +1,258 @@
+package auction_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/auction"
+	"repro/internal/query"
+)
+
+// randomPool builds an arbitrary valid pool with operator sharing.
+func randomPool(rng *rand.Rand) *query.Pool {
+	b := query.NewBuilder()
+	numOps := 1 + rng.Intn(15)
+	ops := make([]query.OperatorID, numOps)
+	for i := range ops {
+		ops[i] = b.AddOperator(0.5 + rng.Float64()*9.5)
+	}
+	numQueries := 2 + rng.Intn(12)
+	for q := 0; q < numQueries; q++ {
+		k := 1 + rng.Intn(min(4, numOps))
+		chosen := rng.Perm(numOps)[:k]
+		ids := make([]query.OperatorID, k)
+		for i, c := range chosen {
+			ids[i] = ops[c]
+		}
+		bid := 1 + rng.Float64()*99
+		b.AddQueryValued(bid, bid, q, ids...)
+	}
+	return b.MustBuild()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func allMechanisms() []auction.Mechanism {
+	return []auction.Mechanism{
+		auction.NewCAR(),
+		auction.NewCAF(),
+		auction.NewCAFPlus(),
+		auction.NewCAT(),
+		auction.NewCATPlus(),
+		auction.NewGV(),
+		auction.NewTwoPrice(11),
+		auction.NewRandom(11),
+		auction.NewOptConstant(),
+	}
+}
+
+// TestUniversalInvariants property-checks every mechanism on random pools:
+// capacity feasibility, losers pay zero, payments within [0, bid], winner
+// lists deduplicated.
+func TestUniversalInvariants(t *testing.T) {
+	f := func(seed int64, capScale uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPool(rng)
+		all := make([]query.QueryID, p.NumQueries())
+		for i := range all {
+			all[i] = query.QueryID(i)
+		}
+		capacity := p.AggregateLoad(all) * (0.1 + float64(capScale%100)/100)
+		for _, m := range allMechanisms() {
+			out := m.Run(p, capacity)
+			if err := out.Validate(); err != nil {
+				t.Logf("mechanism %s: %v", m.Name(), err)
+				return false
+			}
+			seen := map[query.QueryID]bool{}
+			for _, w := range out.Winners {
+				if seen[w] {
+					t.Logf("mechanism %s: duplicate winner %d", m.Name(), w)
+					return false
+				}
+				seen[w] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterminism verifies mechanisms are pure functions of their inputs
+// (the randomized ones are seeded).
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomPool(rng)
+	for _, m := range allMechanisms() {
+		a := m.Run(p, 20)
+		b := m.Run(p, 20)
+		if len(a.Winners) != len(b.Winners) {
+			t.Fatalf("%s: winner counts differ between runs", m.Name())
+		}
+		for i := range a.Winners {
+			if a.Winners[i] != b.Winners[i] {
+				t.Fatalf("%s: winners differ between runs", m.Name())
+			}
+		}
+		for i := range a.Payments {
+			if a.Payments[i] != b.Payments[i] {
+				t.Fatalf("%s: payments differ between runs", m.Name())
+			}
+		}
+	}
+}
+
+// TestPrefixVsSkip: the + variants admit a superset of queries whenever a
+// large query blocks the prefix but later small queries fit.
+func TestPrefixVsSkip(t *testing.T) {
+	b := query.NewBuilder()
+	big := b.AddOperator(8)
+	mid := b.AddOperator(5)
+	small := b.AddOperator(1)
+	b.AddQuery(80, big)  // density 10, admitted first
+	b.AddQuery(45, mid)  // density 9, does not fit after big (8+5 > 10)
+	b.AddQuery(5, small) // density 5, fits in the leftover
+	p := b.MustBuild()
+
+	caf := auction.NewCAF().Run(p, 10)
+	if len(caf.Winners) != 1 || caf.Winners[0] != 0 {
+		t.Fatalf("CAF winners = %v, want [0] (prefix stops at first non-fit)", caf.Winners)
+	}
+	cafPlus := auction.NewCAFPlus().Run(p, 10)
+	if len(cafPlus.Winners) != 2 || !cafPlus.IsWinner(0) || !cafPlus.IsWinner(2) {
+		t.Fatalf("CAF+ winners = %v, want {0, 2} (skips the non-fitting query)", cafPlus.Winners)
+	}
+}
+
+// TestCAFPaymentIsFirstLoserRate pins Algorithm 1 step 5 on a no-sharing
+// instance where fair-share equals total load.
+func TestCAFPaymentIsFirstLoserRate(t *testing.T) {
+	b := query.NewBuilder()
+	o1 := b.AddOperator(2)
+	o2 := b.AddOperator(4)
+	o3 := b.AddOperator(5)
+	b.AddQuery(20, o1) // density 10
+	b.AddQuery(24, o2) // density 6
+	b.AddQuery(20, o3) // density 4 -> first loser (2+4+5 > 8)
+	p := b.MustBuild()
+	out := auction.NewCAF().Run(p, 8)
+	if len(out.Winners) != 2 {
+		t.Fatalf("winners = %v, want two", out.Winners)
+	}
+	// Unit price = 20/5 = 4; q0 pays 2*4=8, q1 pays 4*4=16.
+	if !almost(out.Payment(0), 8) || !almost(out.Payment(1), 16) {
+		t.Errorf("payments = %v / %v, want 8 / 16", out.Payment(0), out.Payment(1))
+	}
+}
+
+// TestNoLoserMeansFreeService: when every query fits, threshold pricing has
+// no first loser and everyone is served at price zero.
+func TestNoLoserMeansFreeService(t *testing.T) {
+	b := query.NewBuilder()
+	o1 := b.AddOperator(1)
+	o2 := b.AddOperator(2)
+	b.AddQuery(10, o1)
+	b.AddQuery(20, o2)
+	p := b.MustBuild()
+	for _, m := range []auction.Mechanism{auction.NewCAF(), auction.NewCAT(), auction.NewCAR(), auction.NewGV()} {
+		out := m.Run(p, 100)
+		if len(out.Winners) != 2 {
+			t.Errorf("%s admitted %d, want 2", m.Name(), len(out.Winners))
+		}
+		if out.Profit() != 0 {
+			t.Errorf("%s profit = %v, want 0 with no loser", m.Name(), out.Profit())
+		}
+	}
+}
+
+// TestGVPayments: all winners pay the first losing bid.
+func TestGVPayments(t *testing.T) {
+	b := query.NewBuilder()
+	o1 := b.AddOperator(4)
+	o2 := b.AddOperator(4)
+	o3 := b.AddOperator(4)
+	b.AddQuery(90, o1)
+	b.AddQuery(70, o2)
+	b.AddQuery(50, o3)
+	p := b.MustBuild()
+	out := auction.NewGV().Run(p, 8)
+	if len(out.Winners) != 2 {
+		t.Fatalf("winners = %v, want 2", out.Winners)
+	}
+	if !almost(out.Payment(0), 50) || !almost(out.Payment(1), 50) {
+		t.Errorf("payments = %v / %v, want 50 / 50 (first losing bid)", out.Payment(0), out.Payment(1))
+	}
+}
+
+// TestGVSharedCapacityCheck: GV's capacity check exploits sharing like the
+// density mechanisms.
+func TestGVSharedCapacityCheck(t *testing.T) {
+	b := query.NewBuilder()
+	shared := b.AddOperator(6)
+	solo := b.AddOperator(3)
+	b.AddQuery(90, shared)
+	b.AddQuery(70, shared, solo)
+	p := b.MustBuild()
+	out := auction.NewGV().Run(p, 9)
+	if len(out.Winners) != 2 {
+		t.Fatalf("winners = %v, want both (aggregate load 9 fits)", out.Winners)
+	}
+}
+
+// TestRandomBaseline: admits a feasible prefix and charges nothing.
+func TestRandomBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomPool(rng)
+	out := auction.NewRandom(9).Run(p, 15)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Profit() != 0 {
+		t.Errorf("random baseline profit = %v, want 0", out.Profit())
+	}
+}
+
+// TestCARStopsAtFirstNonFit pins the paper's Example-1 narration: the third
+// iteration encounters q3, which does not fit, and the auction stops there.
+func TestCARStopsAtFirstNonFit(t *testing.T) {
+	p, capacity := query.Example1()
+	out := auction.NewCAR().Run(p, capacity)
+	if out.IsWinner(2) {
+		t.Error("q3 must lose")
+	}
+	// q_lost = q3 with remaining load 10 and bid 100: unit price 10.
+	if !almost(out.Payment(1), 60) {
+		t.Errorf("q2 pays %v, want 60 = admission-time C_R 6 × unit 10", out.Payment(1))
+	}
+}
+
+// TestCARZeroRemainingLoadRidesFree: a query whose operators are all
+// provisioned by earlier winners has infinite priority and zero incremental
+// load.
+func TestCARZeroRemainingLoadRidesFree(t *testing.T) {
+	b := query.NewBuilder()
+	shared := b.AddOperator(5)
+	solo := b.AddOperator(6)
+	b.AddQuery(50, shared) // density 10, picked first
+	b.AddQuery(1, shared)  // rides free after q0
+	b.AddQuery(60, solo)   // density 10, but does not fit after q0
+	p := b.MustBuild()
+	out := auction.NewCAR().Run(p, 10)
+	if !out.IsWinner(0) || !out.IsWinner(1) {
+		t.Fatalf("winners = %v, want q0 and q1", out.Winners)
+	}
+	if out.IsWinner(2) {
+		t.Error("q2 cannot fit")
+	}
+	if !almost(out.Payment(1), 0) {
+		t.Errorf("free-riding q1 pays %v, want 0 (zero remaining load)", out.Payment(1))
+	}
+}

@@ -1,0 +1,128 @@
+package auction
+
+import (
+	"sort"
+
+	"repro/internal/query"
+)
+
+// optConstant computes the optimal constant-pricing profit OPT_C (paper
+// Section IV-D): the best profit attainable by any valid single price p,
+// where every query bidding strictly above p must be admitted (and must
+// fit), queries bidding exactly p may be admitted or not, and every winner
+// pays p.
+//
+// OPT_C is a benchmark, not a strategyproof mechanism; the Two-price profit
+// guarantee (Theorem 11) is stated against it. Candidate prices need only be
+// the distinct bid values: for a fixed set of mandatory winners the profit
+// p·|winners| is maximized by pushing p up to the next bid.
+type optConstant struct{}
+
+// NewOptConstant returns the OPT_C benchmark as a Mechanism so it can run in
+// the same experiment harness as the real mechanisms.
+func NewOptConstant() Mechanism { return optConstant{} }
+
+func (optConstant) Name() string { return "OPT_C" }
+
+func (optConstant) Run(p *query.Pool, capacity float64) *Outcome {
+	n := p.NumQueries()
+	order := make([]query.QueryID, n)
+	for i := range order {
+		order[i] = query.QueryID(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ba, bb := p.Bid(order[a]), p.Bid(order[b])
+		if ba != bb {
+			return ba > bb
+		}
+		return order[a] < order[b]
+	})
+
+	bestProfit := 0.0
+	var bestWinners []query.QueryID
+	var bestPrice float64
+
+	// Sweep candidate prices from the highest bid down. mandatory is the
+	// prefix of queries bidding strictly above the candidate price; its
+	// aggregate load is maintained incrementally.
+	tracker := query.NewLoadTracker(p)
+	mandatory := make([]query.QueryID, 0, n)
+	feasible := true
+	i := 0
+	for i < n {
+		price := p.Bid(order[i])
+		// The tie block: every query bidding exactly price.
+		j := i
+		for j < n && p.Bid(order[j]) == price {
+			j++
+		}
+		if !feasible {
+			break
+		}
+		// Winners so far: mandatory (all > price). Optionally add tie-block
+		// members while they fit, packing smallest remaining load first to
+		// maximize the count.
+		winners := append([]query.QueryID(nil), mandatory...)
+		winners = append(winners, packTies(p, capacity, tracker, order[i:j])...)
+		if profit := price * float64(len(winners)); profit > bestProfit {
+			bestProfit, bestWinners, bestPrice = profit, winners, price
+		}
+		// Absorb the tie block into mandatory for the next (lower) price.
+		for _, id := range order[i:j] {
+			rem := tracker.Remaining(id)
+			if !fits(tracker, rem, capacity) {
+				feasible = false
+				break
+			}
+			tracker.Admit(id)
+			mandatory = append(mandatory, id)
+		}
+		i = j
+	}
+
+	payments := make([]float64, n)
+	for _, w := range bestWinners {
+		payments[w] = bestPrice
+	}
+	return newOutcome("OPT_C", p, capacity, bestWinners, payments)
+}
+
+// packTies greedily admits tie-block queries by smallest remaining load over
+// the mandatory tracker without mutating it, returning the admitted subset.
+func packTies(p *query.Pool, capacity float64, base *query.LoadTracker, ties []query.QueryID) []query.QueryID {
+	if len(ties) == 0 {
+		return nil
+	}
+	scratch := query.NewLoadTracker(p)
+	load := base.Load()
+	remainingOf := func(id query.QueryID) float64 {
+		var sum float64
+		for _, op := range p.Query(id).Operators {
+			if !base.Provisioned(op) && !scratch.Provisioned(op) {
+				sum += p.Operator(op).Load
+			}
+		}
+		return sum
+	}
+	pending := append([]query.QueryID(nil), ties...)
+	var chosen []query.QueryID
+	for len(pending) > 0 {
+		bestIdx := -1
+		bestRem := 0.0
+		for k, id := range pending {
+			rem := remainingOf(id)
+			if bestIdx == -1 || rem < bestRem {
+				bestIdx, bestRem = k, rem
+			}
+		}
+		if load+bestRem > capacity+fitEps {
+			break
+		}
+		id := pending[bestIdx]
+		load += bestRem
+		scratch.Admit(id)
+		chosen = append(chosen, id)
+		pending = append(pending[:bestIdx], pending[bestIdx+1:]...)
+	}
+	return chosen
+}

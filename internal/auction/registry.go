@@ -1,0 +1,47 @@
+package auction
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ByName constructs a mechanism from its paper name ("CAR", "CAF", "CAF+",
+// "CAT", "CAT+", "GV", "Two-price", "Random", "OPT_C"). The seed drives the
+// randomized mechanisms and is ignored by the deterministic ones.
+func ByName(name string, seed int64) (Mechanism, error) {
+	switch name {
+	case "CAR":
+		return NewCAR(), nil
+	case "CAF":
+		return NewCAF(), nil
+	case "CAF+":
+		return NewCAFPlus(), nil
+	case "CAT":
+		return NewCAT(), nil
+	case "CAT+":
+		return NewCATPlus(), nil
+	case "GV":
+		return NewGV(), nil
+	case "Two-price":
+		return NewTwoPrice(seed), nil
+	case "Random":
+		return NewRandom(seed), nil
+	case "OPT_C":
+		return NewOptConstant(), nil
+	case "OPT_W":
+		return NewOptWelfare(0), nil
+	case "VCG":
+		return NewVCG(0), nil
+	default:
+		return nil, fmt.Errorf("auction: unknown mechanism %q (have %v)", name, Names())
+	}
+}
+
+// Names lists every mechanism name accepted by ByName, sorted. OPT_C, OPT_W
+// and VCG are benchmarks rather than deployable mechanisms (the first two
+// charge constant/no prices; VCG is exponential).
+func Names() []string {
+	names := []string{"CAR", "CAF", "CAF+", "CAT", "CAT+", "GV", "Two-price", "Random", "OPT_C", "OPT_W", "VCG"}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,83 @@
+package auction
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+)
+
+// reserve wraps a density mechanism with a reserve price per unit of load:
+// queries whose per-unit bid falls below the reserve are excluded before the
+// auction, and every winner pays at least reserve × load.
+//
+// This is the mechanism-level rendering of the paper's Section VII
+// observation that running at full capacity can collapse prices: a reserve
+// floor keeps the threshold price from being driven to zero when sharing
+// (or over-capacity) lets everyone in, at the cost of admitting fewer
+// queries. Monotonicity and critical-value pricing are preserved — the
+// critical value simply becomes max(threshold, reserve × load) — so the
+// wrapped mechanism stays bid-strategyproof.
+type reserve struct {
+	inner   *density
+	perUnit float64
+}
+
+// NewReserveCAT returns CAT with a per-unit-load reserve price.
+func NewReserveCAT(perUnit float64) (Mechanism, error) {
+	if perUnit < 0 {
+		return nil, fmt.Errorf("auction: reserve price must be non-negative, got %g", perUnit)
+	}
+	return &reserve{inner: &density{name: "CAT", notion: Total}, perUnit: perUnit}, nil
+}
+
+// MustReserveCAT is NewReserveCAT that panics on error.
+func MustReserveCAT(perUnit float64) Mechanism {
+	m, err := NewReserveCAT(perUnit)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (r *reserve) Name() string { return fmt.Sprintf("CAT-R%g", r.perUnit) }
+
+func (r *reserve) Run(p *query.Pool, capacity float64) *Outcome {
+	n := p.NumQueries()
+	// Exclude below-reserve queries by running the inner mechanism on a pool
+	// where their bids are zeroed (zero-bid queries sort last and, if they
+	// ever fit, pay at least the reserve check below keeps them out).
+	loads := make([]float64, n)
+	eligible := make([]bool, n)
+	b := query.NewBuilder()
+	for _, op := range p.Operators() {
+		b.AddOperator(op.Load)
+	}
+	for _, q := range p.Queries() {
+		loads[q.ID] = r.inner.notion.loadOf(p, q.ID)
+		bid := q.Bid
+		if bid < r.perUnit*loads[q.ID] {
+			bid = 0
+		} else {
+			eligible[q.ID] = true
+		}
+		b.AddQueryValued(bid, q.Value, q.User, q.Operators...)
+	}
+	masked := b.MustBuild()
+
+	inner := r.inner.Run(masked, capacity)
+	winners := make([]query.QueryID, 0, len(inner.Winners))
+	payments := make([]float64, n)
+	for _, w := range inner.Winners {
+		if !eligible[w] {
+			continue
+		}
+		winners = append(winners, w)
+		floor := r.perUnit * loads[w]
+		if pay := inner.Payment(w); pay > floor {
+			payments[w] = pay
+		} else {
+			payments[w] = floor
+		}
+	}
+	return newOutcome(r.Name(), p, capacity, winners, payments)
+}

@@ -1,0 +1,121 @@
+package auction_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/query"
+)
+
+func TestReserveValidation(t *testing.T) {
+	if _, err := auction.NewReserveCAT(-1); err == nil {
+		t.Error("want error for negative reserve")
+	}
+	if m := auction.MustReserveCAT(2); m.Name() != "CAT-R2" {
+		t.Errorf("name = %q", m.Name())
+	}
+}
+
+func TestZeroReserveMatchesCAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		p := randomPool(rng)
+		plain := auction.NewCAT().Run(p, 20)
+		reserved := auction.MustReserveCAT(0).Run(p, 20)
+		if len(plain.Winners) != len(reserved.Winners) {
+			t.Fatalf("winner counts differ: %d vs %d", len(plain.Winners), len(reserved.Winners))
+		}
+		for i := range plain.Winners {
+			if plain.Winners[i] != reserved.Winners[i] {
+				t.Fatal("winner sets differ at zero reserve")
+			}
+		}
+		for i := range plain.Payments {
+			if plain.Payments[i] != reserved.Payments[i] {
+				t.Fatal("payments differ at zero reserve")
+			}
+		}
+	}
+}
+
+// TestReserveFloorsPayments: when everything fits (threshold price zero),
+// the reserve keeps profit positive — the Section VII fix in action.
+func TestReserveFloorsPayments(t *testing.T) {
+	b := query.NewBuilder()
+	o1 := b.AddOperator(2)
+	o2 := b.AddOperator(3)
+	b.AddQuery(20, o1) // density 10
+	b.AddQuery(30, o2) // density 10
+	p := b.MustBuild()
+	plain := auction.NewCAT().Run(p, 100)
+	if plain.Profit() != 0 {
+		t.Fatalf("plain CAT profit = %v, want 0 (no loser)", plain.Profit())
+	}
+	reserved := auction.MustReserveCAT(4).Run(p, 100)
+	if len(reserved.Winners) != 2 {
+		t.Fatalf("winners = %v, want both (densities above reserve)", reserved.Winners)
+	}
+	if got := reserved.Profit(); got != 4*2+4*3 {
+		t.Errorf("reserved profit = %v, want 20", got)
+	}
+	if err := reserved.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReserveExcludesBelowFloor: a query bidding under reserve × load never
+// wins, even with free capacity.
+func TestReserveExcludesBelowFloor(t *testing.T) {
+	b := query.NewBuilder()
+	o1 := b.AddOperator(2)
+	o2 := b.AddOperator(2)
+	b.AddQuery(20, o1) // density 10 ≥ reserve
+	b.AddQuery(6, o2)  // density 3 < reserve 5
+	p := b.MustBuild()
+	out := auction.MustReserveCAT(5).Run(p, 100)
+	if !out.IsWinner(0) || out.IsWinner(1) {
+		t.Fatalf("winners = %v, want only the above-reserve query", out.Winners)
+	}
+}
+
+// TestReserveMonotone: raising a winner's bid keeps her winning (the wrap
+// preserves bid-strategyproofness's monotonicity half).
+func TestReserveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := auction.MustReserveCAT(1.5)
+	for trial := 0; trial < 15; trial++ {
+		p := randomPool(rng)
+		out := m.Run(p, 15)
+		for _, w := range out.Winners {
+			raised := m.Run(p.WithBid(w, p.Bid(w)*2), 15)
+			if !raised.IsWinner(w) {
+				t.Fatalf("trial %d: winner %d lost after raising bid", trial, w)
+			}
+		}
+	}
+}
+
+// TestReserveProfitCanBeatPlainCAT: on an over-capacity instance the
+// reserve recovers profit plain CAT loses; on a tight instance it may cost
+// admissions. This is the tradeoff the Section VII discussion predicts.
+func TestReserveProfitCanBeatPlainCAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	better := 0
+	for trial := 0; trial < 30; trial++ {
+		p := randomPool(rng)
+		all := make([]query.QueryID, p.NumQueries())
+		for i := range all {
+			all[i] = query.QueryID(i)
+		}
+		capacity := p.AggregateLoad(all) * 2 // everything fits: plain profit 0
+		plain := auction.NewCAT().Run(p, capacity).Profit()
+		reserved := auction.MustReserveCAT(1).Run(p, capacity).Profit()
+		if reserved > plain {
+			better++
+		}
+	}
+	if better < 25 {
+		t.Errorf("reserve beat plain CAT in only %d/30 over-capacity trials", better)
+	}
+}

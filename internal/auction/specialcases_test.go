@@ -1,0 +1,116 @@
+package auction_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/query"
+)
+
+// TestCATReducesToKPlusOnePrice: the paper's Section III special case —
+// with no sharing and identical query loads, room for k queries, the
+// density mechanisms become the k-unit (k+1)st-price auction: the k highest
+// bidders win and each pays the (k+1)st bid.
+func TestCATReducesToKPlusOnePrice(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(8)
+		b := query.NewBuilder()
+		bids := make([]float64, n)
+		for i := 0; i < n; i++ {
+			op := b.AddOperator(2) // identical loads, no sharing
+			bids[i] = 1 + rng.Float64()*99
+			b.AddQuery(bids[i], op)
+		}
+		p := b.MustBuild()
+		k := 1 + rng.Intn(n-1)
+		capacity := float64(2 * k)
+
+		for _, m := range []auction.Mechanism{auction.NewCAF(), auction.NewCAT(), auction.NewGV()} {
+			out := m.Run(p, capacity)
+			if len(out.Winners) != k {
+				t.Fatalf("%s admitted %d, want k=%d", m.Name(), len(out.Winners), k)
+			}
+			sorted := append([]float64(nil), bids...)
+			sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+			kth1 := sorted[k] // the (k+1)st highest bid
+			for _, w := range out.Winners {
+				wantPay := kth1
+				if m.Name() != "GV" {
+					wantPay = 2 * (kth1 / 2) // density price × load == bid
+				}
+				if !almost(out.Payment(w), wantPay) {
+					t.Fatalf("%s: winner %d pays %v, want (k+1)st bid %v", m.Name(), w, out.Payment(w), wantPay)
+				}
+				// Winners are exactly the top-k bidders.
+				if bids[w] < kth1 {
+					t.Fatalf("%s: winner %d bid %v below the (k+1)st bid %v", m.Name(), w, bids[w], kth1)
+				}
+			}
+		}
+	}
+}
+
+// TestNoSharingDensityEqualsFairShare: without sharing, C_SF == C_T, so CAF
+// and CAT coincide exactly.
+func TestNoSharingDensityEqualsFairShare(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(8)
+		b := query.NewBuilder()
+		for i := 0; i < n; i++ {
+			op := b.AddOperator(0.5 + rng.Float64()*9.5)
+			b.AddQuery(1+rng.Float64()*99, op)
+		}
+		p := b.MustBuild()
+		capacity := 10 + rng.Float64()*20
+		caf := auction.NewCAF().Run(p, capacity)
+		cat := auction.NewCAT().Run(p, capacity)
+		if len(caf.Winners) != len(cat.Winners) {
+			t.Fatalf("winner counts differ without sharing: %d vs %d", len(caf.Winners), len(cat.Winners))
+		}
+		for i := range caf.Winners {
+			if caf.Winners[i] != cat.Winners[i] {
+				t.Fatal("winner sets differ without sharing")
+			}
+		}
+		for i := range caf.Payments {
+			if !almost(caf.Payments[i], cat.Payments[i]) {
+				t.Fatalf("payments differ without sharing: %v vs %v", caf.Payments[i], cat.Payments[i])
+			}
+		}
+	}
+}
+
+// TestKnapsackAuctionShape: no sharing but heterogeneous loads — the
+// knapsack-auction setting of Aggarwal & Hartline. Density selection must
+// dominate bid-order selection in welfare per capacity on load-skewed
+// instances.
+func TestKnapsackAuctionShape(t *testing.T) {
+	b := query.NewBuilder()
+	oBig := b.AddOperator(10)
+	o1 := b.AddOperator(1)
+	o2 := b.AddOperator(1)
+	o3 := b.AddOperator(1)
+	b.AddQuery(12, oBig) // highest bid, terrible density
+	b.AddQuery(10, o1)
+	b.AddQuery(9, o2)
+	b.AddQuery(8, o3)
+	p := b.MustBuild()
+	const capacity = 10
+
+	gv := auction.NewGV().Run(p, capacity)
+	if !gv.IsWinner(0) {
+		t.Fatal("GV must take the highest bid first")
+	}
+	cat := auction.NewCAT().Run(p, capacity)
+	if cat.IsWinner(0) {
+		t.Fatal("CAT must skip the low-density query")
+	}
+	if auction.Welfare(cat) <= auction.Welfare(gv) {
+		t.Errorf("density welfare %v should beat bid-order %v here",
+			auction.Welfare(cat), auction.Welfare(gv))
+	}
+}

@@ -1,0 +1,300 @@
+package auction
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// TwoPrice implements the paper's randomized Two-price mechanism
+// (Algorithm 3), the only proposed mechanism with a provable profit
+// guarantee: in expectation its profit is at least OPT_C − 2h, where OPT_C
+// is the optimal constant-pricing profit and h the largest valuation
+// (Theorem 11).
+//
+// Phases:
+//  1. Sort queries by decreasing bid; H is the maximal prefix that fits.
+//  2. (Step 3) If the last query of H ties the first loser's bid, the tie
+//     set D is re-packed: H keeps H−D plus the largest subset of D that
+//     still fits. This exhaustive step is exponential in |D|; above
+//     Step3Limit duplicates it falls back to the polynomial variant the
+//     paper analyzes in Theorem 12 (largest-cardinality greedy re-pack).
+//  3. H is split uniformly at random into halves A and B; each half's
+//     optimal constant price is offered to the other half (the
+//     random-sampling optimal-price auction of Goldberg et al.).
+type TwoPrice struct {
+	seed int64
+	// Step3Limit bounds the exhaustive tie-set search; tie sets larger than
+	// this use the greedy re-pack instead (the paper's polynomial-time
+	// variant). Zero disables Step 3 entirely.
+	Step3Limit int
+	// IndependentFlips switches Step 4 from the even uniformly-random
+	// partition to independent per-query coin flips — the variant the paper
+	// discusses at the end of Section V-C.
+	IndependentFlips bool
+	// FreeWhenEmptySample sets the sampled price of an empty half to zero
+	// (the opposite half is served free) instead of +Inf (nobody wins).
+	// The paper's Section V-C sybil-attack example requires this
+	// convention; the default +Inf is the conservative choice.
+	FreeWhenEmptySample bool
+}
+
+// DefaultStep3Limit is the largest tie set re-packed exhaustively by
+// default: 2^18 subsets is still sub-millisecond work.
+const DefaultStep3Limit = 18
+
+// NewTwoPrice returns a Two-price mechanism with the default Step 3 limit.
+// The seed drives the random partition, making runs reproducible.
+func NewTwoPrice(seed int64) *TwoPrice {
+	return &TwoPrice{seed: seed, Step3Limit: DefaultStep3Limit}
+}
+
+// Name implements Mechanism.
+func (*TwoPrice) Name() string { return "Two-price" }
+
+// Run implements Mechanism.
+func (m *TwoPrice) Run(p *query.Pool, capacity float64) *Outcome {
+	rng := rand.New(rand.NewSource(m.seed))
+	return m.runWith(p, capacity, rng)
+}
+
+// RunWith executes the auction with caller-supplied randomness; the
+// gametheory package and expectation tests use it to control or average
+// over the coin flips.
+func (m *TwoPrice) RunWith(p *query.Pool, capacity float64, rng *rand.Rand) *Outcome {
+	return m.runWith(p, capacity, rng)
+}
+
+func (m *TwoPrice) runWith(p *query.Pool, capacity float64, rng *rand.Rand) *Outcome {
+	n := p.NumQueries()
+	pri := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pri[i] = p.Bid(query.QueryID(i))
+	}
+	order := byPriority(n, pri)
+
+	// Steps 1-2: H = maximal prefix that fits.
+	tracker := query.NewLoadTracker(p)
+	h := make([]query.QueryID, 0, n)
+	lost := -1
+	for pos, id := range order {
+		rem := tracker.Remaining(id)
+		if !fits(tracker, rem, capacity) {
+			lost = pos
+			break
+		}
+		tracker.Admit(id)
+		h = append(h, id)
+	}
+
+	// Step 3: re-pack the tie set if the boundary bids collide.
+	if lost >= 0 && len(h) > 0 {
+		vL := p.Bid(order[lost])
+		if p.Bid(h[len(h)-1]) == vL {
+			h = m.repackTies(p, capacity, order, vL)
+		}
+	}
+
+	payments := make([]float64, n)
+	if len(h) == 0 {
+		return newOutcome(m.Name(), p, capacity, nil, payments)
+	}
+
+	// Step 4: partition H into A and B — evenly at random by default, by
+	// independent coin flips in the IndependentFlips variant.
+	var a, b []query.QueryID
+	if m.IndependentFlips {
+		for _, id := range h {
+			if rng.Intn(2) == 0 {
+				a = append(a, id)
+			} else {
+				b = append(b, id)
+			}
+		}
+	} else {
+		shuffled := append([]query.QueryID(nil), h...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		mid := len(shuffled) / 2
+		a, b = shuffled[:mid], shuffled[mid:]
+	}
+
+	// Steps 5-6: each half prices the other.
+	pa := m.samplePrice(p, a)
+	pb := m.samplePrice(p, b)
+	var winners []query.QueryID
+	for _, id := range b {
+		if p.Bid(id) > pa {
+			winners = append(winners, id)
+			payments[id] = pa
+		}
+	}
+	for _, id := range a {
+		if p.Bid(id) > pb {
+			winners = append(winners, id)
+			payments[id] = pb
+		}
+	}
+	sort.Slice(winners, func(i, j int) bool { return winners[i] < winners[j] })
+	return newOutcome(m.Name(), p, capacity, winners, payments)
+}
+
+// repackTies implements Step 3: D is every query bidding vL, H' the fitting
+// prefix above the tie, and H becomes H' plus the largest subset of D that
+// fits alongside H'.
+func (m *TwoPrice) repackTies(p *query.Pool, capacity float64, order []query.QueryID, vL float64) []query.QueryID {
+	base := query.NewLoadTracker(p)
+	var hPrime []query.QueryID
+	var ties []query.QueryID
+	for _, id := range order {
+		bid := p.Bid(id)
+		if bid > vL {
+			// H' is the prefix strictly above the tie bid; it fits because H
+			// (a superset restricted to a prefix) fit.
+			if fits(base, base.Remaining(id), capacity) {
+				base.Admit(id)
+				hPrime = append(hPrime, id)
+			}
+			continue
+		}
+		if bid == vL {
+			ties = append(ties, id)
+		}
+	}
+	var best []query.QueryID
+	if len(ties) <= m.Step3Limit {
+		best = largestFittingSubset(p, capacity, base, ties)
+	} else {
+		best = greedyFittingSubset(p, capacity, base, ties)
+	}
+	return append(hPrime, best...)
+}
+
+// largestFittingSubset exhaustively searches the subsets of ties for the
+// largest one whose members all fit alongside the already-admitted base set.
+// Exponential in len(ties) — callers bound it.
+func largestFittingSubset(p *query.Pool, capacity float64, base *query.LoadTracker, ties []query.QueryID) []query.QueryID {
+	baseLoad := base.Load()
+	var best []query.QueryID
+	for mask := 0; mask < 1<<len(ties); mask++ {
+		count := popcount(mask)
+		if count <= len(best) {
+			continue
+		}
+		subset := make([]query.QueryID, 0, count)
+		for i, id := range ties {
+			if mask&(1<<i) != 0 {
+				subset = append(subset, id)
+			}
+		}
+		// Aggregate load of base ∪ subset must fit. Compute the subset's
+		// incremental load over the base tracker without mutating it.
+		if baseLoad+incrementalLoad(p, base, subset) <= capacity+fitEps {
+			best = subset
+		}
+	}
+	return best
+}
+
+// greedyFittingSubset approximates the largest fitting tie subset by
+// repeatedly admitting the tie query with the smallest remaining load. This
+// is the polynomial-time fallback (paper Theorem 12 analyses omitting Step 3
+// altogether; packing greedily only increases profit).
+func greedyFittingSubset(p *query.Pool, capacity float64, base *query.LoadTracker, ties []query.QueryID) []query.QueryID {
+	// t tracks operators provisioned by already-chosen ties; base tracks the
+	// operators of H'. A tie's remaining load excludes both.
+	t := query.NewLoadTracker(p)
+	load := base.Load()
+	remainingOf := func(id query.QueryID) float64 {
+		var sum float64
+		for _, op := range p.Query(id).Operators {
+			if !base.Provisioned(op) && !t.Provisioned(op) {
+				sum += p.Operator(op).Load
+			}
+		}
+		return sum
+	}
+	pending := append([]query.QueryID(nil), ties...)
+	var chosen []query.QueryID
+	for len(pending) > 0 {
+		bestIdx, bestRem := -1, math.Inf(1)
+		for i, id := range pending {
+			if rem := remainingOf(id); rem < bestRem {
+				bestIdx, bestRem = i, rem
+			}
+		}
+		if bestIdx == -1 || load+bestRem > capacity+fitEps {
+			break
+		}
+		id := pending[bestIdx]
+		load += bestRem
+		t.Admit(id)
+		chosen = append(chosen, id)
+		pending = append(pending[:bestIdx], pending[bestIdx+1:]...)
+	}
+	return chosen
+}
+
+// incrementalLoad returns the extra load the subset adds over the base
+// tracker, counting operators shared within the subset once.
+func incrementalLoad(p *query.Pool, base *query.LoadTracker, subset []query.QueryID) float64 {
+	seen := make(map[query.OperatorID]bool)
+	var sum float64
+	for _, id := range subset {
+		for _, op := range p.Query(id).Operators {
+			if base.Provisioned(op) || seen[op] {
+				continue
+			}
+			seen[op] = true
+			sum += p.Operator(op).Load
+		}
+	}
+	return sum
+}
+
+// samplePrice returns the half's sampled optimal constant price, applying
+// the configured empty-sample convention.
+func (m *TwoPrice) samplePrice(p *query.Pool, set []query.QueryID) float64 {
+	if len(set) == 0 {
+		if m.FreeWhenEmptySample {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return optimalConstantPrice(p, set)
+}
+
+// optimalConstantPrice returns the price p maximizing p × |{i in set :
+// bid_i ≥ p}| over the set's own bids — the sampled optimal constant price
+// of Algorithm 3 Step 5 (pX = v_k at k = argmax_i i·v_i). An empty set
+// yields +Inf so that no query can beat the price of an empty sample.
+func optimalConstantPrice(p *query.Pool, set []query.QueryID) float64 {
+	if len(set) == 0 {
+		return math.Inf(1)
+	}
+	bids := make([]float64, len(set))
+	for i, id := range set {
+		bids[i] = p.Bid(id)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(bids)))
+	bestProfit, bestPrice := math.Inf(-1), bids[0]
+	for i, v := range bids {
+		if profit := float64(i+1) * v; profit > bestProfit {
+			bestProfit, bestPrice = profit, v
+		}
+	}
+	return bestPrice
+}
+
+// popcount returns the number of set bits in mask.
+func popcount(mask int) int {
+	count := 0
+	for mask != 0 {
+		mask &= mask - 1
+		count++
+	}
+	return count
+}

@@ -1,0 +1,188 @@
+package auction_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/query"
+)
+
+// TestTwoPriceWinnersPayBelowBid: winners bid strictly above their charged
+// price, so every winner has strictly positive payoff.
+func TestTwoPriceWinnersPayBelowBid(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		p := randomPool(rng)
+		out := auction.NewTwoPrice(int64(trial)).Run(p, 25)
+		for _, w := range out.Winners {
+			if out.Payment(w) >= p.Bid(w) {
+				t.Fatalf("winner %d pays %v, bid %v: not strictly below", w, out.Payment(w), p.Bid(w))
+			}
+		}
+	}
+}
+
+// TestTwoPriceProfitGuarantee checks Theorem 11's bound in expectation:
+// E[profit] ≥ OPT_C − 2h, averaged over many coin sequences.
+func TestTwoPriceProfitGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		p := randomPool(rng)
+		all := make([]query.QueryID, p.NumQueries())
+		h := 0.0
+		for i := range all {
+			all[i] = query.QueryID(i)
+			if b := p.Bid(query.QueryID(i)); b > h {
+				h = b
+			}
+		}
+		capacity := p.AggregateLoad(all) * 0.6
+		optc := auction.NewOptConstant().Run(p, capacity).Profit()
+
+		mech := auction.NewTwoPrice(0)
+		const runs = 400
+		var sum float64
+		coins := rand.New(rand.NewSource(int64(trial)))
+		for r := 0; r < runs; r++ {
+			sum += mech.RunWith(p, capacity, coins).Profit()
+		}
+		expected := sum / runs
+		if expected < optc-2*h-1e-6 {
+			t.Errorf("trial %d: E[profit] = %.3f < OPT_C − 2h = %.3f − %.3f", trial, expected, optc, 2*h)
+		}
+	}
+}
+
+// TestTwoPriceStep3RepacksTies: when the H boundary falls inside a block of
+// equal bids, Step 3 re-packs the tie set to the largest fitting subset.
+func TestTwoPriceStep3RepacksTies(t *testing.T) {
+	b := query.NewBuilder()
+	oBig := b.AddOperator(6)
+	o1 := b.AddOperator(2)
+	o2 := b.AddOperator(2)
+	o3 := b.AddOperator(2)
+	b.AddQuery(90, oBig) // top bidder, load 6
+	// Three tied bidders at 50, loads 2 each; capacity 10 fits only two of
+	// them next to the top bidder.
+	b.AddQuery(50, o1)
+	b.AddQuery(50, o2)
+	b.AddQuery(50, o3)
+	p := b.MustBuild()
+
+	// With the naive prefix, H = {90, 50, 50} and the last H member ties the
+	// first loser (50): Step 3 must fire. The re-packed H keeps the top
+	// bidder plus the largest tie subset that fits — still three queries.
+	mech := auction.NewTwoPrice(123)
+	out := mech.Run(p, 10)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Winners) > 3 {
+		t.Fatalf("winners = %v exceed capacity plan", out.Winners)
+	}
+}
+
+// TestTwoPriceTinyInstances: degenerate sizes must not panic and must stay
+// feasible.
+func TestTwoPriceTinyInstances(t *testing.T) {
+	b := query.NewBuilder()
+	op := b.AddOperator(5)
+	b.AddQuery(10, op)
+	p := b.MustBuild()
+	for _, capacity := range []float64{0, 1, 5, 100} {
+		out := auction.NewTwoPrice(1).Run(p, capacity)
+		if err := out.Validate(); err != nil {
+			t.Fatalf("capacity %v: %v", capacity, err)
+		}
+		// A single query can never win: whichever half it lands in, the
+		// other half prices at +Inf or it must beat its own price.
+		if len(out.Winners) > 1 {
+			t.Fatalf("capacity %v: winners = %v", capacity, out.Winners)
+		}
+	}
+}
+
+// TestTwoPriceAdmitsFewer: the paper's Figure 4(a) observation — Two-price
+// admits a smaller share than the density mechanisms because it ignores
+// loads when selecting winners.
+func TestTwoPriceAdmitsFewer(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	lower, total := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		p := randomPool(rng)
+		all := make([]query.QueryID, p.NumQueries())
+		for i := range all {
+			all[i] = query.QueryID(i)
+		}
+		capacity := p.AggregateLoad(all) * 0.5
+		tp := auction.NewTwoPrice(int64(trial)).Run(p, capacity)
+		cat := auction.NewCAT().Run(p, capacity)
+		total++
+		if len(tp.Winners) <= len(cat.Winners) {
+			lower++
+		}
+	}
+	if lower*10 < total*7 {
+		t.Errorf("Two-price admitted fewer than CAT in only %d/%d trials", lower, total)
+	}
+}
+
+// TestOptConstantExact verifies OPT_C on a hand instance: bids 10, 6, 6, 1
+// with unit loads and room for three. Price 6 with three winners (the 10 and
+// both 6s) earns 18, beating price 10 (one winner) and price 1 (4 winners,
+// but only 3 fit — price 1 is invalid since all four must then be served).
+func TestOptConstantExact(t *testing.T) {
+	b := query.NewBuilder()
+	ops := []query.OperatorID{b.AddOperator(1), b.AddOperator(1), b.AddOperator(1), b.AddOperator(1)}
+	b.AddQuery(10, ops[0])
+	b.AddQuery(6, ops[1])
+	b.AddQuery(6, ops[2])
+	b.AddQuery(1, ops[3])
+	p := b.MustBuild()
+	out := auction.NewOptConstant().Run(p, 3)
+	if !almost(out.Profit(), 18) {
+		t.Fatalf("OPT_C profit = %v, want 18", out.Profit())
+	}
+	if len(out.Winners) != 3 || out.IsWinner(3) {
+		t.Fatalf("winners = %v, want the top three", out.Winners)
+	}
+}
+
+// TestOptConstantRespectsMandatoryFit: a price is invalid if the queries
+// bidding strictly above it cannot all fit.
+func TestOptConstantRespectsMandatoryFit(t *testing.T) {
+	b := query.NewBuilder()
+	o1 := b.AddOperator(6)
+	o2 := b.AddOperator(6)
+	o3 := b.AddOperator(1)
+	b.AddQuery(100, o1)
+	b.AddQuery(90, o2)
+	b.AddQuery(10, o3)
+	p := b.MustBuild()
+	// Capacity 7: {100, 90} never fit together, so every price below 90 is
+	// invalid. Price 90 serves only the mandatory 100-bidder (the tied
+	// 90-bidder no longer fits) for 90; price 100 may designate the
+	// exact-100 bidder a winner for 100 — the optimum.
+	out := auction.NewOptConstant().Run(p, 7)
+	if !almost(out.Profit(), 100) {
+		t.Fatalf("OPT_C profit = %v, want 100", out.Profit())
+	}
+}
+
+// TestOptConstantSharing: constant pricing's feasibility accounts for shared
+// operators.
+func TestOptConstantSharing(t *testing.T) {
+	b := query.NewBuilder()
+	shared := b.AddOperator(6)
+	b.AddQuery(10, shared)
+	b.AddQuery(10, shared)
+	b.AddQuery(10, shared)
+	p := b.MustBuild()
+	// All three share one load-6 operator: with capacity 6 every price is
+	// feasible; best is price 10 with all three designated winners = 30.
+	out := auction.NewOptConstant().Run(p, 6)
+	if !almost(out.Profit(), 30) {
+		t.Fatalf("OPT_C profit = %v, want 30", out.Profit())
+	}
+}

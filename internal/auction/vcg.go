@@ -1,0 +1,92 @@
+package auction
+
+import (
+	"sort"
+
+	"repro/internal/query"
+)
+
+// vcg is the Vickrey-Clarke-Groves mechanism over the shared-operator
+// admission problem: allocate the welfare-maximizing feasible set (the
+// exhaustive OPT_W search) and charge each winner her Clarke pivot — the
+// welfare the others lose by her presence. VCG is strategyproof and
+// welfare-optimal by construction, which makes it the natural theory
+// counterpoint to the paper's greedy mechanisms: the paper avoids it
+// because optimal selection is densest-subgraph-hard (Section III), and
+// this implementation is accordingly exponential — usable only at small n,
+// for ablations and tests.
+type vcg struct {
+	limit int
+}
+
+// NewVCG returns the VCG mechanism for instances of at most limit queries
+// (default 16 when limit <= 0). Larger instances fall back to the greedy
+// welfare heuristic for allocation, which forfeits the strategyproofness
+// guarantee — the whole point of the paper's cheaper mechanisms.
+func NewVCG(limit int) Mechanism {
+	if limit <= 0 {
+		limit = 16
+	}
+	return &vcg{limit: limit}
+}
+
+func (*vcg) Name() string { return "VCG" }
+
+func (m *vcg) Run(p *query.Pool, capacity float64) *Outcome {
+	n := p.NumQueries()
+	var winners []query.QueryID
+	if n <= m.limit {
+		winners = exhaustiveWelfare(p, capacity)
+	} else {
+		winners = greedyWelfare(p, capacity)
+	}
+	sort.Slice(winners, func(i, j int) bool { return winners[i] < winners[j] })
+
+	totalWelfare := 0.0
+	for _, w := range winners {
+		totalWelfare += p.Value(w)
+	}
+	payments := make([]float64, n)
+	if n <= m.limit {
+		for _, w := range winners {
+			// Clarke pivot: welfare of the others without i minus welfare of
+			// the others with i.
+			othersWithout := welfareWithout(p, capacity, w)
+			othersWith := totalWelfare - p.Value(w)
+			pay := othersWithout - othersWith
+			if pay < 0 {
+				pay = 0
+			}
+			payments[w] = pay
+		}
+	}
+	return newOutcome("VCG", p, capacity, winners, payments)
+}
+
+// welfareWithout returns the optimal welfare achievable when query exclude
+// is removed from the instance.
+func welfareWithout(p *query.Pool, capacity float64, exclude query.QueryID) float64 {
+	// Rebuild the pool without the excluded query. Operator degrees change,
+	// but only valuations and feasibility matter here.
+	b := query.NewBuilder()
+	for _, op := range p.Operators() {
+		b.AddOperator(op.Load)
+	}
+	ids := make([]query.QueryID, 0, p.NumQueries()-1)
+	for _, q := range p.Queries() {
+		if q.ID == exclude {
+			continue
+		}
+		ids = append(ids, b.AddQueryValued(q.Bid, q.Value, q.User, q.Operators...))
+	}
+	if len(ids) == 0 {
+		return 0
+	}
+	reduced := b.MustBuild()
+	best := exhaustiveWelfare(reduced, capacity)
+	sum := 0.0
+	for _, w := range best {
+		sum += reduced.Value(w)
+	}
+	return sum
+}

@@ -1,0 +1,137 @@
+package auction_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/gametheory"
+	"repro/internal/query"
+)
+
+// smallPool builds a random pool with at most 9 queries (VCG is
+// exponential).
+func smallPool(rng *rand.Rand) *query.Pool {
+	b := query.NewBuilder()
+	numOps := 1 + rng.Intn(8)
+	ops := make([]query.OperatorID, numOps)
+	for i := range ops {
+		ops[i] = b.AddOperator(0.5 + rng.Float64()*9.5)
+	}
+	numQueries := 2 + rng.Intn(7)
+	for q := 0; q < numQueries; q++ {
+		k := 1 + rng.Intn(minInt(3, numOps))
+		chosen := rng.Perm(numOps)[:k]
+		ids := make([]query.OperatorID, k)
+		for i, c := range chosen {
+			ids[i] = ops[c]
+		}
+		bid := 1 + rng.Float64()*99
+		b.AddQueryValued(bid, bid, q, ids...)
+	}
+	return b.MustBuild()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func capFor(p *query.Pool, frac float64) float64 {
+	all := make([]query.QueryID, p.NumQueries())
+	for i := range all {
+		all[i] = query.QueryID(i)
+	}
+	return p.AggregateLoad(all) * frac
+}
+
+// TestVCGWelfareOptimalAndIR: VCG's allocation matches OPT_W and its Clarke
+// payments are individually rational (within [0, bid]).
+func TestVCGWelfareOptimalAndIR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := auction.NewVCG(0)
+	for trial := 0; trial < 40; trial++ {
+		p := smallPool(rng)
+		capacity := capFor(p, 0.5)
+		out := m.Run(p, capacity)
+		if err := out.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		opt := auction.Welfare(auction.NewOptWelfare(0).Run(p, capacity))
+		if got := auction.Welfare(out); got < opt-1e-9 {
+			t.Errorf("trial %d: VCG welfare %v below OPT_W %v", trial, got, opt)
+		}
+	}
+}
+
+// TestVCGStrategyproof: the deviation search finds no profitable bid lie.
+func TestVCGStrategyproof(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := auction.NewVCG(0)
+	for trial := 0; trial < 6; trial++ {
+		p := smallPool(rng)
+		capacity := capFor(p, 0.5)
+		for i := 0; i < p.NumQueries(); i++ {
+			if dev, found := gametheory.FindBidDeviation(m, p, capacity, query.QueryID(i)); found {
+				t.Errorf("trial %d: VCG deviation found: %s", trial, dev.String())
+			}
+		}
+	}
+}
+
+// TestVCGPivotExample: hand-checked Clarke payments. Two unit-load queries
+// compete for one slot: the winner pays the displaced bid; with room for
+// both, nobody pays.
+func TestVCGPivotExample(t *testing.T) {
+	b := query.NewBuilder()
+	o1 := b.AddOperator(1)
+	o2 := b.AddOperator(1)
+	b.AddQuery(30, o1)
+	b.AddQuery(20, o2)
+	p := b.MustBuild()
+
+	tight := auction.NewVCG(0).Run(p, 1)
+	if len(tight.Winners) != 1 || tight.Winners[0] != 0 {
+		t.Fatalf("winners = %v, want the 30-bidder", tight.Winners)
+	}
+	if !almost(tight.Payment(0), 20) {
+		t.Errorf("pivot payment = %v, want 20 (the displaced bid)", tight.Payment(0))
+	}
+	loose := auction.NewVCG(0).Run(p, 2)
+	if len(loose.Winners) != 2 || loose.Profit() != 0 {
+		t.Errorf("with room for both: winners %v profit %v, want both free", loose.Winners, loose.Profit())
+	}
+}
+
+// TestVCGSharingPivot: sharing shrinks externalities — a free rider imposes
+// none and pays nothing.
+func TestVCGSharingPivot(t *testing.T) {
+	b := query.NewBuilder()
+	shared := b.AddOperator(10)
+	b.AddQuery(50, shared)
+	b.AddQuery(5, shared) // rides along at zero marginal load
+	p := b.MustBuild()
+	out := auction.NewVCG(0).Run(p, 10)
+	if len(out.Winners) != 2 {
+		t.Fatalf("winners = %v, want both", out.Winners)
+	}
+	if out.Payment(1) != 0 {
+		t.Errorf("free rider pays %v, want 0 (no externality)", out.Payment(1))
+	}
+}
+
+// TestVCGFallbackFeasible: above the limit the heuristic allocation still
+// validates.
+func TestVCGFallbackFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := smallPool(rng)
+	out := auction.NewVCG(1).Run(p, capFor(p, 0.5))
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Profit() != 0 {
+		t.Error("fallback VCG charges nothing (payments undefined without exact OPT)")
+	}
+}

@@ -1,0 +1,145 @@
+package auction
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// optWelfare is the exhaustive social-welfare benchmark: the feasible winner
+// set maximizing the sum of valuations. The paper (Section III) notes the
+// shared-operator selection problem generalizes the densest-subgraph
+// problem, so no polynomial approximation is known — this implementation is
+// branch-and-bound over subsets and is intended for small instances
+// (ablations and tests), not production auctions. It charges nothing: it is
+// an efficiency yardstick, not a mechanism.
+type optWelfare struct {
+	// Limit bounds the instance size; larger pools return the best solution
+	// found by the greedy fallback bound instead of exploding.
+	limit int
+}
+
+// NewOptWelfare returns the exhaustive welfare benchmark for instances of at
+// most limit queries (default 20 when limit <= 0).
+func NewOptWelfare(limit int) Mechanism {
+	if limit <= 0 {
+		limit = 20
+	}
+	return &optWelfare{limit: limit}
+}
+
+func (*optWelfare) Name() string { return "OPT_W" }
+
+func (m *optWelfare) Run(p *query.Pool, capacity float64) *Outcome {
+	n := p.NumQueries()
+	payments := make([]float64, n)
+	var winners []query.QueryID
+	if n <= m.limit {
+		winners = exhaustiveWelfare(p, capacity)
+	} else {
+		winners = greedyWelfare(p, capacity)
+	}
+	sort.Slice(winners, func(i, j int) bool { return winners[i] < winners[j] })
+	return newOutcome("OPT_W", p, capacity, winners, payments)
+}
+
+// exhaustiveWelfare branch-and-bounds over inclusion decisions in
+// value-density order, pruning with the fractional-knapsack upper bound on
+// remaining value (computed against remaining loads, which upper-bounds the
+// true shared cost and therefore never prunes an optimal branch... the bound
+// uses value only, which is always admissible).
+func exhaustiveWelfare(p *query.Pool, capacity float64) []query.QueryID {
+	n := p.NumQueries()
+	order := make([]query.QueryID, n)
+	for i := range order {
+		order[i] = query.QueryID(i)
+	}
+	// Highest value first gives the bound tighter prefixes.
+	sort.SliceStable(order, func(a, b int) bool { return p.Value(order[a]) > p.Value(order[b]) })
+	suffixValue := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffixValue[i] = suffixValue[i+1] + p.Value(order[i])
+	}
+
+	best := math.Inf(-1)
+	var bestSet []query.QueryID
+	tracker := query.NewLoadTracker(p)
+	var current []query.QueryID
+
+	var visit func(i int, value float64)
+	visit = func(i int, value float64) {
+		if value > best {
+			best = value
+			bestSet = append(bestSet[:0], current...)
+		}
+		if i == n || value+suffixValue[i] <= best {
+			return
+		}
+		id := order[i]
+		// Branch 1: include (if feasible).
+		rem := tracker.Remaining(id)
+		if tracker.Load()+rem <= capacity+fitEps {
+			// LoadTracker has no un-admit; emulate by snapshotting the used
+			// operators this admission provisions.
+			var fresh []query.OperatorID
+			for _, op := range p.Query(id).Operators {
+				if !tracker.Provisioned(op) {
+					fresh = append(fresh, op)
+				}
+			}
+			tracker.Admit(id)
+			current = append(current, id)
+			visit(i+1, value+p.Value(id))
+			current = current[:len(current)-1]
+			tracker.Release(fresh)
+		}
+		// Branch 2: exclude.
+		visit(i+1, value)
+	}
+	visit(0, 0)
+	return bestSet
+}
+
+// greedyWelfare is the large-instance fallback: density greedy by
+// value/remaining-load, recomputed as operators are provisioned (CAR's
+// selection with valuations) — a reasonable welfare heuristic.
+func greedyWelfare(p *query.Pool, capacity float64) []query.QueryID {
+	n := p.NumQueries()
+	tracker := query.NewLoadTracker(p)
+	chosen := make([]bool, n)
+	var winners []query.QueryID
+	for {
+		best, bestPri := -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			id := query.QueryID(i)
+			rem := tracker.Remaining(id)
+			if tracker.Load()+rem > capacity+fitEps {
+				continue
+			}
+			pri := priorityOf(p.Value(id), rem)
+			if pri > bestPri {
+				bestPri, best = pri, i
+			}
+		}
+		if best == -1 {
+			return winners
+		}
+		chosen[best] = true
+		tracker.Admit(query.QueryID(best))
+		winners = append(winners, query.QueryID(best))
+	}
+}
+
+// Welfare returns the social welfare of an outcome: the sum of admitted
+// valuations.
+func Welfare(o *Outcome) float64 {
+	var sum float64
+	for _, w := range o.Winners {
+		sum += o.pool.Value(w)
+	}
+	return sum
+}

@@ -1,0 +1,134 @@
+package auction_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/auction"
+	"repro/internal/query"
+)
+
+// bruteForceWelfare enumerates all subsets — the trusted oracle for small n.
+func bruteForceWelfare(p *query.Pool, capacity float64) float64 {
+	n := p.NumQueries()
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var set []query.QueryID
+		value := 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set = append(set, query.QueryID(i))
+				value += p.Value(query.QueryID(i))
+			}
+		}
+		if value > best && p.AggregateLoad(set) <= capacity+1e-9 {
+			best = value
+		}
+	}
+	return best
+}
+
+// TestOptWelfareMatchesBruteForce: the branch-and-bound equals subset
+// enumeration on random instances.
+func TestOptWelfareMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPool(rng)
+		if p.NumQueries() > 12 {
+			return true // keep the oracle cheap
+		}
+		all := make([]query.QueryID, p.NumQueries())
+		for i := range all {
+			all[i] = query.QueryID(i)
+		}
+		capacity := p.AggregateLoad(all) * 0.55
+		got := auction.Welfare(auction.NewOptWelfare(0).Run(p, capacity))
+		want := bruteForceWelfare(p, capacity)
+		return almost(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptWelfareDominatesMechanisms: no mechanism achieves more welfare than
+// the exhaustive optimum.
+func TestOptWelfareDominatesMechanisms(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		p := randomPool(rng)
+		if p.NumQueries() > 14 {
+			continue
+		}
+		all := make([]query.QueryID, p.NumQueries())
+		for i := range all {
+			all[i] = query.QueryID(i)
+		}
+		capacity := p.AggregateLoad(all) * 0.5
+		opt := auction.Welfare(auction.NewOptWelfare(0).Run(p, capacity))
+		for _, m := range allMechanisms() {
+			if w := auction.Welfare(m.Run(p, capacity)); w > opt+1e-9 {
+				t.Errorf("trial %d: %s welfare %v exceeds OPT_W %v", trial, m.Name(), w, opt)
+			}
+		}
+	}
+}
+
+// TestOptWelfareSharingBeatsKnapsack: with heavy sharing, the optimal set
+// packs more value than any no-sharing accounting could — the Section III
+// observation that a low-value high-load query becomes cheap when its
+// operators are carried by others.
+func TestOptWelfareSharingBeatsKnapsack(t *testing.T) {
+	b := query.NewBuilder()
+	shared := b.AddOperator(9)
+	tiny := b.AddOperator(1)
+	b.AddQuery(50, shared)       // valuable anchor
+	b.AddQuery(10, shared)       // free rider: shares everything
+	b.AddQuery(12, shared, tiny) // nearly free rider
+	p := b.MustBuild()
+	out := auction.NewOptWelfare(0).Run(p, 10)
+	if len(out.Winners) != 3 {
+		t.Fatalf("winners = %v, want all three (aggregate load 10)", out.Winners)
+	}
+	if got := auction.Welfare(out); !almost(got, 72) {
+		t.Errorf("welfare = %v, want 72", got)
+	}
+}
+
+// TestGreedyWelfareFallback: above the exhaustive limit the fallback still
+// returns a feasible, reasonable set.
+func TestGreedyWelfareFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomPool(rng)
+	m := auction.NewOptWelfare(1) // force the fallback
+	out := m.Run(p, 20)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Profit() != 0 {
+		t.Error("welfare benchmark must charge nothing")
+	}
+}
+
+// TestLoadTrackerRelease: Release undoes exactly one Admit.
+func TestLoadTrackerRelease(t *testing.T) {
+	p, _ := query.Example1()
+	tr := query.NewLoadTracker(p)
+	tr.Admit(1) // q2: provisions A and C
+	var fresh []query.OperatorID
+	for _, op := range p.Query(0).Operators {
+		if !tr.Provisioned(op) {
+			fresh = append(fresh, op)
+		}
+	}
+	tr.Admit(0) // q1: freshly provisions only B
+	load := tr.Load()
+	tr.Release(fresh)
+	if got := tr.Load(); !almost(got, load-1) {
+		t.Errorf("release load = %v, want %v", got, load-1)
+	}
+	if !almost(tr.Remaining(0), 1) {
+		t.Errorf("remaining(q1) = %v, want 1 (B released, A still held by q2)", tr.Remaining(0))
+	}
+}

@@ -1,0 +1,120 @@
+// Package billing is the DSMS center's revenue ledger: accounts for each
+// user, invoices issued per subscription period from auction outcomes, and
+// revenue reports. The paper's business model charges each admitted query
+// its auction payment at the start of each period.
+package billing
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Invoice records one charge: a user owes Amount for running Query during
+// Period.
+type Invoice struct {
+	ID     int
+	Period int
+	User   int
+	Query  string
+	Amount float64
+}
+
+// Ledger accumulates invoices and per-user balances. It is safe for
+// concurrent use.
+type Ledger struct {
+	mu       sync.Mutex
+	invoices []Invoice
+	balances map[int]float64
+	nextID   int
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{balances: make(map[int]float64)}
+}
+
+// Restore rebuilds a ledger from a previously exported invoice list
+// (Invoices()); balances and the next invoice ID are recomputed. It returns
+// an error if the invoices are not in issue order or contain negative
+// amounts.
+func Restore(invoices []Invoice) (*Ledger, error) {
+	l := NewLedger()
+	for i, inv := range invoices {
+		if inv.ID != i {
+			return nil, fmt.Errorf("billing: invoice %d out of order (ID %d)", i, inv.ID)
+		}
+		if inv.Amount < 0 {
+			return nil, fmt.Errorf("billing: invoice %d has negative amount %.4f", i, inv.Amount)
+		}
+		l.invoices = append(l.invoices, inv)
+		l.balances[inv.User] += inv.Amount
+		l.nextID++
+	}
+	return l, nil
+}
+
+// Charge records an invoice and returns it. Zero-amount charges are legal —
+// a winner whose critical value is zero still holds a subscription.
+func (l *Ledger) Charge(period, user int, queryName string, amount float64) (Invoice, error) {
+	if amount < 0 {
+		return Invoice{}, fmt.Errorf("billing: negative charge %.4f for user %d", amount, user)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	inv := Invoice{ID: l.nextID, Period: period, User: user, Query: queryName, Amount: amount}
+	l.nextID++
+	l.invoices = append(l.invoices, inv)
+	l.balances[user] += amount
+	return inv, nil
+}
+
+// Balance returns the total charged to a user across all periods.
+func (l *Ledger) Balance(user int) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.balances[user]
+}
+
+// Revenue returns the total charged in the given period (all periods if
+// period < 0).
+func (l *Ledger) Revenue(period int) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum float64
+	for _, inv := range l.invoices {
+		if period < 0 || inv.Period == period {
+			sum += inv.Amount
+		}
+	}
+	return sum
+}
+
+// Invoices returns a copy of all invoices in issue order.
+func (l *Ledger) Invoices() []Invoice {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Invoice(nil), l.invoices...)
+}
+
+// TopUsers returns the n users with the highest total charges, descending;
+// ties break on user ID ascending.
+func (l *Ledger) TopUsers(n int) []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	users := make([]int, 0, len(l.balances))
+	for u := range l.balances {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool {
+		bi, bj := l.balances[users[i]], l.balances[users[j]]
+		if bi != bj {
+			return bi > bj
+		}
+		return users[i] < users[j]
+	})
+	if n < len(users) {
+		users = users[:n]
+	}
+	return users
+}

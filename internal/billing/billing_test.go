@@ -1,0 +1,102 @@
+package billing
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestChargeAndBalances(t *testing.T) {
+	l := NewLedger()
+	inv, err := l.Charge(0, 1, "q1", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.ID != 0 || inv.Amount != 50 || inv.User != 1 {
+		t.Errorf("invoice = %+v", inv)
+	}
+	if _, err := l.Charge(0, 2, "q2", 60); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Charge(1, 1, "q1", 10); err != nil {
+		t.Fatal(err)
+	}
+	if l.Balance(1) != 60 || l.Balance(2) != 60 || l.Balance(99) != 0 {
+		t.Errorf("balances = %v / %v / %v", l.Balance(1), l.Balance(2), l.Balance(99))
+	}
+	if l.Revenue(0) != 110 || l.Revenue(1) != 10 || l.Revenue(-1) != 120 {
+		t.Errorf("revenue = %v / %v / %v", l.Revenue(0), l.Revenue(1), l.Revenue(-1))
+	}
+	if len(l.Invoices()) != 3 {
+		t.Errorf("invoices = %d, want 3", len(l.Invoices()))
+	}
+}
+
+func TestNegativeChargeRejected(t *testing.T) {
+	l := NewLedger()
+	if _, err := l.Charge(0, 1, "q", -1); err == nil {
+		t.Error("want error for negative charge")
+	}
+}
+
+func TestZeroChargeAllowed(t *testing.T) {
+	l := NewLedger()
+	if _, err := l.Charge(0, 1, "q", 0); err != nil {
+		t.Errorf("zero charge should be legal: %v", err)
+	}
+}
+
+func TestTopUsers(t *testing.T) {
+	l := NewLedger()
+	mustCharge(t, l, 0, 1, 10)
+	mustCharge(t, l, 0, 2, 30)
+	mustCharge(t, l, 0, 3, 30)
+	mustCharge(t, l, 0, 4, 5)
+	got := l.TopUsers(3)
+	want := []int{2, 3, 1} // 30, 30 (tie by ID), 10
+	if len(got) != 3 {
+		t.Fatalf("TopUsers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopUsers = %v, want %v", got, want)
+		}
+	}
+	if n := len(l.TopUsers(100)); n != 4 {
+		t.Errorf("TopUsers(100) = %d users, want 4", n)
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := l.Charge(0, user, "q", 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Revenue(-1) != 800 {
+		t.Errorf("revenue = %v, want 800", l.Revenue(-1))
+	}
+	ids := map[int]bool{}
+	for _, inv := range l.Invoices() {
+		if ids[inv.ID] {
+			t.Fatalf("duplicate invoice ID %d", inv.ID)
+		}
+		ids[inv.ID] = true
+	}
+}
+
+func mustCharge(t *testing.T, l *Ledger, period, user int, amount float64) {
+	t.Helper()
+	if _, err := l.Charge(period, user, "q", amount); err != nil {
+		t.Fatal(err)
+	}
+}

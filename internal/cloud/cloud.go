@@ -1,0 +1,376 @@
+// Package cloud implements the paper's DSMS center: a for-profit service
+// that, at the end of each subscription period, collects (continuous query,
+// bid) submissions, runs an auction-based admission-control mechanism
+// against server capacity, bills the winners their auction payments, and
+// transitions the shared stream-processing engine to the admitted plan so
+// surviving queries keep running correctly into the next period.
+package cloud
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/auction"
+	"repro/internal/billing"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/stream"
+)
+
+// OperatorSpec declares one operator of a submitted query. Key identifies
+// the operator globally: two submissions declaring the same Key share one
+// physical operator (and its load is paid once) — the paper's shared
+// processing. Load is the operator's estimated fraction of server capacity
+// (c_j); the engine's measured loads can be fed back through it.
+type OperatorSpec struct {
+	Key  string
+	Load float64
+}
+
+// Submission is one client's entry into the next period's auction.
+type Submission struct {
+	// User is the submitting principal (billing account).
+	User int
+	// Name identifies the query; it is also the engine sink name. Names
+	// must be unique within a period.
+	Name string
+	// Bid is the user's declared willingness to pay for the period.
+	Bid float64
+	// Value is the user's private valuation; zero means Value = Bid
+	// (truthful). Only reports and payoff metrics read it.
+	Value float64
+	// Operators lists the query's operators.
+	Operators []OperatorSpec
+	// Deploy, if non-nil, adds the query's dataflow to the shared engine
+	// plan being assembled for the period. Submissions without Deploy
+	// participate in the auction but run no dataflow (auction-only mode).
+	Deploy DeployFunc
+}
+
+// DeployFunc wires a query into a period plan. Implementations must obtain
+// operators through the SharedOps registry so physically-shared operators
+// are instantiated once, and must finish by calling reg.Sink with the
+// query's name.
+type DeployFunc func(reg *SharedOps) error
+
+// AdmittedQuery describes one winner of a period's auction.
+type AdmittedQuery struct {
+	Name    string
+	User    int
+	Bid     float64
+	Payment float64
+}
+
+// PeriodReport summarizes one closed period.
+type PeriodReport struct {
+	Period   int
+	Outcome  *auction.Outcome
+	Admitted []AdmittedQuery
+	Rejected []string
+	Revenue  float64
+	// Utilization is the admitted aggregate load over capacity.
+	Utilization float64
+}
+
+// Center is the DSMS cloud service.
+type Center struct {
+	mech     auction.Mechanism
+	capacity float64
+	ledger   *billing.Ledger
+
+	sources []sourceDecl
+	// instances persists operator state across periods: a shared operator
+	// admitted in consecutive periods keeps its windows.
+	unaryInstances  map[string]stream.Transform
+	binaryInstances map[string]stream.BinaryTransform
+
+	pending map[string]Submission
+	order   []string // submission order, for deterministic pools
+	eng     *engine.Engine
+	period  int
+}
+
+type sourceDecl struct {
+	name   string
+	schema *stream.Schema
+}
+
+// New creates a center running the given mechanism with the given capacity.
+func New(mech auction.Mechanism, capacity float64) *Center {
+	return &Center{
+		mech:            mech,
+		capacity:        capacity,
+		ledger:          billing.NewLedger(),
+		unaryInstances:  make(map[string]stream.Transform),
+		binaryInstances: make(map[string]stream.BinaryTransform),
+		pending:         make(map[string]Submission),
+	}
+}
+
+// DeclareSource registers an input stream available to deployed queries.
+func (c *Center) DeclareSource(name string, schema *stream.Schema) {
+	c.sources = append(c.sources, sourceDecl{name, schema})
+}
+
+// Ledger returns the center's billing ledger.
+func (c *Center) Ledger() *billing.Ledger { return c.ledger }
+
+// Capacity returns the server capacity.
+func (c *Center) Capacity() float64 { return c.capacity }
+
+// Period returns the index of the next period to close.
+func (c *Center) Period() int { return c.period }
+
+// Submit enters a query into the next auction. Submitting a name twice
+// before the period closes replaces the earlier submission (a client may
+// revise her bid until the auction runs).
+func (c *Center) Submit(s Submission) error {
+	if s.Name == "" {
+		return fmt.Errorf("cloud: submission needs a name")
+	}
+	if s.Bid < 0 {
+		return fmt.Errorf("cloud: submission %q has negative bid %g", s.Name, s.Bid)
+	}
+	if len(s.Operators) == 0 {
+		return fmt.Errorf("cloud: submission %q declares no operators", s.Name)
+	}
+	for _, op := range s.Operators {
+		if op.Key == "" || op.Load <= 0 {
+			return fmt.Errorf("cloud: submission %q has invalid operator %+v", s.Name, op)
+		}
+	}
+	if s.Value == 0 {
+		s.Value = s.Bid
+	}
+	if _, seen := c.pending[s.Name]; !seen {
+		c.order = append(c.order, s.Name)
+	}
+	c.pending[s.Name] = s
+	return nil
+}
+
+// buildPool assembles the auction pool from pending submissions, deduping
+// operators by key. It returns the pool and the query-ID-to-name mapping.
+func (c *Center) buildPool() (*query.Pool, []string, error) {
+	b := query.NewBuilder()
+	opIDs := make(map[string]query.OperatorID)
+	names := make([]string, 0, len(c.order))
+	for _, name := range c.order {
+		s := c.pending[name]
+		ids := make([]query.OperatorID, 0, len(s.Operators))
+		for _, op := range s.Operators {
+			id, ok := opIDs[op.Key]
+			if !ok {
+				id = b.AddOperator(op.Load)
+				opIDs[op.Key] = id
+			}
+			ids = append(ids, id)
+		}
+		b.AddQueryValued(s.Bid, s.Value, s.User, ids...)
+		names = append(names, name)
+	}
+	pool, err := b.Build()
+	return pool, names, err
+}
+
+// ClosePeriod runs the auction over the pending submissions, bills the
+// winners, deploys the admitted queries to the engine (transitioning from
+// the previous period's plan) and returns the period report. Pending
+// submissions are consumed; clients re-submit for the next period.
+func (c *Center) ClosePeriod() (*PeriodReport, error) {
+	if len(c.pending) == 0 {
+		return nil, fmt.Errorf("cloud: no submissions for period %d", c.period)
+	}
+	pool, names, err := c.buildPool()
+	if err != nil {
+		return nil, err
+	}
+	out := c.mech.Run(pool, c.capacity)
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+
+	report := &PeriodReport{
+		Period:      c.period,
+		Outcome:     out,
+		Revenue:     out.Profit(),
+		Utilization: out.Utilization(),
+	}
+	var winners []Submission
+	for i, name := range names {
+		id := query.QueryID(i)
+		s := c.pending[name]
+		if !out.IsWinner(id) {
+			report.Rejected = append(report.Rejected, name)
+			continue
+		}
+		if _, err := c.ledger.Charge(c.period, s.User, name, out.Payment(id)); err != nil {
+			return nil, err
+		}
+		report.Admitted = append(report.Admitted, AdmittedQuery{
+			Name: name, User: s.User, Bid: s.Bid, Payment: out.Payment(id),
+		})
+		winners = append(winners, s)
+	}
+	sort.Strings(report.Rejected)
+
+	if err := c.deploy(winners); err != nil {
+		return nil, err
+	}
+	c.pending = make(map[string]Submission)
+	c.order = nil
+	c.period++
+	return report, nil
+}
+
+// deploy builds the period plan from the winners' Deploy functions and
+// transitions the engine onto it.
+func (c *Center) deploy(winners []Submission) error {
+	var deployable []Submission
+	for _, w := range winners {
+		if w.Deploy != nil {
+			deployable = append(deployable, w)
+		}
+	}
+	if len(deployable) == 0 {
+		return nil // auction-only mode, or no dataflow winners this period
+	}
+	plan := engine.NewPlan()
+	reg := &SharedOps{
+		plan:    plan,
+		ports:   make(map[string]engine.PortRef),
+		sources: make(map[string]bool),
+		center:  c,
+	}
+	for _, src := range c.sources {
+		plan.AddSource(src.name, src.schema)
+		reg.sources[src.name] = true
+	}
+	for _, w := range deployable {
+		reg.current = w.Name
+		if err := w.Deploy(reg); err != nil {
+			return fmt.Errorf("cloud: deploying %q: %w", w.Name, err)
+		}
+	}
+	if err := plan.Build(); err != nil {
+		return err
+	}
+	if c.eng == nil {
+		eng, err := engine.New(plan)
+		if err != nil {
+			return err
+		}
+		c.eng = eng
+		return nil
+	}
+	return c.eng.Transition(plan)
+}
+
+// Engine returns the running engine, or nil before the first deployed
+// period.
+func (c *Center) Engine() *engine.Engine { return c.eng }
+
+// Push injects a tuple into a source stream of the running plan.
+func (c *Center) Push(source string, t stream.Tuple) error {
+	if c.eng == nil {
+		return fmt.Errorf("cloud: no deployed plan")
+	}
+	return c.eng.Push(source, t)
+}
+
+// Results drains the named query's output tuples.
+func (c *Center) Results(queryName string) []stream.Tuple {
+	if c.eng == nil {
+		return nil
+	}
+	return c.eng.Results(queryName)
+}
+
+// MeasuredLoad returns the engine's measured load for the operator with the
+// given key during the current metering period, closing the paper's loop of
+// "load can be reasonably approximated by the system": submissions for the
+// next period can carry measured instead of declared loads. The bool is
+// false when the operator is not deployed.
+func (c *Center) MeasuredLoad(key string) (float64, bool) {
+	if c.eng == nil {
+		return 0, false
+	}
+	for _, nl := range c.eng.Loads() {
+		if nl.Name == key {
+			return nl.Load, true
+		}
+	}
+	return 0, false
+}
+
+// Reestimate returns a copy of the submission with every operator's load
+// replaced by its measured value where available — the feedback step a
+// client (or the center acting for it) performs between periods.
+func (c *Center) Reestimate(s Submission) Submission {
+	ops := make([]OperatorSpec, len(s.Operators))
+	copy(ops, s.Operators)
+	for i, op := range ops {
+		if measured, ok := c.MeasuredLoad(op.Key); ok && measured > 0 {
+			ops[i].Load = measured
+		}
+	}
+	s.Operators = ops
+	return s
+}
+
+// SharedOps is the per-period deployment registry: it memoizes operator
+// instantiation by key so queries declaring the same operator key share one
+// physical node, and it persists operator instances across periods so
+// surviving operators keep their state through the transition phase.
+type SharedOps struct {
+	plan    *engine.Plan
+	ports   map[string]engine.PortRef
+	sources map[string]bool
+	center  *Center
+	current string
+}
+
+// Source returns the port of a declared source stream.
+func (r *SharedOps) Source(name string) (engine.PortRef, error) {
+	if !r.sources[name] {
+		return engine.PortRef{}, fmt.Errorf("cloud: unknown source %q", name)
+	}
+	return engine.FromSource(name), nil
+}
+
+// Unary returns the output port of the operator identified by key, building
+// it on first use in this period via build. The key must uniquely identify
+// the operator together with its input, so sharing is semantically sound.
+func (r *SharedOps) Unary(key string, in engine.PortRef, build func() stream.Transform) engine.PortRef {
+	if port, ok := r.ports[key]; ok {
+		return port
+	}
+	inst, ok := r.center.unaryInstances[key]
+	if !ok {
+		inst = build()
+		r.center.unaryInstances[key] = inst
+	}
+	port := r.plan.AddUnary(inst, in)
+	r.ports[key] = port
+	return port
+}
+
+// Binary is Unary for two-input operators.
+func (r *SharedOps) Binary(key string, left, right engine.PortRef, build func() stream.BinaryTransform) engine.PortRef {
+	if port, ok := r.ports[key]; ok {
+		return port
+	}
+	inst, ok := r.center.binaryInstances[key]
+	if !ok {
+		inst = build()
+		r.center.binaryInstances[key] = inst
+	}
+	port := r.plan.AddBinary(inst, left, right)
+	r.ports[key] = port
+	return port
+}
+
+// Sink routes the port to the deploying query's result stream.
+func (r *SharedOps) Sink(in engine.PortRef) {
+	r.plan.AddSink(r.current, in)
+}

@@ -1,0 +1,256 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/stream"
+)
+
+var schema = stream.MustSchema(
+	stream.Field{Name: "sym", Kind: stream.KindString},
+	stream.Field{Name: "v", Kind: stream.KindFloat},
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// example1Submissions recreates the paper's Example 1 as cloud submissions;
+// operator A is shared between Alice and Bob through its key.
+func example1Submissions() []Submission {
+	return []Submission{
+		{User: 1, Name: "q1", Bid: 55, Operators: []OperatorSpec{{Key: "A", Load: 4}, {Key: "B", Load: 1}}},
+		{User: 2, Name: "q2", Bid: 72, Operators: []OperatorSpec{{Key: "A", Load: 4}, {Key: "C", Load: 2}}},
+		{User: 3, Name: "q3", Bid: 100, Operators: []OperatorSpec{{Key: "D", Load: 6}, {Key: "E", Load: 4}}},
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	c := New(auction.NewCAT(), 10)
+	cases := []Submission{
+		{},
+		{Name: "q", Bid: -1, Operators: []OperatorSpec{{Key: "k", Load: 1}}},
+		{Name: "q", Bid: 1},
+		{Name: "q", Bid: 1, Operators: []OperatorSpec{{Key: "", Load: 1}}},
+		{Name: "q", Bid: 1, Operators: []OperatorSpec{{Key: "k", Load: 0}}},
+	}
+	for i, s := range cases {
+		if err := c.Submit(s); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestClosePeriodExample1(t *testing.T) {
+	c := New(auction.NewCAT(), 10)
+	for _, s := range example1Submissions() {
+		if err := c.Submit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := c.ClosePeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Admitted) != 2 {
+		t.Fatalf("admitted = %+v, want q1 and q2", report.Admitted)
+	}
+	want := map[string]float64{"q1": 50, "q2": 60}
+	for _, a := range report.Admitted {
+		if !almost(a.Payment, want[a.Name]) {
+			t.Errorf("%s payment = %v, want %v", a.Name, a.Payment, want[a.Name])
+		}
+	}
+	if len(report.Rejected) != 1 || report.Rejected[0] != "q3" {
+		t.Errorf("rejected = %v, want [q3]", report.Rejected)
+	}
+	if !almost(report.Revenue, 110) {
+		t.Errorf("revenue = %v, want 110", report.Revenue)
+	}
+	if !almost(report.Utilization, 0.7) {
+		t.Errorf("utilization = %v, want 0.7", report.Utilization)
+	}
+	// Billing recorded the charges.
+	if got := c.Ledger().Revenue(0); !almost(got, 110) {
+		t.Errorf("ledger revenue = %v, want 110", got)
+	}
+	if got := c.Ledger().Balance(2); !almost(got, 60) {
+		t.Errorf("user 2 balance = %v, want 60", got)
+	}
+	// Pending is consumed.
+	if _, err := c.ClosePeriod(); err == nil {
+		t.Error("want error closing an empty period")
+	}
+	if c.Period() != 1 {
+		t.Errorf("period = %d, want 1", c.Period())
+	}
+}
+
+func TestResubmitReplaces(t *testing.T) {
+	c := New(auction.NewCAT(), 10)
+	subs := example1Submissions()
+	for _, s := range subs {
+		if err := c.Submit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// q3's user revises her bid down; the revision must replace, not append.
+	revised := subs[2]
+	revised.Bid = 1
+	if err := c.Submit(revised); err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.ClosePeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Admitted)+len(report.Rejected) != 3 {
+		t.Fatalf("period saw %d queries, want 3", len(report.Admitted)+len(report.Rejected))
+	}
+}
+
+// deploySubmission wires a trivial filter for a query.
+func deploySubmission(user int, name string, bid float64, opKey string, load float64) Submission {
+	return Submission{
+		User: user, Name: name, Bid: bid,
+		Operators: []OperatorSpec{{Key: opKey, Load: load}},
+		Deploy: func(reg *SharedOps) error {
+			src, err := reg.Source("s")
+			if err != nil {
+				return err
+			}
+			out := reg.Unary(opKey, src, func() stream.Transform {
+				return stream.NewFilter(opKey, load, func(stream.Tuple) bool { return true })
+			})
+			reg.Sink(out)
+			return nil
+		},
+	}
+}
+
+func TestDeployAndSharedInstances(t *testing.T) {
+	c := New(auction.NewCAT(), 100)
+	c.DeclareSource("s", schema)
+	// Two queries sharing one physical operator by key.
+	if err := c.Submit(deploySubmission(1, "qa", 10, "op", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(deploySubmission(2, "qb", 20, "op", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Engine() == nil {
+		t.Fatal("engine not deployed")
+	}
+	if n := c.Engine().Plan().NumNodes(); n != 1 {
+		t.Fatalf("plan has %d nodes, want 1 shared", n)
+	}
+	if err := c.Push("s", stream.NewTuple(1, "a", 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Results("qa")) != 1 || len(c.Results("qb")) != 1 {
+		t.Error("both queries should see the tuple")
+	}
+}
+
+// TestStateCarriesAcrossPeriods: a window operator surviving two auctions
+// keeps its state through the engine transition.
+func TestStateCarriesAcrossPeriods(t *testing.T) {
+	c := New(auction.NewCAT(), 100)
+	c.DeclareSource("s", schema)
+	windowSub := func(bid float64) Submission {
+		return Submission{
+			User: 1, Name: "win", Bid: bid,
+			Operators: []OperatorSpec{{Key: "sum4", Load: 1}},
+			Deploy: func(reg *SharedOps) error {
+				src, err := reg.Source("s")
+				if err != nil {
+					return err
+				}
+				out := reg.Unary("sum4", src, func() stream.Transform {
+					return stream.MustWindowAgg("sum4", 1, stream.WindowSpec{
+						Size: 4, Agg: stream.AggSum, Field: 1, GroupBy: -1,
+					})
+				})
+				reg.Sink(out)
+				return nil
+			},
+		}
+	}
+	if err := c.Submit(windowSub(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := c.Push("s", stream.NewTuple(int64(i), "a", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-admit for the next period; the half-full window must survive.
+	if err := c.Submit(windowSub(12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i <= 4; i++ {
+		if err := c.Push("s", stream.NewTuple(int64(i), "a", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Results("win")
+	if len(got) != 1 || got[0].Float(1) != 10 {
+		t.Fatalf("cross-period window = %+v, want sum 10", got)
+	}
+}
+
+// TestRejectedQueryNotDeployed: losers do not appear in the engine plan.
+func TestRejectedQueryNotDeployed(t *testing.T) {
+	c := New(auction.NewCAT(), 2) // room for only the cheap query
+	c.DeclareSource("s", schema)
+	if err := c.Submit(deploySubmission(1, "cheap", 50, "op-cheap", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(deploySubmission(2, "pricy", 10, "op-pricy", 9)); err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.ClosePeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Admitted) != 1 || report.Admitted[0].Name != "cheap" {
+		t.Fatalf("admitted = %+v, want only cheap", report.Admitted)
+	}
+	if err := c.Push("s", stream.NewTuple(1, "a", 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Results("pricy")) != 0 {
+		t.Error("rejected query produced results")
+	}
+}
+
+func TestAuctionOnlyMode(t *testing.T) {
+	c := New(auction.NewCAF(), 10)
+	for _, s := range example1Submissions() {
+		if err := c.Submit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := c.ClosePeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Engine() != nil {
+		t.Error("no Deploy functions: engine must stay nil")
+	}
+	if !almost(report.Revenue, 70) { // CAF on Example 1: 30 + 40
+		t.Errorf("CAF revenue = %v, want 70", report.Revenue)
+	}
+	if err := c.Push("s", stream.NewTuple(1, "a", 1.0)); err == nil {
+		t.Error("push without a deployed plan should error")
+	}
+}

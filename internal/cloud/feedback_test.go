@@ -1,0 +1,64 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/stream"
+)
+
+// TestMeasuredLoadFeedback: the engine meters a deployed operator's real
+// cost×rate; Reestimate folds it back into the next period's submission.
+func TestMeasuredLoadFeedback(t *testing.T) {
+	c := New(auction.NewCAT(), 100)
+	c.DeclareSource("s", schema)
+	// Declared load 10 is a wild overestimate; the operator's true per-tuple
+	// cost is 2.
+	sub := Submission{
+		User: 1, Name: "q", Bid: 30,
+		Operators: []OperatorSpec{{Key: "flt", Load: 10}},
+		Deploy: func(reg *SharedOps) error {
+			src, err := reg.Source("s")
+			if err != nil {
+				return err
+			}
+			out := reg.Unary("flt", src, func() stream.Transform {
+				return stream.NewFilter("flt", 2, func(stream.Tuple) bool { return true })
+			})
+			reg.Sink(out)
+			return nil
+		},
+	}
+	if err := c.Submit(sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.MeasuredLoad("missing"); ok {
+		t.Error("missing key should not be measured")
+	}
+	// One tuple per tick for 50 ticks: measured load = cost 2 × rate 1 = 2.
+	for i := 0; i < 50; i++ {
+		if err := c.Push("s", stream.NewTuple(int64(i), "a", 1.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Engine().Advance(50)
+	got, ok := c.MeasuredLoad("flt")
+	if !ok {
+		t.Fatal("operator not measured")
+	}
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("measured load = %v, want 2", got)
+	}
+	updated := c.Reestimate(sub)
+	if updated.Operators[0].Load != got {
+		t.Errorf("reestimated load = %v, want %v", updated.Operators[0].Load, got)
+	}
+	// The original submission is untouched.
+	if sub.Operators[0].Load != 10 {
+		t.Error("Reestimate mutated the input submission")
+	}
+}

@@ -1,0 +1,76 @@
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/auction"
+	"repro/internal/billing"
+)
+
+// Snapshot is the center's durable business state: the subscription period
+// counter and the complete billing history. Engine dataflow state
+// (in-flight windows) is deliberately runtime-only — after a restart the
+// next period's transition starts from a clean plan, exactly like the
+// paper's end-of-day boundary.
+type Snapshot struct {
+	Version   int               `json:"version"`
+	Mechanism string            `json:"mechanism"`
+	Capacity  float64           `json:"capacity"`
+	Period    int               `json:"period"`
+	Invoices  []billing.Invoice `json:"invoices"`
+}
+
+// snapshotVersion guards the wire format.
+const snapshotVersion = 1
+
+// Snapshot exports the center's durable state.
+func (c *Center) Snapshot() Snapshot {
+	return Snapshot{
+		Version:   snapshotVersion,
+		Mechanism: c.mech.Name(),
+		Capacity:  c.capacity,
+		Period:    c.period,
+		Invoices:  c.ledger.Invoices(),
+	}
+}
+
+// WriteSnapshot serializes the center's durable state as JSON.
+func (c *Center) WriteSnapshot(w io.Writer) error {
+	return json.NewEncoder(w).Encode(c.Snapshot())
+}
+
+// Restore rebuilds a center from a snapshot: same mechanism (by name, with
+// the given seed for randomized ones), same capacity, resumed period
+// counter and billing history. Sources and submissions are re-declared by
+// the caller, as after any restart.
+func Restore(snap Snapshot, seed int64) (*Center, error) {
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("cloud: unsupported snapshot version %d", snap.Version)
+	}
+	mech, err := auction.ByName(snap.Mechanism, seed)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Capacity <= 0 {
+		return nil, fmt.Errorf("cloud: snapshot has non-positive capacity %g", snap.Capacity)
+	}
+	ledger, err := billing.Restore(snap.Invoices)
+	if err != nil {
+		return nil, err
+	}
+	c := New(mech, snap.Capacity)
+	c.ledger = ledger
+	c.period = snap.Period
+	return c, nil
+}
+
+// ReadSnapshot deserializes and restores a center.
+func ReadSnapshot(r io.Reader, seed int64) (*Center, error) {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("cloud: decoding snapshot: %w", err)
+	}
+	return Restore(snap, seed)
+}

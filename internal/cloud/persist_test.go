@@ -1,0 +1,72 @@
+package cloud
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/auction"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := New(auction.NewCAT(), 10)
+	for _, s := range example1Submissions() {
+		if err := c.Submit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(&buf, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Period() != 1 || restored.Capacity() != 10 {
+		t.Errorf("restored period/capacity = %d/%v", restored.Period(), restored.Capacity())
+	}
+	if got, want := restored.Ledger().Revenue(-1), c.Ledger().Revenue(-1); got != want {
+		t.Errorf("restored revenue = %v, want %v", got, want)
+	}
+	if got := restored.Ledger().Balance(2); got != 60 {
+		t.Errorf("restored user 2 balance = %v, want 60", got)
+	}
+	// The restored center keeps billing from where it left off: close a new
+	// period and verify invoice IDs continue.
+	for _, s := range example1Submissions() {
+		if err := restored.Submit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := restored.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+	invoices := restored.Ledger().Invoices()
+	for i, inv := range invoices {
+		if inv.ID != i {
+			t.Fatalf("invoice IDs not contiguous after restore: %+v", invoices)
+		}
+	}
+	if invoices[len(invoices)-1].Period != 1 {
+		t.Errorf("new invoices should carry period 1")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	if _, err := Restore(Snapshot{Version: 99}, 0); err == nil {
+		t.Error("want error for unknown version")
+	}
+	if _, err := Restore(Snapshot{Version: 1, Mechanism: "nope", Capacity: 1}, 0); err == nil {
+		t.Error("want error for unknown mechanism")
+	}
+	if _, err := Restore(Snapshot{Version: 1, Mechanism: "CAT", Capacity: 0}, 0); err == nil {
+		t.Error("want error for zero capacity")
+	}
+	if _, err := ReadSnapshot(bytes.NewBufferString("{bad json"), 0); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+}

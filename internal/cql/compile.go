@@ -1,0 +1,313 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/engine"
+	"repro/internal/stream"
+)
+
+// Source describes one catalog stream: its schema and expected arrival rate
+// (tuples per tick), used for load estimation.
+type Source struct {
+	Schema *stream.Schema
+	Rate   float64
+}
+
+// Catalog maps source names to their descriptions.
+type Catalog map[string]Source
+
+// Costs holds per-tuple operator costs for load estimation (the paper's
+// "load can at least be reasonably approximated by the system").
+type Costs struct {
+	Filter  float64
+	Project float64
+	Window  float64
+	Join    float64
+	// Selectivity estimates the fraction of tuples surviving a filter when
+	// sizing downstream operators.
+	Selectivity float64
+}
+
+// DefaultCosts returns sensible defaults.
+func DefaultCosts() Costs {
+	return Costs{Filter: 1, Project: 0.5, Window: 2, Join: 4, Selectivity: 0.5}
+}
+
+// Compiled is the result of compiling a query: everything a cloud.Submission
+// needs besides the user and bid.
+type Compiled struct {
+	// Query is the canonicalized query.
+	Query *Query
+	// Operators lists the physical operators with canonical sharing keys
+	// and estimated loads.
+	Operators []cloud.OperatorSpec
+	// Deploy wires the dataflow into a period plan.
+	Deploy cloud.DeployFunc
+}
+
+// Compile type-checks the query against the catalog and produces the
+// canonical operator decomposition. Two textually different but semantically
+// identical queries compile to identical operator keys, so the DSMS shares
+// their physical operators.
+func Compile(q *Query, catalog Catalog, costs Costs) (*Compiled, error) {
+	src, ok := catalog[q.From]
+	if !ok {
+		return nil, fmt.Errorf("cql: unknown source %q", q.From)
+	}
+	if costs.Selectivity <= 0 || costs.Selectivity > 1 {
+		return nil, fmt.Errorf("cql: selectivity must be in (0, 1], got %g", costs.Selectivity)
+	}
+	c := &compiler{q: q, catalog: catalog, costs: costs}
+	if err := c.checkFields(src.Schema); err != nil {
+		return nil, err
+	}
+	return c.build(src)
+}
+
+// MustCompile parses and compiles, panicking on error; for fixtures.
+func MustCompile(text string, catalog Catalog, costs Costs) *Compiled {
+	q, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	comp, err := Compile(q, catalog, costs)
+	if err != nil {
+		panic(err)
+	}
+	return comp
+}
+
+type compiler struct {
+	q       *Query
+	catalog Catalog
+	costs   Costs
+}
+
+// checkFields resolves every referenced field against the relevant schema.
+func (c *compiler) checkFields(schema *stream.Schema) error {
+	q := c.q
+	for _, cmp := range q.Where {
+		if schema.IndexOf(cmp.Field) < 0 {
+			return fmt.Errorf("cql: WHERE references unknown field %q of %s", cmp.Field, q.From)
+		}
+		idx := schema.IndexOf(cmp.Field)
+		if cmp.IsStr && schema.Field(idx).Kind != stream.KindString {
+			return fmt.Errorf("cql: field %q is not a string", cmp.Field)
+		}
+		if !cmp.IsStr && schema.Field(idx).Kind == stream.KindString {
+			return fmt.Errorf("cql: field %q is a string; numeric comparison invalid", cmp.Field)
+		}
+	}
+	for _, f := range q.Fields {
+		if schema.IndexOf(f) < 0 {
+			return fmt.Errorf("cql: SELECT references unknown field %q of %s", f, q.From)
+		}
+	}
+	if q.Agg != "" && q.AggField != "*" && schema.IndexOf(q.AggField) < 0 {
+		return fmt.Errorf("cql: aggregate references unknown field %q of %s", q.AggField, q.From)
+	}
+	if q.GroupBy != "" && schema.IndexOf(q.GroupBy) < 0 {
+		return fmt.Errorf("cql: GROUP BY references unknown field %q of %s", q.GroupBy, q.From)
+	}
+	if q.Join != "" {
+		join, ok := c.catalog[q.Join]
+		if !ok {
+			return fmt.Errorf("cql: unknown join source %q", q.Join)
+		}
+		if schema.IndexOf(q.JoinOn) < 0 || join.Schema.IndexOf(q.JoinOn) < 0 {
+			return fmt.Errorf("cql: join field %q must exist in both %s and %s", q.JoinOn, q.From, q.Join)
+		}
+	}
+	return nil
+}
+
+// build assembles the operator chain and deploy function.
+func (c *compiler) build(src Source) (*Compiled, error) {
+	q := c.q
+	schema := src.Schema
+	rate := src.Rate
+
+	type stage struct {
+		key  string
+		load float64
+		wire func(reg *cloud.SharedOps, in anyPort) anyPort
+	}
+	var stages []stage
+	upstream := fmt.Sprintf("src[%s]", q.From)
+
+	// Filter stage (canonical conjunction).
+	if len(q.Where) > 0 {
+		canon := make([]string, len(q.Where))
+		preds := make([]stream.Predicate, len(q.Where))
+		for i, cmp := range q.Where {
+			canon[i] = cmp.Canon()
+			preds[i] = c.predicate(schema, cmp)
+		}
+		key := fmt.Sprintf("σ[%s][%s]", upstream, strings.Join(canon, "&"))
+		cost := c.costs.Filter
+		pred := stream.And(preds...)
+		stages = append(stages, stage{
+			key:  key,
+			load: cost * rate,
+			wire: func(reg *cloud.SharedOps, in anyPort) anyPort {
+				return anyPort{port: reg.Unary(key, in.port, func() stream.Transform {
+					return stream.NewFilter(key, cost, pred)
+				})}
+			},
+		})
+		upstream = key
+		rate *= c.costs.Selectivity
+	}
+
+	switch {
+	case q.Join != "":
+		join := c.catalog[q.Join]
+		leftIdx := schema.IndexOf(q.JoinOn)
+		rightIdx := join.Schema.IndexOf(q.JoinOn)
+		key := fmt.Sprintf("⋈[%s|src[%s]][%s][w%d]", upstream, q.Join, q.JoinOn, q.JoinWindow)
+		cost := c.costs.Join
+		load := cost * (rate + join.Rate)
+		window := q.JoinWindow
+		joinSrc := q.Join
+		stages = append(stages, stage{
+			key:  key,
+			load: load,
+			wire: func(reg *cloud.SharedOps, in anyPort) anyPort {
+				right, err := reg.Source(joinSrc)
+				if err != nil {
+					in.err = err
+					return in
+				}
+				return anyPort{port: reg.Binary(key, in.port, right, func() stream.BinaryTransform {
+					return stream.NewHashJoin(key, cost, leftIdx, rightIdx, window)
+				})}
+			},
+		})
+
+	case q.Agg != "":
+		spec := stream.WindowSpec{Size: q.Window, Slide: q.Slide, GroupBy: -1}
+		switch q.Agg {
+		case "COUNT":
+			spec.Agg = stream.AggCount
+		case "SUM":
+			spec.Agg = stream.AggSum
+		case "AVG":
+			spec.Agg = stream.AggAvg
+		case "MIN":
+			spec.Agg = stream.AggMin
+		case "MAX":
+			spec.Agg = stream.AggMax
+		}
+		if q.AggField != "*" {
+			spec.Field = schema.IndexOf(q.AggField)
+		}
+		if q.GroupBy != "" {
+			spec.GroupBy = schema.IndexOf(q.GroupBy)
+		}
+		key := fmt.Sprintf("W[%s][%s(%s)][w%d,s%d,g%s]", upstream, q.Agg, q.AggField, q.Window, q.Slide, q.GroupBy)
+		cost := c.costs.Window
+		stages = append(stages, stage{
+			key:  key,
+			load: cost * rate,
+			wire: func(reg *cloud.SharedOps, in anyPort) anyPort {
+				return anyPort{port: reg.Unary(key, in.port, func() stream.Transform {
+					return stream.MustWindowAgg(key, cost, spec)
+				})}
+			},
+		})
+
+	case len(q.Fields) > 0:
+		idx := make([]int, len(q.Fields))
+		for i, f := range q.Fields {
+			idx[i] = schema.IndexOf(f)
+		}
+		key := fmt.Sprintf("π[%s][%s]", upstream, strings.Join(q.Fields, ","))
+		cost := c.costs.Project
+		inSchema := schema
+		stages = append(stages, stage{
+			key:  key,
+			load: cost * rate,
+			wire: func(reg *cloud.SharedOps, in anyPort) anyPort {
+				return anyPort{port: reg.Unary(key, in.port, func() stream.Transform {
+					return stream.NewProject(key, cost, inSchema, idx...)
+				})}
+			},
+		})
+	}
+
+	if len(stages) == 0 {
+		// SELECT * with no WHERE: a passthrough filter so the query owns at
+		// least one operator (the model requires ≥ 1).
+		key := fmt.Sprintf("σ[src[%s]][true]", q.From)
+		cost := c.costs.Filter
+		stages = append(stages, stage{
+			key:  key,
+			load: cost * rate,
+			wire: func(reg *cloud.SharedOps, in anyPort) anyPort {
+				return anyPort{port: reg.Unary(key, in.port, func() stream.Transform {
+					return stream.NewFilter(key, cost, func(stream.Tuple) bool { return true })
+				})}
+			},
+		})
+	}
+
+	ops := make([]cloud.OperatorSpec, len(stages))
+	for i, st := range stages {
+		ops[i] = cloud.OperatorSpec{Key: st.key, Load: st.load}
+	}
+	from := q.From
+	deploy := func(reg *cloud.SharedOps) error {
+		port, err := reg.Source(from)
+		if err != nil {
+			return err
+		}
+		cur := anyPort{port: port}
+		for _, st := range stages {
+			cur = st.wire(reg, cur)
+			if cur.err != nil {
+				return cur.err
+			}
+		}
+		reg.Sink(cur.port)
+		return nil
+	}
+	return &Compiled{Query: q, Operators: ops, Deploy: deploy}, nil
+}
+
+// predicate builds the stream predicate for one comparison.
+func (c *compiler) predicate(schema *stream.Schema, cmp Cmp) stream.Predicate {
+	idx := schema.IndexOf(cmp.Field)
+	if cmp.IsStr {
+		if cmp.Op == "=" {
+			return stream.FieldEqString(idx, cmp.Str)
+		}
+		want := cmp.Str
+		return func(t stream.Tuple) bool { return t.Str(idx) != want }
+	}
+	var op stream.CmpOp
+	switch cmp.Op {
+	case "=":
+		op = stream.Eq
+	case "!=":
+		op = stream.Ne
+	case "<":
+		op = stream.Lt
+	case "<=":
+		op = stream.Le
+	case ">":
+		op = stream.Gt
+	case ">=":
+		op = stream.Ge
+	}
+	return stream.FieldCmp(idx, op, cmp.Num)
+}
+
+// anyPort threads an engine port (plus a deferred error) through the wiring
+// closures.
+type anyPort struct {
+	port engine.PortRef
+	err  error
+}

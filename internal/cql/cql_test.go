@@ -1,0 +1,282 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/cloud"
+	"repro/internal/stream"
+)
+
+func catalog() Catalog {
+	return Catalog{
+		"stocks": {
+			Schema: stream.MustSchema(
+				stream.Field{Name: "symbol", Kind: stream.KindString},
+				stream.Field{Name: "price", Kind: stream.KindFloat},
+				stream.Field{Name: "volume", Kind: stream.KindInt},
+			),
+			Rate: 10,
+		},
+		"news": {
+			Schema: stream.MustSchema(
+				stream.Field{Name: "symbol", Kind: stream.KindString},
+				stream.Field{Name: "sentiment", Kind: stream.KindFloat},
+			),
+			Rate: 2,
+		},
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse("SELECT symbol, price FROM stocks WHERE price > 100 AND symbol = 'ACME'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From != "stocks" || len(q.Fields) != 2 || len(q.Where) != 2 {
+		t.Fatalf("parsed %+v", q)
+	}
+	// Canonical WHERE order sorts the conjuncts.
+	if q.Where[0].Field != "price" || q.Where[1].Field != "symbol" {
+		t.Errorf("canonical order wrong: %v %v", q.Where[0], q.Where[1])
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	q, err := Parse("select avg(price) from stocks where symbol = 'X' window 20 slide 5 group by symbol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg != "AVG" || q.AggField != "price" || q.Window != 20 || q.Slide != 5 || q.GroupBy != "symbol" {
+		t.Fatalf("parsed %+v", q)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) FROM stocks WINDOW 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg != "COUNT" || q.AggField != "*" {
+		t.Fatalf("parsed %+v", q)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	q, err := Parse("SELECT * FROM stocks JOIN news ON symbol WINDOW 16 WHERE price >= 150")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Join != "news" || q.JoinOn != "symbol" || q.JoinWindow != 16 || !q.SelectAll {
+		t.Fatalf("parsed %+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM stocks WHERE",
+		"SELECT * FROM stocks WHERE price >",
+		"SELECT * FROM stocks WHERE price > 'x' extra",
+		"SELECT avg(price) FROM stocks",                  // aggregate without WINDOW
+		"SELECT * FROM stocks WINDOW 5",                  // WINDOW without aggregate
+		"SELECT avg(price) FROM stocks WINDOW 2 SLIDE 5", // slide > window
+		"SELECT * FROM stocks GROUP BY symbol",           // GROUP BY without aggregate
+		"SELECT sum(price FROM stocks WINDOW 5",          // missing paren
+		"SELECT * FROM stocks WHERE symbol < 'A'",        // < on string
+		"SELECT price FROM stocks JOIN news ON symbol",   // projection over join
+		"SELECT * FROM stocks WHERE price ! 5",
+		"SELECT * FROM stocks WHERE price = 'unterminated",
+	}
+	for _, text := range cases {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q): want error", text)
+		}
+	}
+}
+
+func TestCompileFieldErrors(t *testing.T) {
+	cases := []string{
+		"SELECT * FROM nowhere",
+		"SELECT * FROM stocks WHERE missing > 1",
+		"SELECT missing FROM stocks",
+		"SELECT avg(missing) FROM stocks WINDOW 5",
+		"SELECT avg(price) FROM stocks WINDOW 5 GROUP BY missing",
+		"SELECT * FROM stocks JOIN nowhere ON symbol",
+		"SELECT * FROM stocks JOIN news ON price", // not in news
+		"SELECT * FROM stocks WHERE symbol > 3",   // numeric cmp on string
+		"SELECT * FROM stocks WHERE price = 'x'",  // string cmp on number
+	}
+	for _, text := range cases {
+		q, err := Parse(text)
+		if err != nil {
+			continue // parse-level failure also acceptable for some cases
+		}
+		if _, err := Compile(q, catalog(), DefaultCosts()); err == nil {
+			t.Errorf("Compile(%q): want error", text)
+		}
+	}
+}
+
+// TestCanonicalizationShares: semantically identical queries written
+// differently produce identical operator keys — automatic sharing.
+func TestCanonicalizationShares(t *testing.T) {
+	a := MustCompile("SELECT * FROM stocks WHERE price > 100 AND symbol = 'ACME'", catalog(), DefaultCosts())
+	b := MustCompile("select * from stocks where symbol='ACME' and price>100", catalog(), DefaultCosts())
+	if len(a.Operators) != 1 || len(b.Operators) != 1 {
+		t.Fatalf("operator counts %d / %d", len(a.Operators), len(b.Operators))
+	}
+	if a.Operators[0].Key != b.Operators[0].Key {
+		t.Errorf("keys differ:\n  %s\n  %s", a.Operators[0].Key, b.Operators[0].Key)
+	}
+	// A different threshold must NOT share.
+	c := MustCompile("SELECT * FROM stocks WHERE price > 200 AND symbol = 'ACME'", catalog(), DefaultCosts())
+	if c.Operators[0].Key == a.Operators[0].Key {
+		t.Error("different predicates share a key")
+	}
+}
+
+// TestSelectStarPassthrough: SELECT * with no WHERE compiles to a
+// passthrough operator (the model requires every query to own at least one
+// operator), and it still flows tuples end to end.
+func TestSelectStarPassthrough(t *testing.T) {
+	comp := MustCompile("SELECT * FROM stocks", catalog(), DefaultCosts())
+	if len(comp.Operators) != 1 {
+		t.Fatalf("operators = %+v, want one passthrough", comp.Operators)
+	}
+	if !strings.Contains(comp.Operators[0].Key, "true") {
+		t.Errorf("passthrough key = %q", comp.Operators[0].Key)
+	}
+	center := cloud.New(auction.NewCAT(), 100)
+	for name, src := range catalog() {
+		center.DeclareSource(name, src.Schema)
+	}
+	if err := center.Submit(cloud.Submission{User: 1, Name: "all", Bid: 5, Operators: comp.Operators, Deploy: comp.Deploy}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := center.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+	if err := center.Push("stocks", stream.NewTuple(1, "X", 1.0, int64(1))); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(center.Results("all")); got != 1 {
+		t.Fatalf("results = %d, want 1", got)
+	}
+}
+
+func TestLoadEstimation(t *testing.T) {
+	costs := DefaultCosts()
+	comp := MustCompile("SELECT avg(price) FROM stocks WHERE price > 100 WINDOW 10", catalog(), costs)
+	if len(comp.Operators) != 2 {
+		t.Fatalf("operators = %+v, want filter + window", comp.Operators)
+	}
+	// Filter: cost 1 × rate 10 = 10; window: cost 2 × (10 × selectivity 0.5) = 10.
+	if comp.Operators[0].Load != 10 {
+		t.Errorf("filter load = %v, want 10", comp.Operators[0].Load)
+	}
+	if comp.Operators[1].Load != 10 {
+		t.Errorf("window load = %v, want 10", comp.Operators[1].Load)
+	}
+}
+
+// TestEndToEndThroughCenter: two users submit equivalent CQL; the center
+// shares the physical filter, admits both, and both receive results.
+func TestEndToEndThroughCenter(t *testing.T) {
+	cat := catalog()
+	center := cloud.New(auction.NewCAT(), 100)
+	for name, src := range cat {
+		center.DeclareSource(name, src.Schema)
+	}
+	submit := func(user int, name, text string, bid float64) {
+		comp := MustCompile(text, cat, DefaultCosts())
+		err := center.Submit(cloud.Submission{
+			User: user, Name: name, Bid: bid,
+			Operators: comp.Operators, Deploy: comp.Deploy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit(1, "alice", "SELECT * FROM stocks WHERE price > 100", 30)
+	submit(2, "bob", "select * from stocks where price>100", 20)
+	submit(3, "carol", "SELECT avg(price) FROM stocks WINDOW 4", 25)
+	report, err := center.ClosePeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Admitted) != 3 {
+		t.Fatalf("admitted %d, want 3", len(report.Admitted))
+	}
+	// Plan: one shared filter + one window = 2 nodes.
+	if n := center.Engine().Plan().NumNodes(); n != 2 {
+		t.Fatalf("plan nodes = %d, want 2 (filter shared)", n)
+	}
+	for i := 0; i < 8; i++ {
+		price := 90.0 + float64(i)*10
+		if err := center.Push("stocks", stream.NewTuple(int64(i), "ACME", price, int64(100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alice, bob := center.Results("alice"), center.Results("bob")
+	if len(alice) != 6 || len(bob) != 6 { // prices 100..160 exceed 100: 110..160 = 6
+		t.Errorf("alice=%d bob=%d results, want 6 each", len(alice), len(bob))
+	}
+	carol := center.Results("carol")
+	if len(carol) != 2 { // two tumbling windows of 4
+		t.Errorf("carol results = %d, want 2", len(carol))
+	}
+}
+
+// TestJoinEndToEnd compiles a join query and runs tuples through it.
+func TestJoinEndToEnd(t *testing.T) {
+	cat := catalog()
+	center := cloud.New(auction.NewCAT(), 1000)
+	for name, src := range cat {
+		center.DeclareSource(name, src.Schema)
+	}
+	comp := MustCompile("SELECT * FROM stocks JOIN news ON symbol WINDOW 8 WHERE price > 100", cat, DefaultCosts())
+	if err := center.Submit(cloud.Submission{User: 1, Name: "corr", Bid: 50, Operators: comp.Operators, Deploy: comp.Deploy}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := center.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(center.Push("stocks", stream.NewTuple(1, "ACME", 150.0, int64(10))))
+	check(center.Push("stocks", stream.NewTuple(2, "ACME", 50.0, int64(10)))) // filtered out
+	check(center.Push("news", stream.NewTuple(3, "ACME", 0.9)))
+	check(center.Push("news", stream.NewTuple(4, "OTHER", 0.1)))
+	got := center.Results("corr")
+	if len(got) != 1 {
+		t.Fatalf("join results = %d, want 1", len(got))
+	}
+	if got[0].Str(0) != "ACME" {
+		t.Errorf("joined tuple = %+v", got[0])
+	}
+}
+
+func TestQueryStringCanonical(t *testing.T) {
+	a, err := Parse("select * from stocks where symbol='X' and price>5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("SELECT  *  FROM stocks  WHERE price > 5 AND symbol = 'X'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("canonical strings differ:\n  %s\n  %s", a, b)
+	}
+	if !strings.Contains(a.String(), "price>5") {
+		t.Errorf("canonical string = %s", a)
+	}
+}

@@ -1,0 +1,56 @@
+package cql
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary inputs: they must
+// never panic, and anything Parse accepts must re-parse from its canonical
+// String() form to the same canonical form (parse-print-parse fixpoint).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM stocks",
+		"SELECT symbol, price FROM stocks WHERE price > 100",
+		"select avg(price) from stocks window 20 slide 5 group by symbol",
+		"SELECT COUNT(*) FROM stocks WHERE symbol = 'ACME' WINDOW 10",
+		"SELECT * FROM stocks JOIN news ON symbol WINDOW 16 WHERE price >= 150",
+		"SELECT min(price) FROM stocks WHERE price != 5 AND volume <= 1000 WINDOW 3",
+		"SELECT * FROM s WHERE a > -1.5",
+		"SELECT * FROM s WHERE x = 'quoted string'",
+		"}{[]()!@#$%^&*",
+		"SELECT SELECT FROM FROM",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, input, err)
+		}
+		if q2.String() != canon {
+			t.Fatalf("canonicalization not a fixpoint:\n  %q\n  %q", canon, q2.String())
+		}
+	})
+}
+
+// FuzzLex checks the lexer in isolation.
+func FuzzLex(f *testing.F) {
+	f.Add("SELECT * FROM x WHERE a >= 1.25 AND b = 'y'")
+	f.Add("'unterminated")
+	f.Add("a!b")
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := lex(input)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatal("token stream must end with EOF")
+		}
+	})
+}

@@ -1,0 +1,135 @@
+// Package cql is a small continuous-query language front-end for the DSMS
+// center: clients write SELECT/FROM/JOIN/WHERE/WINDOW/GROUP BY text, the
+// compiler canonicalizes each physical operator into a key, and identical
+// sub-plans from different users therefore share one operator instance —
+// the paper's premise that "many of the CQs are similar, but not identical"
+// made concrete.
+//
+// Grammar (case-insensitive keywords):
+//
+//	query   = SELECT sel FROM ident
+//	          [ JOIN ident ON ident [ WINDOW int ] ]
+//	          [ WHERE cmp { AND cmp } ]
+//	          [ WINDOW int [ SLIDE int ] ] [ GROUP BY ident ]
+//	sel     = '*' | ident { ',' ident } | agg '(' ident ')'
+//	agg     = COUNT | SUM | AVG | MIN | MAX
+//	cmp     = ident op ( number | string )
+//	op      = '=' | '!=' | '<' | '<=' | '>' | '>='
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp // comparison operators
+	tokComma
+	tokLParen
+	tokRParen
+	tokStar
+)
+
+// token is one lexeme with its source position (byte offset) for errors.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "JOIN": true, "ON": true, "WHERE": true,
+	"AND": true, "WINDOW": true, "SLIDE": true, "GROUP": true, "BY": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// lex splits the input into tokens. It returns an error for unterminated
+// strings or unexpected runes.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '\'':
+			end := strings.IndexByte(input[i+1:], '\'')
+			if end < 0 {
+				return nil, fmt.Errorf("cql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : i+1+end], i})
+			i += end + 2
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!' || c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(input) && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("cql: stray '!' at offset %d", i)
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case unicode.IsDigit(c) || c == '.' || c == '-':
+			start := i
+			i++
+			for i < len(input) && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				i++
+			}
+			// Scientific notation: 1e6, 2.5E-3, 1e+06.
+			if i < len(input) && (input[i] == 'e' || input[i] == 'E') {
+				j := i + 1
+				if j < len(input) && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				if j < len(input) && unicode.IsDigit(rune(input[j])) {
+					i = j
+					for i < len(input) && unicode.IsDigit(rune(input[i])) {
+						i++
+					}
+				}
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			if keywords[strings.ToUpper(word)] {
+				toks = append(toks, token{tokKeyword, strings.ToUpper(word), start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		default:
+			return nil, fmt.Errorf("cql: unexpected %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}

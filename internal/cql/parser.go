@@ -1,0 +1,322 @@
+package cql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Query is the parsed form of one continuous query.
+type Query struct {
+	// SelectAll is true for SELECT *.
+	SelectAll bool
+	// Fields are the projected field names (empty with SelectAll or Agg).
+	Fields []string
+	// Agg is the aggregate function name ("" if none); AggField its input.
+	Agg      string
+	AggField string
+	// From is the primary source stream.
+	From string
+	// Join names the joined source ("" if none); JoinOn the equi-join field
+	// present in both schemas; JoinWindow the per-side retention (default 8).
+	Join       string
+	JoinOn     string
+	JoinWindow int
+	// Where holds the conjunctive predicates, canonically sorted.
+	Where []Cmp
+	// Window/Slide configure the aggregate window (tuples); GroupBy the
+	// grouping field ("" for a single group).
+	Window  int
+	Slide   int
+	GroupBy string
+}
+
+// Cmp is one comparison predicate.
+type Cmp struct {
+	Field string
+	Op    string // = != < <= > >=
+	// Num / Str hold the literal; IsStr selects which.
+	Num   float64
+	Str   string
+	IsStr bool
+}
+
+// Canon renders the predicate canonically. Numbers use plain decimal
+// notation (never scientific) so the canonical form always re-parses.
+func (c Cmp) Canon() string {
+	if c.IsStr {
+		return fmt.Sprintf("%s%s'%s'", c.Field, c.Op, c.Str)
+	}
+	return c.Field + c.Op + strconv.FormatFloat(c.Num, 'f', -1, 64)
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one query.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(k tokenKind) bool {
+	return p.cur().kind == k
+}
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == kw
+}
+func (p *parser) eatKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("cql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.eatKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if !p.at(tokIdent) {
+		return "", p.errf("expected identifier, got %q", p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) expectInt() (int, error) {
+	if !p.at(tokNumber) {
+		return 0, p.errf("expected number, got %q", p.cur().text)
+	}
+	n, err := strconv.Atoi(p.next().text)
+	if err != nil {
+		return 0, p.errf("expected integer: %v", err)
+	}
+	if n <= 0 {
+		return 0, p.errf("expected positive integer, got %d", n)
+	}
+	return n, nil
+}
+
+var aggNames = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{JoinWindow: 8}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelect(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from
+
+	if p.eatKeyword("JOIN") {
+		if q.Join, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		if q.JoinOn, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if p.eatKeyword("WINDOW") {
+			if q.JoinWindow, err = p.expectInt(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.eatKeyword("WHERE") {
+		for {
+			cmp, err := p.parseCmp()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, cmp)
+			if !p.eatKeyword("AND") {
+				break
+			}
+		}
+		// Canonical order makes textually-reordered conjunctions share.
+		sort.Slice(q.Where, func(a, b int) bool { return q.Where[a].Canon() < q.Where[b].Canon() })
+	}
+	if p.eatKeyword("WINDOW") {
+		if q.Window, err = p.expectInt(); err != nil {
+			return nil, err
+		}
+		if p.eatKeyword("SLIDE") {
+			if q.Slide, err = p.expectInt(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.eatKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		if q.GroupBy, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+	}
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelect(q *Query) error {
+	if p.at(tokStar) {
+		p.next()
+		q.SelectAll = true
+		return nil
+	}
+	if p.cur().kind == tokKeyword && aggNames[p.cur().text] {
+		q.Agg = p.next().text
+		if !p.at(tokLParen) {
+			return p.errf("expected ( after %s", q.Agg)
+		}
+		p.next()
+		if p.at(tokStar) && q.Agg == "COUNT" {
+			p.next()
+			q.AggField = "*"
+		} else {
+			f, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			q.AggField = f
+		}
+		if !p.at(tokRParen) {
+			return p.errf("expected ) after aggregate field")
+		}
+		p.next()
+		return nil
+	}
+	for {
+		f, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		q.Fields = append(q.Fields, f)
+		if !p.at(tokComma) {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseCmp() (Cmp, error) {
+	field, err := p.expectIdent()
+	if err != nil {
+		return Cmp{}, err
+	}
+	if !p.at(tokOp) {
+		return Cmp{}, p.errf("expected comparison operator, got %q", p.cur().text)
+	}
+	op := p.next().text
+	switch {
+	case p.at(tokNumber):
+		v, err := strconv.ParseFloat(p.next().text, 64)
+		if err != nil {
+			return Cmp{}, p.errf("bad number: %v", err)
+		}
+		return Cmp{Field: field, Op: op, Num: v}, nil
+	case p.at(tokString):
+		s := p.next().text
+		if op != "=" && op != "!=" {
+			return Cmp{}, p.errf("operator %s not defined on strings", op)
+		}
+		return Cmp{Field: field, Op: op, Str: s, IsStr: true}, nil
+	default:
+		return Cmp{}, p.errf("expected literal, got %q", p.cur().text)
+	}
+}
+
+// validate enforces cross-clause constraints.
+func (q *Query) validate() error {
+	if q.Window > 0 && q.Agg == "" {
+		return fmt.Errorf("cql: WINDOW requires an aggregate SELECT")
+	}
+	if q.Slide > 0 && q.Slide > q.Window {
+		return fmt.Errorf("cql: SLIDE %d exceeds WINDOW %d", q.Slide, q.Window)
+	}
+	if q.GroupBy != "" && q.Agg == "" {
+		return fmt.Errorf("cql: GROUP BY requires an aggregate SELECT")
+	}
+	if q.Agg != "" && q.Window == 0 {
+		return fmt.Errorf("cql: aggregate SELECT requires a WINDOW clause")
+	}
+	if q.Agg != "" && q.Join != "" {
+		return fmt.Errorf("cql: aggregates over joins are not supported")
+	}
+	if len(q.Fields) > 0 && q.Join != "" {
+		return fmt.Errorf("cql: projections over joins are not supported; use SELECT *")
+	}
+	return nil
+}
+
+// String renders the query canonically (stable across formatting-only
+// differences of the input).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch {
+	case q.SelectAll:
+		b.WriteString("*")
+	case q.Agg != "":
+		fmt.Fprintf(&b, "%s(%s)", q.Agg, q.AggField)
+	default:
+		b.WriteString(strings.Join(q.Fields, ", "))
+	}
+	fmt.Fprintf(&b, " FROM %s", q.From)
+	if q.Join != "" {
+		fmt.Fprintf(&b, " JOIN %s ON %s WINDOW %d", q.Join, q.JoinOn, q.JoinWindow)
+	}
+	if len(q.Where) > 0 {
+		parts := make([]string, len(q.Where))
+		for i, c := range q.Where {
+			parts[i] = c.Canon()
+		}
+		fmt.Fprintf(&b, " WHERE %s", strings.Join(parts, " AND "))
+	}
+	if q.Window > 0 {
+		fmt.Fprintf(&b, " WINDOW %d", q.Window)
+		if q.Slide > 0 {
+			fmt.Fprintf(&b, " SLIDE %d", q.Slide)
+		}
+	}
+	if q.GroupBy != "" {
+		fmt.Fprintf(&b, " GROUP BY %s", q.GroupBy)
+	}
+	return b.String()
+}

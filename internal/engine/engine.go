@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// Engine executes a shared plan over pushed tuples and implements the
+// paper's end-of-period transition phase. It also meters per-operator cost,
+// producing the load estimates the admission auction consumes.
+type Engine struct {
+	plan *Plan
+
+	// Connection-point state: while holding, pushed tuples are buffered
+	// per-source instead of processed, exactly like Aurora's upstream
+	// connection points during plan modification.
+	holding bool
+	held    []heldTuple
+
+	// results accumulates per-query outputs for the current period.
+	results map[string][]stream.Tuple
+	// delivered counts tuples routed to each sink since the last stats
+	// reset, surviving Results() drains.
+	delivered map[string]int64
+
+	// stats accumulates per-node processed-tuple counts and cost.
+	stats []nodeStats
+	// ticks is the simulated time elapsed in the current metering period.
+	ticks int64
+	// dropped counts tuples pushed to sources absent from the plan.
+	dropped int
+}
+
+type heldTuple struct {
+	source string
+	tuple  stream.Tuple
+}
+
+type nodeStats struct {
+	tuples int64
+	out    int64
+	cost   float64
+}
+
+// New returns an engine running the given built plan.
+func New(p *Plan) (*Engine, error) {
+	if !p.built {
+		if err := p.Build(); err != nil {
+			return nil, err
+		}
+	}
+	return &Engine{
+		plan:      p,
+		results:   make(map[string][]stream.Tuple),
+		delivered: make(map[string]int64),
+		stats:     make([]nodeStats, len(p.nodes)),
+	}, nil
+}
+
+// Push injects a tuple into the named source stream. While the engine is
+// holding (mid-transition), the tuple is buffered at the source's connection
+// point and replayed after the plan swap. Pushing to an unknown source
+// drops the tuple and returns an error.
+func (e *Engine) Push(sourceName string, t stream.Tuple) error {
+	if e.holding {
+		e.held = append(e.held, heldTuple{sourceName, t})
+		return nil
+	}
+	s, ok := e.plan.sources[sourceName]
+	if !ok {
+		e.dropped++
+		return fmt.Errorf("engine: unknown source %q", sourceName)
+	}
+	if s.schema != nil && !s.schema.Conforms(t) {
+		e.dropped++
+		return fmt.Errorf("engine: tuple does not conform to source %q schema %s", sourceName, s.schema)
+	}
+	for _, eg := range s.out {
+		e.route(eg, t)
+	}
+	return nil
+}
+
+// route delivers a tuple across one edge: into a node (processing it and
+// recursing on the outputs) or into a sink.
+func (e *Engine) route(eg edge, t stream.Tuple) {
+	if eg.node < 0 {
+		e.results[eg.sink] = append(e.results[eg.sink], t)
+		e.delivered[eg.sink]++
+		return
+	}
+	n := e.plan.nodes[eg.node]
+	st := &e.stats[eg.node]
+	st.tuples++
+	st.cost += n.cost()
+	var outs []stream.Tuple
+	if n.unary != nil {
+		outs = n.unary.Apply(t)
+	} else if eg.side == stream.Left {
+		outs = n.binary.ApplyLeft(t)
+	} else {
+		outs = n.binary.ApplyRight(t)
+	}
+	st.out += int64(len(outs))
+	for _, o := range outs {
+		for _, next := range n.out {
+			e.route(next, o)
+		}
+	}
+}
+
+// Advance moves the simulated clock forward; load estimates divide
+// accumulated operator cost by elapsed ticks.
+func (e *Engine) Advance(ticks int64) { e.ticks += ticks }
+
+// Results returns and clears the accumulated output tuples of the named
+// query.
+func (e *Engine) Results(queryName string) []stream.Tuple {
+	out := e.results[queryName]
+	delete(e.results, queryName)
+	return out
+}
+
+// PeekResults returns the accumulated outputs without clearing them.
+func (e *Engine) PeekResults(queryName string) []stream.Tuple {
+	return e.results[queryName]
+}
+
+// Dropped returns the number of tuples rejected at Push.
+func (e *Engine) Dropped() int { return e.dropped }
+
+// NodeLoad describes an operator's measured load over the metering period.
+type NodeLoad struct {
+	ID     int
+	Name   string
+	Tuples int64
+	// OutTuples counts emitted tuples; OutTuples/Tuples is the operator's
+	// measured selectivity, the quantity the CQL compiler's load estimates
+	// assume and the feedback loop calibrates.
+	OutTuples int64
+	// Load is accumulated cost divided by elapsed ticks: the fraction of
+	// one capacity unit the operator consumed per tick, the c_j of the
+	// paper's model.
+	Load   float64
+	Owners []string
+}
+
+// Selectivity returns OutTuples/Tuples (1 before any input).
+func (nl NodeLoad) Selectivity() float64 {
+	if nl.Tuples == 0 {
+		return 1
+	}
+	return float64(nl.OutTuples) / float64(nl.Tuples)
+}
+
+// Loads returns the measured load of every operator node, sorted by node ID.
+// With zero elapsed ticks loads are reported as raw accumulated cost.
+func (e *Engine) Loads() []NodeLoad {
+	infos := e.plan.Nodes()
+	out := make([]NodeLoad, len(infos))
+	for i, info := range infos {
+		load := e.stats[i].cost
+		if e.ticks > 0 {
+			load /= float64(e.ticks)
+		}
+		owners := append([]string(nil), info.Owners...)
+		sort.Strings(owners)
+		out[i] = NodeLoad{
+			ID:        info.ID,
+			Name:      info.Name,
+			Tuples:    e.stats[i].tuples,
+			OutTuples: e.stats[i].out,
+			Load:      load,
+			Owners:    owners,
+		}
+	}
+	return out
+}
+
+// Delivered returns the number of tuples routed to the named query's sink
+// since the last stats reset (unaffected by Results drains).
+func (e *Engine) Delivered(queryName string) int64 { return e.delivered[queryName] }
+
+// OutputRate returns the named query's delivered tuples per tick over the
+// metering period (0 before any Advance).
+func (e *Engine) OutputRate(queryName string) float64 {
+	if e.ticks == 0 {
+		return 0
+	}
+	return float64(e.delivered[queryName]) / float64(e.ticks)
+}
+
+// ResetStats zeroes per-operator metering, per-sink delivery counters and
+// the period clock.
+func (e *Engine) ResetStats() {
+	e.stats = make([]nodeStats, len(e.plan.nodes))
+	e.delivered = make(map[string]int64)
+	e.ticks = 0
+}
+
+// Hold closes the upstream connection points: subsequent pushes buffer
+// instead of processing. Idempotent.
+func (e *Engine) Hold() { e.holding = true }
+
+// Holding reports whether the engine is currently holding input.
+func (e *Engine) Holding() bool { return e.holding }
+
+// Transition performs the paper's end-of-period plan change:
+//
+//  1. hold incoming tuples at the upstream connection points,
+//  2. drain: flush exactly the operators that do NOT survive into the new
+//     plan (state of surviving operator instances carries over untouched, so
+//     continuing queries keep producing correct results),
+//  3. swap the plan,
+//  4. replay the held tuples into the new plan before newly arriving ones.
+//
+// Flush outputs of drained operators are routed through the old plan so any
+// in-progress window results still reach their sinks.
+func (e *Engine) Transition(newPlan *Plan) error {
+	if !newPlan.built {
+		if err := newPlan.Build(); err != nil {
+			return err
+		}
+	}
+	e.Hold()
+	// Drain removed operators in topological (construction) order so flushed
+	// tuples flow through downstream operators that are themselves about to
+	// be flushed.
+	for _, n := range e.plan.nodes {
+		if newPlan.hasTransform(n.unary, n.binary) {
+			continue
+		}
+		var outs []stream.Tuple
+		if n.unary != nil {
+			outs = n.unary.Flush()
+		} else {
+			outs = n.binary.Flush()
+		}
+		for _, o := range outs {
+			for _, next := range n.out {
+				e.route(next, o)
+			}
+		}
+	}
+
+	e.plan = newPlan
+	e.stats = make([]nodeStats, len(newPlan.nodes))
+	e.delivered = make(map[string]int64)
+	e.ticks = 0
+
+	// Replay held tuples in arrival order before resuming live input.
+	held := e.held
+	e.held = nil
+	e.holding = false
+	for _, h := range held {
+		// Sources dropped from the new plan lose their held tuples, which
+		// matches disconnecting the stream; ignore the error.
+		_ = e.Push(h.source, h.tuple)
+	}
+	return nil
+}
+
+// Plan returns the currently-running plan.
+func (e *Engine) Plan() *Plan { return e.plan }

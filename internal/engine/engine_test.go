@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+var testSchema = stream.MustSchema(
+	stream.Field{Name: "sym", Kind: stream.KindString},
+	stream.Field{Name: "v", Kind: stream.KindFloat},
+)
+
+func tup(ts int64, sym string, v float64) stream.Tuple {
+	return stream.NewTuple(ts, sym, v)
+}
+
+func TestPlanValidation(t *testing.T) {
+	t.Run("no sinks", func(t *testing.T) {
+		p := NewPlan()
+		p.AddSource("s", testSchema)
+		if err := p.Build(); err == nil {
+			t.Error("want error for sink-less plan")
+		}
+	})
+	t.Run("unknown source", func(t *testing.T) {
+		p := NewPlan()
+		p.AddUnary(stream.NewFilter("f", 1, func(stream.Tuple) bool { return true }), FromSource("missing"))
+		p.AddSink("q", PortRef{node: 0})
+		if err := p.Build(); err == nil {
+			t.Error("want error for unknown source")
+		}
+	})
+	t.Run("duplicate sink", func(t *testing.T) {
+		p := NewPlan()
+		p.AddSource("s", testSchema)
+		p.AddSink("q", FromSource("s"))
+		p.AddSink("q", FromSource("s"))
+		if err := p.Build(); err == nil {
+			t.Error("want error for duplicate sink")
+		}
+	})
+	t.Run("duplicate source", func(t *testing.T) {
+		p := NewPlan()
+		p.AddSource("s", testSchema)
+		p.AddSource("s", testSchema)
+		p.AddSink("q", FromSource("s"))
+		if err := p.Build(); err == nil {
+			t.Error("want error for duplicate source")
+		}
+	})
+}
+
+func TestPushRoutingAndResults(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	f := p.AddUnary(stream.NewFilter("hi", 1, stream.FieldCmp(1, stream.Gt, 10)), FromSource("s"))
+	p.AddSink("q", f)
+	eng, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, eng.Push("s", tup(1, "a", 20)))
+	check(t, eng.Push("s", tup(2, "a", 5)))
+	got := eng.Results("q")
+	if len(got) != 1 || got[0].Float(1) != 20 {
+		t.Fatalf("results = %+v, want the single passing tuple", got)
+	}
+	if len(eng.Results("q")) != 0 {
+		t.Error("Results should drain")
+	}
+}
+
+func TestPushErrors(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	p.AddSink("q", FromSource("s"))
+	eng, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Push("nope", tup(1, "a", 1)); err == nil {
+		t.Error("want error for unknown source")
+	}
+	if err := eng.Push("s", stream.NewTuple(1, int64(3))); err == nil {
+		t.Error("want error for non-conforming tuple")
+	}
+	if eng.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", eng.Dropped())
+	}
+}
+
+// TestSharedOperatorRunsOnce: a node feeding two sinks processes each tuple
+// once (shared processing) while both queries receive the results.
+func TestSharedOperatorRunsOnce(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	shared := p.AddUnary(stream.NewFilter("shared", 2, stream.FieldCmp(1, stream.Gt, 0)), FromSource("s"))
+	p.AddSink("q1", shared)
+	p.AddSink("q2", shared)
+	eng, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		check(t, eng.Push("s", tup(int64(i), "a", 1)))
+	}
+	eng.Advance(10)
+	loads := eng.Loads()
+	if len(loads) != 1 {
+		t.Fatalf("want one node, got %d", len(loads))
+	}
+	if loads[0].Tuples != 10 {
+		t.Errorf("shared node processed %d tuples, want 10 (once per tuple)", loads[0].Tuples)
+	}
+	if loads[0].Load != 2 { // cost 2 × 10 tuples / 10 ticks
+		t.Errorf("load = %v, want 2", loads[0].Load)
+	}
+	if len(loads[0].Owners) != 2 {
+		t.Errorf("owners = %v, want both queries", loads[0].Owners)
+	}
+	if len(eng.Results("q1")) != 10 || len(eng.Results("q2")) != 10 {
+		t.Error("both sinks should receive every tuple")
+	}
+}
+
+// TestSharedEqualsUnshared: a shared operator produces exactly the outputs
+// two private copies would.
+func TestSharedEqualsUnshared(t *testing.T) {
+	build := func(shared bool) ([]stream.Tuple, []stream.Tuple) {
+		p := NewPlan()
+		p.AddSource("s", testSchema)
+		mk := func() stream.Transform {
+			return stream.NewFilter("f", 1, stream.FieldCmp(1, stream.Gt, 50))
+		}
+		var out1, out2 PortRef
+		if shared {
+			n := p.AddUnary(mk(), FromSource("s"))
+			out1, out2 = n, n
+		} else {
+			out1 = p.AddUnary(mk(), FromSource("s"))
+			out2 = p.AddUnary(mk(), FromSource("s"))
+		}
+		p.AddSink("q1", out1)
+		p.AddSink("q2", out2)
+		eng, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			check(t, eng.Push("s", tup(int64(i), "a", float64(i*3%100))))
+		}
+		return eng.Results("q1"), eng.Results("q2")
+	}
+	s1, s2 := build(true)
+	u1, u2 := build(false)
+	if len(s1) != len(u1) || len(s2) != len(u2) {
+		t.Fatalf("shared vs unshared counts differ: %d/%d vs %d/%d", len(s1), len(s2), len(u1), len(u2))
+	}
+	for i := range s1 {
+		if s1[i].Float(1) != u1[i].Float(1) {
+			t.Fatal("shared and unshared outputs diverge")
+		}
+	}
+}
+
+func TestBinaryRouting(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("l", testSchema)
+	p.AddSource("r", testSchema)
+	j := p.AddBinary(stream.NewHashJoin("join", 2, 0, 0, 8), FromSource("l"), FromSource("r"))
+	p.AddSink("q", j)
+	eng, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, eng.Push("l", tup(1, "k", 1)))
+	check(t, eng.Push("r", tup(2, "k", 2)))
+	check(t, eng.Push("r", tup(3, "x", 9)))
+	got := eng.Results("q")
+	if len(got) != 1 {
+		t.Fatalf("join results = %d, want 1", len(got))
+	}
+	if got[0].Str(0) != "k" || got[0].Str(2) != "k" {
+		t.Errorf("join tuple = %+v", got[0])
+	}
+}
+
+// TestHoldBuffersAtConnectionPoints: while holding, pushes buffer instead of
+// processing and replay after the transition.
+func TestHoldBuffersAtConnectionPoints(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	p.AddSink("q", FromSource("s"))
+	eng, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Hold()
+	if !eng.Holding() {
+		t.Fatal("engine should be holding")
+	}
+	check(t, eng.Push("s", tup(1, "a", 1)))
+	if len(eng.PeekResults("q")) != 0 {
+		t.Fatal("held tuple must not be processed")
+	}
+	// Transition to the same structure; the held tuple replays.
+	p2 := NewPlan()
+	p2.AddSource("s", testSchema)
+	p2.AddSink("q", FromSource("s"))
+	if err := eng.Transition(p2); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Results("q"); len(got) != 1 {
+		t.Fatalf("replayed results = %d, want 1", len(got))
+	}
+}
+
+// TestTransitionPreservesSurvivorState: an operator instance present in both
+// plans keeps its window state across the transition — the paper's
+// "correctness of the results output by CQs that continue to execute".
+func TestTransitionPreservesSurvivorState(t *testing.T) {
+	survivor := stream.MustWindowAgg("sum4", 1, stream.WindowSpec{
+		Size: 4, Agg: stream.AggSum, Field: 1, GroupBy: -1,
+	})
+	p1 := NewPlan()
+	p1.AddSource("s", testSchema)
+	w1 := p1.AddUnary(survivor, FromSource("s"))
+	p1.AddSink("q", w1)
+	eng, err := New(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half-fill the window before the transition.
+	check(t, eng.Push("s", tup(1, "a", 1)))
+	check(t, eng.Push("s", tup(2, "a", 2)))
+
+	p2 := NewPlan()
+	p2.AddSource("s", testSchema)
+	w2 := p2.AddUnary(survivor, FromSource("s")) // same instance survives
+	p2.AddSink("q", w2)
+	newcomer := p2.AddUnary(stream.NewFilter("new", 1, func(stream.Tuple) bool { return true }), FromSource("s"))
+	p2.AddSink("q2", newcomer)
+	if err := eng.Transition(p2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Completing the window after the transition must include the
+	// pre-transition tuples: 1+2+3+4 = 10.
+	check(t, eng.Push("s", tup(3, "a", 3)))
+	check(t, eng.Push("s", tup(4, "a", 4)))
+	got := eng.Results("q")
+	if len(got) != 1 || got[0].Float(1) != 10 {
+		t.Fatalf("post-transition window = %+v, want sum 10 across the transition", got)
+	}
+	if len(eng.Results("q2")) != 2 {
+		t.Error("newcomer query should see the post-transition tuples")
+	}
+}
+
+// TestTransitionDrainsRemovedOperators: operators absent from the new plan
+// are flushed and their in-flight results reach the old sinks.
+func TestTransitionDrainsRemovedOperators(t *testing.T) {
+	removed := stream.MustWindowAgg("sum10", 1, stream.WindowSpec{
+		Size: 10, Agg: stream.AggSum, Field: 1, GroupBy: -1,
+	})
+	p1 := NewPlan()
+	p1.AddSource("s", testSchema)
+	w := p1.AddUnary(removed, FromSource("s"))
+	p1.AddSink("q", w)
+	eng, err := New(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, eng.Push("s", tup(1, "a", 5)))
+	check(t, eng.Push("s", tup(2, "a", 7)))
+
+	p2 := NewPlan()
+	p2.AddSource("s", testSchema)
+	p2.AddSink("other", FromSource("s"))
+	if err := eng.Transition(p2); err != nil {
+		t.Fatal(err)
+	}
+	// The removed window flushed its partial sum through the old sink.
+	got := eng.Results("q")
+	if len(got) != 1 || got[0].Float(1) != 12 {
+		t.Fatalf("drained partial = %+v, want sum 12", got)
+	}
+}
+
+// TestTransitionDropsUnknownSourceTuples: held tuples for sources absent
+// from the new plan are discarded, like a disconnected stream.
+func TestTransitionDropsUnknownSourceTuples(t *testing.T) {
+	p1 := NewPlan()
+	p1.AddSource("s", testSchema)
+	p1.AddSink("q", FromSource("s"))
+	eng, err := New(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Hold()
+	check(t, eng.Push("s", tup(1, "a", 1)))
+
+	p2 := NewPlan()
+	p2.AddSource("t", testSchema)
+	p2.AddSink("q2", FromSource("t"))
+	if err := eng.Transition(p2); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Holding() {
+		t.Error("transition should resume input")
+	}
+	if len(eng.PeekResults("q2")) != 0 {
+		t.Error("dropped-source tuple leaked into the new plan")
+	}
+}
+
+// TestOwnersMarkedThroughSharedChain: AddSink walks upstream through shared
+// nodes, so the auction sees correct per-operator sharing.
+func TestOwnersMarkedThroughSharedChain(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	a := p.AddUnary(stream.NewFilter("a", 1, func(stream.Tuple) bool { return true }), FromSource("s"))
+	b := p.AddUnary(stream.NewFilter("b", 1, func(stream.Tuple) bool { return true }), a)
+	c := p.AddUnary(stream.NewFilter("c", 1, func(stream.Tuple) bool { return true }), a)
+	p.AddSink("q1", b)
+	p.AddSink("q2", c)
+	if err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+	nodes := p.Nodes()
+	if len(nodes[0].Owners) != 2 {
+		t.Errorf("node a owners = %v, want both queries", nodes[0].Owners)
+	}
+	if len(nodes[1].Owners) != 1 || len(nodes[2].Owners) != 1 {
+		t.Errorf("downstream owners = %v / %v, want one each", nodes[1].Owners, nodes[2].Owners)
+	}
+}
+
+func TestMeasuredSelectivity(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	f := p.AddUnary(stream.NewFilter("quarter", 1, stream.FieldCmp(1, stream.Lt, 25)), FromSource("s"))
+	p.AddSink("q", f)
+	eng, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		check(t, eng.Push("s", tup(int64(i), "a", float64(i))))
+	}
+	nl := eng.Loads()[0]
+	if nl.Tuples != 100 || nl.OutTuples != 25 {
+		t.Fatalf("tuples in/out = %d/%d, want 100/25", nl.Tuples, nl.OutTuples)
+	}
+	if nl.Selectivity() != 0.25 {
+		t.Errorf("selectivity = %v, want 0.25", nl.Selectivity())
+	}
+	if (NodeLoad{}).Selectivity() != 1 {
+		t.Error("empty node selectivity should default to 1")
+	}
+}
+
+func TestDeliveredAndOutputRate(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	f := p.AddUnary(stream.NewFilter("hi", 1, stream.FieldCmp(1, stream.Gt, 10)), FromSource("s"))
+	p.AddSink("q", f)
+	eng, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		check(t, eng.Push("s", tup(int64(i), "a", float64(i*3))))
+	}
+	eng.Advance(10)
+	// Values 0,3,...,27: seven exceed 10 (12..27).
+	if got := eng.Delivered("q"); got != 6 {
+		t.Errorf("Delivered = %d, want 6", got)
+	}
+	eng.Results("q") // draining results must not affect the counter
+	if got := eng.Delivered("q"); got != 6 {
+		t.Errorf("Delivered after drain = %d, want 6", got)
+	}
+	if got := eng.OutputRate("q"); got != 0.6 {
+		t.Errorf("OutputRate = %v, want 0.6", got)
+	}
+	eng.ResetStats()
+	if eng.Delivered("q") != 0 || eng.OutputRate("q") != 0 {
+		t.Error("ResetStats did not clear delivery stats")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	f := p.AddUnary(stream.NewFilter("f", 3, func(stream.Tuple) bool { return true }), FromSource("s"))
+	p.AddSink("q", f)
+	eng, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, eng.Push("s", tup(1, "a", 1)))
+	eng.Advance(1)
+	if eng.Loads()[0].Load != 3 {
+		t.Fatalf("load = %v, want 3", eng.Loads()[0].Load)
+	}
+	eng.ResetStats()
+	if eng.Loads()[0].Load != 0 || eng.Loads()[0].Tuples != 0 {
+		t.Error("ResetStats did not clear metering")
+	}
+}
+
+func check(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

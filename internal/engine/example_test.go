@@ -1,0 +1,44 @@
+package engine_test
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/stream"
+)
+
+// Example demonstrates shared processing: one filter node serves two
+// queries, processing each tuple once.
+func Example() {
+	schema := stream.MustSchema(
+		stream.Field{Name: "symbol", Kind: stream.KindString},
+		stream.Field{Name: "price", Kind: stream.KindFloat},
+	)
+	plan := engine.NewPlan()
+	plan.AddSource("stocks", schema)
+	shared := plan.AddUnary(
+		stream.NewFilter("high", 2, stream.FieldCmp(1, stream.Gt, 100)),
+		engine.FromSource("stocks"),
+	)
+	plan.AddSink("alice", shared)
+	plan.AddSink("bob", shared)
+
+	eng, err := engine.New(plan)
+	if err != nil {
+		panic(err)
+	}
+	for i, price := range []float64{90, 120, 150} {
+		if err := eng.Push("stocks", stream.NewTuple(int64(i), "ACME", price)); err != nil {
+			panic(err)
+		}
+	}
+	eng.Advance(3)
+	fmt.Printf("alice got %d, bob got %d\n", len(eng.Results("alice")), len(eng.Results("bob")))
+	for _, nl := range eng.Loads() {
+		fmt.Printf("%s processed %d tuples for %d queries (load %.0f)\n",
+			nl.Name, nl.Tuples, len(nl.Owners), nl.Load)
+	}
+	// Output:
+	// alice got 2, bob got 2
+	// high processed 3 tuples for 2 queries (load 2)
+}

@@ -1,0 +1,265 @@
+// Package engine is the Aurora-style continuous-query engine the paper's
+// DSMS center assumes (Section II): a shared physical operator graph where
+// one operator instance serves every query that contains it, upstream
+// connection points that can hold and replay tuples, and an end-of-period
+// transition phase that drains the subnetworks being modified before the
+// plan changes — so queries that survive the auction keep producing correct
+// results across periods.
+//
+// Execution is synchronous push-based (deterministic, single goroutine),
+// which makes transition-phase correctness testable; the stream package's
+// Pipeline offers goroutine execution for standalone operator chains.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// PortRef names a tuple producer inside a plan: either a source stream or a
+// node's output.
+type PortRef struct {
+	source string // non-empty for a source stream
+	node   int    // node index otherwise
+}
+
+// FromSource returns a PortRef for the named source stream.
+func FromSource(name string) PortRef { return PortRef{source: name} }
+
+// IsSource reports whether the ref points at a source stream.
+func (r PortRef) IsSource() bool { return r.source != "" }
+
+// edge is a downstream consumer of a port: a node input or a sink.
+type edge struct {
+	node int         // target node index; -1 for a sink
+	side stream.Side // which input of a binary node
+	sink string      // sink (query) name when node == -1
+}
+
+// node is one physical operator in the plan. Exactly one of unary / binary
+// is set. The same stream.Transform instance may appear in successive plans;
+// its internal state then carries across the transition (shared-operator
+// continuity).
+type node struct {
+	id     int
+	unary  stream.Transform
+	binary stream.BinaryTransform
+	out    []edge
+	// Owners is the set of query names that contain this operator; it is
+	// what the admission auction sees as the operator's sharing degree.
+	owners map[string]bool
+}
+
+func (n *node) name() string {
+	if n.unary != nil {
+		return n.unary.Name()
+	}
+	return n.binary.Name()
+}
+
+func (n *node) cost() float64 {
+	if n.unary != nil {
+		return n.unary.Cost()
+	}
+	return n.binary.Cost()
+}
+
+// Plan is an immutable-once-built shared query plan: sources, operator
+// nodes, and per-query sinks.
+type Plan struct {
+	sources map[string]*source
+	nodes   []*node
+	sinks   map[string]bool // query name -> exists
+	built   bool
+	err     error
+}
+
+type source struct {
+	name   string
+	schema *stream.Schema
+	out    []edge
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan {
+	return &Plan{sources: make(map[string]*source), sinks: make(map[string]bool)}
+}
+
+func (p *Plan) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("engine: "+format, args...)
+	}
+}
+
+// AddSource declares a named input stream.
+func (p *Plan) AddSource(name string, schema *stream.Schema) {
+	if name == "" {
+		p.fail("source name must be non-empty")
+		return
+	}
+	if _, dup := p.sources[name]; dup {
+		p.fail("duplicate source %q", name)
+		return
+	}
+	p.sources[name] = &source{name: name, schema: schema}
+}
+
+// AddUnary attaches a unary operator to the given input and returns its
+// output port.
+func (p *Plan) AddUnary(op stream.Transform, in PortRef) PortRef {
+	id := len(p.nodes)
+	n := &node{id: id, unary: op, owners: make(map[string]bool)}
+	p.nodes = append(p.nodes, n)
+	p.connect(in, edge{node: id, side: stream.Left})
+	return PortRef{node: id}
+}
+
+// AddBinary attaches a binary operator to the two inputs and returns its
+// output port.
+func (p *Plan) AddBinary(op stream.BinaryTransform, left, right PortRef) PortRef {
+	id := len(p.nodes)
+	n := &node{id: id, binary: op, owners: make(map[string]bool)}
+	p.nodes = append(p.nodes, n)
+	p.connect(left, edge{node: id, side: stream.Left})
+	p.connect(right, edge{node: id, side: stream.Right})
+	return PortRef{node: id}
+}
+
+// AddSink routes a port's output to the named query's result stream and
+// marks every operator upstream of the port as owned by that query.
+func (p *Plan) AddSink(queryName string, in PortRef) {
+	if queryName == "" {
+		p.fail("sink name must be non-empty")
+		return
+	}
+	if p.sinks[queryName] {
+		p.fail("duplicate sink %q", queryName)
+		return
+	}
+	p.sinks[queryName] = true
+	p.connect(in, edge{node: -1, sink: queryName})
+	p.markOwners(queryName, in)
+}
+
+// markOwners walks upstream from ref marking ownership.
+func (p *Plan) markOwners(queryName string, ref PortRef) {
+	if ref.IsSource() {
+		return
+	}
+	if ref.node < 0 || ref.node >= len(p.nodes) {
+		return
+	}
+	n := p.nodes[ref.node]
+	if n.owners[queryName] {
+		return
+	}
+	n.owners[queryName] = true
+	for _, up := range p.inputsOf(ref.node) {
+		p.markOwners(queryName, up)
+	}
+}
+
+// inputsOf returns the ports feeding node id (found by scanning producer
+// edge lists; plans are small relative to streams so this is build-time-only
+// work).
+func (p *Plan) inputsOf(id int) []PortRef {
+	var ins []PortRef
+	for name, s := range p.sources {
+		for _, e := range s.out {
+			if e.node == id {
+				ins = append(ins, FromSource(name))
+			}
+		}
+	}
+	for _, n := range p.nodes {
+		for _, e := range n.out {
+			if e.node == id {
+				ins = append(ins, PortRef{node: n.id})
+			}
+		}
+	}
+	return ins
+}
+
+// connect validates the producer ref and appends the edge.
+func (p *Plan) connect(in PortRef, e edge) {
+	if in.IsSource() {
+		s, ok := p.sources[in.source]
+		if !ok {
+			p.fail("unknown source %q", in.source)
+			return
+		}
+		s.out = append(s.out, e)
+		return
+	}
+	if in.node < 0 || in.node >= len(p.nodes) {
+		p.fail("unknown node %d", in.node)
+		return
+	}
+	if e.node >= 0 && e.node <= in.node {
+		p.fail("edge from node %d to non-downstream node %d", in.node, e.node)
+		return
+	}
+	p.nodes[in.node].out = append(p.nodes[in.node].out, e)
+}
+
+// Build finalizes the plan.
+func (p *Plan) Build() error {
+	if p.err != nil {
+		return p.err
+	}
+	if len(p.sinks) == 0 {
+		return fmt.Errorf("engine: plan has no sinks")
+	}
+	p.built = true
+	return nil
+}
+
+// NumNodes returns the number of operator nodes.
+func (p *Plan) NumNodes() int { return len(p.nodes) }
+
+// Queries returns the sink (query) names.
+func (p *Plan) Queries() []string {
+	out := make([]string, 0, len(p.sinks))
+	for name := range p.sinks {
+		out = append(out, name)
+	}
+	return out
+}
+
+// NodeInfo describes one physical operator for introspection and for
+// feeding the admission auction.
+type NodeInfo struct {
+	ID     int
+	Name   string
+	Cost   float64
+	Owners []string
+}
+
+// Nodes returns descriptions of every operator node.
+func (p *Plan) Nodes() []NodeInfo {
+	out := make([]NodeInfo, len(p.nodes))
+	for i, n := range p.nodes {
+		owners := make([]string, 0, len(n.owners))
+		for o := range n.owners {
+			owners = append(owners, o)
+		}
+		out[i] = NodeInfo{ID: n.id, Name: n.name(), Cost: n.cost(), Owners: owners}
+	}
+	return out
+}
+
+// hasTransform reports whether any node in the plan uses the given operator
+// instance (used by the transition phase to decide which state survives).
+func (p *Plan) hasTransform(unary stream.Transform, binary stream.BinaryTransform) bool {
+	for _, n := range p.nodes {
+		if unary != nil && n.unary == unary {
+			return true
+		}
+		if binary != nil && n.binary == binary {
+			return true
+		}
+	}
+	return false
+}

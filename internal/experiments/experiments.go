@@ -1,0 +1,481 @@
+// Package experiments regenerates the paper's evaluation (Section VI):
+// the Figure 4 sharing-degree sweeps of admission rate, total user payoff,
+// profit and utilization at four capacities; the Figure 5 manipulation study
+// of CAR under lying workloads; the Table IV runtime comparison; and the
+// Table I/V property matrix verified by the gametheory harness.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/gametheory"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// Config scales an experiment between the paper's full size and quick runs.
+type Config struct {
+	// Sets is the number of workload sets averaged per point (paper: 50).
+	Sets int
+	// NumQueries per instance (paper: 2000).
+	NumQueries int
+	// Degrees is the swept maximum-sharing-degree axis (paper: 1..60).
+	Degrees []int
+	// MaxSharing is the base instance's degree; it must be ≥ max(Degrees).
+	MaxSharing int
+	// BaseSeed offsets workload seeds so configurations are reproducible.
+	BaseSeed int64
+	// Workers bounds sweep parallelism across workload sets; 0 or 1 runs
+	// serially. Results are merged in set order, so outputs are identical
+	// at any worker count.
+	Workers int
+}
+
+// PaperConfig returns the paper's full experimental scale. A full sweep is
+// minutes of CPU (CAF+/CAT+ payments dominate, as Table IV predicts).
+func PaperConfig() Config {
+	degrees := make([]int, 0, 60)
+	for d := 1; d <= 60; d++ {
+		degrees = append(degrees, d)
+	}
+	return Config{Sets: 50, NumQueries: 2000, Degrees: degrees, MaxSharing: 60, BaseSeed: 1}
+}
+
+// QuickConfig returns a CI-scale configuration preserving the sweep's shape:
+// fewer sets, 200-query instances and a coarser degree axis.
+func QuickConfig() Config {
+	return Config{
+		Sets:       5,
+		NumQueries: 200,
+		Degrees:    []int{1, 2, 4, 8, 12, 16, 20},
+		MaxSharing: 20,
+		BaseSeed:   1,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.Sets < 1 {
+		return fmt.Errorf("experiments: Sets must be >= 1, got %d", c.Sets)
+	}
+	if c.NumQueries < 1 {
+		return fmt.Errorf("experiments: NumQueries must be >= 1, got %d", c.NumQueries)
+	}
+	if len(c.Degrees) == 0 {
+		return fmt.Errorf("experiments: empty degree axis")
+	}
+	for _, d := range c.Degrees {
+		if d < 1 || d > c.MaxSharing {
+			return fmt.Errorf("experiments: degree %d outside [1, MaxSharing %d]", d, c.MaxSharing)
+		}
+	}
+	return nil
+}
+
+// params builds the workload parameters for one set.
+func (c Config) params(set int) workload.Params {
+	p := workload.PaperParams(c.BaseSeed + int64(set))
+	p.NumQueries = c.NumQueries
+	p.MaxSharing = c.MaxSharing
+	return p
+}
+
+// ScaleCapacity converts one of the paper's absolute capacities (5000,
+// 10000, 15000, 20000 for 2000 queries) to this configuration's query
+// count, preserving the capacity-to-total-demand ratio that determines
+// where the profit crossovers fall.
+func (c Config) ScaleCapacity(paperCapacity float64) float64 {
+	return paperCapacity * float64(c.NumQueries) / 2000
+}
+
+// Mechanisms returns the paper's mechanism set in its reporting order. The
+// seed drives Two-price's partition (and the Random baseline when included
+// elsewhere).
+func Mechanisms(seed int64) []auction.Mechanism {
+	return []auction.Mechanism{
+		auction.NewCAF(),
+		auction.NewCAFPlus(),
+		auction.NewCAT(),
+		auction.NewCATPlus(),
+		auction.NewTwoPrice(seed),
+	}
+}
+
+// SweepResult bundles the four Figure 4 metrics over one sharing sweep.
+type SweepResult struct {
+	Capacity    float64
+	Admission   *metrics.Series
+	Payoff      *metrics.Series
+	Profit      *metrics.Series
+	Utilization *metrics.Series
+}
+
+// observation is one (mechanism, degree) measurement from one set.
+type observation struct {
+	mech        string
+	x           float64
+	admission   float64
+	payoff      float64
+	profit      float64
+	utilization float64
+}
+
+// SharingSweep runs every mechanism over cfg.Sets workload sets at each
+// sharing degree and capacity, producing the data behind Figures 4(a)-(f)
+// and the Section VI-B utilization observation in one pass. Sets run in
+// parallel up to cfg.Workers; each worker uses its own mechanism instances
+// (mechanisms carry no mutable state, but randomized ones are re-seeded per
+// worker deterministically), and observations merge in set order so the
+// output is identical at any worker count.
+func SharingSweep(cfg Config, mechs []auction.Mechanism, capacity float64) (*SweepResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Capacity:    capacity,
+		Admission:   metrics.NewSeries("maxSharing", "admission rate (%)"),
+		Payoff:      metrics.NewSeries("maxSharing", "total user payoff"),
+		Profit:      metrics.NewSeries("maxSharing", "profit"),
+		Utilization: metrics.NewSeries("maxSharing", "utilization (%)"),
+	}
+
+	runSet := func(set int) ([]observation, error) {
+		base, err := workload.Generate(cfg.params(set))
+		if err != nil {
+			return nil, err
+		}
+		var obs []observation
+		for _, degree := range cfg.Degrees {
+			pool, err := base.Instance(degree)
+			if err != nil {
+				return nil, err
+			}
+			x := float64(degree)
+			for _, m := range mechs {
+				out := m.Run(pool, capacity)
+				if err := out.Validate(); err != nil {
+					return nil, fmt.Errorf("set %d degree %d: %w", set, degree, err)
+				}
+				obs = append(obs, observation{
+					mech:        m.Name(),
+					x:           x,
+					admission:   100 * out.AdmissionRate(),
+					payoff:      out.TotalPayoff(),
+					profit:      out.Profit(),
+					utilization: 100 * out.Utilization(),
+				})
+			}
+		}
+		return obs, nil
+	}
+
+	perSet := make([][]observation, cfg.Sets)
+	errs := make([]error, cfg.Sets)
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > cfg.Sets {
+		workers = cfg.Sets
+	}
+	if workers == 1 {
+		for set := 0; set < cfg.Sets; set++ {
+			perSet[set], errs[set] = runSet(set)
+		}
+	} else {
+		sets := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for set := range sets {
+					perSet[set], errs[set] = runSet(set)
+				}
+			}()
+		}
+		for set := 0; set < cfg.Sets; set++ {
+			sets <- set
+		}
+		close(sets)
+		wg.Wait()
+	}
+	for set := 0; set < cfg.Sets; set++ {
+		if errs[set] != nil {
+			return nil, errs[set]
+		}
+		for _, o := range perSet[set] {
+			res.Admission.Observe(o.mech, o.x, o.admission)
+			res.Payoff.Observe(o.mech, o.x, o.payoff)
+			res.Profit.Observe(o.mech, o.x, o.profit)
+			res.Utilization.Observe(o.mech, o.x, o.utilization)
+		}
+	}
+	return res, nil
+}
+
+// ManipulationResult is the Figure 5 data: profit of the strategyproof
+// mechanisms against CAR run truthfully and under the two lying workloads.
+type ManipulationResult struct {
+	Profit *metrics.Series
+}
+
+// ManipulationSweep reproduces Figure 5 at the given capacity: CAF, CAT and
+// Two-price on truthful bids versus CAR on truthful, moderately-lying
+// (CAR-ML) and aggressively-lying (CAR-AL) workloads.
+func ManipulationSweep(cfg Config, capacity float64, twoPriceSeed int64) (*ManipulationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	moderate := workload.ModerateLying()
+	aggressive := workload.AggressiveLying()
+	honest := []auction.Mechanism{
+		auction.NewCAF(),
+		auction.NewCAT(),
+		auction.NewTwoPrice(twoPriceSeed),
+	}
+	car := auction.NewCAR()
+
+	profit := metrics.NewSeries("maxSharing", "profit")
+	for set := 0; set < cfg.Sets; set++ {
+		base, err := workload.Generate(cfg.params(set))
+		if err != nil {
+			return nil, err
+		}
+		for _, degree := range cfg.Degrees {
+			pool, err := base.Instance(degree)
+			if err != nil {
+				return nil, err
+			}
+			x := float64(degree)
+			for _, m := range honest {
+				profit.Observe(m.Name(), x, m.Run(pool, capacity).Profit())
+			}
+			lieSeed := cfg.BaseSeed + int64(set)*1000 + int64(degree)
+			profit.Observe("CAR", x, car.Run(pool, capacity).Profit())
+			profit.Observe("CAR-ML", x, car.Run(moderate.Apply(pool, lieSeed), capacity).Profit())
+			profit.Observe("CAR-AL", x, car.Run(aggressive.Apply(pool, lieSeed), capacity).Profit())
+		}
+	}
+	return &ManipulationResult{Profit: profit}, nil
+}
+
+// RuntimeRow is one mechanism's Table IV measurement.
+type RuntimeRow struct {
+	Mechanism string
+	// Millis is the mean wall-clock milliseconds per auction run.
+	Millis float64
+	Runs   int
+}
+
+// RuntimeTable reproduces Table IV: mean runtime of each mechanism over
+// cfg.Sets workloads at the given sharing degree and capacity. The
+// mechanism list includes the Random and GV baselines, matching the paper's
+// row set.
+func RuntimeTable(cfg Config, capacity float64, degree int, seed int64) ([]RuntimeRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mechs := []auction.Mechanism{
+		auction.NewRandom(seed),
+		auction.NewGV(),
+		auction.NewTwoPrice(seed),
+		auction.NewCAF(),
+		auction.NewCAFPlus(),
+		auction.NewCAT(),
+		auction.NewCATPlus(),
+	}
+	rows := make([]RuntimeRow, len(mechs))
+	for i, m := range mechs {
+		rows[i].Mechanism = m.Name()
+	}
+	for set := 0; set < cfg.Sets; set++ {
+		base, err := workload.Generate(cfg.params(set))
+		if err != nil {
+			return nil, err
+		}
+		pool, err := base.Instance(degree)
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range mechs {
+			start := time.Now()
+			m.Run(pool, capacity)
+			rows[i].Millis += float64(time.Since(start).Microseconds()) / 1000
+			rows[i].Runs++
+		}
+	}
+	for i := range rows {
+		if rows[i].Runs > 0 {
+			rows[i].Millis /= float64(rows[i].Runs)
+		}
+	}
+	return rows, nil
+}
+
+// PropertyRow is one mechanism's Table I/V verification outcome.
+type PropertyRow struct {
+	Mechanism string
+	// Strategyproof reports that the deviation search found no profitable
+	// bid lie on any probe instance (for CAR it reports false with a
+	// counterexample).
+	Strategyproof bool
+	// SybilImmune reports that the attack search found no profitable sybil
+	// attack (true only for CAT, per Theorem 19).
+	SybilImmune bool
+	// ProfitGuarantee is the paper's analytic column (Two-price only).
+	ProfitGuarantee bool
+	// Witness holds a found counterexample, if any.
+	Witness string
+}
+
+// PropertyMatrix verifies Table I empirically: it probes each mechanism
+// with bid-deviation and sybil-attack searches over randomized instances
+// and reports which properties survive. probes controls how many random
+// instances are searched.
+func PropertyMatrix(probes int, seed int64) ([]PropertyRow, error) {
+	type entry struct {
+		mech      auction.Mechanism
+		guarantee bool
+	}
+	entries := []entry{
+		{auction.NewCAR(), false},
+		{auction.NewCAF(), false},
+		{auction.NewCAFPlus(), false},
+		{auction.NewCAT(), false},
+		{auction.NewCATPlus(), false},
+		{auction.NewGV(), false},
+		{auction.NewTwoPrice(seed), true},
+	}
+	rows := make([]PropertyRow, 0, len(entries))
+	for _, e := range entries {
+		row := PropertyRow{Mechanism: e.mech.Name(), Strategyproof: true, SybilImmune: true, ProfitGuarantee: e.guarantee}
+		for probe := 0; probe < probes; probe++ {
+			pool, capacity := probeInstance(seed + int64(probe))
+			if _, isRandomized := e.mech.(*auction.TwoPrice); !isRandomized {
+				for i := 0; i < pool.NumQueries(); i++ {
+					if dev, found := gametheory.FindBidDeviation(e.mech, pool, capacity, query.QueryID(i)); found {
+						row.Strategyproof = false
+						row.Witness = dev.String()
+						break
+					}
+				}
+			}
+			if _, isRandomized := e.mech.(*auction.TwoPrice); !isRandomized {
+				for i := 0; i < pool.NumQueries(); i++ {
+					attack, err := gametheory.SearchSybilAttack(e.mech, pool, capacity, query.QueryID(i))
+					if err != nil {
+						return nil, err
+					}
+					if attack != nil {
+						row.SybilImmune = false
+						if row.Witness == "" {
+							row.Witness = fmt.Sprintf("sybil attack by user %d", attack.Attacker)
+						}
+						break
+					}
+				}
+			}
+		}
+		// The Table II instance specifically defeats CAT+.
+		if attack, capacity := gametheory.TableII(1e-3); attack.Gain(e.mech, capacity) > 0 {
+			row.SybilImmune = false
+			if row.Witness == "" {
+				row.Witness = "Table II attack"
+			}
+		}
+		// Two-price falls to the Section V-C construction under the paper's
+		// coin-flip variant (the generic search cannot see expectations).
+		if _, ok := e.mech.(*auction.TwoPrice); ok {
+			variant := auction.NewTwoPrice(seed)
+			variant.IndependentFlips = true
+			variant.FreeWhenEmptySample = true
+			attack, capacity := gametheory.TwoPriceSectionVC(0.01)
+			if attack.ExpectedGain(variant, capacity, 2000, seed) > 0 {
+				row.SybilImmune = false
+				if row.Witness == "" {
+					row.Witness = "Section V-C expectation attack"
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// EfficiencyRow reports one mechanism's social-welfare efficiency against
+// the exhaustive optimum OPT_W over small probe instances — an extension
+// experiment quantifying the paper's Section III hardness discussion: how
+// much welfare do the truthful greedy mechanisms leave on the table?
+type EfficiencyRow struct {
+	Mechanism string
+	// Mean and Min are welfare ratios mech/OPT_W across the probes.
+	Mean float64
+	Min  float64
+}
+
+// EfficiencyTable measures welfare efficiency over probes random instances
+// (small enough for the exhaustive benchmark).
+func EfficiencyTable(probes int, seed int64) ([]EfficiencyRow, error) {
+	if probes < 1 {
+		return nil, fmt.Errorf("experiments: probes must be >= 1, got %d", probes)
+	}
+	mechs := []auction.Mechanism{
+		auction.NewCAR(),
+		auction.NewCAF(),
+		auction.NewCAFPlus(),
+		auction.NewCAT(),
+		auction.NewCATPlus(),
+		auction.NewGV(),
+		auction.NewTwoPrice(seed),
+	}
+	opt := auction.NewOptWelfare(0)
+	rows := make([]EfficiencyRow, len(mechs))
+	for i, m := range mechs {
+		rows[i] = EfficiencyRow{Mechanism: m.Name(), Min: 1}
+	}
+	counted := 0
+	for probe := 0; probe < probes; probe++ {
+		pool, capacity := probeInstance(seed + int64(probe))
+		optW := auction.Welfare(opt.Run(pool, capacity))
+		if optW <= 0 {
+			continue
+		}
+		counted++
+		for i, m := range mechs {
+			ratio := auction.Welfare(m.Run(pool, capacity)) / optW
+			rows[i].Mean += ratio
+			if ratio < rows[i].Min {
+				rows[i].Min = ratio
+			}
+		}
+	}
+	if counted == 0 {
+		return nil, fmt.Errorf("experiments: no probe had positive optimal welfare")
+	}
+	for i := range rows {
+		rows[i].Mean /= float64(counted)
+	}
+	return rows, nil
+}
+
+// probeInstance builds a small random instance with heavy sharing for the
+// property searches.
+func probeInstance(seed int64) (*query.Pool, float64) {
+	p := workload.PaperParams(seed)
+	p.NumQueries = 12
+	p.MaxSharing = 4
+	p.MeanOpsPerQuery = 2.5
+	base := workload.MustGenerate(p)
+	pool := base.MustInstance(4)
+	// Capacity around half the total demand keeps admission competitive.
+	total := 0.0
+	for i := 0; i < pool.NumQueries(); i++ {
+		total += pool.TotalLoad(query.QueryID(i))
+	}
+	return pool, total / 2
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// tinyConfig keeps test sweeps fast while preserving the workload shape.
+func tinyConfig() Config {
+	return Config{
+		Sets:       3,
+		NumQueries: 150,
+		Degrees:    []int{1, 4, 10, 16},
+		MaxSharing: 16,
+		BaseSeed:   1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Sets = 0 },
+		func(c *Config) { c.NumQueries = 0 },
+		func(c *Config) { c.Degrees = nil },
+		func(c *Config) { c.Degrees = []int{0} },
+		func(c *Config) { c.Degrees = []int{c.MaxSharing + 1} },
+	}
+	for i, mutate := range cases {
+		cfg := tinyConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+	if err := PaperConfig().Validate(); err != nil {
+		t.Errorf("paper config invalid: %v", err)
+	}
+	if err := QuickConfig().Validate(); err != nil {
+		t.Errorf("quick config invalid: %v", err)
+	}
+}
+
+func TestScaleCapacity(t *testing.T) {
+	cfg := tinyConfig()
+	if got := cfg.ScaleCapacity(15000); got != 15000*150.0/2000 {
+		t.Errorf("ScaleCapacity = %v", got)
+	}
+}
+
+// TestSharingSweepShape verifies the paper's qualitative Figure 4 claims on
+// a small sweep: admission rates rise with sharing for the density
+// mechanisms and Two-price admits the smallest share; density mechanisms
+// beat Two-price on profit at degree 1 (low sharing) under the binding
+// 5000-equivalent capacity; total user payoff of the density mechanisms
+// exceeds Two-price's.
+func TestSharingSweepShape(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := SharingSweep(cfg, Mechanisms(7), cfg.ScaleCapacity(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := res.Admission.Lines()
+	if len(lines) != 5 {
+		t.Fatalf("lines = %v, want the five mechanisms", lines)
+	}
+
+	first, last := 1.0, 16.0
+	for _, mech := range []string{"CAF", "CAF+", "CAT", "CAT+"} {
+		if res.Admission.Mean(mech, last) <= res.Admission.Mean(mech, first) {
+			t.Errorf("%s admission does not rise with sharing: %.1f%% -> %.1f%%",
+				mech, res.Admission.Mean(mech, first), res.Admission.Mean(mech, last))
+		}
+		// Figure 4(a): Two-price admits less than the density mechanisms.
+		if res.Admission.Mean("Two-price", last) >= res.Admission.Mean(mech, last) {
+			t.Errorf("Two-price admission %.1f%% not below %s %.1f%% at degree %v",
+				res.Admission.Mean("Two-price", last), mech, res.Admission.Mean(mech, last), last)
+		}
+		// Figure 4(b): density payoff beats Two-price.
+		if res.Payoff.Mean(mech, last) <= res.Payoff.Mean("Two-price", last) {
+			t.Errorf("%s payoff %.1f not above Two-price %.1f at degree %v",
+				mech, res.Payoff.Mean(mech, last), res.Payoff.Mean("Two-price", last), last)
+		}
+	}
+	// Figure 4(c): at low sharing under binding capacity the density
+	// mechanisms out-profit Two-price.
+	for _, mech := range []string{"CAF", "CAT"} {
+		if res.Profit.Mean(mech, first) <= res.Profit.Mean("Two-price", first) {
+			t.Errorf("%s profit %.1f not above Two-price %.1f at degree 1",
+				mech, res.Profit.Mean(mech, first), res.Profit.Mean("Two-price", first))
+		}
+	}
+	// Section VI-B: density utilization is (weakly) above Two-price's while
+	// capacity binds.
+	if res.Utilization.Mean("CAT", first) < res.Utilization.Mean("Two-price", first) {
+		t.Errorf("CAT utilization %.1f%% below Two-price %.1f%% at degree 1",
+			res.Utilization.Mean("CAT", first), res.Utilization.Mean("Two-price", first))
+	}
+}
+
+// TestParallelSweepDeterministic: any worker count yields identical series.
+func TestParallelSweepDeterministic(t *testing.T) {
+	serial := tinyConfig()
+	parallel := tinyConfig()
+	parallel.Workers = 4
+	a, err := SharingSweep(serial, Mechanisms(7), serial.ScaleCapacity(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SharingSweep(parallel, Mechanisms(7), parallel.ScaleCapacity(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range a.Profit.Lines() {
+		av, bv := a.Profit.Values(line), b.Profit.Values(line)
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("%s profit differs at point %d: %v vs %v", line, i, av[i], bv[i])
+			}
+		}
+	}
+}
+
+// TestCrossoverShiftsLeft reproduces the Figure 4(c)-(f) narrative: the
+// sharing degree at which Two-price first out-profits CAT is lower at a
+// larger capacity.
+func TestCrossoverShiftsLeft(t *testing.T) {
+	cfg := tinyConfig()
+	crossover := func(capacity float64) float64 {
+		res, err := SharingSweep(cfg, Mechanisms(7), capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range res.Profit.Xs() {
+			if res.Profit.Mean("Two-price", x) > res.Profit.Mean("CAT", x) {
+				return x
+			}
+		}
+		return 1e9 // never crosses in range
+	}
+	low := crossover(cfg.ScaleCapacity(5000))
+	high := crossover(cfg.ScaleCapacity(20000))
+	if high > low {
+		t.Errorf("crossover at capacity 20000-eq (degree %v) should not be right of 5000-eq (degree %v)", high, low)
+	}
+	if high > 4 {
+		t.Errorf("crossover at 20000-equivalent = degree %v, want ≤ 4 (capacity near total demand)", high)
+	}
+}
+
+// TestManipulationSweep reproduces Figure 5's claim: lying strictly reduces
+// CAR's profit, aggressively more than moderately, while the strategyproof
+// mechanisms' profit is untouched by the lying models (they run the
+// truthful workload by definition of strategyproofness).
+func TestManipulationSweep(t *testing.T) {
+	// Liars only exist where fair-share/total ratios drop below the lying
+	// thresholds, i.e. at the higher sharing degrees; sweep those, at a
+	// binding capacity, with enough sets to average out unit-price jumps.
+	cfg := Config{
+		Sets:       10,
+		NumQueries: 300,
+		Degrees:    []int{8, 12, 16, 20},
+		MaxSharing: 20,
+		BaseSeed:   1,
+	}
+	res, err := ManipulationSweep(cfg, cfg.ScaleCapacity(5000), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var honest, moderate, aggressive float64
+	for _, x := range res.Profit.Xs() {
+		honest += res.Profit.Mean("CAR", x)
+		moderate += res.Profit.Mean("CAR-ML", x)
+		aggressive += res.Profit.Mean("CAR-AL", x)
+	}
+	if moderate >= honest {
+		t.Errorf("moderate lying did not reduce CAR profit: %.1f >= %.1f", moderate, honest)
+	}
+	if aggressive >= honest {
+		t.Errorf("aggressive lying did not reduce CAR profit: %.1f >= %.1f", aggressive, honest)
+	}
+	if aggressive >= moderate {
+		t.Errorf("aggressive lying (%.1f) should cost more profit than moderate (%.1f)", aggressive, moderate)
+	}
+	for _, line := range []string{"CAF", "CAT", "Two-price"} {
+		if res.Profit.Values(line) == nil {
+			t.Errorf("missing strategyproof line %s", line)
+		}
+	}
+}
+
+// TestRuntimeTable reproduces Table IV's ordering: the movement-window
+// mechanisms (CAF+, CAT+) are at least an order of magnitude slower than
+// their prefix counterparts, and the simple baselines are fastest.
+func TestRuntimeTable(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sets = 2
+	cfg.NumQueries = 400
+	rows, err := RuntimeTable(cfg, cfg.ScaleCapacity(5000), 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := map[string]float64{}
+	for _, r := range rows {
+		if r.Runs != 2 {
+			t.Errorf("%s runs = %d, want 2", r.Mechanism, r.Runs)
+		}
+		ms[r.Mechanism] = r.Millis
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (Table IV's mechanisms)", len(rows))
+	}
+	if ms["CAF+"] < 5*ms["CAF"] {
+		t.Errorf("CAF+ (%.3fms) should be ≫ CAF (%.3fms)", ms["CAF+"], ms["CAF"])
+	}
+	if ms["CAT+"] < 5*ms["CAT"] {
+		t.Errorf("CAT+ (%.3fms) should be ≫ CAT (%.3fms)", ms["CAT+"], ms["CAT"])
+	}
+	if ms["Random"] > ms["CAF+"] {
+		t.Errorf("Random (%.3fms) should be far below CAF+ (%.3fms)", ms["Random"], ms["CAF+"])
+	}
+}
+
+// TestEfficiencyTable: every mechanism's welfare ratio lies in (0, 1], and
+// the truthful greedy mechanisms stay near-efficient while Two-price (which
+// ignores loads entirely) trails — quantifying what the profit guarantee
+// costs in welfare.
+func TestEfficiencyTable(t *testing.T) {
+	rows, err := EfficiencyTable(25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]EfficiencyRow{}
+	for _, r := range rows {
+		if r.Mean <= 0 || r.Mean > 1+1e-9 || r.Min < 0 || r.Min > 1+1e-9 {
+			t.Errorf("%s: efficiency out of range: %+v", r.Mechanism, r)
+		}
+		byName[r.Mechanism] = r
+	}
+	if byName["CAT"].Mean < 0.8 {
+		t.Errorf("CAT mean efficiency %.3f, want ≥ 0.8", byName["CAT"].Mean)
+	}
+	if byName["Two-price"].Mean >= byName["CAT"].Mean {
+		t.Errorf("Two-price efficiency %.3f should trail CAT %.3f",
+			byName["Two-price"].Mean, byName["CAT"].Mean)
+	}
+	if _, err := EfficiencyTable(0, 1); err == nil {
+		t.Error("want error for zero probes")
+	}
+}
+
+// TestPropertyMatrix reproduces Table I: CAR is the only
+// non-bid-strategyproof mechanism; CAT (and GV, which Table I omits) are
+// the only sybil-immune ones; Two-price carries the profit guarantee.
+func TestPropertyMatrix(t *testing.T) {
+	rows, err := PropertyMatrix(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]PropertyRow{}
+	for _, r := range rows {
+		got[r.Mechanism] = r
+	}
+	if got["CAR"].Strategyproof {
+		t.Error("CAR must not be strategyproof")
+	}
+	for _, name := range []string{"CAF", "CAF+", "CAT", "CAT+", "GV", "Two-price"} {
+		if !got[name].Strategyproof {
+			t.Errorf("%s must be strategyproof (witness: %s)", name, got[name].Witness)
+		}
+	}
+	for _, name := range []string{"CAF", "CAF+", "CAT+", "Two-price"} {
+		if got[name].SybilImmune {
+			t.Errorf("%s must be sybil-vulnerable", name)
+		}
+	}
+	if !got["CAT"].SybilImmune {
+		t.Errorf("CAT must be sybil-immune (witness: %s)", got["CAT"].Witness)
+	}
+	if !got["Two-price"].ProfitGuarantee || got["CAT"].ProfitGuarantee {
+		t.Error("profit guarantee column wrong")
+	}
+}

@@ -1,0 +1,31 @@
+package gametheory_test
+
+import (
+	"fmt"
+
+	"repro/internal/auction"
+	"repro/internal/gametheory"
+	"repro/internal/query"
+)
+
+// ExampleTableII reproduces the paper's Table II sybil attack: forging
+// "user 3" wins user 2 the auction under CAT+ for a gain of 89 − 100ε,
+// while CAT shrugs it off.
+func ExampleTableII() {
+	attack, capacity := gametheory.TableII(1e-3)
+	fmt.Printf("CAT+ gain: %.1f\n", attack.Gain(auction.NewCATPlus(), capacity))
+	fmt.Printf("CAT  gain: %.1f\n", attack.Gain(auction.NewCAT(), capacity))
+	// Output:
+	// CAT+ gain: 88.9
+	// CAT  gain: -0.1
+}
+
+// ExampleFindBidDeviation shows the harness catching CAR's manipulability
+// on the paper's own Example 1: q2 profits from shading her bid below 66 so
+// q1 is picked first, shrinking q2's remaining load and payment.
+func ExampleFindBidDeviation() {
+	pool, capacity := query.Example1()
+	dev, found := gametheory.FindBidDeviation(auction.NewCAR(), pool, capacity, 1)
+	fmt.Printf("found=%v truthful=%.0f deviant=%.0f\n", found, dev.TruthfulPayoff, dev.DeviantPayoff)
+	// Output: found=true truthful=12 deviant=52
+}

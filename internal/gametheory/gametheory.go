@@ -1,0 +1,172 @@
+// Package gametheory verifies (and falsifies) the game-theoretic properties
+// the paper claims for each mechanism: bid-strategyproofness via the
+// monotonicity + critical-payment characterization (Section III), full
+// strategyproofness including operator lying, and sybil immunity
+// (Section V). It provides a deviation search that finds profitable lies
+// where they exist — demonstrating CAR's manipulability and the sybil
+// attacks of Theorems 15, 17 and 20 — and exhaustive checkers used by the
+// property-based test suite.
+package gametheory
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/auction"
+	"repro/internal/query"
+)
+
+// Deviation describes a profitable lie found for some user: the alternative
+// bid, and the payoffs under truthful and strategic play.
+type Deviation struct {
+	Query          query.QueryID
+	TruthfulBid    float64
+	DeviantBid     float64
+	TruthfulPayoff float64
+	DeviantPayoff  float64
+}
+
+// String renders the deviation.
+func (d Deviation) String() string {
+	return fmt.Sprintf("query %d: bid %.4g instead of %.4g raises payoff %.4g -> %.4g",
+		d.Query, d.DeviantBid, d.TruthfulBid, d.TruthfulPayoff, d.DeviantPayoff)
+}
+
+// candidateBids enumerates the informative alternative bids for a deviation
+// search: every other bid in the pool, points just above and below each, and
+// a handful of scale points of the user's own valuation. Payoffs under every
+// mechanism in this paper are piecewise-constant between these breakpoints
+// (a bid matters only through the priority ordering), so searching them is
+// effectively exhaustive for the deterministic mechanisms.
+func candidateBids(p *query.Pool, id query.QueryID) []float64 {
+	v := p.Value(id)
+	set := map[float64]bool{}
+	add := func(b float64) {
+		if b > 0 {
+			set[b] = true
+		}
+	}
+	for _, q := range p.Queries() {
+		if q.ID == id {
+			continue
+		}
+		add(q.Bid * 0.999)
+		add(q.Bid)
+		add(q.Bid * 1.001)
+	}
+	for _, f := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.1, 1.5, 2, 5} {
+		add(v * f)
+	}
+	out := make([]float64, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// FindBidDeviation searches for a bid that strictly improves the payoff of
+// query id's user over truthful bidding (bid == value) under mechanism m.
+// It returns the best deviation found and whether one exists. For
+// strategyproof mechanisms it must return false on every input — the
+// property tests rely on this; for CAR it finds the paper's Section IV-A
+// manipulation.
+func FindBidDeviation(m auction.Mechanism, p *query.Pool, capacity float64, id query.QueryID) (Deviation, bool) {
+	truthful := p.WithBid(id, p.Value(id))
+	basePayoff := m.Run(truthful, capacity).PayoffOf(id)
+
+	best := Deviation{Query: id, TruthfulBid: p.Value(id), TruthfulPayoff: basePayoff, DeviantPayoff: basePayoff}
+	found := false
+	for _, bid := range candidateBids(p, id) {
+		if bid == p.Value(id) {
+			continue
+		}
+		out := m.Run(truthful.WithBid(id, bid), capacity)
+		if payoff := out.PayoffOf(id); payoff > best.DeviantPayoff+1e-9 {
+			best.DeviantBid = bid
+			best.DeviantPayoff = payoff
+			found = true
+		}
+	}
+	return best, found
+}
+
+// FindOperatorDeviation searches for a profitable lie about the query's
+// operator set: bidding truthfully but declaring extra operators drawn from
+// the pool (a user can only add operators she does not need — she cannot
+// omit operators her query requires, or the DSMS would not run it). A
+// strategyproof mechanism admits no such deviation.
+func FindOperatorDeviation(m auction.Mechanism, p *query.Pool, capacity float64, id query.QueryID, extras []query.OperatorID) (Deviation, bool) {
+	base := m.Run(p, capacity).PayoffOf(id)
+	orig := p.Query(id).Operators
+	for _, extra := range extras {
+		if containsOp(orig, extra) {
+			continue
+		}
+		declared := append(append([]query.OperatorID(nil), orig...), extra)
+		out := m.Run(p.WithOperators(id, declared), capacity)
+		if payoff := out.PayoffOf(id); payoff > base+1e-9 {
+			return Deviation{
+				Query:          id,
+				TruthfulBid:    p.Bid(id),
+				DeviantBid:     p.Bid(id),
+				TruthfulPayoff: base,
+				DeviantPayoff:  payoff,
+			}, true
+		}
+	}
+	return Deviation{}, false
+}
+
+func containsOp(ops []query.OperatorID, op query.OperatorID) bool {
+	for _, o := range ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckMonotone verifies the monotonicity half of the strategyproofness
+// characterization: every winner who raises her bid keeps winning. It
+// returns an error naming the first violation.
+func CheckMonotone(m auction.Mechanism, p *query.Pool, capacity float64, factors []float64) error {
+	out := m.Run(p, capacity)
+	for _, w := range out.Winners {
+		for _, f := range factors {
+			if f <= 1 {
+				return fmt.Errorf("gametheory: raise factor %g must exceed 1", f)
+			}
+			raised := m.Run(p.WithBid(w, p.Bid(w)*f), capacity)
+			if !raised.IsWinner(w) {
+				return fmt.Errorf("gametheory: %s not monotone: winner %d loses after raising bid %.4g x%g",
+					m.Name(), w, p.Bid(w), f)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCriticalPayment verifies the second half of the characterization:
+// each winner's payment is her critical value — bidding above it wins,
+// bidding below it loses. Winners with zero payment are only checked on the
+// winning side (there is no positive bid below zero).
+func CheckCriticalPayment(m auction.Mechanism, p *query.Pool, capacity float64) error {
+	out := m.Run(p, capacity)
+	const delta = 1e-6
+	for _, w := range out.Winners {
+		pay := out.Payment(w)
+		if above := m.Run(p.WithBid(w, pay*(1+delta)+1e-12), capacity); !above.IsWinner(w) {
+			return fmt.Errorf("gametheory: %s: winner %d bidding just above payment %.6g loses",
+				m.Name(), w, pay)
+		}
+		if pay <= 0 {
+			continue
+		}
+		if below := m.Run(p.WithBid(w, pay*(1-delta)), capacity); below.IsWinner(w) {
+			return fmt.Errorf("gametheory: %s: winner %d bidding just below payment %.6g still wins",
+				m.Name(), w, pay)
+		}
+	}
+	return nil
+}

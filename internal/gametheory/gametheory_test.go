@@ -1,0 +1,183 @@
+package gametheory_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/gametheory"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// strategyproofMechanisms are the deterministic mechanisms the paper proves
+// strategyproof (Theorems 4, 7, 8, 9 plus GV).
+func strategyproofMechanisms() []auction.Mechanism {
+	return []auction.Mechanism{
+		auction.NewCAF(),
+		auction.NewCAFPlus(),
+		auction.NewCAT(),
+		auction.NewCATPlus(),
+		auction.NewGV(),
+	}
+}
+
+// probePool builds a small, heavily-shared instance.
+func probePool(seed int64) (*query.Pool, float64) {
+	params := workload.PaperParams(seed)
+	params.NumQueries = 10
+	params.MaxSharing = 4
+	params.MeanOpsPerQuery = 2.5
+	base := workload.MustGenerate(params)
+	pool := base.MustInstance(4)
+	total := 0.0
+	for i := 0; i < pool.NumQueries(); i++ {
+		total += pool.TotalLoad(query.QueryID(i))
+	}
+	return pool, total * 0.5
+}
+
+// TestMonotonicity: winners keep winning after raising their bids — half of
+// the bid-strategyproofness characterization (Section III).
+func TestMonotonicity(t *testing.T) {
+	factors := []float64{1.001, 1.5, 10}
+	for seed := int64(1); seed <= 12; seed++ {
+		pool, capacity := probePool(seed)
+		for _, m := range strategyproofMechanisms() {
+			if err := gametheory.CheckMonotone(m, pool, capacity, factors); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestCriticalPayments: payments equal critical values — the other half of
+// the characterization.
+func TestCriticalPayments(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		pool, capacity := probePool(seed)
+		for _, m := range strategyproofMechanisms() {
+			if err := gametheory.CheckCriticalPayment(m, pool, capacity); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestNoBidDeviationForStrategyproof: the deviation search must come up
+// empty for every strategyproof mechanism on every probe.
+func TestNoBidDeviationForStrategyproof(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		pool, capacity := probePool(seed)
+		for _, m := range strategyproofMechanisms() {
+			for i := 0; i < pool.NumQueries(); i++ {
+				if dev, found := gametheory.FindBidDeviation(m, pool, capacity, query.QueryID(i)); found {
+					t.Errorf("seed %d, %s: %s", seed, m.Name(), dev.String())
+				}
+			}
+		}
+	}
+}
+
+// TestCARBidDeviationExists reproduces Section IV-A: under CAR, a user who
+// shares operators with other winners profits from shading her bid so she
+// is chosen later, with a smaller remaining load and a smaller payment. On
+// Example 1, q2 (truthful payoff 72−60=12) can bid below 66 so q1 goes
+// first, dropping her remaining load from 6 to 2 and her payment to 20.
+func TestCARBidDeviationExists(t *testing.T) {
+	pool, capacity := query.Example1()
+	dev, found := gametheory.FindBidDeviation(auction.NewCAR(), pool, capacity, 1)
+	if !found {
+		t.Fatal("CAR admitted no profitable deviation on Example 1; it must (Section IV-A)")
+	}
+	if dev.DeviantBid >= dev.TruthfulBid {
+		t.Errorf("expected an underbid, got %s", dev.String())
+	}
+	if dev.DeviantPayoff <= dev.TruthfulPayoff {
+		t.Errorf("deviation does not improve payoff: %s", dev.String())
+	}
+	if dev.TruthfulPayoff != 12 {
+		t.Errorf("truthful payoff = %v, want 72 − 60 = 12", dev.TruthfulPayoff)
+	}
+	if dev.DeviantPayoff < 50 {
+		t.Errorf("deviant payoff = %v, want ≥ 52 (payment drops to ≈ 20)", dev.DeviantPayoff)
+	}
+}
+
+// TestNoOperatorDeviationTotalLoad: declaring extra operators (the only
+// operator lie available — omitting needed operators would break the query)
+// never helps under the total-load mechanisms and GV: padding only raises
+// C_T, never lowers anyone's priority denominator.
+func TestNoOperatorDeviationTotalLoad(t *testing.T) {
+	mechs := []auction.Mechanism{auction.NewCAT(), auction.NewCATPlus(), auction.NewGV()}
+	for seed := int64(1); seed <= 8; seed++ {
+		pool, capacity := probePool(seed)
+		extras := make([]query.OperatorID, pool.NumOperators())
+		for i := range extras {
+			extras[i] = query.OperatorID(i)
+		}
+		for _, m := range mechs {
+			for i := 0; i < pool.NumQueries(); i++ {
+				if dev, found := gametheory.FindOperatorDeviation(m, pool, capacity, query.QueryID(i), extras); found {
+					t.Errorf("seed %d, %s: operator lie helps: %s", seed, m.Name(), dev.String())
+				}
+			}
+		}
+	}
+}
+
+// TestOperatorPaddingCanBeatFairShare documents a reproduction finding: the
+// paper argues (via the Lehmann et al. SMB characterization) that CAF and
+// CAF+ are strategyproof against operator lies, but fair-share loads carry
+// an externality the SMB framework does not model — declaring an extra
+// operator raises its sharing degree and so lowers OTHER queries' fair-share
+// loads, reshuffling the priority list. The deviation search finds instances
+// where padding strictly improves a CAF+ user's payoff; it is the
+// single-identity cousin of the Theorem 15 sybil attack.
+func TestOperatorPaddingCanBeatFairShare(t *testing.T) {
+	found := false
+	for seed := int64(1); seed <= 12 && !found; seed++ {
+		pool, capacity := probePool(seed)
+		extras := make([]query.OperatorID, pool.NumOperators())
+		for i := range extras {
+			extras[i] = query.OperatorID(i)
+		}
+		for i := 0; i < pool.NumQueries() && !found; i++ {
+			_, found = gametheory.FindOperatorDeviation(auction.NewCAFPlus(), pool, capacity, query.QueryID(i), extras)
+		}
+	}
+	if !found {
+		t.Error("expected at least one operator-padding deviation against CAF+ across probes")
+	}
+}
+
+// TestTwoPriceBidStrategyproofInExpectation: averaged over coin flips, no
+// alternative bid beats truthful bidding by more than noise.
+func TestTwoPriceBidStrategyproofInExpectation(t *testing.T) {
+	pool, capacity := probePool(3)
+	mech := auction.NewTwoPrice(0)
+	const runs = 600
+	expectedPayoff := func(p *query.Pool, id query.QueryID) float64 {
+		coins := rand.New(rand.NewSource(99))
+		var sum float64
+		for r := 0; r < runs; r++ {
+			out := mech.RunWith(p, capacity, coins)
+			if out.IsWinner(id) {
+				sum += p.Value(id) - out.Payment(id)
+			}
+		}
+		return sum / runs
+	}
+	for i := 0; i < pool.NumQueries(); i++ {
+		id := query.QueryID(i)
+		truthful := expectedPayoff(pool, id)
+		for _, factor := range []float64{0.5, 0.9, 1.1, 2} {
+			deviant := expectedPayoff(pool.WithBid(id, pool.Value(id)*factor), id)
+			// Tolerance: sampled prices move by one bid-step between coin
+			// sequences; allow small noise but no systematic gain.
+			if deviant > truthful+1.5 {
+				t.Errorf("query %d bidding ×%.1f: E[payoff] %.3f > truthful %.3f", i, factor, deviant, truthful)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package gametheory
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/auction"
+	"repro/internal/query"
+)
+
+// SybilAttack is a constructed attack: the attacker keeps her true query but
+// additionally submits fake queries under fresh identities. AttackedPool
+// contains the original queries followed by the fakes, all fakes carrying
+// Value 0 and the attacker's User so Outcome.UserPayoff charges her for any
+// fake that wins (the paper's accounting in Section V).
+type SybilAttack struct {
+	// Attacker is the user perpetrating the attack.
+	Attacker int
+	// Original is the honest pool.
+	Original *query.Pool
+	// Attacked is the pool including the fake queries.
+	Attacked *query.Pool
+	// Fakes lists the fake queries' IDs in Attacked.
+	Fakes []query.QueryID
+}
+
+// Gain runs the mechanism on both pools and returns the attacker's payoff
+// improvement (positive means the attack succeeds).
+func (a *SybilAttack) Gain(m auction.Mechanism, capacity float64) float64 {
+	before := m.Run(a.Original, capacity).UserPayoff(a.Attacker)
+	after := m.Run(a.Attacked, capacity).UserPayoff(a.Attacker)
+	return after - before
+}
+
+// FairShareAttack builds the paper's universal attack against CAF and CAF+
+// (Theorem 15): the attacker submits numFakes fake queries, each consisting
+// exactly of her own query's operators, with negligible bids. Every fake
+// inflates the sharing degree of her operators, deflating her static
+// fair-share load — boosting her priority and cutting her payment — while
+// the fakes' bids are too low to ever be admitted at a positive price.
+func FairShareAttack(p *query.Pool, attacker query.QueryID, numFakes int, fakeBid float64) (*SybilAttack, error) {
+	if numFakes < 1 {
+		return nil, fmt.Errorf("gametheory: need at least one fake, got %d", numFakes)
+	}
+	if fakeBid <= 0 {
+		return nil, fmt.Errorf("gametheory: fake bid must be positive, got %g", fakeBid)
+	}
+	target := p.Query(attacker)
+	b := p.ExtendedBuilder()
+	var fakes []query.QueryID
+	for i := 0; i < numFakes; i++ {
+		// Fake queries have zero value to the attacker: she gains nothing if
+		// they run but pays their price.
+		id := b.AddQueryValued(fakeBid, 0, target.User, target.Operators...)
+		fakes = append(fakes, id)
+	}
+	attacked, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &SybilAttack{Attacker: target.User, Original: p, Attacked: attacked, Fakes: fakes}, nil
+}
+
+// TableII reconstructs the paper's Table II instance, the sybil attack that
+// beats CAT+: capacity 1; user 1 bids 100 for load 1; user 2 bids 89 for
+// load 0.9. Honestly, user 1 fills the server and user 2 loses. User 2's
+// fake "user 3" bids 100ε+ε at load ε: it outranks user 1, making user 1 no
+// longer fit, after which user 2 (skip-greedy!) is admitted. User 2 pays 0
+// (nobody ranks below her) and covers the fake's 100ε payment, netting
+// payoff 89 − 100ε > 0.
+//
+// It returns the attack and the capacity.
+func TableII(epsilon float64) (*SybilAttack, float64) {
+	const capacity = 1.0
+	b := query.NewBuilder()
+	op1 := b.AddOperator(1)
+	op2 := b.AddOperator(0.9)
+	b.AddQueryValued(100, 100, 1, op1) // user 1
+	b.AddQueryValued(89, 89, 2, op2)   // user 2, the attacker
+	original := b.MustBuild()
+
+	eb := original.ExtendedBuilder()
+	opFake := eb.AddOperator(epsilon)
+	fake := eb.AddQueryValued(100*epsilon+epsilon, 0, 2, opFake) // "user 3"
+	attacked := eb.MustBuild()
+
+	return &SybilAttack{Attacker: 2, Original: original, Attacked: attacked, Fakes: []query.QueryID{fake}}, capacity
+}
+
+// TwoPriceSectionVC builds the paper's Section V-C construction against the
+// randomized mechanism: user 1 (valuation 100, load 2) shares H with three
+// valuation-10 users whose loads fill capacity 8 exactly; her fake has
+// valuation 10+ε and the combined size of the three. Under the
+// independent-coin-flip partition with free empty samples, the attack cuts
+// her expected payment from 10·(1−1/2³) to (10+ε)/2. It returns the attack
+// and the capacity.
+func TwoPriceSectionVC(epsilon float64) (*SybilAttack, float64) {
+	b := query.NewBuilder()
+	o1 := b.AddOperator(2)
+	oc1 := b.AddOperator(2)
+	oc2 := b.AddOperator(2)
+	oc3 := b.AddOperator(2)
+	b.AddQueryValued(100, 100, 1, o1)
+	b.AddQueryValued(10, 10, 2, oc1)
+	b.AddQueryValued(10, 10, 3, oc2)
+	b.AddQueryValued(10, 10, 4, oc3)
+	original := b.MustBuild()
+
+	eb := original.ExtendedBuilder()
+	oFake := eb.AddOperator(6)
+	fake := eb.AddQueryValued(10+epsilon, 0, 1, oFake)
+	attacked := eb.MustBuild()
+	return &SybilAttack{Attacker: 1, Original: original, Attacked: attacked, Fakes: []query.QueryID{fake}}, 8
+}
+
+// ExpectedGain evaluates a randomized mechanism's attack gain in expectation
+// over runs coin sequences.
+func (a *SybilAttack) ExpectedGain(m *auction.TwoPrice, capacity float64, runs int, seed int64) float64 {
+	coins := rand.New(rand.NewSource(seed))
+	var before, after float64
+	for r := 0; r < runs; r++ {
+		before += m.RunWith(a.Original, capacity, coins).UserPayoff(a.Attacker)
+		after += m.RunWith(a.Attacked, capacity, coins).UserPayoff(a.Attacker)
+	}
+	return (after - before) / float64(runs)
+}
+
+// SharedLowballAttack builds a generic attack template used by the immunity
+// search: the attacker adds one fake query over a chosen subset of her
+// operators with a chosen bid and value 0.
+func SharedLowballAttack(p *query.Pool, attacker query.QueryID, ops []query.OperatorID, bid float64) (*SybilAttack, error) {
+	if bid <= 0 {
+		return nil, fmt.Errorf("gametheory: fake bid must be positive, got %g", bid)
+	}
+	target := p.Query(attacker)
+	b := p.ExtendedBuilder()
+	id := b.AddQueryValued(bid, 0, target.User, ops...)
+	attacked, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &SybilAttack{Attacker: target.User, Original: p, Attacked: attacked, Fakes: []query.QueryID{id}}, nil
+}
+
+// SearchSybilAttack tries a family of single-fake attacks for the given
+// attacker — fakes over her full operator set, each single operator, and a
+// fresh private operator, at a ladder of bids — and returns the first attack
+// that strictly improves her payoff, or nil. CAT must survive every search
+// (it is sybil-strategyproof, Theorem 19); CAF and CAF+ must fall to the
+// fair-share attack on essentially every instance.
+func SearchSybilAttack(m auction.Mechanism, p *query.Pool, capacity float64, attacker query.QueryID) (*SybilAttack, error) {
+	target := p.Query(attacker)
+	// Bid ladder: tiny bids (free riders) through bids near the attacker's
+	// own, scaled by rough load so priorities land in interesting places.
+	bidLadder := []float64{1e-6, 1e-3, 0.1, 1}
+	for _, q := range p.Queries() {
+		bidLadder = append(bidLadder, q.Bid*0.5, q.Bid*1.001)
+	}
+
+	var opChoices [][]query.OperatorID
+	opChoices = append(opChoices, target.Operators)
+	for _, op := range target.Operators {
+		opChoices = append(opChoices, []query.OperatorID{op})
+	}
+
+	for _, ops := range opChoices {
+		for _, bid := range bidLadder {
+			attack, err := SharedLowballAttack(p, attacker, ops, bid)
+			if err != nil {
+				return nil, err
+			}
+			if attack.Gain(m, capacity) > 1e-9 {
+				return attack, nil
+			}
+		}
+	}
+	// Multi-fake fair-share attack.
+	for _, n := range []int{1, 3, 10} {
+		attack, err := FairShareAttack(p, attacker, n, 1e-6)
+		if err != nil {
+			return nil, err
+		}
+		if attack.Gain(m, capacity) > 1e-9 {
+			return attack, nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,188 @@
+package gametheory_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/gametheory"
+	"repro/internal/query"
+)
+
+// TestTableIIBeatsCATPlus reproduces the paper's Table II: the fake "user 3"
+// flips the CAT+ outcome, the attacker's real query wins at payment 0, and
+// she covers the fake's 100ε bill for a net gain of 89 − 100ε.
+func TestTableIIBeatsCATPlus(t *testing.T) {
+	const eps = 1e-3
+	attack, capacity := gametheory.TableII(eps)
+	mech := auction.NewCATPlus()
+
+	honest := mech.Run(attack.Original, capacity)
+	if !honest.IsWinner(0) || honest.IsWinner(1) {
+		t.Fatalf("honest winners = %v, want only user 1's query", honest.Winners)
+	}
+	attacked := mech.Run(attack.Attacked, capacity)
+	if attacked.IsWinner(0) {
+		t.Error("user 1 must be displaced by the fake")
+	}
+	if !attacked.IsWinner(1) || !attacked.IsWinner(2) {
+		t.Fatalf("attacked winners = %v, want q2 and the fake", attacked.Winners)
+	}
+	if got := attacked.Payment(2); math.Abs(got-100*eps) > 1e-9 {
+		t.Errorf("fake's payment = %v, want 100ε = %v (Table II)", got, 100*eps)
+	}
+	if got := attacked.Payment(1); got != 0 {
+		t.Errorf("attacker's own payment = %v, want 0 (nobody ranks below her)", got)
+	}
+	gain := attack.Gain(mech, capacity)
+	if want := 89 - 100*eps; math.Abs(gain-want) > 1e-9 {
+		t.Errorf("attack gain = %v, want %v", gain, want)
+	}
+}
+
+// TestTableIIFailsAgainstCAT: the same instance bounces off CAT (prefix
+// stop), which is sybil-strategyproof (Theorem 19) — the fake gets admitted
+// but the attacker still loses and now pays the fake's bill.
+func TestTableIIFailsAgainstCAT(t *testing.T) {
+	attack, capacity := gametheory.TableII(1e-3)
+	if gain := attack.Gain(auction.NewCAT(), capacity); gain > 0 {
+		t.Errorf("CAT attack gain = %v, want ≤ 0", gain)
+	}
+}
+
+// TestFairShareAttackBeatsCAFUniversally: Theorem 15 — on Example 1 every
+// user can profit from the fair-share attack under CAF and CAF+. We verify
+// for the losing user q3 (selection flip) and the winning user q2 (payment
+// drop).
+func TestFairShareAttackBeatsCAF(t *testing.T) {
+	pool, capacity := query.Example1()
+	for _, m := range []auction.Mechanism{auction.NewCAF(), auction.NewCAFPlus()} {
+		// q3 (loser honestly): fakes sharing D and E collapse her fair-share
+		// load from 10 toward 1, lifting her priority above everyone.
+		attack, err := gametheory.FairShareAttack(pool, 2, 9, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gain := attack.Gain(m, capacity); gain <= 0 {
+			t.Errorf("%s: q3's fair-share attack gain = %v, want > 0", m.Name(), gain)
+		}
+	}
+	// q2 (winner honestly, pays 40 under CAF): fakes shrink her fair-share
+	// load and with it her payment.
+	attack, err := gametheory.FairShareAttack(pool, 1, 9, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := attack.Gain(auction.NewCAF(), capacity); gain <= 0 {
+		t.Errorf("CAF: q2's fair-share attack gain = %v, want > 0", gain)
+	}
+}
+
+// TestFairShareAttackDoesNotBeatCAT: total loads are insensitive to fake
+// sharing, so the same attacks gain nothing under CAT.
+func TestFairShareAttackDoesNotBeatCAT(t *testing.T) {
+	pool, capacity := query.Example1()
+	for attacker := 0; attacker < 3; attacker++ {
+		for _, fakes := range []int{1, 5, 20} {
+			attack, err := gametheory.FairShareAttack(pool, query.QueryID(attacker), fakes, 1e-6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gain := attack.Gain(auction.NewCAT(), capacity); gain > 1e-9 {
+				t.Errorf("CAT: attacker q%d with %d fakes gains %v, want ≤ 0", attacker+1, fakes, gain)
+			}
+		}
+	}
+}
+
+// TestSearchFindsNoAttackOnCAT: the generic attack search must come up
+// empty against CAT on randomized probes (sybil-strategyproofness).
+func TestSearchFindsNoAttackOnCAT(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		pool, capacity := probePool(seed)
+		for i := 0; i < pool.NumQueries(); i++ {
+			attack, err := gametheory.SearchSybilAttack(auction.NewCAT(), pool, capacity, query.QueryID(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if attack != nil {
+				t.Errorf("seed %d: found attack on CAT by query %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestSearchFindsAttacksOnFairShare: the search must find attacks against
+// CAF on instances with competition (Theorem 15's universality).
+func TestSearchFindsAttacksOnFairShare(t *testing.T) {
+	pool, capacity := query.Example1()
+	found := 0
+	for i := 0; i < pool.NumQueries(); i++ {
+		attack, err := gametheory.SearchSybilAttack(auction.NewCAF(), pool, capacity, query.QueryID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attack != nil {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("no fair-share attacks found against CAF on Example 1")
+	}
+}
+
+// TestTwoPriceSybilVulnerable reproduces Section V-C's final construction:
+// user 1 (valuation 100) shares H with three valuation-10 users that fill
+// capacity exactly. Her fake (valuation 10+ε, size equal to the three
+// combined) kicks them out of H, and in expectation her payment drops from
+// 10·(1 − 1/2³) to (10+ε)/2 — the attack profits in expectation.
+func TestTwoPriceSybilVulnerable(t *testing.T) {
+	const eps = 0.01
+	b := query.NewBuilder()
+	o1 := b.AddOperator(2)
+	oc1 := b.AddOperator(2)
+	oc2 := b.AddOperator(2)
+	oc3 := b.AddOperator(2)
+	b.AddQueryValued(100, 100, 1, o1)
+	b.AddQueryValued(10, 10, 2, oc1)
+	b.AddQueryValued(10, 10, 3, oc2)
+	b.AddQueryValued(10, 10, 4, oc3)
+	original := b.MustBuild()
+
+	eb := original.ExtendedBuilder()
+	oFake := eb.AddOperator(6) // the combined size of the three c-users
+	eb.AddQueryValued(10+eps, 0, 1, oFake)
+	attacked := eb.MustBuild()
+
+	const capacity = 8
+	// The paper's construction uses the independent-coin-flip partition with
+	// an empty sample pricing the other half at zero: before the attack user
+	// 1 pays c·(1 − 1/2³); after it, (c+ε)/2.
+	mech := auction.NewTwoPrice(0)
+	mech.IndependentFlips = true
+	mech.FreeWhenEmptySample = true
+	const runs = 4000
+	expPayoff := func(p *query.Pool) float64 {
+		coins := rand.New(rand.NewSource(1234))
+		var sum float64
+		for r := 0; r < runs; r++ {
+			sum += mech.RunWith(p, capacity, coins).UserPayoff(1)
+		}
+		return sum / runs
+	}
+	honest := expPayoff(original)
+	withAttack := expPayoff(attacked)
+	if withAttack <= honest {
+		t.Errorf("E[payoff] honest %.3f, attacked %.3f: attack should profit in expectation (Theorem 20)",
+			honest, withAttack)
+	}
+	// Quantitatively: honest ≈ 100 − 10·(7/8) = 91.25, attacked ≈ 100 −
+	// (10+ε)/2 ≈ 95.0.
+	if honest < 90 || honest > 92.5 {
+		t.Errorf("honest E[payoff] = %.3f, want ≈ 91.25", honest)
+	}
+	if withAttack < 93.5 || withAttack > 96.5 {
+		t.Errorf("attacked E[payoff] = %.3f, want ≈ 95.0", withAttack)
+	}
+}

@@ -1,0 +1,96 @@
+// Package market generates the synthetic stock-quote and news streams the
+// paper's motivating monitoring applications consume (Section I): per-symbol
+// random-walk prices with mean reversion, trade volumes, and sentiment-
+// scored headlines. It backs cmd/dsmsd and the examples with a shared,
+// deterministic feed.
+package market
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// QuoteSchema is (symbol string, price float, volume int).
+var QuoteSchema = stream.MustSchema(
+	stream.Field{Name: "symbol", Kind: stream.KindString},
+	stream.Field{Name: "price", Kind: stream.KindFloat},
+	stream.Field{Name: "volume", Kind: stream.KindInt},
+)
+
+// NewsSchema is (symbol string, sentiment float).
+var NewsSchema = stream.MustSchema(
+	stream.Field{Name: "symbol", Kind: stream.KindString},
+	stream.Field{Name: "sentiment", Kind: stream.KindFloat},
+)
+
+// Feed produces deterministic synthetic market data.
+type Feed struct {
+	rng     *rand.Rand
+	symbols []string
+	prices  []float64
+	anchor  []float64
+	ts      int64
+}
+
+// NewFeed creates a feed over the given symbols; prices start anchored in
+// [80, 280). Equal seeds give identical streams.
+func NewFeed(seed int64, symbols ...string) (*Feed, error) {
+	if len(symbols) == 0 {
+		return nil, fmt.Errorf("market: need at least one symbol")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &Feed{rng: rng, symbols: append([]string(nil), symbols...)}
+	f.prices = make([]float64, len(symbols))
+	f.anchor = make([]float64, len(symbols))
+	for i := range symbols {
+		f.anchor[i] = 80 + rng.Float64()*200
+		f.prices[i] = f.anchor[i]
+	}
+	return f, nil
+}
+
+// MustFeed is NewFeed that panics on error.
+func MustFeed(seed int64, symbols ...string) *Feed {
+	f, err := NewFeed(seed, symbols...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Symbols returns the feed's symbols.
+func (f *Feed) Symbols() []string { return append([]string(nil), f.symbols...) }
+
+// Quote emits the next trade: a random symbol whose price follows a
+// mean-reverting random walk, with a heavy-ish volume distribution.
+func (f *Feed) Quote() stream.Tuple {
+	i := f.rng.Intn(len(f.symbols))
+	// Mean-reverting walk: drift toward the anchor plus noise.
+	f.prices[i] += 0.05*(f.anchor[i]-f.prices[i]) + f.rng.NormFloat64()*2
+	if f.prices[i] < 1 {
+		f.prices[i] = 1
+	}
+	volume := int64(100 * (1 + f.rng.Intn(100)))
+	f.ts++
+	return stream.NewTuple(f.ts, f.symbols[i], f.prices[i], volume)
+}
+
+// Headline emits the next news item: a random symbol with sentiment in
+// [-1, 1].
+func (f *Feed) Headline() stream.Tuple {
+	i := f.rng.Intn(len(f.symbols))
+	f.ts++
+	return stream.NewTuple(f.ts, f.symbols[i], f.rng.Float64()*2-1)
+}
+
+// Price returns the current price of the given symbol (for assertions).
+func (f *Feed) Price(symbol string) (float64, bool) {
+	for i, s := range f.symbols {
+		if s == symbol {
+			return f.prices[i], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,100 @@
+package market
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFeedValidation(t *testing.T) {
+	if _, err := NewFeed(1); err == nil {
+		t.Error("want error for no symbols")
+	}
+}
+
+func TestQuotesConform(t *testing.T) {
+	f := MustFeed(1, "AAA", "BBB")
+	for i := 0; i < 200; i++ {
+		q := f.Quote()
+		if !QuoteSchema.Conforms(q) {
+			t.Fatalf("quote %v does not conform to %s", q, QuoteSchema)
+		}
+		if q.Float(1) < 1 {
+			t.Fatalf("price %v below floor", q.Float(1))
+		}
+	}
+}
+
+func TestHeadlinesConform(t *testing.T) {
+	f := MustFeed(2, "AAA")
+	for i := 0; i < 100; i++ {
+		h := f.Headline()
+		if !NewsSchema.Conforms(h) {
+			t.Fatalf("headline %v does not conform", h)
+		}
+		if s := h.Float(1); s < -1 || s > 1 {
+			t.Fatalf("sentiment %v outside [-1, 1]", s)
+		}
+	}
+}
+
+func TestTimestampsMonotone(t *testing.T) {
+	f := MustFeed(3, "AAA", "BBB")
+	last := int64(0)
+	for i := 0; i < 100; i++ {
+		var ts int64
+		if i%3 == 0 {
+			ts = f.Headline().Ts
+		} else {
+			ts = f.Quote().Ts
+		}
+		if ts <= last {
+			t.Fatalf("timestamp %d not after %d", ts, last)
+		}
+		last = ts
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustFeed(7, "X", "Y")
+	b := MustFeed(7, "X", "Y")
+	for i := 0; i < 100; i++ {
+		qa, qb := a.Quote(), b.Quote()
+		if qa.Str(0) != qb.Str(0) || qa.Float(1) != qb.Float(1) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestMeanReversion(t *testing.T) {
+	f := MustFeed(11, "X")
+	anchor, _ := f.Price("X")
+	// After many steps the price stays within a band of the anchor.
+	for i := 0; i < 5000; i++ {
+		f.Quote()
+	}
+	price, ok := f.Price("X")
+	if !ok {
+		t.Fatal("symbol lost")
+	}
+	if price < anchor-80 || price > anchor+80 {
+		t.Errorf("price %v wandered far from anchor %v", price, anchor)
+	}
+	if _, ok := f.Price("missing"); ok {
+		t.Error("unknown symbol should not resolve")
+	}
+}
+
+func TestPricesStayPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		feed := MustFeed(seed, "A")
+		for i := 0; i < 500; i++ {
+			if feed.Quote().Float(1) < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

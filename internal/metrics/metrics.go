@@ -1,0 +1,216 @@
+// Package metrics aggregates per-run measurements into the averaged series
+// the paper plots (each reported point is the mean over 50 workload sets)
+// and renders aligned text tables and CSV for the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates observations of one quantity.
+type Sample struct {
+	n    int
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Add records an observation.
+func (s *Sample) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sum2 += v * v
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Std returns the sample standard deviation (0 with <2 observations).
+func (s *Sample) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	v := (s.sum2 - float64(s.n)*mean*mean) / float64(s.n-1)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.max }
+
+// Series is a family of curves over a shared x-axis: one named line per
+// mechanism, one Sample per (line, x) cell. It is the shape of every figure
+// in the paper's Section VI.
+type Series struct {
+	// XLabel and YLabel name the axes for rendering.
+	XLabel, YLabel string
+	xs             []float64
+	lines          []string
+	cells          map[string]map[float64]*Sample
+}
+
+// NewSeries creates an empty series with the given axis labels.
+func NewSeries(xLabel, yLabel string) *Series {
+	return &Series{XLabel: xLabel, YLabel: yLabel, cells: make(map[string]map[float64]*Sample)}
+}
+
+// Observe records one measurement of line at x.
+func (s *Series) Observe(line string, x, y float64) {
+	row, ok := s.cells[line]
+	if !ok {
+		row = make(map[float64]*Sample)
+		s.cells[line] = row
+		s.lines = append(s.lines, line)
+	}
+	cell, ok := row[x]
+	if !ok {
+		cell = &Sample{}
+		row[x] = cell
+		if !containsFloat(s.xs, x) {
+			s.xs = append(s.xs, x)
+			sort.Float64s(s.xs)
+		}
+	}
+	cell.Add(y)
+}
+
+func containsFloat(xs []float64, x float64) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Lines returns the line names in first-observed order.
+func (s *Series) Lines() []string { return append([]string(nil), s.lines...) }
+
+// Xs returns the sorted x values.
+func (s *Series) Xs() []float64 { return append([]float64(nil), s.xs...) }
+
+// Mean returns the mean of line at x (0 if never observed).
+func (s *Series) Mean(line string, x float64) float64 {
+	if row, ok := s.cells[line]; ok {
+		if cell, ok := row[x]; ok {
+			return cell.Mean()
+		}
+	}
+	return 0
+}
+
+// Values returns line's means across all xs, in x order.
+func (s *Series) Values(line string) []float64 {
+	out := make([]float64, len(s.xs))
+	for i, x := range s.xs {
+		out[i] = s.Mean(line, x)
+	}
+	return out
+}
+
+// Table renders the series as an aligned text table: one row per x, one
+// column per line.
+func (s *Series) Table() string {
+	header := append([]string{s.XLabel}, s.lines...)
+	rows := [][]string{header}
+	for _, x := range s.xs {
+		row := []string{trimFloat(x)}
+		for _, line := range s.lines {
+			row = append(row, fmt.Sprintf("%.2f", s.Mean(line, x)))
+		}
+		rows = append(rows, row)
+	}
+	return Render(rows)
+}
+
+// CSV renders the series as comma-separated values with a header row.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	b.WriteString(s.XLabel)
+	for _, line := range s.lines {
+		b.WriteString(",")
+		b.WriteString(line)
+	}
+	b.WriteString("\n")
+	for _, x := range s.xs {
+		b.WriteString(trimFloat(x))
+		for _, line := range s.lines {
+			fmt.Fprintf(&b, ",%g", s.Mean(line, x))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// trimFloat formats x without trailing zeros.
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Render aligns rows of cells into a text table; the first row is treated
+// as the header and underlined.
+func Render(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(rows[0])
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteString("\n")
+	for _, row := range rows[1:] {
+		writeRow(row)
+	}
+	return b.String()
+}

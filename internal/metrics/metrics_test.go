@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 {
+		t.Error("empty sample stats should be zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7); math.Abs(s.Std()-want) > 1e-9 {
+		t.Errorf("std = %v, want %v", s.Std(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSampleStdNonNegative(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				// Metrics aggregate profits/rates; squared-sum overflow at
+				// astronomically large magnitudes is out of scope.
+				continue
+			}
+			s.Add(v)
+		}
+		return s.Std() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("x", "y")
+	s.Observe("CAT", 1, 10)
+	s.Observe("CAT", 1, 20)
+	s.Observe("CAT", 2, 30)
+	s.Observe("CAF", 1, 5)
+	if got := s.Mean("CAT", 1); got != 15 {
+		t.Errorf("mean = %v, want 15", got)
+	}
+	if got := s.Mean("CAT", 99); got != 0 {
+		t.Errorf("unobserved mean = %v, want 0", got)
+	}
+	if got := s.Mean("missing", 1); got != 0 {
+		t.Errorf("missing line mean = %v, want 0", got)
+	}
+	lines := s.Lines()
+	if len(lines) != 2 || lines[0] != "CAT" || lines[1] != "CAF" {
+		t.Errorf("lines = %v, want [CAT CAF] in first-observed order", lines)
+	}
+	xs := s.Xs()
+	if len(xs) != 2 || xs[0] != 1 || xs[1] != 2 {
+		t.Errorf("xs = %v, want [1 2]", xs)
+	}
+	vals := s.Values("CAT")
+	if len(vals) != 2 || vals[0] != 15 || vals[1] != 30 {
+		t.Errorf("values = %v, want [15 30]", vals)
+	}
+}
+
+func TestSeriesTableAndCSV(t *testing.T) {
+	s := NewSeries("deg", "profit")
+	s.Observe("CAT", 1, 10)
+	s.Observe("CAF", 1, 20)
+	table := s.Table()
+	for _, want := range []string{"deg", "CAT", "CAF", "10.00", "20.00"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "deg,CAT,CAF\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "1,10,20") {
+		t.Errorf("csv row wrong: %q", csv)
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	out := Render([][]string{
+		{"name", "value"},
+		{"a", "1"},
+		{"longer", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4", len(lines))
+	}
+	// All data rows align the second column.
+	col := strings.Index(lines[2], "1")
+	if strings.Index(lines[3], "22") != col {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+	if Render(nil) != "" {
+		t.Error("empty render should be empty")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(5) != "5" {
+		t.Errorf("trimFloat(5) = %q", trimFloat(5))
+	}
+	if trimFloat(2.5) != "2.5" {
+		t.Errorf("trimFloat(2.5) = %q", trimFloat(2.5))
+	}
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotMarks assigns one mark per line, cycling if there are many.
+var plotMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot renders the series as an ASCII chart (x ascending left to right, y
+// scaled to height rows), one mark per line, with a legend — good enough to
+// eyeball the paper's figure shapes in a terminal.
+func (s *Series) Plot(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	xs := s.Xs()
+	lines := s.Lines()
+	if len(xs) == 0 || len(lines) == 0 {
+		return "(empty series)\n"
+	}
+
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, line := range lines {
+		for _, x := range xs {
+			y := s.Mean(line, x)
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	spanX := maxX - minX
+	if spanX == 0 {
+		spanX = 1
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - minX) / spanX * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round((maxY - y) / (maxY - minY) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for li, line := range lines {
+		mark := plotMarks[li%len(plotMarks)]
+		for _, x := range xs {
+			grid[row(s.Mean(line, x))][col(x)] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max %.4g)\n", s.YLabel, maxY)
+	for _, r := range grid {
+		b.WriteString("|")
+		b.Write(r)
+		b.WriteString("\n")
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	fmt.Fprintf(&b, " %s: %s .. %s   (min y %.4g)\n", s.XLabel, trimFloat(minX), trimFloat(maxX), minY)
+	for li, line := range lines {
+		fmt.Fprintf(&b, " %c %s\n", plotMarks[li%len(plotMarks)], line)
+	}
+	return b.String()
+}

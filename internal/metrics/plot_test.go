@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersLines(t *testing.T) {
+	s := NewSeries("deg", "profit")
+	for x := 1.0; x <= 10; x++ {
+		s.Observe("CAT", x, 100-5*x)
+		s.Observe("Two-price", x, 50+5*x)
+	}
+	out := s.Plot(40, 10)
+	if !strings.Contains(out, "* CAT") || !strings.Contains(out, "+ Two-price") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "deg: 1 .. 10") {
+		t.Errorf("x range missing:\n%s", out)
+	}
+	// Both marks must appear in the grid.
+	grid := out[:strings.Index(out, "+----")]
+	if !strings.Contains(grid, "*") || !strings.Contains(grid, "+") {
+		t.Errorf("marks missing from grid:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	s := NewSeries("x", "y")
+	if got := s.Plot(40, 10); !strings.Contains(got, "empty") {
+		t.Errorf("empty plot = %q", got)
+	}
+	s.Observe("flat", 1, 5)
+	s.Observe("flat", 2, 5)
+	out := s.Plot(1, 1) // clamped to minimums
+	if out == "" {
+		t.Error("degenerate plot empty")
+	}
+}

@@ -1,0 +1,127 @@
+// Package qos implements Aurora-style quality-of-service graphs for
+// continuous queries: piecewise-linear utility as a function of result
+// latency. The paper's cited substrate ([1], [3]) drives scheduling and
+// load-shedding from exactly such graphs; here they close the loop between
+// the admission auction and the execution layer — Evaluate maps a scheduled
+// period (per-operator delays from the sched package) to per-query
+// delivered utility, so a provider can verify that admitted queries receive
+// the service their payments bought.
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Point is one vertex of a QoS graph: at Latency (ticks) the user receives
+// Utility (in [0, 1]).
+type Point struct {
+	Latency float64
+	Utility float64
+}
+
+// Graph is a piecewise-linear, non-increasing latency-utility function.
+type Graph struct {
+	points []Point
+}
+
+// NewGraph builds a QoS graph from vertices sorted by ascending latency.
+// Utilities must be within [0, 1] and non-increasing in latency.
+func NewGraph(points ...Point) (*Graph, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("qos: graph needs at least one point")
+	}
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Latency < sorted[j].Latency })
+	for i, p := range sorted {
+		if p.Latency < 0 {
+			return nil, fmt.Errorf("qos: negative latency %g", p.Latency)
+		}
+		if p.Utility < 0 || p.Utility > 1 {
+			return nil, fmt.Errorf("qos: utility %g outside [0, 1]", p.Utility)
+		}
+		if i > 0 && p.Utility > sorted[i-1].Utility {
+			return nil, fmt.Errorf("qos: utility must be non-increasing in latency")
+		}
+	}
+	return &Graph{points: sorted}, nil
+}
+
+// MustGraph is NewGraph that panics on error.
+func MustGraph(points ...Point) *Graph {
+	g, err := NewGraph(points...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// StepGraph returns full utility up to deadline and zero beyond — the
+// hard-deadline special case.
+func StepGraph(deadline float64) *Graph {
+	return MustGraph(Point{Latency: deadline, Utility: 1}, Point{Latency: deadline + 1e-9, Utility: 0})
+}
+
+// Utility evaluates the graph at the given latency: flat before the first
+// vertex, linear between vertices, flat after the last.
+func (g *Graph) Utility(latency float64) float64 {
+	if math.IsInf(latency, 1) {
+		return g.points[len(g.points)-1].Utility
+	}
+	if latency <= g.points[0].Latency {
+		return g.points[0].Utility
+	}
+	for i := 1; i < len(g.points); i++ {
+		a, b := g.points[i-1], g.points[i]
+		if latency <= b.Latency {
+			if b.Latency == a.Latency {
+				return b.Utility
+			}
+			frac := (latency - a.Latency) / (b.Latency - a.Latency)
+			return a.Utility + frac*(b.Utility-a.Utility)
+		}
+	}
+	return g.points[len(g.points)-1].Utility
+}
+
+// QueryQoS is one query's delivered quality of service.
+type QueryQoS struct {
+	Query string
+	// Latency is the query's end-to-end delay estimate: the maximum mean
+	// delay over its operators (the slowest shared operator gates results).
+	Latency float64
+	// Utility is the QoS graph evaluated at Latency.
+	Utility float64
+}
+
+// Evaluate maps a sched report to per-query QoS: queries name their
+// operators by index into the simulator's operator order, and each query's
+// latency is the max of its operators' mean delays.
+func Evaluate(report *sched.Report, graphs map[string]*Graph, queryOps map[string][]int) ([]QueryQoS, error) {
+	out := make([]QueryQoS, 0, len(queryOps))
+	names := make([]string, 0, len(queryOps))
+	for name := range queryOps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g, ok := graphs[name]
+		if !ok {
+			return nil, fmt.Errorf("qos: query %q has no QoS graph", name)
+		}
+		latency := 0.0
+		for _, op := range queryOps[name] {
+			if op < 0 || op >= len(report.PerOperatorDelay) {
+				return nil, fmt.Errorf("qos: query %q references operator %d outside the report", name, op)
+			}
+			if d := report.PerOperatorDelay[op]; d > latency {
+				latency = d
+			}
+		}
+		out = append(out, QueryQoS{Query: name, Latency: latency, Utility: g.Utility(latency)})
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package qos
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(); err == nil {
+		t.Error("want error for empty graph")
+	}
+	if _, err := NewGraph(Point{Latency: -1, Utility: 1}); err == nil {
+		t.Error("want error for negative latency")
+	}
+	if _, err := NewGraph(Point{Latency: 0, Utility: 2}); err == nil {
+		t.Error("want error for utility above 1")
+	}
+	if _, err := NewGraph(Point{0, 0.5}, Point{10, 0.9}); err == nil {
+		t.Error("want error for increasing utility")
+	}
+}
+
+func TestUtilityInterpolation(t *testing.T) {
+	g := MustGraph(Point{0, 1}, Point{10, 1}, Point{20, 0.2}, Point{40, 0})
+	cases := []struct {
+		latency float64
+		want    float64
+	}{
+		{0, 1},
+		{5, 1},
+		{10, 1},
+		{15, 0.6}, // halfway down the 1 -> 0.2 segment
+		{20, 0.2},
+		{30, 0.1},
+		{100, 0},
+		{math.Inf(1), 0},
+	}
+	for _, tc := range cases {
+		if got := g.Utility(tc.latency); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Utility(%v) = %v, want %v", tc.latency, got, tc.want)
+		}
+	}
+}
+
+func TestStepGraph(t *testing.T) {
+	g := StepGraph(5)
+	if g.Utility(4.9) != 1 {
+		t.Error("before deadline should be full utility")
+	}
+	if g.Utility(6) != 0 {
+		t.Error("after deadline should be zero")
+	}
+}
+
+// TestEvaluateStableVsOverload: an underloaded period yields near-zero
+// latencies and full utility; an overloaded one starves the queries.
+func TestEvaluateStableVsOverload(t *testing.T) {
+	run := func(loads []float64, capacity float64) *sched.Report {
+		s, err := sched.New(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range loads {
+			if err := s.Add(sched.Operator{Name: "op", Load: l}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		report, err := s.Run(400, sched.RoundRobin{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	graphs := map[string]*Graph{
+		"q1": MustGraph(Point{0, 1}, Point{50, 0}),
+		"q2": MustGraph(Point{0, 1}, Point{50, 0}),
+	}
+	queryOps := map[string][]int{"q1": {0}, "q2": {0, 1}}
+
+	good, err := Evaluate(run([]float64{3, 3}, 10), graphs, queryOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range good {
+		if q.Utility < 0.9 {
+			t.Errorf("underloaded %s utility = %v, want ≈ 1", q.Query, q.Utility)
+		}
+	}
+
+	bad, err := Evaluate(run([]float64{8, 8}, 10), graphs, queryOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range bad {
+		if q.Utility > 0.2 {
+			t.Errorf("overloaded %s utility = %v, want ≈ 0", q.Query, q.Utility)
+		}
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	s, _ := sched.New(10)
+	_ = s.Add(sched.Operator{Name: "op", Load: 1})
+	report, err := s.Run(10, sched.RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*Graph{"q": StepGraph(5)}
+	if _, err := Evaluate(report, graphs, map[string][]int{"other": {0}}); err == nil {
+		t.Error("want error for query without a graph")
+	}
+	if _, err := Evaluate(report, graphs, map[string][]int{"q": {7}}); err == nil {
+		t.Error("want error for out-of-range operator")
+	}
+}
+
+// TestQueryLatencyIsSlowestOperator: a query's latency is gated by its
+// slowest shared operator.
+func TestQueryLatencyIsSlowestOperator(t *testing.T) {
+	s, _ := sched.New(10)
+	_ = s.Add(sched.Operator{Name: "fast", Load: 1})
+	_ = s.Add(sched.Operator{Name: "slow", Load: 12}) // overloaded alone
+	report, err := s.Run(200, sched.Proportional{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*Graph{"q": MustGraph(Point{0, 1}, Point{1000, 0})}
+	out, err := Evaluate(report, graphs, map[string][]int{"q": {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Latency < report.PerOperatorDelay[1]-1e-9 {
+		t.Errorf("query latency %v below slow operator's %v", out[0].Latency, report.PerOperatorDelay[1])
+	}
+}

@@ -1,0 +1,347 @@
+// Package query models the paper's abstract view of continuous queries
+// (Section II, Figure 2): a pool of operators, each with a load and a set of
+// owning queries, plus each user's bid. It provides the three load notions
+// that drive the admission mechanisms — total load C_T, static fair-share
+// load C_SF, and order-dependent remaining load C_R — and aggregate-load
+// feasibility for sets of queries with shared operators.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// OperatorID identifies a (possibly shared) operator within a Pool.
+type OperatorID int
+
+// QueryID identifies a query within a Pool. IDs are dense: 0..NumQueries-1.
+type QueryID int
+
+// Operator is a unit of stream-processing work. Load is the fraction of
+// system capacity the operator consumes per time unit (paper: c_j). The same
+// operator may belong to many queries; its load is paid once no matter how
+// many admitted queries share it.
+type Operator struct {
+	ID      OperatorID
+	Load    float64
+	Queries []QueryID // owners, sorted ascending
+}
+
+// Degree returns the sharing degree of the operator: the number of queries
+// that contain it.
+func (o Operator) Degree() int { return len(o.Queries) }
+
+// Query is a user's continuous query: an identifier, the set of operators it
+// comprises, the submitted bid, and the user's private valuation. For
+// truthful users Bid == Value; the gametheory and lying-workload packages set
+// them apart.
+type Query struct {
+	ID        QueryID
+	Operators []OperatorID // sorted ascending
+	Bid       float64
+	Value     float64
+	// User identifies the submitting principal. Distinct queries may share a
+	// user (sybil attacks submit extra queries under fresh user IDs but the
+	// attacker pays for all of them).
+	User int
+}
+
+// Pool is the incidence structure between queries and operators that the
+// DSMS presents to the admission mechanism (paper Figure 2). A Pool is
+// immutable once built; mechanisms never mutate it.
+type Pool struct {
+	ops     []Operator
+	queries []Query
+}
+
+// Builder incrementally assembles a Pool.
+type Builder struct {
+	ops     []Operator
+	queries []Query
+	err     error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddOperator registers an operator with the given load and returns its ID.
+// Load must be positive.
+func (b *Builder) AddOperator(load float64) OperatorID {
+	if load <= 0 && b.err == nil {
+		b.err = fmt.Errorf("query: operator load must be positive, got %g", load)
+	}
+	id := OperatorID(len(b.ops))
+	b.ops = append(b.ops, Operator{ID: id, Load: load})
+	return id
+}
+
+// AddQuery registers a query owning the given operators with the given bid.
+// The user's valuation is set equal to the bid (truthful); use AddQueryValued
+// to separate them.
+func (b *Builder) AddQuery(bid float64, ops ...OperatorID) QueryID {
+	return b.AddQueryValued(bid, bid, 0, ops...)
+}
+
+// AddQueryValued registers a query with an explicit bid, private valuation
+// and user identifier.
+func (b *Builder) AddQueryValued(bid, value float64, user int, ops ...OperatorID) QueryID {
+	id := QueryID(len(b.queries))
+	if bid < 0 && b.err == nil {
+		b.err = fmt.Errorf("query: bid must be non-negative, got %g", bid)
+	}
+	if len(ops) == 0 && b.err == nil {
+		b.err = fmt.Errorf("query: query %d has no operators", id)
+	}
+	seen := make(map[OperatorID]bool, len(ops))
+	sorted := make([]OperatorID, 0, len(ops))
+	for _, op := range ops {
+		if int(op) < 0 || int(op) >= len(b.ops) {
+			if b.err == nil {
+				b.err = fmt.Errorf("query: query %d references unknown operator %d", id, op)
+			}
+			continue
+		}
+		if seen[op] {
+			continue
+		}
+		seen[op] = true
+		sorted = append(sorted, op)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	b.queries = append(b.queries, Query{ID: id, Operators: sorted, Bid: bid, Value: value, User: user})
+	for _, op := range sorted {
+		b.ops[op].Queries = append(b.ops[op].Queries, id)
+	}
+	return id
+}
+
+// Build finalizes the Pool. It returns an error if any registration was
+// invalid.
+func (b *Builder) Build() (*Pool, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.queries) == 0 {
+		return nil, errors.New("query: pool has no queries")
+	}
+	return &Pool{ops: b.ops, queries: b.queries}, nil
+}
+
+// MustBuild is Build that panics on error, for fixtures and tests.
+func (b *Builder) MustBuild() *Pool {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NumQueries returns the number of queries in the pool.
+func (p *Pool) NumQueries() int { return len(p.queries) }
+
+// NumOperators returns the number of operators in the pool.
+func (p *Pool) NumOperators() int { return len(p.ops) }
+
+// Query returns the query with the given ID.
+func (p *Pool) Query(id QueryID) Query { return p.queries[id] }
+
+// Operator returns the operator with the given ID.
+func (p *Pool) Operator(id OperatorID) Operator { return p.ops[id] }
+
+// Queries returns all queries. The returned slice must not be modified.
+func (p *Pool) Queries() []Query { return p.queries }
+
+// Operators returns all operators. The returned slice must not be modified.
+func (p *Pool) Operators() []Operator { return p.ops }
+
+// Bid returns query id's bid.
+func (p *Pool) Bid(id QueryID) float64 { return p.queries[id].Bid }
+
+// Value returns query id's private valuation.
+func (p *Pool) Value(id QueryID) float64 { return p.queries[id].Value }
+
+// TotalLoad returns C_T(i): the sum of the loads of q_i's operators,
+// disregarding sharing.
+func (p *Pool) TotalLoad(id QueryID) float64 {
+	var sum float64
+	for _, op := range p.queries[id].Operators {
+		sum += p.ops[op].Load
+	}
+	return sum
+}
+
+// FairShareLoad returns C_SF(i): the sum over q_i's operators of
+// load / sharing-degree (paper Definition 3). The degree is static: it counts
+// all queries in the pool that contain the operator, admitted or not.
+func (p *Pool) FairShareLoad(id QueryID) float64 {
+	var sum float64
+	for _, op := range p.queries[id].Operators {
+		sum += p.ops[op].Load / float64(len(p.ops[op].Queries))
+	}
+	return sum
+}
+
+// MaxSharingDegree returns the maximum operator sharing degree in the pool.
+func (p *Pool) MaxSharingDegree() int {
+	max := 0
+	for i := range p.ops {
+		if d := p.ops[i].Degree(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AggregateLoad returns the load of the union of the given queries'
+// operators: each shared operator is counted once. This is the quantity that
+// must not exceed server capacity.
+func (p *Pool) AggregateLoad(ids []QueryID) float64 {
+	used := make([]bool, len(p.ops))
+	var sum float64
+	for _, id := range ids {
+		for _, op := range p.queries[id].Operators {
+			if !used[op] {
+				used[op] = true
+				sum += p.ops[op].Load
+			}
+		}
+	}
+	return sum
+}
+
+// LoadTracker incrementally accounts for the aggregate load of a growing
+// winner set, exposing the remaining load C_R of candidate queries given the
+// operators already provisioned. It is the order-dependent companion to
+// AggregateLoad used by every greedy mechanism's capacity check.
+type LoadTracker struct {
+	pool *Pool
+	used []bool
+	load float64
+}
+
+// NewLoadTracker returns a tracker with no queries admitted.
+func NewLoadTracker(p *Pool) *LoadTracker {
+	return &LoadTracker{pool: p, used: make([]bool, len(p.ops))}
+}
+
+// Load returns the aggregate load of everything admitted so far.
+func (t *LoadTracker) Load() float64 { return t.load }
+
+// Remaining returns C_R(id): the additional load admitting id would add,
+// i.e. the sum of loads of its operators not already provisioned.
+func (t *LoadTracker) Remaining(id QueryID) float64 {
+	var sum float64
+	for _, op := range t.pool.queries[id].Operators {
+		if !t.used[op] {
+			sum += t.pool.ops[op].Load
+		}
+	}
+	return sum
+}
+
+// Provisioned reports whether operator op is already provisioned by an
+// admitted query.
+func (t *LoadTracker) Provisioned(op OperatorID) bool { return t.used[op] }
+
+// Admit marks id's operators as provisioned and returns the load added.
+func (t *LoadTracker) Admit(id QueryID) float64 {
+	var added float64
+	for _, op := range t.pool.queries[id].Operators {
+		if !t.used[op] {
+			t.used[op] = true
+			added += t.pool.ops[op].Load
+		}
+	}
+	t.load += added
+	return added
+}
+
+// Release un-provisions the given operators and subtracts their loads —
+// the undo of one Admit, for backtracking searches. Callers must pass
+// exactly the operators that Admit freshly provisioned.
+func (t *LoadTracker) Release(ops []OperatorID) {
+	for _, op := range ops {
+		if t.used[op] {
+			t.used[op] = false
+			t.load -= t.pool.ops[op].Load
+		}
+	}
+}
+
+// Reset returns the tracker to the empty state without reallocating.
+func (t *LoadTracker) Reset() {
+	for i := range t.used {
+		t.used[i] = false
+	}
+	t.load = 0
+}
+
+// ExtendedBuilder returns a Builder preloaded with this pool's operators and
+// queries (same IDs, same order). Callers append further queries — e.g. the
+// fake identities of a sybil attack — and Build a new, larger pool; the
+// original pool is untouched.
+func (p *Pool) ExtendedBuilder() *Builder {
+	b := NewBuilder()
+	for _, op := range p.ops {
+		b.AddOperator(op.Load)
+	}
+	for _, q := range p.queries {
+		b.AddQueryValued(q.Bid, q.Value, q.User, q.Operators...)
+	}
+	return b
+}
+
+// WithBid returns a copy of the pool in which query id bids bid; the
+// query's private valuation and everything else are unchanged. It is the
+// deviation primitive of the strategyproofness harness.
+func (p *Pool) WithBid(id QueryID, bid float64) *Pool {
+	b := NewBuilder()
+	for _, op := range p.ops {
+		b.AddOperator(op.Load)
+	}
+	for _, q := range p.queries {
+		qbid := q.Bid
+		if q.ID == id {
+			qbid = bid
+		}
+		b.AddQueryValued(qbid, q.Value, q.User, q.Operators...)
+	}
+	return b.MustBuild()
+}
+
+// WithOperators returns a copy of the pool in which query id declares the
+// given operator subset instead of its true operators (operator-lying
+// deviations for full strategyproofness checks).
+func (p *Pool) WithOperators(id QueryID, ops []OperatorID) *Pool {
+	b := NewBuilder()
+	for _, op := range p.ops {
+		b.AddOperator(op.Load)
+	}
+	for _, q := range p.queries {
+		use := q.Operators
+		if q.ID == id {
+			use = ops
+		}
+		b.AddQueryValued(q.Bid, q.Value, q.User, use...)
+	}
+	return b.MustBuild()
+}
+
+// Example1 builds the paper's running example (Figures 1-2): three queries
+// over five operators with capacity 10. Operator A (load 4) is shared by q1
+// and q2; B (1) belongs to q1; C (2) to q2; D and E (loads summing to 10) to
+// q3. Bids are 55, 72 and 100, giving the priorities worked through in
+// Sections IV-A..IV-C. It returns the pool and the capacity.
+func Example1() (*Pool, float64) {
+	b := NewBuilder()
+	opA := b.AddOperator(4)
+	opB := b.AddOperator(1)
+	opC := b.AddOperator(2)
+	opD := b.AddOperator(6)
+	opE := b.AddOperator(4)
+	b.AddQueryValued(55, 55, 1, opA, opB)   // q1: C_T=5, C_SF=3, Pr_T=11, Pr_SF=18.33
+	b.AddQueryValued(72, 72, 2, opA, opC)   // q2: C_T=6, C_SF=4, Pr_T=12, Pr_SF=18
+	b.AddQueryValued(100, 100, 3, opD, opE) // q3: C_T=C_SF=10, Pr=10
+	return b.MustBuild(), 10
+}

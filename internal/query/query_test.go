@@ -1,0 +1,245 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("non-positive operator load", func(t *testing.T) {
+		b := NewBuilder()
+		op := b.AddOperator(0)
+		b.AddQuery(1, op)
+		if _, err := b.Build(); err == nil {
+			t.Error("want error for zero-load operator")
+		}
+	})
+	t.Run("negative bid", func(t *testing.T) {
+		b := NewBuilder()
+		op := b.AddOperator(1)
+		b.AddQuery(-1, op)
+		if _, err := b.Build(); err == nil {
+			t.Error("want error for negative bid")
+		}
+	})
+	t.Run("no operators", func(t *testing.T) {
+		b := NewBuilder()
+		b.AddQuery(1)
+		if _, err := b.Build(); err == nil {
+			t.Error("want error for operator-less query")
+		}
+	})
+	t.Run("unknown operator", func(t *testing.T) {
+		b := NewBuilder()
+		b.AddQuery(1, OperatorID(5))
+		if _, err := b.Build(); err == nil {
+			t.Error("want error for unknown operator reference")
+		}
+	})
+	t.Run("no queries", func(t *testing.T) {
+		b := NewBuilder()
+		b.AddOperator(1)
+		if _, err := b.Build(); err == nil {
+			t.Error("want error for empty pool")
+		}
+	})
+}
+
+func TestDuplicateOperatorRefsDeduped(t *testing.T) {
+	b := NewBuilder()
+	op := b.AddOperator(3)
+	q := b.AddQuery(10, op, op, op)
+	p := b.MustBuild()
+	if got := len(p.Query(q).Operators); got != 1 {
+		t.Fatalf("duplicated operator refs kept: %d, want 1", got)
+	}
+	if !almost(p.TotalLoad(q), 3) {
+		t.Errorf("TotalLoad = %v, want 3", p.TotalLoad(q))
+	}
+	if got := p.Operator(op).Degree(); got != 1 {
+		t.Errorf("degree = %d, want 1", got)
+	}
+}
+
+func TestLoadNotions(t *testing.T) {
+	b := NewBuilder()
+	shared := b.AddOperator(6) // degree 3
+	solo1 := b.AddOperator(2)
+	solo2 := b.AddOperator(4)
+	qa := b.AddQuery(10, shared, solo1)
+	qb := b.AddQuery(10, shared, solo2)
+	qc := b.AddQuery(10, shared)
+	p := b.MustBuild()
+
+	if !almost(p.TotalLoad(qa), 8) || !almost(p.TotalLoad(qb), 10) || !almost(p.TotalLoad(qc), 6) {
+		t.Errorf("total loads = %v %v %v, want 8 10 6", p.TotalLoad(qa), p.TotalLoad(qb), p.TotalLoad(qc))
+	}
+	if !almost(p.FairShareLoad(qa), 4) { // 6/3 + 2
+		t.Errorf("FairShareLoad(qa) = %v, want 4", p.FairShareLoad(qa))
+	}
+	if !almost(p.FairShareLoad(qc), 2) { // 6/3
+		t.Errorf("FairShareLoad(qc) = %v, want 2", p.FairShareLoad(qc))
+	}
+	if !almost(p.AggregateLoad([]QueryID{qa, qb, qc}), 12) { // 6+2+4
+		t.Errorf("AggregateLoad = %v, want 12", p.AggregateLoad([]QueryID{qa, qb, qc}))
+	}
+	if p.MaxSharingDegree() != 3 {
+		t.Errorf("MaxSharingDegree = %d, want 3", p.MaxSharingDegree())
+	}
+}
+
+func TestLoadTracker(t *testing.T) {
+	p, _ := Example1()
+	tr := NewLoadTracker(p)
+	if !almost(tr.Remaining(0), 5) || !almost(tr.Remaining(1), 6) {
+		t.Fatalf("initial remaining = %v %v, want 5 6", tr.Remaining(0), tr.Remaining(1))
+	}
+	if added := tr.Admit(1); !almost(added, 6) {
+		t.Errorf("Admit(q2) added %v, want 6", added)
+	}
+	// Operator A now provisioned: q1's remaining load is just B.
+	if !almost(tr.Remaining(0), 1) {
+		t.Errorf("Remaining(q1) after q2 = %v, want 1", tr.Remaining(0))
+	}
+	if !tr.Provisioned(0) { // operator A
+		t.Error("operator A should be provisioned")
+	}
+	tr.Admit(0)
+	if !almost(tr.Load(), 7) {
+		t.Errorf("Load = %v, want 7", tr.Load())
+	}
+	tr.Reset()
+	if tr.Load() != 0 || !almost(tr.Remaining(0), 5) {
+		t.Error("Reset did not clear tracker state")
+	}
+}
+
+func TestWithBid(t *testing.T) {
+	p, _ := Example1()
+	q := p.WithBid(1, 5)
+	if !almost(q.Bid(1), 5) {
+		t.Errorf("bid = %v, want 5", q.Bid(1))
+	}
+	if !almost(q.Value(1), 72) {
+		t.Errorf("value changed to %v, want 72", q.Value(1))
+	}
+	if !almost(p.Bid(1), 72) {
+		t.Error("original pool mutated")
+	}
+	if !almost(q.FairShareLoad(0), p.FairShareLoad(0)) {
+		t.Error("structure changed by WithBid")
+	}
+}
+
+func TestWithOperators(t *testing.T) {
+	p, _ := Example1()
+	// q1 declares only operator B (a strict subset).
+	q := p.WithOperators(0, []OperatorID{1})
+	if !almost(q.TotalLoad(0), 1) {
+		t.Errorf("TotalLoad = %v, want 1", q.TotalLoad(0))
+	}
+	// Operator A's degree drops to 1 (only q2).
+	if got := q.Operator(0).Degree(); got != 1 {
+		t.Errorf("operator A degree = %d, want 1", got)
+	}
+}
+
+func TestExtendedBuilder(t *testing.T) {
+	p, _ := Example1()
+	b := p.ExtendedBuilder()
+	op := b.AddOperator(1)
+	id := b.AddQueryValued(5, 0, 99, op)
+	q := b.MustBuild()
+	if q.NumQueries() != 4 || q.NumOperators() != 6 {
+		t.Fatalf("extended pool has %d queries / %d operators, want 4 / 6", q.NumQueries(), q.NumOperators())
+	}
+	if q.Query(id).User != 99 || !almost(q.Value(id), 0) {
+		t.Error("extended query fields wrong")
+	}
+	for i := 0; i < 3; i++ {
+		if !almost(q.TotalLoad(QueryID(i)), p.TotalLoad(QueryID(i))) {
+			t.Errorf("query %d load changed", i)
+		}
+	}
+}
+
+// randomPool builds an arbitrary valid pool from fuzz inputs.
+func randomPool(rng *rand.Rand) *Pool {
+	b := NewBuilder()
+	numOps := 1 + rng.Intn(12)
+	ops := make([]OperatorID, numOps)
+	for i := range ops {
+		ops[i] = b.AddOperator(0.5 + rng.Float64()*9.5)
+	}
+	numQueries := 1 + rng.Intn(10)
+	for q := 0; q < numQueries; q++ {
+		k := 1 + rng.Intn(numOps)
+		chosen := rng.Perm(numOps)[:k]
+		ids := make([]OperatorID, k)
+		for i, c := range chosen {
+			ids[i] = ops[c]
+		}
+		b.AddQueryValued(1+rng.Float64()*99, 1+rng.Float64()*99, q, ids...)
+	}
+	return b.MustBuild()
+}
+
+func TestAggregateLoadProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPool(rng)
+		all := make([]QueryID, p.NumQueries())
+		var sumTotal float64
+		for i := range all {
+			all[i] = QueryID(i)
+			sumTotal += p.TotalLoad(QueryID(i))
+		}
+		agg := p.AggregateLoad(all)
+		// Aggregate never exceeds the sum of totals, and equals it only
+		// without sharing.
+		if agg > sumTotal+1e-9 {
+			return false
+		}
+		// Order invariance.
+		rev := make([]QueryID, len(all))
+		for i, id := range all {
+			rev[len(all)-1-i] = id
+		}
+		if !almost(agg, p.AggregateLoad(rev)) {
+			return false
+		}
+		// Tracker admission over any order reproduces the aggregate.
+		tr := NewLoadTracker(p)
+		perm := rng.Perm(len(all))
+		for _, i := range perm {
+			tr.Admit(all[i])
+		}
+		return almost(tr.Load(), agg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFairShareNeverExceedsTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomPool(rand.New(rand.NewSource(seed)))
+		for i := 0; i < p.NumQueries(); i++ {
+			id := QueryID(i)
+			if p.FairShareLoad(id) > p.TotalLoad(id)+1e-9 {
+				return false
+			}
+			if p.FairShareLoad(id) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

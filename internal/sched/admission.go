@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/auction"
+	"repro/internal/query"
+)
+
+// FromOutcome builds a simulator loaded with exactly the operators
+// provisioned by an auction outcome: each operator of the union of the
+// winners' queries appears once, at its pool load — shared processing at the
+// execution layer.
+func FromOutcome(out *auction.Outcome) (*Simulator, error) {
+	sim, err := New(out.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	pool := out.Pool()
+	seen := make(map[query.OperatorID]bool)
+	for _, w := range out.Winners {
+		for _, opID := range pool.Query(w).Operators {
+			if seen[opID] {
+				continue
+			}
+			seen[opID] = true
+			op := pool.Operator(opID)
+			if err := sim.Add(Operator{
+				Name: fmt.Sprintf("op%d", opID),
+				Load: op.Load,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sim, nil
+}
+
+// ValidateAdmission runs the outcome's operator set for the given ticks and
+// confirms the admitted load is executable: utilization matches the
+// offered-load fraction and the backlog stays bounded. It returns the report
+// and an error when the outcome is not schedulable — which a correct
+// mechanism can never produce.
+func ValidateAdmission(out *auction.Outcome, ticks int, policy Policy) (*Report, error) {
+	sim, err := FromOutcome(out)
+	if err != nil {
+		return nil, err
+	}
+	report, err := sim.Run(ticks, policy)
+	if err != nil {
+		return nil, err
+	}
+	if !report.Stable {
+		return report, fmt.Errorf("sched: admitted set of %s is not schedulable: backlog %.2f after %d ticks",
+			out.Mechanism, report.FinalBacklog, ticks)
+	}
+	return report, nil
+}

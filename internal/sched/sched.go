@@ -1,0 +1,264 @@
+// Package sched is the execution-level substrate behind the paper's
+// capacity model (Section II): "the system capacity is the amount of work
+// that can be executed in a time unit". It simulates a subscription period
+// as discrete-time queueing — each admitted operator receives work at its
+// offered load per tick, the server executes up to capacity work units per
+// tick under a pluggable scheduling policy — and reports backlog, latency
+// and stability.
+//
+// This closes the loop on admission control: a winner set whose aggregate
+// load respects capacity keeps every queue bounded, while over-admission
+// grows backlog without bound. The paper's Aurora citation assumes exactly
+// this operator-scheduling layer.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Operator is one scheduled work source.
+type Operator struct {
+	// Name labels the operator in reports.
+	Name string
+	// Load is the work arriving per tick (the paper's c_j, in the same
+	// units as capacity).
+	Load float64
+}
+
+// Policy decides how to split the server's per-tick capacity across
+// operator queues. Implementations receive the current queue lengths
+// (pending work per operator, including this tick's arrivals) and return
+// the work to execute per operator; the simulator clamps allocations to
+// both the queue and the capacity.
+type Policy interface {
+	// Name labels the policy.
+	Name() string
+	// Allocate returns per-operator work grants for one tick.
+	Allocate(capacity float64, queues []float64) []float64
+}
+
+// RoundRobin grants equal shares, re-distributing unused share to
+// still-backlogged operators (processor sharing).
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Allocate implements Policy.
+func (RoundRobin) Allocate(capacity float64, queues []float64) []float64 {
+	grants := make([]float64, len(queues))
+	remainingQ := make([]int, 0, len(queues))
+	for i, q := range queues {
+		if q > 0 {
+			remainingQ = append(remainingQ, i)
+		}
+	}
+	left := capacity
+	// Repeatedly split the leftover evenly among backlogged operators;
+	// operators that drain return their unused share to the pool.
+	for len(remainingQ) > 0 && left > 1e-12 {
+		share := left / float64(len(remainingQ))
+		next := remainingQ[:0]
+		for _, i := range remainingQ {
+			need := queues[i] - grants[i]
+			take := math.Min(share, need)
+			grants[i] += take
+			left -= take
+			if grants[i] < queues[i]-1e-12 {
+				next = append(next, i)
+			}
+		}
+		if len(next) == len(remainingQ) {
+			break // everyone saturated their share; left is ~0
+		}
+		remainingQ = next
+	}
+	return grants
+}
+
+// Proportional grants capacity proportionally to queue lengths (weighted
+// processor sharing) — heavy queues drain faster, light ones still progress.
+type Proportional struct{}
+
+// Name implements Policy.
+func (Proportional) Name() string { return "proportional" }
+
+// Allocate implements Policy.
+func (Proportional) Allocate(capacity float64, queues []float64) []float64 {
+	grants := make([]float64, len(queues))
+	total := 0.0
+	for _, q := range queues {
+		total += q
+	}
+	if total <= 0 {
+		return grants
+	}
+	for i, q := range queues {
+		grants[i] = math.Min(q, capacity*q/total)
+	}
+	return grants
+}
+
+// LongestQueueFirst serves queues in decreasing length until capacity is
+// exhausted — the greedy drain that minimizes the maximum backlog.
+type LongestQueueFirst struct{}
+
+// Name implements Policy.
+func (LongestQueueFirst) Name() string { return "longest-queue-first" }
+
+// Allocate implements Policy.
+func (LongestQueueFirst) Allocate(capacity float64, queues []float64) []float64 {
+	grants := make([]float64, len(queues))
+	order := make([]int, len(queues))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return queues[order[a]] > queues[order[b]] })
+	left := capacity
+	for _, i := range order {
+		if left <= 0 {
+			break
+		}
+		take := math.Min(queues[i], left)
+		grants[i] = take
+		left -= take
+	}
+	return grants
+}
+
+// Report summarizes one simulated period.
+type Report struct {
+	Policy string
+	Ticks  int
+	// Utilization is executed work over capacity × ticks.
+	Utilization float64
+	// MaxBacklog is the largest queue observed (work units).
+	MaxBacklog float64
+	// FinalBacklog is total queued work at the end.
+	FinalBacklog float64
+	// MeanLatency approximates per-unit waiting time in ticks (time-average
+	// total backlog divided by throughput per tick, Little's law).
+	MeanLatency float64
+	// Stable reports whether total backlog stopped growing in the second
+	// half of the run.
+	Stable bool
+	// PerOperator holds each operator's final queue length.
+	PerOperator []float64
+	// PerOperatorDelay approximates each operator's mean queueing delay in
+	// ticks (time-averaged backlog over throughput, Little's law; +Inf for
+	// an operator that received work but executed none).
+	PerOperatorDelay []float64
+}
+
+// Simulator runs discrete-time execution of a fixed operator set.
+type Simulator struct {
+	capacity float64
+	ops      []Operator
+}
+
+// New returns a simulator with the given per-tick capacity.
+func New(capacity float64) (*Simulator, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("sched: capacity must be positive, got %g", capacity)
+	}
+	return &Simulator{capacity: capacity}, nil
+}
+
+// Add registers an operator. Shared operators must be added once — the
+// admission layer already deduplicates them.
+func (s *Simulator) Add(op Operator) error {
+	if op.Load < 0 {
+		return fmt.Errorf("sched: operator %q has negative load", op.Name)
+	}
+	s.ops = append(s.ops, op)
+	return nil
+}
+
+// OfferedLoad returns the total work arriving per tick.
+func (s *Simulator) OfferedLoad() float64 {
+	total := 0.0
+	for _, op := range s.ops {
+		total += op.Load
+	}
+	return total
+}
+
+// Run simulates the given number of ticks under the policy.
+func (s *Simulator) Run(ticks int, policy Policy) (*Report, error) {
+	if ticks <= 0 {
+		return nil, fmt.Errorf("sched: ticks must be positive, got %d", ticks)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("sched: nil policy")
+	}
+	queues := make([]float64, len(s.ops))
+	perOpIntegral := make([]float64, len(s.ops))
+	perOpExecuted := make([]float64, len(s.ops))
+	var executed, backlogIntegral, maxBacklog float64
+	halfTotal := 0.0
+	for t := 0; t < ticks; t++ {
+		for i, op := range s.ops {
+			queues[i] += op.Load
+		}
+		grants := policy.Allocate(s.capacity, queues)
+		granted := 0.0
+		for i, g := range grants {
+			if g < 0 {
+				return nil, fmt.Errorf("sched: policy %s granted negative work", policy.Name())
+			}
+			g = math.Min(g, queues[i])
+			queues[i] -= g
+			perOpExecuted[i] += g
+			granted += g
+		}
+		if granted > s.capacity+1e-6 {
+			return nil, fmt.Errorf("sched: policy %s granted %.6f above capacity %.6f", policy.Name(), granted, s.capacity)
+		}
+		executed += granted
+		total := 0.0
+		for i, q := range queues {
+			total += q
+			perOpIntegral[i] += q
+		}
+		backlogIntegral += total
+		if total > maxBacklog {
+			maxBacklog = total
+		}
+		if t == ticks/2 {
+			halfTotal = total
+		}
+	}
+	finalTotal := 0.0
+	for _, q := range queues {
+		finalTotal += q
+	}
+	throughput := executed / float64(ticks)
+	meanLatency := 0.0
+	if throughput > 0 {
+		meanLatency = (backlogIntegral / float64(ticks)) / throughput
+	}
+	perOpDelay := make([]float64, len(s.ops))
+	for i := range perOpDelay {
+		switch {
+		case perOpExecuted[i] > 0:
+			perOpDelay[i] = (perOpIntegral[i] / float64(ticks)) / (perOpExecuted[i] / float64(ticks))
+		case s.ops[i].Load > 0:
+			perOpDelay[i] = math.Inf(1)
+		}
+	}
+	return &Report{
+		Policy:       policy.Name(),
+		Ticks:        ticks,
+		Utilization:  executed / (s.capacity * float64(ticks)),
+		MaxBacklog:   maxBacklog,
+		FinalBacklog: finalTotal,
+		MeanLatency:  meanLatency,
+		// Stable if the backlog did not keep growing through the second
+		// half (small epsilon absorbs the fractional-tick residue).
+		Stable:           finalTotal <= halfTotal+s.capacity,
+		PerOperator:      append([]float64(nil), queues...),
+		PerOperatorDelay: perOpDelay,
+	}, nil
+}

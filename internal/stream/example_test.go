@@ -1,0 +1,45 @@
+package stream_test
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// ExamplePipeline runs a three-stage goroutine pipeline: select high-value
+// trades, project the price, and average each pair.
+func ExamplePipeline() {
+	schema := stream.MustSchema(
+		stream.Field{Name: "symbol", Kind: stream.KindString},
+		stream.Field{Name: "price", Kind: stream.KindFloat},
+	)
+	pipe := stream.NewPipeline(4,
+		stream.NewFilter("high", 1, stream.FieldCmp(1, stream.Gt, 100)),
+		stream.NewProject("price", 1, schema, 1),
+		stream.MustWindowAgg("avg2", 1, stream.WindowSpec{
+			Size: 2, Agg: stream.AggAvg, Field: 0, GroupBy: -1,
+		}),
+	)
+	src := stream.SliceSource([]stream.Tuple{
+		stream.NewTuple(1, "ACME", 120.0),
+		stream.NewTuple(2, "ACME", 80.0), // filtered out
+		stream.NewTuple(3, "ACME", 140.0),
+		stream.NewTuple(4, "ACME", 200.0),
+		stream.NewTuple(5, "ACME", 220.0),
+	})
+	for _, t := range stream.Collect(pipe.Run(src)) {
+		fmt.Printf("avg=%.0f\n", t.Float(1))
+	}
+	// Output:
+	// avg=130
+	// avg=210
+}
+
+// ExampleHashJoin joins trades with news on the symbol.
+func ExampleHashJoin() {
+	join := stream.NewHashJoin("j", 1, 0, 0, 8)
+	join.ApplyLeft(stream.NewTuple(1, "ACME", 150.0))
+	out := join.ApplyRight(stream.NewTuple(2, "ACME", "earnings beat"))
+	fmt.Println(out[0].Str(0), out[0].Float(1), out[0].Str(3))
+	// Output: ACME 150 earnings beat
+}

@@ -1,0 +1,125 @@
+package stream
+
+import "fmt"
+
+// Predicate decides whether a tuple passes a filter.
+type Predicate func(Tuple) bool
+
+// Filter is a selection operator: it emits exactly the tuples satisfying
+// its predicate. It is stateless.
+type Filter struct {
+	name string
+	pred Predicate
+	cost float64
+}
+
+// NewFilter builds a filter with the given display name, predicate and
+// simulated per-tuple cost.
+func NewFilter(name string, cost float64, pred Predicate) *Filter {
+	return &Filter{name: name, pred: pred, cost: cost}
+}
+
+// Name implements Transform.
+func (f *Filter) Name() string { return f.name }
+
+// Apply implements Transform.
+func (f *Filter) Apply(t Tuple) []Tuple {
+	if f.pred(t) {
+		return []Tuple{t}
+	}
+	return nil
+}
+
+// Flush implements Transform; filters hold no state.
+func (f *Filter) Flush() []Tuple { return nil }
+
+// Cost implements Transform.
+func (f *Filter) Cost() float64 { return f.cost }
+
+// OutSchema implements Transform; selection preserves the schema.
+func (f *Filter) OutSchema(in *Schema) *Schema { return in }
+
+// CmpOp is a comparison operator for field predicates.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String returns the operator's symbol.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("cmp(%d)", int(op))
+	}
+}
+
+// FieldCmp returns a predicate comparing numeric field i against threshold.
+func FieldCmp(i int, op CmpOp, threshold float64) Predicate {
+	return func(t Tuple) bool {
+		v := t.Float(i)
+		switch op {
+		case Eq:
+			return v == threshold
+		case Ne:
+			return v != threshold
+		case Lt:
+			return v < threshold
+		case Le:
+			return v <= threshold
+		case Gt:
+			return v > threshold
+		case Ge:
+			return v >= threshold
+		default:
+			return false
+		}
+	}
+}
+
+// FieldEqString returns a predicate matching string field i == want.
+func FieldEqString(i int, want string) Predicate {
+	return func(t Tuple) bool { return t.Str(i) == want }
+}
+
+// And combines predicates conjunctively.
+func And(preds ...Predicate) Predicate {
+	return func(t Tuple) bool {
+		for _, p := range preds {
+			if !p(t) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or combines predicates disjunctively.
+func Or(preds ...Predicate) Predicate {
+	return func(t Tuple) bool {
+		for _, p := range preds {
+			if p(t) {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,125 @@
+package stream
+
+// HashJoin is a windowed symmetric hash equi-join: each arriving tuple is
+// inserted into its side's window and probed against the opposite side's
+// window; matches are concatenated left-then-right. Windows are count-based
+// per join key: each side retains at most Window tuples per key (oldest
+// evicted first), which bounds state like Aurora's windowed joins.
+type HashJoin struct {
+	name     string
+	cost     float64
+	leftKey  int
+	rightKey int
+	window   int
+	left     map[any][]Tuple
+	right    map[any][]Tuple
+}
+
+// NewHashJoin builds a join matching left field leftKey against right field
+// rightKey, retaining up to window tuples per key per side. A window of 0
+// means 1 (the smallest useful window).
+func NewHashJoin(name string, cost float64, leftKey, rightKey, window int) *HashJoin {
+	if window <= 0 {
+		window = 1
+	}
+	return &HashJoin{
+		name:     name,
+		cost:     cost,
+		leftKey:  leftKey,
+		rightKey: rightKey,
+		window:   window,
+		left:     make(map[any][]Tuple),
+		right:    make(map[any][]Tuple),
+	}
+}
+
+// Name implements BinaryTransform.
+func (j *HashJoin) Name() string { return j.name }
+
+// Cost implements BinaryTransform.
+func (j *HashJoin) Cost() float64 { return j.cost }
+
+// OutSchema implements BinaryTransform: the concatenation of both schemas.
+func (j *HashJoin) OutSchema(left, right *Schema) *Schema {
+	fields := make([]Field, 0, left.NumFields()+right.NumFields())
+	for i := 0; i < left.NumFields(); i++ {
+		f := left.Field(i)
+		f.Name = "l_" + f.Name
+		fields = append(fields, f)
+	}
+	for i := 0; i < right.NumFields(); i++ {
+		f := right.Field(i)
+		f.Name = "r_" + f.Name
+		fields = append(fields, f)
+	}
+	return MustSchema(fields...)
+}
+
+// ApplyLeft implements BinaryTransform.
+func (j *HashJoin) ApplyLeft(t Tuple) []Tuple {
+	key := t.Vals[j.leftKey]
+	out := j.probe(t, j.right[key], true)
+	j.insert(j.left, key, t)
+	return out
+}
+
+// ApplyRight implements BinaryTransform.
+func (j *HashJoin) ApplyRight(t Tuple) []Tuple {
+	key := t.Vals[j.rightKey]
+	out := j.probe(t, j.left[key], false)
+	j.insert(j.right, key, t)
+	return out
+}
+
+// probe joins t against the opposite window; fromLeft says which side t
+// came from (output order is always left values then right values).
+func (j *HashJoin) probe(t Tuple, opposite []Tuple, fromLeft bool) []Tuple {
+	if len(opposite) == 0 {
+		return nil
+	}
+	out := make([]Tuple, 0, len(opposite))
+	for _, o := range opposite {
+		ts := t.Ts
+		if o.Ts > ts {
+			ts = o.Ts
+		}
+		var vals []any
+		if fromLeft {
+			vals = append(append([]any(nil), t.Vals...), o.Vals...)
+		} else {
+			vals = append(append([]any(nil), o.Vals...), t.Vals...)
+		}
+		out = append(out, Tuple{Ts: ts, Vals: vals})
+	}
+	return out
+}
+
+// insert appends t to side[key], evicting the oldest tuple past the window.
+func (j *HashJoin) insert(side map[any][]Tuple, key any, t Tuple) {
+	buf := append(side[key], t)
+	if len(buf) > j.window {
+		buf = append(buf[:0], buf[1:]...)
+	}
+	side[key] = buf
+}
+
+// Flush implements BinaryTransform: joins emit nothing at end-of-stream but
+// drop their windows.
+func (j *HashJoin) Flush() []Tuple {
+	j.left = make(map[any][]Tuple)
+	j.right = make(map[any][]Tuple)
+	return nil
+}
+
+// StateSize returns the number of retained tuples across both windows;
+// tests use it to verify eviction.
+func (j *HashJoin) StateSize() int {
+	n := 0
+	for _, buf := range j.left {
+		n += len(buf)
+	}
+	for _, buf := range j.right {
+		n += len(buf)
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+package stream
+
+// MapFunc rewrites a tuple's values; the timestamp is preserved by Map.
+type MapFunc func(Tuple) []any
+
+// Map is a stateless projection/derivation operator: each input tuple
+// yields exactly one output tuple whose values are produced by the map
+// function.
+type Map struct {
+	name string
+	fn   MapFunc
+	out  *Schema
+	cost float64
+}
+
+// NewMap builds a map operator emitting tuples with the given output schema.
+func NewMap(name string, cost float64, out *Schema, fn MapFunc) *Map {
+	return &Map{name: name, fn: fn, out: out, cost: cost}
+}
+
+// Name implements Transform.
+func (m *Map) Name() string { return m.name }
+
+// Apply implements Transform.
+func (m *Map) Apply(t Tuple) []Tuple {
+	return []Tuple{{Ts: t.Ts, Vals: m.fn(t)}}
+}
+
+// Flush implements Transform; maps hold no state.
+func (m *Map) Flush() []Tuple { return nil }
+
+// Cost implements Transform.
+func (m *Map) Cost() float64 { return m.cost }
+
+// OutSchema implements Transform.
+func (m *Map) OutSchema(*Schema) *Schema { return m.out }
+
+// NewProject builds a map operator keeping only the given field positions
+// of the input schema.
+func NewProject(name string, cost float64, in *Schema, fields ...int) *Map {
+	kept := make([]Field, len(fields))
+	for i, f := range fields {
+		kept[i] = in.Field(f)
+	}
+	out := MustSchema(kept...)
+	idx := append([]int(nil), fields...)
+	return NewMap(name, cost, out, func(t Tuple) []any {
+		vals := make([]any, len(idx))
+		for i, f := range idx {
+			vals[i] = t.Vals[f]
+		}
+		return vals
+	})
+}
+
+// Union is a stateless binary operator that interleaves both inputs
+// unchanged; the two input schemas must match.
+type Union struct {
+	name string
+	cost float64
+}
+
+// NewUnion builds a union operator.
+func NewUnion(name string, cost float64) *Union { return &Union{name: name, cost: cost} }
+
+// Name implements BinaryTransform.
+func (u *Union) Name() string { return u.name }
+
+// ApplyLeft implements BinaryTransform.
+func (u *Union) ApplyLeft(t Tuple) []Tuple { return []Tuple{t} }
+
+// ApplyRight implements BinaryTransform.
+func (u *Union) ApplyRight(t Tuple) []Tuple { return []Tuple{t} }
+
+// Flush implements BinaryTransform; unions hold no state.
+func (u *Union) Flush() []Tuple { return nil }
+
+// Cost implements BinaryTransform.
+func (u *Union) Cost() float64 { return u.cost }
+
+// OutSchema implements BinaryTransform; both sides share the schema.
+func (u *Union) OutSchema(left, _ *Schema) *Schema { return left }

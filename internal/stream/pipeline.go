@@ -1,0 +1,131 @@
+package stream
+
+import (
+	"sync"
+)
+
+// Pipeline runs a chain of unary transforms as a goroutine pipeline: one
+// goroutine per stage connected by buffered channels, the natural Go shape
+// for continuous-query dataflow. Closing the source drains every stage
+// (Flush) in order and closes the output.
+type Pipeline struct {
+	stages []Transform
+	buf    int
+}
+
+// NewPipeline builds a pipeline over the given stages with per-edge channel
+// buffering buf (minimum 1).
+func NewPipeline(buf int, stages ...Transform) *Pipeline {
+	if buf < 1 {
+		buf = 1
+	}
+	return &Pipeline{stages: append([]Transform(nil), stages...), buf: buf}
+}
+
+// Run wires the pipeline to the source channel and returns the output
+// channel. It spawns one goroutine per stage; all exit once the source
+// closes and their input drains.
+func (p *Pipeline) Run(src <-chan Tuple) <-chan Tuple {
+	in := src
+	for _, stage := range p.stages {
+		out := make(chan Tuple, p.buf)
+		go func(t Transform, in <-chan Tuple, out chan<- Tuple) {
+			defer close(out)
+			for tup := range in {
+				for _, o := range t.Apply(tup) {
+					out <- o
+				}
+			}
+			for _, o := range t.Flush() {
+				out <- o
+			}
+		}(stage, in, out)
+		in = out
+	}
+	return in
+}
+
+// Collect drains ch into a slice; convenience for tests and examples.
+func Collect(ch <-chan Tuple) []Tuple {
+	var out []Tuple
+	for t := range ch {
+		out = append(out, t)
+	}
+	return out
+}
+
+// SliceSource returns a closed-when-done channel emitting the given tuples
+// in order.
+func SliceSource(tuples []Tuple) <-chan Tuple {
+	ch := make(chan Tuple, len(tuples))
+	for _, t := range tuples {
+		ch <- t
+	}
+	close(ch)
+	return ch
+}
+
+// Generate emits n tuples produced by gen(i) on the returned channel.
+func Generate(n int, gen func(i int) Tuple) <-chan Tuple {
+	ch := make(chan Tuple, 64)
+	go func() {
+		defer close(ch)
+		for i := 0; i < n; i++ {
+			ch <- gen(i)
+		}
+	}()
+	return ch
+}
+
+// JoinPipeline runs a binary transform fed by two source channels, merging
+// arrivals fairly, and returns the output channel. It demonstrates the
+// goroutine shape of a two-input continuous query; the deterministic engine
+// package is used where reproducible interleaving matters.
+func JoinPipeline(bt BinaryTransform, left, right <-chan Tuple, buf int) <-chan Tuple {
+	if buf < 1 {
+		buf = 1
+	}
+	type sided struct {
+		t    Tuple
+		side Side
+	}
+	merged := make(chan sided, buf)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for t := range left {
+			merged <- sided{t, Left}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for t := range right {
+			merged <- sided{t, Right}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(merged)
+	}()
+
+	out := make(chan Tuple, buf)
+	go func() {
+		defer close(out)
+		for m := range merged {
+			var emitted []Tuple
+			if m.side == Left {
+				emitted = bt.ApplyLeft(m.t)
+			} else {
+				emitted = bt.ApplyRight(m.t)
+			}
+			for _, o := range emitted {
+				out <- o
+			}
+		}
+		for _, o := range bt.Flush() {
+			out <- o
+		}
+	}()
+	return out
+}

@@ -1,0 +1,370 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func intTuple(ts int64, vals ...int64) Tuple {
+	anyVals := make([]any, len(vals))
+	for i, v := range vals {
+		anyVals[i] = v
+	}
+	return Tuple{Ts: ts, Vals: anyVals}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Field{Name: "", Kind: KindInt}); err == nil {
+		t.Error("want error for empty field name")
+	}
+	if _, err := NewSchema(Field{Name: "x", Kind: KindInt}, Field{Name: "x", Kind: KindFloat}); err == nil {
+		t.Error("want error for duplicate field name")
+	}
+	s := MustSchema(Field{Name: "a", Kind: KindInt}, Field{Name: "b", Kind: KindString})
+	if s.IndexOf("b") != 1 || s.IndexOf("missing") != -1 {
+		t.Error("IndexOf misbehaves")
+	}
+	if s.String() != "(a:int, b:string)" {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSchemaConforms(t *testing.T) {
+	s := MustSchema(Field{Name: "a", Kind: KindInt}, Field{Name: "b", Kind: KindFloat}, Field{Name: "c", Kind: KindBool})
+	good := NewTuple(1, int64(5), 2.5, true)
+	if !s.Conforms(good) {
+		t.Error("conforming tuple rejected")
+	}
+	// Ints widen to float fields.
+	widened := NewTuple(1, int64(5), int64(2), false)
+	if !s.Conforms(widened) {
+		t.Error("int-for-float widening rejected")
+	}
+	if s.Conforms(NewTuple(1, int64(5), 2.5)) {
+		t.Error("wrong arity accepted")
+	}
+	if s.Conforms(NewTuple(1, "x", 2.5, true)) {
+		t.Error("wrong kind accepted")
+	}
+}
+
+func TestTupleAccessors(t *testing.T) {
+	tup := NewTuple(9, int64(3), 2.5, "hi", true)
+	if tup.Int(0) != 3 || tup.Float(1) != 2.5 || tup.Str(2) != "hi" || !tup.Bool(3) {
+		t.Error("accessors wrong")
+	}
+	if tup.Float(0) != 3 {
+		t.Error("Float should widen int64")
+	}
+	clone := tup.Clone()
+	clone.Vals[0] = int64(99)
+	if tup.Int(0) != 3 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	f := NewFilter("f", 1, FieldCmp(0, Gt, 10))
+	if got := f.Apply(intTuple(1, 11)); len(got) != 1 {
+		t.Error("11 > 10 should pass")
+	}
+	if got := f.Apply(intTuple(1, 10)); len(got) != 0 {
+		t.Error("10 > 10 should not pass")
+	}
+	if f.Flush() != nil {
+		t.Error("filters hold no state")
+	}
+	if f.Cost() != 1 {
+		t.Error("cost wrong")
+	}
+}
+
+func TestFieldCmpAllOps(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		v    int64
+		want bool
+	}{
+		{Eq, 5, true}, {Eq, 4, false},
+		{Ne, 4, true}, {Ne, 5, false},
+		{Lt, 4, true}, {Lt, 5, false},
+		{Le, 5, true}, {Le, 6, false},
+		{Gt, 6, true}, {Gt, 5, false},
+		{Ge, 5, true}, {Ge, 4, false},
+	}
+	for _, tc := range cases {
+		pred := FieldCmp(0, tc.op, 5)
+		if got := pred(intTuple(0, tc.v)); got != tc.want {
+			t.Errorf("%d %s 5 = %v, want %v", tc.v, tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestAndOrPredicates(t *testing.T) {
+	hi := FieldCmp(0, Gt, 10)
+	lo := FieldCmp(0, Lt, 20)
+	if !And(hi, lo)(intTuple(0, 15)) || And(hi, lo)(intTuple(0, 25)) {
+		t.Error("And misbehaves")
+	}
+	if !Or(hi, lo)(intTuple(0, 25)) || Or(FieldCmp(0, Gt, 30), FieldCmp(0, Lt, 1))(intTuple(0, 15)) {
+		t.Error("Or misbehaves")
+	}
+}
+
+func TestFieldEqString(t *testing.T) {
+	pred := FieldEqString(0, "ACME")
+	if !pred(NewTuple(0, "ACME")) || pred(NewTuple(0, "OTHER")) {
+		t.Error("FieldEqString misbehaves")
+	}
+}
+
+func TestMapAndProject(t *testing.T) {
+	in := MustSchema(Field{Name: "a", Kind: KindInt}, Field{Name: "b", Kind: KindInt})
+	double := NewMap("double", 1, in, func(t Tuple) []any {
+		return []any{t.Int(0) * 2, t.Int(1)}
+	})
+	out := double.Apply(intTuple(7, 3, 4))
+	if len(out) != 1 || out[0].Int(0) != 6 || out[0].Ts != 7 {
+		t.Errorf("map output = %+v", out)
+	}
+
+	proj := NewProject("p", 1, in, 1)
+	got := proj.Apply(intTuple(1, 3, 4))
+	if len(got) != 1 || len(got[0].Vals) != 1 || got[0].Int(0) != 4 {
+		t.Errorf("project output = %+v", got)
+	}
+	if proj.OutSchema(in).NumFields() != 1 || proj.OutSchema(in).Field(0).Name != "b" {
+		t.Error("projected schema wrong")
+	}
+}
+
+func TestTumblingWindowAggregates(t *testing.T) {
+	cases := []struct {
+		agg  AggKind
+		want []float64
+	}{
+		{AggCount, []float64{3, 3}},
+		{AggSum, []float64{6, 15}},
+		{AggAvg, []float64{2, 5}},
+		{AggMin, []float64{1, 4}},
+		{AggMax, []float64{3, 6}},
+	}
+	for _, tc := range cases {
+		w := MustWindowAgg(tc.agg.String(), 1, WindowSpec{Size: 3, Agg: tc.agg, Field: 0, GroupBy: -1})
+		var got []float64
+		for i := int64(1); i <= 6; i++ {
+			for _, o := range w.Apply(intTuple(i, i)) {
+				got = append(got, o.Float(1))
+			}
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: emitted %v, want %v", tc.agg, got, tc.want)
+		}
+		for i := range got {
+			if math.Abs(got[i]-tc.want[i]) > 1e-9 {
+				t.Fatalf("%s: emitted %v, want %v", tc.agg, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestSlidingWindow(t *testing.T) {
+	w := MustWindowAgg("slide", 1, WindowSpec{Size: 3, Slide: 1, Agg: AggSum, Field: 0, GroupBy: -1})
+	var got []float64
+	for i := int64(1); i <= 5; i++ {
+		for _, o := range w.Apply(intTuple(i, i)) {
+			got = append(got, o.Float(1))
+		}
+	}
+	want := []float64{6, 9, 12} // 1+2+3, 2+3+4, 3+4+5
+	if len(got) != len(want) {
+		t.Fatalf("sliding sums = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sliding sums = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGroupedWindow(t *testing.T) {
+	w := MustWindowAgg("grouped", 1, WindowSpec{Size: 2, Agg: AggSum, Field: 1, GroupBy: 0})
+	emit := func(key string, v int64) []Tuple {
+		return w.Apply(NewTuple(0, key, v))
+	}
+	if out := emit("a", 1); len(out) != 0 {
+		t.Fatal("window should not close yet")
+	}
+	if out := emit("b", 10); len(out) != 0 {
+		t.Fatal("groups are independent")
+	}
+	out := emit("a", 2)
+	if len(out) != 1 || out[0].Str(0) != "a" || out[0].Float(1) != 3 {
+		t.Fatalf("group a result = %+v", out)
+	}
+	out = emit("b", 20)
+	if len(out) != 1 || out[0].Float(1) != 30 {
+		t.Fatalf("group b result = %+v", out)
+	}
+}
+
+func TestWindowFlushEmitsPartials(t *testing.T) {
+	w := MustWindowAgg("flush", 1, WindowSpec{Size: 5, Agg: AggCount, Field: 0, GroupBy: -1})
+	w.Apply(intTuple(1, 1))
+	w.Apply(intTuple(2, 2))
+	out := w.Flush()
+	if len(out) != 1 || out[0].Float(1) != 2 {
+		t.Fatalf("flush = %+v, want partial count 2", out)
+	}
+	if len(w.Flush()) != 0 {
+		t.Error("second flush should be empty")
+	}
+	if len(w.GroupKeys()) != 0 {
+		t.Error("flush should clear group state")
+	}
+}
+
+func TestWindowSpecValidation(t *testing.T) {
+	if _, err := NewWindowAgg("w", 1, WindowSpec{Size: 0}); err == nil {
+		t.Error("want error for zero size")
+	}
+	if _, err := NewWindowAgg("w", 1, WindowSpec{Size: 3, Slide: 4}); err == nil {
+		t.Error("want error for slide > size")
+	}
+	if _, err := NewWindowAgg("w", 1, WindowSpec{Size: 3, Slide: -1}); err == nil {
+		t.Error("want error for negative slide")
+	}
+}
+
+func TestKahanSum(t *testing.T) {
+	vals := make([]float64, 0, 10001)
+	vals = append(vals, 1e16)
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, 1)
+	}
+	if got := kahanSum(vals); got != 1e16+10000 {
+		t.Errorf("kahanSum = %v, want %v", got, 1e16+10000)
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	j := NewHashJoin("j", 1, 0, 0, 4)
+	if out := j.ApplyLeft(NewTuple(1, "k", 1.0)); len(out) != 0 {
+		t.Fatal("no right side yet")
+	}
+	out := j.ApplyRight(NewTuple(2, "k", 2.0))
+	if len(out) != 1 {
+		t.Fatalf("join emitted %d, want 1", len(out))
+	}
+	// Output is left-then-right regardless of arrival side, timestamp is max.
+	if out[0].Str(0) != "k" || out[0].Float(1) != 1.0 || out[0].Float(3) != 2.0 || out[0].Ts != 2 {
+		t.Errorf("join tuple = %+v", out[0])
+	}
+	if out := j.ApplyRight(NewTuple(3, "other", 9.0)); len(out) != 0 {
+		t.Error("non-matching key joined")
+	}
+}
+
+func TestHashJoinWindowEviction(t *testing.T) {
+	j := NewHashJoin("j", 1, 0, 0, 2)
+	for i := int64(0); i < 5; i++ {
+		j.ApplyLeft(NewTuple(i, "k", float64(i)))
+	}
+	// Window 2: only tuples 3 and 4 are retained.
+	out := j.ApplyRight(NewTuple(10, "k", 100.0))
+	if len(out) != 2 {
+		t.Fatalf("join emitted %d, want 2 (window eviction)", len(out))
+	}
+	if j.StateSize() != 3 { // 2 left + 1 right
+		t.Errorf("StateSize = %d, want 3", j.StateSize())
+	}
+	j.Flush()
+	if j.StateSize() != 0 {
+		t.Error("flush should clear join state")
+	}
+}
+
+func TestJoinOutSchema(t *testing.T) {
+	l := MustSchema(Field{Name: "sym", Kind: KindString}, Field{Name: "price", Kind: KindFloat})
+	r := MustSchema(Field{Name: "sym", Kind: KindString})
+	j := NewHashJoin("j", 1, 0, 0, 1)
+	out := j.OutSchema(l, r)
+	if out.NumFields() != 3 || out.Field(0).Name != "l_sym" || out.Field(2).Name != "r_sym" {
+		t.Errorf("join schema = %s", out)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := NewUnion("u", 1)
+	if out := u.ApplyLeft(intTuple(1, 1)); len(out) != 1 {
+		t.Error("left passthrough")
+	}
+	if out := u.ApplyRight(intTuple(2, 2)); len(out) != 1 {
+		t.Error("right passthrough")
+	}
+	if u.Flush() != nil {
+		t.Error("union holds no state")
+	}
+}
+
+func TestPipelineGoroutines(t *testing.T) {
+	// filter evens -> double -> tumbling sum of 2.
+	in := MustSchema(Field{Name: "v", Kind: KindInt})
+	pipe := NewPipeline(4,
+		NewFilter("evens", 1, func(t Tuple) bool { return t.Int(0)%2 == 0 }),
+		NewMap("double", 1, in, func(t Tuple) []any { return []any{t.Int(0) * 2} }),
+		MustWindowAgg("sum2", 1, WindowSpec{Size: 2, Agg: AggSum, Field: 0, GroupBy: -1}),
+	)
+	src := Generate(10, func(i int) Tuple { return intTuple(int64(i), int64(i)) })
+	got := Collect(pipe.Run(src))
+	// Evens 0..8 doubled: 0,4,8,12,16 -> sums (0+4), (8+12), flush partial 16.
+	want := []float64{4, 20, 16}
+	if len(got) != len(want) {
+		t.Fatalf("pipeline output = %+v, want sums %v", got, want)
+	}
+	for i := range want {
+		if got[i].Float(1) != want[i] {
+			t.Fatalf("pipeline output[%d] = %v, want %v", i, got[i].Float(1), want[i])
+		}
+	}
+}
+
+func TestJoinPipeline(t *testing.T) {
+	left := SliceSource([]Tuple{NewTuple(1, "a", 1.0), NewTuple(2, "b", 2.0)})
+	right := SliceSource([]Tuple{NewTuple(3, "a", 10.0), NewTuple(4, "b", 20.0)})
+	out := Collect(JoinPipeline(NewHashJoin("j", 1, 0, 0, 8), left, right, 4))
+	if len(out) != 2 {
+		t.Fatalf("join pipeline emitted %d tuples, want 2", len(out))
+	}
+	// Arrival interleaving is nondeterministic; check the key pairs as a set.
+	keys := map[string]bool{}
+	for _, o := range out {
+		keys[o.Str(0)] = true
+	}
+	if !keys["a"] || !keys["b"] {
+		t.Errorf("joined keys = %v, want a and b", keys)
+	}
+}
+
+func TestPipelinePropertyCountPreserved(t *testing.T) {
+	// A pass-everything filter must preserve count and order.
+	f := func(n uint8) bool {
+		count := int(n%50) + 1
+		pipe := NewPipeline(2, NewFilter("pass", 1, func(Tuple) bool { return true }))
+		src := Generate(count, func(i int) Tuple { return intTuple(int64(i), int64(i)) })
+		out := Collect(pipe.Run(src))
+		if len(out) != count {
+			return false
+		}
+		for i, o := range out {
+			if o.Int(0) != int64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package stream
+
+// Transform is a unary continuous-query operator: it consumes one input
+// tuple at a time and emits zero or more output tuples. Stateful transforms
+// (windows, aggregates) carry their state internally; Flush closes any open
+// state at end-of-stream.
+//
+// Cost is the operator's simulated per-tuple processing cost in capacity
+// units — the engine's load estimator multiplies it by the observed input
+// rate to produce the operator load c_j the admission auction consumes
+// (paper Section II: "each operator o_j has an associated load c_j ...
+// reasonably approximated by the system").
+type Transform interface {
+	// Name returns a short operator label for plans and debugging.
+	Name() string
+	// Apply processes one tuple and returns the emitted tuples (often 0 or 1).
+	Apply(t Tuple) []Tuple
+	// Flush emits any tuples held in open state (e.g. a partial window) and
+	// resets the transform.
+	Flush() []Tuple
+	// Cost returns the simulated per-tuple processing cost.
+	Cost() float64
+	// OutSchema returns the schema of emitted tuples given the input schema.
+	OutSchema(in *Schema) *Schema
+}
+
+// BinaryTransform is a two-input operator (join, union): tuples arrive
+// tagged with the side they came from.
+type BinaryTransform interface {
+	// Name returns a short operator label.
+	Name() string
+	// ApplyLeft processes a tuple from the left input.
+	ApplyLeft(t Tuple) []Tuple
+	// ApplyRight processes a tuple from the right input.
+	ApplyRight(t Tuple) []Tuple
+	// Flush emits held state and resets.
+	Flush() []Tuple
+	// Cost returns the simulated per-tuple processing cost.
+	Cost() float64
+	// OutSchema returns the output schema given both input schemas.
+	OutSchema(left, right *Schema) *Schema
+}
+
+// Side tags which input of a binary operator a tuple belongs to.
+type Side int
+
+// Binary operator input sides.
+const (
+	Left Side = iota
+	Right
+)

@@ -1,0 +1,180 @@
+// Package stream provides the data-stream substrate the paper's DSMS center
+// processes: typed tuples, schemas, and the continuous-query operators
+// (filter, map/project, windowed aggregation, windowed symmetric-hash join,
+// union) that admitted queries execute. Operators are pure per-tuple
+// transforms so the engine package can share one physical operator among
+// many queries (Aurora-style shared processing); pipeline.go additionally
+// runs transform chains as goroutine pipelines for standalone use.
+package stream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates tuple field types.
+type Kind int
+
+// Supported field kinds.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Field is a named, typed column of a stream schema.
+type Field struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes the fields of a stream's tuples.
+type Schema struct {
+	fields []Field
+	index  map[string]int
+}
+
+// NewSchema builds a schema from the given fields. Field names must be
+// unique and non-empty.
+func NewSchema(fields ...Field) (*Schema, error) {
+	idx := make(map[string]int, len(fields))
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("stream: field %d has empty name", i)
+		}
+		if _, dup := idx[f.Name]; dup {
+			return nil, fmt.Errorf("stream: duplicate field %q", f.Name)
+		}
+		idx[f.Name] = i
+	}
+	return &Schema{fields: append([]Field(nil), fields...), index: idx}, nil
+}
+
+// MustSchema is NewSchema that panics on error, for fixtures.
+func MustSchema(fields ...Field) *Schema {
+	s, err := NewSchema(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumFields returns the number of fields.
+func (s *Schema) NumFields() int { return len(s.fields) }
+
+// Field returns the i-th field.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// IndexOf returns the position of the named field, or -1.
+func (s *Schema) IndexOf(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// String renders the schema as "(name:kind, ...)".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		parts[i] = f.Name + ":" + f.Kind.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Tuple is one stream element: a logical timestamp (monotone per stream)
+// and a value per schema field.
+type Tuple struct {
+	// Ts is the tuple's logical timestamp in simulation ticks.
+	Ts int64
+	// Vals holds one value per schema field; each is int64, float64, string
+	// or bool matching the field kind.
+	Vals []any
+}
+
+// NewTuple builds a tuple.
+func NewTuple(ts int64, vals ...any) Tuple {
+	return Tuple{Ts: ts, Vals: vals}
+}
+
+// Clone returns a deep copy of the tuple (values are scalars, so a slice
+// copy suffices).
+func (t Tuple) Clone() Tuple {
+	vals := make([]any, len(t.Vals))
+	copy(vals, t.Vals)
+	return Tuple{Ts: t.Ts, Vals: vals}
+}
+
+// Int returns field i as int64; it panics if the field holds another kind
+// (schemas are validated at plan build time, so this indicates a bug).
+func (t Tuple) Int(i int) int64 { return t.Vals[i].(int64) }
+
+// Float returns field i as float64, widening int64 values.
+func (t Tuple) Float(i int) float64 {
+	switch v := t.Vals[i].(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	default:
+		panic(fmt.Sprintf("stream: field %d is %T, not numeric", i, t.Vals[i]))
+	}
+}
+
+// Str returns field i as a string.
+func (t Tuple) Str(i int) string { return t.Vals[i].(string) }
+
+// Bool returns field i as a bool.
+func (t Tuple) Bool(i int) bool { return t.Vals[i].(bool) }
+
+// checkValue verifies v matches kind k.
+func checkValue(v any, k Kind) bool {
+	switch k {
+	case KindInt:
+		_, ok := v.(int64)
+		return ok
+	case KindFloat:
+		_, ok := v.(float64)
+		if !ok {
+			_, ok = v.(int64)
+		}
+		return ok
+	case KindString:
+		_, ok := v.(string)
+		return ok
+	case KindBool:
+		_, ok := v.(bool)
+		return ok
+	}
+	return false
+}
+
+// Conforms reports whether the tuple matches the schema (arity and kinds).
+func (s *Schema) Conforms(t Tuple) bool {
+	if len(t.Vals) != len(s.fields) {
+		return false
+	}
+	for i, f := range s.fields {
+		if !checkValue(t.Vals[i], f.Kind) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,219 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AggKind enumerates the supported window aggregate functions.
+type AggKind int
+
+// Aggregate functions.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the aggregate's SQL-ish name.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("agg(%d)", int(a))
+	}
+}
+
+// WindowSpec describes a window aggregate: how many tuples per window, how
+// far the window slides, which field is aggregated and (optionally) which
+// field partitions the stream into groups. Size == Slide is a tumbling
+// window; Slide < Size is sliding with overlap.
+type WindowSpec struct {
+	// Size is the window length in tuples (per group when grouped).
+	Size int
+	// Slide is the number of tuples between window emissions; defaults to
+	// Size (tumbling) when zero.
+	Slide int
+	// Agg is the aggregate function.
+	Agg AggKind
+	// Field is the aggregated field position (ignored for AggCount).
+	Field int
+	// GroupBy is the grouping field position, or -1 for a single group.
+	GroupBy int
+}
+
+// normalize fills defaults and validates the spec.
+func (s WindowSpec) normalize() (WindowSpec, error) {
+	if s.Size <= 0 {
+		return s, fmt.Errorf("stream: window size must be positive, got %d", s.Size)
+	}
+	if s.Slide == 0 {
+		s.Slide = s.Size
+	}
+	if s.Slide < 0 || s.Slide > s.Size {
+		return s, fmt.Errorf("stream: slide %d must be in (0, size %d]", s.Slide, s.Size)
+	}
+	return s, nil
+}
+
+// WindowAgg is a count-based (tumbling or sliding) window aggregate,
+// optionally grouped by a key field. Output tuples carry the group key (or
+// int64(0) when ungrouped) and the aggregate value, timestamped with the
+// last contributing tuple's timestamp.
+type WindowAgg struct {
+	name   string
+	spec   WindowSpec
+	cost   float64
+	groups map[any]*windowState
+	order  []any // deterministic flush order: first-seen group order
+}
+
+type windowState struct {
+	buf []float64 // retained values (or 1s for count)
+	ts  int64
+}
+
+// NewWindowAgg builds a window aggregate operator. It returns an error for
+// invalid specs.
+func NewWindowAgg(name string, cost float64, spec WindowSpec) (*WindowAgg, error) {
+	norm, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &WindowAgg{
+		name:   name,
+		spec:   norm,
+		cost:   cost,
+		groups: make(map[any]*windowState),
+	}, nil
+}
+
+// MustWindowAgg is NewWindowAgg that panics on error, for fixtures.
+func MustWindowAgg(name string, cost float64, spec WindowSpec) *WindowAgg {
+	w, err := NewWindowAgg(name, cost, spec)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Name implements Transform.
+func (w *WindowAgg) Name() string { return w.name }
+
+// Cost implements Transform.
+func (w *WindowAgg) Cost() float64 { return w.cost }
+
+// OutSchema implements Transform: (key, value) pairs.
+func (w *WindowAgg) OutSchema(in *Schema) *Schema {
+	keyKind := KindInt
+	if w.spec.GroupBy >= 0 {
+		keyKind = in.Field(w.spec.GroupBy).Kind
+	}
+	return MustSchema(Field{Name: "key", Kind: keyKind}, Field{Name: w.spec.Agg.String(), Kind: KindFloat})
+}
+
+// Apply implements Transform.
+func (w *WindowAgg) Apply(t Tuple) []Tuple {
+	key := any(int64(0))
+	if w.spec.GroupBy >= 0 {
+		key = t.Vals[w.spec.GroupBy]
+	}
+	st, ok := w.groups[key]
+	if !ok {
+		st = &windowState{}
+		w.groups[key] = st
+		w.order = append(w.order, key)
+	}
+	val := 1.0
+	if w.spec.Agg != AggCount {
+		val = t.Float(w.spec.Field)
+	}
+	st.buf = append(st.buf, val)
+	st.ts = t.Ts
+	if len(st.buf) < w.spec.Size {
+		return nil
+	}
+	out := Tuple{Ts: st.ts, Vals: []any{key, w.aggregate(st.buf)}}
+	// Slide: drop the oldest Slide values; tumbling drops the whole window.
+	st.buf = append(st.buf[:0], st.buf[w.spec.Slide:]...)
+	return []Tuple{out}
+}
+
+// Flush implements Transform: emits partial windows (per Aurora semantics a
+// drained subnetwork reports what it has) and resets all state.
+func (w *WindowAgg) Flush() []Tuple {
+	var out []Tuple
+	for _, key := range w.order {
+		st := w.groups[key]
+		if len(st.buf) > 0 {
+			out = append(out, Tuple{Ts: st.ts, Vals: []any{key, w.aggregate(st.buf)}})
+		}
+	}
+	w.groups = make(map[any]*windowState)
+	w.order = nil
+	return out
+}
+
+// aggregate reduces the window buffer.
+func (w *WindowAgg) aggregate(buf []float64) float64 {
+	switch w.spec.Agg {
+	case AggCount:
+		return float64(len(buf))
+	case AggSum:
+		return kahanSum(buf)
+	case AggAvg:
+		return kahanSum(buf) / float64(len(buf))
+	case AggMin:
+		min := math.Inf(1)
+		for _, v := range buf {
+			if v < min {
+				min = v
+			}
+		}
+		return min
+	case AggMax:
+		max := math.Inf(-1)
+		for _, v := range buf {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	default:
+		return math.NaN()
+	}
+}
+
+// kahanSum sums with compensated arithmetic so long windows stay accurate.
+func kahanSum(vals []float64) float64 {
+	var sum, comp float64
+	for _, v := range vals {
+		y := v - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// GroupKeys returns the currently-open group keys in first-seen order;
+// tests use it to inspect window state.
+func (w *WindowAgg) GroupKeys() []any {
+	keys := append([]any(nil), w.order...)
+	sort.SliceStable(keys, func(i, j int) bool {
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+	return keys
+}

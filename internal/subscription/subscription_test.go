@@ -1,0 +1,217 @@
+package subscription
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/auction"
+)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager(auction.NewCAT(), 20, EqualShares(Day, Week))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func req(user int, name string, bid float64, cat Category, load float64) Request {
+	return Request{
+		User: user, Name: name, Bid: bid, Category: cat,
+		Operators: []OperatorSpec{{Key: name + "-op", Load: load}},
+	}
+}
+
+func TestSharesValidation(t *testing.T) {
+	if _, err := NewManager(auction.NewCAT(), 10, Shares{}); err == nil {
+		t.Error("want error for empty shares")
+	}
+	if _, err := NewManager(auction.NewCAT(), 10, Shares{Day: 0.4}); err == nil {
+		t.Error("want error for shares not summing to 1")
+	}
+	if _, err := NewManager(auction.NewCAT(), 10, Shares{Day: 1.5, Week: -0.5}); err == nil {
+		t.Error("want error for negative share")
+	}
+	if _, err := NewManager(auction.NewCAT(), 0, EqualShares(Day)); err == nil {
+		t.Error("want error for zero capacity")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := newManager(t)
+	if err := m.Submit(req(1, "q", 5, Month, 1)); err == nil {
+		t.Error("want error for unoffered category")
+	}
+	if err := m.Submit(Request{User: 1, Name: "q", Bid: 1, Category: Day}); err == nil {
+		t.Error("want error for operator-less request")
+	}
+}
+
+func TestCategoryAuctionsIndependent(t *testing.T) {
+	m := newManager(t)
+	// Day category (capacity 10): two queries, only one fits.
+	check(t, m.Submit(req(1, "d1", 50, Day, 8)))
+	check(t, m.Submit(req(2, "d2", 20, Day, 8)))
+	// Week category (capacity 10): both fit.
+	check(t, m.Submit(req(3, "w1", 30, Week, 4)))
+	check(t, m.Submit(req(4, "w2", 10, Week, 4)))
+	report, err := m.RunDay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := report.PerCategory[Day]
+	week := report.PerCategory[Week]
+	if day == nil || week == nil {
+		t.Fatal("both categories should have auctions")
+	}
+	if len(day.Winners) != 1 {
+		t.Errorf("day winners = %v, want 1", day.Winners)
+	}
+	if len(week.Winners) != 2 {
+		t.Errorf("week winners = %v, want 2", week.Winners)
+	}
+}
+
+func TestExpiryReclaimsCapacity(t *testing.T) {
+	m := newManager(t)
+	check(t, m.Submit(req(1, "d1", 50, Day, 8)))
+	check(t, m.Submit(req(2, "w1", 50, Week, 8)))
+	r0, err := m.RunDay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r0.Admitted) != 2 {
+		t.Fatalf("day 0 admitted %d, want 2", len(r0.Admitted))
+	}
+	if r0.FreeCapacity != 20 {
+		t.Errorf("day 0 free capacity = %v, want 20", r0.FreeCapacity)
+	}
+	// Day 1: the daily subscription expired, the weekly one persists.
+	r1, err := m.RunDay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Expired) != 1 || r1.Expired[0].Request.Name != "d1" {
+		t.Errorf("day 1 expired = %+v, want d1", r1.Expired)
+	}
+	if r1.FreeCapacity != 12 { // 20 − weekly load 8
+		t.Errorf("day 1 free capacity = %v, want 12", r1.FreeCapacity)
+	}
+	if got := len(m.ActiveSubscriptions()); got != 1 {
+		t.Errorf("active = %d, want 1 (the weekly)", got)
+	}
+	// Day 7: the weekly expires too.
+	for d := 2; d <= 7; d++ {
+		if _, err := m.RunDay(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.ActiveSubscriptions()); got != 0 {
+		t.Errorf("active after expiry = %d, want 0", got)
+	}
+}
+
+func TestRevenueAccumulates(t *testing.T) {
+	m := newManager(t)
+	// Competition within the day category so payments are positive.
+	check(t, m.Submit(req(1, "a", 50, Day, 6)))
+	check(t, m.Submit(req(2, "b", 30, Day, 6)))
+	r, err := m.RunDay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Revenue <= 0 {
+		t.Errorf("revenue = %v, want positive with competition", r.Revenue)
+	}
+	if m.Revenue() != r.Revenue {
+		t.Errorf("manager revenue = %v, report %v", m.Revenue(), r.Revenue)
+	}
+	if m.Day() != 1 {
+		t.Errorf("Day() = %d, want 1", m.Day())
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Day.String() != "day" || Week.String() != "week" || Month.String() != "month" || Year.String() != "year" {
+		t.Error("standard category names wrong")
+	}
+	if Category(3).String() != "3d" {
+		t.Errorf("custom category = %q, want 3d", Category(3).String())
+	}
+}
+
+func TestSharedOperatorsWithinCategory(t *testing.T) {
+	m := newManager(t)
+	shared := []OperatorSpec{{Key: "common", Load: 9}}
+	check(t, m.Submit(Request{User: 1, Name: "s1", Bid: 40, Category: Day, Operators: shared}))
+	check(t, m.Submit(Request{User: 2, Name: "s2", Bid: 35, Category: Day, Operators: shared}))
+	report, err := m.RunDay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both fit in the day category's capacity 10 because the operator is
+	// shared (aggregate load 9).
+	if got := len(report.Admitted); got != 2 {
+		t.Errorf("admitted = %d, want 2 via sharing", got)
+	}
+}
+
+// TestPeriodShoppingIsProfitable demonstrates the strategic behaviour the
+// paper flags as future work (Section VII): although each category auction
+// is bid-strategyproof, a user who wants one day can instead bid in an
+// uncontested longer category and get a week for less than the day price —
+// cross-category truthfulness does NOT compose.
+func TestPeriodShoppingIsProfitable(t *testing.T) {
+	runDay := func(shopper Request) (payment float64, admitted bool) {
+		m, err := NewManager(auction.NewCAT(), 20, EqualShares(Day, Week))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The day category is crowded: three competitors for capacity 10.
+		check(t, m.Submit(req(1, "c1", 60, Day, 6)))
+		check(t, m.Submit(req(2, "c2", 50, Day, 6)))
+		check(t, m.Submit(req(3, "c3", 40, Day, 6)))
+		check(t, m.Submit(shopper))
+		report, err := m.RunDay()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range report.Admitted {
+			if a.Request.Name == shopper.Name {
+				return a.Payment, true
+			}
+		}
+		return 0, false
+	}
+
+	// Honest: she wants one day and bids in the day category.
+	honestPay, honestIn := runDay(req(9, "shopper", 45, Day, 6))
+	// Strategic: same query submitted to the empty week category.
+	shopPay, shopIn := runDay(req(9, "shopper", 45, Week, 6))
+
+	if !shopIn {
+		t.Fatal("shopper must win the uncontested week category")
+	}
+	if shopPay != 0 {
+		t.Fatalf("uncontested week price = %v, want 0", shopPay)
+	}
+	// Honestly she either loses the crowded day auction or pays a positive
+	// day price; either way the week shop strictly improves her payoff.
+	if honestIn && honestPay <= shopPay {
+		t.Fatalf("period shopping not profitable: honest pay %v vs shopped %v", honestPay, shopPay)
+	}
+}
+
+func check(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleEqualShares() {
+	s := EqualShares(Day, Week)
+	fmt.Println(s[Day], s[Week])
+	// Output: 0.5 0.5
+}

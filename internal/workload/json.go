@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/query"
+)
+
+// InstanceJSON is the serialized form of one auction instance: the shared
+// operator structure and per-query bids, sufficient to rerun any mechanism.
+type InstanceJSON struct {
+	// MaxDegree records the instance's maximum sharing degree.
+	MaxDegree int `json:"maxDegree"`
+	// Operators lists every operator's load and owning query indices.
+	Operators []OperatorJSON `json:"operators"`
+	// Bids holds one bid per query, indexed by query ID.
+	Bids []float64 `json:"bids"`
+}
+
+// OperatorJSON serializes one shared operator.
+type OperatorJSON struct {
+	Load    float64 `json:"load"`
+	Queries []int   `json:"queries"`
+}
+
+// EncodeInstance converts a pool to its serialized form.
+func EncodeInstance(p *query.Pool) InstanceJSON {
+	inst := InstanceJSON{MaxDegree: p.MaxSharingDegree()}
+	for _, op := range p.Operators() {
+		qs := make([]int, len(op.Queries))
+		for i, q := range op.Queries {
+			qs[i] = int(q)
+		}
+		inst.Operators = append(inst.Operators, OperatorJSON{Load: op.Load, Queries: qs})
+	}
+	inst.Bids = make([]float64, p.NumQueries())
+	for i := range inst.Bids {
+		inst.Bids[i] = p.Bid(query.QueryID(i))
+	}
+	return inst
+}
+
+// DecodeInstance rebuilds a pool from its serialized form.
+func DecodeInstance(inst InstanceJSON) (*query.Pool, error) {
+	n := len(inst.Bids)
+	if n == 0 {
+		return nil, fmt.Errorf("workload: instance has no queries")
+	}
+	b := query.NewBuilder()
+	queryOps := make([][]query.OperatorID, n)
+	for i, op := range inst.Operators {
+		id := b.AddOperator(op.Load)
+		for _, q := range op.Queries {
+			if q < 0 || q >= n {
+				return nil, fmt.Errorf("workload: operator %d references query %d outside [0,%d)", i, q, n)
+			}
+			queryOps[q] = append(queryOps[q], id)
+		}
+	}
+	for q := 0; q < n; q++ {
+		b.AddQueryValued(inst.Bids[q], inst.Bids[q], q, queryOps[q]...)
+	}
+	return b.Build()
+}
+
+// WriteInstance writes the pool as JSON.
+func WriteInstance(w io.Writer, p *query.Pool) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(EncodeInstance(p))
+}
+
+// ReadInstance reads a pool from JSON.
+func ReadInstance(r io.Reader) (*query.Pool, error) {
+	var inst InstanceJSON
+	if err := json.NewDecoder(r).Decode(&inst); err != nil {
+		return nil, fmt.Errorf("workload: decoding instance: %w", err)
+	}
+	return DecodeInstance(inst)
+}

@@ -1,0 +1,319 @@
+// Package workload generates the paper's experimental workloads (Table III):
+// 2000-query instances whose operator loads, bids and operator-sharing
+// degrees are Zipf-distributed, together with the paper's degree-splitting
+// procedure that derives lower-sharing instances from a single base instance
+// while keeping every query's total load constant, and the moderate /
+// aggressive lying models used for Figure 5.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/query"
+	"repro/internal/zipf"
+)
+
+// BidMode selects how query bids are generated.
+type BidMode int
+
+const (
+	// BidDensityZipf draws a Zipf per-unit value u and bids u × C_T(query):
+	// bids scale with query size, so profit densities are comparable across
+	// queries — exactly the regime of the paper's Example 1 (densities 11,
+	// 12, 10). This mode reproduces the published Figure 4 shapes (density
+	// mechanisms win profit at low sharing, Two-price crosses over, the
+	// crossover shifts left as capacity grows) and is the experiments'
+	// default.
+	BidDensityZipf BidMode = iota
+	// BidZipf draws bids independently of loads from Zipf(MaxBid, BidSkew) —
+	// the literal reading of Table III. Under independent mild-skew bids,
+	// constant pricing (and hence Two-price) dominates every density
+	// mechanism at every sharing degree, contradicting Figure 4's narrative;
+	// see EXPERIMENTS.md for the calibration analysis.
+	BidZipf
+)
+
+// Params configures workload generation. PaperParams returns the values of
+// Table III.
+type Params struct {
+	// NumQueries is the number of queries per instance (paper: 2000).
+	NumQueries int
+	// MaxSharing is the base instance's maximum operator sharing degree
+	// (paper: 60); lower-degree instances are derived by splitting.
+	MaxSharing int
+	// DegreeSkew is the Zipf skewness of per-operator sharing degrees
+	// (paper: 1).
+	DegreeSkew float64
+	// BidMode selects independent (BidZipf) or density-scaled
+	// (BidDensityZipf) bids.
+	BidMode BidMode
+	// MaxBid and BidSkew parameterize the Zipf bid distribution
+	// (paper: 100, 0.5). In BidDensityZipf mode the Zipf draw is the
+	// per-unit value over [1, MaxUnitValue] with the same skew.
+	MaxBid  int
+	BidSkew float64
+	// MaxUnitValue bounds the per-unit value in BidDensityZipf mode
+	// (default 10, giving Example-1-like densities).
+	MaxUnitValue int
+	// MaxOpLoad and LoadSkew parameterize the Zipf operator-load
+	// distribution (paper: 10, 1).
+	MaxOpLoad int
+	LoadSkew  float64
+	// MeanOpsPerQuery sets how many (query, operator) incidences to
+	// generate: NumQueries × MeanOpsPerQuery. The paper's instances have
+	// 700–8800 operators over 2000 queries, implying ≈ 4.4 operators per
+	// query.
+	MeanOpsPerQuery float64
+	// Seed drives all randomness; equal seeds give identical workloads.
+	Seed int64
+}
+
+// PaperParams returns Table III's parameters.
+func PaperParams(seed int64) Params {
+	return Params{
+		NumQueries:      2000,
+		MaxSharing:      60,
+		DegreeSkew:      1,
+		BidMode:         BidDensityZipf,
+		MaxBid:          100,
+		BidSkew:         0.5,
+		MaxUnitValue:    10,
+		MaxOpLoad:       10,
+		LoadSkew:        1,
+		MeanOpsPerQuery: 4.4,
+		Seed:            seed,
+	}
+}
+
+// QuickParams returns a scaled-down workload (for tests and -quick runs)
+// with the same distributional shape.
+func QuickParams(seed int64) Params {
+	p := PaperParams(seed)
+	p.NumQueries = 200
+	p.MaxSharing = 20
+	return p
+}
+
+// Validate reports the first invalid parameter.
+func (p Params) Validate() error {
+	switch {
+	case p.NumQueries < 1:
+		return fmt.Errorf("workload: NumQueries must be >= 1, got %d", p.NumQueries)
+	case p.MaxSharing < 1:
+		return fmt.Errorf("workload: MaxSharing must be >= 1, got %d", p.MaxSharing)
+	case p.MaxSharing > p.NumQueries:
+		return fmt.Errorf("workload: MaxSharing %d exceeds NumQueries %d", p.MaxSharing, p.NumQueries)
+	case p.MaxBid < 1:
+		return fmt.Errorf("workload: MaxBid must be >= 1, got %d", p.MaxBid)
+	case p.MaxOpLoad < 1:
+		return fmt.Errorf("workload: MaxOpLoad must be >= 1, got %d", p.MaxOpLoad)
+	case p.MeanOpsPerQuery <= 0:
+		return fmt.Errorf("workload: MeanOpsPerQuery must be positive, got %g", p.MeanOpsPerQuery)
+	case p.BidMode == BidDensityZipf && p.MaxUnitValue < 1:
+		return fmt.Errorf("workload: MaxUnitValue must be >= 1 in density bid mode, got %d", p.MaxUnitValue)
+	case p.BidSkew < 0 || p.DegreeSkew < 0 || p.LoadSkew < 0:
+		return fmt.Errorf("workload: skew parameters must be non-negative")
+	}
+	return nil
+}
+
+// opSpec is one operator of the base instance: its load and owner queries.
+type opSpec struct {
+	load   float64
+	owners []int // query indices
+}
+
+// Base is a generated base instance at the maximum sharing degree. Instances
+// at every lower maximum degree are derived from it deterministically by
+// Instance, so a sweep over sharing degrees varies only sharing — bids and
+// per-query total loads stay fixed, exactly as in the paper's methodology.
+type Base struct {
+	params Params
+	ops    []opSpec
+	bids   []float64
+}
+
+// Generate builds a base instance.
+func Generate(p Params) (*Base, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	loadDist := zipf.New(rng, p.MaxOpLoad, p.LoadSkew)
+	degreeDist := zipf.New(rng, p.MaxSharing, p.DegreeSkew)
+	var bidDist *zipf.Zipf
+	if p.BidMode == BidDensityZipf {
+		bidDist = zipf.New(rng, p.MaxUnitValue, p.BidSkew)
+	} else {
+		bidDist = zipf.New(rng, p.MaxBid, p.BidSkew)
+	}
+
+	target := int(float64(p.NumQueries) * p.MeanOpsPerQuery)
+	if target < p.NumQueries {
+		target = p.NumQueries
+	}
+	var ops []opSpec
+	incidences := 0
+	covered := make([]bool, p.NumQueries)
+	for incidences < target {
+		degree := degreeDist.Draw()
+		owners := sampleQueries(rng, p.NumQueries, degree)
+		ops = append(ops, opSpec{load: float64(loadDist.Draw()), owners: owners})
+		incidences += len(owners)
+		for _, q := range owners {
+			covered[q] = true
+		}
+	}
+	// Every query needs at least one operator: give uncovered queries a
+	// dedicated (degree-1) operator.
+	for q, ok := range covered {
+		if !ok {
+			ops = append(ops, opSpec{load: float64(loadDist.Draw()), owners: []int{q}})
+		}
+	}
+
+	// Per-query total loads (invariant under degree splitting, so computing
+	// them on the base instance is sound for every derived instance).
+	totals := make([]float64, p.NumQueries)
+	for _, op := range ops {
+		for _, q := range op.owners {
+			totals[q] += op.load
+		}
+	}
+	bids := make([]float64, p.NumQueries)
+	for i := range bids {
+		switch p.BidMode {
+		case BidDensityZipf:
+			bids[i] = float64(bidDist.Draw()) * totals[i]
+		default:
+			bids[i] = float64(bidDist.Draw())
+		}
+	}
+	return &Base{params: p, ops: ops, bids: bids}, nil
+}
+
+// MustGenerate is Generate that panics on error, for fixtures.
+func MustGenerate(p Params) *Base {
+	b, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// sampleQueries draws k distinct query indices uniformly (partial
+// Fisher-Yates over a reusable index space would save allocations, but
+// generation is not on any hot path).
+func sampleQueries(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	return out
+}
+
+// Params returns the generation parameters.
+func (b *Base) Params() Params { return b.params }
+
+// Instance derives the instance with maximum sharing degree maxDegree: every
+// operator shared by more than maxDegree queries is split into operators of
+// the same load whose degrees sum to the original degree (ceil-halving, the
+// paper's 8 → 4,2,1,1 scheme), and the owning queries are distributed across
+// the pieces. Per-query total load is invariant across maxDegree.
+func (b *Base) Instance(maxDegree int) (*query.Pool, error) {
+	if maxDegree < 1 {
+		return nil, fmt.Errorf("workload: maxDegree must be >= 1, got %d", maxDegree)
+	}
+	qb := query.NewBuilder()
+	queryOps := make([][]query.OperatorID, b.params.NumQueries)
+	for _, op := range b.ops {
+		for _, part := range splitOwners(op.owners, maxDegree) {
+			id := qb.AddOperator(op.load)
+			for _, q := range part {
+				queryOps[q] = append(queryOps[q], id)
+			}
+		}
+	}
+	for q := 0; q < b.params.NumQueries; q++ {
+		qb.AddQueryValued(b.bids[q], b.bids[q], q, queryOps[q]...)
+	}
+	return qb.Build()
+}
+
+// MustInstance is Instance that panics on error.
+func (b *Base) MustInstance(maxDegree int) *query.Pool {
+	p, err := b.Instance(maxDegree)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// splitOwners partitions the owner list into groups of size at most
+// maxDegree using ceil-halving: a degree-8 operator constrained to degree 7
+// splits into groups of 4, 2, 1, 1 — the paper's worked example.
+func splitOwners(owners []int, maxDegree int) [][]int {
+	if len(owners) <= maxDegree {
+		return [][]int{owners}
+	}
+	// Repeatedly peel off the ceiling-half of the remaining owners (capped at
+	// maxDegree): degree 8 → 4, 2, 1, 1 exactly as in the paper's example,
+	// spreading the pieces across "other varying degrees".
+	var parts [][]int
+	rest := owners
+	for len(rest) > 0 {
+		size := (len(rest) + 1) / 2
+		if size > maxDegree {
+			size = maxDegree
+		}
+		parts = append(parts, rest[:size])
+		rest = rest[size:]
+	}
+	return parts
+}
+
+// LyingModel parameterizes the Figure 5 strategic-bidding simulation: a user
+// whose fair-share-to-total-load ratio is below Threshold submits, with
+// probability Prob, an alternative bid of Value × Factor instead of her
+// valuation.
+type LyingModel struct {
+	Name      string
+	Threshold float64
+	Prob      float64
+	Factor    float64
+}
+
+// ModerateLying returns the paper's moderate model (threshold .25,
+// probability .5, factor .5).
+func ModerateLying() LyingModel {
+	return LyingModel{Name: "ML", Threshold: 0.25, Prob: 0.5, Factor: 0.5}
+}
+
+// AggressiveLying returns the paper's aggressive model (threshold .35,
+// probability .7, factor .3).
+func AggressiveLying() LyingModel {
+	return LyingModel{Name: "AL", Threshold: 0.35, Prob: 0.7, Factor: 0.3}
+}
+
+// Apply returns a copy of the pool in which strategic users bid their
+// alternative bids; valuations are unchanged, so payoff and profit metrics
+// remain meaningful. The seed makes the coin flips reproducible.
+func (m LyingModel) Apply(p *query.Pool, seed int64) *query.Pool {
+	rng := rand.New(rand.NewSource(seed))
+	qb := query.NewBuilder()
+	for _, op := range p.Operators() {
+		qb.AddOperator(op.Load)
+	}
+	for _, q := range p.Queries() {
+		bid := q.Bid
+		ratio := p.FairShareLoad(q.ID) / p.TotalLoad(q.ID)
+		if ratio < m.Threshold && rng.Float64() < m.Prob {
+			bid = q.Value * m.Factor
+		}
+		qb.AddQueryValued(bid, q.Value, q.User, q.Operators...)
+	}
+	return qb.MustBuild()
+}

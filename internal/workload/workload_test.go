@@ -1,0 +1,317 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/query"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.NumQueries = 0 },
+		func(p *Params) { p.MaxSharing = 0 },
+		func(p *Params) { p.MaxSharing = p.NumQueries + 1 },
+		func(p *Params) { p.MaxBid = 0 },
+		func(p *Params) { p.MaxOpLoad = 0 },
+		func(p *Params) { p.MeanOpsPerQuery = 0 },
+		func(p *Params) { p.BidSkew = -1 },
+		func(p *Params) { p.MaxUnitValue = 0 },
+	}
+	for i, mutate := range cases {
+		p := PaperParams(1)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+	if err := PaperParams(1).Validate(); err != nil {
+		t.Errorf("paper params invalid: %v", err)
+	}
+}
+
+// TestPaperScaleOperatorCounts checks the generator against the paper's own
+// reported instance sizes: 2000 queries with ≈8800 operators at max degree 1
+// and ≈700 at max degree 60.
+func TestPaperScaleOperatorCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale generation")
+	}
+	base := MustGenerate(PaperParams(1))
+	deg1 := base.MustInstance(1)
+	deg60 := base.MustInstance(60)
+	if n := deg1.NumOperators(); n < 7500 || n > 10500 {
+		t.Errorf("operators at degree 1 = %d, paper reports ≈8800", n)
+	}
+	if n := deg60.NumOperators(); n < 550 || n > 900 {
+		t.Errorf("operators at degree 60 = %d, paper reports ≈700", n)
+	}
+	if deg1.MaxSharingDegree() != 1 {
+		t.Errorf("degree-1 instance has sharing degree %d", deg1.MaxSharingDegree())
+	}
+}
+
+// TestDegreeDistributionIsZipf: at the base instance, operator sharing
+// degrees follow Zipf(θ=1): P(degree 1) ≈ 1/H(60) ≈ 0.214 and the frequency
+// ratio between degrees 1 and 2 is ≈ 2.
+func TestDegreeDistributionIsZipf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale generation")
+	}
+	base := MustGenerate(PaperParams(2))
+	pool := base.MustInstance(60)
+	counts := map[int]int{}
+	for _, op := range pool.Operators() {
+		counts[op.Degree()]++
+	}
+	total := pool.NumOperators()
+	p1 := float64(counts[1]) / float64(total)
+	if p1 < 0.15 || p1 > 0.28 {
+		t.Errorf("P(degree=1) = %.3f, want ≈ 0.214", p1)
+	}
+	if counts[2] == 0 {
+		t.Fatal("no degree-2 operators")
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 1.5 || ratio > 2.7 {
+		t.Errorf("degree 1:2 frequency ratio = %.2f, want ≈ 2 (Zipf θ=1)", ratio)
+	}
+}
+
+// TestPerQueryLoadInvariant: the degree-splitting procedure must keep every
+// query's total load constant across derived instances — the paper's "we
+// keep the average query load the same throughout a workload set".
+func TestPerQueryLoadInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		p := PaperParams(seed)
+		p.NumQueries = 60
+		p.MaxSharing = 16
+		base := MustGenerate(p)
+		ref := base.MustInstance(16)
+		for _, degree := range []int{1, 2, 5, 9, 16} {
+			inst := base.MustInstance(degree)
+			if inst.MaxSharingDegree() > degree {
+				return false
+			}
+			for q := 0; q < p.NumQueries; q++ {
+				id := query.QueryID(q)
+				if math.Abs(inst.TotalLoad(id)-ref.TotalLoad(id)) > 1e-9 {
+					return false
+				}
+				if inst.Bid(id) != ref.Bid(id) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplitOwnersPaperExample pins the worked example: a degree-8 operator
+// split for max degree 7 becomes groups of 4, 2, 1, 1.
+func TestSplitOwnersPaperExample(t *testing.T) {
+	owners := []int{10, 11, 12, 13, 14, 15, 16, 17}
+	parts := splitOwners(owners, 7)
+	sizes := make([]int, len(parts))
+	for i, part := range parts {
+		sizes[i] = len(part)
+	}
+	want := []int{4, 2, 1, 1}
+	if len(sizes) != len(want) {
+		t.Fatalf("split sizes = %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("split sizes = %v, want %v", sizes, want)
+		}
+	}
+	// Partition property: every owner appears exactly once.
+	seen := map[int]bool{}
+	for _, part := range parts {
+		for _, o := range part {
+			if seen[o] {
+				t.Fatalf("owner %d duplicated", o)
+			}
+			seen[o] = true
+		}
+	}
+	if len(seen) != len(owners) {
+		t.Fatalf("split dropped owners: %d of %d", len(seen), len(owners))
+	}
+}
+
+func TestSplitOwnersProperties(t *testing.T) {
+	f := func(n uint8, m uint8) bool {
+		owners := make([]int, int(n%64)+1)
+		for i := range owners {
+			owners[i] = i
+		}
+		maxDegree := int(m%16) + 1
+		parts := splitOwners(owners, maxDegree)
+		total := 0
+		for _, part := range parts {
+			if len(part) == 0 || len(part) > maxDegree {
+				return false
+			}
+			total += len(part)
+		}
+		return total == len(owners)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBidModes(t *testing.T) {
+	p := PaperParams(5)
+	p.NumQueries = 120
+	p.MaxSharing = 8
+
+	t.Run("density", func(t *testing.T) {
+		base := MustGenerate(p)
+		pool := base.MustInstance(8)
+		for i := 0; i < pool.NumQueries(); i++ {
+			id := query.QueryID(i)
+			unit := pool.Bid(id) / pool.TotalLoad(id)
+			if unit < 1-1e-9 || unit > float64(p.MaxUnitValue)+1e-9 {
+				t.Fatalf("query %d: unit value %v outside [1, %d]", i, unit, p.MaxUnitValue)
+			}
+			if math.Abs(unit-math.Round(unit)) > 1e-9 {
+				t.Fatalf("query %d: unit value %v not integral", i, unit)
+			}
+		}
+	})
+	t.Run("independent", func(t *testing.T) {
+		q := p
+		q.BidMode = BidZipf
+		base := MustGenerate(q)
+		pool := base.MustInstance(8)
+		for i := 0; i < pool.NumQueries(); i++ {
+			b := pool.Bid(query.QueryID(i))
+			if b < 1 || b > float64(q.MaxBid) {
+				t.Fatalf("bid %v outside [1, %d]", b, q.MaxBid)
+			}
+		}
+	})
+}
+
+func TestDeterminism(t *testing.T) {
+	p := QuickParams(9)
+	a := MustGenerate(p).MustInstance(10)
+	b := MustGenerate(p).MustInstance(10)
+	if a.NumOperators() != b.NumOperators() || a.NumQueries() != b.NumQueries() {
+		t.Fatal("same seed produced structurally different instances")
+	}
+	for i := 0; i < a.NumQueries(); i++ {
+		id := query.QueryID(i)
+		if a.Bid(id) != b.Bid(id) || a.TotalLoad(id) != b.TotalLoad(id) {
+			t.Fatal("same seed produced different queries")
+		}
+	}
+}
+
+func TestEveryQueryHasOperators(t *testing.T) {
+	f := func(seed int64) bool {
+		p := PaperParams(seed)
+		p.NumQueries = 40
+		p.MaxSharing = 6
+		p.MeanOpsPerQuery = 1 // sparse: forces the coverage fallback
+		pool := MustGenerate(p).MustInstance(6)
+		for i := 0; i < pool.NumQueries(); i++ {
+			if len(pool.Query(query.QueryID(i)).Operators) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLyingModel(t *testing.T) {
+	p := QuickParams(4)
+	pool := MustGenerate(p).MustInstance(12)
+	model := ModerateLying()
+	lied := model.Apply(pool, 77)
+	if lied.NumQueries() != pool.NumQueries() {
+		t.Fatal("lying changed the query count")
+	}
+	liars := 0
+	for i := 0; i < pool.NumQueries(); i++ {
+		id := query.QueryID(i)
+		if lied.Value(id) != pool.Value(id) {
+			t.Fatalf("query %d: valuation changed", i)
+		}
+		ratio := pool.FairShareLoad(id) / pool.TotalLoad(id)
+		switch {
+		case lied.Bid(id) == pool.Bid(id):
+			// Honest — always allowed.
+		case math.Abs(lied.Bid(id)-pool.Value(id)*model.Factor) < 1e-9:
+			liars++
+			if ratio >= model.Threshold {
+				t.Fatalf("query %d lied with ratio %.3f ≥ threshold %.3f", i, ratio, model.Threshold)
+			}
+		default:
+			t.Fatalf("query %d: unexpected bid %v (honest %v)", i, lied.Bid(id), pool.Bid(id))
+		}
+	}
+	if liars == 0 {
+		t.Error("no queries lied under the moderate model; workload should include eligible liars")
+	}
+	// Deterministic in the seed.
+	again := model.Apply(pool, 77)
+	for i := 0; i < pool.NumQueries(); i++ {
+		if again.Bid(query.QueryID(i)) != lied.Bid(query.QueryID(i)) {
+			t.Fatal("lying model not deterministic")
+		}
+	}
+}
+
+func TestAggressiveLiesLower(t *testing.T) {
+	if f, m := AggressiveLying(), ModerateLying(); f.Factor >= m.Factor || f.Prob <= m.Prob {
+		t.Error("aggressive model should lie more often and more deeply")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := QuickParams(2)
+	p.NumQueries = 50
+	pool := MustGenerate(p).MustInstance(10)
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, pool); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumQueries() != pool.NumQueries() || got.NumOperators() != pool.NumOperators() {
+		t.Fatal("roundtrip changed instance shape")
+	}
+	for i := 0; i < pool.NumQueries(); i++ {
+		id := query.QueryID(i)
+		if got.Bid(id) != pool.Bid(id) || math.Abs(got.TotalLoad(id)-pool.TotalLoad(id)) > 1e-9 ||
+			math.Abs(got.FairShareLoad(id)-pool.FairShareLoad(id)) > 1e-9 {
+			t.Fatalf("query %d differs after roundtrip", i)
+		}
+	}
+}
+
+func TestDecodeInstanceErrors(t *testing.T) {
+	if _, err := DecodeInstance(InstanceJSON{}); err == nil {
+		t.Error("want error for empty instance")
+	}
+	bad := InstanceJSON{
+		Operators: []OperatorJSON{{Load: 1, Queries: []int{5}}},
+		Bids:      []float64{10},
+	}
+	if _, err := DecodeInstance(bad); err == nil {
+		t.Error("want error for out-of-range query reference")
+	}
+}

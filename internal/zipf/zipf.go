@@ -1,0 +1,86 @@
+// Package zipf provides a Zipf-distributed sampler over {1, ..., N} with an
+// arbitrary skewness parameter θ ≥ 0, including θ ≤ 1 which the standard
+// library's rand.Zipf does not support.
+//
+// The paper's workload (Table III) draws operator loads and sharing degrees
+// from Zipf with skewness 1 and bids from Zipf with skewness 0.5, so an
+// arbitrary-θ sampler is required. Sampling uses the inverse-CDF method over
+// precomputed cumulative weights: P(k) ∝ 1/k^θ.
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples integers in [1, N] with probability proportional to 1/k^θ.
+// θ = 0 is the uniform distribution; larger θ skews mass toward small values.
+// A Zipf is safe for use by a single goroutine (it wraps a *rand.Rand).
+type Zipf struct {
+	n   int
+	th  float64
+	cum []float64 // cum[k-1] = P(X <= k), cum[n-1] == 1
+	rng *rand.Rand
+}
+
+// New returns a sampler over {1..n} with skewness theta, driven by rng.
+// It panics if n < 1 or theta < 0; the workload generator validates its
+// parameters before constructing samplers, so a panic here indicates a bug.
+func New(rng *rand.Rand, n int, theta float64) *Zipf {
+	if n < 1 {
+		panic(fmt.Sprintf("zipf: n must be >= 1, got %d", n))
+	}
+	if theta < 0 {
+		panic(fmt.Sprintf("zipf: theta must be >= 0, got %g", theta))
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 1; k <= n; k++ {
+		total += math.Pow(float64(k), -theta)
+		cum[k-1] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1 // guard against floating-point shortfall
+	return &Zipf{n: n, th: theta, cum: cum, rng: rng}
+}
+
+// N returns the upper bound of the support.
+func (z *Zipf) N() int { return z.n }
+
+// Theta returns the skewness parameter.
+func (z *Zipf) Theta() float64 { return z.th }
+
+// Draw returns one sample in [1, N].
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	// First index whose cumulative probability reaches u.
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= z.n {
+		i = z.n - 1
+	}
+	return i + 1
+}
+
+// Prob returns P(X = k), or 0 if k is outside [1, N].
+func (z *Zipf) Prob(k int) float64 {
+	if k < 1 || k > z.n {
+		return 0
+	}
+	if k == 1 {
+		return z.cum[0]
+	}
+	return z.cum[k-1] - z.cum[k-2]
+}
+
+// Mean returns E[X] computed from the exact distribution.
+func (z *Zipf) Mean() float64 {
+	m := 0.0
+	for k := 1; k <= z.n; k++ {
+		m += float64(k) * z.Prob(k)
+	}
+	return m
+}

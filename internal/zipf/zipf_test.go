@@ -1,0 +1,142 @@
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		n     int
+		theta float64
+	}{
+		{0, 1},
+		{-5, 1},
+		{10, -0.1},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(n=%d, theta=%g) did not panic", tc.n, tc.theta)
+				}
+			}()
+			New(rand.New(rand.NewSource(1)), tc.n, tc.theta)
+		}()
+	}
+}
+
+func TestProbSumsToOne(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 1, 2} {
+		z := New(rand.New(rand.NewSource(1)), 100, theta)
+		sum := 0.0
+		for k := 1; k <= 100; k++ {
+			p := z.Prob(k)
+			if p <= 0 {
+				t.Fatalf("theta=%g: Prob(%d) = %g, want positive", theta, k, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("theta=%g: probabilities sum to %g, want 1", theta, sum)
+		}
+	}
+}
+
+func TestProbOutOfRange(t *testing.T) {
+	z := New(rand.New(rand.NewSource(1)), 10, 1)
+	if z.Prob(0) != 0 || z.Prob(11) != 0 || z.Prob(-3) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+}
+
+func TestZeroThetaIsUniform(t *testing.T) {
+	z := New(rand.New(rand.NewSource(1)), 50, 0)
+	for k := 1; k <= 50; k++ {
+		if math.Abs(z.Prob(k)-0.02) > 1e-12 {
+			t.Fatalf("Prob(%d) = %g, want 0.02", k, z.Prob(k))
+		}
+	}
+}
+
+func TestSkewOrdersProbabilities(t *testing.T) {
+	z := New(rand.New(rand.NewSource(1)), 30, 1.5)
+	for k := 2; k <= 30; k++ {
+		if z.Prob(k) >= z.Prob(k-1) {
+			t.Fatalf("Prob(%d)=%g not below Prob(%d)=%g", k, z.Prob(k), k-1, z.Prob(k-1))
+		}
+	}
+}
+
+func TestDrawWithinSupport(t *testing.T) {
+	f := func(seed int64) bool {
+		z := New(rand.New(rand.NewSource(seed)), 17, 0.8)
+		for i := 0; i < 200; i++ {
+			v := z.Draw()
+			if v < 1 || v > 17 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmpiricalMatchesTheoretical(t *testing.T) {
+	const n = 20
+	const draws = 200000
+	z := New(rand.New(rand.NewSource(42)), n, 1)
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		counts[z.Draw()]++
+	}
+	for k := 1; k <= n; k++ {
+		want := z.Prob(k)
+		got := float64(counts[k]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("empirical P(%d) = %.4f, theoretical %.4f", k, got, want)
+		}
+	}
+}
+
+func TestMeanMatchesEmpirical(t *testing.T) {
+	z := New(rand.New(rand.NewSource(7)), 60, 1)
+	const draws = 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += float64(z.Draw())
+	}
+	got := sum / draws
+	want := z.Mean()
+	if math.Abs(got-want) > 0.2 {
+		t.Errorf("empirical mean %.3f, theoretical %.3f", got, want)
+	}
+	// The paper's degree distribution: mean of Zipf(60, 1) is 60/H(60) ≈ 12.8.
+	if want < 12 || want > 13.5 {
+		t.Errorf("Mean() = %.3f, want ≈ 12.8 for Zipf(60, 1)", want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(rand.New(rand.NewSource(9)), 100, 0.5)
+	b := New(rand.New(rand.NewSource(9)), 100, 0.5)
+	for i := 0; i < 1000; i++ {
+		if a.Draw() != b.Draw() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	z := New(rand.New(rand.NewSource(1)), 42, 0.7)
+	if z.N() != 42 {
+		t.Errorf("N() = %d, want 42", z.N())
+	}
+	if z.Theta() != 0.7 {
+		t.Errorf("Theta() = %g, want 0.7", z.Theta())
+	}
+}

@@ -1,0 +1,118 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/cloud"
+	"repro/internal/cql"
+	"repro/internal/market"
+	"repro/internal/sched"
+)
+
+// TestSoakManyPeriods drives the full stack through 30 subscription periods
+// with client churn, CQL-compiled queries, live market data, engine
+// transitions and billing, asserting system-wide invariants at every step:
+// auction feasibility, schedulability of the admitted set, billing
+// consistency and no tuple leakage to rejected queries.
+func TestSoakManyPeriods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(99))
+	catalog := cql.Catalog{
+		"stocks": {Schema: market.QuoteSchema, Rate: 5},
+		"news":   {Schema: market.NewsSchema, Rate: 1},
+	}
+	feed := market.MustFeed(99, "AAA", "BBB", "CCC")
+
+	center := cloud.New(auction.NewCAT(), 60)
+	center.DeclareSource("stocks", market.QuoteSchema)
+	center.DeclareSource("news", market.NewsSchema)
+
+	templates := []string{
+		"SELECT * FROM stocks WHERE price > %d",
+		"SELECT avg(price) FROM stocks WHERE symbol = '%s' WINDOW 20",
+		"SELECT * FROM stocks JOIN news ON symbol WINDOW 8 WHERE price > %d",
+		"SELECT COUNT(*) FROM stocks WINDOW 50",
+	}
+	symbols := feed.Symbols()
+
+	totalRevenue := 0.0
+	for period := 0; period < 30; period++ {
+		population := 6 + rng.Intn(10)
+		names := make(map[string]bool)
+		for i := 0; i < population; i++ {
+			tmpl := templates[rng.Intn(len(templates))]
+			var text string
+			switch {
+			case tmpl == templates[1]:
+				text = fmt.Sprintf(tmpl, symbols[rng.Intn(len(symbols))])
+			case tmpl == templates[3]:
+				text = tmpl
+			default:
+				text = fmt.Sprintf(tmpl, 100+25*rng.Intn(5))
+			}
+			comp, err := cql.Compile(mustParse(t, text), catalog, cql.DefaultCosts())
+			if err != nil {
+				t.Fatalf("period %d: %v", period, err)
+			}
+			name := fmt.Sprintf("q%d-%d", period, i)
+			names[name] = true
+			err = center.Submit(cloud.Submission{
+				User: i + 1, Name: name, Bid: 5 + rng.Float64()*95,
+				Operators: comp.Operators, Deploy: comp.Deploy,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		report, err := center.ClosePeriod()
+		if err != nil {
+			t.Fatalf("period %d: %v", period, err)
+		}
+		if report.Utilization > 1+1e-9 {
+			t.Fatalf("period %d: utilization %v above 1", period, report.Utilization)
+		}
+		// The admitted set must be schedulable at the execution layer.
+		if _, err := sched.ValidateAdmission(report.Outcome, 200, sched.RoundRobin{}); err != nil {
+			t.Fatalf("period %d: %v", period, err)
+		}
+		totalRevenue += report.Revenue
+
+		for i := 0; i < 300; i++ {
+			if err := center.Push("stocks", feed.Quote()); err != nil {
+				t.Fatal(err)
+			}
+			if i%10 == 0 {
+				if err := center.Push("news", feed.Headline()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		center.Engine().Advance(300)
+		for _, rej := range report.Rejected {
+			if got := len(center.Results(rej)); got != 0 {
+				t.Fatalf("period %d: rejected query %s produced %d tuples", period, rej, got)
+			}
+		}
+	}
+	if got := center.Ledger().Revenue(-1); math.Abs(got-totalRevenue) > 1e-6 {
+		t.Errorf("ledger revenue %v != accumulated %v", got, totalRevenue)
+	}
+	if center.Period() != 30 {
+		t.Errorf("period = %d, want 30", center.Period())
+	}
+}
+
+func mustParse(t *testing.T, text string) *cql.Query {
+	t.Helper()
+	q, err := cql.Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return q
+}
