@@ -1,15 +1,19 @@
 // Command dsmsd runs an end-to-end multi-day simulation of the paper's DSMS
 // cloud center: a population of clients submits continuous queries over
 // stock-quote and news streams with daily bids; each day the center runs the
-// configured admission auction, transitions the shared engine to the winning
-// plan, processes a day of tuples through the goroutine-free deterministic
-// dataflow, and bills the winners. The daily report shows admissions,
-// revenue, utilization and per-query result counts — the paper's business
-// model in motion.
+// configured admission auction and bills the winners, the daemon compiles
+// the winning queries into one shared plan, executes a day of market tuples
+// through the configured executor (synchronous engine, concurrent runtime,
+// or the sharded batch executor), and feeds the *measured* per-operator
+// costs back into the next day's auction — the paper's "load can be
+// reasonably approximated by the system", closed as a real loop. The daily
+// report shows admissions, revenue, utilization, per-query result counts,
+// and whether the measured load was schedulable and met QoS.
 //
 // Usage:
 //
 //	dsmsd [-days N] [-clients N] [-capacity F] [-mechanism CAT] [-seed N]
+//	      [-tuples N] [-executor sharded|runtime|sync] [-shards N] [-batch N]
 package main
 
 import (
@@ -17,10 +21,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"repro/internal/auction"
 	"repro/internal/cloud"
+	"repro/internal/engine"
 	"repro/internal/market"
+	"repro/internal/qos"
 	"repro/internal/sched"
 	"repro/internal/stream"
 )
@@ -33,6 +40,9 @@ func main() {
 		mechanism = flag.String("mechanism", "CAT", "admission mechanism: CAR CAF CAF+ CAT CAT+ GV Two-price")
 		seed      = flag.Int64("seed", 7, "simulation seed")
 		tuples    = flag.Int("tuples", 2000, "tuples pushed per stream per day")
+		executor  = flag.String("executor", "sharded", "execution backend: sharded, runtime, or sync")
+		shards    = flag.Int("shards", 0, "shard count for the sharded executor (0 = GOMAXPROCS)")
+		batch     = flag.Int("batch", 64, "tuples per executor batch")
 	)
 	flag.Parse()
 	mech, err := auction.ByName(*mechanism, *seed)
@@ -40,10 +50,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsmsd:", err)
 		os.Exit(1)
 	}
-	if err := run(mech, *days, *clients, *capacity, *seed, *tuples); err != nil {
+	switch *executor {
+	case "sharded", "runtime", "sync":
+	default:
+		// Reject up front: by the time the first period needs an executor,
+		// the auction has already closed and billed clients.
+		fmt.Fprintf(os.Stderr, "dsmsd: unknown executor %q (want sharded, runtime or sync)\n", *executor)
+		os.Exit(1)
+	}
+	cfg := daemonConfig{
+		days: *days, clients: *clients, capacity: *capacity, seed: *seed,
+		tuplesPerDay: *tuples, executor: *executor, shards: *shards, batch: *batch,
+	}
+	if err := run(mech, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dsmsd:", err)
 		os.Exit(1)
 	}
+}
+
+type daemonConfig struct {
+	days, clients int
+	capacity      float64
+	seed          int64
+	tuplesPerDay  int
+	executor      string
+	shards, batch int
 }
 
 var symbols = []string{"AAA", "BBB", "CCC", "DDD", "EEE", "FFF"}
@@ -58,14 +89,21 @@ type clientSpec struct {
 	baseBid   float64
 }
 
-func run(mech auction.Mechanism, days, clients int, capacity float64, seed int64, tuplesPerDay int) error {
-	rng := rand.New(rand.NewSource(seed))
-	feed := market.MustFeed(seed, symbols...)
-	center := cloud.New(mech, capacity)
+// defaultQoS is the latency-utility graph applied to every admitted query:
+// full utility through 2 ticks of queueing delay, decaying to zero at 20.
+var defaultQoS = qos.MustGraph(
+	qos.Point{Latency: 2, Utility: 1},
+	qos.Point{Latency: 20, Utility: 0},
+)
+
+func run(mech auction.Mechanism, cfg daemonConfig) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	feed := market.MustFeed(cfg.seed, symbols...)
+	center := cloud.New(mech, cfg.capacity)
 	center.DeclareSource("stocks", market.QuoteSchema)
 	center.DeclareSource("news", market.NewsSchema)
 
-	specs := make([]clientSpec, clients)
+	specs := make([]clientSpec, cfg.clients)
 	for i := range specs {
 		specs[i] = clientSpec{
 			user:      i + 1,
@@ -76,13 +114,30 @@ func run(mech auction.Mechanism, days, clients int, capacity float64, seed int64
 		}
 	}
 
-	fmt.Printf("dsmsd: %d clients, capacity %.0f, mechanism %s\n\n", clients, capacity, mech.Name())
-	for day := 0; day < days; day++ {
+	nShards := cfg.shards
+	if nShards <= 0 {
+		nShards = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("dsmsd: %d clients, capacity %.0f, mechanism %s, executor %s\n\n",
+		cfg.clients, cfg.capacity, mech.Name(), describeExecutor(cfg.executor, nShards))
+
+	// measured carries per-operator loads from one day's execution into the
+	// next day's auction: the closed monitoring-pricing loop.
+	measured := make(map[string]float64)
+	for day := 0; day < cfg.days; day++ {
+		// Full submissions (with Deploy) stay with the daemon, which owns
+		// execution; the center sees auction-only copies and handles
+		// admission and billing.
+		full := make(map[string]cloud.Submission, len(specs))
 		for _, spec := range specs {
 			// Bids drift day to day: demand shifts, admissions change, the
-			// engine transitions.
+			// executed plan changes with them.
 			bid := spec.baseBid * (0.8 + 0.4*rng.Float64())
-			if err := center.Submit(buildSubmission(spec, bid)); err != nil {
+			sub := reprice(buildSubmission(spec, bid), measured)
+			full[sub.Name] = sub
+			auctionOnly := sub
+			auctionOnly.Deploy = nil
+			if err := center.Submit(auctionOnly); err != nil {
 				return err
 			}
 		}
@@ -90,10 +145,9 @@ func run(mech auction.Mechanism, days, clients int, capacity float64, seed int64
 		if err != nil {
 			return err
 		}
-		pumpDay(center, feed, tuplesPerDay)
-		center.Engine().Advance(int64(tuplesPerDay))
 
-		// Execution-layer check: the admitted set must be schedulable.
+		// Sanity check at declared loads: a correct mechanism never admits
+		// an unschedulable set.
 		schedNote := "schedulable"
 		if _, err := sched.ValidateAdmission(report.Outcome, 200, sched.RoundRobin{}); err != nil {
 			schedNote = "NOT SCHEDULABLE"
@@ -101,11 +155,40 @@ func run(mech auction.Mechanism, days, clients int, capacity float64, seed int64
 		fmt.Printf("day %d: admitted %d/%d  revenue $%.2f  utilization %.0f%%  (%s)\n",
 			day+1, len(report.Admitted), len(report.Admitted)+len(report.Rejected),
 			report.Revenue, 100*report.Utilization, schedNote)
-		for _, a := range report.Admitted {
-			results := len(center.Results(a.Name))
-			fmt.Printf("  %-18s user %2d  bid $%6.2f  paid $%6.2f  results %d\n",
-				a.Name, a.User, a.Bid, a.Payment, results)
+
+		if len(report.Admitted) == 0 {
+			continue
 		}
+
+		// Compile the winners into one shared plan and execute the day.
+		winners := make([]cloud.Submission, 0, len(report.Admitted))
+		for _, a := range report.Admitted {
+			winners = append(winners, full[a.Name])
+		}
+		exec, err := startExecutor(cfg, nShards, center.Sources(), winners)
+		if err != nil {
+			return err
+		}
+		if err := pumpDay(exec, feed, cfg.tuplesPerDay, cfg.batch); err != nil {
+			return err
+		}
+		exec.Advance(int64(cfg.tuplesPerDay))
+		exec.Stop()
+
+		// Feed the measured loads forward and judge the executed period.
+		loads := exec.Stats()
+		for _, nl := range loads {
+			if nl.Tuples > 0 {
+				measured[nl.Name] = nl.Load
+			}
+		}
+		utility := evaluateQoS(cfg.capacity, loads)
+		for _, a := range report.Admitted {
+			fmt.Printf("  %-18s user %2d  bid $%6.2f  paid $%6.2f  results %d\n",
+				a.Name, a.User, a.Bid, a.Payment, len(exec.Results(a.Name)))
+		}
+		fmt.Printf("  measured: %d operators, total load %.2f/%.0f, mean QoS utility %.2f\n",
+			len(loads), totalLoad(loads), cfg.capacity, utility)
 	}
 	fmt.Printf("\ntotal revenue: $%.2f\n", center.Ledger().Revenue(-1))
 	fmt.Println("top accounts:")
@@ -115,9 +198,127 @@ func run(mech auction.Mechanism, days, clients int, capacity float64, seed int64
 	return nil
 }
 
+func describeExecutor(kind string, shards int) string {
+	if kind == "sharded" {
+		return fmt.Sprintf("sharded×%d", shards)
+	}
+	return kind
+}
+
+// startExecutor compiles the winners and starts the configured backend. The
+// market streams both carry the symbol in field 0, so the default
+// PartitionByField(0) keeps per-symbol windows and symbol joins correct
+// under sharding.
+func startExecutor(cfg daemonConfig, nShards int, sources []cloud.SourceDecl, winners []cloud.Submission) (engine.Executor, error) {
+	factory := func() (*engine.Plan, error) { return cloud.CompilePlan(sources, winners) }
+	switch cfg.executor {
+	case "sharded":
+		return engine.StartSharded(factory, engine.ShardedConfig{Shards: nShards, Buf: cfg.batch})
+	case "runtime":
+		plan, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		return engine.StartConcurrent(plan, cfg.batch)
+	case "sync":
+		plan, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		return engine.New(plan)
+	default:
+		return nil, fmt.Errorf("unknown executor %q (want sharded, runtime or sync)", cfg.executor)
+	}
+}
+
+// reprice replaces each operator's declared load with the previous day's
+// measured value where one exists — the feedback step the paper assumes the
+// system performs for its clients.
+func reprice(s cloud.Submission, measured map[string]float64) cloud.Submission {
+	ops := append([]cloud.OperatorSpec(nil), s.Operators...)
+	for i, op := range ops {
+		if m, ok := measured[op.Key]; ok && m > 0 {
+			ops[i].Load = m
+		}
+	}
+	s.Operators = ops
+	return s
+}
+
+// pumpDay pushes one day of synthetic market data in batches.
+func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int) error {
+	if batch < 1 {
+		batch = 1
+	}
+	stocks := make([]stream.Tuple, 0, batch)
+	news := make([]stream.Tuple, 0, batch)
+	flush := func(source string, pending *[]stream.Tuple) error {
+		if len(*pending) == 0 {
+			return nil
+		}
+		err := exec.PushBatch(source, *pending)
+		*pending = (*pending)[:0]
+		return err
+	}
+	for i := 0; i < n; i++ {
+		stocks = append(stocks, feed.Quote())
+		if len(stocks) == batch {
+			if err := flush("stocks", &stocks); err != nil {
+				return err
+			}
+		}
+		if i%5 == 0 {
+			news = append(news, feed.Headline())
+			if len(news) == batch {
+				if err := flush("news", &news); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush("stocks", &stocks); err != nil {
+		return err
+	}
+	return flush("news", &news)
+}
+
+// evaluateQoS simulates the measured operator loads under round-robin
+// scheduling and returns the mean QoS utility across admitted queries
+// (0 when the measured load is not schedulable).
+func evaluateQoS(capacity float64, loads []engine.NodeLoad) float64 {
+	report, err := sched.ValidateMeasured(capacity, loads, 200, sched.RoundRobin{})
+	if err != nil {
+		return 0
+	}
+	queryOps := qos.QueryOperators(loads)
+	graphs := make(map[string]*qos.Graph, len(queryOps))
+	for name := range queryOps {
+		graphs[name] = defaultQoS
+	}
+	evaluated, err := qos.Evaluate(report, graphs, queryOps)
+	if err != nil || len(evaluated) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, q := range evaluated {
+		total += q.Utility
+	}
+	return total / float64(len(evaluated))
+}
+
+func totalLoad(loads []engine.NodeLoad) float64 {
+	total := 0.0
+	for _, nl := range loads {
+		total += nl.Load
+	}
+	return total
+}
+
 // buildSubmission instantiates a client's template into operators + deploy
 // function. Operator keys encode the full upstream semantics, so identical
-// sub-plans are physically shared across clients.
+// sub-plans are physically shared across clients; keys double as the
+// operator names the executor reports in Stats, which is what lets measured
+// loads flow back into next-day submissions by key.
 func buildSubmission(spec clientSpec, bid float64) cloud.Submission {
 	switch spec.template {
 	case 0: // alert: stocks where symbol == S and price > T
@@ -211,19 +412,6 @@ func buildSubmission(spec clientSpec, bid float64) cloud.Submission {
 				reg.Sink(out)
 				return nil
 			},
-		}
-	}
-}
-
-// pumpDay pushes one day of synthetic market data.
-func pumpDay(center *cloud.Center, feed *market.Feed, n int) {
-	if center.Engine() == nil {
-		return
-	}
-	for i := 0; i < n; i++ {
-		_ = center.Push("stocks", feed.Quote())
-		if i%5 == 0 {
-			_ = center.Push("news", feed.Headline())
 		}
 	}
 }

@@ -5,6 +5,53 @@
 // Aurora-style shared stream engine it runs on, and the paper's full
 // experimental evaluation.
 //
+// # Architecture
+//
+// The system is layered around a single execution contract, engine.Executor
+// (PushBatch / Advance / Results / Stats / Stop), with three interchangeable
+// backends and the admission daemon driving whichever one is configured:
+//
+//	              submissions (query, bid)
+//	                        │
+//	                        ▼
+//	 ┌─────────────────────────────────────────────┐
+//	 │ cloud.Center: auction admission + billing   │◄──┐
+//	 └───────────────┬─────────────────────────────┘   │
+//	                 │ winners                         │ measured
+//	                 ▼                                 │ per-operator
+//	 ┌─────────────────────────────────────────────┐   │ loads
+//	 │ cloud.CompilePlan → shared engine.Plan      │   │ (NodeLoad)
+//	 └───────────────┬─────────────────────────────┘   │
+//	                 │                                 │
+//	                 ▼                                 │
+//	 ┌─────────────────────────────────────────────┐   │
+//	 │ engine.Executor                             │───┘
+//	 │  ├─ Engine    — synchronous reference,      │
+//	 │  │             transition phase, held caps  │
+//	 │  ├─ Runtime   — goroutine per operator,     │
+//	 │  │             batch ([]Tuple) channel edges│
+//	 │  └─ Sharded   — N×Runtime, hash-partitioned │
+//	 │                sources, merged results+stats│
+//	 └───────────────┬─────────────────────────────┘
+//	                 │ Stats() → sched.ValidateMeasured / qos.Evaluate
+//	                 ▼
+//	        per-query results, QoS report
+//
+// Batches are the unit of data movement end to end: sources push []Tuple,
+// the concurrent executors carry whole batches per channel send, and
+// stream.Pipeline mirrors the same batch path (RunBatches) for standalone
+// operator chains. The Sharded executor partitions source tuples by a key
+// (by default the first field) across GOMAXPROCS shard runtimes, each
+// running an independently compiled copy of the plan — results match the
+// synchronous engine up to ordering whenever operator state is keyed no
+// finer than the partition key.
+//
+// cmd/dsmsd closes the paper's economic loop: each period's auction winners
+// are compiled into one shared plan, executed over a day of market data,
+// and the *measured* per-operator costs (Executor.Stats) become the loads
+// the next period's auction prices — "load can be reasonably approximated
+// by the system", as a running feedback loop rather than an assumption.
+//
 // The root package holds the benchmark harness (bench_test.go) that
 // regenerates every table and figure in the paper's Section VI; the library
 // lives under internal/ (see DESIGN.md for the module map), the runnable

@@ -78,7 +78,7 @@ type Center struct {
 	capacity float64
 	ledger   *billing.Ledger
 
-	sources []sourceDecl
+	sources []SourceDecl
 	// instances persists operator state across periods: a shared operator
 	// admitted in consecutive periods keeps its windows.
 	unaryInstances  map[string]stream.Transform
@@ -90,9 +90,10 @@ type Center struct {
 	period  int
 }
 
-type sourceDecl struct {
-	name   string
-	schema *stream.Schema
+// SourceDecl declares one input stream: its name and tuple schema.
+type SourceDecl struct {
+	Name   string
+	Schema *stream.Schema
 }
 
 // New creates a center running the given mechanism with the given capacity.
@@ -109,8 +110,11 @@ func New(mech auction.Mechanism, capacity float64) *Center {
 
 // DeclareSource registers an input stream available to deployed queries.
 func (c *Center) DeclareSource(name string, schema *stream.Schema) {
-	c.sources = append(c.sources, sourceDecl{name, schema})
+	c.sources = append(c.sources, SourceDecl{name, schema})
 }
+
+// Sources returns the declared input streams.
+func (c *Center) Sources() []SourceDecl { return append([]SourceDecl(nil), c.sources...) }
 
 // Ledger returns the center's billing ledger.
 func (c *Center) Ledger() *billing.Ledger { return c.ledger }
@@ -235,24 +239,10 @@ func (c *Center) deploy(winners []Submission) error {
 	if len(deployable) == 0 {
 		return nil // auction-only mode, or no dataflow winners this period
 	}
-	plan := engine.NewPlan()
-	reg := &SharedOps{
-		plan:    plan,
-		ports:   make(map[string]engine.PortRef),
-		sources: make(map[string]bool),
-		center:  c,
-	}
-	for _, src := range c.sources {
-		plan.AddSource(src.name, src.schema)
-		reg.sources[src.name] = true
-	}
-	for _, w := range deployable {
-		reg.current = w.Name
-		if err := w.Deploy(reg); err != nil {
-			return fmt.Errorf("cloud: deploying %q: %w", w.Name, err)
-		}
-	}
-	if err := plan.Build(); err != nil {
+	// Persistent instance stores: a shared operator admitted in consecutive
+	// periods keeps its windows across the transition.
+	plan, err := compile(c.sources, deployable, c.unaryInstances, c.binaryInstances)
+	if err != nil {
 		return err
 	}
 	if c.eng == nil {
@@ -318,15 +308,66 @@ func (c *Center) Reestimate(s Submission) Submission {
 	return s
 }
 
+// CompilePlan assembles a standalone shared plan from the submissions'
+// Deploy functions with fresh operator instances. It is the executor
+// layer's plan factory: the admission daemon compiles each period's auction
+// winners into one shared plan per executor shard, with operator sharing
+// within the plan (same key → one physical node) but no state carried in
+// from previous periods. Submissions without a Deploy function are skipped.
+func CompilePlan(sources []SourceDecl, winners []Submission) (*engine.Plan, error) {
+	var deployable []Submission
+	for _, w := range winners {
+		if w.Deploy != nil {
+			deployable = append(deployable, w)
+		}
+	}
+	if len(deployable) == 0 {
+		return nil, fmt.Errorf("cloud: no deployable submissions")
+	}
+	return compile(sources, deployable,
+		make(map[string]stream.Transform), make(map[string]stream.BinaryTransform))
+}
+
+// compile builds a period plan from deployable submissions, drawing operator
+// instances from the given stores (persistent for the Center's transitioning
+// engine, fresh for standalone compilation).
+func compile(sources []SourceDecl, deployable []Submission,
+	unary map[string]stream.Transform, binary map[string]stream.BinaryTransform) (*engine.Plan, error) {
+	plan := engine.NewPlan()
+	reg := &SharedOps{
+		plan:    plan,
+		ports:   make(map[string]engine.PortRef),
+		sources: make(map[string]bool),
+		unary:   unary,
+		binary:  binary,
+	}
+	for _, src := range sources {
+		plan.AddSource(src.Name, src.Schema)
+		reg.sources[src.Name] = true
+	}
+	for _, w := range deployable {
+		reg.current = w.Name
+		if err := w.Deploy(reg); err != nil {
+			return nil, fmt.Errorf("cloud: deploying %q: %w", w.Name, err)
+		}
+	}
+	if err := plan.Build(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
 // SharedOps is the per-period deployment registry: it memoizes operator
 // instantiation by key so queries declaring the same operator key share one
-// physical node, and it persists operator instances across periods so
-// surviving operators keep their state through the transition phase.
+// physical node, and it draws instances from a store that may outlive the
+// period, so surviving operators keep their state through the Center's
+// transition phase.
 type SharedOps struct {
 	plan    *engine.Plan
 	ports   map[string]engine.PortRef
 	sources map[string]bool
-	center  *Center
+	unary   map[string]stream.Transform
+	binary  map[string]stream.BinaryTransform
 	current string
 }
 
@@ -345,10 +386,10 @@ func (r *SharedOps) Unary(key string, in engine.PortRef, build func() stream.Tra
 	if port, ok := r.ports[key]; ok {
 		return port
 	}
-	inst, ok := r.center.unaryInstances[key]
+	inst, ok := r.unary[key]
 	if !ok {
 		inst = build()
-		r.center.unaryInstances[key] = inst
+		r.unary[key] = inst
 	}
 	port := r.plan.AddUnary(inst, in)
 	r.ports[key] = port
@@ -360,10 +401,10 @@ func (r *SharedOps) Binary(key string, left, right engine.PortRef, build func() 
 	if port, ok := r.ports[key]; ok {
 		return port
 	}
-	inst, ok := r.center.binaryInstances[key]
+	inst, ok := r.binary[key]
 	if !ok {
 		inst = build()
-		r.center.binaryInstances[key] = inst
+		r.binary[key] = inst
 	}
 	port := r.plan.AddBinary(inst, left, right)
 	r.ports[key] = port

@@ -61,3 +61,85 @@ func BenchmarkConcurrentRuntime(b *testing.B) {
 	b.StopTimer()
 	rt.Close()
 }
+
+// benchBatch is the batch width the executor benchmarks push with: large
+// enough to amortize channel sends, small enough to keep memory flat.
+const benchBatch = 256
+
+// benchKeyedPlan is the partition-safe plan the executor comparison runs:
+// a filter feeding a per-key windowed sum over 64 keys, so the sharded
+// executor's results stay identical to the synchronous engine's.
+func benchKeyedPlan() *Plan {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	flt := p.AddUnary(stream.NewFilter("pos", 1, stream.FieldCmp(1, stream.Gt, 0)), FromSource("s"))
+	agg := p.AddUnary(stream.MustWindowAgg("sum64", 2, stream.WindowSpec{
+		Size: 64, Agg: stream.AggSum, Field: 1, GroupBy: 0,
+	}), flt)
+	p.AddSink("q", agg)
+	return p
+}
+
+// benchKeyedBatches pre-builds b.N tuples over 64 keys, batched.
+func benchKeyedBatches(n int) [][]stream.Tuple {
+	var out [][]stream.Tuple
+	for base := 0; base < n; base += benchBatch {
+		size := benchBatch
+		if base+size > n {
+			size = n - base
+		}
+		batch := make([]stream.Tuple, size)
+		for i := range batch {
+			j := base + i
+			batch[i] = tup(int64(j), fmt.Sprintf("k%02d", j%64), float64(j%7)+1)
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// driveExecutor pushes all batches through ex, draining results
+// periodically, and reports throughput in tuples/sec.
+func driveExecutor(b *testing.B, ex Executor, batches [][]stream.Tuple) {
+	b.Helper()
+	b.ResetTimer()
+	for i, batch := range batches {
+		if err := ex.PushBatch("s", batch); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 0 {
+			ex.Results("q")
+		}
+	}
+	ex.Stop()
+	ex.Results("q")
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkExecutor compares the three Executor backends on one workload:
+// the synchronous reference Engine, the single concurrent Runtime, and the
+// sharded executor at GOMAXPROCS shards. Compare the tuples/s metric.
+func BenchmarkExecutor(b *testing.B) {
+	b.Run("sync", func(b *testing.B) {
+		eng, err := New(benchKeyedPlan())
+		if err != nil {
+			b.Fatal(err)
+		}
+		driveExecutor(b, eng, benchKeyedBatches(b.N))
+	})
+	b.Run("runtime", func(b *testing.B) {
+		rt, err := StartConcurrent(benchKeyedPlan(), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		driveExecutor(b, rt, benchKeyedBatches(b.N))
+	})
+	b.Run("sharded", func(b *testing.B) {
+		sh, err := StartSharded(func() (*Plan, error) { return benchKeyedPlan(), nil }, ShardedConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		driveExecutor(b, sh, benchKeyedBatches(b.N))
+	})
+}

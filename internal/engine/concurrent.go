@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/stream"
 )
@@ -12,31 +13,52 @@ import (
 // continuous-query network. Each stateful transform is owned by exactly one
 // goroutine, so no locking is needed inside operators.
 //
+// Dataflow edges carry whole batches ([]stream.Tuple) per channel send, so
+// the per-send synchronization cost is amortized over the batch: a source
+// batch stays a batch through the routers, and each operator accumulates its
+// outputs for a batch into one downstream send.
+//
 // The synchronous Engine remains the reference implementation (deterministic
 // interleaving, transition phase); Runtime is the throughput-oriented
 // executor for a fixed plan. Results are identical up to tuple interleaving
 // across independent paths.
 type Runtime struct {
 	plan *Plan
-	// srcIn carries tuples from Push into the per-source router.
-	srcIn map[string]chan stream.Tuple
+	// srcIn carries tuple batches from PushBatch into the per-source router.
+	srcIn map[string]chan []stream.Tuple
 
 	mu      sync.Mutex
 	results map[string][]stream.Tuple
 	dropped int
 
-	wg     sync.WaitGroup
+	// stats holds per-node counters, written only by the owning operator
+	// goroutine and read via atomics so Stats is safe mid-run.
+	stats []runtimeCounters
+	ticks atomic.Int64
+
+	wg sync.WaitGroup
+	// stopMu serializes Stop's channel closes against in-flight PushBatch
+	// sends: pushers hold the read side across the send, so Stop cannot
+	// close a source channel under a blocked sender (send-on-closed panic).
+	stopMu sync.RWMutex
 	closed bool
 }
 
-// sided tags a tuple with the binary-operator input it belongs to.
-type sided struct {
-	t    stream.Tuple
+// runtimeCounters meters one node. Cost is derived at read time as
+// tuples × per-tuple cost (operator costs are constants).
+type runtimeCounters struct {
+	tuples atomic.Int64
+	out    atomic.Int64
+}
+
+// sidedBatch tags a tuple batch with the binary-operator input it belongs to.
+type sidedBatch struct {
+	ts   []stream.Tuple
 	side stream.Side
 }
 
 // StartConcurrent builds and starts the runtime over a built plan with the
-// given per-edge channel buffering.
+// given per-edge channel buffering (counted in batches, not tuples).
 func StartConcurrent(p *Plan, buf int) (*Runtime, error) {
 	if !p.built {
 		if err := p.Build(); err != nil {
@@ -48,16 +70,17 @@ func StartConcurrent(p *Plan, buf int) (*Runtime, error) {
 	}
 	r := &Runtime{
 		plan:    p,
-		srcIn:   make(map[string]chan stream.Tuple),
+		srcIn:   make(map[string]chan []stream.Tuple),
 		results: make(map[string][]stream.Tuple),
+		stats:   make([]runtimeCounters, len(p.nodes)),
 	}
 
 	// One tagged input channel per node; unary nodes use side Left only.
-	nodeIn := make([]chan sided, len(p.nodes))
+	nodeIn := make([]chan sidedBatch, len(p.nodes))
 	// producers counts the writers per node channel so the last one closes it.
 	producers := make([]*sync.WaitGroup, len(p.nodes))
 	for i := range nodeIn {
-		nodeIn[i] = make(chan sided, buf)
+		nodeIn[i] = make(chan sidedBatch, buf)
 		producers[i] = &sync.WaitGroup{}
 	}
 
@@ -80,15 +103,26 @@ func StartConcurrent(p *Plan, buf int) (*Runtime, error) {
 		addProducers(n.out)
 	}
 
-	// emit fans one tuple out across a node's output edges.
-	emit := func(out []edge, t stream.Tuple) {
-		for _, e := range out {
+	// emit fans one batch out across a node's output edges. Sibling
+	// consumers get their own deep copies; when the producer owns the batch
+	// (it won't touch it again), the final edge takes it as-is — on the
+	// common single-consumer path that makes emission copy-free.
+	emit := func(out []edge, ts []stream.Tuple, owned bool) {
+		if len(ts) == 0 {
+			return
+		}
+		last := len(out) - 1
+		for i, e := range out {
+			batch := ts
+			if !owned || i < last {
+				batch = cloneBatch(ts)
+			}
 			if e.node >= 0 {
-				nodeIn[e.node] <- sided{t.Clone(), e.side}
+				nodeIn[e.node] <- sidedBatch{batch, e.side}
 				continue
 			}
 			r.mu.Lock()
-			r.results[e.sink] = append(r.results[e.sink], t.Clone())
+			r.results[e.sink] = append(r.results[e.sink], batch...)
 			r.mu.Unlock()
 		}
 	}
@@ -100,22 +134,22 @@ func StartConcurrent(p *Plan, buf int) (*Runtime, error) {
 		for _, e := range out {
 			if e.node >= 0 && !seen[e.node] {
 				seen[e.node] = true
-				wg := producers[e.node]
-				wg.Done()
+				producers[e.node].Done()
 			}
 		}
 	}
 
 	// Source routers.
 	for name, s := range p.sources {
-		ch := make(chan stream.Tuple, buf)
+		ch := make(chan []stream.Tuple, buf)
 		r.srcIn[name] = ch
 		src := s
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
-			for t := range ch {
-				emit(src.out, t)
+			for ts := range ch {
+				// PushBatch allocates the batch per send; the router owns it.
+				emit(src.out, ts, true)
 			}
 			done(src.out)
 		}()
@@ -126,6 +160,7 @@ func StartConcurrent(p *Plan, buf int) (*Runtime, error) {
 		node := n
 		in := nodeIn[i]
 		prod := producers[i]
+		counters := &r.stats[i]
 		// Close the node's input once every producer has finished.
 		go func() {
 			prod.Wait()
@@ -135,17 +170,19 @@ func StartConcurrent(p *Plan, buf int) (*Runtime, error) {
 		go func() {
 			defer r.wg.Done()
 			for m := range in {
-				var outs []stream.Tuple
-				if node.unary != nil {
-					outs = node.unary.Apply(m.t)
-				} else if m.side == stream.Left {
-					outs = node.binary.ApplyLeft(m.t)
-				} else {
-					outs = node.binary.ApplyRight(m.t)
+				counters.tuples.Add(int64(len(m.ts)))
+				outs := make([]stream.Tuple, 0, len(m.ts))
+				for _, t := range m.ts {
+					if node.unary != nil {
+						outs = append(outs, node.unary.Apply(t)...)
+					} else if m.side == stream.Left {
+						outs = append(outs, node.binary.ApplyLeft(t)...)
+					} else {
+						outs = append(outs, node.binary.ApplyRight(t)...)
+					}
 				}
-				for _, o := range outs {
-					emit(node.out, o)
-				}
+				counters.out.Add(int64(len(outs)))
+				emit(node.out, outs, true)
 			}
 			var flushed []stream.Tuple
 			if node.unary != nil {
@@ -153,49 +190,131 @@ func StartConcurrent(p *Plan, buf int) (*Runtime, error) {
 			} else {
 				flushed = node.binary.Flush()
 			}
-			for _, o := range flushed {
-				emit(node.out, o)
-			}
+			counters.out.Add(int64(len(flushed)))
+			emit(node.out, flushed, true)
 			done(node.out)
 		}()
 	}
 	return r, nil
 }
 
-// Push sends a tuple into a source stream. It returns an error after Close
-// or for unknown sources.
+// cloneBatch deep-copies a batch so each consumer owns its tuples.
+func cloneBatch(ts []stream.Tuple) []stream.Tuple {
+	out := make([]stream.Tuple, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// Push sends a single tuple into a source stream. It returns an error after
+// Close or for unknown sources.
 func (r *Runtime) Push(source string, t stream.Tuple) error {
+	return r.PushBatch(source, []stream.Tuple{t})
+}
+
+// PushBatch sends a batch of tuples into a source stream as one channel
+// send. Tuples that fail the source schema are dropped (counted) and the
+// first failure is reported after the conforming remainder is sent.
+func (r *Runtime) PushBatch(source string, batch []stream.Tuple) error {
+	r.stopMu.RLock()
+	defer r.stopMu.RUnlock()
 	if r.closed {
-		return fmt.Errorf("engine: runtime closed")
+		return errStopped
 	}
 	ch, ok := r.srcIn[source]
 	if !ok {
 		r.mu.Lock()
-		r.dropped++
+		r.dropped += len(batch)
 		r.mu.Unlock()
 		return fmt.Errorf("engine: unknown source %q", source)
 	}
 	s := r.plan.sources[source]
-	if s.schema != nil && !s.schema.Conforms(t) {
-		r.mu.Lock()
-		r.dropped++
-		r.mu.Unlock()
-		return fmt.Errorf("engine: tuple does not conform to source %q schema %s", source, s.schema)
+	// Copy into a fresh slice: the batch crosses a channel and outlives this
+	// call, while the caller keeps ownership of (and may reuse) its slice.
+	send := make([]stream.Tuple, 0, len(batch))
+	var first error
+	for _, t := range batch {
+		if s.schema != nil && !s.schema.Conforms(t) {
+			if first == nil {
+				first = fmt.Errorf("engine: tuple does not conform to source %q schema %s", source, s.schema)
+			}
+			r.mu.Lock()
+			r.dropped++
+			r.mu.Unlock()
+			continue
+		}
+		send = append(send, t)
 	}
-	ch <- t
-	return nil
+	if len(send) > 0 {
+		ch <- send
+	}
+	return first
 }
 
-// Close stops input, drains every operator (flushing open state), waits for
-// all goroutines, and returns the per-query results.
-func (r *Runtime) Close() map[string][]stream.Tuple {
+// Advance moves the metering clock forward (see Stats).
+func (r *Runtime) Advance(ticks int64) { r.ticks.Add(ticks) }
+
+// Stats returns per-node measured loads. Counters are read atomically, so
+// Stats may be called mid-run; loads divide accumulated cost by the ticks
+// registered via Advance (raw cost when no ticks have elapsed).
+func (r *Runtime) Stats() []NodeLoad {
+	return statsFromCounters(r.plan, r.stats, r.ticks.Load())
+}
+
+// statsFromCounters converts a plan's runtime counters into NodeLoads.
+func statsFromCounters(p *Plan, counters []runtimeCounters, ticks int64) []NodeLoad {
+	infos := p.Nodes()
+	out := make([]NodeLoad, len(infos))
+	for i, info := range infos {
+		tuples := counters[i].tuples.Load()
+		load := float64(tuples) * info.Cost
+		if ticks > 0 {
+			load /= float64(ticks)
+		}
+		out[i] = NodeLoad{
+			ID:        info.ID,
+			Name:      info.Name,
+			Tuples:    tuples,
+			OutTuples: counters[i].out.Load(),
+			Load:      load,
+			Owners:    sortedOwners(info.Owners),
+		}
+	}
+	return out
+}
+
+// Results returns and clears the tuples accumulated for the named query.
+// Before Stop this drains whatever has reached the sink so far.
+func (r *Runtime) Results(query string) []stream.Tuple {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.results[query]
+	delete(r.results, query)
+	return out
+}
+
+// Stop implements Executor: it closes input, drains every operator (flushing
+// open state) and waits for all goroutines. Safe to call concurrently with
+// PushBatch (late pushers get errStopped) and idempotent; every caller
+// returns only once the drain is complete.
+func (r *Runtime) Stop() {
+	r.stopMu.Lock()
 	if !r.closed {
 		r.closed = true
 		for _, ch := range r.srcIn {
 			close(ch)
 		}
-		r.wg.Wait()
 	}
+	r.stopMu.Unlock()
+	r.wg.Wait()
+}
+
+// Close stops the runtime and returns a copy of the per-query results
+// accumulated so far (kept for callers that prefer the map form; Results
+// drains are unaffected).
+func (r *Runtime) Close() map[string][]stream.Tuple {
+	r.Stop()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string][]stream.Tuple, len(r.results))

@@ -15,9 +15,12 @@ type Engine struct {
 
 	// Connection-point state: while holding, pushed tuples are buffered
 	// per-source instead of processed, exactly like Aurora's upstream
-	// connection points during plan modification.
-	holding bool
-	held    []heldTuple
+	// connection points during plan modification. The buffer is bounded by
+	// heldCap so a stalled transition cannot grow memory without limit.
+	holding     bool
+	held        []heldTuple
+	heldCap     int
+	heldDropped int
 
 	// results accumulates per-query outputs for the current period.
 	results map[string][]stream.Tuple
@@ -31,6 +34,9 @@ type Engine struct {
 	ticks int64
 	// dropped counts tuples pushed to sources absent from the plan.
 	dropped int
+	// stopped is set by Stop; subsequent pushes are rejected, matching the
+	// concurrent executors' behavior under the Executor contract.
+	stopped bool
 }
 
 type heldTuple struct {
@@ -56,15 +62,36 @@ func New(p *Plan) (*Engine, error) {
 		results:   make(map[string][]stream.Tuple),
 		delivered: make(map[string]int64),
 		stats:     make([]nodeStats, len(p.nodes)),
+		heldCap:   DefaultHeldCap,
 	}, nil
 }
+
+// DefaultHeldCap bounds the transition-phase held-tuple buffer: enough for
+// any realistic hold window, small enough that a wedged transition fails
+// loudly instead of exhausting memory.
+const DefaultHeldCap = 1 << 16
+
+// SetHeldCap sets the maximum number of tuples buffered while holding;
+// n <= 0 removes the bound. Tuples pushed beyond the cap are dropped with
+// an error and counted by HeldDropped.
+func (e *Engine) SetHeldCap(n int) { e.heldCap = n }
+
+// HeldDropped returns the number of tuples dropped at full held buffers.
+func (e *Engine) HeldDropped() int { return e.heldDropped }
 
 // Push injects a tuple into the named source stream. While the engine is
 // holding (mid-transition), the tuple is buffered at the source's connection
 // point and replayed after the plan swap. Pushing to an unknown source
 // drops the tuple and returns an error.
 func (e *Engine) Push(sourceName string, t stream.Tuple) error {
+	if e.stopped {
+		return errStopped
+	}
 	if e.holding {
+		if e.heldCap > 0 && len(e.held) >= e.heldCap {
+			e.heldDropped++
+			return fmt.Errorf("engine: held-tuple buffer full (%d tuples) during transition; tuple dropped", e.heldCap)
+		}
 		e.held = append(e.held, heldTuple{sourceName, t})
 		return nil
 	}
@@ -232,17 +259,7 @@ func (e *Engine) Transition(newPlan *Plan) error {
 		if newPlan.hasTransform(n.unary, n.binary) {
 			continue
 		}
-		var outs []stream.Tuple
-		if n.unary != nil {
-			outs = n.unary.Flush()
-		} else {
-			outs = n.binary.Flush()
-		}
-		for _, o := range outs {
-			for _, next := range n.out {
-				e.route(next, o)
-			}
-		}
+		e.drainNode(n)
 	}
 
 	e.plan = newPlan
@@ -260,6 +277,24 @@ func (e *Engine) Transition(newPlan *Plan) error {
 		_ = e.Push(h.source, h.tuple)
 	}
 	return nil
+}
+
+// drainNode flushes one node's open state and routes the output through the
+// current plan, crediting the emissions to the node's out count so measured
+// selectivity agrees with the concurrent executors.
+func (e *Engine) drainNode(n *node) {
+	var outs []stream.Tuple
+	if n.unary != nil {
+		outs = n.unary.Flush()
+	} else {
+		outs = n.binary.Flush()
+	}
+	e.stats[n.id].out += int64(len(outs))
+	for _, o := range outs {
+		for _, next := range n.out {
+			e.route(next, o)
+		}
+	}
 }
 
 // Plan returns the currently-running plan.

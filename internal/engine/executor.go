@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// Executor is the uniform interface over the execution stack: the
+// synchronous reference Engine, the per-operator-goroutine Runtime, and the
+// hash-partitioned Sharded executor all drive a built Plan through it. The
+// admission daemon programs against this interface, so the executor an
+// installation runs is a deployment choice, not a code path.
+//
+// The unit of data movement is the batch ([]stream.Tuple): callers amortize
+// per-tuple overhead by pushing many tuples per call, and the concurrent
+// executors carry whole batches across their channel edges.
+type Executor interface {
+	// PushBatch injects a batch of tuples into the named source stream in
+	// order. Implementations keep processing the rest of a batch when one
+	// tuple is rejected; the returned error reports the first rejection.
+	// The batch slice stays owned by the caller and may be reused once
+	// PushBatch returns (implementations copy what they retain); the
+	// tuples' Vals must not be mutated afterwards.
+	PushBatch(source string, batch []stream.Tuple) error
+	// Advance moves the executor's metering clock forward; Stats loads are
+	// accumulated operator cost divided by elapsed ticks.
+	Advance(ticks int64)
+	// Results returns and clears the accumulated output tuples of the named
+	// query. Concurrent executors only guarantee completeness after Stop.
+	Results(query string) []stream.Tuple
+	// Stats returns the measured per-operator loads of the current metering
+	// period, sorted by node ID (merged across shards where applicable).
+	Stats() []NodeLoad
+	// Stop halts execution: input is drained, every operator's open state is
+	// flushed toward the sinks, and the final results become available via
+	// Results. Stop is idempotent.
+	Stop()
+}
+
+// Compile-time checks that every executor satisfies the interface.
+var (
+	_ Executor = (*Engine)(nil)
+	_ Executor = (*Runtime)(nil)
+	_ Executor = (*Sharded)(nil)
+)
+
+// PushBatch pushes each tuple of the batch in order. Rejected tuples
+// (unknown source, schema mismatch, held-buffer overflow) are counted and
+// skipped; the first error is returned after the whole batch is attempted.
+func (e *Engine) PushBatch(source string, batch []stream.Tuple) error {
+	var first error
+	for _, t := range batch {
+		if err := e.Push(source, t); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats implements Executor; it is Loads under the interface's name.
+func (e *Engine) Stats() []NodeLoad { return e.Loads() }
+
+// Stop flushes every operator's open state (in topological order, so flushed
+// tuples flow through downstream operators) into the sinks and rejects
+// further pushes, matching the concurrent executors. Idempotent. Metering
+// and Results stay readable; Transition is unaffected (it manages its own
+// lifecycle and never follows Stop in practice).
+func (e *Engine) Stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	for _, n := range e.plan.nodes {
+		e.drainNode(n)
+	}
+}
+
+// errStopped is returned by concurrent executors on pushes after Stop.
+var errStopped = errors.New("engine: executor stopped")
+
+// sortedOwners copies and sorts an owner list for stable NodeLoad output.
+func sortedOwners(owners []string) []string {
+	out := append([]string(nil), owners...)
+	sort.Strings(out)
+	return out
+}

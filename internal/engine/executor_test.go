@@ -1,0 +1,377 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// shardablePlan builds a partition-safe shared plan over the test schema:
+// a stateless filter feeding (a) a sink directly and (b) a per-key windowed
+// sum grouped on field 0 — every operator's state is keyed no finer than
+// the partition key, so sharding on field 0 preserves results.
+func shardablePlan() *Plan {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	flt := p.AddUnary(stream.NewFilter("pos", 1, stream.FieldCmp(1, stream.Gt, 0)), FromSource("s"))
+	p.AddSink("raw", flt)
+	agg := p.AddUnary(stream.MustWindowAgg("sum4", 2, stream.WindowSpec{
+		Size: 4, Agg: stream.AggSum, Field: 1, GroupBy: 0,
+	}), flt)
+	p.AddSink("sums", agg)
+	return p
+}
+
+// keyedTuples generates tuples cycling through k distinct string keys.
+func keyedTuples(n, k int) []stream.Tuple {
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		out[i] = tup(int64(i), fmt.Sprintf("k%d", i%k), float64(i%9)-1)
+	}
+	return out
+}
+
+// multiset renders tuples as sorted strings for order-insensitive compare.
+func multiset(ts []stream.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		parts := make([]string, len(t.Vals))
+		for j, v := range t.Vals {
+			parts[j] = fmt.Sprintf("%v", v)
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runExecutor pushes the tuples in batches, stops, and collects results for
+// the given queries.
+func runExecutor(t *testing.T, ex Executor, tuples []stream.Tuple, batch int, queries ...string) map[string][]stream.Tuple {
+	t.Helper()
+	for i := 0; i < len(tuples); i += batch {
+		end := i + batch
+		if end > len(tuples) {
+			end = len(tuples)
+		}
+		if err := ex.PushBatch("s", tuples[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex.Stop()
+	out := make(map[string][]stream.Tuple)
+	for _, q := range queries {
+		out[q] = ex.Results(q)
+	}
+	return out
+}
+
+// TestExecutorsAgree drives the same workload through all three executors
+// and requires identical per-query results up to ordering.
+func TestExecutorsAgree(t *testing.T) {
+	tuples := keyedTuples(1000, 7)
+
+	eng, err := New(shardablePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runExecutor(t, eng, tuples, 64, "raw", "sums")
+
+	rt, err := StartConcurrent(shardablePlan(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRT := runExecutor(t, rt, tuples, 64, "raw", "sums")
+
+	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
+		ShardedConfig{Shards: 4, Buf: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", sh.NumShards())
+	}
+	gotSH := runExecutor(t, sh, tuples, 64, "raw", "sums")
+
+	for _, q := range []string{"raw", "sums"} {
+		want := multiset(want[q])
+		for name, got := range map[string][]stream.Tuple{"runtime": gotRT[q], "sharded": gotSH[q]} {
+			gotM := multiset(got)
+			if len(gotM) != len(want) {
+				t.Fatalf("%s query %q: %d tuples, want %d", name, q, len(gotM), len(want))
+			}
+			for i := range want {
+				if gotM[i] != want[i] {
+					t.Fatalf("%s query %q: multiset mismatch at %d: %s vs %s", name, q, i, gotM[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExecutorStatsAgree verifies that merged sharded stats and runtime
+// stats meter exactly the same tuple counts and (tick-normalized) loads as
+// the synchronous reference.
+func TestExecutorStatsAgree(t *testing.T) {
+	tuples := keyedTuples(600, 5)
+	const ticks = 100
+
+	eng, _ := New(shardablePlan())
+	runExecutor(t, eng, tuples, 50, "raw", "sums")
+	eng.Advance(ticks)
+	want := eng.Stats()
+
+	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
+		ShardedConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runExecutor(t, sh, tuples, 50, "raw", "sums")
+	sh.Advance(ticks)
+	got := sh.Stats()
+
+	if len(got) != len(want) {
+		t.Fatalf("stats length %d, want %d", len(got), len(want))
+	}
+	for i, nl := range want {
+		g := got[i]
+		if g.ID != nl.ID || g.Name != nl.Name {
+			t.Fatalf("stats[%d] identity %d/%s, want %d/%s", i, g.ID, g.Name, nl.ID, nl.Name)
+		}
+		if g.Tuples != nl.Tuples {
+			t.Errorf("stats[%d] %s: tuples %d, want %d", i, g.Name, g.Tuples, nl.Tuples)
+		}
+		// Flush emissions count toward OutTuples on every backend, and a
+		// keyed plan opens the same window groups whichever shard holds
+		// them — so selectivity inputs agree exactly.
+		if g.OutTuples != nl.OutTuples {
+			t.Errorf("stats[%d] %s: out tuples %d, want %d", i, g.Name, g.OutTuples, nl.OutTuples)
+		}
+		if diff := g.Load - nl.Load; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("stats[%d] %s: load %g, want %g", i, g.Name, g.Load, nl.Load)
+		}
+	}
+}
+
+func TestRuntimePushBatchRejectsNonConforming(t *testing.T) {
+	rt, err := StartConcurrent(shardablePlan(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []stream.Tuple{
+		tup(1, "a", 5),
+		stream.NewTuple(2, int64(99), 1.0), // wrong kind in field 0
+		tup(3, "b", 7),
+	}
+	if err := rt.PushBatch("s", batch); err == nil {
+		t.Fatal("want schema error")
+	}
+	rt.Stop()
+	if got := len(rt.Results("raw")); got != 2 {
+		t.Fatalf("conforming remainder: %d tuples, want 2", got)
+	}
+	if rt.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", rt.Dropped())
+	}
+	if err := rt.PushBatch("s", batch[:1]); err == nil {
+		t.Fatal("want error pushing after Stop")
+	}
+}
+
+// TestPushBatchCallerReusesSlice: the Executor contract says the caller
+// keeps ownership of the batch slice — a pusher that refills the same
+// backing array between calls must not corrupt in-flight batches.
+func TestPushBatchCallerReusesSlice(t *testing.T) {
+	for name, start := range map[string]func() (Executor, error){
+		"runtime": func() (Executor, error) { return StartConcurrent(shardablePlan(), 4) },
+		"sharded": func() (Executor, error) {
+			return StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{Shards: 2})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ex, err := start()
+			if err != nil {
+				t.Fatal(err)
+			}
+			const rounds, width = 200, 16
+			buf := make([]stream.Tuple, 0, width)
+			pushed := 0
+			for r := 0; r < rounds; r++ {
+				buf = buf[:0]
+				for i := 0; i < width; i++ {
+					// Positive values only: every tuple passes the filter.
+					buf = append(buf, tup(int64(pushed), fmt.Sprintf("k%d", i%5), 1))
+					pushed++
+				}
+				if err := ex.PushBatch("s", buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ex.Stop()
+			if got := len(ex.Results("raw")); got != pushed {
+				t.Fatalf("raw results = %d, want %d (in-flight batch corrupted by slice reuse)", got, pushed)
+			}
+		})
+	}
+}
+
+func TestShardedUnknownSource(t *testing.T) {
+	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
+		ShardedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Stop()
+	if err := sh.PushBatch("nope", []stream.Tuple{tup(1, "a", 1)}); err == nil {
+		t.Fatal("want unknown-source error")
+	}
+	if sh.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", sh.Dropped())
+	}
+}
+
+// TestEngineStopFlushes: Stop drains open window state into the sinks, so
+// the executor interface delivers complete results on every backend.
+func TestEngineStopFlushes(t *testing.T) {
+	eng, err := New(shardablePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 tuples of one key: window size 4 stays open until flushed.
+	for i := 0; i < 3; i++ {
+		if err := eng.Push("s", tup(int64(i), "a", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(eng.Results("sums")); got != 0 {
+		t.Fatalf("open window emitted %d tuples before Stop", got)
+	}
+	eng.Stop()
+	if got := len(eng.Results("sums")); got != 1 {
+		t.Fatalf("flushed window results = %d, want 1", got)
+	}
+	if err := eng.Push("s", tup(9, "a", 1)); err == nil {
+		t.Fatal("want error pushing into a stopped engine")
+	}
+}
+
+// TestStopDuringPush: Stop called while a producer is mid-push must not
+// panic (send on closed channel); the producer sees errStopped instead.
+func TestStopDuringPush(t *testing.T) {
+	for name, start := range map[string]func() (Executor, error){
+		"runtime": func() (Executor, error) { return StartConcurrent(shardablePlan(), 1) },
+		"sharded": func() (Executor, error) {
+			return StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{Shards: 2, Buf: 1})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ex, err := start()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					if err := ex.PushBatch("s", []stream.Tuple{tup(int64(i), "a", 1)}); err != nil {
+						if err != errStopped {
+							t.Errorf("push error = %v, want errStopped", err)
+						}
+						return
+					}
+				}
+			}()
+			ex.Stop()
+			ex.Stop() // idempotent, still waits for the drain
+			wg.Wait()
+		})
+	}
+}
+
+func TestEngineHeldCap(t *testing.T) {
+	eng, err := New(shardablePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetHeldCap(2)
+	eng.Hold()
+	if err := eng.Push("s", tup(1, "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Push("s", tup(2, "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Push("s", tup(3, "a", 1)); err == nil {
+		t.Fatal("want overflow error at held cap")
+	}
+	if eng.HeldDropped() != 1 {
+		t.Fatalf("HeldDropped = %d, want 1", eng.HeldDropped())
+	}
+	// The two held tuples replay through the transition; the dropped third
+	// is gone.
+	if err := eng.Transition(shardablePlan()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(eng.Results("raw")); got != 2 {
+		t.Fatalf("replayed results = %d, want 2", got)
+	}
+}
+
+// TestShardedThroughputScales guards the sharded executor's reason to
+// exist: ≥ 2x the single Runtime's throughput with ≥ 4 cores available.
+func TestShardedThroughputScales(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need ≥ 4 cores for the scaling guarantee, have %d", runtime.GOMAXPROCS(0))
+	}
+	if testing.Short() {
+		t.Skip("throughput measurement is slow")
+	}
+	const n = 400_000
+	tuples := keyedTuples(n, 64)
+
+	measure := func(ex Executor) float64 {
+		start := time.Now()
+		for i := 0; i < len(tuples); i += 256 {
+			end := i + 256
+			if end > len(tuples) {
+				end = len(tuples)
+			}
+			if err := ex.PushBatch("s", tuples[i:end]); err != nil {
+				t.Fatal(err)
+			}
+			if i%65536 == 0 {
+				ex.Results("raw")
+				ex.Results("sums")
+			}
+		}
+		ex.Stop()
+		ex.Results("raw")
+		ex.Results("sums")
+		return float64(n) / time.Since(start).Seconds()
+	}
+
+	rt, err := StartConcurrent(shardablePlan(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := measure(rt)
+
+	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := measure(sh)
+
+	t.Logf("runtime %.0f tuples/s, sharded×%d %.0f tuples/s (%.2fx)",
+		single, sh.NumShards(), sharded, sharded/single)
+	if sharded < 2*single {
+		t.Errorf("sharded %.0f tuples/s < 2x runtime %.0f tuples/s", sharded, single)
+	}
+}

@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stream"
+)
+
+// PartitionFunc maps a source tuple to a partition key; tuples with equal
+// keys are guaranteed to execute on the same shard, in push order.
+type PartitionFunc func(source string, t stream.Tuple) uint64
+
+// ShardedConfig tunes StartSharded. The zero value is usable: GOMAXPROCS
+// shards, a 64-batch channel buffer per edge, and partitioning by the hash
+// of each tuple's first field.
+type ShardedConfig struct {
+	// Shards is the number of shard runtimes; <= 0 means GOMAXPROCS.
+	Shards int
+	// Buf is the per-edge channel buffer in batches; <= 0 means 64.
+	Buf int
+	// Partition routes tuples to shards; nil means PartitionByField(0).
+	Partition PartitionFunc
+}
+
+// Sharded executes N independent copies of a plan, hash-partitioning source
+// tuples across them and merging per-shard results and operator stats. It
+// scales a continuous-query network across cores the way a distributed DSMS
+// scales it across machines: each shard owns a full operator chain, so no
+// operator state is shared and no locks sit on the data path.
+//
+// Correctness contract: results equal the synchronous Engine's up to
+// ordering whenever every stateful operator's state is keyed no finer than
+// the partition key — e.g. filters (stateless), per-key windowed aggregates
+// and equi-joins partitioned on the group/join key. A global (ungrouped)
+// window over an unpartitioned stream is NOT shardable; run it on the
+// Runtime or Engine instead.
+type Sharded struct {
+	shards   []*Runtime
+	part     PartitionFunc
+	sources  map[string]bool
+	ticks    atomic.Int64
+	dropped  atomic.Int64
+	stopped  atomic.Bool
+	stopOnce sync.Once
+}
+
+// partitionSeed makes hash partitioning stable within a process.
+var partitionSeed = maphash.MakeSeed()
+
+// PartitionByField returns a PartitionFunc hashing the i-th field of each
+// tuple (falling back to the timestamp when the field is absent). Streams
+// that agree on the key field — e.g. a symbol column shared by a quote and
+// a news stream — co-locate joinable tuples on one shard.
+func PartitionByField(i int) PartitionFunc {
+	return func(_ string, t stream.Tuple) uint64 {
+		if i < 0 || i >= len(t.Vals) {
+			return uint64(t.Ts)
+		}
+		var h maphash.Hash
+		h.SetSeed(partitionSeed)
+		switch v := t.Vals[i].(type) {
+		case string:
+			h.WriteString(v)
+		case int64:
+			writeUint64(&h, uint64(v))
+		case float64:
+			writeUint64(&h, uint64(int64(v)))
+		case bool:
+			if v {
+				h.WriteByte(1)
+			} else {
+				h.WriteByte(0)
+			}
+		default:
+			return uint64(t.Ts)
+		}
+		return h.Sum64()
+	}
+}
+
+func writeUint64(h *maphash.Hash, v uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+// StartSharded compiles one plan per shard via factory and starts a Runtime
+// on each. The factory must return structurally identical plans with fresh
+// operator instances (stats are merged by node ID), which is exactly what a
+// deterministic plan builder produces.
+func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	buf := cfg.Buf
+	if buf <= 0 {
+		buf = 64
+	}
+	part := cfg.Partition
+	if part == nil {
+		part = PartitionByField(0)
+	}
+	s := &Sharded{part: part, sources: make(map[string]bool)}
+	var nodes int
+	for i := 0; i < n; i++ {
+		p, err := factory()
+		if err != nil {
+			s.Stop()
+			return nil, fmt.Errorf("engine: sharded plan factory: %w", err)
+		}
+		rt, err := StartConcurrent(p, buf)
+		if err != nil {
+			s.Stop()
+			return nil, err
+		}
+		if i == 0 {
+			nodes = len(p.nodes)
+			for name := range p.sources {
+				s.sources[name] = true
+			}
+		} else if len(p.nodes) != nodes {
+			rt.Stop()
+			s.Stop()
+			return nil, fmt.Errorf("engine: sharded plan factory is not deterministic: shard 0 has %d nodes, shard %d has %d", nodes, i, len(p.nodes))
+		}
+		s.shards = append(s.shards, rt)
+	}
+	return s, nil
+}
+
+// NumShards returns the number of shard runtimes.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// PushBatch partitions the batch across shards and forwards each sub-batch
+// with one channel send per shard touched. Tuple order is preserved within
+// a partition key, which is the strongest order a sharded executor can (and
+// the correctness contract needs to) keep.
+func (s *Sharded) PushBatch(source string, batch []stream.Tuple) error {
+	if s.stopped.Load() {
+		return errStopped
+	}
+	if !s.sources[source] {
+		s.dropped.Add(int64(len(batch)))
+		return fmt.Errorf("engine: unknown source %q", source)
+	}
+	n := uint64(len(s.shards))
+	sub := make([][]stream.Tuple, len(s.shards))
+	for _, t := range batch {
+		i := s.part(source, t) % n
+		sub[i] = append(sub[i], t)
+	}
+	var first error
+	for i, ts := range sub {
+		if len(ts) == 0 {
+			continue
+		}
+		if err := s.shards[i].PushBatch(source, ts); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Advance moves the merged metering clock forward (shard clocks stay at
+// zero so their raw costs sum cleanly).
+func (s *Sharded) Advance(ticks int64) { s.ticks.Add(ticks) }
+
+// Results concatenates the named query's outputs across shards in shard
+// order and clears them. Complete only after Stop, like Runtime.
+func (s *Sharded) Results(query string) []stream.Tuple {
+	var out []stream.Tuple
+	for _, sh := range s.shards {
+		out = append(out, sh.Results(query)...)
+	}
+	return out
+}
+
+// Stats merges per-shard operator stats by node ID: tuple counts and costs
+// add up, and the merged load divides by this executor's Advance ticks.
+func (s *Sharded) Stats() []NodeLoad {
+	if len(s.shards) == 0 {
+		return nil
+	}
+	merged := s.shards[0].Stats()
+	for _, sh := range s.shards[1:] {
+		for i, nl := range sh.Stats() {
+			merged[i].Tuples += nl.Tuples
+			merged[i].OutTuples += nl.OutTuples
+			merged[i].Load += nl.Load
+		}
+	}
+	if ticks := s.ticks.Load(); ticks > 0 {
+		for i := range merged {
+			merged[i].Load /= float64(ticks)
+		}
+	}
+	return merged
+}
+
+// Stop stops every shard concurrently and waits: each shard drains its
+// operators, flushing open state into its result buffers. Idempotent, safe
+// alongside PushBatch, and every caller returns only after the drain.
+func (s *Sharded) Stop() {
+	s.stopOnce.Do(func() {
+		s.stopped.Store(true)
+		var wg sync.WaitGroup
+		for _, sh := range s.shards {
+			wg.Add(1)
+			go func(rt *Runtime) {
+				defer wg.Done()
+				rt.Stop()
+			}(sh)
+		}
+		wg.Wait()
+	})
+}
+
+// Dropped returns the number of rejected tuples across shards.
+func (s *Sharded) Dropped() int {
+	n := int(s.dropped.Load())
+	for _, sh := range s.shards {
+		n += sh.Dropped()
+	}
+	return n
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/sched"
 )
 
@@ -95,6 +96,20 @@ type QueryQoS struct {
 	Latency float64
 	// Utility is the QoS graph evaluated at Latency.
 	Utility float64
+}
+
+// QueryOperators derives the query-to-operator-index mapping Evaluate needs
+// from an executor's measured stats: each NodeLoad's owners are the queries
+// containing that operator, and the indices match a simulator built with
+// sched.FromMeasured over the same loads.
+func QueryOperators(loads []engine.NodeLoad) map[string][]int {
+	out := make(map[string][]int)
+	for i, nl := range loads {
+		for _, owner := range nl.Owners {
+			out[owner] = append(out[owner], i)
+		}
+	}
+	return out
 }
 
 // Evaluate maps a sched report to per-query QoS: queries name their

@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// FromMeasured builds a simulator loaded with the executor's measured
+// per-operator loads instead of the auction pool's declared estimates —
+// the second half of the paper's "load can be reasonably approximated by
+// the system": once a period has run, the schedulability check can use
+// what the operators actually cost.
+func FromMeasured(capacity float64, loads []engine.NodeLoad) (*Simulator, error) {
+	sim, err := New(capacity)
+	if err != nil {
+		return nil, err
+	}
+	for _, nl := range loads {
+		if err := sim.Add(Operator{Name: nl.Name, Load: nl.Load}); err != nil {
+			return nil, err
+		}
+	}
+	return sim, nil
+}
+
+// ValidateMeasured runs the measured operator set for the given ticks and
+// confirms the load the executor actually metered is executable within
+// capacity. Unlike ValidateAdmission this can legitimately fail: measured
+// loads may exceed the declared estimates a correct mechanism admitted on.
+func ValidateMeasured(capacity float64, loads []engine.NodeLoad, ticks int, policy Policy) (*Report, error) {
+	sim, err := FromMeasured(capacity, loads)
+	if err != nil {
+		return nil, err
+	}
+	report, err := sim.Run(ticks, policy)
+	if err != nil {
+		return nil, err
+	}
+	if !report.Stable {
+		return report, fmt.Errorf("sched: measured load is not schedulable: backlog %.2f after %d ticks",
+			report.FinalBacklog, ticks)
+	}
+	return report, nil
+}

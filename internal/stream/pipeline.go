@@ -45,6 +45,77 @@ func (p *Pipeline) Run(src <-chan Tuple) <-chan Tuple {
 	return in
 }
 
+// RunBatches wires the pipeline over batch channels: every channel send
+// carries a whole []Tuple, amortizing the per-send synchronization cost
+// across the batch — the same batch-oriented dataflow the engine package's
+// concurrent executors use. Each stage applies the transform to every tuple
+// of an input batch and forwards the accumulated outputs as one batch;
+// empty result batches are not forwarded. Closing the source drains every
+// stage (Flush) in order: flushed tuples arrive as a final batch after all
+// applied output, then the output channel closes.
+func (p *Pipeline) RunBatches(src <-chan []Tuple) <-chan []Tuple {
+	in := src
+	for _, stage := range p.stages {
+		out := make(chan []Tuple, p.buf)
+		go func(t Transform, in <-chan []Tuple, out chan<- []Tuple) {
+			defer close(out)
+			for batch := range in {
+				var emitted []Tuple
+				for _, tup := range batch {
+					emitted = append(emitted, t.Apply(tup)...)
+				}
+				if len(emitted) > 0 {
+					out <- emitted
+				}
+			}
+			if flushed := t.Flush(); len(flushed) > 0 {
+				out <- flushed
+			}
+		}(stage, in, out)
+		in = out
+	}
+	return in
+}
+
+// Batch groups a tuple channel into batches of at most size tuples,
+// forwarding a partial batch when the source closes. It adapts per-tuple
+// producers to the batch path.
+func Batch(src <-chan Tuple, size int) <-chan []Tuple {
+	if size < 1 {
+		size = 1
+	}
+	out := make(chan []Tuple, 1)
+	go func() {
+		defer close(out)
+		batch := make([]Tuple, 0, size)
+		for t := range src {
+			batch = append(batch, t)
+			if len(batch) == size {
+				out <- batch
+				batch = make([]Tuple, 0, size)
+			}
+		}
+		if len(batch) > 0 {
+			out <- batch
+		}
+	}()
+	return out
+}
+
+// Unbatch flattens a batch channel back into a tuple channel.
+func Unbatch(src <-chan []Tuple) <-chan Tuple {
+	out := make(chan Tuple, 64)
+	go func() {
+		defer close(out)
+		for batch := range src {
+			for _, t := range batch {
+				out <- t
+			}
+		}
+	}()
+	return out
+}
+
 // Collect drains ch into a slice; convenience for tests and examples.
 func Collect(ch <-chan Tuple) []Tuple {
 	var out []Tuple

@@ -1,0 +1,173 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+// pipeSchemaTup builds the (sym, v) tuples the pipeline tests push.
+func pipeTup(ts int64, v float64) Tuple { return NewTuple(ts, "s", v) }
+
+// flushPipeline is a filter feeding a tumbling window sum: the window holds
+// state, so Flush ordering is observable at the output.
+func flushPipeline(buf int) *Pipeline {
+	return NewPipeline(buf,
+		NewFilter("pos", 1, FieldCmp(1, Gt, 0)),
+		MustWindowAgg("sum3", 1, WindowSpec{Size: 3, Agg: AggSum, Field: 1, GroupBy: -1}),
+	)
+}
+
+// TestPipelineFlushOrdering: closing the source flushes every stage in
+// order, so the partial window's sum arrives after all full-window sums and
+// the output channel closes.
+func TestPipelineFlushOrdering(t *testing.T) {
+	src := make(chan Tuple, 8)
+	out := flushPipeline(2).Run(src)
+	for i := 1; i <= 7; i++ { // 7 positive tuples: two full windows + 1 open
+		src <- pipeTup(int64(i), float64(i))
+	}
+	close(src)
+	got := Collect(out)
+	want := []float64{1 + 2 + 3, 4 + 5 + 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tuples, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Float(1) != w {
+			t.Errorf("out[%d] = %g, want %g (flush must come last, in order)", i, got[i].Float(1), w)
+		}
+	}
+}
+
+// TestRunBatchesMatchesRun: the batch path computes exactly what the
+// per-tuple path computes, including the trailing flush.
+func TestRunBatchesMatchesRun(t *testing.T) {
+	var tuples []Tuple
+	for i := 1; i <= 20; i++ {
+		tuples = append(tuples, pipeTup(int64(i), float64(i%5)-1))
+	}
+
+	want := Collect(flushPipeline(2).Run(SliceSource(tuples)))
+
+	src := make(chan []Tuple, 4)
+	out := flushPipeline(2).RunBatches(src)
+	done := make(chan []Tuple)
+	go func() { done <- Collect(Unbatch(out)) }()
+	for i := 0; i < len(tuples); i += 6 {
+		end := i + 6
+		if end > len(tuples) {
+			end = len(tuples)
+		}
+		src <- tuples[i:end]
+	}
+	close(src)
+	got := <-done
+
+	if len(got) != len(want) {
+		t.Fatalf("batch path emitted %d tuples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Float(1) != want[i].Float(1) {
+			t.Errorf("out[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunBatchesEmptyBatches: empty input batches flow through without
+// producing output batches or wedging any stage.
+func TestRunBatchesEmptyBatches(t *testing.T) {
+	src := make(chan []Tuple, 4)
+	out := flushPipeline(1).RunBatches(src)
+	src <- nil
+	src <- []Tuple{}
+	src <- []Tuple{pipeTup(1, 1), pipeTup(2, 2), pipeTup(3, 3)}
+	src <- []Tuple{}
+	close(src)
+	var batches [][]Tuple
+	for b := range out {
+		batches = append(batches, b)
+	}
+	if len(batches) != 1 {
+		t.Fatalf("got %d output batches, want 1 (empty batches must not propagate)", len(batches))
+	}
+	if got := batches[0][0].Float(1); got != 6 {
+		t.Fatalf("window sum = %g, want 6", got)
+	}
+}
+
+// TestRunBatchesBatchLargerThanBuffer: channel buffering counts batches,
+// not tuples, so one batch far wider than the buffer passes untruncated.
+func TestRunBatchesBatchLargerThanBuffer(t *testing.T) {
+	const n = 100 // buffer is 1 batch; this batch carries 100 tuples
+	big := make([]Tuple, n)
+	for i := range big {
+		big[i] = pipeTup(int64(i), 1)
+	}
+	src := make(chan []Tuple, 1)
+	out := flushPipeline(1).RunBatches(src)
+	src <- big
+	close(src)
+	total := 0
+	var sum float64
+	for b := range out {
+		for _, tu := range b {
+			total++
+			sum += tu.Float(1)
+		}
+	}
+	// 33 full windows of sum 3 plus a flushed partial of 1.
+	if total != 34 || sum != float64(n) {
+		t.Fatalf("got %d tuples summing %g, want 34 summing %d", total, sum, n)
+	}
+}
+
+// TestRunBatchesFlushAfterClose: a pipeline whose source closes with state
+// still open emits exactly one flush batch, then closes the output — and
+// does so promptly rather than hanging.
+func TestRunBatchesFlushAfterClose(t *testing.T) {
+	src := make(chan []Tuple, 1)
+	out := flushPipeline(1).RunBatches(src)
+	src <- []Tuple{pipeTup(1, 5)} // one tuple: window stays open
+	close(src)
+
+	type result struct {
+		batches [][]Tuple
+	}
+	done := make(chan result)
+	go func() {
+		var r result
+		for b := range out {
+			r.batches = append(r.batches, b)
+		}
+		done <- r
+	}()
+	select {
+	case r := <-done:
+		if len(r.batches) != 1 || len(r.batches[0]) != 1 {
+			t.Fatalf("flush produced %v, want exactly one single-tuple batch", r.batches)
+		}
+		if got := r.batches[0][0].Float(1); got != 5 {
+			t.Fatalf("flushed sum = %g, want 5", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline did not flush and close after source close")
+	}
+}
+
+// TestBatchUnbatchRoundtrip: the batch adapters preserve content and order,
+// including a trailing partial batch.
+func TestBatchUnbatchRoundtrip(t *testing.T) {
+	var tuples []Tuple
+	for i := 0; i < 11; i++ {
+		tuples = append(tuples, pipeTup(int64(i), float64(i)))
+	}
+	got := Collect(Unbatch(Batch(SliceSource(tuples), 4)))
+	if len(got) != len(tuples) {
+		t.Fatalf("roundtrip: %d tuples, want %d", len(got), len(tuples))
+	}
+	for i := range tuples {
+		if got[i].Ts != tuples[i].Ts {
+			t.Fatalf("roundtrip[%d].Ts = %d, want %d", i, got[i].Ts, tuples[i].Ts)
+		}
+	}
+}
