@@ -10,10 +10,19 @@
 // report shows admissions, revenue, utilization, per-query result counts,
 // and whether the measured load was schedulable and met QoS.
 //
+// When load shedding is enabled (-shed utility|random), the daemon also
+// closes the paper's overload loop: each period's measured loads feed a
+// shed planner that decides which queries lose tuples — ranked by QoS
+// utility slope, or uniformly at random as the control — and the next
+// period's executor drops exactly that plan at its source-ingress edges,
+// so overload degrades the cheapest utility first instead of stalling the
+// market feeds.
+//
 // Usage:
 //
 //	dsmsd [-days N] [-clients N] [-capacity F] [-mechanism CAT] [-seed N]
 //	      [-tuples N] [-executor sharded|runtime|sync] [-shards N] [-batch N]
+//	      [-shed off|utility|random] [-rate F]
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"repro/internal/market"
 	"repro/internal/qos"
 	"repro/internal/sched"
+	"repro/internal/shed"
 	"repro/internal/stream"
 )
 
@@ -43,6 +53,8 @@ func main() {
 		executor  = flag.String("executor", "sharded", "execution backend: sharded, runtime, or sync")
 		shards    = flag.Int("shards", 0, "shard count for the sharded executor (0 = GOMAXPROCS)")
 		batch     = flag.Int("batch", 64, "tuples per executor batch")
+		shedMode  = flag.String("shed", "off", "load shedding under overload: off, utility (QoS slope) or random")
+		rate      = flag.Float64("rate", 1, "input tuples per tick; the auction prices loads at rate 1, so >1 overloads the executed period")
 	)
 	flag.Parse()
 	mech, err := auction.ByName(*mechanism, *seed)
@@ -58,9 +70,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dsmsd: unknown executor %q (want sharded, runtime or sync)\n", *executor)
 		os.Exit(1)
 	}
+	switch *shedMode {
+	case "off", "utility", "random":
+	default:
+		fmt.Fprintf(os.Stderr, "dsmsd: unknown shed policy %q (want off, utility or random)\n", *shedMode)
+		os.Exit(1)
+	}
+	if *rate <= 0 {
+		fmt.Fprintln(os.Stderr, "dsmsd: -rate must be positive")
+		os.Exit(1)
+	}
 	cfg := daemonConfig{
 		days: *days, clients: *clients, capacity: *capacity, seed: *seed,
 		tuplesPerDay: *tuples, executor: *executor, shards: *shards, batch: *batch,
+		shed: *shedMode, rate: *rate,
 	}
 	if err := run(mech, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dsmsd:", err)
@@ -75,6 +98,20 @@ type daemonConfig struct {
 	tuplesPerDay  int
 	executor      string
 	shards, batch int
+	shed          string
+	rate          float64
+}
+
+// dayTicks is the metering-clock span of one executed day: pushing
+// tuplesPerDay tuples over fewer ticks than tuples models a feed arriving
+// faster than the unit rate the auction priced, which is what overloads the
+// executor and engages the shedder.
+func (c daemonConfig) dayTicks() int64 {
+	ticks := int64(float64(c.tuplesPerDay) / c.rate)
+	if ticks < 1 {
+		ticks = 1
+	}
+	return ticks
 }
 
 var symbols = []string{"AAA", "BBB", "CCC", "DDD", "EEE", "FFF"}
@@ -118,8 +155,19 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 	if nShards <= 0 {
 		nShards = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("dsmsd: %d clients, capacity %.0f, mechanism %s, executor %s\n\n",
-		cfg.clients, cfg.capacity, mech.Name(), describeExecutor(cfg.executor, nShards))
+	// shedder, when enabled, is the second feedback loop: measured loads in,
+	// per-query drop ratios out, installed in every day's executor. The one
+	// instance persists across days so a plan computed from day N shapes day
+	// N+1 — same cadence as the measured-load repricing below.
+	var shedder *shed.Shedder
+	switch cfg.shed {
+	case "utility":
+		shedder = shed.New(shed.UtilitySlope{})
+	case "random":
+		shedder = shed.New(shed.Random{})
+	}
+	fmt.Printf("dsmsd: %d clients, capacity %.0f, mechanism %s, executor %s, shedding %s\n\n",
+		cfg.clients, cfg.capacity, mech.Name(), describeExecutor(cfg.executor, nShards), cfg.shed)
 
 	// measured carries per-operator loads from one day's execution into the
 	// next day's auction: the closed monitoring-pricing loop.
@@ -165,21 +213,31 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 		for _, a := range report.Admitted {
 			winners = append(winners, full[a.Name])
 		}
-		exec, err := startExecutor(cfg, nShards, center.Sources(), winners)
+		// Replan shedding for the set about to run, before execution — a
+		// stale plan from yesterday's (different) admitted set must never
+		// shed a winner set that fits.
+		if shedder != nil {
+			planShedding(shedder, cfg, winners, measured)
+		}
+		exec, err := startExecutor(cfg, nShards, center.Sources(), winners, shedder)
 		if err != nil {
 			return err
 		}
 		if err := pumpDay(exec, feed, cfg.tuplesPerDay, cfg.batch); err != nil {
 			return err
 		}
-		exec.Advance(int64(cfg.tuplesPerDay))
+		exec.Advance(cfg.dayTicks())
 		exec.Stop()
 
-		// Feed the measured loads forward and judge the executed period.
+		// Feed the measured loads forward and judge the executed period. The
+		// auction prices demand, so it sees the OFFERED load — shed tuples'
+		// cost included. Pricing the post-shed residue would under-declare
+		// exactly the operators the shedder throttled and re-admit an
+		// over-capacity set next day.
 		loads := exec.Stats()
 		for _, nl := range loads {
-			if nl.Tuples > 0 {
-				measured[nl.Name] = nl.Load
+			if nl.Tuples+nl.ShedTuples > 0 {
+				measured[nl.Name] = nl.OfferedLoad
 			}
 		}
 		utility := evaluateQoS(cfg.capacity, loads)
@@ -187,8 +245,12 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 			fmt.Printf("  %-18s user %2d  bid $%6.2f  paid $%6.2f  results %d\n",
 				a.Name, a.User, a.Bid, a.Payment, len(exec.Results(a.Name)))
 		}
-		fmt.Printf("  measured: %d operators, total load %.2f/%.0f, mean QoS utility %.2f\n",
-			len(loads), totalLoad(loads), cfg.capacity, utility)
+		fmt.Printf("  measured: %d operators, total load %.2f/%.0f (offered %.2f), mean QoS utility %.2f\n",
+			len(loads), shed.ExecutedLoad(loads), cfg.capacity, shed.OfferedLoad(loads), utility)
+
+		if shedder != nil {
+			reportShedding(loads)
+		}
 	}
 	fmt.Printf("\ntotal revenue: $%.2f\n", center.Ledger().Revenue(-1))
 	fmt.Println("top accounts:")
@@ -205,29 +267,105 @@ func describeExecutor(kind string, shards int) string {
 	return kind
 }
 
-// startExecutor compiles the winners and starts the configured backend. The
-// market streams both carry the symbol in field 0, so the default
-// PartitionByField(0) keeps per-symbol windows and symbol joins correct
-// under sharding.
-func startExecutor(cfg daemonConfig, nShards int, sources []cloud.SourceDecl, winners []cloud.Submission) (engine.Executor, error) {
+// startExecutor compiles the winners and starts the configured backend with
+// the (possibly nil) shedder installed. The market streams both carry the
+// symbol in field 0, so the default PartitionByField(0) keeps per-symbol
+// windows and symbol joins correct under sharding.
+func startExecutor(cfg daemonConfig, nShards int, sources []cloud.SourceDecl, winners []cloud.Submission, shedder *shed.Shedder) (engine.Executor, error) {
 	factory := func() (*engine.Plan, error) { return cloud.CompilePlan(sources, winners) }
+	// A typed-nil *shed.Shedder must become a true nil interface, or the
+	// executors would take the shedding path and call methods on nil.
+	var hook engine.Shedder
+	if shedder != nil {
+		hook = shedder
+	}
 	switch cfg.executor {
 	case "sharded":
-		return engine.StartSharded(factory, engine.ShardedConfig{Shards: nShards, Buf: cfg.batch})
+		return engine.StartSharded(factory, engine.ShardedConfig{Shards: nShards, Buf: cfg.batch, Shedder: hook})
 	case "runtime":
 		plan, err := factory()
 		if err != nil {
 			return nil, err
 		}
-		return engine.StartConcurrent(plan, cfg.batch)
+		return engine.StartRuntime(plan, engine.RuntimeConfig{Buf: cfg.batch, Shedder: hook})
 	case "sync":
 		plan, err := factory()
 		if err != nil {
 			return nil, err
 		}
-		return engine.New(plan)
+		eng, err := engine.New(plan)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetShedder(hook)
+		return eng, nil
 	default:
 		return nil, fmt.Errorf("unknown executor %q (want sharded, runtime or sync)", cfg.executor)
+	}
+}
+
+// planShedding replans for the winner set about to execute. Expected
+// per-operator load is the auction's declared value — already
+// measurement-informed for operators that ran before (reprice) — scaled by
+// -rate for never-measured operators, whose declarations assume a
+// unit-rate feed. This is exactly the gap shedding covers that admission
+// cannot: the auction admits on declared loads, and the shedder absorbs
+// the surplus a faster-than-declared feed delivers before any measurement
+// exists. Once every operator is measured, repricing lets the auction
+// regulate and the plan stays empty. The planned ratios are printed so
+// utility-slope and random runs compare day by day.
+func planShedding(shedder *shed.Shedder, cfg daemonConfig, winners []cloud.Submission, measured map[string]float64) {
+	// Expected load per operator key; shared operators count once.
+	expected := make(map[string]float64)
+	for _, w := range winners {
+		for _, op := range w.Operators {
+			if _, ok := measured[op.Key]; ok {
+				expected[op.Key] = op.Load
+			} else {
+				expected[op.Key] = op.Load * cfg.rate
+			}
+		}
+	}
+	offered := 0.0
+	for _, load := range expected {
+		offered += load
+	}
+	queries := make([]shed.Query, 0, len(winners))
+	for _, w := range winners {
+		cost := 0.0
+		for _, op := range w.Operators {
+			cost += expected[op.Key]
+		}
+		queries = append(queries, shed.Query{
+			Name:  w.Name,
+			Graph: defaultQoS,
+			// Every query's ingress sees the full feed rate; its per-tuple
+			// cost is its expected load spread over that rate, keeping
+			// sheddable = Rate × CostPerTuple = the query's expected load.
+			Rate:         cfg.rate,
+			CostPerTuple: cost / cfg.rate,
+		})
+	}
+	drops := shedder.Update(cfg.capacity, offered, queries)
+	if len(drops) == 0 {
+		fmt.Printf("  shed plan: expected load %.2f fits capacity, no shedding today\n", offered)
+		return
+	}
+	for _, d := range drops {
+		fmt.Printf("  shed plan: %s\n", d)
+	}
+}
+
+// reportShedding logs what the finished day actually shed.
+func reportShedding(loads []engine.NodeLoad) {
+	var shedTuples int64
+	var shedUtil float64
+	for _, nl := range loads {
+		shedTuples += nl.ShedTuples
+		shedUtil += nl.ShedUtilityLost
+	}
+	if shedTuples > 0 {
+		fmt.Printf("  shed: %d tuples dropped, %.1f utility lost\n", shedTuples, shedUtil)
 	}
 }
 
@@ -304,14 +442,6 @@ func evaluateQoS(capacity float64, loads []engine.NodeLoad) float64 {
 		total += q.Utility
 	}
 	return total / float64(len(evaluated))
-}
-
-func totalLoad(loads []engine.NodeLoad) float64 {
-	total := 0.0
-	for _, nl := range loads {
-		total += nl.Load
-	}
-	return total
 }
 
 // buildSubmission instantiates a client's template into operators + deploy

@@ -11,31 +11,31 @@
 // (PushBatch / Advance / Results / Stats / Stop), with three interchangeable
 // backends and the admission daemon driving whichever one is configured:
 //
-//	              submissions (query, bid)
-//	                        │
-//	                        ▼
-//	 ┌─────────────────────────────────────────────┐
-//	 │ cloud.Center: auction admission + billing   │◄──┐
-//	 └───────────────┬─────────────────────────────┘   │
-//	                 │ winners                         │ measured
-//	                 ▼                                 │ per-operator
-//	 ┌─────────────────────────────────────────────┐   │ loads
-//	 │ cloud.CompilePlan → shared engine.Plan      │   │ (NodeLoad)
-//	 └───────────────┬─────────────────────────────┘   │
-//	                 │                                 │
-//	                 ▼                                 │
-//	 ┌─────────────────────────────────────────────┐   │
-//	 │ engine.Executor                             │───┘
-//	 │  ├─ Engine    — synchronous reference,      │
-//	 │  │             transition phase, held caps  │
-//	 │  ├─ Runtime   — goroutine per operator,     │
-//	 │  │             batch ([]Tuple) channel edges│
-//	 │  └─ Sharded   — N×Runtime, hash-partitioned │
-//	 │                sources, merged results+stats│
-//	 └───────────────┬─────────────────────────────┘
-//	                 │ Stats() → sched.ValidateMeasured / qos.Evaluate
-//	                 ▼
-//	        per-query results, QoS report
+//	             submissions (query, bid)
+//	                       │
+//	                       ▼
+//	┌─────────────────────────────────────────────┐
+//	│ cloud.Center: auction admission + billing   │◄──┐
+//	└───────────────┬─────────────────────────────┘   │
+//	                │ winners                         │ measured
+//	                ▼                                 │ per-operator
+//	┌─────────────────────────────────────────────┐   │ loads
+//	│ cloud.CompilePlan → shared engine.Plan      │   │ (NodeLoad)
+//	└───────────────┬─────────────────────────────┘   │
+//	                │                                 │
+//	                ▼                                 │
+//	┌─────────────────────────────────────────────┐   │
+//	│ engine.Executor          ┌───────────────┐  │───┘
+//	│  ├─ Engine    — sync ref │ engine.Shedder│  │
+//	│  ├─ Runtime   — goroutine│  (shed.Shedder│  │
+//	│  │   per op, batch edges │   installs    │  │
+//	│  └─ Sharded   — N×Runtime│   drop plan)  │  │
+//	│      merged results+stats└───────▲───────┘  │
+//	└───────────────┬─────────────────┬┴──────────┘
+//	                │ Stats()         │ shed.Update(measured loads)
+//	                ▼                 │
+//	  sched.ValidateMeasured ── qos.Evaluate ── internal/shed
+//	  per-query results, QoS report, shed ratios
 //
 // Batches are the unit of data movement end to end: sources push []Tuple,
 // the concurrent executors carry whole batches per channel send, and
@@ -46,11 +46,37 @@
 // synchronous engine up to ordering whenever operator state is keyed no
 // finer than the partition key.
 //
+// # Backpressure and load shedding
+//
+// Channel edges between operators are bounded (RuntimeConfig.Buf batches
+// per edge), so by default a slow operator exerts backpressure: its input
+// channel fills, upstream senders block, and eventually PushBatch itself
+// stalls the source — lossless, but an overloaded plan backs up every
+// shard. Installing an engine.Shedder flips that contract to Aurora-style
+// graceful degradation at the source-ingress edges: the planned fraction
+// of each query's tuples is dropped before the first operator runs, and
+// ingress channel sends become non-blocking, shedding the overflow instead
+// of stalling the feed. Interior edges keep blocking sends so operator
+// state stays consistent; pressure propagates to the ingress, where the
+// shedder absorbs it. Drops are metered per node (NodeLoad.ShedTuples,
+// NodeLoad.ShedUtilityLost) across all three executors, merged across
+// shards like every other counter.
+//
+// The internal/shed package decides what to drop: given measured loads and
+// capacity, it ranks admitted queries by QoS utility slope (utility lost
+// per unit of reclaimed capacity, from each query's qos.Graph) and drains
+// the cheapest queries first — or uniformly at random as the control
+// baseline. The plan is versioned; executors re-resolve cached ratios when
+// the generation moves.
+//
 // cmd/dsmsd closes the paper's economic loop: each period's auction winners
 // are compiled into one shared plan, executed over a day of market data,
 // and the *measured* per-operator costs (Executor.Stats) become the loads
 // the next period's auction prices — "load can be reasonably approximated
 // by the system", as a running feedback loop rather than an assumption.
+// With -shed utility|random the same measurements also drive the shedding
+// loop above, and -rate overloads the executed period relative to the
+// rate the auction priced.
 //
 // The root package holds the benchmark harness (bench_test.go) that
 // regenerates every table and figure in the paper's Section VI; the library

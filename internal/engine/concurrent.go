@@ -45,10 +45,15 @@ type Runtime struct {
 }
 
 // runtimeCounters meters one node. Cost is derived at read time as
-// tuples × per-tuple cost (operator costs are constants).
+// tuples × per-tuple cost (operator costs are constants). shed counts
+// tuples dropped at the node's ingress — planned ratio drops and
+// channel-overflow drops alike — and shedUtil the QoS utility those drops
+// cost, per the shed plan's estimate.
 type runtimeCounters struct {
-	tuples atomic.Int64
-	out    atomic.Int64
+	tuples   atomic.Int64
+	out      atomic.Int64
+	shed     atomic.Int64
+	shedUtil atomicFloat64
 }
 
 // sidedBatch tags a tuple batch with the binary-operator input it belongs to.
@@ -57,16 +62,50 @@ type sidedBatch struct {
 	side stream.Side
 }
 
+// DefaultRuntimeBuf is the per-edge channel buffer (in batches) used when a
+// RuntimeConfig leaves Buf unset, matching ShardedConfig's default.
+const DefaultRuntimeBuf = 64
+
+// RuntimeConfig tunes StartRuntime. The zero value is usable: a
+// DefaultRuntimeBuf-batch buffer per edge and no load shedding.
+type RuntimeConfig struct {
+	// Buf is the per-edge channel buffer in batches (not tuples); <= 0 means
+	// DefaultRuntimeBuf. It is the runtime's backpressure knob: deeper
+	// buffers absorb longer bursts before producers block (or, with a
+	// Shedder installed, before ingress overflow shedding begins).
+	Buf int
+	// Shedder, when non-nil, turns on load shedding at the source-ingress
+	// edges: the planned ratio of tuples is dropped before the first
+	// operator, and ingress channel sends become non-blocking — a full
+	// ingress channel drops the batch (counted per node as shed overflow)
+	// instead of stalling the source. Interior edges keep blocking sends, so
+	// a slow interior operator backs pressure up to the ingress where the
+	// shedder absorbs it; sources never stall.
+	Shedder Shedder
+}
+
 // StartConcurrent builds and starts the runtime over a built plan with the
-// given per-edge channel buffering (counted in batches, not tuples).
+// given per-edge channel buffering (counted in batches, not tuples). It is
+// StartRuntime with only the buffer configured, kept for the common case;
+// note it preserves the historical floor of 1 rather than applying
+// DefaultRuntimeBuf.
 func StartConcurrent(p *Plan, buf int) (*Runtime, error) {
+	if buf < 1 {
+		buf = 1
+	}
+	return StartRuntime(p, RuntimeConfig{Buf: buf})
+}
+
+// StartRuntime builds and starts the runtime over a built plan.
+func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 	if !p.built {
 		if err := p.Build(); err != nil {
 			return nil, err
 		}
 	}
+	buf := cfg.Buf
 	if buf < 1 {
-		buf = 1
+		buf = DefaultRuntimeBuf
 	}
 	r := &Runtime{
 		plan:    p,
@@ -139,6 +178,68 @@ func StartConcurrent(p *Plan, buf int) (*Runtime, error) {
 		}
 	}
 
+	// emitIngress is the shed-aware source-edge fanout used when a Shedder
+	// is installed: per ingress edge it applies the planned drop ratio, then
+	// sends without blocking — a full node channel sheds the whole remainder
+	// as overflow, charged to that node. Sink edges (a source wired straight
+	// to a query) never shed. Unlike emit, every edge gets its own clone;
+	// shedding filters per edge, so batches cannot be shared.
+	var owners [][]string
+	if cfg.Shedder != nil {
+		owners = nodeOwners(p)
+	}
+	emitIngress := func(out []edge, states []shedState, ts []stream.Tuple) {
+		last := len(out) - 1
+		for i, e := range out {
+			if e.node < 0 {
+				batch := ts
+				if i < last {
+					batch = cloneBatch(ts)
+				}
+				r.mu.Lock()
+				r.results[e.sink] = append(r.results[e.sink], batch...)
+				r.mu.Unlock()
+				continue
+			}
+			st := &states[i]
+			st.refresh(cfg.Shedder, owners[e.node])
+			counters := &r.stats[e.node]
+			kept := ts
+			if st.ratio > 0 {
+				// Filtering builds a fresh slice; tuples deep-copy only when
+				// a sibling edge will also read ts (emit's ownership rule).
+				deep := i < last
+				kept = make([]stream.Tuple, 0, len(ts))
+				dropped := 0
+				for _, t := range ts {
+					if st.drop() {
+						dropped++
+						continue
+					}
+					if deep {
+						t = t.Clone()
+					}
+					kept = append(kept, t)
+				}
+				counters.shed.Add(int64(dropped))
+				counters.shedUtil.Add(float64(dropped) * st.util)
+			} else if i < last {
+				// Zero ratio: same ownership rule as emit — only the final
+				// edge may take the router-owned batch copy-free.
+				kept = cloneBatch(ts)
+			}
+			if len(kept) == 0 {
+				continue
+			}
+			select {
+			case nodeIn[e.node] <- sidedBatch{kept, e.side}:
+			default:
+				counters.shed.Add(int64(len(kept)))
+				counters.shedUtil.Add(float64(len(kept)) * st.util)
+			}
+		}
+	}
+
 	// Source routers.
 	for name, s := range p.sources {
 		ch := make(chan []stream.Tuple, buf)
@@ -147,9 +248,17 @@ func StartConcurrent(p *Plan, buf int) (*Runtime, error) {
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
-			for ts := range ch {
-				// PushBatch allocates the batch per send; the router owns it.
-				emit(src.out, ts, true)
+			if cfg.Shedder != nil {
+				// Per-edge sampler state is owned by this router goroutine.
+				states := make([]shedState, len(src.out))
+				for ts := range ch {
+					emitIngress(src.out, states, ts)
+				}
+			} else {
+				for ts := range ch {
+					// PushBatch allocates the batch per send; the router owns it.
+					emit(src.out, ts, true)
+				}
 			}
 			done(src.out)
 		}()
@@ -265,20 +374,33 @@ func (r *Runtime) Stats() []NodeLoad {
 // statsFromCounters converts a plan's runtime counters into NodeLoads.
 func statsFromCounters(p *Plan, counters []runtimeCounters, ticks int64) []NodeLoad {
 	infos := p.Nodes()
+	tuples := make([]int64, len(infos))
+	outs := make([]int64, len(infos))
+	sheds := make([]int64, len(infos))
+	for i := range counters {
+		tuples[i] = counters[i].tuples.Load()
+		outs[i] = counters[i].out.Load()
+		sheds[i] = counters[i].shed.Load()
+	}
+	demand := demandIn(p, tuples, outs, sheds)
 	out := make([]NodeLoad, len(infos))
 	for i, info := range infos {
-		tuples := counters[i].tuples.Load()
-		load := float64(tuples) * info.Cost
+		load := float64(tuples[i]) * info.Cost
+		offered := demand[i] * info.Cost
 		if ticks > 0 {
 			load /= float64(ticks)
+			offered /= float64(ticks)
 		}
 		out[i] = NodeLoad{
-			ID:        info.ID,
-			Name:      info.Name,
-			Tuples:    tuples,
-			OutTuples: counters[i].out.Load(),
-			Load:      load,
-			Owners:    sortedOwners(info.Owners),
+			ID:              info.ID,
+			Name:            info.Name,
+			Tuples:          tuples[i],
+			OutTuples:       outs[i],
+			Load:            load,
+			OfferedLoad:     offered,
+			ShedTuples:      sheds[i],
+			ShedUtilityLost: counters[i].shedUtil.Load(),
+			Owners:          sortedOwners(info.Owners),
 		}
 	}
 	return out

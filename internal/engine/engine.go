@@ -30,6 +30,13 @@ type Engine struct {
 
 	// stats accumulates per-node processed-tuple counts and cost.
 	stats []nodeStats
+	// shedder, when set, is consulted at the source-ingress edges: the
+	// planned fraction of tuples is dropped (and accounted per node) before
+	// the first operator runs. The synchronous engine has no channels to
+	// overflow, so only planned ratio shedding applies here.
+	shedder    Shedder
+	shedStates []shedState
+	shedOwners [][]string
 	// ticks is the simulated time elapsed in the current metering period.
 	ticks int64
 	// dropped counts tuples pushed to sources absent from the plan.
@@ -45,9 +52,11 @@ type heldTuple struct {
 }
 
 type nodeStats struct {
-	tuples int64
-	out    int64
-	cost   float64
+	tuples   int64
+	out      int64
+	cost     float64
+	shed     int64
+	shedUtil float64
 }
 
 // New returns an engine running the given built plan.
@@ -79,6 +88,24 @@ func (e *Engine) SetHeldCap(n int) { e.heldCap = n }
 // HeldDropped returns the number of tuples dropped at full held buffers.
 func (e *Engine) HeldDropped() int { return e.heldDropped }
 
+// SetShedder installs (or, with nil, removes) a load shedder. Shedding
+// applies at the source-ingress edges from the next Push on; drops are
+// accounted in Loads as ShedTuples / ShedUtilityLost.
+func (e *Engine) SetShedder(s Shedder) {
+	e.shedder = s
+	e.resetShedStates()
+}
+
+// resetShedStates sizes the per-node sampler state to the current plan.
+func (e *Engine) resetShedStates() {
+	if e.shedder == nil {
+		e.shedStates, e.shedOwners = nil, nil
+		return
+	}
+	e.shedStates = make([]shedState, len(e.plan.nodes))
+	e.shedOwners = nodeOwners(e.plan)
+}
+
 // Push injects a tuple into the named source stream. While the engine is
 // holding (mid-transition), the tuple is buffered at the source's connection
 // point and replayed after the plan swap. Pushing to an unknown source
@@ -105,6 +132,15 @@ func (e *Engine) Push(sourceName string, t stream.Tuple) error {
 		return fmt.Errorf("engine: tuple does not conform to source %q schema %s", sourceName, s.schema)
 	}
 	for _, eg := range s.out {
+		if eg.node >= 0 && e.shedder != nil {
+			st := &e.shedStates[eg.node]
+			st.refresh(e.shedder, e.shedOwners[eg.node])
+			if st.drop() {
+				e.stats[eg.node].shed++
+				e.stats[eg.node].shedUtil += st.util
+				continue
+			}
+		}
 		e.route(eg, t)
 	}
 	return nil
@@ -169,9 +205,28 @@ type NodeLoad struct {
 	OutTuples int64
 	// Load is accumulated cost divided by elapsed ticks: the fraction of
 	// one capacity unit the operator consumed per tick, the c_j of the
-	// paper's model.
-	Load   float64
-	Owners []string
+	// paper's model. Under shedding this is the work actually executed —
+	// what a schedulability check should see.
+	Load float64
+	// OfferedLoad estimates what Load would have been with no shedding:
+	// the cost of processed + shed tuples per tick, plus the cost of input
+	// the operator lost to upstream drops (reconstructed through the plan
+	// at each node's measured selectivity — exact for ingress nodes, an
+	// estimate downstream, and a lower bound below a fully-shed node). It
+	// equals Load when nothing was shed, and it is what a shed planner
+	// (and a load-pricing auction) must consume — feeding post-shed Load
+	// back would make a successful shed look like the demand disappeared.
+	OfferedLoad float64
+	// ShedTuples counts tuples dropped at this operator's ingress by the
+	// installed Shedder — planned ratio drops plus (on the concurrent
+	// executors) channel-overflow drops. Unlike Load it is a period total,
+	// not divided by ticks.
+	ShedTuples int64
+	// ShedUtilityLost is the QoS utility those drops cost, per the shed
+	// plan's per-tuple estimate; summed over a Stats slice it is the
+	// utility the period sacrificed to stay schedulable.
+	ShedUtilityLost float64
+	Owners          []string
 }
 
 // Selectivity returns OutTuples/Tuples (1 before any input).
@@ -186,21 +241,37 @@ func (nl NodeLoad) Selectivity() float64 {
 // With zero elapsed ticks loads are reported as raw accumulated cost.
 func (e *Engine) Loads() []NodeLoad {
 	infos := e.plan.Nodes()
+	tuples := make([]int64, len(infos))
+	outs := make([]int64, len(infos))
+	sheds := make([]int64, len(infos))
+	for i := range e.stats {
+		tuples[i] = e.stats[i].tuples
+		outs[i] = e.stats[i].out
+		sheds[i] = e.stats[i].shed
+	}
+	demand := demandIn(e.plan, tuples, outs, sheds)
 	out := make([]NodeLoad, len(infos))
 	for i, info := range infos {
 		load := e.stats[i].cost
+		// Reconstructing the demand the feed actually offered: shed and
+		// upstream-lost tuples would have cost the node's per-tuple price.
+		offered := demand[i] * info.Cost
 		if e.ticks > 0 {
 			load /= float64(e.ticks)
+			offered /= float64(e.ticks)
 		}
 		owners := append([]string(nil), info.Owners...)
 		sort.Strings(owners)
 		out[i] = NodeLoad{
-			ID:        info.ID,
-			Name:      info.Name,
-			Tuples:    e.stats[i].tuples,
-			OutTuples: e.stats[i].out,
-			Load:      load,
-			Owners:    owners,
+			ID:              info.ID,
+			Name:            info.Name,
+			Tuples:          e.stats[i].tuples,
+			OutTuples:       e.stats[i].out,
+			Load:            load,
+			OfferedLoad:     offered,
+			ShedTuples:      e.stats[i].shed,
+			ShedUtilityLost: e.stats[i].shedUtil,
+			Owners:          owners,
 		}
 	}
 	return out
@@ -266,6 +337,8 @@ func (e *Engine) Transition(newPlan *Plan) error {
 	e.stats = make([]nodeStats, len(newPlan.nodes))
 	e.delivered = make(map[string]int64)
 	e.ticks = 0
+	// Node IDs changed with the plan; restart the shed samplers against it.
+	e.resetShedStates()
 
 	// Replay held tuples in arrival order before resuming live input.
 	held := e.held

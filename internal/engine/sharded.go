@@ -24,6 +24,11 @@ type ShardedConfig struct {
 	Buf int
 	// Partition routes tuples to shards; nil means PartitionByField(0).
 	Partition PartitionFunc
+	// Shedder, when non-nil, is installed in every shard runtime: each shard
+	// sheds independently at its own ingress edges (per-shard sampler state
+	// and overflow accounting against the shared plan), and Stats merges the
+	// per-shard drop counts by node ID like every other counter.
+	Shedder Shedder
 }
 
 // Sharded executes N independent copies of a plan, hash-partitioning source
@@ -115,7 +120,7 @@ func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, e
 			s.Stop()
 			return nil, fmt.Errorf("engine: sharded plan factory: %w", err)
 		}
-		rt, err := StartConcurrent(p, buf)
+		rt, err := StartRuntime(p, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder})
 		if err != nil {
 			s.Stop()
 			return nil, err
@@ -194,11 +199,15 @@ func (s *Sharded) Stats() []NodeLoad {
 			merged[i].Tuples += nl.Tuples
 			merged[i].OutTuples += nl.OutTuples
 			merged[i].Load += nl.Load
+			merged[i].OfferedLoad += nl.OfferedLoad
+			merged[i].ShedTuples += nl.ShedTuples
+			merged[i].ShedUtilityLost += nl.ShedUtilityLost
 		}
 	}
 	if ticks := s.ticks.Load(); ticks > 0 {
 		for i := range merged {
 			merged[i].Load /= float64(ticks)
+			merged[i].OfferedLoad /= float64(ticks)
 		}
 	}
 	return merged

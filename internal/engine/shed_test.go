@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// stubShedder is a fixed-policy engine.Shedder for exercising the executor
+// wiring without the shed package (which sits above engine).
+type stubShedder struct {
+	ratio float64
+	util  float64
+	gen   uint64
+}
+
+func (s *stubShedder) Generation() uint64                     { return s.gen }
+func (s *stubShedder) NodePolicy([]string) (float64, float64) { return s.ratio, s.util }
+
+// shedTotals sums drop accounting over a Stats slice.
+func shedTotals(loads []NodeLoad) (tuples int64, util float64) {
+	for _, nl := range loads {
+		tuples += nl.ShedTuples
+		util += nl.ShedUtilityLost
+	}
+	return tuples, util
+}
+
+// TestEngineShedsAtIngress verifies the synchronous engine's planned-ratio
+// shedding: a 50% ratio drops exactly every other tuple at each ingress
+// edge, charges the stubbed utility, and never touches interior nodes.
+func TestEngineShedsAtIngress(t *testing.T) {
+	eng, err := New(shardablePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetShedder(&stubShedder{ratio: 0.5, util: 0.25, gen: 1})
+	tuples := keyedTuples(100, 5)
+	if err := eng.PushBatch("s", tuples); err != nil {
+		t.Fatal(err)
+	}
+	eng.Stop()
+	loads := eng.Stats()
+	// Node 0 ("pos") is the only ingress node; the aggregate is interior.
+	if loads[0].ShedTuples != 50 {
+		t.Fatalf("ingress ShedTuples = %d, want 50", loads[0].ShedTuples)
+	}
+	if loads[0].Tuples != 50 {
+		t.Fatalf("ingress Tuples = %d, want 50", loads[0].Tuples)
+	}
+	if got := loads[0].ShedUtilityLost; got != 50*0.25 {
+		t.Fatalf("ShedUtilityLost = %g, want %g", got, 50*0.25)
+	}
+	for _, nl := range loads[1:] {
+		if nl.ShedTuples != 0 {
+			t.Fatalf("interior node %q shed %d tuples", nl.Name, nl.ShedTuples)
+		}
+	}
+}
+
+// TestEngineShedderRemoval verifies SetShedder(nil) restores full delivery.
+func TestEngineShedderRemoval(t *testing.T) {
+	eng, err := New(shardablePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetShedder(&stubShedder{ratio: 1, gen: 1})
+	if err := eng.PushBatch("s", keyedTuples(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	eng.SetShedder(nil)
+	if err := eng.PushBatch("s", keyedTuples(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	loads := eng.Stats()
+	if loads[0].ShedTuples != 10 || loads[0].Tuples != 10 {
+		t.Fatalf("got shed %d processed %d, want 10 and 10",
+			loads[0].ShedTuples, loads[0].Tuples)
+	}
+}
+
+// TestRuntimeShedsPlannedRatio drives the concurrent runtime with a fixed
+// 50% plan and checks the conservation identity processed + shed = pushed at
+// the ingress node, with drops spread evenly (not bursty). The buffer holds
+// every batch of the run so no overflow shedding can add to the planned
+// drops and the counts stay deterministic.
+func TestRuntimeShedsPlannedRatio(t *testing.T) {
+	rt, err := StartRuntime(shardablePlan(), RuntimeConfig{Buf: 64, Shedder: &stubShedder{ratio: 0.5, util: 1, gen: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	runExecutor(t, rt, keyedTuples(n, 7), 64, "raw", "sums")
+	loads := rt.Stats()
+	if got := loads[0].Tuples + loads[0].ShedTuples; got != n {
+		t.Fatalf("processed+shed = %d, want %d", got, n)
+	}
+	if loads[0].ShedTuples != n/2 {
+		t.Fatalf("ShedTuples = %d, want %d", loads[0].ShedTuples, n/2)
+	}
+	if loads[0].ShedUtilityLost != float64(n/2) {
+		t.Fatalf("ShedUtilityLost = %g, want %g", loads[0].ShedUtilityLost, float64(n/2))
+	}
+}
+
+// TestShardedMergedShedStats is the merged-drop-stats contract: per-shard
+// shedders account their drops independently and Stats sums them by node
+// ID, preserving processed + shed = pushed across the whole executor. As
+// above, buffers are sized to rule out overflow drops.
+func TestShardedMergedShedStats(t *testing.T) {
+	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
+		ShardedConfig{Shards: 4, Buf: 64, Shedder: &stubShedder{ratio: 0.5, util: 0.5, gen: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1200
+	runExecutor(t, sh, keyedTuples(n, 7), 64, "raw", "sums")
+	loads := sh.Stats()
+	if got := loads[0].Tuples + loads[0].ShedTuples; got != n {
+		t.Fatalf("merged processed+shed = %d, want %d", got, n)
+	}
+	// Each shard's sampler drops every other tuple of its partition; across
+	// 4 shards the merged count can differ from n/2 by at most one tuple per
+	// shard (the trailing credit).
+	if diff := loads[0].ShedTuples - n/2; diff < -4 || diff > 4 {
+		t.Fatalf("merged ShedTuples = %d, want %d±4", loads[0].ShedTuples, n/2)
+	}
+	if want := float64(loads[0].ShedTuples) * 0.5; loads[0].ShedUtilityLost != want {
+		t.Fatalf("merged ShedUtilityLost = %g, want %g", loads[0].ShedUtilityLost, want)
+	}
+	// Interior nodes never shed, in any shard.
+	tuplesShed, _ := shedTotals(loads[1:])
+	if tuplesShed != 0 {
+		t.Fatalf("interior nodes shed %d tuples", tuplesShed)
+	}
+}
+
+// TestOfferedLoadPropagatesDownstream: a node downstream of a shed ingress
+// never sees the dropped tuples, but its OfferedLoad must still report the
+// demand — reconstructed through the plan at measured selectivity. With
+// pass-all filters the reconstruction is exact.
+func TestOfferedLoadPropagatesDownstream(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	f1 := p.AddUnary(stream.NewFilter("f1", 2, func(stream.Tuple) bool { return true }), FromSource("s"))
+	f2 := p.AddUnary(stream.NewFilter("f2", 3, func(stream.Tuple) bool { return true }), f1)
+	p.AddSink("q", f2)
+	eng, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetShedder(&stubShedder{ratio: 0.5, util: 1, gen: 1})
+	if err := eng.PushBatch("s", keyedTuples(1000, 4)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Advance(100)
+	eng.Stop()
+	loads := eng.Stats()
+	// f1 processed 500 of 1000 (cost 2): executed 10/tick, offered 20/tick.
+	if loads[0].Load != 10 || loads[0].OfferedLoad != 20 {
+		t.Fatalf("f1 load = %g offered %g, want 10 and 20", loads[0].Load, loads[0].OfferedLoad)
+	}
+	// f2 processed the same 500 (cost 3) with zero local shed; its offered
+	// load must still be the full 1000-tuple demand: 30/tick, not 15.
+	if loads[1].ShedTuples != 0 {
+		t.Fatalf("f2 shed %d tuples locally", loads[1].ShedTuples)
+	}
+	if loads[1].Load != 15 || loads[1].OfferedLoad != 30 {
+		t.Fatalf("f2 load = %g offered %g, want 15 and 30", loads[1].Load, loads[1].OfferedLoad)
+	}
+}
+
+// TestRuntimeDefaultBuffer pins the RuntimeConfig zero-value default.
+func TestRuntimeDefaultBuffer(t *testing.T) {
+	rt, err := StartRuntime(shardablePlan(), RuntimeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runExecutor(t, rt, keyedTuples(100, 4), 10, "raw")
+	if len(got["raw"]) == 0 {
+		t.Fatal("no results through default-buffer runtime")
+	}
+}
+
+// TestShedderGenerationRefresh verifies executors pick up a plan change:
+// bumping the stub's generation mid-stream switches the cached ratio.
+func TestShedderGenerationRefresh(t *testing.T) {
+	eng, err := New(shardablePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &stubShedder{ratio: 0, gen: 1}
+	eng.SetShedder(sh)
+	if err := eng.PushBatch("s", keyedTuples(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	sh.ratio = 1
+	sh.gen = 2
+	if err := eng.PushBatch("s", keyedTuples(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	loads := eng.Stats()
+	if loads[0].Tuples != 10 || loads[0].ShedTuples != 10 {
+		t.Fatalf("got processed %d shed %d, want 10 and 10",
+			loads[0].Tuples, loads[0].ShedTuples)
+	}
+}
+
+// TestRuntimeShedUnknownSource keeps the error contract intact under
+// shedding: unknown sources still reject whole batches.
+func TestRuntimeShedUnknownSource(t *testing.T) {
+	rt, err := StartRuntime(shardablePlan(), RuntimeConfig{Shedder: &stubShedder{gen: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	if err := rt.PushBatch("nope", []stream.Tuple{tup(1, "a", 1)}); err == nil {
+		t.Fatal("push to unknown source succeeded")
+	}
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Shedder is the executors' hook into the load-shedding control plane. When
+// one is installed, every executor consults it at the ingress edges — the
+// source-to-operator hops — and drops the planned fraction of tuples there,
+// before any operator cost is paid. Dropping at the ingress (Aurora's
+// earliest-drop rule) keeps operator-internal state consistent: a window or
+// join never sees a partial batch mid-stream, it simply sees fewer tuples.
+//
+// The interface is deliberately a plan snapshot, not a per-tuple callback:
+// executors cache each ingress node's policy and re-resolve it only when
+// Generation changes, so the hot path costs one comparison per batch. The
+// internal/shed package provides the standard implementation (utility-slope
+// and random policies over qos.Graph); the engine package only defines the
+// seam so the dependency arrow keeps pointing engine <- qos <- shed.
+type Shedder interface {
+	// Generation identifies the current shed plan; it increments whenever
+	// the plan changes. Executors may cache NodePolicy results until the
+	// generation moves.
+	Generation() uint64
+	// NodePolicy returns the drop ratio in [0, 1] and the estimated QoS
+	// utility lost per dropped tuple for an ingress operator owned by the
+	// given queries. A ratio of zero means keep everything.
+	NodePolicy(owners []string) (ratio, utilityPerTuple float64)
+}
+
+// shedState is one ingress edge's cached shed policy plus the deterministic
+// drop sampler. The credit accumulator spreads drops evenly through the
+// stream (ratio 0.5 drops every other tuple) instead of dropping bursts,
+// which is what keeps windowed aggregates representative under shedding.
+// Each state is owned by a single goroutine; no locking.
+type shedState struct {
+	gen    uint64
+	ratio  float64
+	util   float64
+	credit float64
+	known  bool
+}
+
+// refresh re-resolves the cached policy if the shed plan moved.
+func (st *shedState) refresh(s Shedder, owners []string) {
+	if g := s.Generation(); !st.known || g != st.gen {
+		st.ratio, st.util = s.NodePolicy(owners)
+		st.gen = g
+		st.known = true
+	}
+}
+
+// drop reports whether the next tuple should be shed under the cached ratio.
+func (st *shedState) drop() bool {
+	if st.ratio <= 0 {
+		return false
+	}
+	if st.ratio >= 1 {
+		return true
+	}
+	st.credit += st.ratio
+	if st.credit >= 1 {
+		st.credit--
+		return true
+	}
+	return false
+}
+
+// atomicFloat64 is a CAS-add float used for the shed-utility counters, which
+// are written by router goroutines and read mid-run by Stats.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat64) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// demandIn estimates each node's unshedded input tuple count: the tuples it
+// processed, plus those shed at its own ingress, plus the outputs its
+// upstream producers would have emitted had nothing been shed — assuming
+// shedding does not change an operator's selectivity, the standard
+// load-shedding approximation. Nodes are indexed in topological order
+// (edges only point forward), so one ascending pass suffices. A fully-shed
+// upstream node (zero processed tuples) leaves no selectivity estimate and
+// contributes nothing, making the estimate a lower bound in that case.
+func demandIn(p *Plan, tuples, out, shed []int64) []float64 {
+	demand := make([]float64, len(p.nodes))
+	for i := range demand {
+		demand[i] = float64(tuples[i] + shed[i])
+	}
+	for i, n := range p.nodes {
+		processed := float64(tuples[i])
+		if processed <= 0 {
+			continue
+		}
+		missFactor := demand[i]/processed - 1
+		if missFactor <= 0 {
+			continue
+		}
+		// Outputs lost to upstream drops, at this node's measured
+		// selectivity; each outgoing edge would have carried its own copy.
+		missedOut := float64(out[i]) * missFactor
+		for _, e := range n.out {
+			if e.node >= 0 {
+				demand[e.node] += missedOut
+			}
+		}
+	}
+	return demand
+}
+
+// nodeOwners extracts each node's sorted owner list once at executor start,
+// so shed policy lookups never touch the plan's owner maps on the hot path.
+func nodeOwners(p *Plan) [][]string {
+	out := make([][]string, len(p.nodes))
+	for i, n := range p.nodes {
+		owners := make([]string, 0, len(n.owners))
+		for o := range n.owners {
+			owners = append(owners, o)
+		}
+		out[i] = sortedOwners(owners)
+	}
+	return out
+}

@@ -36,7 +36,10 @@ func NewGraph(points ...Point) (*Graph, error) {
 		return nil, fmt.Errorf("qos: graph needs at least one point")
 	}
 	sorted := append([]Point(nil), points...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Latency < sorted[j].Latency })
+	// Stable: duplicated latencies (a utility discontinuity) must keep
+	// their input order, or the non-increasing validation below would
+	// reject a legitimate step.
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Latency < sorted[j].Latency })
 	for i, p := range sorted {
 		if p.Latency < 0 {
 			return nil, fmt.Errorf("qos: negative latency %g", p.Latency)

@@ -44,6 +44,47 @@ func TestUtilityInterpolation(t *testing.T) {
 	}
 }
 
+// TestUtilitySinglePoint: a one-vertex graph is a constant function — the
+// flat-before-first and flat-after-last rules meet at the same point.
+func TestUtilitySinglePoint(t *testing.T) {
+	g := MustGraph(Point{Latency: 10, Utility: 0.7})
+	for _, latency := range []float64{0, 10, 10.000001, 1e9, math.Inf(1)} {
+		if got := g.Utility(latency); got != 0.7 {
+			t.Errorf("Utility(%v) = %v, want 0.7", latency, got)
+		}
+	}
+	// A single point at latency zero must not divide by a zero-width segment.
+	z := MustGraph(Point{Latency: 0, Utility: 1})
+	if z.Utility(0) != 1 || z.Utility(5) != 1 {
+		t.Error("zero-latency single-point graph should be constant 1")
+	}
+}
+
+// TestUtilityExactVertices: evaluation exactly on a vertex returns that
+// vertex's utility, including the first and last vertex and duplicated
+// latencies (a discontinuity like StepGraph's, where the earlier, upper
+// vertex still applies at the shared latency — left-continuity).
+func TestUtilityExactVertices(t *testing.T) {
+	g := MustGraph(Point{0, 1}, Point{10, 0.8}, Point{20, 0.3}, Point{40, 0})
+	for _, tc := range []struct{ latency, want float64 }{
+		{0, 1}, {10, 0.8}, {20, 0.3}, {40, 0},
+	} {
+		if got := g.Utility(tc.latency); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Utility(%v) = %v, want %v", tc.latency, got, tc.want)
+		}
+	}
+	// Two vertices at one latency make a discontinuity; Utility is
+	// left-continuous there — exactly at the shared latency the upper
+	// (earlier) value still applies, and the drop takes effect just after.
+	step := MustGraph(Point{5, 1}, Point{5, 0.25}, Point{30, 0})
+	if got := step.Utility(5); got != 1 {
+		t.Errorf("Utility at duplicated vertex = %v, want 1 (left-continuous)", got)
+	}
+	if got := step.Utility(5.000001); math.Abs(got-0.25) > 1e-3 {
+		t.Errorf("Utility just past duplicated vertex = %v, want ~0.25", got)
+	}
+}
+
 func TestStepGraph(t *testing.T) {
 	g := StepGraph(5)
 	if g.Utility(4.9) != 1 {

@@ -1,0 +1,87 @@
+package shed
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/qos"
+)
+
+// OfferedLoad sums the measured per-operator OFFERED loads (shed tuples'
+// cost included): the total work per tick the feeds demanded of the server,
+// shared operators counted once — directly comparable to the capacity an
+// admission auction sold. This, not the post-shed executed load, is what
+// Update must see, or a successful shed would erase the evidence of the
+// overload it absorbed.
+func OfferedLoad(loads []engine.NodeLoad) float64 {
+	total := 0.0
+	for _, nl := range loads {
+		total += nl.OfferedLoad
+	}
+	return total
+}
+
+// ExecutedLoad sums the post-shed executed loads — the work the server
+// actually performed, the quantity a schedulability check consumes.
+func ExecutedLoad(loads []engine.NodeLoad) float64 {
+	total := 0.0
+	for _, nl := range loads {
+		total += nl.Load
+	}
+	return total
+}
+
+// QueriesFromLoads derives the planner's per-query view from an executor's
+// measured stats. For each query owning at least one operator:
+//
+//   - Rate is the highest per-tick offered tuple count (processed + shed)
+//     over its operators — the ingress operator of a chain sees every
+//     input tuple, so the max is the query's offered tuple rate;
+//   - CostPerTuple is the query's summed offered operator load divided by
+//     that rate: the capacity one ingress tuple costs end to end. Both
+//     sides count shed tuples, so the view reflects demand, not the
+//     residue a previous plan let through.
+//
+// Operators shared between queries contribute their full load to every
+// owner, so per-query costs over-attribute sharing; that is the right bias
+// for a shedding planner (dropping a shared tuple really does quiet the
+// whole shared chain) and the min-ratio rule in Shedder.NodePolicy keeps a
+// shared ingress from shedding more than its most protected owner allows.
+//
+// Queries absent from graphs get a nil Graph (zero utility weight — shed
+// first); ticks <= 0 treats the counts as already per-tick.
+func QueriesFromLoads(loads []engine.NodeLoad, graphs map[string]*qos.Graph, ticks int64) []Query {
+	perQuery := make(map[string]*Query)
+	for _, nl := range loads {
+		rate := float64(nl.Tuples + nl.ShedTuples)
+		if ticks > 0 {
+			rate /= float64(ticks)
+		}
+		for _, owner := range nl.Owners {
+			q, ok := perQuery[owner]
+			if !ok {
+				q = &Query{Name: owner, Graph: graphs[owner]}
+				perQuery[owner] = q
+			}
+			if rate > q.Rate {
+				q.Rate = rate
+			}
+			// Accumulate offered load into CostPerTuple, normalized below.
+			q.CostPerTuple += nl.OfferedLoad
+		}
+	}
+	names := make([]string, 0, len(perQuery))
+	for name := range perQuery {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Query, 0, len(names))
+	for _, name := range names {
+		q := perQuery[name]
+		if q.Rate > 0 {
+			q.CostPerTuple /= q.Rate
+		}
+		out = append(out, *q)
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+// Package shed implements Aurora-style load shedding for the executor
+// layer: when the measured input load exceeds what the server can schedule,
+// it decides which admitted queries to drop tuples from, and at what ratio,
+// so that overload degrades the cheapest QoS utility first instead of
+// backing every source up behind the slowest operator.
+//
+// The package splits the problem the way the paper's cited substrate does:
+//
+//   - a Policy ranks queries and turns an excess load into per-query drop
+//     ratios. UtilitySlope is the paper-faithful ranking — shed from the
+//     query with the smallest utility-per-unit-load slope first, so each
+//     unit of reclaimed capacity costs the least delivered utility. Random
+//     is the control: the same excess spread uniformly over every query.
+//
+//   - a Shedder holds the current plan and implements engine.Shedder, the
+//     hook all three executors consult at their source-ingress edges. The
+//     control loop (cmd/dsmsd) calls Update once per period with the
+//     measured loads; executors re-resolve their cached node policies when
+//     the plan generation moves.
+//
+// The dependency arrow stays engine <- qos <- shed: the engine defines only
+// the seam, this package supplies the policies built on qos.Graph.
+package shed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/qos"
+)
+
+// Query describes one admitted query to the planner.
+type Query struct {
+	// Name is the query (sink) name, matching the executor's node owners.
+	Name string
+	// Graph is the query's latency-utility QoS graph.
+	Graph *qos.Graph
+	// Rate is the measured ingress rate in tuples per tick: the tuples per
+	// tick entering the query's most loaded operator.
+	Rate float64
+	// CostPerTuple is the load (capacity units per tick, the paper's c_j)
+	// one ingress tuple costs across the query's operators — the capacity
+	// reclaimed by dropping it.
+	CostPerTuple float64
+}
+
+// sheddable returns the load (capacity units/tick) shedding this query
+// entirely would reclaim.
+func (q Query) sheddable() float64 { return q.Rate * q.CostPerTuple }
+
+// UtilityPerTuple is the utility weight a dropped tuple costs the query: the
+// QoS graph evaluated at zero latency, i.e. the utility a promptly delivered
+// result earns. Dividing it by CostPerTuple gives the query's utility slope
+// — the loss per unit of reclaimed capacity that UtilitySlope ranks by.
+func (q Query) UtilityPerTuple() float64 {
+	if q.Graph == nil {
+		return 0
+	}
+	return q.Graph.Utility(0)
+}
+
+// Drop is one query's planned shedding.
+type Drop struct {
+	// Query names the victim.
+	Query string
+	// Ratio is the fraction of the query's ingress tuples to drop, in [0,1].
+	Ratio float64
+	// UtilityPerTuple is the estimated utility each dropped tuple costs.
+	UtilityPerTuple float64
+	// LoadShed is the capacity (units/tick) the drop reclaims.
+	LoadShed float64
+}
+
+// Policy turns an excess load into per-query drop ratios. Plan must cover
+// the excess if the queries' total sheddable load allows it, and never
+// return ratios outside [0, 1].
+type Policy interface {
+	// Name labels the policy (it is the -shed flag value in dsmsd).
+	Name() string
+	// Plan assigns drop ratios covering excess (capacity units/tick).
+	Plan(excess float64, queries []Query) []Drop
+}
+
+// UtilitySlope sheds in ascending order of utility slope: the query losing
+// the least utility per unit of reclaimed capacity is drained first, fully
+// if needed, before the next cheapest is touched — the greedy loss/gain
+// ordering of Aurora's load shedder, with the slope taken from each query's
+// qos.Graph.
+type UtilitySlope struct{}
+
+// Name implements Policy.
+func (UtilitySlope) Name() string { return "utility" }
+
+// Plan implements Policy.
+func (UtilitySlope) Plan(excess float64, queries []Query) []Drop {
+	if excess <= 0 {
+		return nil
+	}
+	order := make([]int, 0, len(queries))
+	for i, q := range queries {
+		if q.sheddable() > 0 {
+			order = append(order, i)
+		}
+	}
+	// slope = utility lost per unit of load shed; cheapest first. Sort is
+	// stable so equal slopes shed in caller order, keeping plans and their
+	// logs deterministic.
+	slope := func(q Query) float64 { return q.UtilityPerTuple() / q.CostPerTuple }
+	sort.SliceStable(order, func(a, b int) bool {
+		return slope(queries[order[a]]) < slope(queries[order[b]])
+	})
+	drops := make([]Drop, 0, len(order))
+	for _, i := range order {
+		q := queries[i]
+		take := math.Min(excess, q.sheddable())
+		drops = append(drops, Drop{
+			Query:           q.Name,
+			Ratio:           take / q.sheddable(),
+			UtilityPerTuple: q.UtilityPerTuple(),
+			LoadShed:        take,
+		})
+		excess -= take
+		if excess <= 1e-12 {
+			break
+		}
+	}
+	return drops
+}
+
+// Random spreads the excess uniformly: every query drops the same fraction
+// of its input, so every tuple in the system is equally likely to be shed
+// regardless of what its loss costs. It is the baseline the utility-slope
+// policy is measured against.
+type Random struct{}
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// Plan implements Policy.
+func (Random) Plan(excess float64, queries []Query) []Drop {
+	if excess <= 0 {
+		return nil
+	}
+	total := 0.0
+	for _, q := range queries {
+		total += q.sheddable()
+	}
+	if total <= 0 {
+		return nil
+	}
+	ratio := math.Min(1, excess/total)
+	drops := make([]Drop, 0, len(queries))
+	for _, q := range queries {
+		if q.sheddable() <= 0 {
+			continue
+		}
+		drops = append(drops, Drop{
+			Query:           q.Name,
+			Ratio:           ratio,
+			UtilityPerTuple: q.UtilityPerTuple(),
+			LoadShed:        ratio * q.sheddable(),
+		})
+	}
+	return drops
+}
+
+// Shedder holds the live shed plan and implements engine.Shedder. One
+// Shedder serves any number of executors (the sharded executor installs the
+// same instance in every shard); NodePolicy is a read-lock lookup and the
+// per-edge sampler state lives inside the executors, not here.
+type Shedder struct {
+	policy Policy
+	// headroom scales capacity before the excess is computed: a headroom of
+	// 0.9 starts shedding at 90% capacity, keeping slack for load the plan
+	// cannot see. 0 means 1 (shed only above full capacity).
+	headroom float64
+
+	gen atomic.Uint64
+
+	mu    sync.RWMutex
+	plan  map[string]Drop
+	drops []Drop
+	// weights holds every known query's per-tuple utility, not just the
+	// shed victims': overflow drops at the executors happen regardless of
+	// the plan (a wedged operator sheds even when the plan is empty), and
+	// they must be charged the owners' real utility, not zero.
+	weights map[string]float64
+}
+
+// Compile-time check: Shedder is installable in every executor.
+var _ engine.Shedder = (*Shedder)(nil)
+
+// New returns a shedder applying the given policy with full-capacity
+// headroom.
+func New(policy Policy) *Shedder { return NewWithHeadroom(policy, 1) }
+
+// NewWithHeadroom returns a shedder that begins shedding when offered load
+// exceeds capacity × headroom.
+func NewWithHeadroom(policy Policy, headroom float64) *Shedder {
+	if headroom <= 0 {
+		headroom = 1
+	}
+	return &Shedder{
+		policy:   policy,
+		headroom: headroom,
+		plan:     make(map[string]Drop),
+		weights:  make(map[string]float64),
+	}
+}
+
+// Policy returns the ranking policy in use.
+func (s *Shedder) Policy() Policy { return s.policy }
+
+// Update recomputes the shed plan from one period's measurements: offered is
+// the total OFFERED load (capacity units/tick, shared operators counted
+// once, shed tuples' cost included — OfferedLoad over a Stats slice) and
+// queries the per-query view, typically built by QueriesFromLoads. Feeding
+// the post-shed executed load here instead would clear the plan after every
+// successful shed and oscillate between shedding and unshedded overload.
+// Update returns the planned drops (empty when the offered load fits) and
+// bumps the plan generation so executors re-resolve their cached policies.
+// Every query's utility weight is remembered regardless of whether it is
+// shed, so overflow drops are always charged real utility.
+func (s *Shedder) Update(capacity, offered float64, queries []Query) []Drop {
+	excess := offered - capacity*s.headroom
+	var drops []Drop
+	if excess > 0 {
+		drops = s.policy.Plan(excess, queries)
+	}
+	plan := make(map[string]Drop, len(drops))
+	for _, d := range drops {
+		plan[d.Query] = d
+	}
+	weights := make(map[string]float64, len(queries))
+	for _, q := range queries {
+		weights[q.Name] = q.UtilityPerTuple()
+	}
+	s.mu.Lock()
+	s.plan = plan
+	s.drops = drops
+	s.weights = weights
+	s.mu.Unlock()
+	s.gen.Add(1)
+	return drops
+}
+
+// Drops returns the current plan's drops in policy order.
+func (s *Shedder) Drops() []Drop {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Drop(nil), s.drops...)
+}
+
+// Generation implements engine.Shedder.
+func (s *Shedder) Generation() uint64 { return s.gen.Load() }
+
+// NodePolicy implements engine.Shedder. An ingress operator shared by
+// several queries drops only what every owner agreed to lose (the minimum
+// ratio — shedding a shared tuple harms all of them), and each drop is
+// charged the owners' summed per-tuple utility. The utility charge comes
+// from the weights of every known owner, not from the drop plan: overflow
+// drops occur even for unshed queries and must not be billed as free.
+func (s *Shedder) NodePolicy(owners []string) (ratio, utilityPerTuple float64) {
+	if len(owners) == 0 {
+		return 0, 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ratio = math.Inf(1)
+	for _, o := range owners {
+		if d, ok := s.plan[o]; !ok {
+			ratio = 0
+		} else if d.Ratio < ratio {
+			ratio = d.Ratio
+		}
+		utilityPerTuple += s.weights[o]
+	}
+	if math.IsInf(ratio, 1) {
+		ratio = 0
+	}
+	return ratio, utilityPerTuple
+}
+
+// String renders one drop for period logs.
+func (d Drop) String() string {
+	return fmt.Sprintf("%s: drop %.0f%% (frees %.2f load, %.2f utility/tuple)",
+		d.Query, 100*d.Ratio, d.LoadShed, d.UtilityPerTuple)
+}

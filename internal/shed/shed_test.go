@@ -1,0 +1,230 @@
+package shed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/qos"
+)
+
+// graphs for the planner tests: gold is worth 1.0 per prompt tuple, bulk
+// only 0.2.
+var (
+	goldGraph = qos.MustGraph(qos.Point{Latency: 5, Utility: 1}, qos.Point{Latency: 50, Utility: 0})
+	bulkGraph = qos.MustGraph(qos.Point{Latency: 5, Utility: 0.2}, qos.Point{Latency: 50, Utility: 0})
+)
+
+func TestUtilitySlopeShedsCheapestFirst(t *testing.T) {
+	queries := []Query{
+		{Name: "gold", Graph: goldGraph, Rate: 10, CostPerTuple: 1}, // slope 1.0, sheddable 10
+		{Name: "bulk", Graph: bulkGraph, Rate: 10, CostPerTuple: 8}, // slope 0.025, sheddable 80
+	}
+	drops := UtilitySlope{}.Plan(40, queries)
+	if len(drops) != 1 {
+		t.Fatalf("drops = %v, want only bulk", drops)
+	}
+	d := drops[0]
+	if d.Query != "bulk" {
+		t.Fatalf("shed %q first, want bulk", d.Query)
+	}
+	if math.Abs(d.Ratio-0.5) > 1e-12 {
+		t.Fatalf("bulk ratio = %g, want 0.5", d.Ratio)
+	}
+	if math.Abs(d.LoadShed-40) > 1e-12 {
+		t.Fatalf("LoadShed = %g, want 40", d.LoadShed)
+	}
+	if d.UtilityPerTuple != 0.2 {
+		t.Fatalf("UtilityPerTuple = %g, want 0.2", d.UtilityPerTuple)
+	}
+}
+
+func TestUtilitySlopeSpillsToNextQuery(t *testing.T) {
+	queries := []Query{
+		{Name: "gold", Graph: goldGraph, Rate: 10, CostPerTuple: 1},
+		{Name: "bulk", Graph: bulkGraph, Rate: 10, CostPerTuple: 8},
+	}
+	// Excess beyond bulk's 80: bulk drops everything, gold covers the rest.
+	drops := UtilitySlope{}.Plan(85, queries)
+	if len(drops) != 2 {
+		t.Fatalf("drops = %v, want bulk then gold", drops)
+	}
+	if drops[0].Query != "bulk" || drops[0].Ratio != 1 {
+		t.Fatalf("first drop = %v, want bulk at ratio 1", drops[0])
+	}
+	if drops[1].Query != "gold" || math.Abs(drops[1].Ratio-0.5) > 1e-12 {
+		t.Fatalf("second drop = %v, want gold at ratio 0.5", drops[1])
+	}
+}
+
+func TestUtilitySlopeNoExcess(t *testing.T) {
+	if drops := (UtilitySlope{}).Plan(0, []Query{{Name: "q", Rate: 1, CostPerTuple: 1}}); drops != nil {
+		t.Fatalf("drops = %v, want none", drops)
+	}
+}
+
+func TestRandomSpreadsUniformly(t *testing.T) {
+	queries := []Query{
+		{Name: "gold", Graph: goldGraph, Rate: 10, CostPerTuple: 1},
+		{Name: "bulk", Graph: bulkGraph, Rate: 10, CostPerTuple: 8},
+	}
+	drops := Random{}.Plan(45, queries) // total sheddable 90 -> ratio 0.5 each
+	if len(drops) != 2 {
+		t.Fatalf("drops = %v, want both queries", drops)
+	}
+	for _, d := range drops {
+		if math.Abs(d.Ratio-0.5) > 1e-12 {
+			t.Fatalf("%s ratio = %g, want 0.5", d.Query, d.Ratio)
+		}
+	}
+	// Over-capacity excess clamps at dropping everything.
+	for _, d := range (Random{}).Plan(1000, queries) {
+		if d.Ratio != 1 {
+			t.Fatalf("%s ratio = %g, want 1", d.Query, d.Ratio)
+		}
+	}
+}
+
+func TestShedderUpdateAndNodePolicy(t *testing.T) {
+	s := New(UtilitySlope{})
+	if s.Generation() != 0 {
+		t.Fatalf("fresh generation = %d", s.Generation())
+	}
+	queries := []Query{
+		{Name: "gold", Graph: goldGraph, Rate: 10, CostPerTuple: 1},
+		{Name: "bulk", Graph: bulkGraph, Rate: 10, CostPerTuple: 8},
+	}
+	drops := s.Update(50, 90, queries) // excess 40 -> bulk at 0.5
+	if len(drops) != 1 || s.Generation() != 1 {
+		t.Fatalf("drops %v generation %d", drops, s.Generation())
+	}
+	if ratio, util := s.NodePolicy([]string{"bulk"}); ratio != 0.5 || util != 0.2 {
+		t.Fatalf("bulk policy = %g, %g", ratio, util)
+	}
+	if ratio, _ := s.NodePolicy([]string{"gold"}); ratio != 0 {
+		t.Fatalf("gold ratio = %g, want 0", ratio)
+	}
+	// A shared operator sheds at the most protected owner's ratio: gold is
+	// not shed, so the shared node must not shed either.
+	if ratio, _ := s.NodePolicy([]string{"bulk", "gold"}); ratio != 0 {
+		t.Fatalf("shared ratio = %g, want 0", ratio)
+	}
+	if ratio, _ := s.NodePolicy(nil); ratio != 0 {
+		t.Fatalf("ownerless ratio = %g, want 0", ratio)
+	}
+	// Load fits again: the plan clears and the generation still moves so
+	// executors drop their cached ratios.
+	if drops := s.Update(50, 40, queries); len(drops) != 0 {
+		t.Fatalf("drops = %v, want none", drops)
+	}
+	if s.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", s.Generation())
+	}
+	if ratio, _ := s.NodePolicy([]string{"bulk"}); ratio != 0 {
+		t.Fatalf("bulk ratio after clear = %g, want 0", ratio)
+	}
+}
+
+func TestShedderHeadroom(t *testing.T) {
+	s := NewWithHeadroom(UtilitySlope{}, 0.5)
+	queries := []Query{{Name: "q", Graph: goldGraph, Rate: 10, CostPerTuple: 1}}
+	// Offered 8 exceeds 10*0.5: sheds even though raw capacity would fit.
+	if drops := s.Update(10, 8, queries); len(drops) != 1 {
+		t.Fatalf("drops = %v, want one", drops)
+	}
+}
+
+func TestQueriesFromLoads(t *testing.T) {
+	loads := []engine.NodeLoad{
+		{ID: 0, Name: "sel", Tuples: 1000, Load: 4, OfferedLoad: 4, Owners: []string{"bulk", "gold"}},
+		{ID: 1, Name: "agg", Tuples: 500, Load: 2, OfferedLoad: 2, Owners: []string{"gold"}},
+	}
+	graphs := map[string]*qos.Graph{"gold": goldGraph, "bulk": bulkGraph}
+	queries := QueriesFromLoads(loads, graphs, 100)
+	if len(queries) != 2 {
+		t.Fatalf("queries = %v", queries)
+	}
+	// Sorted by name: bulk then gold.
+	bulk, gold := queries[0], queries[1]
+	if bulk.Name != "bulk" || gold.Name != "gold" {
+		t.Fatalf("order = %s, %s", bulk.Name, gold.Name)
+	}
+	// Rates: both queries' ingress is the 1000-tuple selector at 10/tick.
+	if bulk.Rate != 10 || gold.Rate != 10 {
+		t.Fatalf("rates = %g, %g, want 10", bulk.Rate, gold.Rate)
+	}
+	// bulk owns only sel: 4 load / 10 rate. gold owns sel+agg: 6 / 10.
+	if math.Abs(bulk.CostPerTuple-0.4) > 1e-12 || math.Abs(gold.CostPerTuple-0.6) > 1e-12 {
+		t.Fatalf("costs = %g, %g", bulk.CostPerTuple, gold.CostPerTuple)
+	}
+	if bulk.UtilityPerTuple() != 0.2 || gold.UtilityPerTuple() != 1 {
+		t.Fatalf("weights = %g, %g", bulk.UtilityPerTuple(), gold.UtilityPerTuple())
+	}
+	if got := OfferedLoad(loads); got != 6 {
+		t.Fatalf("OfferedLoad = %g, want 6", got)
+	}
+	if got := ExecutedLoad(loads); got != 6 {
+		t.Fatalf("ExecutedLoad = %g, want 6", got)
+	}
+}
+
+// TestQueriesFromLoadsCountsShedDemand: shed tuples stay in the planner's
+// view — a 100%-shed query must not look free next period, or the plan
+// would clear and the overload return (the oscillation bug).
+func TestQueriesFromLoadsCountsShedDemand(t *testing.T) {
+	loads := []engine.NodeLoad{
+		// All 1000 offered tuples were shed: zero executed load, full
+		// offered load.
+		{ID: 0, Name: "sel", Tuples: 0, ShedTuples: 1000, Load: 0, OfferedLoad: 4, Owners: []string{"bulk"}},
+	}
+	queries := QueriesFromLoads(loads, map[string]*qos.Graph{"bulk": bulkGraph}, 100)
+	if len(queries) != 1 {
+		t.Fatalf("queries = %v", queries)
+	}
+	q := queries[0]
+	if q.Rate != 10 {
+		t.Fatalf("Rate = %g, want 10 (shed tuples count as demand)", q.Rate)
+	}
+	if math.Abs(q.CostPerTuple-0.4) > 1e-12 {
+		t.Fatalf("CostPerTuple = %g, want 0.4", q.CostPerTuple)
+	}
+	if got := OfferedLoad(loads); got != 4 {
+		t.Fatalf("OfferedLoad = %g, want 4", got)
+	}
+	if got := ExecutedLoad(loads); got != 0 {
+		t.Fatalf("ExecutedLoad = %g, want 0", got)
+	}
+}
+
+// TestNodePolicyChargesUnshedOwners: overflow drops are billed the owners'
+// real utility even when the plan does not shed them.
+func TestNodePolicyChargesUnshedOwners(t *testing.T) {
+	s := New(UtilitySlope{})
+	queries := []Query{
+		{Name: "gold", Graph: goldGraph, Rate: 10, CostPerTuple: 1},
+		{Name: "bulk", Graph: bulkGraph, Rate: 10, CostPerTuple: 8},
+	}
+	// Load fits: empty plan, but weights are known.
+	s.Update(1000, 90, queries)
+	ratio, util := s.NodePolicy([]string{"gold"})
+	if ratio != 0 {
+		t.Fatalf("ratio = %g, want 0", ratio)
+	}
+	if util != 1 {
+		t.Fatalf("utility charge for unshed gold = %g, want 1", util)
+	}
+	if _, util := s.NodePolicy([]string{"gold", "bulk"}); util != 1.2 {
+		t.Fatalf("shared utility charge = %g, want 1.2", util)
+	}
+}
+
+func TestQueryWithoutGraphShedsFirst(t *testing.T) {
+	queries := []Query{
+		{Name: "anon", Graph: nil, Rate: 10, CostPerTuple: 1},
+		{Name: "gold", Graph: goldGraph, Rate: 10, CostPerTuple: 1},
+	}
+	drops := UtilitySlope{}.Plan(5, queries)
+	if len(drops) != 1 || drops[0].Query != "anon" {
+		t.Fatalf("drops = %v, want anon only", drops)
+	}
+}
