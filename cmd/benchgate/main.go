@@ -1,0 +1,160 @@
+// Command benchgate compares two `go test -bench` outputs (benchstat-style
+// benchmark lines) and exits nonzero when any benchmark regressed beyond a
+// threshold. CI uses it to gate pull requests on the executor benchmarks:
+// the bench job's BENCH_ci.json artifact from the main branch is the
+// baseline, and a >15% throughput regression fails the job.
+//
+// Benchmarks present in only one of the two files are reported and skipped
+// (new or removed benchmarks are not regressions). Multiple runs of the
+// same benchmark average their values before comparison.
+//
+// Usage:
+//
+//	benchgate [-threshold 0.15] [-metric ns/op] [-match REGEXP] old.txt new.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.15, "maximum tolerated relative increase of the metric")
+		metric    = flag.String("metric", "ns/op", "benchmark metric to compare; regressions are increases for cost metrics (ns/op, B/op, allocs/op) and decreases for others (e.g. tuples/s)")
+		match     = flag.String("match", "", "only gate benchmarks whose name matches this regexp (default: all)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold F] [-metric M] [-match RE] old new")
+		os.Exit(2)
+	}
+	var re *regexp.Regexp
+	if *match != "" {
+		var err error
+		if re, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	}
+	old, err := parseFile(flag.Arg(0), *metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(1), *metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	regressions := gate(old, cur, *metric, *threshold, re, os.Stdout)
+	if regressions > 0 {
+		fmt.Printf("benchgate: %d benchmark(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: no regressions")
+}
+
+// gate compares the two metric maps and writes one line per gated
+// benchmark; it returns the number of regressions.
+func gate(old, cur map[string]float64, metric string, threshold float64, match *regexp.Regexp, w io.Writer) int {
+	// Cost metrics regress upward; rate metrics (anything else, e.g.
+	// tuples/s) regress downward.
+	cost := metric == "ns/op" || metric == "B/op" || metric == "allocs/op"
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		if match != nil && !match.MatchString(name) {
+			continue
+		}
+		base, ok := old[name]
+		if !ok {
+			fmt.Fprintf(w, "  new  %-50s %s %.4g (no baseline)\n", name, metric, cur[name])
+			continue
+		}
+		if base == 0 {
+			continue
+		}
+		delta := (cur[name] - base) / base
+		bad := delta > threshold
+		if !cost {
+			bad = delta < -threshold
+		}
+		verdict := "ok  "
+		if bad {
+			verdict = "FAIL"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %s %-50s %s %.4g -> %.4g (%+.1f%%)\n", verdict, name, metric, base, cur[name], delta*100)
+	}
+	return regressions
+}
+
+// parseFile extracts the named metric from every benchmark line of a
+// `go test -bench` output, averaging repeated runs.
+func parseFile(path, metric string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, val, ok := parseLine(sc.Text(), metric)
+		if !ok {
+			continue
+		}
+		sums[name] += val
+		counts[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		out[name] = sum / float64(counts[name])
+	}
+	return out, nil
+}
+
+// parseLine reads one `BenchmarkName-P  N  <value> <unit> ...` line and
+// returns the value carrying the wanted unit. The trailing -P GOMAXPROCS
+// suffix is stripped so runs from differently sized machines compare.
+func parseLine(line, metric string) (name string, val float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	name = fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	// fields[1] is the iteration count; value/unit pairs follow.
+	for i := 2; i+1 < len(fields); i += 2 {
+		if fields[i+1] != metric {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", 0, false
+		}
+		return name, v, true
+	}
+	return "", 0, false
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line   string
+		metric string
+		name   string
+		val    float64
+		ok     bool
+	}{
+		{"BenchmarkExecutor/sharded-8   \t 1000  1234.5 ns/op  98765 tuples/s", "ns/op", "BenchmarkExecutor/sharded", 1234.5, true},
+		{"BenchmarkExecutor/sharded-8    1000  1234.5 ns/op  98765 tuples/s", "tuples/s", "BenchmarkExecutor/sharded", 98765, true},
+		{"BenchmarkSynchronousPush    500  42 ns/op", "ns/op", "BenchmarkSynchronousPush", 42, true},
+		{"ok  \trepro/internal/engine\t1.5s", "ns/op", "", 0, false},
+		{"BenchmarkNoMetric-4  10  7 B/op", "ns/op", "", 0, false},
+	}
+	for _, c := range cases {
+		name, val, ok := parseLine(c.line, c.metric)
+		if ok != c.ok || name != c.name || val != c.val {
+			t.Errorf("parseLine(%q, %q) = %q %v %v, want %q %v %v",
+				c.line, c.metric, name, val, ok, c.name, c.val, c.ok)
+		}
+	}
+}
+
+func TestGateDirections(t *testing.T) {
+	old := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100}
+	// A regressed 50%, B improved.
+	cur := map[string]float64{"BenchmarkA": 150, "BenchmarkB": 50, "BenchmarkNew": 1}
+	if got := gate(old, cur, "ns/op", 0.15, nil, io.Discard); got != 1 {
+		t.Errorf("cost metric: %d regressions, want 1 (A only)", got)
+	}
+	// For a rate metric the directions flip: B's drop is the regression.
+	if got := gate(old, cur, "tuples/s", 0.15, nil, io.Discard); got != 1 {
+		t.Errorf("rate metric: %d regressions, want 1 (B only)", got)
+	}
+	// Within threshold: no failure.
+	if got := gate(old, map[string]float64{"BenchmarkA": 110}, "ns/op", 0.15, nil, io.Discard); got != 0 {
+		t.Errorf("within threshold: %d regressions, want 0", got)
+	}
+}

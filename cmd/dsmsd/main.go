@@ -4,11 +4,18 @@
 // configured admission auction and bills the winners, the daemon compiles
 // the winning queries into one shared plan, executes a day of market tuples
 // through the configured executor (synchronous engine, concurrent runtime,
-// or the sharded batch executor), and feeds the *measured* per-operator
+// or the staged sharded executor), and feeds the *measured* per-operator
 // costs back into the next day's auction — the paper's "load can be
 // reasonably approximated by the system", closed as a real loop. The daily
 // report shows admissions, revenue, utilization, per-query result counts,
 // and whether the measured load was schedulable and met QoS.
+//
+// The sharded backend accepts every admitted plan: engine.StartStaged
+// splits each day's shared plan into a keyed parallel stage (N shard
+// runtimes, partitioned on the plan's inferred keys) and a global stage fed
+// by timestamp-ordered exchange merges, so global (ungrouped) windows no
+// longer force the workload onto a single runtime. The daemon logs the
+// stage split and the per-stage measured loads each day.
 //
 // When load shedding is enabled (-shed utility|random), the daemon also
 // closes the paper's overload loop: each period's measured loads feed a
@@ -22,7 +29,7 @@
 //
 //	dsmsd [-days N] [-clients N] [-capacity F] [-mechanism CAT] [-seed N]
 //	      [-tuples N] [-executor sharded|runtime|sync] [-shards N] [-batch N]
-//	      [-shed off|utility|random] [-rate F]
+//	      [-shed off|utility|random] [-rate F] [-replan K]
 package main
 
 import (
@@ -50,11 +57,12 @@ func main() {
 		mechanism = flag.String("mechanism", "CAT", "admission mechanism: CAR CAF CAF+ CAT CAT+ GV Two-price")
 		seed      = flag.Int64("seed", 7, "simulation seed")
 		tuples    = flag.Int("tuples", 2000, "tuples pushed per stream per day")
-		executor  = flag.String("executor", "sharded", "execution backend: sharded, runtime, or sync")
+		executor  = flag.String("executor", "sharded", "execution backend: sharded (staged), runtime, or sync")
 		shards    = flag.Int("shards", 0, "shard count for the sharded executor (0 = GOMAXPROCS)")
 		batch     = flag.Int("batch", 64, "tuples per executor batch")
 		shedMode  = flag.String("shed", "off", "load shedding under overload: off, utility (QoS slope) or random")
 		rate      = flag.Float64("rate", 1, "input tuples per tick; the auction prices loads at rate 1, so >1 overloads the executed period")
+		replan    = flag.Int("replan", 4, "with -shed: replan shedding from measured stats this many times within each day (0 = plan only at period start)")
 	)
 	flag.Parse()
 	mech, err := auction.ByName(*mechanism, *seed)
@@ -80,10 +88,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsmsd: -rate must be positive")
 		os.Exit(1)
 	}
+	if *replan < 0 {
+		fmt.Fprintln(os.Stderr, "dsmsd: -replan must be >= 0")
+		os.Exit(1)
+	}
 	cfg := daemonConfig{
 		days: *days, clients: *clients, capacity: *capacity, seed: *seed,
 		tuplesPerDay: *tuples, executor: *executor, shards: *shards, batch: *batch,
-		shed: *shedMode, rate: *rate,
+		shed: *shedMode, rate: *rate, replan: *replan,
 	}
 	if err := run(mech, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dsmsd:", err)
@@ -100,6 +112,7 @@ type daemonConfig struct {
 	shards, batch int
 	shed          string
 	rate          float64
+	replan        int
 }
 
 // dayTicks is the metering-clock span of one executed day: pushing
@@ -223,10 +236,52 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 		if err != nil {
 			return err
 		}
-		if err := pumpDay(exec, feed, cfg.tuplesPerDay, cfg.batch); err != nil {
+		var split *engine.StageSplit
+		if st, ok := exec.(*engine.Staged); ok {
+			split = st.Split()
+			fmt.Printf("  stage split: %s\n", split)
+		}
+		// Mid-period replanning: sample measured stats -replan times within
+		// the day and update the shed plan, so a burst inside a period is
+		// shed before the day ends — the executors re-resolve their cached
+		// ratios when the plan generation moves.
+		var advanced int64
+		var progress func(int)
+		if shedder != nil && cfg.replan > 0 {
+			interval := cfg.tuplesPerDay / (cfg.replan + 1)
+			if interval < 1 {
+				interval = 1
+			}
+			next := interval
+			progress = func(pushed int) {
+				if pushed < next || pushed >= cfg.tuplesPerDay {
+					return
+				}
+				next += interval
+				ticksSoFar := int64(float64(pushed) / cfg.rate)
+				if ticksSoFar <= advanced {
+					return
+				}
+				exec.Advance(ticksSoFar - advanced)
+				advanced = ticksSoFar
+				// SettleStats, not Stats: the concurrent executors meter
+				// asynchronously, and the simulated day outruns their
+				// operator goroutines.
+				loads := engine.SettleStats(exec)
+				graphs := make(map[string]*qos.Graph)
+				for name := range qos.QueryOperators(loads) {
+					graphs[name] = defaultQoS
+				}
+				queries := shed.QueriesFromLoads(loads, graphs, advanced)
+				drops := shedder.Update(cfg.capacity, shed.OfferedLoad(loads), queries)
+				fmt.Printf("  mid-day replan @%d tuples: offered %.2f/%.0f, %d queries shedding\n",
+					pushed, shed.OfferedLoad(loads), cfg.capacity, len(drops))
+			}
+		}
+		if err := pumpDay(exec, feed, cfg.tuplesPerDay, cfg.batch, progress); err != nil {
 			return err
 		}
-		exec.Advance(cfg.dayTicks())
+		exec.Advance(cfg.dayTicks() - advanced)
 		exec.Stop()
 
 		// Feed the measured loads forward and judge the executed period. The
@@ -247,6 +302,17 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 		}
 		fmt.Printf("  measured: %d operators, total load %.2f/%.0f (offered %.2f), mean QoS utility %.2f\n",
 			len(loads), shed.ExecutedLoad(loads), cfg.capacity, shed.OfferedLoad(loads), utility)
+		if split != nil && !split.FullyParallel() {
+			var par, glob float64
+			for _, nl := range loads {
+				if split.Global[nl.ID] {
+					glob += nl.Load
+				} else {
+					par += nl.Load
+				}
+			}
+			fmt.Printf("  per-stage load: parallel %.2f, global %.2f\n", par, glob)
+		}
 
 		if shedder != nil {
 			reportShedding(loads)
@@ -268,9 +334,12 @@ func describeExecutor(kind string, shards int) string {
 }
 
 // startExecutor compiles the winners and starts the configured backend with
-// the (possibly nil) shedder installed. The market streams both carry the
-// symbol in field 0, so the default PartitionByField(0) keeps per-symbol
-// windows and symbol joins correct under sharding.
+// the (possibly nil) shedder installed. The sharded backend is the staged
+// executor: every admitted plan runs on it unconditionally — plans with
+// global (ungrouped) operators split into a keyed parallel stage and a
+// global stage connected by exchange edges, and the partition keys are
+// derived from the plan's own GroupBy/JoinOn metadata rather than assumed
+// to be field 0.
 func startExecutor(cfg daemonConfig, nShards int, sources []cloud.SourceDecl, winners []cloud.Submission, shedder *shed.Shedder) (engine.Executor, error) {
 	factory := func() (*engine.Plan, error) { return cloud.CompilePlan(sources, winners) }
 	// A typed-nil *shed.Shedder must become a true nil interface, or the
@@ -281,7 +350,7 @@ func startExecutor(cfg daemonConfig, nShards int, sources []cloud.SourceDecl, wi
 	}
 	switch cfg.executor {
 	case "sharded":
-		return engine.StartSharded(factory, engine.ShardedConfig{Shards: nShards, Buf: cfg.batch, Shedder: hook})
+		return engine.StartStaged(factory, engine.StagedConfig{Shards: nShards, Buf: cfg.batch, Shedder: hook})
 	case "runtime":
 		plan, err := factory()
 		if err != nil {
@@ -383,8 +452,10 @@ func reprice(s cloud.Submission, measured map[string]float64) cloud.Submission {
 	return s
 }
 
-// pumpDay pushes one day of synthetic market data in batches.
-func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int) error {
+// pumpDay pushes one day of synthetic market data in batches. The progress
+// callback, when non-nil, is invoked after every pushed quote with the
+// running count — the hook mid-period shed replanning samples on.
+func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int, progress func(pushed int)) error {
 	if batch < 1 {
 		batch = 1
 	}
@@ -412,6 +483,9 @@ func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int) error {
 					return err
 				}
 			}
+		}
+		if progress != nil {
+			progress(i + 1)
 		}
 	}
 	if err := flush("stocks", &stocks); err != nil {

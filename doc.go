@@ -29,8 +29,15 @@
 //	│  ├─ Engine    — sync ref │ engine.Shedder│  │
 //	│  ├─ Runtime   — goroutine│  (shed.Shedder│  │
 //	│  │   per op, batch edges │   installs    │  │
-//	│  └─ Sharded   — N×Runtime│   drop plan)  │  │
-//	│      merged results+stats└───────▲───────┘  │
+//	│  ├─ Sharded   — N×Runtime│   drop plan)  │  │
+//	│  │   merged results+stats└───────▲───────┘  │
+//	│  └─ Staged — staged dataflow:    │          │
+//	│      ┌────────────┐ exchange     │          │
+//	│      │ N×Runtime  ├═══(Ts-merge)═╪═►┌─────┐ │
+//	│      │ keyed      │ repartition/ │  │1×   │ │
+//	│      │ parallel   │ merge edges  │  │glob.│ │
+//	│      │ prefix     ├═════════════►╪═►│stage│ │
+//	│      └────────────┘              │  └─────┘ │
 //	└───────────────┬─────────────────┬┴──────────┘
 //	                │ Stats()         │ shed.Update(measured loads)
 //	                ▼                 │
@@ -41,10 +48,39 @@
 // the concurrent executors carry whole batches per channel send, and
 // stream.Pipeline mirrors the same batch path (RunBatches) for standalone
 // operator chains. The Sharded executor partitions source tuples by a key
-// (by default the first field) across GOMAXPROCS shard runtimes, each
-// running an independently compiled copy of the plan — results match the
-// synchronous engine up to ordering whenever operator state is keyed no
-// finer than the partition key.
+// across GOMAXPROCS shard runtimes, each running an independently compiled
+// copy of the plan — results match the synchronous engine up to ordering
+// whenever operator state is keyed no finer than the partition key, and
+// StartSharded now verifies that via the plan's partition-key metadata
+// instead of silently assuming field 0.
+//
+// # Staged execution and exchange edges
+//
+// Plans that mix keyed and global operators run on the Staged executor
+// (engine.StartStaged). Plan.Analyze reads each operator's partition
+// metadata (stream.PartitionKeyer / BinaryPartitionKeyer, propagated
+// through tuple-preserving stateless operators) and splits the plan into a
+// maximal shardable prefix — filters, per-key windows, keyed equi-joins —
+// and a global suffix: ungrouped windows, un-keyed joins, and anything
+// downstream of them. The prefix runs as N shard runtimes partitioned on
+// the inferred per-source keys; each boundary-crossing output becomes an
+// exchange edge whose per-shard batch streams are merged into the single
+// global-stage runtime.
+//
+// Ordering across the merge: within one exchange edge, the global stage
+// receives tuples in nondecreasing timestamp order (ties break by shard
+// index) provided each shard emits in nondecreasing timestamp order, which
+// timestamp-ordered sources guarantee because every operator preserves or
+// maximizes timestamps. With strictly increasing source timestamps the
+// global stage therefore sees exactly the synchronous Engine's tuple
+// sequence and produces tuple-identical results. Across different exchange
+// edges (and relative to direct source feeds into the global stage) no
+// order is guaranteed — the same independence Runtime's channel edges
+// already have. The merge buffers without blocking shards, so exchange
+// results are complete (and merged stats final) only after Stop; merged
+// Stats map both stages back onto the analyzed plan's node IDs, and
+// OfferedLoad reconstruction runs over the full staged topology so shed
+// accounting stays correct through the exchange.
 //
 // # Backpressure and load shedding
 //

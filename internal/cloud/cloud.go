@@ -293,9 +293,30 @@ func (c *Center) MeasuredLoad(key string) (float64, bool) {
 	return 0, false
 }
 
+// MeasuredSelectivity returns the operator's measured selectivity
+// (OutTuples/Tuples) during the current metering period. Re-submitted
+// queries feed these into the CQL compiler (cql.Costs.Measured) so
+// downstream load estimates stop assuming the static selectivity guess —
+// the compiler's half of the feedback loop Reestimate closes for loads.
+// The bool is false when the operator is not deployed or saw no input.
+func (c *Center) MeasuredSelectivity(key string) (float64, bool) {
+	if c.eng == nil {
+		return 0, false
+	}
+	for _, nl := range c.eng.Loads() {
+		if nl.Name == key && nl.Tuples > 0 {
+			return nl.Selectivity(), true
+		}
+	}
+	return 0, false
+}
+
 // Reestimate returns a copy of the submission with every operator's load
 // replaced by its measured value where available — the feedback step a
-// client (or the center acting for it) performs between periods.
+// client (or the center acting for it) performs between periods. Clients
+// re-deriving their declarations from the cost model instead should
+// recompile with cql.Costs.Measured fed from MeasuredSelectivity, which
+// recalibrates the estimates the static model got wrong.
 func (c *Center) Reestimate(s Submission) Submission {
 	ops := make([]OperatorSpec, len(s.Operators))
 	copy(ops, s.Operators)
@@ -314,6 +335,14 @@ func (c *Center) Reestimate(s Submission) Submission {
 // winners into one shared plan per executor shard, with operator sharing
 // within the plan (same key → one physical node) but no state carried in
 // from previous periods. Submissions without a Deploy function are skipped.
+//
+// The compiled plan carries partition-key metadata on its operator
+// instances (stream.PartitionKeyer et al., populated by the CQL compiler's
+// GroupBy/JoinOn fields and by hand-built deployments alike), so
+// engine.Plan.Analyze can split it into a shardable prefix and a global
+// suffix and derive the correct PartitionFunc — the staged executor
+// (engine.StartStaged) consumes exactly that, and no longer assumes the
+// partition key is field 0.
 func CompilePlan(sources []SourceDecl, winners []Submission) (*engine.Plan, error) {
 	var deployable []Submission
 	for _, w := range winners {

@@ -62,3 +62,48 @@ func TestMeasuredLoadFeedback(t *testing.T) {
 		t.Error("Reestimate mutated the input submission")
 	}
 }
+
+// TestMeasuredSelectivityFeedback: the center reports a deployed operator's
+// measured selectivity (OutTuples/Tuples), which re-submitted queries feed
+// into the CQL cost model in place of the static guess.
+func TestMeasuredSelectivityFeedback(t *testing.T) {
+	c := New(auction.NewCAT(), 100)
+	c.DeclareSource("s", schema)
+	sub := Submission{
+		User: 1, Name: "q", Bid: 30,
+		Operators: []OperatorSpec{{Key: "pos", Load: 5}},
+		Deploy: func(reg *SharedOps) error {
+			src, err := reg.Source("s")
+			if err != nil {
+				return err
+			}
+			out := reg.Unary("pos", src, func() stream.Transform {
+				return stream.NewFilter("pos", 1, stream.FieldCmp(1, stream.Gt, 0))
+			})
+			reg.Sink(out)
+			return nil
+		},
+	}
+	if err := c.Submit(sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ClosePeriod(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.MeasuredSelectivity("pos"); ok {
+		t.Error("selectivity measured before any input")
+	}
+	// 3 of 4 tuples pass the filter.
+	for i, v := range []float64{1, -1, 2, 3} {
+		if err := c.Push("s", stream.NewTuple(int64(i), "a", v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := c.MeasuredSelectivity("pos")
+	if !ok {
+		t.Fatal("operator not measured")
+	}
+	if math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("measured selectivity = %v, want 0.75", got)
+	}
+}

@@ -27,13 +27,35 @@ type Costs struct {
 	Window  float64
 	Join    float64
 	// Selectivity estimates the fraction of tuples surviving a filter when
-	// sizing downstream operators.
+	// sizing downstream operators — the static guess used when no
+	// measurement exists.
 	Selectivity float64
+	// Measured maps operator keys to selectivities measured by a previous
+	// period's execution (NodeLoad.OutTuples/Tuples, see
+	// MeasuredSelectivities). A re-submitted query compiles its downstream
+	// load estimates from what its filters actually passed instead of the
+	// static Selectivity guess — the compiler's half of the monitoring
+	// feedback loop. Values outside (0, 1] are ignored.
+	Measured map[string]float64
 }
 
 // DefaultCosts returns sensible defaults.
 func DefaultCosts() Costs {
 	return Costs{Filter: 1, Project: 0.5, Window: 2, Join: 4, Selectivity: 0.5}
+}
+
+// MeasuredSelectivities extracts per-operator measured selectivities from an
+// executor's Stats, keyed by operator name (which the compiler emits as the
+// operator key). Operators that processed no tuples are skipped — there is
+// no evidence to override the static guess with.
+func MeasuredSelectivities(loads []engine.NodeLoad) map[string]float64 {
+	out := make(map[string]float64, len(loads))
+	for _, nl := range loads {
+		if nl.Tuples > 0 {
+			out[nl.Name] = nl.Selectivity()
+		}
+	}
+	return out
 }
 
 // Compiled is the result of compiling a query: everything a cloud.Submission
@@ -159,7 +181,7 @@ func (c *compiler) build(src Source) (*Compiled, error) {
 			},
 		})
 		upstream = key
-		rate *= c.costs.Selectivity
+		rate *= c.selectivity(key)
 	}
 
 	switch {
@@ -275,6 +297,16 @@ func (c *compiler) build(src Source) (*Compiled, error) {
 		return nil
 	}
 	return &Compiled{Query: q, Operators: ops, Deploy: deploy}, nil
+}
+
+// selectivity returns the estimated fraction of tuples surviving the
+// operator with the given key: its measured selectivity when a previous
+// period produced one, the static Selectivity guess otherwise.
+func (c *compiler) selectivity(key string) float64 {
+	if m, ok := c.costs.Measured[key]; ok && m > 0 && m <= 1 {
+		return m
+	}
+	return c.costs.Selectivity
 }
 
 // predicate builds the stream predicate for one comparison.

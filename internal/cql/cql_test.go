@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/auction"
 	"repro/internal/cloud"
+	"repro/internal/engine"
 	"repro/internal/stream"
 )
 
@@ -278,5 +279,106 @@ func TestQueryStringCanonical(t *testing.T) {
 	}
 	if !strings.Contains(a.String(), "price>5") {
 		t.Errorf("canonical string = %s", a)
+	}
+}
+
+// TestMeasuredSelectivityRecalibrates: a re-submitted query compiled with
+// measured selectivities (Costs.Measured) sizes its downstream operators
+// from what the filter actually passed, not the static Selectivity guess.
+func TestMeasuredSelectivityRecalibrates(t *testing.T) {
+	const text = "SELECT AVG(price) FROM stocks WHERE price > 100 WINDOW 10"
+	costs := DefaultCosts() // static selectivity 0.5, stocks rate 10
+	static := MustCompile(text, catalog(), costs)
+	if len(static.Operators) != 2 {
+		t.Fatalf("want filter+window, got %d operators", len(static.Operators))
+	}
+	filterKey := static.Operators[0].Key
+	// Window load under the guess: cost 2 × rate 10 × 0.5.
+	if got := static.Operators[1].Load; got != 10 {
+		t.Fatalf("static window load = %v, want 10", got)
+	}
+
+	// The previous period measured the filter passing 20% of its input.
+	costs.Measured = MeasuredSelectivities([]engine.NodeLoad{
+		{Name: filterKey, Tuples: 1000, OutTuples: 200},
+		{Name: "idle-op", Tuples: 0, OutTuples: 0}, // no evidence: skipped
+	})
+	if _, ok := costs.Measured["idle-op"]; ok {
+		t.Fatal("operator with no input must not override the static guess")
+	}
+	measured := MustCompile(text, catalog(), costs)
+	if got := measured.Operators[1].Load; got != 4 {
+		t.Fatalf("recalibrated window load = %v, want 2×10×0.2 = 4", got)
+	}
+	// Out-of-range measurements are ignored, not trusted.
+	costs.Measured[filterKey] = 0
+	if got := MustCompile(text, catalog(), costs).Operators[1].Load; got != 10 {
+		t.Fatalf("zero measurement must fall back to static guess, got load %v", got)
+	}
+}
+
+// TestGlobalWindowQueryOnStagedBackend is the PR's acceptance scenario at
+// the CQL layer: a query with a global (ungrouped) window, compiled through
+// cloud.CompilePlan, executes on the staged sharded backend with N>1 shards
+// and produces tuple-identical results to the synchronous Engine — and the
+// merged stats show nonzero load on both the parallel and global stages.
+func TestGlobalWindowQueryOnStagedBackend(t *testing.T) {
+	cat := catalog()
+	sources := []cloud.SourceDecl{{Name: "stocks", Schema: cat["stocks"].Schema}}
+	comp := MustCompile("SELECT AVG(price) FROM stocks WHERE price > 100 WINDOW 5", cat, DefaultCosts())
+	sub := cloud.Submission{User: 1, Name: "gavg", Bid: 10, Operators: comp.Operators, Deploy: comp.Deploy}
+	factory := func() (*engine.Plan, error) { return cloud.CompilePlan(sources, []cloud.Submission{sub}) }
+
+	push := func(ex engine.Executor) []stream.Tuple {
+		for i := 0; i < 500; i++ {
+			// Strictly increasing timestamps: the exchange merge then
+			// reconstructs exactly the synchronous processing order.
+			tu := stream.NewTuple(int64(i), []string{"AAA", "BBB", "CCC"}[i%3], 90.0+float64(i%40), int64(i))
+			if err := ex.PushBatch("stocks", []stream.Tuple{tu}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ex.Advance(100)
+		ex.Stop()
+		return ex.Results("gavg")
+	}
+
+	plan, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := push(eng)
+
+	st, err := engine.StartStaged(factory, engine.StagedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumShards() != 4 || st.Split().FullyParallel() {
+		t.Fatalf("staged: %d shards, split %s; want 4 shards with a global stage", st.NumShards(), st.Split())
+	}
+	got := push(st)
+
+	if len(got) != len(want) {
+		t.Fatalf("staged results = %d tuples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Ts != want[i].Ts || got[i].Float(1) != want[i].Float(1) {
+			t.Fatalf("result %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	var par, glob float64
+	for _, nl := range st.Stats() {
+		if st.Split().Global[nl.ID] {
+			glob += nl.Load
+		} else {
+			par += nl.Load
+		}
+	}
+	if par <= 0 || glob <= 0 {
+		t.Fatalf("per-stage loads parallel=%.3f global=%.3f, want both nonzero", par, glob)
 	}
 }

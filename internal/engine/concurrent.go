@@ -26,6 +26,9 @@ type Runtime struct {
 	plan *Plan
 	// srcIn carries tuple batches from PushBatch into the per-source router.
 	srcIn map[string]chan []stream.Tuple
+	// taps holds the streaming sink consumers from RuntimeConfig; read-only
+	// after start.
+	taps map[string]func([]stream.Tuple)
 
 	mu      sync.Mutex
 	results map[string][]stream.Tuple
@@ -82,6 +85,18 @@ type RuntimeConfig struct {
 	// a slow interior operator backs pressure up to the ingress where the
 	// shedder absorbs it; sources never stall.
 	Shedder Shedder
+	// NoShedSources exempts the named sources from the Shedder: their
+	// ingress edges keep the lossless blocking path. The staged executor
+	// uses it for exchange sources — interior edges of the staged graph,
+	// where shedding already happened at the true ingress.
+	NoShedSources map[string]bool
+	// Taps maps sink names to streaming batch consumers: a tapped sink's
+	// batches are handed to the tap (which takes ownership of the slice)
+	// the moment they are emitted, instead of accumulating for Results.
+	// Taps are invoked from operator goroutines, possibly concurrently, and
+	// must not block indefinitely — a blocking tap stalls its producer. The
+	// staged executor uses taps as the shard side of exchange edges.
+	Taps map[string]func([]stream.Tuple)
 }
 
 // StartConcurrent builds and starts the runtime over a built plan with the
@@ -110,6 +125,7 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 	r := &Runtime{
 		plan:    p,
 		srcIn:   make(map[string]chan []stream.Tuple),
+		taps:    cfg.Taps,
 		results: make(map[string][]stream.Tuple),
 		stats:   make([]runtimeCounters, len(p.nodes)),
 	}
@@ -160,9 +176,7 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 				nodeIn[e.node] <- sidedBatch{batch, e.side}
 				continue
 			}
-			r.mu.Lock()
-			r.results[e.sink] = append(r.results[e.sink], batch...)
-			r.mu.Unlock()
+			r.deliver(e.sink, batch)
 		}
 	}
 
@@ -196,9 +210,7 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 				if i < last {
 					batch = cloneBatch(ts)
 				}
-				r.mu.Lock()
-				r.results[e.sink] = append(r.results[e.sink], batch...)
-				r.mu.Unlock()
+				r.deliver(e.sink, batch)
 				continue
 			}
 			st := &states[i]
@@ -245,10 +257,11 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 		ch := make(chan []stream.Tuple, buf)
 		r.srcIn[name] = ch
 		src := s
+		shedHere := cfg.Shedder != nil && !cfg.NoShedSources[name]
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
-			if cfg.Shedder != nil {
+			if shedHere {
 				// Per-edge sampler state is owned by this router goroutine.
 				states := make([]shedState, len(src.out))
 				for ts := range ch {
@@ -305,6 +318,18 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 		}()
 	}
 	return r, nil
+}
+
+// deliver routes one owned sink batch: to the sink's tap when one is
+// installed, otherwise into the Results accumulator.
+func (r *Runtime) deliver(sink string, batch []stream.Tuple) {
+	if tap := r.taps[sink]; tap != nil {
+		tap(batch)
+		return
+	}
+	r.mu.Lock()
+	r.results[sink] = append(r.results[sink], batch...)
+	r.mu.Unlock()
 }
 
 // cloneBatch deep-copies a batch so each consumer owns its tuples.
@@ -373,15 +398,25 @@ func (r *Runtime) Stats() []NodeLoad {
 
 // statsFromCounters converts a plan's runtime counters into NodeLoads.
 func statsFromCounters(p *Plan, counters []runtimeCounters, ticks int64) []NodeLoad {
-	infos := p.Nodes()
-	tuples := make([]int64, len(infos))
-	outs := make([]int64, len(infos))
-	sheds := make([]int64, len(infos))
+	tuples := make([]int64, len(counters))
+	outs := make([]int64, len(counters))
+	sheds := make([]int64, len(counters))
+	shedUtil := make([]float64, len(counters))
 	for i := range counters {
 		tuples[i] = counters[i].tuples.Load()
 		outs[i] = counters[i].out.Load()
 		sheds[i] = counters[i].shed.Load()
+		shedUtil[i] = counters[i].shedUtil.Load()
 	}
+	return assembleLoads(p, tuples, outs, sheds, shedUtil, ticks)
+}
+
+// assembleLoads builds the NodeLoad slice from aggregated per-node counter
+// arrays over plan p's topology: demand reconstruction (OfferedLoad) runs
+// across p's edges and loads divide by ticks. Shared by Runtime stats and
+// the Staged executor's cross-stage merge.
+func assembleLoads(p *Plan, tuples, outs, sheds []int64, shedUtil []float64, ticks int64) []NodeLoad {
+	infos := p.Nodes()
 	demand := demandIn(p, tuples, outs, sheds)
 	out := make([]NodeLoad, len(infos))
 	for i, info := range infos {
@@ -399,7 +434,7 @@ func statsFromCounters(p *Plan, counters []runtimeCounters, ticks int64) []NodeL
 			Load:            load,
 			OfferedLoad:     offered,
 			ShedTuples:      sheds[i],
-			ShedUtilityLost: counters[i].shedUtil.Load(),
+			ShedUtilityLost: shedUtil[i],
 			Owners:          sortedOwners(info.Owners),
 		}
 	}

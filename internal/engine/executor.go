@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"runtime"
 	"sort"
 
 	"repro/internal/stream"
@@ -79,6 +80,46 @@ func (e *Engine) Stop() {
 
 // errStopped is returned by concurrent executors on pushes after Stop.
 var errStopped = errors.New("engine: executor stopped")
+
+// SettleStats samples ex.Stats repeatedly, yielding the processor between
+// samples, until three consecutive snapshots agree on every tuple counter
+// (or a bounded number of yields elapses), and returns the last snapshot.
+// Concurrent executors meter asynchronously: a sample taken right after a
+// burst of pushes can run ahead of the operator goroutines, reading zeros
+// that a Stop-less monitoring loop (mid-period shed replanning, dashboards)
+// would mistake for an idle plan. On a continuously loaded executor the
+// counters never settle and the latest snapshot is returned — which is then
+// a current reading by construction.
+func SettleStats(ex Executor) []NodeLoad {
+	prev := ex.Stats()
+	stable := 0
+	for i := 0; i < 4096 && stable < 3; i++ {
+		runtime.Gosched()
+		cur := ex.Stats()
+		if sameCounts(prev, cur) {
+			stable++
+		} else {
+			stable = 0
+		}
+		prev = cur
+	}
+	return prev
+}
+
+// sameCounts reports whether two stats snapshots agree on the monotone
+// tuple counters (loads are derived from them, so counter equality implies
+// load equality at fixed ticks).
+func sameCounts(a, b []NodeLoad) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Tuples != b[i].Tuples || a[i].OutTuples != b[i].OutTuples || a[i].ShedTuples != b[i].ShedTuples {
+			return false
+		}
+	}
+	return true
+}
 
 // sortedOwners copies and sorts an owner list for stable NodeLoad output.
 func sortedOwners(owners []string) []string {

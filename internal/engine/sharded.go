@@ -22,7 +22,10 @@ type ShardedConfig struct {
 	Shards int
 	// Buf is the per-edge channel buffer in batches; <= 0 means 64.
 	Buf int
-	// Partition routes tuples to shards; nil means PartitionByField(0).
+	// Partition routes tuples to shards. When nil, StartSharded verifies
+	// via Plan.Analyze that PartitionByField(0) is correct for the plan and
+	// uses it — or returns an error, instead of silently mis-partitioning a
+	// plan keyed on another field.
 	Partition PartitionFunc
 	// Shedder, when non-nil, is installed in every shard runtime: each shard
 	// sheds independently at its own ingress edges (per-shard sampler state
@@ -41,8 +44,9 @@ type ShardedConfig struct {
 // ordering whenever every stateful operator's state is keyed no finer than
 // the partition key — e.g. filters (stateless), per-key windowed aggregates
 // and equi-joins partitioned on the group/join key. A global (ungrouped)
-// window over an unpartitioned stream is NOT shardable; run it on the
-// Runtime or Engine instead.
+// window over an unpartitioned stream is NOT shardable here; the Staged
+// executor runs such plans by splitting them into a shardable prefix and a
+// global suffix connected by exchange edges (see StartStaged).
 type Sharded struct {
 	shards   []*Runtime
 	part     PartitionFunc
@@ -62,29 +66,35 @@ var partitionSeed = maphash.MakeSeed()
 // a news stream — co-locate joinable tuples on one shard.
 func PartitionByField(i int) PartitionFunc {
 	return func(_ string, t stream.Tuple) uint64 {
-		if i < 0 || i >= len(t.Vals) {
-			return uint64(t.Ts)
-		}
-		var h maphash.Hash
-		h.SetSeed(partitionSeed)
-		switch v := t.Vals[i].(type) {
-		case string:
-			h.WriteString(v)
-		case int64:
-			writeUint64(&h, uint64(v))
-		case float64:
-			writeUint64(&h, uint64(int64(v)))
-		case bool:
-			if v {
-				h.WriteByte(1)
-			} else {
-				h.WriteByte(0)
-			}
-		default:
-			return uint64(t.Ts)
-		}
-		return h.Sum64()
+		return hashField(i, t)
 	}
+}
+
+// hashField hashes one tuple field with the process-stable seed, falling
+// back to the timestamp for absent or unhashable fields.
+func hashField(i int, t stream.Tuple) uint64 {
+	if i < 0 || i >= len(t.Vals) {
+		return uint64(t.Ts)
+	}
+	var h maphash.Hash
+	h.SetSeed(partitionSeed)
+	switch v := t.Vals[i].(type) {
+	case string:
+		h.WriteString(v)
+	case int64:
+		writeUint64(&h, uint64(v))
+	case float64:
+		writeUint64(&h, uint64(int64(v)))
+	case bool:
+		if v {
+			h.WriteByte(1)
+		} else {
+			h.WriteByte(0)
+		}
+	default:
+		return uint64(t.Ts)
+	}
+	return h.Sum64()
 }
 
 func writeUint64(h *maphash.Hash, v uint64) {
@@ -99,6 +109,13 @@ func writeUint64(h *maphash.Hash, v uint64) {
 // on each. The factory must return structurally identical plans with fresh
 // operator instances (stats are merged by node ID), which is exactly what a
 // deterministic plan builder produces.
+//
+// When no Partition is configured, the plan's inferred partition keys (see
+// Plan.Analyze) must agree with the PartitionByField(0) default; a plan that
+// is keyed on another field, or that contains global operators, is rejected
+// with an error instead of silently mis-partitioning. Pass an explicit
+// Partition to override the check, or use StartStaged, which derives the
+// partition from the analysis and runs global operators in a merge stage.
 func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, error) {
 	n := cfg.Shards
 	if n <= 0 {
@@ -109,9 +126,6 @@ func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, e
 		buf = 64
 	}
 	part := cfg.Partition
-	if part == nil {
-		part = PartitionByField(0)
-	}
 	s := &Sharded{part: part, sources: make(map[string]bool)}
 	var nodes int
 	for i := 0; i < n; i++ {
@@ -119,6 +133,24 @@ func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, e
 		if err != nil {
 			s.Stop()
 			return nil, fmt.Errorf("engine: sharded plan factory: %w", err)
+		}
+		if i == 0 && part == nil {
+			split, err := p.Analyze()
+			if err != nil {
+				s.Stop()
+				return nil, err
+			}
+			if !split.FullyParallel() {
+				s.Stop()
+				return nil, fmt.Errorf("engine: plan has %d global operator(s) and cannot run on Sharded; use StartStaged", split.NumGlobal())
+			}
+			for name, k := range split.SourceKeys {
+				if k > 0 {
+					s.Stop()
+					return nil, fmt.Errorf("engine: plan partitions source %q by field %d, not the default field 0; set ShardedConfig.Partition (e.g. from StageSplit.Partition) or use StartStaged", name, k)
+				}
+			}
+			s.part = PartitionByField(0)
 		}
 		rt, err := StartRuntime(p, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder})
 		if err != nil {
@@ -211,6 +243,35 @@ func (s *Sharded) Stats() []NodeLoad {
 		}
 	}
 	return merged
+}
+
+// ShardStats returns each shard's own per-node loads (node IDs are shared
+// across shards), exposing skew the merged Stats sum hides: under a skewed
+// key distribution one shard's Load dwarfs the others'. Ticks are this
+// executor's Advance ticks, like Stats.
+func (s *Sharded) ShardStats() [][]NodeLoad {
+	return perShardLoads(s.shards, nil, s.ticks.Load())
+}
+
+// perShardLoads collects each shard runtime's raw stats, optionally remaps
+// node IDs (ids nil keeps them), and normalizes loads by the owning
+// executor's ticks — shared by Sharded.ShardStats and Staged.ShardStats.
+func perShardLoads(shards []*Runtime, ids []int, ticks int64) [][]NodeLoad {
+	out := make([][]NodeLoad, len(shards))
+	for i, sh := range shards {
+		loads := sh.Stats()
+		for j := range loads {
+			if ids != nil {
+				loads[j].ID = ids[j]
+			}
+			if ticks > 0 {
+				loads[j].Load /= float64(ticks)
+				loads[j].OfferedLoad /= float64(ticks)
+			}
+		}
+		out[i] = loads
+	}
+	return out
 }
 
 // Stop stops every shard concurrently and waits: each shard drains its

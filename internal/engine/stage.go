@@ -1,0 +1,443 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// This file implements the staged-dataflow analysis behind the Staged
+// executor: a built Plan is split into a maximal shardable ("parallel")
+// prefix and a global suffix, connected by exchange edges. The split follows
+// the classic Volcano exchange design: every operator whose state is keyed
+// no finer than its source's partition key runs replicated across shards;
+// everything downstream of the first global (ungrouped) operator runs once,
+// fed by a repartition/merge edge.
+//
+// The analysis reads partition-key metadata straight off the operator
+// instances (stream.PartitionKeyer / BinaryPartitionKeyer / TuplePreserver),
+// so plans compiled by internal/cql or hand-built against internal/stream
+// carry everything the split needs.
+
+// ExchangeName returns the reserved sink/source name carrying the output of
+// plan node id across the stage boundary. Prefix plans route the node's
+// cross-stage edges to a sink of this name; the suffix plan declares a
+// source of the same name, fed by the executor's timestamp-ordered merge.
+func ExchangeName(id int) string { return fmt.Sprintf("xchg:n%d", id) }
+
+// StageSplit is the result of analyzing a built plan for staged sharded
+// execution. Node IDs refer to the analyzed plan.
+type StageSplit struct {
+	plan *Plan
+	// Global[i] reports that node i must run in the single global stage:
+	// its state spans partition keys (an ungrouped window, an un-keyed
+	// join, a key conflict) or it consumes a global node's output.
+	Global []bool
+	// SourceKeys maps each source to the tuple field that must partition
+	// it for the parallel stage to be correct, or -1 when any consistent
+	// partitioning works (only stateless or global operators consume it).
+	SourceKeys map[string]int
+	// Exchanges lists the parallel-stage node IDs whose output crosses into
+	// the global stage, in ascending order — one merge edge each.
+	Exchanges []int
+	// PrefixSources are sources consumed by the parallel stage (or by
+	// nothing at all); DirectSources are sources consumed by the global
+	// stage. A source feeding both stages appears in both sets.
+	PrefixSources map[string]bool
+	DirectSources map[string]bool
+
+	numParallel int
+}
+
+// NumParallel returns the number of parallel-stage nodes.
+func (s *StageSplit) NumParallel() int { return s.numParallel }
+
+// NumGlobal returns the number of global-stage nodes.
+func (s *StageSplit) NumGlobal() int { return len(s.Global) - s.numParallel }
+
+// FullyParallel reports that every node can run sharded — no global stage,
+// no exchanges.
+func (s *StageSplit) FullyParallel() bool { return s.NumGlobal() == 0 }
+
+// String renders the split for logs: stage sizes, exchange count, and the
+// inferred per-source partition keys.
+func (s *StageSplit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d parallel + %d global nodes, %d exchanges", s.numParallel, s.NumGlobal(), len(s.Exchanges))
+	keys := make([]string, 0, len(s.SourceKeys))
+	for name, k := range s.SourceKeys {
+		if k >= 0 {
+			keys = append(keys, fmt.Sprintf("%s→f%d", name, k))
+		}
+	}
+	if len(keys) > 0 {
+		sort.Strings(keys)
+		fmt.Fprintf(&b, ", keys %s", strings.Join(keys, " "))
+	}
+	return b.String()
+}
+
+// Partition returns the PartitionFunc the parallel stage requires: each
+// source is hashed on its inferred key field (field 0 for unconstrained
+// sources, a stable default that co-locates key-agnostic streams the same
+// way the legacy Sharded executor did).
+func (s *StageSplit) Partition() PartitionFunc {
+	fields := make(map[string]int, len(s.SourceKeys))
+	for name, k := range s.SourceKeys {
+		if k < 0 {
+			k = 0
+		}
+		fields[name] = k
+	}
+	return func(source string, t stream.Tuple) uint64 {
+		return hashField(fields[source], t)
+	}
+}
+
+// inEdge is one resolved input of a node: the producing port and the
+// consumer side it feeds.
+type inEdge struct {
+	from PortRef
+	side stream.Side
+}
+
+// inputEdges resolves every node's input edges (with sides) by scanning
+// producer out-lists; build-time-only work, like inputsOf.
+func (p *Plan) inputEdges() [][]inEdge {
+	ins := make([][]inEdge, len(p.nodes))
+	add := func(from PortRef, out []edge) {
+		for _, e := range out {
+			if e.node >= 0 {
+				ins[e.node] = append(ins[e.node], inEdge{from, e.side})
+			}
+		}
+	}
+	for name, s := range p.sources {
+		add(FromSource(name), s.out)
+	}
+	for _, n := range p.nodes {
+		add(PortRef{node: n.id}, n.out)
+	}
+	for _, es := range ins {
+		sort.SliceStable(es, func(i, j int) bool { return es[i].side < es[j].side })
+	}
+	return ins
+}
+
+// Analyze splits the plan into a maximal shardable prefix and a global
+// suffix. It builds the plan if necessary. A node is parallel when its state
+// is keyed no finer than the partition key of the single source its input
+// traces back to through tuple-preserving operators; key requirements are
+// accumulated per source in topological order, first requirement wins, and
+// any node that conflicts (or whose key lineage is untraceable, or that
+// declares global state, or that consumes a global node) joins the global
+// stage. Transforms declaring neither a partition key nor statelessness
+// (stream.StatelessOp) are treated as global — the closed default that
+// keeps an undeclared stateful operator from being sharded wrong. The
+// split is a prefix: global-ness propagates downstream.
+func (p *Plan) Analyze() (*StageSplit, error) {
+	if !p.built {
+		if err := p.Build(); err != nil {
+			return nil, err
+		}
+	}
+	s := &StageSplit{
+		plan:          p,
+		Global:        make([]bool, len(p.nodes)),
+		SourceKeys:    make(map[string]int, len(p.sources)),
+		PrefixSources: make(map[string]bool),
+		DirectSources: make(map[string]bool),
+	}
+	for name := range p.sources {
+		s.SourceKeys[name] = -1
+	}
+	ins := p.inputEdges()
+
+	// lineage[i] is the source whose tuples node i emits unchanged (through
+	// tuple-preserving stateless operators only); "" = untraceable.
+	lineage := make([]string, len(p.nodes))
+	lineageOf := func(ref PortRef) string {
+		if ref.IsSource() {
+			return ref.source
+		}
+		return lineage[ref.node]
+	}
+	inputGlobal := func(es []inEdge) bool {
+		for _, e := range es {
+			if !e.from.IsSource() && s.Global[e.from.node] {
+				return true
+			}
+		}
+		return false
+	}
+	// claimable reports whether src can (still) be partitioned on field;
+	// claim records the requirement. They are split so a node needing two
+	// claims (a join) commits neither unless both hold — a half-recorded
+	// claim from a node that then goes global would constrain sources no
+	// parallel node actually keys on.
+	claimable := func(src string, field int) bool {
+		have := s.SourceKeys[src]
+		return have == -1 || have == field
+	}
+	claim := func(src string, field int) {
+		s.SourceKeys[src] = field
+	}
+	stateless := func(op any) bool {
+		so, ok := op.(stream.StatelessOp)
+		return ok && so.Stateless()
+	}
+
+	for i, n := range p.nodes {
+		es := ins[i]
+		global := inputGlobal(es)
+		if n.unary != nil {
+			if len(es) != 1 {
+				return nil, fmt.Errorf("engine: node %d (%s) has %d inputs, want 1", i, n.name(), len(es))
+			}
+			if pk, ok := n.unary.(stream.PartitionKeyer); ok {
+				if !global {
+					k := pk.PartitionField()
+					src := lineageOf(es[0].from)
+					if k < 0 || src == "" || !claimable(src, k) {
+						global = true
+					} else {
+						claim(src, k)
+					}
+				}
+			} else if !stateless(n.unary) {
+				// Closed default: a transform declaring neither a partition
+				// key nor statelessness may hold arbitrary state — pin it to
+				// the global stage rather than shard it wrong.
+				global = true
+			}
+			s.Global[i] = global
+			if !global {
+				if tp, ok := n.unary.(stream.TuplePreserver); ok && tp.PreservesTuples() {
+					lineage[i] = lineageOf(es[0].from)
+				}
+			}
+			continue
+		}
+		// Binary: exactly one left and one right input (AddBinary wires both;
+		// a self-join has the same producer on both sides).
+		if len(es) != 2 || es[0].side != stream.Left || es[1].side != stream.Right {
+			return nil, fmt.Errorf("engine: node %d (%s) has malformed binary inputs", i, n.name())
+		}
+		if pk, ok := n.binary.(stream.BinaryPartitionKeyer); ok {
+			if !global {
+				l, r := pk.PartitionFields()
+				srcL, srcR := lineageOf(es[0].from), lineageOf(es[1].from)
+				switch {
+				case l < 0 || r < 0 || srcL == "" || srcR == "":
+					global = true
+				case srcL == srcR && l != r:
+					// One source cannot be partitioned on two different fields.
+					global = true
+				case !claimable(srcL, l) || !claimable(srcR, r):
+					global = true
+				default:
+					claim(srcL, l)
+					claim(srcR, r)
+				}
+			}
+		} else if !stateless(n.binary) {
+			global = true // closed default, as for unary transforms
+		}
+		s.Global[i] = global
+		if !global {
+			if tp, ok := n.binary.(stream.TuplePreserver); ok && tp.PreservesTuples() {
+				// A union preserves lineage only when both inputs carry the
+				// same source's tuples.
+				if srcL, srcR := lineageOf(es[0].from), lineageOf(es[1].from); srcL != "" && srcL == srcR {
+					lineage[i] = srcL
+				}
+			}
+		}
+	}
+
+	for i, g := range s.Global {
+		if !g {
+			s.numParallel++
+		} else {
+			// A global node consuming a parallel port creates an exchange.
+			for _, e := range ins[i] {
+				if e.from.IsSource() {
+					s.DirectSources[e.from.source] = true
+				} else if !s.Global[e.from.node] {
+					s.addExchange(e.from.node)
+				}
+			}
+		}
+	}
+	for name, src := range p.sources {
+		used := false
+		for _, e := range src.out {
+			if e.node < 0 || !s.Global[e.node] {
+				s.PrefixSources[name] = true
+			}
+			used = true
+		}
+		// Sources no admitted query consumes still accept pushes (and
+		// discard them); route them through the parallel stage.
+		if !used {
+			s.PrefixSources[name] = true
+		}
+	}
+	return s, nil
+}
+
+// copyOwners merges src's query ownership into dst.
+func copyOwners(dst, src *node) {
+	for o := range src.owners {
+		dst.owners[o] = true
+	}
+}
+
+// addExchange records a parallel producer node crossing the boundary,
+// keeping Exchanges sorted and unique.
+func (s *StageSplit) addExchange(id int) {
+	i := sort.SearchInts(s.Exchanges, id)
+	if i < len(s.Exchanges) && s.Exchanges[i] == id {
+		return
+	}
+	s.Exchanges = append(s.Exchanges, 0)
+	copy(s.Exchanges[i+1:], s.Exchanges[i:])
+	s.Exchanges[i] = id
+}
+
+// prefixPlan carves the parallel-stage plan for one shard out of full — a
+// plan structurally identical to the analyzed one (typically another call of
+// the same factory), whose operator instances the sub-plan reuses. Edges
+// into global nodes become exchange sinks. The returned ids slice maps
+// sub-plan node indices back to analyzed-plan node IDs.
+func (s *StageSplit) prefixPlan(full *Plan) (*Plan, []int, error) {
+	if len(full.nodes) != len(s.Global) {
+		return nil, nil, fmt.Errorf("engine: stage split of %d nodes applied to plan with %d", len(s.Global), len(full.nodes))
+	}
+	sub := NewPlan()
+	// Schemas stay nil: the Staged executor validates tuples once at its
+	// own ingress (a source feeding both stages would otherwise validate —
+	// and count rejects — twice).
+	for name := range full.sources {
+		if s.PrefixSources[name] {
+			sub.AddSource(name, nil)
+		}
+	}
+	ins := full.inputEdges()
+	ports := make([]PortRef, len(full.nodes))
+	var ids []int
+	mapIn := func(ref PortRef) PortRef {
+		if ref.IsSource() {
+			return ref
+		}
+		return ports[ref.node]
+	}
+	for i, n := range full.nodes {
+		if s.Global[i] {
+			continue
+		}
+		if n.unary != nil {
+			ports[i] = sub.AddUnary(n.unary, mapIn(ins[i][0].from))
+		} else {
+			ports[i] = sub.AddBinary(n.binary, mapIn(ins[i][0].from), mapIn(ins[i][1].from))
+		}
+		// Carry the full plan's ownership over: a prefix node may serve
+		// queries whose sinks live in the global stage, and shed policies
+		// resolve by owner.
+		copyOwners(sub.nodes[len(sub.nodes)-1], n)
+		ids = append(ids, i)
+	}
+	// Query sinks owned by the parallel stage.
+	addSinks := func(from PortRef, out []edge) {
+		for _, e := range out {
+			if e.node < 0 {
+				sub.AddSink(e.sink, mapIn(from))
+			}
+		}
+	}
+	for name, src := range full.sources {
+		if s.PrefixSources[name] {
+			addSinks(FromSource(name), src.out)
+		}
+	}
+	for i, n := range full.nodes {
+		if !s.Global[i] {
+			addSinks(PortRef{node: i}, n.out)
+		}
+	}
+	// Exchange sinks: one per crossing producer. Wired without AddSink so
+	// the exchange pseudo-query never appears in operator owner lists —
+	// owners feed shed policies and the auction, and an exchange is an
+	// edge, not a query.
+	for _, id := range s.Exchanges {
+		name := ExchangeName(id)
+		sub.sinks[name] = true
+		sub.connect(ports[id], edge{node: -1, sink: name})
+	}
+	if err := sub.Build(); err != nil {
+		return nil, nil, err
+	}
+	return sub, ids, nil
+}
+
+// suffixPlan carves the global-stage plan out of full, reusing its operator
+// instances. Inputs arriving from the parallel stage become exchange
+// sources (nil schema: their tuples were validated at the real ingress);
+// sources feeding global nodes directly keep their names and schemas. The
+// returned ids slice maps sub-plan node indices to analyzed-plan node IDs.
+func (s *StageSplit) suffixPlan(full *Plan) (*Plan, []int, error) {
+	if len(full.nodes) != len(s.Global) {
+		return nil, nil, fmt.Errorf("engine: stage split of %d nodes applied to plan with %d", len(s.Global), len(full.nodes))
+	}
+	sub := NewPlan()
+	// Nil schemas, like prefixPlan: the Staged executor validates at its
+	// own ingress, and exchange tuples were validated there already.
+	for name := range full.sources {
+		if s.DirectSources[name] {
+			sub.AddSource(name, nil)
+		}
+	}
+	for _, id := range s.Exchanges {
+		sub.AddSource(ExchangeName(id), nil)
+	}
+	ins := full.inputEdges()
+	ports := make([]PortRef, len(full.nodes))
+	var ids []int
+	mapIn := func(ref PortRef) PortRef {
+		if ref.IsSource() {
+			return ref
+		}
+		if s.Global[ref.node] {
+			return ports[ref.node]
+		}
+		return FromSource(ExchangeName(ref.node))
+	}
+	for i, n := range full.nodes {
+		if !s.Global[i] {
+			continue
+		}
+		if n.unary != nil {
+			ports[i] = sub.AddUnary(n.unary, mapIn(ins[i][0].from))
+		} else {
+			ports[i] = sub.AddBinary(n.binary, mapIn(ins[i][0].from), mapIn(ins[i][1].from))
+		}
+		copyOwners(sub.nodes[len(sub.nodes)-1], n)
+		ids = append(ids, i)
+	}
+	for i, n := range full.nodes {
+		if !s.Global[i] {
+			continue
+		}
+		for _, e := range n.out {
+			if e.node < 0 {
+				sub.AddSink(e.sink, ports[i])
+			}
+		}
+	}
+	if err := sub.Build(); err != nil {
+		return nil, nil, err
+	}
+	return sub, ids, nil
+}

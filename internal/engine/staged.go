@@ -1,0 +1,481 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stream"
+)
+
+// StagedConfig tunes StartStaged. The zero value is usable: GOMAXPROCS
+// shards, a 64-batch buffer per edge, partition keys inferred from the plan.
+type StagedConfig struct {
+	// Shards is the parallel-stage width; <= 0 means GOMAXPROCS.
+	Shards int
+	// Buf is the per-edge channel buffer in batches; <= 0 means 64.
+	Buf int
+	// Shedder, when non-nil, sheds at the true ingress edges only: every
+	// shard's source routers and the global stage's direct source feeds.
+	// Exchange edges never shed — they are interior edges of the staged
+	// graph, and dropping there would double-penalize tuples that already
+	// survived ingress shedding.
+	Shedder Shedder
+}
+
+// Staged executes any plan across shards by splitting it into two stages
+// (see Plan.Analyze): the maximal shardable prefix runs as N independent
+// Runtimes partitioned on the plan's inferred keys, and the global suffix —
+// ungrouped windows, un-keyed joins, anything whose state spans partition
+// keys — runs once, fed by exchange edges that merge the shards' outputs in
+// tuple-timestamp order. Plans with no global operators degenerate to pure
+// sharding; plans with no parallel operators run on the single global
+// runtime. Either way every plan executes, which is what lets an admission
+// daemon route all admitted plans through one backend unconditionally.
+//
+// Ordering guarantees across the merge: within one exchange edge, tuples are
+// delivered to the global stage in nondecreasing timestamp order provided
+// each shard emits in nondecreasing timestamp order (true when sources push
+// timestamp-ordered batches, since every operator preserves or maximizes
+// timestamps); ties across shards break by shard index. Across different
+// exchange edges (and relative to direct source feeds) no order is
+// guaranteed — the same independence the Runtime's channel edges already
+// have. With strictly increasing source timestamps, a global stage fed by
+// one exchange therefore sees exactly the tuple sequence the synchronous
+// Engine would, and produces tuple-identical results.
+//
+// Results completeness and per-edge merge progress are only guaranteed after
+// Stop: the merge may buffer (without bound, and without blocking shards)
+// while it waits for slow shards, so mid-run Results can lag. Stats are
+// merged across both stages onto the analyzed plan's node IDs, and
+// OfferedLoad reconstruction runs over the full staged topology, so shed
+// accounting stays correct through the exchange.
+type Staged struct {
+	split *StageSplit
+	topo  *Plan // analyzed full plan: stats topology; its instances run the suffix
+	part  PartitionFunc
+
+	shards    []*Runtime
+	shardIDs  []int // prefix-plan node index -> topo node ID
+	global    *Runtime
+	globalIDs []int // suffix-plan node index -> topo node ID
+
+	exchanges []*exchangeMerge
+	mergeWG   sync.WaitGroup
+
+	ticks    atomic.Int64
+	dropped  atomic.Int64
+	stopped  atomic.Bool
+	stopOnce sync.Once
+}
+
+// StartStaged analyzes the factory's plan, starts the parallel stage (N
+// shard Runtimes over the carved prefix) and the global stage (one Runtime
+// over the carved suffix), and wires the exchange merges between them. The
+// factory must return structurally identical plans with fresh operator
+// instances, exactly like StartSharded's.
+func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	buf := cfg.Buf
+	if buf <= 0 {
+		buf = 64
+	}
+	full, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("engine: staged plan factory: %w", err)
+	}
+	split, err := full.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	s := &Staged{split: split, topo: full, part: split.Partition()}
+
+	if split.NumParallel() == 0 {
+		// Fully global: no parallel stage, no exchanges — the whole plan
+		// (sources included, even unconsumed ones) runs on one Runtime,
+		// reusing the analyzed plan's instances.
+		s.global, err = StartRuntime(full, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder})
+		if err != nil {
+			return nil, err
+		}
+		s.globalIDs = identity(len(full.nodes))
+		return s, nil
+	}
+
+	if split.NumGlobal() > 0 {
+		// The suffix reuses the analyzed plan's operator instances; each
+		// shard below gets its own factory instances.
+		suffix, ids, err := split.suffixPlan(full)
+		if err != nil {
+			return nil, err
+		}
+		noShed := make(map[string]bool, len(split.Exchanges))
+		for _, id := range split.Exchanges {
+			noShed[ExchangeName(id)] = true
+		}
+		s.global, err = StartRuntime(suffix, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder, NoShedSources: noShed})
+		if err != nil {
+			return nil, err
+		}
+		s.globalIDs = ids
+		for _, id := range split.Exchanges {
+			s.exchanges = append(s.exchanges, newExchangeMerge(ExchangeName(id), n))
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		p, err := factory()
+		if err != nil {
+			s.Stop()
+			return nil, fmt.Errorf("engine: staged plan factory: %w", err)
+		}
+		if len(p.nodes) != len(full.nodes) {
+			s.Stop()
+			return nil, fmt.Errorf("engine: staged plan factory is not deterministic: analyzed plan has %d nodes, shard %d has %d", len(full.nodes), i, len(p.nodes))
+		}
+		prefix, ids, err := split.prefixPlan(p)
+		if err != nil {
+			s.Stop()
+			return nil, err
+		}
+		var taps map[string]func([]stream.Tuple)
+		if len(s.exchanges) > 0 {
+			taps = make(map[string]func([]stream.Tuple), len(s.exchanges))
+			for _, x := range s.exchanges {
+				taps[x.name] = x.offer(i)
+			}
+		}
+		rt, err := StartRuntime(prefix, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder, Taps: taps})
+		if err != nil {
+			s.Stop()
+			return nil, err
+		}
+		if i == 0 {
+			s.shardIDs = ids
+		}
+		s.shards = append(s.shards, rt)
+	}
+
+	// One merger per exchange edge, pushing Ts-merged batches into the
+	// global stage for the life of the executor.
+	for _, x := range s.exchanges {
+		s.mergeWG.Add(1)
+		go func(x *exchangeMerge) {
+			defer s.mergeWG.Done()
+			x.run(s.global, buf)
+		}(x)
+	}
+	return s, nil
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Split returns the stage analysis this executor runs under.
+func (s *Staged) Split() *StageSplit { return s.split }
+
+// NumShards returns the parallel-stage width (0 for a fully global plan).
+func (s *Staged) NumShards() int { return len(s.shards) }
+
+// PushBatch routes a source batch into the stage(s) consuming it: the
+// parallel stage receives it hash-partitioned on the source's inferred key,
+// and sources the global stage consumes directly are forwarded there whole.
+// Schema validation happens once here — the stage runtimes' carved plans
+// carry no schemas, so a source feeding both stages validates (and counts
+// rejects for) each tuple exactly once.
+func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
+	if s.stopped.Load() {
+		return errStopped
+	}
+	prefix := s.split.PrefixSources[source] && len(s.shards) > 0
+	direct := s.split.DirectSources[source] || (s.split.PrefixSources[source] && len(s.shards) == 0)
+	if !prefix && !direct {
+		s.dropped.Add(int64(len(batch)))
+		return fmt.Errorf("engine: unknown source %q", source)
+	}
+	var first error
+	if schema := s.topo.sources[source].schema; schema != nil {
+		// Filter lazily: the conforming-only common case forwards the
+		// caller's batch without copying.
+		kept := batch
+		copied := false
+		for i, t := range batch {
+			if schema.Conforms(t) {
+				if copied {
+					kept = append(kept, t)
+				}
+				continue
+			}
+			if first == nil {
+				first = fmt.Errorf("engine: tuple does not conform to source %q schema %s", source, schema)
+			}
+			s.dropped.Add(1)
+			if !copied {
+				kept = append(make([]stream.Tuple, 0, len(batch)-1), batch[:i]...)
+				copied = true
+			}
+		}
+		batch = kept
+		if len(batch) == 0 {
+			return first
+		}
+	}
+	if direct {
+		// Runtime.PushBatch copies what it retains, so the same caller
+		// slice can also feed the shards below.
+		if err := s.global.PushBatch(source, batch); err != nil && first == nil {
+			first = err
+		}
+	}
+	if prefix {
+		n := uint64(len(s.shards))
+		sub := make([][]stream.Tuple, len(s.shards))
+		for _, t := range batch {
+			i := s.part(source, t) % n
+			sub[i] = append(sub[i], t)
+		}
+		for i, ts := range sub {
+			if len(ts) == 0 {
+				continue
+			}
+			if err := s.shards[i].PushBatch(source, ts); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Advance moves the merged metering clock forward; the stage runtimes stay
+// at zero ticks so their raw costs aggregate cleanly.
+func (s *Staged) Advance(ticks int64) { s.ticks.Add(ticks) }
+
+// Results concatenates the named query's outputs across the stage that owns
+// its sink (parallel sinks concatenate in shard order) and clears them.
+// Complete only after Stop.
+func (s *Staged) Results(query string) []stream.Tuple {
+	var out []stream.Tuple
+	for _, sh := range s.shards {
+		out = append(out, sh.Results(query)...)
+	}
+	if s.global != nil {
+		out = append(out, s.global.Results(query)...)
+	}
+	return out
+}
+
+// Stats merges both stages' per-node counters onto the analyzed plan's node
+// IDs and recomputes loads over the full staged topology: tuple counts sum
+// across shards and stages, and OfferedLoad reconstruction (demandIn)
+// propagates upstream shed losses across exchange edges exactly as it does
+// across in-plan edges, so drop metering survives the stage boundary.
+func (s *Staged) Stats() []NodeLoad {
+	n := len(s.topo.nodes)
+	tuples := make([]int64, n)
+	outs := make([]int64, n)
+	sheds := make([]int64, n)
+	shedUtil := make([]float64, n)
+	add := func(rt *Runtime, ids []int) {
+		for j, nl := range rt.Stats() { // stage ticks stay 0: raw counts
+			i := ids[j]
+			tuples[i] += nl.Tuples
+			outs[i] += nl.OutTuples
+			sheds[i] += nl.ShedTuples
+			shedUtil[i] += nl.ShedUtilityLost
+		}
+	}
+	for _, sh := range s.shards {
+		add(sh, s.shardIDs)
+	}
+	if s.global != nil {
+		add(s.global, s.globalIDs)
+	}
+	return assembleLoads(s.topo, tuples, outs, sheds, shedUtil, s.ticks.Load())
+}
+
+// ShardStats returns each parallel shard's own per-node loads (indexed by
+// the analyzed plan's node IDs), exposing per-shard imbalance the merged
+// Stats sum hides. Ticks are this executor's Advance ticks.
+func (s *Staged) ShardStats() [][]NodeLoad {
+	return perShardLoads(s.shards, s.shardIDs, s.ticks.Load())
+}
+
+// Stop drains the staged graph front to back: the shard runtimes stop
+// (flushing open state through their taps), the exchange merges drain their
+// remaining buffers into the global stage, and the global runtime stops
+// last. Idempotent; every caller returns only after the full drain.
+func (s *Staged) Stop() {
+	s.stopOnce.Do(func() {
+		s.stopped.Store(true)
+		var wg sync.WaitGroup
+		for _, sh := range s.shards {
+			wg.Add(1)
+			go func(rt *Runtime) {
+				defer wg.Done()
+				rt.Stop()
+			}(sh)
+		}
+		wg.Wait()
+		for _, x := range s.exchanges {
+			x.close()
+		}
+		s.mergeWG.Wait()
+		if s.global != nil {
+			s.global.Stop()
+		}
+	})
+}
+
+// Dropped returns the number of rejected tuples across stages.
+func (s *Staged) Dropped() int {
+	n := int(s.dropped.Load())
+	for _, sh := range s.shards {
+		n += sh.Dropped()
+	}
+	if s.global != nil {
+		n += s.global.Dropped()
+	}
+	return n
+}
+
+// exchangeMerge is one exchange edge's merge point: each shard appends its
+// batches to an unbounded per-shard buffer (never blocking the shard), and
+// a single merger goroutine pops tuples in nondecreasing timestamp order —
+// a tuple is released only once every shard either shows its next tuple or
+// has closed, which is what makes the order deterministic.
+type exchangeMerge struct {
+	name string
+	mu   sync.Mutex
+	cond *sync.Cond
+	bufs [][]stream.Tuple // per-shard FIFO
+	head []int            // per-shard consumed prefix
+	done []bool           // per-shard closed flag
+}
+
+func newExchangeMerge(name string, shards int) *exchangeMerge {
+	x := &exchangeMerge{
+		name: name,
+		bufs: make([][]stream.Tuple, shards),
+		head: make([]int, shards),
+		done: make([]bool, shards),
+	}
+	x.cond = sync.NewCond(&x.mu)
+	return x
+}
+
+// offer returns the tap installed on one shard's exchange sink.
+func (x *exchangeMerge) offer(shard int) func([]stream.Tuple) {
+	return func(ts []stream.Tuple) {
+		x.mu.Lock()
+		x.bufs[shard] = append(x.bufs[shard], ts...)
+		x.mu.Unlock()
+		x.cond.Broadcast()
+	}
+}
+
+// close marks every shard's stream ended; called after all shards stopped.
+func (x *exchangeMerge) close() {
+	x.mu.Lock()
+	for i := range x.done {
+		x.done[i] = true
+	}
+	x.mu.Unlock()
+	x.cond.Broadcast()
+}
+
+// run is the merger loop: it accumulates timestamp-ordered tuples into
+// batches of up to batch tuples and pushes them into the global stage's
+// exchange source. It returns once every shard has closed and drained.
+//
+// A tuple is released only when every shard either shows its next tuple or
+// has closed. A shard that never emits on this edge (a selective filter
+// whose key all hashes elsewhere) therefore holds the merge back until
+// Stop: correctness is unaffected — everything buffers and drains then —
+// but mid-run the global stage idles and mid-run Stats under-report it.
+// Releasing earlier safely needs watermarks/punctuation flowing through
+// the shard pipelines (in-flight tuples make push-side watermarks
+// unsound); see the ROADMAP.
+func (x *exchangeMerge) run(global *Runtime, batch int) {
+	out := make([]stream.Tuple, 0, batch)
+	flush := func() {
+		if len(out) > 0 {
+			// The global runtime copies the batch; reusing out is safe. A
+			// post-Stop error cannot happen here (Stop waits for this loop).
+			_ = global.PushBatch(x.name, out)
+			out = out[:0]
+		}
+	}
+	x.mu.Lock()
+	for {
+		// A pop is safe only when every shard shows its head or has closed.
+		ready := true
+		min, second := -1, -1
+		var minTs, secondTs int64
+		for i := range x.bufs {
+			if x.head[i] < len(x.bufs[i]) {
+				ts := x.bufs[i][x.head[i]].Ts
+				switch {
+				case min < 0 || ts < minTs:
+					second, secondTs = min, minTs
+					min, minTs = i, ts
+				case second < 0 || ts < secondTs:
+					second, secondTs = i, ts
+				}
+			} else if !x.done[i] {
+				ready = false
+			}
+		}
+		if !ready {
+			if len(out) > 0 {
+				// Hand over what is already merged before sleeping.
+				x.mu.Unlock()
+				flush()
+				x.mu.Lock()
+				continue
+			}
+			x.cond.Wait()
+			continue
+		}
+		if min < 0 {
+			break // all shards closed and drained
+		}
+		// Pop the whole run the min shard wins — every head tuple ordered
+		// before the runner-up's head (ties break by shard index) — so the
+		// per-tuple scan and lock traffic amortize over the run.
+		buf := x.bufs[min]
+		h := x.head[min]
+		for h < len(buf) && len(out) < batch {
+			ts := buf[h].Ts
+			if second >= 0 && !(ts < secondTs || (ts == secondTs && min < second)) {
+				break
+			}
+			out = append(out, buf[h])
+			h++
+		}
+		x.head[min] = h
+		if h == len(buf) {
+			// Reclaim the consumed buffer; append will reuse the capacity.
+			x.bufs[min] = buf[:0]
+			x.head[min] = 0
+		}
+		if len(out) == batch {
+			x.mu.Unlock()
+			flush()
+			x.mu.Lock()
+		}
+	}
+	x.mu.Unlock()
+	flush()
+}
+
+// Compile-time check that Staged satisfies the executor contract.
+var _ Executor = (*Staged)(nil)

@@ -1,0 +1,534 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// mixedPlan builds the canonical staged shape: a stateless filter feeding a
+// raw sink, a per-key windowed sum (parallel) and a global (ungrouped)
+// windowed sum (global stage) — one plan mixing both stages.
+func mixedPlan() *Plan {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	flt := p.AddUnary(stream.NewFilter("pos", 1, stream.FieldCmp(1, stream.Gt, 0)), FromSource("s"))
+	p.AddSink("raw", flt)
+	keyed := p.AddUnary(stream.MustWindowAgg("ksum", 2, stream.WindowSpec{
+		Size: 4, Agg: stream.AggSum, Field: 1, GroupBy: 0,
+	}), flt)
+	p.AddSink("ksums", keyed)
+	global := p.AddUnary(stream.MustWindowAgg("gsum", 2, stream.WindowSpec{
+		Size: 5, Agg: stream.AggSum, Field: 1, GroupBy: -1,
+	}), flt)
+	p.AddSink("gsums", global)
+	return p
+}
+
+func TestAnalyzeMixedPlan(t *testing.T) {
+	split, err := mixedPlan().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.NumParallel() != 2 || split.NumGlobal() != 1 {
+		t.Fatalf("split = %d parallel / %d global, want 2/1", split.NumParallel(), split.NumGlobal())
+	}
+	if split.Global[0] || split.Global[1] || !split.Global[2] {
+		t.Fatalf("Global mask = %v, want [false false true]", split.Global)
+	}
+	if got := split.SourceKeys["s"]; got != 0 {
+		t.Fatalf("SourceKeys[s] = %d, want 0 (keyed window group field)", got)
+	}
+	if len(split.Exchanges) != 1 || split.Exchanges[0] != 0 {
+		t.Fatalf("Exchanges = %v, want [0] (filter output crosses)", split.Exchanges)
+	}
+	if !split.PrefixSources["s"] || split.DirectSources["s"] {
+		t.Fatalf("source routing prefix=%v direct=%v, want prefix only",
+			split.PrefixSources["s"], split.DirectSources["s"])
+	}
+	if s := split.String(); !strings.Contains(s, "2 parallel") || !strings.Contains(s, "s→f0") {
+		t.Fatalf("split.String() = %q", s)
+	}
+}
+
+// TestStagedGlobalWindowMatchesSync is the acceptance scenario: a global
+// (ungrouped) window over a sharded prefix, executed at N>1 shards, must be
+// tuple-identical to the synchronous Engine — not just multiset-equal,
+// because the exchange merges shard outputs back into timestamp order.
+func TestStagedGlobalWindowMatchesSync(t *testing.T) {
+	tuples := keyedTuples(1000, 7) // strictly increasing Ts
+
+	eng, err := New(mixedPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runExecutor(t, eng, tuples, 64, "raw", "ksums", "gsums")
+
+	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
+		StagedConfig{Shards: 4, Buf: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", st.NumShards())
+	}
+	got := runExecutor(t, st, tuples, 64, "raw", "ksums", "gsums")
+
+	// Global-stage results: exact sequence equality.
+	if !reflect.DeepEqual(got["gsums"], want["gsums"]) {
+		t.Fatalf("global window results differ:\n got %v\nwant %v", got["gsums"], want["gsums"])
+	}
+	// Parallel-stage results: equality up to ordering, like Sharded.
+	for _, q := range []string{"raw", "ksums"} {
+		g, w := multiset(got[q]), multiset(want[q])
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("query %q multiset mismatch (%d vs %d tuples)", q, len(g), len(w))
+		}
+	}
+}
+
+// TestStagedStatsBothStages checks the acceptance criterion on metering:
+// merged Stats carry the analyzed plan's node identities and show nonzero
+// load on the parallel and the global stage.
+func TestStagedStatsBothStages(t *testing.T) {
+	tuples := keyedTuples(600, 5)
+	const ticks = 100
+
+	eng, _ := New(mixedPlan())
+	runExecutor(t, eng, tuples, 50, "raw", "ksums", "gsums")
+	eng.Advance(ticks)
+	want := eng.Stats()
+
+	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
+		StagedConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runExecutor(t, st, tuples, 50, "raw", "ksums", "gsums")
+	st.Advance(ticks)
+	got := st.Stats()
+
+	if len(got) != len(want) {
+		t.Fatalf("stats length %d, want %d", len(got), len(want))
+	}
+	split := st.Split()
+	for i, nl := range want {
+		g := got[i]
+		if g.ID != nl.ID || g.Name != nl.Name {
+			t.Fatalf("stats[%d] identity %d/%s, want %d/%s", i, g.ID, g.Name, nl.ID, nl.Name)
+		}
+		if g.Tuples != nl.Tuples || g.OutTuples != nl.OutTuples {
+			t.Errorf("stats[%d] %s: tuples %d/%d, want %d/%d", i, g.Name, g.Tuples, g.OutTuples, nl.Tuples, nl.OutTuples)
+		}
+		if diff := g.Load - nl.Load; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("stats[%d] %s: load %g, want %g", i, g.Name, g.Load, nl.Load)
+		}
+		if g.Load <= 0 {
+			t.Errorf("stats[%d] %s (global=%v): zero load", i, g.Name, split.Global[i])
+		}
+		if !reflect.DeepEqual(g.Owners, nl.Owners) {
+			t.Errorf("stats[%d] %s: owners %v, want %v", i, g.Name, g.Owners, nl.Owners)
+		}
+	}
+}
+
+// TestStagedFullyParallel: a plan with no global operators degenerates to
+// pure sharding under Staged.
+func TestStagedFullyParallel(t *testing.T) {
+	tuples := keyedTuples(500, 6)
+	eng, _ := New(shardablePlan())
+	want := runExecutor(t, eng, tuples, 32, "raw", "sums")
+
+	st, err := StartStaged(func() (*Plan, error) { return shardablePlan(), nil },
+		StagedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Split().FullyParallel() {
+		t.Fatalf("split = %s, want fully parallel", st.Split())
+	}
+	got := runExecutor(t, st, tuples, 32, "raw", "sums")
+	for _, q := range []string{"raw", "sums"} {
+		if !reflect.DeepEqual(multiset(got[q]), multiset(want[q])) {
+			t.Fatalf("query %q multiset mismatch", q)
+		}
+	}
+}
+
+// TestStagedFullyGlobal: a plan whose only operator is an ungrouped window
+// directly on a source runs single-runtime under Staged; an unused source
+// still accepts (and discards) pushes, like every other executor.
+func TestStagedFullyGlobal(t *testing.T) {
+	plan := func() *Plan {
+		p := NewPlan()
+		p.AddSource("s", testSchema)
+		p.AddSource("idle", testSchema)
+		w := p.AddUnary(stream.MustWindowAgg("gavg", 1, stream.WindowSpec{
+			Size: 3, Agg: stream.AggAvg, Field: 1, GroupBy: -1,
+		}), FromSource("s"))
+		p.AddSink("avgs", w)
+		return p
+	}
+	tuples := keyedTuples(200, 4)
+
+	eng, _ := New(plan())
+	want := runExecutor(t, eng, tuples, 16, "avgs")
+
+	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumShards() != 0 {
+		t.Fatalf("NumShards = %d, want 0 for a fully global plan", st.NumShards())
+	}
+	if err := st.PushBatch("idle", []stream.Tuple{tup(1, "a", 1)}); err != nil {
+		t.Fatalf("push to unused source: %v", err)
+	}
+	got := runExecutor(t, st, tuples, 16, "avgs")
+	if !reflect.DeepEqual(got["avgs"], want["avgs"]) {
+		t.Fatalf("fully-global results differ:\n got %v\nwant %v", got["avgs"], want["avgs"])
+	}
+}
+
+// nonZeroKeyPlan groups its window on field 1, so partitioning by field 0
+// (the old silent default) would split groups across shards.
+func nonZeroKeyPlan() *Plan {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	agg := p.AddUnary(stream.MustWindowAgg("byval", 1, stream.WindowSpec{
+		Size: 2, Agg: stream.AggCount, GroupBy: 1,
+	}), FromSource("s"))
+	p.AddSink("counts", agg)
+	return p
+}
+
+// TestStartShardedRejectsInferredNonZeroKey: the PartitionByField(0) default
+// must fail loudly, not mis-partition, when the plan's inferred key is a
+// different field — and keep working when a Partition is given explicitly.
+func TestStartShardedRejectsInferredNonZeroKey(t *testing.T) {
+	_, err := StartSharded(func() (*Plan, error) { return nonZeroKeyPlan(), nil }, ShardedConfig{Shards: 2})
+	if err == nil || !strings.Contains(err.Error(), "field 1") {
+		t.Fatalf("err = %v, want inferred-key rejection naming field 1", err)
+	}
+	sh, err := StartSharded(func() (*Plan, error) { return nonZeroKeyPlan(), nil },
+		ShardedConfig{Shards: 2, Partition: PartitionByField(1)})
+	if err != nil {
+		t.Fatalf("explicit Partition rejected: %v", err)
+	}
+	sh.Stop()
+}
+
+// TestStartShardedRejectsGlobalPlan: plans needing a global stage are
+// pointed at StartStaged instead of running wrong.
+func TestStartShardedRejectsGlobalPlan(t *testing.T) {
+	_, err := StartSharded(func() (*Plan, error) { return mixedPlan(), nil }, ShardedConfig{Shards: 2})
+	if err == nil || !strings.Contains(err.Error(), "StartStaged") {
+		t.Fatalf("err = %v, want global-operator rejection pointing at StartStaged", err)
+	}
+}
+
+// TestStagedInferredKeyPartition: Staged derives its PartitionFunc from the
+// analyzed key (field 1 here), so results match sync without any explicit
+// partition configuration — the mis-partitioning footgun closed end to end.
+func TestStagedInferredKeyPartition(t *testing.T) {
+	tuples := keyedTuples(400, 5)
+	eng, _ := New(nonZeroKeyPlan())
+	want := runExecutor(t, eng, tuples, 32, "counts")
+
+	st, err := StartStaged(func() (*Plan, error) { return nonZeroKeyPlan(), nil }, StagedConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runExecutor(t, st, tuples, 32, "counts")
+	if !reflect.DeepEqual(multiset(got["counts"]), multiset(want["counts"])) {
+		t.Fatalf("inferred-key sharding changed results (%d vs %d tuples)", len(got["counts"]), len(want["counts"]))
+	}
+}
+
+// TestStagedKeyedJoinParallel: an equi-join keyed on both sides shards, and
+// a global window downstream of it runs in the global stage fed by the
+// exchange; total join emission must match the synchronous engine.
+func TestStagedKeyedJoinParallel(t *testing.T) {
+	plan := func() *Plan {
+		p := NewPlan()
+		p.AddSource("l", testSchema)
+		p.AddSource("r", testSchema)
+		j := p.AddBinary(stream.NewHashJoin("j", 1, 0, 0, 1<<20), FromSource("l"), FromSource("r"))
+		p.AddSink("pairs", j)
+		w := p.AddUnary(stream.MustWindowAgg("gcount", 1, stream.WindowSpec{
+			Size: 8, Agg: stream.AggCount, GroupBy: -1,
+		}), j)
+		p.AddSink("counts", w)
+		return p
+	}
+	split, err := plan().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Global[0] || !split.Global[1] {
+		t.Fatalf("Global mask = %v, want join parallel, window global", split.Global)
+	}
+	if split.SourceKeys["l"] != 0 || split.SourceKeys["r"] != 0 {
+		t.Fatalf("SourceKeys = %v, want l,r keyed on field 0", split.SourceKeys)
+	}
+
+	push := func(ex Executor) map[string][]stream.Tuple {
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("k%d", i%5)
+			if err := ex.PushBatch("l", []stream.Tuple{tup(int64(2*i), k, float64(i))}); err != nil {
+				t.Fatal(err)
+			}
+			if i%3 == 0 {
+				if err := ex.PushBatch("r", []stream.Tuple{tup(int64(2*i+1), k, float64(-i))}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ex.Stop()
+		return map[string][]stream.Tuple{"pairs": ex.Results("pairs"), "counts": ex.Results("counts")}
+	}
+
+	eng, _ := New(plan())
+	want := push(eng)
+	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := push(st)
+
+	if !reflect.DeepEqual(multiset(got["pairs"]), multiset(want["pairs"])) {
+		t.Fatalf("join results mismatch (%d vs %d tuples)", len(got["pairs"]), len(want["pairs"]))
+	}
+	// The global count window's emissions depend only on the join's output
+	// cardinality, which both backends agree on.
+	sum := func(ts []stream.Tuple) (total float64) {
+		for _, t := range ts {
+			total += t.Float(1)
+		}
+		return
+	}
+	if sum(got["counts"]) != sum(want["counts"]) {
+		t.Fatalf("global count total %g, want %g", sum(got["counts"]), sum(want["counts"]))
+	}
+}
+
+// TestStagedSkewedPartitioning: a zipf-keyed source concentrates load on the
+// shard owning the hot key; ShardStats must expose that imbalance while the
+// merged Stats agree with their sum.
+func TestStagedSkewedPartitioning(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 2.0, 1, 63)
+	tuples := make([]stream.Tuple, 4000)
+	for i := range tuples {
+		tuples[i] = tup(int64(i), fmt.Sprintf("k%d", zipf.Uint64()), 1)
+	}
+
+	st, err := StartStaged(func() (*Plan, error) { return shardablePlan(), nil },
+		StagedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runExecutor(t, st, tuples, 64, "raw", "sums")
+	st.Advance(100)
+
+	merged := st.Stats()
+	shards := st.ShardStats()
+	if len(shards) != 4 {
+		t.Fatalf("ShardStats length %d, want 4", len(shards))
+	}
+	perShard := make([]float64, len(shards))
+	var total float64
+	sumByID := make(map[int]int64)
+	for i, loads := range shards {
+		for _, nl := range loads {
+			perShard[i] += nl.Load
+			sumByID[nl.ID] += nl.Tuples
+		}
+		total += perShard[i]
+	}
+	for _, nl := range merged {
+		if nl.Tuples != sumByID[nl.ID] {
+			t.Errorf("node %d merged tuples %d != per-shard sum %d", nl.ID, nl.Tuples, sumByID[nl.ID])
+		}
+	}
+	max, min := perShard[0], perShard[0]
+	for _, l := range perShard[1:] {
+		if l > max {
+			max = l
+		}
+		if l < min {
+			min = l
+		}
+	}
+	// The hot zipf key alone carries >half the stream, so whichever shard
+	// hashes it dominates regardless of the process hash seed.
+	if total == 0 || max/total < 1.5/float64(len(shards)) {
+		t.Errorf("max shard share %.2f of total, want skew > %.2f (per-shard %v)",
+			max/total, 1.5/float64(len(shards)), perShard)
+	}
+}
+
+// TestAnalyzeNoStaleClaimFromGlobalJoin: a join that fails its second key
+// claim goes global without committing its first — a half-recorded claim
+// would force later keyed operators on that source into the global stage
+// (or fail StartSharded's field-0 validation) for no reason.
+func TestAnalyzeNoStaleClaimFromGlobalJoin(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("a", testSchema)
+	p.AddSource("b", testSchema)
+	// Claims a→0.
+	wa := p.AddUnary(stream.MustWindowAgg("wa", 1, stream.WindowSpec{
+		Size: 2, Agg: stream.AggCount, GroupBy: 0,
+	}), FromSource("a"))
+	p.AddSink("qa", wa)
+	// Left claim (b→1) would succeed, right claim (a→1) conflicts with
+	// a→0: the join must go global and leave b unconstrained.
+	j := p.AddBinary(stream.NewHashJoin("j", 1, 1, 1, 4), FromSource("b"), FromSource("a"))
+	p.AddSink("qj", j)
+	// With b unconstrained this window shards on b→0; a stale b→1 claim
+	// would wrongly send it global.
+	wb := p.AddUnary(stream.MustWindowAgg("wb", 1, stream.WindowSpec{
+		Size: 2, Agg: stream.AggCount, GroupBy: 0,
+	}), FromSource("b"))
+	p.AddSink("qb", wb)
+
+	split, err := p.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Global[0] || !split.Global[1] || split.Global[2] {
+		t.Fatalf("Global mask = %v, want only the join global", split.Global)
+	}
+	if split.SourceKeys["a"] != 0 || split.SourceKeys["b"] != 0 {
+		t.Fatalf("SourceKeys = %v, want a→0 b→0 (no stale b→1 claim)", split.SourceKeys)
+	}
+}
+
+// opaqueOp implements Transform but declares neither a partition key nor
+// statelessness — the stage analysis must not shard it.
+type opaqueOp struct{ seen int64 }
+
+func (o *opaqueOp) Name() string  { return "opaque" }
+func (o *opaqueOp) Cost() float64 { return 1 }
+func (o *opaqueOp) Apply(t stream.Tuple) []stream.Tuple {
+	o.seen++ // cross-tuple state: sharding this would split the count
+	return []stream.Tuple{{Ts: t.Ts, Vals: []any{o.seen}}}
+}
+func (o *opaqueOp) Flush() []stream.Tuple                   { return nil }
+func (o *opaqueOp) OutSchema(*stream.Schema) *stream.Schema { return nil }
+
+// TestAnalyzeClosedDefaultForUndeclaredState: a transform that declares
+// nothing about its state is pinned to the global stage (and rejected by
+// StartSharded), instead of being silently assumed stateless.
+func TestAnalyzeClosedDefaultForUndeclaredState(t *testing.T) {
+	plan := func() *Plan {
+		p := NewPlan()
+		p.AddSource("s", testSchema)
+		op := p.AddUnary(&opaqueOp{}, FromSource("s"))
+		p.AddSink("q", op)
+		return p
+	}
+	split, err := plan().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !split.Global[0] {
+		t.Fatal("undeclared-state transform classified shardable")
+	}
+	if _, err := StartSharded(func() (*Plan, error) { return plan(), nil }, ShardedConfig{Shards: 2}); err == nil {
+		t.Fatal("StartSharded accepted a plan with undeclared state")
+	}
+	// Staged runs it — globally, so the counter stays one sequence.
+	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runExecutor(t, st, keyedTuples(100, 5), 16, "q")
+	if len(got["q"]) != 100 {
+		t.Fatalf("results = %d, want 100", len(got["q"]))
+	}
+	if last := got["q"][99].Vals[0].(int64); last != 100 {
+		t.Fatalf("final counter = %d, want 100 (state split across shards?)", last)
+	}
+}
+
+// TestShardedShardStats: the legacy Sharded executor exposes per-shard
+// loads too, consistent with its merged Stats.
+func TestShardedShardStats(t *testing.T) {
+	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runExecutor(t, sh, keyedTuples(300, 5), 32, "raw", "sums")
+	sh.Advance(50)
+	per := sh.ShardStats()
+	if len(per) != 2 {
+		t.Fatalf("ShardStats length %d, want 2", len(per))
+	}
+	merged := sh.Stats()
+	for i, nl := range merged {
+		var tuples int64
+		var load float64
+		for _, loads := range per {
+			tuples += loads[i].Tuples
+			load += loads[i].Load
+		}
+		if tuples != nl.Tuples {
+			t.Errorf("node %d: per-shard tuples %d != merged %d", i, tuples, nl.Tuples)
+		}
+		if diff := load - nl.Load; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("node %d: per-shard load sum %g != merged %g", i, load, nl.Load)
+		}
+	}
+}
+
+// TestStagedDualStageSourceValidatesOnce: a source consumed by both stages
+// is validated at the staged ingress exactly once — a nonconforming tuple
+// counts one drop, not one per stage, and the conforming remainder reaches
+// both stages.
+func TestStagedDualStageSourceValidatesOnce(t *testing.T) {
+	plan := func() *Plan {
+		p := NewPlan()
+		p.AddSource("s", testSchema)
+		flt := p.AddUnary(stream.NewFilter("pos", 1, stream.FieldCmp(1, stream.Gt, 0)), FromSource("s"))
+		p.AddSink("raw", flt)
+		gw := p.AddUnary(stream.MustWindowAgg("gcount", 1, stream.WindowSpec{
+			Size: 2, Agg: stream.AggCount, GroupBy: -1,
+		}), FromSource("s"))
+		p.AddSink("counts", gw)
+		return p
+	}
+	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := st.Split()
+	if !split.PrefixSources["s"] || !split.DirectSources["s"] {
+		t.Fatalf("source routing prefix=%v direct=%v, want both", split.PrefixSources["s"], split.DirectSources["s"])
+	}
+	batch := []stream.Tuple{
+		tup(1, "a", 5),
+		stream.NewTuple(2, int64(99), 1.0), // wrong kind in field 0
+		tup(3, "b", 7),
+		tup(4, "a", 2),
+	}
+	if err := st.PushBatch("s", batch); err == nil {
+		t.Fatal("want schema error")
+	}
+	st.Stop()
+	if got := st.Dropped(); got != 1 {
+		t.Fatalf("Dropped = %d, want 1 (per-stage double counting?)", got)
+	}
+	if got := len(st.Results("raw")); got != 3 {
+		t.Fatalf("raw results = %d, want 3", got)
+	}
+	// 3 conforming tuples through a size-2 count window: one full window
+	// plus a flushed partial.
+	if got := len(st.Results("counts")); got != 2 {
+		t.Fatalf("global window results = %d, want 2", got)
+	}
+}

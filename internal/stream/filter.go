@@ -33,6 +33,13 @@ func (f *Filter) Apply(t Tuple) []Tuple {
 // Flush implements Transform; filters hold no state.
 func (f *Filter) Flush() []Tuple { return nil }
 
+// Stateless implements StatelessOp: filters keep no cross-tuple state.
+func (f *Filter) Stateless() bool { return true }
+
+// PreservesTuples implements TuplePreserver: a filter passes tuples through
+// unchanged.
+func (f *Filter) PreservesTuples() bool { return true }
+
 // Cost implements Transform.
 func (f *Filter) Cost() float64 { return f.cost }
 

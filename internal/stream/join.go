@@ -36,6 +36,10 @@ func NewHashJoin(name string, cost float64, leftKey, rightKey, window int) *Hash
 // Name implements BinaryTransform.
 func (j *HashJoin) Name() string { return j.name }
 
+// PartitionFields implements BinaryPartitionKeyer: both windows are keyed by
+// the join fields, so co-partitioning the inputs on them preserves results.
+func (j *HashJoin) PartitionFields() (left, right int) { return j.leftKey, j.rightKey }
+
 // Cost implements BinaryTransform.
 func (j *HashJoin) Cost() float64 { return j.cost }
 

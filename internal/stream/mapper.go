@@ -29,6 +29,9 @@ func (m *Map) Apply(t Tuple) []Tuple {
 // Flush implements Transform; maps hold no state.
 func (m *Map) Flush() []Tuple { return nil }
 
+// Stateless implements StatelessOp: maps keep no cross-tuple state.
+func (m *Map) Stateless() bool { return true }
+
 // Cost implements Transform.
 func (m *Map) Cost() float64 { return m.cost }
 
@@ -74,6 +77,13 @@ func (u *Union) ApplyRight(t Tuple) []Tuple { return []Tuple{t} }
 
 // Flush implements BinaryTransform; unions hold no state.
 func (u *Union) Flush() []Tuple { return nil }
+
+// Stateless implements StatelessOp: unions keep no cross-tuple state.
+func (u *Union) Stateless() bool { return true }
+
+// PreservesTuples implements TuplePreserver: a union interleaves input
+// tuples unchanged.
+func (u *Union) PreservesTuples() bool { return true }
 
 // Cost implements BinaryTransform.
 func (u *Union) Cost() float64 { return u.cost }

@@ -41,6 +41,45 @@ type BinaryTransform interface {
 	OutSchema(left, right *Schema) *Schema
 }
 
+// PartitionKeyer is implemented by stateful unary transforms whose internal
+// state is partitioned by one input field. PartitionField returns that
+// field's position, or -1 when the state is global — a single group spanning
+// the whole stream, which cannot be split across partitions.
+//
+// Every transform must declare its partitioning contract: either a
+// partition key (this interface / BinaryPartitionKeyer) or statelessness
+// (StatelessOp). The engine's stage analysis treats transforms declaring
+// neither as global — the closed default that keeps a forgotten
+// declaration from silently sharding per-tuple state wrong.
+type PartitionKeyer interface {
+	PartitionField() int
+}
+
+// BinaryPartitionKeyer is PartitionKeyer for two-input transforms: a
+// windowed equi-join's state is keyed by the join fields, one per side.
+// Either value may be -1 to declare global (unpartitionable) state.
+type BinaryPartitionKeyer interface {
+	PartitionFields() (left, right int)
+}
+
+// StatelessOp marks transforms (unary or binary) that keep no state across
+// tuples — Filter, Map/Project, Union — so any partitioning of their input
+// preserves their results. Stateful transforms declare a key via
+// PartitionKeyer / BinaryPartitionKeyer instead; a transform declaring
+// neither is pinned to the global stage by the engine's stage analysis.
+type StatelessOp interface {
+	Stateless() bool
+}
+
+// TuplePreserver marks transforms that emit input tuples with their field
+// layout unchanged (a filter passes or drops whole tuples). The engine's
+// stage analysis uses it to trace a partition key through stateless
+// operators: downstream of a preserver, field i still means what it meant at
+// the source.
+type TuplePreserver interface {
+	PreservesTuples() bool
+}
+
 // Side tags which input of a binary operator a tuple belongs to.
 type Side int
 

@@ -112,6 +112,10 @@ func MustWindowAgg(name string, cost float64, spec WindowSpec) *WindowAgg {
 // Name implements Transform.
 func (w *WindowAgg) Name() string { return w.name }
 
+// PartitionField implements PartitionKeyer: grouped windows keep state per
+// GroupBy value; ungrouped windows (-1) hold one global window.
+func (w *WindowAgg) PartitionField() int { return w.spec.GroupBy }
+
 // Cost implements Transform.
 func (w *WindowAgg) Cost() float64 { return w.cost }
 
