@@ -25,11 +25,20 @@
 // so overload degrades the cheapest utility first instead of stalling the
 // market feeds.
 //
+// With -elastic, the daemon also runs the per-period elasticity controller
+// over the staged backend: at each mid-day monitoring sample it compares
+// the measured offered load per shard against the -shard-hwm / -shard-lwm
+// water marks and the per-shard skew against a 2x threshold, and calls
+// engine.Reshard to grow, shrink or rebalance the parallel stage at that
+// boundary — keyed operator state moves with its keys, so no tuple is lost
+// or duplicated. Decisions are logged like the shed/replan decisions.
+//
 // Usage:
 //
 //	dsmsd [-days N] [-clients N] [-capacity F] [-mechanism CAT] [-seed N]
 //	      [-tuples N] [-executor sharded|runtime|sync] [-shards N] [-batch N]
 //	      [-shed off|utility|random] [-rate F] [-replan K]
+//	      [-elastic] [-shard-hwm F] [-shard-lwm F]
 package main
 
 import (
@@ -62,7 +71,10 @@ func main() {
 		batch     = flag.Int("batch", 64, "tuples per executor batch")
 		shedMode  = flag.String("shed", "off", "load shedding under overload: off, utility (QoS slope) or random")
 		rate      = flag.Float64("rate", 1, "input tuples per tick; the auction prices loads at rate 1, so >1 overloads the executed period")
-		replan    = flag.Int("replan", 4, "with -shed: replan shedding from measured stats this many times within each day (0 = plan only at period start)")
+		replan    = flag.Int("replan", 4, "with -shed or -elastic: sample measured stats this many times within each day (0 = plan only at period start)")
+		elastic   = flag.Bool("elastic", false, "grow/shrink/rebalance the staged executor's shards at period boundaries from measured load and skew")
+		shardHWM  = flag.Float64("shard-hwm", 8, "with -elastic: grow when measured offered load per shard exceeds this")
+		shardLWM  = flag.Float64("shard-lwm", 1, "with -elastic: shrink when measured offered load per shard falls below this")
 	)
 	flag.Parse()
 	mech, err := auction.ByName(*mechanism, *seed)
@@ -92,10 +104,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsmsd: -replan must be >= 0")
 		os.Exit(1)
 	}
+	if *elastic && *executor != "sharded" {
+		fmt.Fprintln(os.Stderr, "dsmsd: -elastic requires the sharded (staged) executor")
+		os.Exit(1)
+	}
+	if *shardLWM >= *shardHWM {
+		fmt.Fprintln(os.Stderr, "dsmsd: -shard-lwm must be below -shard-hwm")
+		os.Exit(1)
+	}
 	cfg := daemonConfig{
 		days: *days, clients: *clients, capacity: *capacity, seed: *seed,
 		tuplesPerDay: *tuples, executor: *executor, shards: *shards, batch: *batch,
 		shed: *shedMode, rate: *rate, replan: *replan,
+		elastic: *elastic, shardHWM: *shardHWM, shardLWM: *shardLWM,
 	}
 	if err := run(mech, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dsmsd:", err)
@@ -113,6 +134,9 @@ type daemonConfig struct {
 	shed          string
 	rate          float64
 	replan        int
+	elastic       bool
+	shardHWM      float64
+	shardLWM      float64
 }
 
 // dayTicks is the metering-clock span of one executed day: pushing
@@ -237,17 +261,21 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 			return err
 		}
 		var split *engine.StageSplit
+		var staged *engine.Staged
 		if st, ok := exec.(*engine.Staged); ok {
+			staged = st
 			split = st.Split()
 			fmt.Printf("  stage split: %s\n", split)
 		}
-		// Mid-period replanning: sample measured stats -replan times within
-		// the day and update the shed plan, so a burst inside a period is
-		// shed before the day ends — the executors re-resolve their cached
-		// ratios when the plan generation moves.
+		// Mid-period monitoring: sample measured stats -replan times within
+		// the day, update the shed plan (so a burst inside a period is shed
+		// before the day ends — the executors re-resolve their cached ratios
+		// when the plan generation moves) and drive the elasticity
+		// controller (grow/shrink/rebalance the staged shards at the sample
+		// boundary from offered load per shard and measured skew).
 		var advanced int64
 		var progress func(int)
-		if shedder != nil && cfg.replan > 0 {
+		if (shedder != nil || (cfg.elastic && staged != nil)) && cfg.replan > 0 {
 			interval := cfg.tuplesPerDay / (cfg.replan + 1)
 			if interval < 1 {
 				interval = 1
@@ -268,14 +296,19 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 				// asynchronously, and the simulated day outruns their
 				// operator goroutines.
 				loads := engine.SettleStats(exec)
-				graphs := make(map[string]*qos.Graph)
-				for name := range qos.QueryOperators(loads) {
-					graphs[name] = defaultQoS
+				if shedder != nil {
+					graphs := make(map[string]*qos.Graph)
+					for name := range qos.QueryOperators(loads) {
+						graphs[name] = defaultQoS
+					}
+					queries := shed.QueriesFromLoads(loads, graphs, advanced)
+					drops := shedder.Update(cfg.capacity, shed.OfferedLoad(loads), queries)
+					fmt.Printf("  mid-day replan @%d tuples: offered %.2f/%.0f, %d queries shedding\n",
+						pushed, shed.OfferedLoad(loads), cfg.capacity, len(drops))
 				}
-				queries := shed.QueriesFromLoads(loads, graphs, advanced)
-				drops := shedder.Update(cfg.capacity, shed.OfferedLoad(loads), queries)
-				fmt.Printf("  mid-day replan @%d tuples: offered %.2f/%.0f, %d queries shedding\n",
-					pushed, shed.OfferedLoad(loads), cfg.capacity, len(drops))
+				if cfg.elastic && staged != nil {
+					maybeReshard(staged, loads, cfg, pushed)
+				}
 			}
 		}
 		if err := pumpDay(exec, feed, cfg.tuplesPerDay, cfg.batch, progress); err != nil {
@@ -371,6 +404,72 @@ func startExecutor(cfg daemonConfig, nShards int, sources []cloud.SourceDecl, wi
 	default:
 		return nil, fmt.Errorf("unknown executor %q (want sharded, runtime or sync)", cfg.executor)
 	}
+}
+
+// maybeReshard is the per-period elasticity controller: from the settled
+// loads it derives the offered load per parallel shard and the per-shard
+// executed-load skew, and reshapes the staged executor at this boundary —
+// grow (double, capped at max(4, twice GOMAXPROCS)) when a shard carries
+// more offered load than the high-water mark, shrink (halve) when it carries
+// less than the low-water mark, and rebalance at the same width when one
+// shard executes more than twice its fair share. Decisions (and refusals,
+// e.g. an operator without state movement) are logged like shed decisions.
+func maybeReshard(staged *engine.Staged, loads []engine.NodeLoad, cfg daemonConfig, pushed int) {
+	n := staged.NumShards()
+	if n == 0 {
+		return
+	}
+	split := staged.Split()
+	var parallelOffered float64
+	for _, nl := range loads {
+		if !split.Global[nl.ID] {
+			parallelOffered += nl.OfferedLoad
+		}
+	}
+	perShard := parallelOffered / float64(n)
+	var maxLoad, totalLoad float64
+	for _, sl := range staged.ShardStats() {
+		var l float64
+		for _, nl := range sl.Loads {
+			l += nl.Load
+		}
+		if l > maxLoad {
+			maxLoad = l
+		}
+		totalLoad += l
+	}
+	skew := 1.0
+	if totalLoad > 0 {
+		skew = maxLoad * float64(n) / totalLoad
+	}
+	// Cap growth at twice the core count, but never below 4 so elasticity
+	// stays demonstrable on small machines.
+	maxShards := 2 * runtime.GOMAXPROCS(0)
+	if maxShards < 4 {
+		maxShards = 4
+	}
+	target, reason := n, ""
+	switch {
+	case perShard > cfg.shardHWM && n < maxShards:
+		target = 2 * n
+		if target > maxShards {
+			target = maxShards
+		}
+		reason = "grow"
+	case perShard < cfg.shardLWM && n > 1:
+		target = (n + 1) / 2
+		reason = "shrink"
+	case skew > 2 && n > 1:
+		reason = "rebalance"
+	default:
+		return
+	}
+	if err := staged.Reshard(target); err != nil {
+		fmt.Printf("  reshard @%d tuples: %s %d→%d refused: %v\n", pushed, reason, n, target, err)
+		return
+	}
+	fmt.Printf("  reshard @%d tuples: %s %d→%d shards (offered %.2f/shard vs hwm %.1f lwm %.1f, skew %.1fx)\n",
+		pushed, reason, n, target, perShard, cfg.shardHWM, cfg.shardLWM, skew)
 }
 
 // planShedding replans for the winner set about to execute. Expected

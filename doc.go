@@ -82,6 +82,52 @@
 // OfferedLoad reconstruction runs over the full staged topology so shed
 // accounting stays correct through the exchange.
 //
+// # Elasticity
+//
+// The sharded executors' width is a run-time knob, not a start-time
+// constant: Sharded and Staged implement engine.Resharder, whose
+// Reshard(n) changes the shard count at a period boundary. The boundary
+// protocol never loses or duplicates a tuple and never restarts an open
+// window:
+//
+//  1. quiesce — the closing epoch's shard runtimes drain every in-flight
+//     batch but do NOT flush: keyed operator state (open windows, join
+//     buffers) stays inside the operator instances (Runtime.Quiesce);
+//  2. drain the exchanges — the retiring mergers hand every already-emitted
+//     tuple to the global stage, which runs on across the boundary (its
+//     state is not keyed, so it never moves);
+//  3. rebalance — source tuples route through a 256-bucket partition map
+//     that counts per-bucket traffic; the reshard reassigns buckets to the
+//     n new shards heaviest-first (LPT), so an observed-hot key ends up
+//     isolated on its own shard instead of striped blindly;
+//  4. move state — every keyed-stateful operator exports its per-key state
+//     (stream.KeyedStateMover, implemented by WindowAgg and HashJoin) and
+//     each key's bundle is imported into the structurally identical
+//     operator on the key's new owner shard;
+//  5. resume — n fresh runtimes (and fresh exchange merges) take over;
+//     tuples pushed after Reshard returns flow to the new epoch.
+//
+// State movement guarantees: a key's window buffer and join windows resume
+// on the new shard exactly where the old shard left them, because the key's
+// future tuples hash to the same owner the exported state was routed to.
+// Stats, Results and Dropped aggregate across epochs (retired counters fold
+// into the totals), and ShardStats tags per-shard loads with their stable
+// (Epoch, Shard) identity so skew logs stay meaningful across reshards.
+// Operators that declare a partition key but no state movement make
+// Reshard fail up front, leaving the running epoch untouched.
+//
+// cmd/dsmsd closes the loop with -elastic: each mid-period monitoring
+// sample compares measured offered load per shard against high/low water
+// marks (and per-shard skew against a 2x threshold) and grows, shrinks or
+// rebalances the staged backend at that boundary, logged like its shed and
+// replan decisions.
+//
+// The regression net over all of this is internal/engine/equiv_test.go: a
+// randomized harness generating plans (filter/map/window/join/union over
+// 1–3 sources), batch schedules and mid-run reshards, asserting
+// tuple-identical results and per-node counters against the synchronous
+// Engine oracle.
+//
 // # Backpressure and load shedding
 //
 // Channel edges between operators are bounded (RuntimeConfig.Buf batches

@@ -117,6 +117,37 @@ func driveExecutor(b *testing.B, ex Executor, batches [][]stream.Tuple) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
 }
 
+// BenchmarkReshard measures one elastic reshard on a loaded staged
+// executor — quiesce, exchange drain, partition-map rebalance, keyed state
+// movement (64 open window groups), runtime restart — alternating grow and
+// shrink so each iteration pays a full boundary. Gated by cmd/benchgate in
+// CI: a regression here means period boundaries stall the feed longer.
+func BenchmarkReshard(b *testing.B) {
+	st, err := StartStaged(func() (*Plan, error) { return benchKeyedPlan(), nil },
+		StagedConfig{Shards: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate window state so every reshard moves real keyed bundles.
+	for _, batch := range benchKeyedBatches(4096) {
+		if err := st.PushBatch("s", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 2
+		if i%2 == 0 {
+			n = 4
+		}
+		if err := st.Reshard(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st.Stop()
+}
+
 // BenchmarkExecutor compares the three Executor backends on one workload:
 // the synchronous reference Engine, the single concurrent Runtime, and the
 // sharded executor at GOMAXPROCS shards. Compare the tuples/s metric.

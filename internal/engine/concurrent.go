@@ -45,6 +45,10 @@ type Runtime struct {
 	// close a source channel under a blocked sender (send-on-closed panic).
 	stopMu sync.RWMutex
 	closed bool
+	// noFlush, set by Quiesce before the channels close, makes the operator
+	// goroutines exit without flushing open state — the state stays inside
+	// the plan's operator instances for an elastic reshard to move.
+	noFlush atomic.Bool
 }
 
 // runtimeCounters meters one node. Cost is derived at read time as
@@ -306,14 +310,16 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 				counters.out.Add(int64(len(outs)))
 				emit(node.out, outs, true)
 			}
-			var flushed []stream.Tuple
-			if node.unary != nil {
-				flushed = node.unary.Flush()
-			} else {
-				flushed = node.binary.Flush()
+			if !r.noFlush.Load() {
+				var flushed []stream.Tuple
+				if node.unary != nil {
+					flushed = node.unary.Flush()
+				} else {
+					flushed = node.binary.Flush()
+				}
+				counters.out.Add(int64(len(flushed)))
+				emit(node.out, flushed, true)
 			}
-			counters.out.Add(int64(len(flushed)))
-			emit(node.out, flushed, true)
 			done(node.out)
 		}()
 	}
@@ -465,6 +471,17 @@ func (r *Runtime) Stop() {
 	}
 	r.stopMu.Unlock()
 	r.wg.Wait()
+}
+
+// Quiesce drains the runtime like Stop — input closes, every in-flight
+// batch is processed, all goroutines exit — but does NOT flush open
+// operator state: windows and join buffers stay inside the plan's operator
+// instances, where the elastic reshard picks them up and moves them to the
+// next epoch's runtimes. Like Stop it is idempotent and safe alongside
+// PushBatch; a runtime that has been quiesced rejects further pushes.
+func (r *Runtime) Quiesce() {
+	r.noFlush.Store(true)
+	r.Stop()
 }
 
 // Close stops the runtime and returns a copy of the per-query results

@@ -1,0 +1,490 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/zipf"
+)
+
+// canonTs renders tuples as sorted "ts|vals" strings: the canonical ordering
+// the elastic and equivalence tests compare under. Unlike multiset it keeps
+// the timestamp, so two tuples with equal values but different timestamps do
+// not collapse.
+func canonTs(ts []stream.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		parts := make([]string, 0, len(t.Vals)+1)
+		parts = append(parts, fmt.Sprintf("%d", t.Ts))
+		for _, v := range t.Vals {
+			parts = append(parts, fmt.Sprintf("%v", v))
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pushHalves drives tuples through ex in two halves with a Reshard between
+// them, then stops and collects the queries' results.
+func pushHalves(t *testing.T, ex Resharder, tuples []stream.Tuple, batch, reshardTo int, queries ...string) map[string][]stream.Tuple {
+	t.Helper()
+	half := len(tuples) / 2
+	push := func(ts []stream.Tuple) {
+		for i := 0; i < len(ts); i += batch {
+			end := i + batch
+			if end > len(ts) {
+				end = len(ts)
+			}
+			if err := ex.PushBatch("s", ts[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	push(tuples[:half])
+	if err := ex.Reshard(reshardTo); err != nil {
+		t.Fatalf("Reshard(%d): %v", reshardTo, err)
+	}
+	if got := ex.NumShards(); got != reshardTo {
+		t.Fatalf("NumShards after reshard = %d, want %d", got, reshardTo)
+	}
+	push(tuples[half:])
+	ex.Stop()
+	out := make(map[string][]stream.Tuple)
+	for _, q := range queries {
+		out[q] = ex.Results(q)
+	}
+	return out
+}
+
+// TestShardedReshardPreservesKeyedState is the core elastic contract on the
+// pure-sharded executor: a mid-run grow (and, separately, shrink) moves the
+// open per-key window state to the keys' new owner shards, so results stay
+// tuple-identical to the synchronous Engine — no lost partial windows, no
+// duplicated emissions across the boundary.
+func TestShardedReshardPreservesKeyedState(t *testing.T) {
+	// Window size 4 over keys cycling mod 7: at the half-way reshard nearly
+	// every group holds a partial window that must survive the move.
+	tuples := keyedTuples(1001, 7)
+	for name, target := range map[string]int{"grow2to5": 5, "shrink3to1": 1} {
+		t.Run(name, func(t *testing.T) {
+			eng, err := New(shardablePlan())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := runExecutor(t, eng, tuples, 64, "raw", "sums")
+
+			initial := 2
+			if target < 2 {
+				initial = 3
+			}
+			sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
+				ShardedConfig{Shards: initial, Buf: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := pushHalves(t, sh, tuples, 37, target, "raw", "sums")
+			if sh.Epoch() != 1 {
+				t.Fatalf("Epoch = %d, want 1", sh.Epoch())
+			}
+			for _, q := range []string{"raw", "sums"} {
+				if !reflect.DeepEqual(canonTs(got[q]), canonTs(want[q])) {
+					t.Fatalf("query %q differs from sync oracle across reshard (%d vs %d tuples)",
+						q, len(got[q]), len(want[q]))
+				}
+			}
+		})
+	}
+}
+
+// TestStagedReshardPreservesState covers the staged executor: keyed window
+// state moves across the boundary, the retiring epoch's exchange buffers
+// drain into the (surviving) global stage before the new epoch's mergers
+// start, and the global window's output stays exactly the synchronous
+// Engine's sequence.
+func TestStagedReshardPreservesState(t *testing.T) {
+	tuples := keyedTuples(1000, 7)
+	for name, target := range map[string]int{"grow2to4": 4, "shrink4to2": 2} {
+		t.Run(name, func(t *testing.T) {
+			eng, err := New(mixedPlan())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := runExecutor(t, eng, tuples, 64, "raw", "ksums", "gsums")
+
+			initial := 2
+			if target <= 2 {
+				initial = 4
+			}
+			st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
+				StagedConfig{Shards: initial, Buf: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := pushHalves(t, st, tuples, 41, target, "raw", "ksums", "gsums")
+			// Global-stage results: exact sequence equality survives the
+			// reshard because the old exchange drains before the new one
+			// opens and timestamps keep increasing.
+			if !reflect.DeepEqual(got["gsums"], want["gsums"]) {
+				t.Fatalf("global window results differ across reshard:\n got %v\nwant %v",
+					got["gsums"], want["gsums"])
+			}
+			for _, q := range []string{"raw", "ksums"} {
+				if !reflect.DeepEqual(canonTs(got[q]), canonTs(want[q])) {
+					t.Fatalf("query %q differs from sync oracle across reshard", q)
+				}
+			}
+		})
+	}
+}
+
+// TestReshardStatsSpanEpochs: merged Stats keep counting across reshard
+// epochs (the retired runtimes' counters fold into the totals), and
+// ShardStats identify the current epoch — nothing double-counts, nothing
+// vanishes.
+func TestReshardStatsSpanEpochs(t *testing.T) {
+	tuples := keyedTuples(600, 5)
+	const ticks = 100
+
+	eng, _ := New(mixedPlan())
+	runExecutor(t, eng, tuples, 50, "raw", "ksums", "gsums")
+	eng.Advance(ticks)
+	want := eng.Stats()
+
+	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil }, StagedConfig{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pushHalves(t, st, tuples, 50, 2, "raw", "ksums", "gsums")
+	for q := range got {
+		_ = got[q]
+	}
+	st.Advance(ticks)
+	loads := st.Stats()
+	if len(loads) != len(want) {
+		t.Fatalf("stats length %d, want %d", len(loads), len(want))
+	}
+	for i, nl := range want {
+		g := loads[i]
+		if g.ID != nl.ID || g.Name != nl.Name {
+			t.Fatalf("stats[%d] identity %d/%s, want %d/%s", i, g.ID, g.Name, nl.ID, nl.Name)
+		}
+		if g.Tuples != nl.Tuples || g.OutTuples != nl.OutTuples {
+			t.Errorf("stats[%d] %s: tuples %d/%d, want %d/%d (epoch counters lost or double-counted?)",
+				i, g.Name, g.Tuples, g.OutTuples, nl.Tuples, nl.OutTuples)
+		}
+		if diff := g.Load - nl.Load; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("stats[%d] %s: load %g, want %g", i, g.Name, g.Load, nl.Load)
+		}
+	}
+	for i, sl := range st.ShardStats() {
+		if sl.Epoch != 1 {
+			t.Errorf("ShardStats[%d].Epoch = %d, want 1 after one reshard", i, sl.Epoch)
+		}
+		if sl.Shard != i {
+			t.Errorf("ShardStats[%d].Shard = %d, want %d", i, sl.Shard, i)
+		}
+	}
+}
+
+// TestReshardValidation pins the argument contracts: negative configured
+// shard counts fail Start with a clear error (0 still means GOMAXPROCS),
+// non-positive reshard targets are rejected, a stopped executor reports
+// errStopped, and a fully global plan treats Reshard as a no-op.
+func TestReshardValidation(t *testing.T) {
+	if _, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
+		ShardedConfig{Shards: -1}); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("StartSharded(-1) err = %v, want negative-shards rejection", err)
+	}
+	if _, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
+		StagedConfig{Shards: -3}); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("StartStaged(-3) err = %v, want negative-shards rejection", err)
+	}
+
+	// Beyond the partition map's bucket granularity the extra shards could
+	// never receive a tuple; reject instead of idling them silently.
+	if _, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
+		ShardedConfig{Shards: partitionBuckets + 1}); err == nil || !strings.Contains(err.Error(), "bucket") {
+		t.Fatalf("StartSharded(>buckets) err = %v, want bucket-granularity rejection", err)
+	}
+
+	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Reshard(0); err == nil || !strings.Contains(err.Error(), ">= 1") {
+		t.Fatalf("Reshard(0) err = %v, want target rejection", err)
+	}
+	if err := sh.Reshard(partitionBuckets + 1); err == nil || !strings.Contains(err.Error(), "bucket") {
+		t.Fatalf("Reshard(>buckets) err = %v, want bucket-granularity rejection", err)
+	}
+	sh.Stop()
+	if err := sh.Reshard(2); err != errStopped {
+		t.Fatalf("Reshard after Stop err = %v, want errStopped", err)
+	}
+
+	// Fully global plan: no parallel stage, Reshard is a documented no-op.
+	globalOnly := func() *Plan {
+		p := NewPlan()
+		p.AddSource("s", testSchema)
+		w := p.AddUnary(stream.MustWindowAgg("g", 1, stream.WindowSpec{
+			Size: 3, Agg: stream.AggSum, Field: 1, GroupBy: -1,
+		}), FromSource("s"))
+		p.AddSink("q", w)
+		return p
+	}
+	st, err := StartStaged(func() (*Plan, error) { return globalOnly(), nil }, StagedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	if st.NumShards() != 0 {
+		t.Fatalf("NumShards = %d, want 0", st.NumShards())
+	}
+	if err := st.Reshard(3); err != nil {
+		t.Fatalf("Reshard on fully global plan: %v", err)
+	}
+}
+
+// TestStagedDrainFlushTieOrder: flush tuples from different shards that tie
+// on timestamp must drain in the single-instance order — WindowAgg breaks
+// timestamp ties by rendered key, and Staged's cross-shard drain merge must
+// apply the same rule, or a downstream global window packs different tuples
+// into its windows than the sync Engine does.
+func TestStagedDrainFlushTieOrder(t *testing.T) {
+	plan := func() *Plan {
+		p := NewPlan()
+		p.AddSource("s", testSchema)
+		keyed := p.AddUnary(stream.MustWindowAgg("ksum", 1, stream.WindowSpec{
+			Size: 100, Agg: stream.AggSum, Field: 1, GroupBy: 0,
+		}), FromSource("s"))
+		pairs := p.AddUnary(stream.MustWindowAgg("gpair", 1, stream.WindowSpec{
+			Size: 2, Agg: stream.AggMax, Field: 1, GroupBy: -1,
+		}), keyed)
+		p.AddSink("q", pairs)
+		return p
+	}
+	// Every key's window stays open (size 100) and every key's LAST tuple
+	// shares Ts=50: the flush emits one tied tuple per key, spread across
+	// shards, and the downstream size-2 pairing observes their order.
+	var tuples []stream.Tuple
+	for i := 0; i < 40; i++ {
+		tuples = append(tuples, tup(int64(i+1), fmt.Sprintf("k%d", i%8), float64(i%5)))
+	}
+	for k := 0; k < 8; k++ {
+		tuples = append(tuples, tup(50, fmt.Sprintf("k%d", k), float64(k)))
+	}
+	eng, _ := New(plan())
+	want := runExecutor(t, eng, tuples, 16, "q")
+
+	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runExecutor(t, st, tuples, 16, "q")
+	if !reflect.DeepEqual(got["q"], want["q"]) {
+		t.Fatalf("tied flush tuples drained out of sync order:\n got %v\nwant %v", got["q"], want["q"])
+	}
+}
+
+// keyedOpaqueOp declares a partition key (so it shards) but no state
+// movement — resharding it would silently drop its per-key counters.
+type keyedOpaqueOp struct{ seen map[any]int64 }
+
+func (o *keyedOpaqueOp) Name() string        { return "keyed-opaque" }
+func (o *keyedOpaqueOp) Cost() float64       { return 1 }
+func (o *keyedOpaqueOp) PartitionField() int { return 0 }
+func (o *keyedOpaqueOp) Apply(t stream.Tuple) []stream.Tuple {
+	if o.seen == nil {
+		o.seen = make(map[any]int64)
+	}
+	o.seen[t.Vals[0]]++
+	return []stream.Tuple{{Ts: t.Ts, Vals: []any{t.Vals[0], o.seen[t.Vals[0]]}}}
+}
+func (o *keyedOpaqueOp) Flush() []stream.Tuple                   { return nil }
+func (o *keyedOpaqueOp) OutSchema(*stream.Schema) *stream.Schema { return nil }
+
+// TestReshardRejectsUnmovableKeyedState: an operator with keyed state but
+// no KeyedStateMover runs sharded fine, but Reshard refuses up front (the
+// running epoch stays untouched) instead of silently dropping its state.
+func TestReshardRejectsUnmovableKeyedState(t *testing.T) {
+	plan := func() *Plan {
+		p := NewPlan()
+		p.AddSource("s", testSchema)
+		op := p.AddUnary(&keyedOpaqueOp{}, FromSource("s"))
+		p.AddSink("q", op)
+		return p
+	}
+	sh, err := StartSharded(func() (*Plan, error) { return plan(), nil }, ShardedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.PushBatch("s", keyedTuples(20, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Reshard(4); err == nil || !strings.Contains(err.Error(), "KeyedStateMover") {
+		t.Fatalf("Reshard err = %v, want unmovable-state rejection", err)
+	}
+	// The refusal left the executor running: pushes still work.
+	if err := sh.PushBatch("s", keyedTuples(20, 4)); err != nil {
+		t.Fatalf("push after refused reshard: %v", err)
+	}
+	sh.Stop()
+	if got := len(sh.Results("q")); got != 40 {
+		t.Fatalf("results = %d, want 40", got)
+	}
+}
+
+// TestPartitionMapRebalanceIsolatesHotBucket: the LPT rebalance must give an
+// observed-hot bucket its own shard while cold buckets pack around it, and
+// reset the traffic counters for the next period.
+func TestPartitionMapRebalanceIsolatesHotBucket(t *testing.T) {
+	pm := newPartitionMap(4)
+	// Bucket 7 carries half of all traffic; the rest spreads evenly.
+	for b := 0; b < partitionBuckets; b++ {
+		for i := 0; i < 4; i++ {
+			pm.route(uint64(b))
+		}
+	}
+	for i := 0; i < 4*partitionBuckets; i++ {
+		pm.route(7)
+	}
+	pm.rebalance(4)
+	hot := pm.shardOf(7)
+	share := make([]int, 4)
+	for b := 0; b < partitionBuckets; b++ {
+		share[pm.shardOf(uint64(b))]++
+	}
+	// The hot bucket's shard holds (almost) nothing else; the remaining
+	// buckets split across the other three shards.
+	if share[hot] > partitionBuckets/16 {
+		t.Fatalf("hot shard owns %d buckets, want it (nearly) isolated (shares %v)", share[hot], share)
+	}
+	for s, n := range share {
+		if s != hot && n < partitionBuckets/5 {
+			t.Errorf("cold shard %d owns only %d buckets (shares %v)", s, n, share)
+		}
+	}
+	// Counters were reset: a rebalance with no further traffic stripes
+	// evenly again.
+	pm.rebalance(4)
+	share = make([]int, 4)
+	for b := 0; b < partitionBuckets; b++ {
+		share[pm.shardOf(uint64(b))]++
+	}
+	for s, n := range share {
+		if n != partitionBuckets/4 {
+			t.Fatalf("post-reset shard %d owns %d buckets, want %d", s, n, partitionBuckets/4)
+		}
+	}
+}
+
+// TestStagedReshardRebalancesZipfSkew drives a zipf-skewed key workload,
+// reshards at the same width (a pure rebalance), replays the workload and
+// requires the hot shard's executed-load share to drop — the measured-skew
+// feedback the elastic controller relies on — while results stay correct.
+func TestStagedReshardRebalancesZipfSkew(t *testing.T) {
+	const shards = 4
+	rng := rand.New(rand.NewSource(23))
+	z := zipf.New(rng, 64, 1.4)
+	tuples := make([]stream.Tuple, 6000)
+	for i := range tuples {
+		tuples[i] = tup(int64(i+1), fmt.Sprintf("k%d", z.Draw()), 1)
+	}
+	half := len(tuples) / 2
+
+	maxShare := func(st *Staged) float64 {
+		var total, max float64
+		for _, sl := range st.ShardStats() {
+			var l float64
+			for _, nl := range sl.Loads {
+				l += nl.Load
+			}
+			if l > max {
+				max = l
+			}
+			total += l
+		}
+		if total == 0 {
+			t.Fatal("no load measured")
+		}
+		return max / total
+	}
+
+	st, err := StartStaged(func() (*Plan, error) { return shardablePlan(), nil },
+		StagedConfig{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(ts []stream.Tuple) {
+		for i := 0; i < len(ts); i += 64 {
+			end := i + 64
+			if end > len(ts) {
+				end = len(ts)
+			}
+			if err := st.PushBatch("s", ts[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	push(tuples[:half])
+	SettleStats(st) // the shard goroutines meter asynchronously
+	before := maxShare(st)
+	if err := st.Reshard(shards); err != nil {
+		t.Fatal(err)
+	}
+	push(tuples[half:])
+	st.Stop()
+	after := maxShare(st)
+	t.Logf("hot-shard share before %.2f, after rebalance %.2f (hot key carries %.2f of mass)",
+		before, after, z.CDF(1))
+	// The blind bucket striping can stack several hot keys on one shard;
+	// after an LPT rebalance the max share must come down toward the hot
+	// key's own mass (it can never go below the hottest key).
+	if after >= before-0.02 {
+		t.Errorf("rebalance did not reduce skew: before %.3f, after %.3f", before, after)
+	}
+
+	// Correctness across the rebalancing reshard: the moved hot-key state
+	// kept every window intact.
+	eng, _ := New(shardablePlan())
+	want := runExecutor(t, eng, tuples, 64, "raw", "sums")
+	for _, q := range []string{"raw", "sums"} {
+		got := st.Results(q)
+		if !reflect.DeepEqual(canonTs(got), canonTs(want[q])) {
+			t.Fatalf("query %q differs from sync oracle after rebalance (%d vs %d tuples)",
+				q, len(got), len(want[q]))
+		}
+	}
+}
+
+// TestShardedReshardUnderShedding: a shed plan survives the boundary — the
+// new epoch's runtimes re-resolve the same shedder, drops keep accumulating,
+// and the conservation identity processed + shed = pushed holds across
+// epochs in the merged Stats.
+func TestShardedReshardUnderShedding(t *testing.T) {
+	shedder := &stubShedder{ratio: 0.5, util: 1, gen: 1}
+	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
+		ShardedConfig{Shards: 2, Buf: 64, Shedder: shedder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1200
+	got := pushHalves(t, sh, keyedTuples(n, 7), 64, 4, "raw", "sums")
+	_ = got
+	loads := sh.Stats()
+	if total := loads[0].Tuples + loads[0].ShedTuples; total != n {
+		t.Fatalf("processed+shed = %d across epochs, want %d", total, n)
+	}
+	// Each epoch's per-shard samplers drop every other tuple of their
+	// partitions; the credit accumulators reset at the boundary, so allow
+	// one tuple of slack per shard per epoch (2 + 4 shards).
+	if diff := loads[0].ShedTuples - n/2; diff < -6 || diff > 6 {
+		t.Fatalf("ShedTuples = %d, want %d±6", loads[0].ShedTuples, n/2)
+	}
+}

@@ -1,0 +1,372 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/zipf"
+)
+
+// equiv_test.go is the randomized executor-equivalence harness: it generates
+// random plans (filter / map / window-agg / hash-join / union over 1–3
+// sources), random batch schedules, random shard counts and random mid-run
+// Reshard calls, and asserts that every executor produces results
+// tuple-identical (after canonical ordering) to the synchronous Engine
+// oracle, with per-node tuple counters to match. It is the regression net
+// for all executor work: a change that breaks partitioning, exchange
+// merging, stage analysis, stats merging or reshard state movement fails
+// here with a reproducible case seed.
+//
+// Determinism constraints built into the generator (violating any of them
+// makes results legitimately racy, not a bug):
+//
+//   - Timestamps increase strictly across the WHOLE schedule (all sources
+//     share one clock), so the sync oracle's processing order is timestamp
+//     order and an exchange's Ts-merge reconstructs exactly that order.
+//   - Window aggregates only consume "order-deterministic" ports: sources
+//     and unary chains (filter/map/window) above them. Join and union
+//     outputs interleave racily across executors — their multiset is stable
+//     but their order is not, and window contents depend on order.
+//   - Hash joins never evict (the join window exceeds any possible input
+//     volume), so the emitted pair multiset is interleaving-independent —
+//     and no join consumes a join-derived port, which would let the
+//     quadratic pair volume overflow any fixed window and make eviction
+//     order observable.
+//   - Aggregated values are small integers, so sums are exact in float64
+//     and order-insensitive.
+
+// equivOp is one generated operator; the spec (not the instances) is what
+// the plan factory replays, so every factory call yields structurally
+// identical plans with fresh operator state.
+type equivOp struct {
+	kind     string // "filter", "map", "window", "join", "union"
+	in1, in2 int    // port indices: sources first, then op outputs
+	cmp      stream.CmpOp
+	thresh   float64
+	spec     stream.WindowSpec
+	joinWin  int
+}
+
+// equivSpec is a full generated plan: sources s0..sN-1, ops, and the port
+// indices that get sinks q0..qK-1.
+type equivSpec struct {
+	nSources int
+	ops      []equivOp
+	sinks    []int
+}
+
+func (es equivSpec) sourceName(i int) string { return fmt.Sprintf("s%d", i) }
+
+// build constructs a fresh plan from the spec (the executor factory).
+func (es equivSpec) build() *Plan {
+	p := NewPlan()
+	ports := make([]PortRef, 0, es.nSources+len(es.ops))
+	for i := 0; i < es.nSources; i++ {
+		p.AddSource(es.sourceName(i), testSchema)
+		ports = append(ports, FromSource(es.sourceName(i)))
+	}
+	for i, op := range es.ops {
+		name := fmt.Sprintf("%s%d", op.kind, i)
+		var out PortRef
+		switch op.kind {
+		case "filter":
+			out = p.AddUnary(stream.NewFilter(name, 1, stream.FieldCmp(1, op.cmp, op.thresh)), ports[op.in1])
+		case "map":
+			out = p.AddUnary(stream.NewMap(name, 1, nil, func(t stream.Tuple) []any {
+				return []any{t.Vals[0], t.Float(1) + 1}
+			}), ports[op.in1])
+		case "window":
+			out = p.AddUnary(stream.MustWindowAgg(name, 1, op.spec), ports[op.in1])
+		case "join":
+			out = p.AddBinary(stream.NewHashJoin(name, 1, 0, 0, op.joinWin), ports[op.in1], ports[op.in2])
+		case "union":
+			out = p.AddBinary(stream.NewUnion(name, 1), ports[op.in1], ports[op.in2])
+		default:
+			panic("unknown op kind " + op.kind)
+		}
+		ports = append(ports, out)
+	}
+	for i, port := range es.sinks {
+		p.AddSink(fmt.Sprintf("q%d", i), ports[port])
+	}
+	return p
+}
+
+// genSpec generates a random plan spec under the determinism constraints.
+func genSpec(rng *rand.Rand) equivSpec {
+	es := equivSpec{nSources: 1 + rng.Intn(3)}
+	// det[i] reports port i delivers tuples in an order every executor
+	// reproduces; binary outputs never do. joiny[i] reports port i carries
+	// join-derived (quadratic-volume) tuples, which joins must not consume.
+	det := make([]bool, es.nSources)
+	joiny := make([]bool, es.nSources)
+	for i := range det {
+		det[i] = true
+	}
+	var detPorts []int
+	for i := range det {
+		detPorts = append(detPorts, i)
+	}
+	anyPort := func() int { return rng.Intn(es.nSources + len(es.ops)) }
+	leanPort := func() int { // any port not derived from a join
+		for {
+			if p := anyPort(); !joiny[p] {
+				return p
+			}
+		}
+	}
+	nOps := 1 + rng.Intn(6)
+	for len(es.ops) < nOps {
+		var op equivOp
+		outDet, outJoiny := false, false
+		switch k := rng.Intn(10); {
+		case k < 3: // filter
+			op = equivOp{
+				kind:   "filter",
+				in1:    anyPort(),
+				cmp:    []stream.CmpOp{stream.Gt, stream.Lt, stream.Ge, stream.Ne}[rng.Intn(4)],
+				thresh: float64(rng.Intn(5)),
+			}
+			outDet, outJoiny = det[op.in1], joiny[op.in1]
+		case k < 5: // map
+			op = equivOp{kind: "map", in1: anyPort()}
+			outDet, outJoiny = det[op.in1], joiny[op.in1]
+		case k < 8: // window: only on deterministic ports
+			size := 1 + rng.Intn(4)
+			groupBy := 0
+			if rng.Intn(2) == 0 {
+				groupBy = -1
+			}
+			op = equivOp{
+				kind: "window",
+				in1:  detPorts[rng.Intn(len(detPorts))],
+				spec: stream.WindowSpec{
+					Size:    size,
+					Slide:   1 + rng.Intn(size),
+					Agg:     stream.AggKind(rng.Intn(5)),
+					Field:   1,
+					GroupBy: groupBy,
+				},
+			}
+			outDet = true
+		case k < 9: // join over linear-volume ports, never evicting
+			op = equivOp{kind: "join", in1: leanPort(), in2: leanPort(), joinWin: 1 << 20}
+			outJoiny = true
+		default: // union
+			op = equivOp{kind: "union", in1: anyPort(), in2: anyPort()}
+			outJoiny = joiny[op.in1] || joiny[op.in2]
+		}
+		es.ops = append(es.ops, op)
+		det = append(det, outDet)
+		joiny = append(joiny, outJoiny)
+		if outDet {
+			detPorts = append(detPorts, es.nSources+len(es.ops)-1)
+		}
+	}
+	// Sink every port no operator consumes (at least the final op's port),
+	// plus a random sample of interior ports, so every dataflow is
+	// observable at some sink.
+	consumed := make(map[int]bool)
+	for _, op := range es.ops {
+		consumed[op.in1] = true
+		if op.kind == "join" || op.kind == "union" {
+			consumed[op.in2] = true
+		}
+	}
+	for port := 0; port < es.nSources+len(es.ops); port++ {
+		leaf := !consumed[port] && port >= es.nSources
+		if leaf || rng.Intn(3) == 0 {
+			es.sinks = append(es.sinks, port)
+		}
+	}
+	if len(es.sinks) == 0 {
+		es.sinks = append(es.sinks, es.nSources+len(es.ops)-1)
+	}
+	return es
+}
+
+// equivEvent is one step of a schedule: a batch push or a reshard.
+type equivEvent struct {
+	src     int // -1 for a reshard event
+	batch   []stream.Tuple
+	reshard int
+}
+
+// genSchedule generates the tuple stream and its batching. Timestamps are
+// globally strictly increasing; keys are drawn uniformly or zipf-skewed;
+// values are small integers. Reshard events are spliced between batches.
+func genSchedule(rng *rand.Rand, nSources int) []equivEvent {
+	n := 150 + rng.Intn(250)
+	keys := 3 + rng.Intn(6)
+	var skew *zipf.Zipf
+	if rng.Intn(2) == 0 {
+		skew = zipf.New(rng, keys, 0.5+rng.Float64())
+	}
+	flushAt := 1 + rng.Intn(40)
+	pending := make([][]stream.Tuple, nSources)
+	var events []equivEvent
+	flush := func(src int) {
+		if len(pending[src]) > 0 {
+			events = append(events, equivEvent{src: src, batch: pending[src]})
+			pending[src] = nil
+		}
+	}
+	for i := 0; i < n; i++ {
+		src := rng.Intn(nSources)
+		k := 1 + rng.Intn(keys)
+		if skew != nil {
+			k = skew.Draw()
+		}
+		pending[src] = append(pending[src], tup(int64(i+1), fmt.Sprintf("k%d", k), float64(rng.Intn(6))))
+		if len(pending[src]) >= flushAt {
+			flush(src)
+		}
+	}
+	for src := range pending {
+		flush(src)
+	}
+	// Splice 0..3 reshard events between batches (never before the first,
+	// so every epoch sees some traffic in expectation).
+	for r := rng.Intn(4); r > 0; r-- {
+		at := 1 + rng.Intn(len(events))
+		ev := equivEvent{src: -1, reshard: 1 + rng.Intn(5)}
+		events = append(events[:at], append([]equivEvent{ev}, events[at:]...)...)
+	}
+	return events
+}
+
+// runEquivSchedule drives one executor through the schedule. Reshard events
+// apply only to Resharders (the oracle ignores them); grow/shrink are
+// tallied into the suite-wide coverage counters.
+func runEquivSchedule(t *testing.T, ex Executor, es equivSpec, events []equivEvent, grew, shrank *int) map[string][]string {
+	t.Helper()
+	for _, ev := range events {
+		if ev.src < 0 {
+			rs, ok := ex.(Resharder)
+			if !ok {
+				continue
+			}
+			before := rs.NumShards()
+			if before == 0 {
+				continue
+			}
+			if err := rs.Reshard(ev.reshard); err != nil {
+				t.Fatalf("Reshard(%d): %v", ev.reshard, err)
+			}
+			ex.Stats() // shake mid-run metering across the boundary
+			switch {
+			case ev.reshard > before:
+				*grew++
+			case ev.reshard < before:
+				*shrank++
+			}
+			continue
+		}
+		if err := ex.PushBatch(es.sourceName(ev.src), ev.batch); err != nil {
+			t.Fatalf("push %s: %v", es.sourceName(ev.src), err)
+		}
+	}
+	ex.Stop()
+	out := make(map[string][]string, len(es.sinks))
+	for i := range es.sinks {
+		q := fmt.Sprintf("q%d", i)
+		out[q] = canonTs(ex.Results(q))
+	}
+	return out
+}
+
+// countStats reduces a Stats slice to the per-node monotone counters the
+// harness compares (loads are derived from these; shed stays zero here).
+func countStats(loads []NodeLoad) [][2]int64 {
+	out := make([][2]int64, len(loads))
+	for i, nl := range loads {
+		out[i] = [2]int64{nl.Tuples, nl.OutTuples}
+	}
+	return out
+}
+
+// TestEquivalenceRandomized is the harness entry point: 200 randomized
+// plan/schedule/reshard cases, each executed on the sync Engine (oracle),
+// the Staged executor (every plan) and the Sharded executor (fully parallel
+// plans, partitioned per the stage analysis). Any divergence fails with the
+// case seed for replay. The suite additionally requires that at least one
+// mid-run grow and one shrink ran on each elastic executor.
+func TestEquivalenceRandomized(t *testing.T) {
+	const cases = 200
+	const baseSeed = 1031
+	coverage := map[string]*[2]int{"staged": {}, "sharded": {}}
+	for c := 0; c < cases; c++ {
+		seed := int64(baseSeed + c)
+		rng := rand.New(rand.NewSource(seed))
+		events := genScheduleForSpec(rng)
+		es := events.spec
+		fail := func(format string, args ...any) {
+			t.Fatalf("case %d (seed %d, plan %d sources / %d ops / %d sinks): %s",
+				c, seed, es.nSources, len(es.ops), len(es.sinks), fmt.Sprintf(format, args...))
+		}
+
+		oracle, err := New(es.build())
+		if err != nil {
+			fail("oracle: %v", err)
+		}
+		var g0, s0 int
+		want := runEquivSchedule(t, oracle, es, events.events, &g0, &s0)
+		oracle.Advance(1)
+		wantCounts := countStats(oracle.Stats())
+
+		check := func(name string, ex Executor, grew, shrank *int) {
+			got := runEquivSchedule(t, ex, es, events.events, grew, shrank)
+			for q, w := range want {
+				if !reflect.DeepEqual(got[q], w) {
+					fail("%s: query %q diverges from sync oracle (%d vs %d tuples)\n got %v\nwant %v",
+						name, q, len(got[q]), len(w), got[q], w)
+				}
+			}
+			ex.Advance(1)
+			if gotCounts := countStats(ex.Stats()); !reflect.DeepEqual(gotCounts, wantCounts) {
+				fail("%s: per-node {in,out} counters diverge\n got %v\nwant %v", name, gotCounts, wantCounts)
+			}
+		}
+
+		shards := 1 + rng.Intn(5)
+		buf := 1 + rng.Intn(64)
+		st, err := StartStaged(func() (*Plan, error) { return es.build(), nil },
+			StagedConfig{Shards: shards, Buf: buf})
+		if err != nil {
+			fail("StartStaged: %v", err)
+		}
+		cov := coverage["staged"]
+		check("staged", st, &cov[0], &cov[1])
+
+		if split, err := es.build().Analyze(); err == nil && split.FullyParallel() {
+			sh, err := StartSharded(func() (*Plan, error) { return es.build(), nil },
+				ShardedConfig{Shards: shards, Buf: buf, Partition: split.Partition()})
+			if err != nil {
+				fail("StartSharded: %v", err)
+			}
+			cov := coverage["sharded"]
+			check("sharded", sh, &cov[0], &cov[1])
+		}
+	}
+	for name, cov := range coverage {
+		if cov[0] == 0 || cov[1] == 0 {
+			t.Errorf("%s executor: %d grows / %d shrinks across the suite, want at least one of each", name, cov[0], cov[1])
+		}
+	}
+}
+
+// specSchedule bundles a generated plan with its schedule.
+type specSchedule struct {
+	spec   equivSpec
+	events []equivEvent
+}
+
+// genScheduleForSpec draws a full case from one rng: plan first, then the
+// schedule sized to it.
+func genScheduleForSpec(rng *rand.Rand) specSchedule {
+	es := genSpec(rng)
+	return specSchedule{spec: es, events: genSchedule(rng, es.nSources)}
+}

@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/stream"
+)
+
+// This file holds the elastic-sharding machinery shared by the Sharded and
+// Staged executors: the bucketed partition map that routes keys to shards
+// (and rebalances hot buckets from observed traffic), the keyed-state
+// movement that carries open windows and join buffers across a reshard
+// boundary, and the epoch-tagged per-shard load reporting.
+//
+// A reshard is a period boundary in miniature: the closing epoch's shard
+// runtimes quiesce (drain in-flight batches WITHOUT flushing operator
+// state), their per-key state is exported and re-imported on the key's new
+// owner shard, and a fresh set of runtimes takes over — so no tuple is lost
+// or duplicated and no open window restarts from scratch.
+
+// Resharder is the elastic extension of Executor: executors that can change
+// their shard count at a period boundary. Reshard(n) blocks until the swap
+// is complete; tuples pushed before the call are fully owned by the old
+// epoch, tuples pushed after by the new one.
+type Resharder interface {
+	Executor
+	// Reshard drains the current epoch's shards, moves keyed operator state
+	// to n fresh shard runtimes under a rebalanced partition map, and
+	// resumes. n must be >= 1.
+	Reshard(n int) error
+	// NumShards returns the current parallel width.
+	NumShards() int
+	// ShardStats returns the current epoch's per-shard loads, each tagged
+	// with its stable (Epoch, Shard) identity.
+	ShardStats() []ShardLoad
+}
+
+// Compile-time checks that both sharded executors are elastic.
+var (
+	_ Resharder = (*Sharded)(nil)
+	_ Resharder = (*Staged)(nil)
+)
+
+// ShardLoad is one shard runtime's per-node loads tagged with the shard's
+// stable identity: the reshard epoch that created it and its index within
+// that epoch. Skew logs keyed by (Epoch, Shard) stay meaningful across
+// reshards — "shard 2" of epoch 0 and of epoch 1 are different runtimes
+// owning different key ranges, and a bare slice index conflates them.
+type ShardLoad struct {
+	Epoch int
+	Shard int
+	Loads []NodeLoad
+}
+
+// partitionBuckets is the virtual-bucket count of the partition map. Keys
+// hash into buckets, buckets map to shards; 256 buckets keep the map small
+// while leaving enough granularity to isolate a hot key on its own shard.
+const partitionBuckets = 256
+
+// partitionMap routes partition-key hashes to shards through virtual
+// buckets and counts per-bucket traffic, so a reshard can place observed-hot
+// buckets first (LPT-style) instead of striping blindly. The owner table is
+// replaced wholesale under the owning executor's write lock; the traffic
+// counters are atomic because concurrent pushers route under the read lock.
+type partitionMap struct {
+	owner  []int32
+	counts []atomic.Int64
+}
+
+// newPartitionMap returns a map striping buckets across shards round-robin.
+func newPartitionMap(shards int) *partitionMap {
+	pm := &partitionMap{
+		owner:  make([]int32, partitionBuckets),
+		counts: make([]atomic.Int64, partitionBuckets),
+	}
+	for b := range pm.owner {
+		pm.owner[b] = int32(b % shards)
+	}
+	return pm
+}
+
+// route returns the hash's owner shard and records the traffic.
+func (pm *partitionMap) route(h uint64) int {
+	b := h % partitionBuckets
+	pm.counts[b].Add(1)
+	return int(pm.owner[b])
+}
+
+// shardOf returns the hash's owner shard without recording traffic (used
+// when routing exported state, which is not feed traffic).
+func (pm *partitionMap) shardOf(h uint64) int {
+	return int(pm.owner[h%partitionBuckets])
+}
+
+// rebalance rebuilds the owner table for n shards from the traffic observed
+// since the last rebalance, then resets the counters. Buckets are placed
+// heaviest-first onto the least-loaded shard (longest-processing-time
+// scheduling), so a single hot bucket ends up isolated while cold buckets
+// pack around it; ties break deterministically by bucket index. Every
+// bucket carries a +1 floor so unobserved buckets still spread evenly.
+func (pm *partitionMap) rebalance(n int) {
+	type bucket struct {
+		b int
+		c int64
+	}
+	buckets := make([]bucket, partitionBuckets)
+	for b := range buckets {
+		buckets[b] = bucket{b, pm.counts[b].Swap(0) + 1}
+	}
+	sort.SliceStable(buckets, func(i, j int) bool { return buckets[i].c > buckets[j].c })
+	loads := make([]int64, n)
+	owner := make([]int32, partitionBuckets)
+	for _, bk := range buckets {
+		min := 0
+		for s := 1; s < n; s++ {
+			if loads[s] < loads[min] {
+				min = s
+			}
+		}
+		owner[bk.b] = int32(min)
+		loads[min] += bk.c
+	}
+	pm.owner = owner
+}
+
+// hashValue hashes one partition-key value with the process-stable seed;
+// ok is false for kinds the partitioner cannot hash. It is the value-level
+// core of hashField, reused to route exported keyed state: a window group
+// keyed on field i holds the key VALUE of that field, so hashing the value
+// lands the state on the same shard its future tuples route to.
+func hashValue(v any) (h64 uint64, ok bool) {
+	var h maphash.Hash
+	h.SetSeed(partitionSeed)
+	switch v := v.(type) {
+	case string:
+		h.WriteString(v)
+	case int64:
+		writeUint64(&h, uint64(v))
+	case float64:
+		writeUint64(&h, uint64(int64(v)))
+	case bool:
+		if v {
+			h.WriteByte(1)
+		} else {
+			h.WriteByte(0)
+		}
+	default:
+		return 0, false
+	}
+	return h.Sum64(), true
+}
+
+// transformOf returns a node's operator instance, whichever arity it has.
+func transformOf(n *node) any {
+	if n.unary != nil {
+		return n.unary
+	}
+	return n.binary
+}
+
+// reshardable reports whether every keyed-stateful operator in the plan can
+// move its state: operators declaring a partition key must also implement
+// stream.KeyedStateMover, or a reshard would silently drop their open
+// windows. Checked before any teardown so a failure leaves the running
+// epoch untouched. Stateless operators and global-keyed (-1) operators are
+// exempt — the former hold nothing, the latter never run in a shard stage.
+func reshardable(p *Plan) error {
+	for _, n := range p.nodes {
+		op := transformOf(n)
+		keyed := false
+		if pk, ok := op.(stream.PartitionKeyer); ok {
+			keyed = pk.PartitionField() >= 0
+		} else if bk, ok := op.(stream.BinaryPartitionKeyer); ok {
+			l, r := bk.PartitionFields()
+			keyed = l >= 0 && r >= 0
+		}
+		if !keyed {
+			continue
+		}
+		if _, ok := op.(stream.KeyedStateMover); !ok {
+			return fmt.Errorf("engine: cannot reshard: operator %q holds keyed state but does not implement stream.KeyedStateMover", n.name())
+		}
+	}
+	return nil
+}
+
+// moveKeyedState carries every KeyedStateMover node's per-key state from
+// the quiesced epoch's plans into the new epoch's plans (both structurally
+// identical, node-by-node): each exported key is imported into the same
+// node position on the shard dest assigns it. Keys are imported in sorted
+// render order so the receiving operators' first-seen (flush) order is
+// deterministic regardless of export map iteration.
+func moveKeyedState(oldPlans, newPlans []*Plan, dest func(key any) int) {
+	if len(oldPlans) == 0 || len(newPlans) == 0 {
+		return
+	}
+	type keyedState struct {
+		key   any
+		state any
+	}
+	for j := range newPlans[0].nodes {
+		var moved []keyedState
+		for _, p := range oldPlans {
+			mover, ok := transformOf(p.nodes[j]).(stream.KeyedStateMover)
+			if !ok {
+				continue
+			}
+			for key, st := range mover.ExportKeyedState() {
+				moved = append(moved, keyedState{key, st})
+			}
+		}
+		if len(moved) == 0 {
+			continue
+		}
+		sort.Slice(moved, func(a, b int) bool {
+			return fmt.Sprint(moved[a].key) < fmt.Sprint(moved[b].key)
+		})
+		for _, m := range moved {
+			tgt := transformOf(newPlans[dest(m.key)].nodes[j]).(stream.KeyedStateMover)
+			tgt.ImportKeyedState(m.key, m.state)
+		}
+	}
+}
+
+// stateDest returns the destination function moveKeyedState routes exported
+// keys through: the key value hashes like the tuple field it came from, so
+// state and future tuples agree on the owner shard. Unhashable keys (which
+// hashField routed by timestamp — tuples of such a key were never
+// co-located to begin with) deterministically land on shard 0.
+func stateDest(pm *partitionMap) func(key any) int {
+	return func(key any) int {
+		h, ok := hashValue(key)
+		if !ok {
+			return 0
+		}
+		return pm.shardOf(h)
+	}
+}
+
+// quiesceAll quiesces the runtimes concurrently and waits for the drain.
+func quiesceAll(shards []*Runtime) {
+	done := make(chan struct{})
+	for _, sh := range shards {
+		go func(rt *Runtime) {
+			rt.Quiesce()
+			done <- struct{}{}
+		}(sh)
+	}
+	for range shards {
+		<-done
+	}
+}
+
+// checkShards validates a configured shard count: 0 delegates to the
+// GOMAXPROCS default, negatives are rejected up front with a clear error
+// instead of surfacing later as a slice-bounds or modulo-by-zero panic, and
+// counts beyond the partition map's bucket granularity are rejected because
+// the extra shards could never receive a tuple.
+func checkShards(n int) error {
+	if n < 0 {
+		return fmt.Errorf("engine: shard count %d is negative (use 0 for the GOMAXPROCS default)", n)
+	}
+	if n > partitionBuckets {
+		return fmt.Errorf("engine: shard count %d exceeds the %d-bucket partition granularity; shards past it would never receive a tuple", n, partitionBuckets)
+	}
+	return nil
+}
+
+// checkReshard validates a reshard target, with the same bucket bound.
+func checkReshard(n int) error {
+	if n < 1 {
+		return fmt.Errorf("engine: cannot reshard to %d shards; the target must be >= 1", n)
+	}
+	if n > partitionBuckets {
+		return fmt.Errorf("engine: cannot reshard to %d shards; the %d-bucket partition map caps parallelism there", n, partitionBuckets)
+	}
+	return nil
+}
+
+// clampShards bounds a defaulted (GOMAXPROCS-derived) shard count to the
+// partition granularity so very large machines don't start idle shards.
+func clampShards(n int) int {
+	if n > partitionBuckets {
+		return partitionBuckets
+	}
+	return n
+}

@@ -18,7 +18,8 @@ type PartitionFunc func(source string, t stream.Tuple) uint64
 // shards, a 64-batch channel buffer per edge, and partitioning by the hash
 // of each tuple's first field.
 type ShardedConfig struct {
-	// Shards is the number of shard runtimes; <= 0 means GOMAXPROCS.
+	// Shards is the number of shard runtimes; 0 means GOMAXPROCS. Negative
+	// values are rejected with an error.
 	Shards int
 	// Buf is the per-edge channel buffer in batches; <= 0 means 64.
 	Buf int
@@ -30,7 +31,9 @@ type ShardedConfig struct {
 	// Shedder, when non-nil, is installed in every shard runtime: each shard
 	// sheds independently at its own ingress edges (per-shard sampler state
 	// and overflow accounting against the shared plan), and Stats merges the
-	// per-shard drop counts by node ID like every other counter.
+	// per-shard drop counts by node ID like every other counter. The shedder
+	// carries over to the runtimes a Reshard starts, so a drop plan survives
+	// the boundary.
 	Shedder Shedder
 }
 
@@ -47,10 +50,35 @@ type ShardedConfig struct {
 // window over an unpartitioned stream is NOT shardable here; the Staged
 // executor runs such plans by splitting them into a shardable prefix and a
 // global suffix connected by exchange edges (see StartStaged).
+//
+// The shard count is elastic: Reshard(n) drains the current epoch's shards
+// without flushing their keyed state, moves each key's open windows and
+// join buffers to its new owner shard, and resumes on n fresh runtimes —
+// see Resharder. Stats, Results and Dropped aggregate across every epoch of
+// the executor's lifetime.
 type Sharded struct {
-	shards   []*Runtime
-	part     PartitionFunc
-	sources  map[string]bool
+	factory func() (*Plan, error)
+	buf     int
+	shedder Shedder
+	part    PartitionFunc
+	sources map[string]bool
+	topo    *Plan // epoch-0 shard-0 plan: the stable stats topology
+
+	// mu guards the epoch state below: pushers and readers hold the read
+	// side, Reshard and Stop swap under the write side.
+	mu     sync.RWMutex
+	shards []*Runtime
+	plans  []*Plan
+	pmap   *partitionMap
+	epoch  int
+	// retired accumulates quiesced epochs' raw per-node counters so Stats
+	// keeps reporting the whole run after a reshard.
+	retired []NodeLoad
+
+	// carried holds result tuples drained from quiesced epochs' runtimes.
+	carriedMu sync.Mutex
+	carried   map[string][]stream.Tuple
+
 	ticks    atomic.Int64
 	dropped  atomic.Int64
 	stopped  atomic.Bool
@@ -76,25 +104,10 @@ func hashField(i int, t stream.Tuple) uint64 {
 	if i < 0 || i >= len(t.Vals) {
 		return uint64(t.Ts)
 	}
-	var h maphash.Hash
-	h.SetSeed(partitionSeed)
-	switch v := t.Vals[i].(type) {
-	case string:
-		h.WriteString(v)
-	case int64:
-		writeUint64(&h, uint64(v))
-	case float64:
-		writeUint64(&h, uint64(int64(v)))
-	case bool:
-		if v {
-			h.WriteByte(1)
-		} else {
-			h.WriteByte(0)
-		}
-	default:
-		return uint64(t.Ts)
+	if h, ok := hashValue(t.Vals[i]); ok {
+		return h
 	}
-	return h.Sum64()
+	return uint64(t.Ts)
 }
 
 func writeUint64(h *maphash.Hash, v uint64) {
@@ -108,7 +121,8 @@ func writeUint64(h *maphash.Hash, v uint64) {
 // StartSharded compiles one plan per shard via factory and starts a Runtime
 // on each. The factory must return structurally identical plans with fresh
 // operator instances (stats are merged by node ID), which is exactly what a
-// deterministic plan builder produces.
+// deterministic plan builder produces; the factory is retained to build the
+// plans later Reshard calls need.
 //
 // When no Partition is configured, the plan's inferred partition keys (see
 // Plan.Analyze) must agree with the PartitionByField(0) default; a plan that
@@ -117,40 +131,51 @@ func writeUint64(h *maphash.Hash, v uint64) {
 // Partition to override the check, or use StartStaged, which derives the
 // partition from the analysis and runs global operators in a merge stage.
 func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, error) {
+	if err := checkShards(cfg.Shards); err != nil {
+		return nil, err
+	}
 	n := cfg.Shards
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+	if n == 0 {
+		n = clampShards(runtime.GOMAXPROCS(0))
 	}
 	buf := cfg.Buf
 	if buf <= 0 {
 		buf = 64
 	}
-	part := cfg.Partition
-	s := &Sharded{part: part, sources: make(map[string]bool)}
-	var nodes int
+	s := &Sharded{
+		factory: factory,
+		buf:     buf,
+		shedder: cfg.Shedder,
+		part:    cfg.Partition,
+		sources: make(map[string]bool),
+		pmap:    newPartitionMap(n),
+		carried: make(map[string][]stream.Tuple),
+	}
 	for i := 0; i < n; i++ {
 		p, err := factory()
 		if err != nil {
 			s.Stop()
 			return nil, fmt.Errorf("engine: sharded plan factory: %w", err)
 		}
-		if i == 0 && part == nil {
-			split, err := p.Analyze()
-			if err != nil {
-				s.Stop()
-				return nil, err
-			}
-			if !split.FullyParallel() {
-				s.Stop()
-				return nil, fmt.Errorf("engine: plan has %d global operator(s) and cannot run on Sharded; use StartStaged", split.NumGlobal())
-			}
-			for name, k := range split.SourceKeys {
-				if k > 0 {
+		if i == 0 {
+			if s.part == nil {
+				split, err := p.Analyze()
+				if err != nil {
 					s.Stop()
-					return nil, fmt.Errorf("engine: plan partitions source %q by field %d, not the default field 0; set ShardedConfig.Partition (e.g. from StageSplit.Partition) or use StartStaged", name, k)
+					return nil, err
 				}
+				if !split.FullyParallel() {
+					s.Stop()
+					return nil, fmt.Errorf("engine: plan has %d global operator(s) and cannot run on Sharded; use StartStaged", split.NumGlobal())
+				}
+				for name, k := range split.SourceKeys {
+					if k > 0 {
+						s.Stop()
+						return nil, fmt.Errorf("engine: plan partitions source %q by field %d, not the default field 0; set ShardedConfig.Partition (e.g. from StageSplit.Partition) or use StartStaged", name, k)
+					}
+				}
+				s.part = PartitionByField(0)
 			}
-			s.part = PartitionByField(0)
 		}
 		rt, err := StartRuntime(p, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder})
 		if err != nil {
@@ -158,22 +183,125 @@ func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, e
 			return nil, err
 		}
 		if i == 0 {
-			nodes = len(p.nodes)
+			s.topo = p
 			for name := range p.sources {
 				s.sources[name] = true
 			}
-		} else if len(p.nodes) != nodes {
+		} else if len(p.nodes) != len(s.topo.nodes) {
 			rt.Stop()
 			s.Stop()
-			return nil, fmt.Errorf("engine: sharded plan factory is not deterministic: shard 0 has %d nodes, shard %d has %d", nodes, i, len(p.nodes))
+			return nil, fmt.Errorf("engine: sharded plan factory is not deterministic: shard 0 has %d nodes, shard %d has %d", len(s.topo.nodes), i, len(p.nodes))
 		}
 		s.shards = append(s.shards, rt)
+		s.plans = append(s.plans, p)
 	}
 	return s, nil
 }
 
-// NumShards returns the number of shard runtimes.
-func (s *Sharded) NumShards() int { return len(s.shards) }
+// NumShards returns the number of shard runtimes in the current epoch.
+func (s *Sharded) NumShards() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.shards)
+}
+
+// Epoch returns the reshard epoch: 0 at start, +1 per completed Reshard.
+func (s *Sharded) Epoch() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// Reshard implements Resharder: it changes the shard count to n at a period
+// boundary. The call drains the closing epoch's shard runtimes without
+// flushing their operator state, rebalances the bucket partition map from
+// the traffic observed since the last reshard (hot buckets placed first, so
+// a skewed key distribution spreads as evenly as its hottest key allows),
+// moves every key's open state to its new owner shard, and starts n fresh
+// runtimes. Tuples pushed before Reshard returns are fully processed by the
+// old epoch; tuples pushed after flow to the new one — nothing is lost or
+// duplicated across the boundary. Concurrent PushBatch calls block for the
+// duration of the swap.
+func (s *Sharded) Reshard(n int) error {
+	if err := checkReshard(n); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped.Load() {
+		return errStopped
+	}
+	if err := reshardable(s.plans[0]); err != nil {
+		return err
+	}
+	// Build the new epoch's plans before touching the running one: a
+	// factory failure must leave the executor fully operational.
+	newPlans := make([]*Plan, n)
+	for i := 0; i < n; i++ {
+		p, err := s.factory()
+		if err != nil {
+			return fmt.Errorf("engine: reshard plan factory: %w", err)
+		}
+		if len(p.nodes) != len(s.topo.nodes) {
+			return fmt.Errorf("engine: sharded plan factory is not deterministic: topology has %d nodes, reshard plan has %d", len(s.topo.nodes), len(p.nodes))
+		}
+		newPlans[i] = p
+	}
+	s.retireEpoch()
+	s.pmap.rebalance(n)
+	moveKeyedState(s.plans, newPlans, stateDest(s.pmap))
+	shards := make([]*Runtime, n)
+	for i, p := range newPlans {
+		rt, err := StartRuntime(p, RuntimeConfig{Buf: s.buf, Shedder: s.shedder})
+		if err != nil {
+			// Mid-swap failure: the old epoch is gone, so the executor
+			// cannot keep running. Fail it loudly rather than half-swapped.
+			for _, started := range shards[:i] {
+				started.Stop()
+			}
+			s.stopped.Store(true)
+			return fmt.Errorf("engine: reshard start: %w", err)
+		}
+		shards[i] = rt
+	}
+	s.shards, s.plans = shards, newPlans
+	s.epoch++
+	return nil
+}
+
+// retireEpoch quiesces the current shard runtimes and folds their counters,
+// result buffers and drop counts into the executor-lifetime accumulators.
+// Callers hold the write lock.
+func (s *Sharded) retireEpoch() {
+	quiesceAll(s.shards)
+	for _, sh := range s.shards {
+		loads := sh.Stats() // shard ticks stay 0: raw counts
+		if s.retired == nil {
+			s.retired = make([]NodeLoad, len(loads))
+		}
+		for i, nl := range loads {
+			addCounters(&s.retired[i], nl)
+		}
+		s.dropped.Add(int64(sh.Dropped()))
+	}
+	s.carriedMu.Lock()
+	for q := range s.topo.sinks {
+		for _, sh := range s.shards {
+			s.carried[q] = append(s.carried[q], sh.Results(q)...)
+		}
+	}
+	s.carriedMu.Unlock()
+}
+
+// addCounters folds one raw per-node stat into an accumulator.
+func addCounters(dst *NodeLoad, nl NodeLoad) {
+	dst.Tuples += nl.Tuples
+	dst.OutTuples += nl.OutTuples
+	dst.Load += nl.Load
+	dst.OfferedLoad += nl.OfferedLoad
+	dst.ShedTuples += nl.ShedTuples
+	dst.ShedUtilityLost += nl.ShedUtilityLost
+}
 
 // PushBatch partitions the batch across shards and forwards each sub-batch
 // with one channel send per shard touched. Tuple order is preserved within
@@ -183,14 +311,15 @@ func (s *Sharded) PushBatch(source string, batch []stream.Tuple) error {
 	if s.stopped.Load() {
 		return errStopped
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.sources[source] {
 		s.dropped.Add(int64(len(batch)))
 		return fmt.Errorf("engine: unknown source %q", source)
 	}
-	n := uint64(len(s.shards))
 	sub := make([][]stream.Tuple, len(s.shards))
 	for _, t := range batch {
-		i := s.part(source, t) % n
+		i := s.pmap.route(s.part(source, t))
 		sub[i] = append(sub[i], t)
 	}
 	var first error
@@ -209,31 +338,40 @@ func (s *Sharded) PushBatch(source string, batch []stream.Tuple) error {
 // zero so their raw costs sum cleanly).
 func (s *Sharded) Advance(ticks int64) { s.ticks.Add(ticks) }
 
-// Results concatenates the named query's outputs across shards in shard
-// order and clears them. Complete only after Stop, like Runtime.
+// Results concatenates the named query's outputs — tuples carried over from
+// retired epochs first, then the current shards in shard order — and clears
+// them. Complete only after Stop, like Runtime.
 func (s *Sharded) Results(query string) []stream.Tuple {
-	var out []stream.Tuple
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.carriedMu.Lock()
+	out := s.carried[query]
+	delete(s.carried, query)
+	s.carriedMu.Unlock()
 	for _, sh := range s.shards {
 		out = append(out, sh.Results(query)...)
 	}
 	return out
 }
 
-// Stats merges per-shard operator stats by node ID: tuple counts and costs
-// add up, and the merged load divides by this executor's Advance ticks.
+// Stats merges per-shard operator stats by node ID across every epoch of
+// the run: tuple counts and costs add up (retired epochs included), and the
+// merged load divides by this executor's Advance ticks.
 func (s *Sharded) Stats() []NodeLoad {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if len(s.shards) == 0 {
 		return nil
 	}
 	merged := s.shards[0].Stats()
 	for _, sh := range s.shards[1:] {
 		for i, nl := range sh.Stats() {
-			merged[i].Tuples += nl.Tuples
-			merged[i].OutTuples += nl.OutTuples
-			merged[i].Load += nl.Load
-			merged[i].OfferedLoad += nl.OfferedLoad
-			merged[i].ShedTuples += nl.ShedTuples
-			merged[i].ShedUtilityLost += nl.ShedUtilityLost
+			addCounters(&merged[i], nl)
+		}
+	}
+	if s.retired != nil {
+		for i := range merged {
+			addCounters(&merged[i], s.retired[i])
 		}
 	}
 	if ticks := s.ticks.Load(); ticks > 0 {
@@ -245,19 +383,22 @@ func (s *Sharded) Stats() []NodeLoad {
 	return merged
 }
 
-// ShardStats returns each shard's own per-node loads (node IDs are shared
-// across shards), exposing skew the merged Stats sum hides: under a skewed
-// key distribution one shard's Load dwarfs the others'. Ticks are this
-// executor's Advance ticks, like Stats.
-func (s *Sharded) ShardStats() [][]NodeLoad {
-	return perShardLoads(s.shards, nil, s.ticks.Load())
+// ShardStats returns each current-epoch shard's own per-node loads (node
+// IDs are shared across shards), exposing skew the merged Stats sum hides:
+// under a skewed key distribution one shard's Load dwarfs the others'.
+// Ticks are this executor's Advance ticks, like Stats.
+func (s *Sharded) ShardStats() []ShardLoad {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return perShardLoads(s.shards, nil, s.epoch, s.ticks.Load())
 }
 
 // perShardLoads collects each shard runtime's raw stats, optionally remaps
-// node IDs (ids nil keeps them), and normalizes loads by the owning
-// executor's ticks — shared by Sharded.ShardStats and Staged.ShardStats.
-func perShardLoads(shards []*Runtime, ids []int, ticks int64) [][]NodeLoad {
-	out := make([][]NodeLoad, len(shards))
+// node IDs (ids nil keeps them), normalizes loads by the owning executor's
+// ticks, and tags each entry with its (epoch, shard) identity — shared by
+// Sharded.ShardStats and Staged.ShardStats.
+func perShardLoads(shards []*Runtime, ids []int, epoch int, ticks int64) []ShardLoad {
+	out := make([]ShardLoad, len(shards))
 	for i, sh := range shards {
 		loads := sh.Stats()
 		for j := range loads {
@@ -269,19 +410,23 @@ func perShardLoads(shards []*Runtime, ids []int, ticks int64) [][]NodeLoad {
 				loads[j].OfferedLoad /= float64(ticks)
 			}
 		}
-		out[i] = loads
+		out[i] = ShardLoad{Epoch: epoch, Shard: i, Loads: loads}
 	}
 	return out
 }
 
 // Stop stops every shard concurrently and waits: each shard drains its
 // operators, flushing open state into its result buffers. Idempotent, safe
-// alongside PushBatch, and every caller returns only after the drain.
+// alongside PushBatch and Reshard, and every caller returns only after the
+// drain.
 func (s *Sharded) Stop() {
 	s.stopOnce.Do(func() {
 		s.stopped.Store(true)
+		s.mu.Lock()
+		shards := s.shards
+		s.mu.Unlock()
 		var wg sync.WaitGroup
-		for _, sh := range s.shards {
+		for _, sh := range shards {
 			wg.Add(1)
 			go func(rt *Runtime) {
 				defer wg.Done()
@@ -292,8 +437,10 @@ func (s *Sharded) Stop() {
 	})
 }
 
-// Dropped returns the number of rejected tuples across shards.
+// Dropped returns the number of rejected tuples across shards and epochs.
 func (s *Sharded) Dropped() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := int(s.dropped.Load())
 	for _, sh := range s.shards {
 		n += sh.Dropped()

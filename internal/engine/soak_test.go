@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestElasticSoak hammers the elastic executors with grow→shrink→grow
+// cycles while producers keep pushing and a monitor keeps sampling
+// SettleStats/ShardStats — the concurrency pattern dsmsd's per-period
+// controller produces. CI runs this package under -race, so the test's job
+// is to drive every lock-ordering path (push vs reshard vs stats vs stop)
+// and then prove conservation: every pushed tuple comes out exactly once
+// across all epochs.
+func TestElasticSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	start := map[string]func() (Resharder, error){
+		"sharded": func() (Resharder, error) {
+			return StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
+				ShardedConfig{Shards: 3, Buf: 16})
+		},
+		"staged": func() (Resharder, error) {
+			return StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
+				StagedConfig{Shards: 3, Buf: 16})
+		},
+	}
+	for name, startEx := range start {
+		t.Run(name, func(t *testing.T) {
+			ex, err := startEx()
+			if err != nil {
+				t.Fatal(err)
+			}
+			const producers = 3
+			const rounds = 80
+			const width = 16
+			var pushed atomic.Int64
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					buf := make([]stream.Tuple, 0, width)
+					for r := 0; r < rounds; r++ {
+						buf = buf[:0]
+						for i := 0; i < width; i++ {
+							n := pushed.Add(1)
+							// Positive values: every tuple passes the filter,
+							// so the raw sink count proves conservation.
+							buf = append(buf, tup(n, fmt.Sprintf("k%d", i%7), 1))
+						}
+						if err := ex.PushBatch("s", buf); err != nil {
+							t.Errorf("producer %d: %v", p, err)
+							return
+						}
+					}
+				}(p)
+			}
+			stop := make(chan struct{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					SettleStats(ex)
+					ex.ShardStats()
+				}
+			}()
+			// Grow → shrink → grow cycles interleaved with the pushes above.
+			for _, n := range []int{5, 2, 6, 1, 4, 3} {
+				if err := ex.Reshard(n); err != nil {
+					t.Fatalf("Reshard(%d): %v", n, err)
+				}
+				if got := ex.NumShards(); got != n {
+					t.Fatalf("NumShards = %d, want %d", got, n)
+				}
+			}
+			close(stop)
+			wg.Wait()
+			ex.Stop()
+			want := pushed.Load()
+			if got := int64(len(ex.Results("raw"))); got != want {
+				t.Fatalf("raw results = %d, want %d (tuples lost or duplicated across reshards)", got, want)
+			}
+			loads := SettleStats(ex)
+			if loads[0].Tuples != want {
+				t.Fatalf("ingress Tuples = %d across epochs, want %d", loads[0].Tuples, want)
+			}
+		})
+	}
+}

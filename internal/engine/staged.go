@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -12,7 +13,8 @@ import (
 // StagedConfig tunes StartStaged. The zero value is usable: GOMAXPROCS
 // shards, a 64-batch buffer per edge, partition keys inferred from the plan.
 type StagedConfig struct {
-	// Shards is the parallel-stage width; <= 0 means GOMAXPROCS.
+	// Shards is the parallel-stage width; 0 means GOMAXPROCS. Negative
+	// values are rejected with an error.
 	Shards int
 	// Buf is the per-edge channel buffer in batches; <= 0 means 64.
 	Buf int
@@ -20,7 +22,8 @@ type StagedConfig struct {
 	// shard's source routers and the global stage's direct source feeds.
 	// Exchange edges never shed — they are interior edges of the staged
 	// graph, and dropping there would double-penalize tuples that already
-	// survived ingress shedding.
+	// survived ingress shedding. The shedder carries over to the runtimes a
+	// Reshard starts, so a drop plan survives the boundary.
 	Shedder Shedder
 }
 
@@ -45,24 +48,49 @@ type StagedConfig struct {
 // one exchange therefore sees exactly the tuple sequence the synchronous
 // Engine would, and produces tuple-identical results.
 //
+// The parallel-stage width is elastic: Reshard(n) retires the current shard
+// epoch at a period boundary — quiescing the shard runtimes without
+// flushing keyed state, draining the exchange merges into the global stage,
+// moving each key's open state to its new owner shard under a rebalanced
+// partition map — and resumes on n fresh runtimes. The global stage (whose
+// state is not keyed, and therefore never moves) runs on across the
+// boundary. See Resharder.
+//
 // Results completeness and per-edge merge progress are only guaranteed after
 // Stop: the merge may buffer (without bound, and without blocking shards)
 // while it waits for slow shards, so mid-run Results can lag. Stats are
-// merged across both stages onto the analyzed plan's node IDs, and
-// OfferedLoad reconstruction runs over the full staged topology, so shed
-// accounting stays correct through the exchange.
+// merged across both stages and every shard epoch onto the analyzed plan's
+// node IDs, and OfferedLoad reconstruction runs over the full staged
+// topology, so shed accounting stays correct through the exchange.
 type Staged struct {
-	split *StageSplit
-	topo  *Plan // analyzed full plan: stats topology; its instances run the suffix
-	part  PartitionFunc
+	factory func() (*Plan, error)
+	split   *StageSplit
+	topo    *Plan // analyzed full plan: stats topology; its instances run the suffix
+	part    PartitionFunc
+	buf     int
+	shedder Shedder
 
-	shards    []*Runtime
-	shardIDs  []int // prefix-plan node index -> topo node ID
-	global    *Runtime
-	globalIDs []int // suffix-plan node index -> topo node ID
+	// mu guards the epoch state below: pushers and readers hold the read
+	// side, Reshard and Stop swap under the write side.
+	mu          sync.RWMutex
+	shards      []*Runtime
+	prefixPlans []*Plan
+	shardIDs    []int // prefix-plan node index -> topo node ID
+	global      *Runtime
+	globalIDs   []int // suffix-plan node index -> topo node ID
+	pmap        *partitionMap
+	epoch       int
+	// retired accumulates quiesced shard epochs' raw counters, indexed by
+	// topo node ID, so merged Stats cover the whole run after a reshard.
+	retTuples, retOuts, retSheds []int64
+	retShedUtil                  []float64
 
 	exchanges []*exchangeMerge
 	mergeWG   sync.WaitGroup
+
+	// carried holds result tuples drained from quiesced epochs' runtimes.
+	carriedMu sync.Mutex
+	carried   map[string][]stream.Tuple
 
 	ticks    atomic.Int64
 	dropped  atomic.Int64
@@ -74,11 +102,15 @@ type Staged struct {
 // shard Runtimes over the carved prefix) and the global stage (one Runtime
 // over the carved suffix), and wires the exchange merges between them. The
 // factory must return structurally identical plans with fresh operator
-// instances, exactly like StartSharded's.
+// instances, exactly like StartSharded's; it is retained to build the
+// plans later Reshard calls need.
 func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, error) {
+	if err := checkShards(cfg.Shards); err != nil {
+		return nil, err
+	}
 	n := cfg.Shards
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+	if n == 0 {
+		n = clampShards(runtime.GOMAXPROCS(0))
 	}
 	buf := cfg.Buf
 	if buf <= 0 {
@@ -92,7 +124,15 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 	if err != nil {
 		return nil, err
 	}
-	s := &Staged{split: split, topo: full, part: split.Partition()}
+	s := &Staged{
+		factory: factory,
+		split:   split,
+		topo:    full,
+		part:    split.Partition(),
+		buf:     buf,
+		shedder: cfg.Shedder,
+		carried: make(map[string][]stream.Tuple),
+	}
 
 	if split.NumParallel() == 0 {
 		// Fully global: no parallel stage, no exchanges — the whole plan
@@ -105,6 +145,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		s.globalIDs = identity(len(full.nodes))
 		return s, nil
 	}
+	s.pmap = newPartitionMap(n)
 
 	if split.NumGlobal() > 0 {
 		// The suffix reuses the analyzed plan's operator instances; each
@@ -122,54 +163,89 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 			return nil, err
 		}
 		s.globalIDs = ids
-		for _, id := range split.Exchanges {
-			s.exchanges = append(s.exchanges, newExchangeMerge(ExchangeName(id), n))
-		}
 	}
 
+	plans, exchanges, err := s.carveEpoch(n)
+	if err != nil {
+		s.Stop()
+		return nil, err
+	}
+	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder)
+	if err != nil {
+		s.Stop()
+		return nil, err
+	}
+	s.shards, s.prefixPlans, s.exchanges = shards, plans, exchanges
+	s.startMergers()
+	return s, nil
+}
+
+// carveEpoch builds one parallel-stage epoch's skeleton: n prefix plans
+// carved from fresh factory plans (keyed state still empty — Reshard
+// imports moved state into them before the runtimes start) and one fresh
+// exchange merge per crossing edge. The first carve records shardIDs.
+func (s *Staged) carveEpoch(n int) ([]*Plan, []*exchangeMerge, error) {
+	var exchanges []*exchangeMerge
+	for _, id := range s.split.Exchanges {
+		exchanges = append(exchanges, newExchangeMerge(ExchangeName(id), n))
+	}
+	plans := make([]*Plan, n)
 	for i := 0; i < n; i++ {
-		p, err := factory()
+		p, err := s.factory()
 		if err != nil {
-			s.Stop()
-			return nil, fmt.Errorf("engine: staged plan factory: %w", err)
+			return nil, nil, fmt.Errorf("engine: staged plan factory: %w", err)
 		}
-		if len(p.nodes) != len(full.nodes) {
-			s.Stop()
-			return nil, fmt.Errorf("engine: staged plan factory is not deterministic: analyzed plan has %d nodes, shard %d has %d", len(full.nodes), i, len(p.nodes))
+		if len(p.nodes) != len(s.topo.nodes) {
+			return nil, nil, fmt.Errorf("engine: staged plan factory is not deterministic: analyzed plan has %d nodes, shard %d has %d", len(s.topo.nodes), i, len(p.nodes))
 		}
-		prefix, ids, err := split.prefixPlan(p)
+		prefix, ids, err := s.split.prefixPlan(p)
 		if err != nil {
-			s.Stop()
-			return nil, err
+			return nil, nil, err
 		}
+		if s.shardIDs == nil {
+			s.shardIDs = ids
+		}
+		plans[i] = prefix
+	}
+	return plans, exchanges, nil
+}
+
+// startShardRuntimes starts one Runtime per carved prefix plan with that
+// shard's exchange taps installed. On error everything started so far is
+// stopped and the error returned.
+func startShardRuntimes(plans []*Plan, exchanges []*exchangeMerge, buf int, shedder Shedder) ([]*Runtime, error) {
+	shards := make([]*Runtime, 0, len(plans))
+	for i, prefix := range plans {
 		var taps map[string]func([]stream.Tuple)
-		if len(s.exchanges) > 0 {
-			taps = make(map[string]func([]stream.Tuple), len(s.exchanges))
-			for _, x := range s.exchanges {
+		if len(exchanges) > 0 {
+			taps = make(map[string]func([]stream.Tuple), len(exchanges))
+			for _, x := range exchanges {
 				taps[x.name] = x.offer(i)
 			}
 		}
-		rt, err := StartRuntime(prefix, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder, Taps: taps})
+		rt, err := StartRuntime(prefix, RuntimeConfig{Buf: buf, Shedder: shedder, Taps: taps})
 		if err != nil {
-			s.Stop()
+			for _, started := range shards {
+				started.Stop()
+			}
 			return nil, err
 		}
-		if i == 0 {
-			s.shardIDs = ids
-		}
-		s.shards = append(s.shards, rt)
+		shards = append(shards, rt)
 	}
+	return shards, nil
+}
 
-	// One merger per exchange edge, pushing Ts-merged batches into the
-	// global stage for the life of the executor.
+// startMergers launches one merger goroutine per exchange edge of the
+// current epoch, pushing Ts-merged batches into the global stage until the
+// edge closes. Callers hold the write lock (or are inside Start).
+func (s *Staged) startMergers() {
 	for _, x := range s.exchanges {
 		s.mergeWG.Add(1)
 		go func(x *exchangeMerge) {
 			defer s.mergeWG.Done()
-			x.run(s.global, buf)
+			x.run(s.global, s.buf)
 		}(x)
 	}
-	return s, nil
 }
 
 func identity(n int) []int {
@@ -184,7 +260,94 @@ func identity(n int) []int {
 func (s *Staged) Split() *StageSplit { return s.split }
 
 // NumShards returns the parallel-stage width (0 for a fully global plan).
-func (s *Staged) NumShards() int { return len(s.shards) }
+func (s *Staged) NumShards() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.shards)
+}
+
+// Epoch returns the reshard epoch: 0 at start, +1 per completed Reshard.
+func (s *Staged) Epoch() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// Reshard implements Resharder: it changes the parallel-stage width to n at
+// a period boundary. The closing epoch's shard runtimes quiesce (in-flight
+// batches drain, keyed state stays put), the exchange merges drain their
+// buffers into the global stage and retire, the bucket partition map
+// rebalances from observed traffic, every key's open state moves to its new
+// owner shard, and n fresh runtimes (with fresh exchange merges) take over.
+// The global stage runs on untouched. On a fully global plan (NumShards 0)
+// Reshard is a no-op. Concurrent PushBatch calls block for the duration of
+// the swap; nothing is lost or duplicated across the boundary.
+func (s *Staged) Reshard(n int) error {
+	if err := checkReshard(n); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped.Load() {
+		return errStopped
+	}
+	if len(s.shards) == 0 {
+		return nil
+	}
+	if err := reshardable(s.prefixPlans[0]); err != nil {
+		return err
+	}
+	// Carve the new epoch before touching the running one: a factory
+	// failure must leave the executor fully operational.
+	plans, exchanges, err := s.carveEpoch(n)
+	if err != nil {
+		return err
+	}
+	s.retireEpoch()
+	s.pmap.rebalance(n)
+	moveKeyedState(s.prefixPlans, plans, stateDest(s.pmap))
+	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder)
+	if err != nil {
+		// Mid-swap failure: the old epoch is gone, so the executor cannot
+		// keep running. Fail it loudly rather than half-swapped.
+		s.stopped.Store(true)
+		return fmt.Errorf("engine: reshard start: %w", err)
+	}
+	s.shards, s.prefixPlans, s.exchanges = shards, plans, exchanges
+	s.startMergers()
+	s.epoch++
+	return nil
+}
+
+// retireEpoch quiesces the current shard runtimes, drains the exchange
+// merges into the global stage, and folds the epoch's counters, result
+// buffers and drop counts into the executor-lifetime accumulators. Callers
+// hold the write lock.
+func (s *Staged) retireEpoch() {
+	quiesceAll(s.shards)
+	for _, x := range s.exchanges {
+		x.close()
+	}
+	s.mergeWG.Wait()
+	s.ensureRetired()
+	for _, sh := range s.shards {
+		for j, nl := range sh.Stats() { // shard ticks stay 0: raw counts
+			i := s.shardIDs[j]
+			s.retTuples[i] += nl.Tuples
+			s.retOuts[i] += nl.OutTuples
+			s.retSheds[i] += nl.ShedTuples
+			s.retShedUtil[i] += nl.ShedUtilityLost
+		}
+		s.dropped.Add(int64(sh.Dropped()))
+	}
+	s.carriedMu.Lock()
+	for q := range s.topo.sinks {
+		for _, sh := range s.shards {
+			s.carried[q] = append(s.carried[q], sh.Results(q)...)
+		}
+	}
+	s.carriedMu.Unlock()
+}
 
 // PushBatch routes a source batch into the stage(s) consuming it: the
 // parallel stage receives it hash-partitioned on the source's inferred key,
@@ -196,6 +359,8 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 	if s.stopped.Load() {
 		return errStopped
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	prefix := s.split.PrefixSources[source] && len(s.shards) > 0
 	direct := s.split.DirectSources[source] || (s.split.PrefixSources[source] && len(s.shards) == 0)
 	if !prefix && !direct {
@@ -237,10 +402,9 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 		}
 	}
 	if prefix {
-		n := uint64(len(s.shards))
 		sub := make([][]stream.Tuple, len(s.shards))
 		for _, t := range batch {
-			i := s.part(source, t) % n
+			i := s.pmap.route(s.part(source, t))
 			sub[i] = append(sub[i], t)
 		}
 		for i, ts := range sub {
@@ -259,11 +423,16 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 // at zero ticks so their raw costs aggregate cleanly.
 func (s *Staged) Advance(ticks int64) { s.ticks.Add(ticks) }
 
-// Results concatenates the named query's outputs across the stage that owns
-// its sink (parallel sinks concatenate in shard order) and clears them.
-// Complete only after Stop.
+// Results concatenates the named query's outputs — tuples carried over from
+// retired shard epochs first, then the current shards in shard order, then
+// the global stage — and clears them. Complete only after Stop.
 func (s *Staged) Results(query string) []stream.Tuple {
-	var out []stream.Tuple
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.carriedMu.Lock()
+	out := s.carried[query]
+	delete(s.carried, query)
+	s.carriedMu.Unlock()
 	for _, sh := range s.shards {
 		out = append(out, sh.Results(query)...)
 	}
@@ -273,17 +442,26 @@ func (s *Staged) Results(query string) []stream.Tuple {
 	return out
 }
 
-// Stats merges both stages' per-node counters onto the analyzed plan's node
-// IDs and recomputes loads over the full staged topology: tuple counts sum
-// across shards and stages, and OfferedLoad reconstruction (demandIn)
-// propagates upstream shed losses across exchange edges exactly as it does
-// across in-plan edges, so drop metering survives the stage boundary.
+// Stats merges both stages' per-node counters — every shard epoch included
+// — onto the analyzed plan's node IDs and recomputes loads over the full
+// staged topology: tuple counts sum across shards, epochs and stages, and
+// OfferedLoad reconstruction (demandIn) propagates upstream shed losses
+// across exchange edges exactly as it does across in-plan edges, so drop
+// metering survives the stage boundary.
 func (s *Staged) Stats() []NodeLoad {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := len(s.topo.nodes)
 	tuples := make([]int64, n)
 	outs := make([]int64, n)
 	sheds := make([]int64, n)
 	shedUtil := make([]float64, n)
+	if s.retTuples != nil {
+		copy(tuples, s.retTuples)
+		copy(outs, s.retOuts)
+		copy(sheds, s.retSheds)
+		copy(shedUtil, s.retShedUtil)
+	}
 	add := func(rt *Runtime, ids []int) {
 		for j, nl := range rt.Stats() { // stage ticks stay 0: raw counts
 			i := ids[j]
@@ -302,41 +480,164 @@ func (s *Staged) Stats() []NodeLoad {
 	return assembleLoads(s.topo, tuples, outs, sheds, shedUtil, s.ticks.Load())
 }
 
-// ShardStats returns each parallel shard's own per-node loads (indexed by
-// the analyzed plan's node IDs), exposing per-shard imbalance the merged
+// ShardStats returns each current-epoch parallel shard's own per-node loads
+// (indexed by the analyzed plan's node IDs and tagged with the shard's
+// stable (Epoch, Shard) identity), exposing per-shard imbalance the merged
 // Stats sum hides. Ticks are this executor's Advance ticks.
-func (s *Staged) ShardStats() [][]NodeLoad {
-	return perShardLoads(s.shards, s.shardIDs, s.ticks.Load())
+func (s *Staged) ShardStats() []ShardLoad {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return perShardLoads(s.shards, s.shardIDs, s.epoch, s.ticks.Load())
 }
 
-// Stop drains the staged graph front to back: the shard runtimes stop
-// (flushing open state through their taps), the exchange merges drain their
-// remaining buffers into the global stage, and the global runtime stops
-// last. Idempotent; every caller returns only after the full drain.
+// Stop drains the staged graph front to back, faithful to the synchronous
+// Engine's drain order: the shard runtimes quiesce (in-flight batches
+// processed, operator state intact), the exchange merges hand every regular
+// tuple to the global stage and retire, the prefix operators then flush in
+// topological order with a per-node timestamp merge across shards — so the
+// global stage sees all regular tuples before any flush tuple, and flush
+// tuples in the same order the sync Engine would emit them — and the global
+// runtime stops last. Idempotent; every caller returns only after the full
+// drain.
 func (s *Staged) Stop() {
 	s.stopOnce.Do(func() {
 		s.stopped.Store(true)
-		var wg sync.WaitGroup
-		for _, sh := range s.shards {
-			wg.Add(1)
-			go func(rt *Runtime) {
-				defer wg.Done()
-				rt.Stop()
-			}(sh)
-		}
-		wg.Wait()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		quiesceAll(s.shards)
 		for _, x := range s.exchanges {
 			x.close()
 		}
 		s.mergeWG.Wait()
+		s.drainPrefix()
 		if s.global != nil {
 			s.global.Stop()
 		}
 	})
 }
 
-// Dropped returns the number of rejected tuples across stages.
+// ensureRetired sizes the retired-counter arrays on first use.
+func (s *Staged) ensureRetired() {
+	if s.retTuples == nil {
+		n := len(s.topo.nodes)
+		s.retTuples = make([]int64, n)
+		s.retOuts = make([]int64, n)
+		s.retSheds = make([]int64, n)
+		s.retShedUtil = make([]float64, n)
+	}
+}
+
+// drainPrefix flushes the quiesced prefix runtimes' operator state exactly
+// the way the synchronous Engine drains at Stop: nodes flush in topological
+// order; each node's flush emissions are merged across shards in timestamp
+// order (each operator already flushes its own groups in timestamp order)
+// and routed one tuple at a time through the emitting shard's downstream
+// operators — everything below a flushing node in the prefix is stateless,
+// so shard-local routing is exact. Tuples reaching an exchange sink buffer
+// up and push to the global stage after the whole prefix has drained, i.e.
+// after every regular tuple and in timestamp order per edge; tuples
+// reaching a query sink land in the carried-results buffer. All drain
+// processing is accounted in the retired counters, keeping Stats identical
+// to the sync Engine's. Callers hold the write lock.
+func (s *Staged) drainPrefix() {
+	if len(s.shards) == 0 {
+		return
+	}
+	s.ensureRetired()
+	isExchange := make(map[string]bool, len(s.split.Exchanges))
+	for _, id := range s.split.Exchanges {
+		isExchange[ExchangeName(id)] = true
+	}
+	xbuf := make(map[string][]stream.Tuple)
+	s.carriedMu.Lock()
+	defer s.carriedMu.Unlock()
+	var route func(shard int, eg edge, t stream.Tuple)
+	route = func(shard int, eg edge, t stream.Tuple) {
+		if eg.node < 0 {
+			if isExchange[eg.sink] {
+				xbuf[eg.sink] = append(xbuf[eg.sink], t)
+			} else {
+				s.carried[eg.sink] = append(s.carried[eg.sink], t)
+			}
+			return
+		}
+		n := s.prefixPlans[shard].nodes[eg.node]
+		id := s.shardIDs[eg.node]
+		s.retTuples[id]++
+		var outs []stream.Tuple
+		if n.unary != nil {
+			outs = n.unary.Apply(t)
+		} else if eg.side == stream.Left {
+			outs = n.binary.ApplyLeft(t)
+		} else {
+			outs = n.binary.ApplyRight(t)
+		}
+		s.retOuts[id] += int64(len(outs))
+		for _, o := range outs {
+			for _, next := range n.out {
+				route(shard, next, o)
+			}
+		}
+	}
+	type flushed struct {
+		shard int
+		t     stream.Tuple
+	}
+	for j := range s.prefixPlans[0].nodes {
+		var emitted []flushed
+		for i, p := range s.prefixPlans {
+			n := p.nodes[j]
+			var outs []stream.Tuple
+			if n.unary != nil {
+				outs = n.unary.Flush()
+			} else {
+				outs = n.binary.Flush()
+			}
+			s.retOuts[s.shardIDs[j]] += int64(len(outs))
+			for _, t := range outs {
+				emitted = append(emitted, flushed{i, t})
+			}
+		}
+		// Order by timestamp, ties by the rendered first value — the same
+		// tie-break WindowAgg.Flush uses for its (key-leading) emissions —
+		// so equal-Ts flush tuples landing on different shards still drain
+		// in the single-instance order.
+		sort.SliceStable(emitted, func(a, b int) bool {
+			if emitted[a].t.Ts != emitted[b].t.Ts {
+				return emitted[a].t.Ts < emitted[b].t.Ts
+			}
+			return flushTieKey(emitted[a].t) < flushTieKey(emitted[b].t)
+		})
+		for _, f := range emitted {
+			for _, next := range s.prefixPlans[f.shard].nodes[j].out {
+				route(f.shard, next, f.t)
+			}
+		}
+	}
+	for _, id := range s.split.Exchanges {
+		name := ExchangeName(id)
+		if batch := xbuf[name]; len(batch) > 0 {
+			// The global runtime is still accepting (it stops after the
+			// drain); its ingress preserves push order per source.
+			_ = s.global.PushBatch(name, batch)
+		}
+	}
+}
+
+// flushTieKey renders a flush tuple's leading value for same-timestamp
+// ordering; window emissions lead with their group key, so this matches the
+// key tie-break inside stream.WindowAgg.Flush.
+func flushTieKey(t stream.Tuple) string {
+	if len(t.Vals) == 0 {
+		return ""
+	}
+	return fmt.Sprint(t.Vals[0])
+}
+
+// Dropped returns the number of rejected tuples across stages and epochs.
 func (s *Staged) Dropped() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := int(s.dropped.Load())
 	for _, sh := range s.shards {
 		n += sh.Dropped()
@@ -399,17 +700,18 @@ func (x *exchangeMerge) close() {
 // A tuple is released only when every shard either shows its next tuple or
 // has closed. A shard that never emits on this edge (a selective filter
 // whose key all hashes elsewhere) therefore holds the merge back until
-// Stop: correctness is unaffected — everything buffers and drains then —
-// but mid-run the global stage idles and mid-run Stats under-report it.
-// Releasing earlier safely needs watermarks/punctuation flowing through
-// the shard pipelines (in-flight tuples make push-side watermarks
-// unsound); see the ROADMAP.
+// Stop (or the epoch's retirement at a reshard boundary): correctness is
+// unaffected — everything buffers and drains then — but mid-run the global
+// stage idles and mid-run Stats under-report it. Releasing earlier safely
+// needs watermarks/punctuation flowing through the shard pipelines
+// (in-flight tuples make push-side watermarks unsound); see the ROADMAP.
 func (x *exchangeMerge) run(global *Runtime, batch int) {
 	out := make([]stream.Tuple, 0, batch)
 	flush := func() {
 		if len(out) > 0 {
 			// The global runtime copies the batch; reusing out is safe. A
-			// post-Stop error cannot happen here (Stop waits for this loop).
+			// post-Stop error cannot happen here (Stop and the reshard
+			// retirement both wait for this loop before stopping global).
 			_ = global.PushBatch(x.name, out)
 			out = out[:0]
 		}

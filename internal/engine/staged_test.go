@@ -343,8 +343,11 @@ func TestStagedSkewedPartitioning(t *testing.T) {
 	perShard := make([]float64, len(shards))
 	var total float64
 	sumByID := make(map[int]int64)
-	for i, loads := range shards {
-		for _, nl := range loads {
+	for i, sl := range shards {
+		if sl.Epoch != 0 || sl.Shard != i {
+			t.Errorf("ShardStats[%d] identity epoch %d shard %d, want 0/%d", i, sl.Epoch, sl.Shard, i)
+		}
+		for _, nl := range sl.Loads {
 			perShard[i] += nl.Load
 			sumByID[nl.ID] += nl.Tuples
 		}
@@ -473,9 +476,9 @@ func TestShardedShardStats(t *testing.T) {
 	for i, nl := range merged {
 		var tuples int64
 		var load float64
-		for _, loads := range per {
-			tuples += loads[i].Tuples
-			load += loads[i].Load
+		for _, sl := range per {
+			tuples += sl.Loads[i].Tuples
+			load += sl.Loads[i].Load
 		}
 		if tuples != nl.Tuples {
 			t.Errorf("node %d: per-shard tuples %d != merged %d", i, tuples, nl.Tuples)
@@ -483,6 +486,64 @@ func TestShardedShardStats(t *testing.T) {
 		if diff := load - nl.Load; diff > 1e-9 || diff < -1e-9 {
 			t.Errorf("node %d: per-shard load sum %g != merged %g", i, load, nl.Load)
 		}
+	}
+}
+
+// TestExchangeMergeHoldsForQuietShard documents (and pins) the current
+// quiet-shard semantics of the exchange merge, the ROADMAP's watermark
+// item: a tuple is released only once EVERY shard shows its head or has
+// closed, so a shard that never emits on the edge — here, all tuples carry
+// one key and hash to a single shard — holds the merge back until Stop.
+// Mid-run the global stage therefore sits idle (zero tuples metered, no
+// results) even though the hot shard has long produced; at Stop everything
+// drains and the output matches the sync oracle exactly. The future
+// punctuation/heartbeat PR will relax the mid-run half of this baseline;
+// the post-Stop half must survive it.
+func TestExchangeMergeHoldsForQuietShard(t *testing.T) {
+	tuples := make([]stream.Tuple, 200)
+	for i := range tuples {
+		tuples[i] = tup(int64(i+1), "k0", float64(i%5)+1) // one key: one hot shard
+	}
+	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
+		StagedConfig{Shards: 4, Buf: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := st.Split()
+	var globalID int
+	for id, g := range split.Global {
+		if g {
+			globalID = id
+		}
+	}
+	for i := 0; i < len(tuples); i += 20 {
+		if err := st.PushBatch("s", tuples[i:i+20]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mid-run: the parallel stage has metered the stream, the global stage
+	// has seen none of it — the merge is waiting on three quiet shards.
+	loads := SettleStats(st)
+	if loads[0].Tuples == 0 {
+		t.Fatal("parallel ingress metered nothing mid-run")
+	}
+	if got := loads[globalID].Tuples; got != 0 {
+		t.Fatalf("global stage processed %d tuples mid-run; quiet-shard hold no longer applies — update this baseline alongside the punctuation change", got)
+	}
+	if got := len(st.Results("gsums")); got != 0 {
+		t.Fatalf("global query emitted %d results mid-run under a held merge", got)
+	}
+
+	eng, _ := New(mixedPlan())
+	for _, tu := range tuples {
+		if err := eng.Push("s", tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Stop()
+	st.Stop()
+	if got, want := st.Results("gsums"), eng.Results("gsums"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-Stop drain differs from sync oracle:\n got %v\nwant %v", got, want)
 	}
 }
 

@@ -1,0 +1,87 @@
+package shed
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/qos"
+	"repro/internal/stream"
+)
+
+// TestDropPlanSurvivesReshard drives the real shedder (not an engine stub)
+// through an elastic reshard on the staged executor: the drop plan computed
+// before the boundary must keep shedding the same query after it — the new
+// epoch's shard runtimes resolve the same generation-cached NodePolicy —
+// and the merged stats must preserve the conservation identity
+// processed + shed = pushed across epochs.
+func TestDropPlanSurvivesReshard(t *testing.T) {
+	schema := stream.MustSchema(
+		stream.Field{Name: "sym", Kind: stream.KindString},
+		stream.Field{Name: "v", Kind: stream.KindFloat},
+	)
+	plan := func() (*engine.Plan, error) {
+		p := engine.NewPlan()
+		p.AddSource("s", schema)
+		f := p.AddUnary(stream.NewFilter("pass", 1, func(stream.Tuple) bool { return true }), engine.FromSource("s"))
+		p.AddSink("q", f)
+		return p, nil
+	}
+	graph := qos.MustGraph(qos.Point{Latency: 0, Utility: 1}, qos.Point{Latency: 10, Utility: 0})
+
+	shedder := New(UtilitySlope{})
+	// Offered load 10 against capacity 5: the lone query must shed half.
+	drops := shedder.Update(5, 10, []Query{{Name: "q", Graph: graph, Rate: 10, CostPerTuple: 1}})
+	if len(drops) != 1 || drops[0].Ratio <= 0.4 || drops[0].Ratio >= 0.6 {
+		t.Fatalf("drop plan = %v, want ~0.5 ratio for q", drops)
+	}
+
+	st, err := engine.StartStaged(plan, engine.StagedConfig{Shards: 2, Buf: 64, Shedder: shedder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const half = 600
+	push := func() {
+		batch := make([]stream.Tuple, 0, 50)
+		for i := 0; i < half; i++ {
+			batch = append(batch, stream.NewTuple(int64(i+1), "k", 1.0))
+			if len(batch) == 50 {
+				if err := st.PushBatch("s", batch); err != nil {
+					t.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+	}
+	push()
+	before := engine.SettleStats(st)
+	if err := st.Reshard(4); err != nil {
+		t.Fatal(err)
+	}
+	push()
+	st.Stop()
+	loads := st.Stats()
+
+	if got := loads[0].Tuples + loads[0].ShedTuples; got != 2*half {
+		t.Fatalf("processed+shed = %d across epochs, want %d", got, 2*half)
+	}
+	// Both epochs shed: the post-reshard drop count strictly exceeds the
+	// pre-reshard sample, and each half dropped about its planned ratio
+	// (per-shard samplers restart their credit at the boundary: allow one
+	// tuple of slack per shard per epoch).
+	if loads[0].ShedTuples <= before[0].ShedTuples {
+		t.Fatalf("shedding stopped after reshard: %d then %d drops",
+			before[0].ShedTuples, loads[0].ShedTuples)
+	}
+	if diff := loads[0].ShedTuples - half; diff < -6 || diff > 6 {
+		t.Fatalf("total ShedTuples = %d, want %d±6 (drop plan not re-resolved by new shards?)",
+			loads[0].ShedTuples, half)
+	}
+	// The demand evidence survives too: offered load counts the shed
+	// tuples' cost, so the planner keeps seeing the overload it absorbed.
+	st.Advance(100)
+	final := st.Stats()
+	if final[0].OfferedLoad <= final[0].Load {
+		t.Fatalf("offered %g <= executed %g after shedding across a reshard",
+			final[0].OfferedLoad, final[0].Load)
+	}
+}

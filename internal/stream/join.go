@@ -115,6 +115,43 @@ func (j *HashJoin) Flush() []Tuple {
 	return nil
 }
 
+// joinKeyState is one join key's exported window contents, both sides.
+type joinKeyState struct {
+	left, right []Tuple
+}
+
+// ExportKeyedState implements KeyedStateMover: each join key's retained
+// window tuples (both sides, in arrival order) are handed off and the join
+// is reset.
+func (j *HashJoin) ExportKeyedState() map[any]any {
+	out := make(map[any]any, len(j.left)+len(j.right))
+	for key, buf := range j.left {
+		out[key] = &joinKeyState{left: buf}
+	}
+	for key, buf := range j.right {
+		if st, ok := out[key].(*joinKeyState); ok {
+			st.right = buf
+		} else {
+			out[key] = &joinKeyState{right: buf}
+		}
+	}
+	j.left = make(map[any][]Tuple)
+	j.right = make(map[any][]Tuple)
+	return out
+}
+
+// ImportKeyedState implements KeyedStateMover: the key's windows resume on
+// this instance with their arrival order (and hence eviction order) intact.
+func (j *HashJoin) ImportKeyedState(key, state any) {
+	st := state.(*joinKeyState)
+	if len(st.left) > 0 {
+		j.left[key] = st.left
+	}
+	if len(st.right) > 0 {
+		j.right[key] = st.right
+	}
+}
+
 // StateSize returns the number of retained tuples across both windows;
 // tests use it to verify eviction.
 func (j *HashJoin) StateSize() int {

@@ -80,6 +80,27 @@ type TuplePreserver interface {
 	PreservesTuples() bool
 }
 
+// KeyedStateMover is implemented by stateful partitioned transforms (those
+// declaring a key via PartitionKeyer / BinaryPartitionKeyer) whose per-key
+// state can be moved between instances. The engine's elastic reshard uses it
+// at period boundaries: the retiring shard's operators export their state,
+// and each key's bundle is imported into the structurally identical operator
+// on the key's new owner shard — so open windows and join buffers survive a
+// shard-count change without losing or duplicating tuples.
+//
+// The state bundles are opaque to the caller: a bundle exported by one
+// instance is only ever imported into another instance of the same concrete
+// type, at the same position in a structurally identical plan.
+type KeyedStateMover interface {
+	// ExportKeyedState removes and returns the transform's entire per-key
+	// state, leaving the instance empty (as if freshly constructed).
+	ExportKeyedState() map[any]any
+	// ImportKeyedState installs one previously exported bundle under its
+	// key. It is called at most once per key, on an instance that has not
+	// yet processed any tuple of that key.
+	ImportKeyedState(key, state any)
+}
+
 // Side tags which input of a binary operator a tuple belongs to.
 type Side int
 

@@ -156,10 +156,22 @@ func (w *WindowAgg) Apply(t Tuple) []Tuple {
 }
 
 // Flush implements Transform: emits partial windows (per Aurora semantics a
-// drained subnetwork reports what it has) and resets all state.
+// drained subnetwork reports what it has) and resets all state. Emissions
+// are ordered by each group's last-contributing timestamp (ties broken by
+// rendered key), so a sharded execution — where each shard flushes its own
+// subset of groups and a timestamp merge reassembles them — drains in
+// exactly the same order as a single instance holding every group.
 func (w *WindowAgg) Flush() []Tuple {
 	var out []Tuple
-	for _, key := range w.order {
+	keys := append([]any(nil), w.order...)
+	sort.SliceStable(keys, func(i, j int) bool {
+		a, b := w.groups[keys[i]], w.groups[keys[j]]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+	})
+	for _, key := range keys {
 		st := w.groups[key]
 		if len(st.buf) > 0 {
 			out = append(out, Tuple{Ts: st.ts, Vals: []any{key, w.aggregate(st.buf)}})
@@ -210,6 +222,27 @@ func kahanSum(vals []float64) float64 {
 		sum = t
 	}
 	return sum
+}
+
+// ExportKeyedState implements KeyedStateMover: it hands off every open
+// group's window buffer and resets the operator. Exported in first-seen
+// order is irrelevant — the importer re-establishes its own order.
+func (w *WindowAgg) ExportKeyedState() map[any]any {
+	out := make(map[any]any, len(w.groups))
+	for key, st := range w.groups {
+		out[key] = st
+	}
+	w.groups = make(map[any]*windowState)
+	w.order = nil
+	return out
+}
+
+// ImportKeyedState implements KeyedStateMover: the group's open window
+// resumes on this instance exactly where the exporter left it. The key
+// counts as first-seen at import time for Flush ordering.
+func (w *WindowAgg) ImportKeyedState(key, state any) {
+	w.groups[key] = state.(*windowState)
+	w.order = append(w.order, key)
 }
 
 // GroupKeys returns the currently-open group keys in first-seen order;

@@ -65,6 +65,20 @@ func (z *Zipf) Draw() int {
 	return i + 1
 }
 
+// CDF returns P(X <= k): 0 for k < 1 and 1 for k >= N. Skew-sensitive
+// tests use it to bound how much of a workload the hottest keys carry —
+// e.g. the elastic-sharding rebalance can never push the hot shard's share
+// below CDF(1).
+func (z *Zipf) CDF(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	if k >= z.n {
+		return 1
+	}
+	return z.cum[k-1]
+}
+
 // Prob returns P(X = k), or 0 if k is outside [1, N].
 func (z *Zipf) Prob(k int) float64 {
 	if k < 1 || k > z.n {

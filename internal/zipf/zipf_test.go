@@ -140,3 +140,30 @@ func TestAccessors(t *testing.T) {
 		t.Errorf("Theta() = %g, want 0.7", z.Theta())
 	}
 }
+
+func TestCDF(t *testing.T) {
+	z := New(rand.New(rand.NewSource(3)), 50, 1.2)
+	if got := z.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %g, want 0", got)
+	}
+	if got := z.CDF(50); got != 1 {
+		t.Errorf("CDF(N) = %g, want 1", got)
+	}
+	if got := z.CDF(99); got != 1 {
+		t.Errorf("CDF(>N) = %g, want 1", got)
+	}
+	if got, want := z.CDF(1), z.Prob(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CDF(1) = %g, want P(1) = %g", got, want)
+	}
+	// CDF is nondecreasing and consistent with the point masses.
+	run := 0.0
+	for k := 1; k <= 50; k++ {
+		run += z.Prob(k)
+		if got := z.CDF(k); math.Abs(got-run) > 1e-9 {
+			t.Fatalf("CDF(%d) = %g, want running sum %g", k, got, run)
+		}
+		if k > 1 && z.CDF(k) < z.CDF(k-1) {
+			t.Fatalf("CDF decreasing at %d", k)
+		}
+	}
+}
