@@ -14,8 +14,14 @@
 // splits each day's shared plan into a keyed parallel stage (N shard
 // runtimes, partitioned on the plan's inferred keys) and a global stage fed
 // by timestamp-ordered exchange merges, so global (ungrouped) windows no
-// longer force the workload onto a single runtime. The daemon logs the
-// stage split and the per-stage measured loads each day.
+// longer force the workload onto a single runtime. Source heartbeats
+// (-heartbeat, punctuation through the shard pipelines) keep the exchange
+// merges releasing mid-run even when a selective filter or a skewed key
+// distribution leaves shards permanently quiet on an edge — so the mid-day
+// monitoring samples below see the global stage's true load instead of the
+// zero a held merge used to report. The daemon logs the stage split, the
+// per-stage measured loads each day, and (when mid-day sampling is on) the
+// per-stage loads at each sample.
 //
 // When load shedding is enabled (-shed utility|random), the daemon also
 // closes the paper's overload loop: each period's measured loads feed a
@@ -37,7 +43,7 @@
 //
 //	dsmsd [-days N] [-clients N] [-capacity F] [-mechanism CAT] [-seed N]
 //	      [-tuples N] [-executor sharded|runtime|sync] [-shards N] [-batch N]
-//	      [-shed off|utility|random] [-rate F] [-replan K]
+//	      [-heartbeat K] [-shed off|utility|random] [-rate F] [-replan K]
 //	      [-elastic] [-shard-hwm F] [-shard-lwm F]
 package main
 
@@ -69,6 +75,7 @@ func main() {
 		executor  = flag.String("executor", "sharded", "execution backend: sharded (staged), runtime, or sync")
 		shards    = flag.Int("shards", 0, "shard count for the sharded executor (0 = GOMAXPROCS)")
 		batch     = flag.Int("batch", 64, "tuples per executor batch")
+		heartbeat = flag.Int("heartbeat", 0, "sharded executor: emit source punctuation every K batches so quiet exchange shards release mid-run (0 = every batch, negative = disable)")
 		shedMode  = flag.String("shed", "off", "load shedding under overload: off, utility (QoS slope) or random")
 		rate      = flag.Float64("rate", 1, "input tuples per tick; the auction prices loads at rate 1, so >1 overloads the executed period")
 		replan    = flag.Int("replan", 4, "with -shed or -elastic: sample measured stats this many times within each day (0 = plan only at period start)")
@@ -115,7 +122,7 @@ func main() {
 	cfg := daemonConfig{
 		days: *days, clients: *clients, capacity: *capacity, seed: *seed,
 		tuplesPerDay: *tuples, executor: *executor, shards: *shards, batch: *batch,
-		shed: *shedMode, rate: *rate, replan: *replan,
+		heartbeat: *heartbeat, shed: *shedMode, rate: *rate, replan: *replan,
 		elastic: *elastic, shardHWM: *shardHWM, shardLWM: *shardLWM,
 	}
 	if err := run(mech, cfg); err != nil {
@@ -131,6 +138,7 @@ type daemonConfig struct {
 	tuplesPerDay  int
 	executor      string
 	shards, batch int
+	heartbeat     int
 	shed          string
 	rate          float64
 	replan        int
@@ -296,6 +304,15 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 				// asynchronously, and the simulated day outruns their
 				// operator goroutines.
 				loads := engine.SettleStats(exec)
+				// Mid-run per-stage load: with punctuation flowing, a quiet
+				// exchange edge no longer hides the global stage's work from
+				// mid-day samples — log what the replan decisions now see.
+				// (Before heartbeats, this line read global 0.00 on any
+				// quiet-edge day until Stop.)
+				if split != nil && !split.FullyParallel() {
+					par, glob := stageLoads(split, loads)
+					fmt.Printf("  mid-day stage load @%d tuples: parallel %.2f, global %.2f\n", pushed, par, glob)
+				}
 				if shedder != nil {
 					graphs := make(map[string]*qos.Graph)
 					for name := range qos.QueryOperators(loads) {
@@ -336,14 +353,7 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 		fmt.Printf("  measured: %d operators, total load %.2f/%.0f (offered %.2f), mean QoS utility %.2f\n",
 			len(loads), shed.ExecutedLoad(loads), cfg.capacity, shed.OfferedLoad(loads), utility)
 		if split != nil && !split.FullyParallel() {
-			var par, glob float64
-			for _, nl := range loads {
-				if split.Global[nl.ID] {
-					glob += nl.Load
-				} else {
-					par += nl.Load
-				}
-			}
+			par, glob := stageLoads(split, loads)
 			fmt.Printf("  per-stage load: parallel %.2f, global %.2f\n", par, glob)
 		}
 
@@ -357,6 +367,18 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 		fmt.Printf("  user %2d: $%.2f\n", u, center.Ledger().Balance(u))
 	}
 	return nil
+}
+
+// stageLoads splits measured per-node loads by the stage each node runs in.
+func stageLoads(split *engine.StageSplit, loads []engine.NodeLoad) (parallel, global float64) {
+	for _, nl := range loads {
+		if split.Global[nl.ID] {
+			global += nl.Load
+		} else {
+			parallel += nl.Load
+		}
+	}
+	return parallel, global
 }
 
 func describeExecutor(kind string, shards int) string {
@@ -383,7 +405,9 @@ func startExecutor(cfg daemonConfig, nShards int, sources []cloud.SourceDecl, wi
 	}
 	switch cfg.executor {
 	case "sharded":
-		return engine.StartStaged(factory, engine.StagedConfig{Shards: nShards, Buf: cfg.batch, Shedder: hook})
+		return engine.StartStaged(factory, engine.StagedConfig{
+			Shards: nShards, Buf: cfg.batch, Shedder: hook, Heartbeat: cfg.heartbeat,
+		})
 	case "runtime":
 		plan, err := factory()
 		if err != nil {

@@ -82,6 +82,39 @@
 // OfferedLoad reconstruction runs over the full staged topology so shed
 // accounting stays correct through the exchange.
 //
+// Punctuation and quiet edges: the merge releases a tuple once every other
+// shard either shows its next tuple, has closed, or has PUNCTUATED past the
+// candidate timestamp. Punctuation markers (stream.NewPunctuation) are
+// in-band control entries promising that no later regular tuple on the
+// stream carries a timestamp at or below theirs; the staged executor emits
+// one per source heartbeat (StagedConfig.Heartbeat, default every pushed
+// batch, at one below the batch's highest timestamp — the strongest promise
+// a nondecreasing source supports — to every shard), and each
+// operator re-derives the promise for its own output: who emits — the
+// source heartbeat starts the chain; who forwards — Filter, Map and
+// WindowAgg forward the input promise unchanged (every mid-run emission is
+// stamped at or above the triggering arrival, which the input promise
+// bounds), while Union and HashJoin forward the MINIMUM across their two
+// input promises, and only once both sides have punctuated (the soundness
+// rule for stateful and binary operators: an operator may punctuate T only
+// when no in-flight or retained state below T can still reach its output
+// mid-run — end-of-stream Flush is exempt, because Stop's drain protocol
+// orders flush tuples after all regular tuples explicitly). Operators
+// declaring nothing swallow markers, the same closed default the stage
+// analysis applies to undeclared state. A shard that never emits on an
+// edge — a highly selective filter, a key distribution that starves the
+// shard — therefore no longer holds the merge until Stop: its forwarded
+// punctuation advances the merge's per-shard low-watermark and the hot
+// shards' tuples release mid-run, bounded by the heartbeat cadence, so
+// mid-run Stats attribute the global stage's true load (dsmsd's mid-period
+// replanning depends on this). Push-side watermarks derived at the ingress
+// alone would be unsound — tuples still in flight inside the shard
+// pipeline can sit below them — which is why the promise travels in-band
+// through every operator. Markers never enter Transform.Apply, never count
+// in Stats, and never appear in Results; with heartbeats disabled
+// (Heartbeat < 0) the merge degrades to the original hold-until-Stop
+// semantics.
+//
 // # Elasticity
 //
 // The sharded executors' width is a run-time knob, not a start-time

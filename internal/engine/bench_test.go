@@ -148,6 +148,46 @@ func BenchmarkReshard(b *testing.B) {
 	st.Stop()
 }
 
+// BenchmarkExchangeQuietShard measures the staged executor end to end on
+// the quiet-edge workload: every tuple carries one key, so one shard runs
+// hot and the other three never emit on the exchange — the merge advances
+// on source heartbeats alone. Before punctuation this shape buffered the
+// entire stream until Stop (merge latency unbounded, one giant drain);
+// gated via cmd/benchgate so the liveness win never regresses back and the
+// watermark bookkeeping in the merge loop stays cheap.
+func BenchmarkExchangeQuietShard(b *testing.B) {
+	st, err := StartStaged(func() (*Plan, error) { return benchPlan(4), nil },
+		StagedConfig{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var batches [][]stream.Tuple
+	for base := 0; base < b.N; base += benchBatch {
+		size := benchBatch
+		if base+size > b.N {
+			size = b.N - base
+		}
+		batch := make([]stream.Tuple, size)
+		for i := range batch {
+			batch[i] = tup(int64(base+i+1), "k0", float64((base+i)%7)+1)
+		}
+		batches = append(batches, batch)
+	}
+	b.ResetTimer()
+	for i, batch := range batches {
+		if err := st.PushBatch("s", batch); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 0 {
+			st.Results("q0")
+		}
+	}
+	st.Stop()
+	st.Results("q0")
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
 // BenchmarkExecutor compares the three Executor backends on one workload:
 // the synchronous reference Engine, the single concurrent Runtime, and the
 // sharded executor at GOMAXPROCS shards. Compare the tuples/s metric.

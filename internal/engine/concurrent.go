@@ -224,11 +224,13 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 			if st.ratio > 0 {
 				// Filtering builds a fresh slice; tuples deep-copy only when
 				// a sibling edge will also read ts (emit's ownership rule).
+				// Punctuation markers bypass the sampler: shedding drops
+				// data, not the promise that the data has advanced.
 				deep := i < last
 				kept = make([]stream.Tuple, 0, len(ts))
 				dropped := 0
 				for _, t := range ts {
-					if st.drop() {
+					if !t.IsPunct() && st.drop() {
 						dropped++
 						continue
 					}
@@ -250,8 +252,17 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 			select {
 			case nodeIn[e.node] <- sidedBatch{kept, e.side}:
 			default:
-				counters.shed.Add(int64(len(kept)))
-				counters.shedUtil.Add(float64(len(kept)) * st.util)
+				// Overflow drops the whole batch; only the data tuples in it
+				// count as shed (a lost marker just delays liveness — the
+				// next heartbeat renews the promise).
+				n := int64(0)
+				for _, t := range kept {
+					if !t.IsPunct() {
+						n++
+					}
+				}
+				counters.shed.Add(n)
+				counters.shedUtil.Add(float64(n) * st.util)
 			}
 		}
 	}
@@ -296,18 +307,34 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 		go func() {
 			defer r.wg.Done()
 			for m := range in {
-				counters.tuples.Add(int64(len(m.ts)))
+				// Punctuation markers are control entries: they route through
+				// the operator's Punctuator contract (or are swallowed),
+				// stay in stream position relative to the data tuples around
+				// them, and never touch the metering counters — Stats must
+				// match the punctuation-free sync Engine exactly.
+				var nIn, nOut int64
 				outs := make([]stream.Tuple, 0, len(m.ts))
 				for _, t := range m.ts {
-					if node.unary != nil {
-						outs = append(outs, node.unary.Apply(t)...)
-					} else if m.side == stream.Left {
-						outs = append(outs, node.binary.ApplyLeft(t)...)
-					} else {
-						outs = append(outs, node.binary.ApplyRight(t)...)
+					if t.IsPunct() {
+						if w, ok := punctuate(node, m.side, t.Ts); ok {
+							outs = append(outs, stream.NewPunctuation(w))
+						}
+						continue
 					}
+					nIn++
+					var emitted []stream.Tuple
+					if node.unary != nil {
+						emitted = node.unary.Apply(t)
+					} else if m.side == stream.Left {
+						emitted = node.binary.ApplyLeft(t)
+					} else {
+						emitted = node.binary.ApplyRight(t)
+					}
+					nOut += int64(len(emitted))
+					outs = append(outs, emitted...)
 				}
-				counters.out.Add(int64(len(outs)))
+				counters.tuples.Add(nIn)
+				counters.out.Add(nOut)
 				emit(node.out, outs, true)
 			}
 			if !r.noFlush.Load() {
@@ -327,15 +354,53 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 }
 
 // deliver routes one owned sink batch: to the sink's tap when one is
-// installed, otherwise into the Results accumulator.
+// installed, otherwise into the Results accumulator. Taps receive
+// punctuation markers in stream position (the staged exchange merge is
+// built on exactly that); Results never contain them — a query's output is
+// data only.
 func (r *Runtime) deliver(sink string, batch []stream.Tuple) {
 	if tap := r.taps[sink]; tap != nil {
 		tap(batch)
 		return
 	}
+	batch = dropPuncts(batch)
+	if len(batch) == 0 {
+		return
+	}
 	r.mu.Lock()
 	r.results[sink] = append(r.results[sink], batch...)
 	r.mu.Unlock()
+}
+
+// punctuate routes one punctuation marker through a node's operator: the
+// operator's Punctuator / BinaryPunctuator decides what output promise the
+// input promise licenses. Operators implementing neither swallow the marker
+// — always sound (a dropped promise only delays downstream liveness),
+// mirroring the closed default the stage analysis applies to undeclared
+// state. Called only from the node's owning goroutine, so the operator's
+// watermark state needs no locking.
+func punctuate(n *node, side stream.Side, ts int64) (int64, bool) {
+	if n.unary != nil {
+		if p, ok := n.unary.(stream.Punctuator); ok {
+			return p.Punctuate(ts)
+		}
+		return 0, false
+	}
+	if p, ok := n.binary.(stream.BinaryPunctuator); ok {
+		return p.PunctuateSide(side, ts)
+	}
+	return 0, false
+}
+
+// dropPuncts filters punctuation markers out of an owned batch in place.
+func dropPuncts(ts []stream.Tuple) []stream.Tuple {
+	kept := ts[:0]
+	for _, t := range ts {
+		if !t.IsPunct() {
+			kept = append(kept, t)
+		}
+	}
+	return kept
 }
 
 // cloneBatch deep-copies a batch so each consumer owns its tuples.
@@ -375,7 +440,9 @@ func (r *Runtime) PushBatch(source string, batch []stream.Tuple) error {
 	send := make([]stream.Tuple, 0, len(batch))
 	var first error
 	for _, t := range batch {
-		if s.schema != nil && !s.schema.Conforms(t) {
+		// Punctuation markers carry no field values and are exempt from
+		// schema validation — they are control entries, not source data.
+		if !t.IsPunct() && s.schema != nil && !s.schema.Conforms(t) {
 			if first == nil {
 				first = fmt.Errorf("engine: tuple does not conform to source %q schema %s", source, s.schema)
 			}

@@ -114,6 +114,14 @@ func (e *Engine) Push(sourceName string, t stream.Tuple) error {
 	if e.stopped {
 		return errStopped
 	}
+	if t.IsPunct() {
+		// Punctuation is a liveness signal for asynchronous merges; the
+		// synchronous engine processes every tuple to completion before
+		// Push returns, so the marker is meaningless here and is dropped
+		// without metering — keeping counters identical whether or not a
+		// caller punctuates.
+		return nil
+	}
 	if e.holding {
 		if e.heldCap > 0 && len(e.held) >= e.heldCap {
 			e.heldDropped++

@@ -12,13 +12,22 @@ import (
 
 // equiv_test.go is the randomized executor-equivalence harness: it generates
 // random plans (filter / map / window-agg / hash-join / union over 1–3
-// sources), random batch schedules, random shard counts and random mid-run
-// Reshard calls, and asserts that every executor produces results
-// tuple-identical (after canonical ordering) to the synchronous Engine
-// oracle, with per-node tuple counters to match. It is the regression net
-// for all executor work: a change that breaks partitioning, exchange
-// merging, stage analysis, stats merging or reshard state movement fails
-// here with a reproducible case seed.
+// sources), random batch schedules, random shard counts, random mid-run
+// Reshard calls and random heartbeat cadences, and asserts that every
+// executor produces results tuple-identical (after canonical ordering) to
+// the synchronous Engine oracle, with per-node tuple counters to match. It
+// is the regression net for all executor work: a change that breaks
+// partitioning, exchange merging, stage analysis, stats merging, reshard
+// state movement or punctuation forwarding fails here with a reproducible
+// case seed.
+//
+// Quiet exchange edges are generated deliberately: a slice of the plans
+// carry a dead filter (threshold no tuple reaches — the edge below it never
+// produces) and a slice of the schedules use a single key (every tuple
+// hashes to one shard, starving the rest), the two shapes the punctuation
+// protocol exists for. The heartbeat cadence sweeps disabled / every batch
+// / sparse, so hold-until-Stop and punctuated merges are both continuously
+// re-proven against the oracle.
 //
 // Determinism constraints built into the generator (violating any of them
 // makes results legitimately racy, not a bug):
@@ -130,6 +139,12 @@ func genSpec(rng *rand.Rand) equivSpec {
 				cmp:    []stream.CmpOp{stream.Gt, stream.Lt, stream.Ge, stream.Ne}[rng.Intn(4)],
 				thresh: float64(rng.Intn(5)),
 			}
+			if rng.Intn(6) == 0 {
+				// Dead filter: no generated value exceeds it, so the port
+				// below is a permanently quiet edge — if it feeds an
+				// exchange, only punctuation (or Stop) can unblock the merge.
+				op.cmp, op.thresh = stream.Gt, 99
+			}
 			outDet, outJoiny = det[op.in1], joiny[op.in1]
 		case k < 5: // map
 			op = equivOp{kind: "map", in1: anyPort()}
@@ -201,6 +216,11 @@ type equivEvent struct {
 func genSchedule(rng *rand.Rand, nSources int) []equivEvent {
 	n := 150 + rng.Intn(250)
 	keys := 3 + rng.Intn(6)
+	if rng.Intn(6) == 0 {
+		// Single-key schedule: every tuple hashes to one shard, so every
+		// other shard is quiet on every exchange edge.
+		keys = 1
+	}
 	var skew *zipf.Zipf
 	if rng.Intn(2) == 0 {
 		skew = zipf.New(rng, keys, 0.5+rng.Float64())
@@ -333,13 +353,21 @@ func TestEquivalenceRandomized(t *testing.T) {
 
 		shards := 1 + rng.Intn(5)
 		buf := 1 + rng.Intn(64)
+		// Sweep the heartbeat cadence: disabled (legacy hold-until-Stop),
+		// every batch (the default), and sparse. Results and counters must
+		// be oracle-identical at every setting — punctuation may only move
+		// WHEN the merge releases, never WHAT reaches the global stage.
+		heartbeat := []int{-1, 0, 1, 2, 5}[rng.Intn(5)]
 		st, err := StartStaged(func() (*Plan, error) { return es.build(), nil },
-			StagedConfig{Shards: shards, Buf: buf})
+			StagedConfig{Shards: shards, Buf: buf, Heartbeat: heartbeat})
 		if err != nil {
 			fail("StartStaged: %v", err)
 		}
 		cov := coverage["staged"]
 		check("staged", st, &cov[0], &cov[1])
+		if late := st.lateArrivals.Load(); late != 0 {
+			fail("staged: %d exchange tuples arrived below an emitted punctuation (heartbeat %d)", late, heartbeat)
+		}
 
 		if split, err := es.build().Analyze(); err == nil && split.FullyParallel() {
 			sh, err := StartSharded(func() (*Plan, error) { return es.build(), nil },

@@ -2,6 +2,61 @@ package engine
 
 import "testing"
 
+// TestQuietEdgeMidRunStatsAttribution: before punctuation, a quiet exchange
+// shard held the whole merge, so SettleStats mid-run metered ZERO load on
+// the global stage even though it had a full stream's work queued — dsmsd's
+// mid-period replanning loop (which samples SettleStats and splits load by
+// stage) under-reported exactly the stage a quiet edge starves, and the shed
+// planner and elasticity controller planned against phantom idle capacity.
+// With heartbeats on, the settled mid-run snapshot must attribute executed
+// AND offered load to the global-stage node — the same loads-by-split
+// computation dsmsd's replan path performs.
+func TestQuietEdgeMidRunStatsAttribution(t *testing.T) {
+	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
+		StagedConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	tuples := quietShardTuples(400) // one key: three quiet shards
+	for i := 0; i < len(tuples); i += 40 {
+		if err := st.PushBatch("s", tuples[i:i+40]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Advance(100)
+	split := st.Split()
+	globalID := globalNodeID(split)
+	// Everything but the frontier tuple (held for the next heartbeat)
+	// reaches the global stage mid-run.
+	released := int64(len(tuples)) - 1
+	if got := globalTuplesEventually(st, globalID, released); got != released {
+		t.Fatalf("global stage metered %d tuples mid-run, want %d", got, released)
+	}
+	loads := SettleStats(st)
+	// The replan path's per-stage split: both stages must show load mid-run.
+	var par, glob, globOffered float64
+	for _, nl := range loads {
+		if split.Global[nl.ID] {
+			glob += nl.Load
+			globOffered += nl.OfferedLoad
+		} else {
+			par += nl.Load
+		}
+	}
+	if par <= 0 || glob <= 0 || globOffered <= 0 {
+		t.Fatalf("mid-run per-stage loads parallel=%.3f global=%.3f (offered %.3f); global stage under-reported",
+			par, glob, globOffered)
+	}
+	// Attribution, not just presence: the global window saw every released
+	// tuple, so its executed load is their full per-tuple cost at this rate.
+	info := st.topo.Nodes()[globalID]
+	want := float64(released) * info.Cost / 100
+	if diff := loads[globalID].Load - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("global node load %.4f mid-run, want %.4f", loads[globalID].Load, want)
+	}
+}
+
 // TestStagedSettledMidRunStats: a monitoring loop sampling mid-run (no
 // Stop) must see the pushed work once the pipeline settles — the staged
 // executor's counters are written asynchronously by shard and global-stage

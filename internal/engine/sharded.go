@@ -319,6 +319,14 @@ func (s *Sharded) PushBatch(source string, batch []stream.Tuple) error {
 	}
 	sub := make([][]stream.Tuple, len(s.shards))
 	for _, t := range batch {
+		if t.IsPunct() {
+			// A punctuation marker promises the SOURCE stream has advanced,
+			// so every shard's partition of it has too: broadcast.
+			for i := range sub {
+				sub[i] = append(sub[i], t)
+			}
+			continue
+		}
 		i := s.pmap.route(s.part(source, t))
 		sub[i] = append(sub[i], t)
 	}

@@ -9,6 +9,117 @@ import (
 	"repro/internal/stream"
 )
 
+// punctSoakPlan is the punctuation soak's staged shape: two sources with
+// their own filters, a keyed window on the first (so reshards move real
+// state), and a union feeding a global size-1 count window — the union's
+// output is the single exchange edge, quiet on any side whose filter passes
+// nothing. The size-1 count emits exactly one tuple per exchange tuple, so
+// the global sink's cardinality proves end-to-end conservation.
+func punctSoakPlan() *Plan {
+	p := NewPlan()
+	p.AddSource("a", testSchema)
+	p.AddSource("b", testSchema)
+	fa := p.AddUnary(stream.NewFilter("fa", 1, stream.FieldCmp(1, stream.Gt, 0)), FromSource("a"))
+	fb := p.AddUnary(stream.NewFilter("fb", 1, stream.FieldCmp(1, stream.Gt, 0)), FromSource("b"))
+	p.AddSink("rawa", fa)
+	ka := p.AddUnary(stream.MustWindowAgg("ka", 1, stream.WindowSpec{
+		Size: 3, Agg: stream.AggCount, GroupBy: 0,
+	}), fa)
+	p.AddSink("keyed", ka)
+	u := p.AddBinary(stream.NewUnion("u", 1), fa, fb)
+	g := p.AddUnary(stream.MustWindowAgg("g", 1, stream.WindowSpec{
+		Size: 1, Agg: stream.AggCount, GroupBy: -1,
+	}), u)
+	p.AddSink("global", g)
+	return p
+}
+
+// TestPunctuationSoak races punctuation against everything that can move
+// underneath it: one timestamp-ordered producer per source (the soundness
+// precondition) pushing through a pass → all-quiet → pass phase cycle, a
+// monitor hammering SettleStats/ShardStats, and grow→shrink→grow Reshard
+// cycles retiring exchange merges mid-promise. CI runs this under -race.
+// Invariants at the end: no exchange tuple ever arrived at or below its
+// shard's emitted punctuation (the watermark promise held through every
+// operator, epoch boundary and filter), every passing tuple reached the
+// global stage exactly once, and the all-quiet phase — no shard emitting on
+// the edge, heartbeats only — neither deadlocked the merge nor leaked a
+// phantom tuple.
+func TestPunctuationSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	st, err := StartStaged(func() (*Plan, error) { return punctSoakPlan(), nil },
+		StagedConfig{Shards: 3, Buf: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 40 // per phase; 3 phases
+	const width = 16
+	var pushedA, pushedB, passed atomic.Int64
+	var wg sync.WaitGroup
+	for p, source := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(p int, source string, pushed *atomic.Int64) {
+			defer wg.Done()
+			ts := int64(p + 1) // disjoint odd/even timestamps, increasing per source
+			buf := make([]stream.Tuple, 0, width)
+			for r := 0; r < 3*rounds; r++ {
+				val := 1.0
+				if r/rounds == 1 {
+					val = -1 // quiet phase: everything filtered, edge starves
+				}
+				buf = buf[:0]
+				for i := 0; i < width; i++ {
+					buf = append(buf, tup(ts, fmt.Sprintf("k%d", i%5), val))
+					ts += 2
+					pushed.Add(1)
+					if val > 0 {
+						passed.Add(1)
+					}
+				}
+				if err := st.PushBatch(source, buf); err != nil {
+					t.Errorf("producer %s: %v", source, err)
+					return
+				}
+			}
+		}(p, source, map[string]*atomic.Int64{"a": &pushedA, "b": &pushedB}[source])
+	}
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			SettleStats(st)
+			st.ShardStats()
+		}
+	}()
+	for _, n := range []int{5, 2, 6, 1, 4, 3} {
+		if err := st.Reshard(n); err != nil {
+			t.Fatalf("Reshard(%d): %v", n, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	st.Stop()
+	if late := st.lateArrivals.Load(); late != 0 {
+		t.Fatalf("%d exchange tuples arrived at or below an emitted punctuation", late)
+	}
+	if got, want := int64(len(st.Results("global"))), passed.Load(); got != want {
+		t.Fatalf("global-stage results = %d, want %d (tuples lost or duplicated across the merge)", got, want)
+	}
+	loads := SettleStats(st)
+	if loads[0].Tuples != pushedA.Load() || loads[1].Tuples != pushedB.Load() {
+		t.Fatalf("ingress counters %d/%d across epochs, want %d/%d",
+			loads[0].Tuples, loads[1].Tuples, pushedA.Load(), pushedB.Load())
+	}
+}
+
 // TestElasticSoak hammers the elastic executors with grow→shrink→grow
 // cycles while producers keep pushing and a monitor keeps sampling
 // SettleStats/ShardStats — the concurrency pattern dsmsd's per-period

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -25,6 +26,27 @@ type StagedConfig struct {
 	// survived ingress shedding. The shedder carries over to the runtimes a
 	// Reshard starts, so a drop plan survives the boundary.
 	Shedder Shedder
+	// Heartbeat controls source punctuation, the liveness signal that lets
+	// the exchange merge release tuples past a quiet shard mid-run: after
+	// every Heartbeat-th batch pushed to a prefix source, a punctuation
+	// marker at one below that batch's highest timestamp — the strongest
+	// promise a nondecreasing source supports, since the next push may
+	// legally repeat the maximum — follows the batch to EVERY shard
+	// (stream.NewPunctuation), flows through the shard pipelines under the
+	// operator punctuation contract, and advances the merge's per-shard
+	// low-watermarks. 0 means every batch — the default ties the heartbeat
+	// to the push cadence, so merge latency is bounded by one heartbeat
+	// interval (only the stream's frontier tuples, those at the current
+	// maximum, wait for the next heartbeat or Stop). Negative disables
+	// punctuation entirely, restoring the legacy hold-until-Stop exchange
+	// semantics.
+	//
+	// Heartbeats assume each source's pushes are timestamp-ordered (the
+	// exchange merge's existing ordering precondition). Concurrent pushers
+	// interleaving one source's timestamps already forfeit merge ordering;
+	// with heartbeats they additionally forfeit the watermark promise —
+	// results remain complete and the merge remains live either way.
+	Heartbeat int
 }
 
 // Staged executes any plan across shards by splitting it into two stages
@@ -56,19 +78,33 @@ type StagedConfig struct {
 // state is not keyed, and therefore never moves) runs on across the
 // boundary. See Resharder.
 //
-// Results completeness and per-edge merge progress are only guaranteed after
-// Stop: the merge may buffer (without bound, and without blocking shards)
-// while it waits for slow shards, so mid-run Results can lag. Stats are
-// merged across both stages and every shard epoch onto the analyzed plan's
-// node IDs, and OfferedLoad reconstruction runs over the full staged
+// Results completeness is only guaranteed after Stop: the merge may buffer
+// (without bound, and without blocking shards) while it waits for slow
+// shards, so mid-run Results can lag. Mid-run merge PROGRESS, however, is
+// bounded by the heartbeat cadence, not by Stop: source punctuation (see
+// StagedConfig.Heartbeat) flows through the shard pipelines and proves to
+// the merge that a quiet shard — a selective filter, a key distribution
+// that starves a shard — has advanced past a timestamp, releasing the
+// other shards' tuples into the global stage while the run is live. Stats
+// are merged across both stages and every shard epoch onto the analyzed
+// plan's node IDs, and OfferedLoad reconstruction runs over the full staged
 // topology, so shed accounting stays correct through the exchange.
 type Staged struct {
-	factory func() (*Plan, error)
-	split   *StageSplit
-	topo    *Plan // analyzed full plan: stats topology; its instances run the suffix
-	part    PartitionFunc
-	buf     int
-	shedder Shedder
+	factory   func() (*Plan, error)
+	split     *StageSplit
+	topo      *Plan // analyzed full plan: stats topology; its instances run the suffix
+	part      PartitionFunc
+	buf       int
+	shedder   Shedder
+	heartbeat int // batches between source punctuation; <0 disabled
+	// hbCount counts pushed batches per prefix source for the heartbeat
+	// cadence; entries are created at start, so pushers only load.
+	hbCount map[string]*atomic.Int64
+	// lateArrivals counts exchange-edge tuples that arrived at or below
+	// their shard's already-emitted watermark — an upstream punctuation
+	// promise broken. Always zero when each source's pushes are
+	// timestamp-ordered; the race soak asserts it.
+	lateArrivals atomic.Int64
 
 	// mu guards the epoch state below: pushers and readers hold the read
 	// side, Reshard and Stop swap under the write side.
@@ -125,13 +161,18 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		return nil, err
 	}
 	s := &Staged{
-		factory: factory,
-		split:   split,
-		topo:    full,
-		part:    split.Partition(),
-		buf:     buf,
-		shedder: cfg.Shedder,
-		carried: make(map[string][]stream.Tuple),
+		factory:   factory,
+		split:     split,
+		topo:      full,
+		part:      split.Partition(),
+		buf:       buf,
+		shedder:   cfg.Shedder,
+		heartbeat: cfg.Heartbeat,
+		hbCount:   make(map[string]*atomic.Int64),
+		carried:   make(map[string][]stream.Tuple),
+	}
+	for name := range split.PrefixSources {
+		s.hbCount[name] = new(atomic.Int64)
 	}
 
 	if split.NumParallel() == 0 {
@@ -187,7 +228,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 func (s *Staged) carveEpoch(n int) ([]*Plan, []*exchangeMerge, error) {
 	var exchanges []*exchangeMerge
 	for _, id := range s.split.Exchanges {
-		exchanges = append(exchanges, newExchangeMerge(ExchangeName(id), n))
+		exchanges = append(exchanges, newExchangeMerge(ExchangeName(id), n, &s.lateArrivals))
 	}
 	plans := make([]*Plan, n)
 	for i := 0; i < n; i++ {
@@ -370,11 +411,12 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 	var first error
 	if schema := s.topo.sources[source].schema; schema != nil {
 		// Filter lazily: the conforming-only common case forwards the
-		// caller's batch without copying.
+		// caller's batch without copying. Punctuation markers carry no
+		// field values and are exempt.
 		kept := batch
 		copied := false
 		for i, t := range batch {
-			if schema.Conforms(t) {
+			if t.IsPunct() || schema.Conforms(t) {
 				if copied {
 					kept = append(kept, t)
 				}
@@ -403,9 +445,46 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 	}
 	if prefix {
 		sub := make([][]stream.Tuple, len(s.shards))
+		maxTs, sawData := int64(0), false
 		for _, t := range batch {
+			if t.IsPunct() {
+				// A caller-supplied marker promises the whole source stream
+				// advanced, so every shard's partition of it has: broadcast.
+				for i := range sub {
+					sub[i] = append(sub[i], t)
+				}
+				continue
+			}
+			if !sawData || t.Ts > maxTs {
+				maxTs, sawData = t.Ts, true
+			}
 			i := s.pmap.route(s.part(source, t))
 			sub[i] = append(sub[i], t)
+		}
+		// Heartbeat: every heartbeat-th batch is followed by a source
+		// punctuation at ONE BELOW the batch's highest timestamp, delivered
+		// to every shard — the shards that received no tuple of this batch
+		// are exactly the ones whose exchange streams need the proof of
+		// progress. maxTs-1, not maxTs: the merge's ordering contract only
+		// requires nondecreasing per-source timestamps, under which a later
+		// push may still carry a tuple AT the current maximum — promising
+		// past it would let the merge release an equal-timestamp tuple from
+		// a higher-indexed shard first, breaking the deterministic
+		// tie-break. "No future tuple at or below maxTs-1" (future >= maxTs)
+		// is exactly what nondecreasing order guarantees. The cost is one
+		// heartbeat interval of extra latency for the frontier tuples
+		// themselves (the stream's final maximum waits for Stop's drain).
+		if sawData && s.heartbeat >= 0 && len(s.exchanges) > 0 {
+			every := int64(s.heartbeat)
+			if every == 0 {
+				every = 1
+			}
+			if s.hbCount[source].Add(1)%every == 0 {
+				p := stream.NewPunctuation(maxTs - 1)
+				for i := range sub {
+					sub[i] = append(sub[i], p)
+				}
+			}
 		}
 		for i, ts := range sub {
 			if len(ts) == 0 {
@@ -651,8 +730,11 @@ func (s *Staged) Dropped() int {
 // exchangeMerge is one exchange edge's merge point: each shard appends its
 // batches to an unbounded per-shard buffer (never blocking the shard), and
 // a single merger goroutine pops tuples in nondecreasing timestamp order —
-// a tuple is released only once every shard either shows its next tuple or
-// has closed, which is what makes the order deterministic.
+// a tuple is released only once every other shard either shows its next
+// tuple, has closed, or has PUNCTUATED past the candidate timestamp (its
+// low-watermark wm proves no tuple at or below it is still coming), which
+// is what makes the order deterministic without requiring every shard to
+// produce.
 type exchangeMerge struct {
 	name string
 	mu   sync.Mutex
@@ -660,24 +742,55 @@ type exchangeMerge struct {
 	bufs [][]stream.Tuple // per-shard FIFO
 	head []int            // per-shard consumed prefix
 	done []bool           // per-shard closed flag
+	// wm is the per-shard punctuation low-watermark: the shard's pipeline
+	// has promised every future tuple on this edge carries Ts > wm.
+	wm []int64
+	// late counts broken promises (a tuple arriving at or below its shard's
+	// watermark), shared across the executor's merges; see
+	// Staged.lateArrivals.
+	late *atomic.Int64
 }
 
-func newExchangeMerge(name string, shards int) *exchangeMerge {
+// noWatermark is the wm value of a shard that has not punctuated yet: it
+// clears no timestamp, so the merge behaves exactly like the pre-
+// punctuation hold-until-Stop merge for that shard.
+const noWatermark = math.MinInt64
+
+func newExchangeMerge(name string, shards int, late *atomic.Int64) *exchangeMerge {
 	x := &exchangeMerge{
 		name: name,
 		bufs: make([][]stream.Tuple, shards),
 		head: make([]int, shards),
 		done: make([]bool, shards),
+		wm:   make([]int64, shards),
+		late: late,
+	}
+	for i := range x.wm {
+		x.wm[i] = noWatermark
 	}
 	x.cond = sync.NewCond(&x.mu)
 	return x
 }
 
-// offer returns the tap installed on one shard's exchange sink.
+// offer returns the tap installed on one shard's exchange sink. Punctuation
+// markers advance the shard's low-watermark instead of buffering; the
+// in-stream position guarantees every tuple buffered before the marker was
+// emitted before the promise was made.
 func (x *exchangeMerge) offer(shard int) func([]stream.Tuple) {
 	return func(ts []stream.Tuple) {
 		x.mu.Lock()
-		x.bufs[shard] = append(x.bufs[shard], ts...)
+		for _, t := range ts {
+			if t.IsPunct() {
+				if t.Ts > x.wm[shard] {
+					x.wm[shard] = t.Ts
+				}
+				continue
+			}
+			if t.Ts <= x.wm[shard] {
+				x.late.Add(1)
+			}
+			x.bufs[shard] = append(x.bufs[shard], t)
+		}
 		x.mu.Unlock()
 		x.cond.Broadcast()
 	}
@@ -697,14 +810,19 @@ func (x *exchangeMerge) close() {
 // batches of up to batch tuples and pushes them into the global stage's
 // exchange source. It returns once every shard has closed and drained.
 //
-// A tuple is released only when every shard either shows its next tuple or
-// has closed. A shard that never emits on this edge (a selective filter
-// whose key all hashes elsewhere) therefore holds the merge back until
-// Stop (or the epoch's retirement at a reshard boundary): correctness is
-// unaffected — everything buffers and drains then — but mid-run the global
-// stage idles and mid-run Stats under-report it. Releasing earlier safely
-// needs watermarks/punctuation flowing through the shard pipelines
-// (in-flight tuples make push-side watermarks unsound); see the ROADMAP.
+// A tuple is released once every OTHER shard provably cannot precede it:
+// each shard either shows its next tuple (so the minimum is known), has
+// closed, or has punctuated past the candidate timestamp — its
+// low-watermark promises every future tuple on the edge exceeds it, and
+// strictly so, which also rules out a losing tie-break arriving later. A
+// quiet shard that never punctuates (a punctuation-free legacy pipeline,
+// heartbeats disabled, or an operator chain that swallows markers) degrades
+// to the old hold-until-Stop semantics: correctness is unaffected,
+// everything buffers and drains at Stop or at the epoch's retirement. The
+// unsound alternative this design rejects is a push-side watermark derived
+// at the ingress alone: tuples still in flight inside the shard pipeline
+// can be below it, which is why the promise must travel in-band through
+// every operator (stream.Punctuator) and be re-derived at each hop.
 func (x *exchangeMerge) run(global *Runtime, batch int) {
 	out := make([]stream.Tuple, 0, batch)
 	flush := func() {
@@ -718,12 +836,17 @@ func (x *exchangeMerge) run(global *Runtime, batch int) {
 	}
 	x.mu.Lock()
 	for {
-		// A pop is safe only when every shard shows its head or has closed.
-		ready := true
 		min, second := -1, -1
 		var minTs, secondTs int64
+		// barrier is what the quiet shards have collectively cleared: the
+		// lowest watermark among shards that are empty but still open.
+		// Releases above it must wait for those shards to speak (a head
+		// tuple, a newer heartbeat, or close).
+		barrier := int64(math.MaxInt64)
+		idle := true // no shard has a visible head or pending work
 		for i := range x.bufs {
 			if x.head[i] < len(x.bufs[i]) {
+				idle = false
 				ts := x.bufs[i][x.head[i]].Ts
 				switch {
 				case min < 0 || ts < minTs:
@@ -733,12 +856,21 @@ func (x *exchangeMerge) run(global *Runtime, batch int) {
 					second, secondTs = i, ts
 				}
 			} else if !x.done[i] {
-				ready = false
+				idle = false
+				if x.wm[i] < barrier {
+					barrier = x.wm[i]
+				}
 			}
 		}
-		if !ready {
+		if min < 0 && idle {
+			break // all shards closed and drained
+		}
+		if min < 0 || minTs > barrier {
+			// Nothing releasable: either no shard shows a head, or a quiet
+			// shard's watermark has not cleared the candidate. Hand over
+			// what is already merged, then sleep until a shard offers data,
+			// a heartbeat advances a watermark, or the edge closes.
 			if len(out) > 0 {
-				// Hand over what is already merged before sleeping.
 				x.mu.Unlock()
 				flush()
 				x.mu.Lock()
@@ -747,16 +879,17 @@ func (x *exchangeMerge) run(global *Runtime, batch int) {
 			x.cond.Wait()
 			continue
 		}
-		if min < 0 {
-			break // all shards closed and drained
-		}
 		// Pop the whole run the min shard wins — every head tuple ordered
-		// before the runner-up's head (ties break by shard index) — so the
-		// per-tuple scan and lock traffic amortize over the run.
+		// before the runner-up's head (ties break by shard index) and
+		// cleared by the quiet shards' barrier — so the per-tuple scan and
+		// lock traffic amortize over the run.
 		buf := x.bufs[min]
 		h := x.head[min]
 		for h < len(buf) && len(out) < batch {
 			ts := buf[h].Ts
+			if ts > barrier {
+				break
+			}
 			if second >= 0 && !(ts < secondTs || (ts == secondTs && min < second)) {
 				break
 			}

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/stream"
 )
@@ -489,46 +490,122 @@ func TestShardedShardStats(t *testing.T) {
 	}
 }
 
-// TestExchangeMergeHoldsForQuietShard documents (and pins) the current
-// quiet-shard semantics of the exchange merge, the ROADMAP's watermark
-// item: a tuple is released only once EVERY shard shows its head or has
-// closed, so a shard that never emits on the edge — here, all tuples carry
-// one key and hash to a single shard — holds the merge back until Stop.
-// Mid-run the global stage therefore sits idle (zero tuples metered, no
-// results) even though the hot shard has long produced; at Stop everything
-// drains and the output matches the sync oracle exactly. The future
-// punctuation/heartbeat PR will relax the mid-run half of this baseline;
-// the post-Stop half must survive it.
-func TestExchangeMergeHoldsForQuietShard(t *testing.T) {
-	tuples := make([]stream.Tuple, 200)
+// quietShardTuples builds the canonical quiet-edge workload: every tuple
+// carries one key, so one shard runs hot and the rest never emit on the
+// exchange edge.
+func quietShardTuples(n int) []stream.Tuple {
+	tuples := make([]stream.Tuple, n)
 	for i := range tuples {
-		tuples[i] = tup(int64(i+1), "k0", float64(i%5)+1) // one key: one hot shard
+		tuples[i] = tup(int64(i+1), "k0", float64(i%5)+1)
 	}
+	return tuples
+}
+
+// globalNodeID returns the ID of the (single) global-stage node of a split.
+func globalNodeID(split *StageSplit) int {
+	for id, g := range split.Global {
+		if g {
+			return id
+		}
+	}
+	return -1
+}
+
+// globalTuplesEventually polls mid-run (no Stop) until the global-stage
+// node has metered want tuples or the deadline passes, returning the last
+// count. SettleStats alone can report a stable-but-stale snapshot while the
+// merger goroutine is between releases; liveness is "bounded by the
+// heartbeat cadence", not by any fixed number of scheduler yields.
+func globalTuplesEventually(st *Staged, globalID int, want int64) int64 {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got := SettleStats(st)[globalID].Tuples
+		if got >= want || time.Now().After(deadline) {
+			return got
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestExchangeMergeReleasesQuietShardsMidRun is the flipped quiet-shard
+// baseline (the pre-punctuation TestExchangeMergeHoldsForQuietShard pinned
+// the opposite): with source heartbeats on (the default), the exchange
+// merge must release the hot shard's tuples into the global stage MID-RUN —
+// bounded by the heartbeat cadence, not by Stop — because every quiet
+// shard's pipeline forwards the punctuation that proves it has advanced.
+// The post-Stop half of the old baseline survives unchanged: the drained
+// output is tuple-identical to the sync oracle.
+func TestExchangeMergeReleasesQuietShardsMidRun(t *testing.T) {
+	tuples := quietShardTuples(200)
 	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
 		StagedConfig{Shards: 4, Buf: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	split := st.Split()
-	var globalID int
-	for id, g := range split.Global {
-		if g {
-			globalID = id
-		}
-	}
+	globalID := globalNodeID(st.Split())
 	for i := 0; i < len(tuples); i += 20 {
 		if err := st.PushBatch("s", tuples[i:i+20]); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Mid-run: the parallel stage has metered the stream, the global stage
-	// has seen none of it — the merge is waiting on three quiet shards.
+	// Mid-run: every pushed batch was followed by a heartbeat, so the last
+	// one (at one below the final batch's maximum — the strongest promise a
+	// nondecreasing source supports) licenses the merge to release the
+	// whole stream except the frontier tuple, while three of four shards
+	// stay permanently quiet.
+	want := int64(len(tuples)) - 1
+	if got := globalTuplesEventually(st, globalID, want); got != want {
+		t.Fatalf("global stage metered %d tuples mid-run, want %d (quiet shards still hold the merge)", got, want)
+	}
+	midRun := st.Results("gsums")
+	// 199 released tuples through a size-5 ungrouped window: 39 full
+	// windows available before Stop (the 40th completes on the held
+	// frontier tuple at Stop).
+	if len(midRun) != 39 {
+		t.Fatalf("global query emitted %d results mid-run, want 39", len(midRun))
+	}
+
+	eng, _ := New(mixedPlan())
+	for _, tu := range tuples {
+		if err := eng.Push("s", tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Stop()
+	st.Stop()
+	got := append(midRun, st.Results("gsums")...)
+	if want := eng.Results("gsums"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("mid-run + post-Stop output differs from sync oracle:\n got %v\nwant %v", got, want)
+	}
+	if late := st.lateArrivals.Load(); late != 0 {
+		t.Fatalf("%d exchange tuples arrived below an emitted punctuation", late)
+	}
+}
+
+// TestExchangeMergeLegacyHoldsWithoutPunctuation is the companion baseline:
+// a punctuation-free pipeline (heartbeats disabled) keeps the original
+// hold-until-Stop semantics — the merge releases a tuple only once every
+// shard shows its head or has closed, so the global stage idles mid-run —
+// and still drains tuple-identically to the sync oracle at Stop.
+func TestExchangeMergeLegacyHoldsWithoutPunctuation(t *testing.T) {
+	tuples := quietShardTuples(200)
+	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
+		StagedConfig{Shards: 4, Buf: 8, Heartbeat: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalID := globalNodeID(st.Split())
+	for i := 0; i < len(tuples); i += 20 {
+		if err := st.PushBatch("s", tuples[i:i+20]); err != nil {
+			t.Fatal(err)
+		}
+	}
 	loads := SettleStats(st)
 	if loads[0].Tuples == 0 {
 		t.Fatal("parallel ingress metered nothing mid-run")
 	}
 	if got := loads[globalID].Tuples; got != 0 {
-		t.Fatalf("global stage processed %d tuples mid-run; quiet-shard hold no longer applies — update this baseline alongside the punctuation change", got)
+		t.Fatalf("global stage processed %d tuples mid-run with heartbeats disabled; legacy drain semantics broken", got)
 	}
 	if got := len(st.Results("gsums")); got != 0 {
 		t.Fatalf("global query emitted %d results mid-run under a held merge", got)

@@ -40,6 +40,12 @@ func (f *Filter) Stateless() bool { return true }
 // unchanged.
 func (f *Filter) PreservesTuples() bool { return true }
 
+// Punctuate implements Punctuator: a filter emits arriving tuples unchanged
+// or not at all, so the input promise ("no future input <= ts") carries over
+// to the output stream as-is. This is exactly what makes a highly selective
+// filter's quiet output edge provably advance.
+func (f *Filter) Punctuate(ts int64) (int64, bool) { return ts, true }
+
 // Cost implements Transform.
 func (f *Filter) Cost() float64 { return f.cost }
 

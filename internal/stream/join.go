@@ -13,6 +13,7 @@ type HashJoin struct {
 	window   int
 	left     map[any][]Tuple
 	right    map[any][]Tuple
+	wm       sideWatermarks
 }
 
 // NewHashJoin builds a join matching left field leftKey against right field
@@ -39,6 +40,16 @@ func (j *HashJoin) Name() string { return j.name }
 // PartitionFields implements BinaryPartitionKeyer: both windows are keyed by
 // the join fields, so co-partitioning the inputs on them preserves results.
 func (j *HashJoin) PartitionFields() (left, right int) { return j.leftKey, j.rightKey }
+
+// PunctuateSide implements BinaryPunctuator: min across sides, like Union.
+// Sound despite the retained join windows: a probe emission is stamped
+// max(arriving.Ts, stored.Ts) >= the arriving tuple's Ts, and future
+// arrivals on either side exceed that side's promise — so every future
+// emission exceeds the min. The stored windows themselves never reach the
+// output except through a future probe (Flush emits nothing).
+func (j *HashJoin) PunctuateSide(side Side, ts int64) (int64, bool) {
+	return j.wm.Observe(side, ts)
+}
 
 // Cost implements BinaryTransform.
 func (j *HashJoin) Cost() float64 { return j.cost }

@@ -32,6 +32,11 @@ func (m *Map) Flush() []Tuple { return nil }
 // Stateless implements StatelessOp: maps keep no cross-tuple state.
 func (m *Map) Stateless() bool { return true }
 
+// Punctuate implements Punctuator: a map emits exactly one tuple per input
+// with the input's timestamp preserved, so the input promise forwards
+// unchanged.
+func (m *Map) Punctuate(ts int64) (int64, bool) { return ts, true }
+
 // Cost implements Transform.
 func (m *Map) Cost() float64 { return m.cost }
 
@@ -57,10 +62,13 @@ func NewProject(name string, cost float64, in *Schema, fields ...int) *Map {
 }
 
 // Union is a stateless binary operator that interleaves both inputs
-// unchanged; the two input schemas must match.
+// unchanged; the two input schemas must match. (The per-side punctuation
+// watermarks are control-plane liveness state, not data state: they do not
+// affect which tuples the union emits, so Stateless stays true.)
 type Union struct {
 	name string
 	cost float64
+	wm   sideWatermarks
 }
 
 // NewUnion builds a union operator.
@@ -84,6 +92,14 @@ func (u *Union) Stateless() bool { return true }
 // PreservesTuples implements TuplePreserver: a union interleaves input
 // tuples unchanged.
 func (u *Union) PreservesTuples() bool { return true }
+
+// PunctuateSide implements BinaryPunctuator: the union emits every arrival
+// unchanged, so its future output is bounded by the weaker input promise —
+// min across sides, and nothing until both sides have punctuated (the
+// silent side could still deliver arbitrarily old tuples).
+func (u *Union) PunctuateSide(side Side, ts int64) (int64, bool) {
+	return u.wm.Observe(side, ts)
+}
 
 // Cost implements BinaryTransform.
 func (u *Union) Cost() float64 { return u.cost }

@@ -1,0 +1,77 @@
+package stream
+
+// Punctuation (a.k.a. heartbeats / low-watermarks) is the stream layer's
+// liveness protocol: a punctuation marker with timestamp T (NewPunctuation)
+// flows in-band through a pipeline and promises that no later REGULAR tuple
+// on that stream will carry Ts <= T. A consumer that merges several streams
+// — the staged executor's exchange merge — can therefore release buffered
+// tuples from the streams that ARE producing without waiting for a head
+// tuple from one that is quiet: the quiet stream's punctuation proves it has
+// advanced past the candidate timestamp.
+//
+// The contract has three rules:
+//
+//  1. Markers are control entries, not data: they never enter
+//     Transform.Apply, never count toward operator metering, and never
+//     appear in query results.
+//  2. An operator may forward (or emit) a punctuation T only if it can
+//     prove, from the promises it has received on its inputs, that none of
+//     its future emissions will carry Ts <= T. Per-tuple emission in this
+//     codebase is timestamped at or above the arriving tuple (filters and
+//     maps preserve Ts, windows stamp the triggering arrival's Ts, joins
+//     stamp the max of the pair), so unary operators forward the input
+//     promise unchanged and binary operators forward the minimum of their
+//     two input promises. An operator implementing neither interface
+//     swallows markers — always sound, merely less live — mirroring the
+//     closed default the stage analysis applies to undeclared state.
+//  3. End-of-stream Flush emissions are exempt: a drain may emit open state
+//     below any previously forwarded punctuation. Drain ordering is owned
+//     by the engine's Stop protocol (which orders flush tuples after every
+//     regular tuple explicitly), not by the running stream's watermarks.
+//
+// The promise chain starts at the source: punctuation is only sound when
+// each source's pushes are timestamp-ordered, which is the same precondition
+// the exchange merge's ordering guarantee already assumes.
+
+// Punctuator is implemented by unary transforms that participate in
+// punctuation forwarding. Punctuate observes an input marker — the promise
+// that no future input tuple will carry Ts <= ts — updates any watermark
+// state, and returns the strongest promise the transform can now make about
+// its own future emissions, with ok=false when it cannot promise anything
+// yet.
+type Punctuator interface {
+	Punctuate(ts int64) (out int64, ok bool)
+}
+
+// BinaryPunctuator is Punctuator for two-input transforms: markers arrive
+// tagged with the input side they came from, and the output promise is
+// bounded by the weaker (older) side — a tuple arriving on the side that has
+// not advanced can still trigger an emission at its own timestamp.
+type BinaryPunctuator interface {
+	PunctuateSide(side Side, ts int64) (out int64, ok bool)
+}
+
+// sideWatermarks tracks the newest punctuation seen on each input of a
+// binary operator. Observe records one marker and returns the combined
+// output promise: the minimum of the two sides, available only once both
+// sides have punctuated (before that, the silent side could still deliver
+// arbitrarily old tuples).
+type sideWatermarks struct {
+	seen [2]bool
+	ts   [2]int64
+}
+
+func (w *sideWatermarks) Observe(side Side, ts int64) (int64, bool) {
+	i := int(side)
+	if !w.seen[i] || ts > w.ts[i] {
+		w.seen[i] = true
+		w.ts[i] = ts
+	}
+	if !w.seen[0] || !w.seen[1] {
+		return 0, false
+	}
+	if w.ts[1] < w.ts[0] {
+		return w.ts[1], true
+	}
+	return w.ts[0], true
+}

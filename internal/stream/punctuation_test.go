@@ -1,0 +1,85 @@
+package stream
+
+import "testing"
+
+func TestPunctuationMarker(t *testing.T) {
+	p := NewPunctuation(42)
+	if !p.IsPunct() || p.Ts != 42 || len(p.Vals) != 0 {
+		t.Fatalf("NewPunctuation(42) = %+v", p)
+	}
+	if c := p.Clone(); !c.IsPunct() || c.Ts != 42 {
+		t.Fatalf("Clone dropped the punctuation flag: %+v", c)
+	}
+	if NewTuple(42, int64(1)).IsPunct() {
+		t.Fatal("regular tuple reports IsPunct")
+	}
+}
+
+func TestStatelessUnaryPunctuateForwards(t *testing.T) {
+	for _, op := range []Punctuator{
+		NewFilter("f", 1, FieldCmp(0, Gt, 0)),
+		NewMap("m", 1, nil, func(t Tuple) []any { return t.Vals }),
+		MustWindowAgg("w", 1, WindowSpec{Size: 3, Agg: AggCount, GroupBy: -1}),
+	} {
+		if got, ok := op.Punctuate(7); !ok || got != 7 {
+			t.Errorf("%T.Punctuate(7) = %d,%v, want 7,true", op, got, ok)
+		}
+	}
+}
+
+// TestBinaryPunctuateMinAcrossSides: a binary operator can promise nothing
+// until both inputs have punctuated, then only the minimum — the slower side
+// can still trigger emissions at its own (older) timestamps — and the
+// promise never regresses when a side re-punctuates lower.
+func TestBinaryPunctuateMinAcrossSides(t *testing.T) {
+	for _, op := range []BinaryPunctuator{
+		NewUnion("u", 1),
+		NewHashJoin("j", 1, 0, 0, 4),
+	} {
+		if _, ok := op.PunctuateSide(Left, 10); ok {
+			t.Errorf("%T promised with only the left side punctuated", op)
+		}
+		if got, ok := op.PunctuateSide(Right, 4); !ok || got != 4 {
+			t.Errorf("%T both-sides promise = %d,%v, want 4,true", op, got, ok)
+		}
+		if got, ok := op.PunctuateSide(Right, 20); !ok || got != 10 {
+			t.Errorf("%T promise after right overtakes = %d,%v, want 10,true (left bound)", op, got, ok)
+		}
+		// A stale (lower) marker must not roll the watermark back.
+		if got, ok := op.PunctuateSide(Left, 3); !ok || got != 10 {
+			t.Errorf("%T promise after stale left marker = %d,%v, want 10,true", op, got, ok)
+		}
+	}
+}
+
+// TestWindowAggEmissionsRespectForwardedPunctuation is the soundness
+// property behind WindowAgg forwarding the input promise unchanged despite
+// open buffers below it: every MID-RUN emission after the punctuation
+// carries a later arrival's timestamp, and only Flush (exempt by contract)
+// may emit the buffered remainder below the watermark.
+func TestWindowAggEmissionsRespectForwardedPunctuation(t *testing.T) {
+	w := MustWindowAgg("w", 1, WindowSpec{Size: 3, Slide: 1, Agg: AggSum, Field: 1, GroupBy: 0})
+	for ts := int64(1); ts <= 4; ts++ {
+		w.Apply(NewTuple(ts, "k", 1.0)) // leaves open per-key state at ts <= 4
+	}
+	const punct = 4
+	if got, ok := w.Punctuate(punct); !ok || got != punct {
+		t.Fatalf("Punctuate(%d) = %d,%v", punct, got, ok)
+	}
+	for ts := int64(5); ts <= 12; ts++ {
+		key := "k"
+		if ts%2 == 0 {
+			key = "k2" // a second group keeps sub-watermark buffers open
+		}
+		for _, out := range w.Apply(NewTuple(ts, key, 1.0)) {
+			if out.Ts <= punct {
+				t.Fatalf("mid-run emission at Ts %d below forwarded punctuation %d", out.Ts, punct)
+			}
+		}
+	}
+	// Flush drains whatever is open, old timestamps included — the exempt
+	// path the engine orders separately at Stop.
+	if flushed := w.Flush(); len(flushed) == 0 {
+		t.Fatal("expected open state to flush")
+	}
+}

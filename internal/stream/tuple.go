@@ -100,13 +100,21 @@ func (s *Schema) String() string {
 }
 
 // Tuple is one stream element: a logical timestamp (monotone per stream)
-// and a value per schema field.
+// and a value per schema field. A tuple may instead be a punctuation
+// marker (see NewPunctuation): a control entry carried in-band alongside
+// regular tuples that promises the stream has advanced past its timestamp.
 type Tuple struct {
-	// Ts is the tuple's logical timestamp in simulation ticks.
+	// Ts is the tuple's logical timestamp in simulation ticks. For a
+	// punctuation marker it is the watermark: no later regular tuple on the
+	// same stream will carry Ts at or below it.
 	Ts int64
 	// Vals holds one value per schema field; each is int64, float64, string
-	// or bool matching the field kind.
+	// or bool matching the field kind. Punctuation markers carry no values.
 	Vals []any
+	// punct marks the tuple as a punctuation control entry. Unexported so a
+	// marker can only be built through NewPunctuation and regular tuple
+	// literals throughout the codebase stay regular.
+	punct bool
 }
 
 // NewTuple builds a tuple.
@@ -114,12 +122,27 @@ func NewTuple(ts int64, vals ...any) Tuple {
 	return Tuple{Ts: ts, Vals: vals}
 }
 
+// NewPunctuation builds a punctuation marker: an in-band promise that no
+// later regular tuple on this stream will carry a timestamp <= ts.
+// End-of-stream Flush emissions are exempt — a drain's ordering is the
+// engine's Stop protocol's concern, not the running stream's (see
+// Punctuator).
+func NewPunctuation(ts int64) Tuple {
+	return Tuple{Ts: ts, punct: true}
+}
+
+// IsPunct reports whether the tuple is a punctuation marker rather than a
+// data tuple. Markers carry no field values and must not be handed to
+// Transform.Apply; operators route them through Punctuator /
+// BinaryPunctuator instead.
+func (t Tuple) IsPunct() bool { return t.punct }
+
 // Clone returns a deep copy of the tuple (values are scalars, so a slice
 // copy suffices).
 func (t Tuple) Clone() Tuple {
 	vals := make([]any, len(t.Vals))
 	copy(vals, t.Vals)
-	return Tuple{Ts: t.Ts, Vals: vals}
+	return Tuple{Ts: t.Ts, Vals: vals, punct: t.punct}
 }
 
 // Int returns field i as int64; it panics if the field holds another kind

@@ -116,6 +116,20 @@ func (w *WindowAgg) Name() string { return w.name }
 // GroupBy value; ungrouped windows (-1) hold one global window.
 func (w *WindowAgg) PartitionField() int { return w.spec.GroupBy }
 
+// Punctuate implements Punctuator. The input promise forwards unchanged,
+// and this is sound DESPITE the open window buffers below ts: a count-based
+// window emits mid-run only when an arrival completes a window, and the
+// emission is stamped with that arriving tuple's timestamp — so every
+// future emission carries a future arrival's Ts, which the input promise
+// bounds above ts. Buffered values below the watermark can reach the output
+// only through Flush, which the punctuation contract exempts (the engine's
+// Stop protocol orders drain emissions explicitly, after all regular
+// tuples). A naive watermark that ignored this distinction — treating the
+// open buffers as releasable in-stream state — would be unsound; keeping
+// the rule inside the operator is what lets each transform own its own
+// proof.
+func (w *WindowAgg) Punctuate(ts int64) (int64, bool) { return ts, true }
+
 // Cost implements Transform.
 func (w *WindowAgg) Cost() float64 { return w.cost }
 
