@@ -44,15 +44,18 @@
 //	dsmsd [-days N] [-clients N] [-capacity F] [-mechanism CAT] [-seed N]
 //	      [-tuples N] [-executor sharded|runtime|sync] [-shards N] [-batch N]
 //	      [-heartbeat K] [-shed off|utility|random] [-rate F] [-replan K]
-//	      [-elastic] [-shard-hwm F] [-shard-lwm F]
+//	      [-elastic] [-shard-hwm F] [-shard-lwm F] [-pprof ADDR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/auction"
 	"repro/internal/cloud"
@@ -82,8 +85,17 @@ func main() {
 		elastic   = flag.Bool("elastic", false, "grow/shrink/rebalance the staged executor's shards at period boundaries from measured load and skew")
 		shardHWM  = flag.Float64("shard-hwm", 8, "with -elastic: grow when measured offered load per shard exceeds this")
 		shardLWM  = flag.Float64("shard-lwm", 1, "with -elastic: shrink when measured offered load per shard falls below this")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) to profile the executing days live")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dsmsd: pprof server:", err)
+			}
+		}()
+		fmt.Printf("dsmsd: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 	mech, err := auction.ByName(*mechanism, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmsd:", err)
@@ -328,11 +340,25 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 				}
 			}
 		}
-		if err := pumpDay(exec, feed, cfg.tuplesPerDay, cfg.batch, progress); err != nil {
+		var memBefore, memAfter runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
+		dayStart := time.Now()
+		batches, err := pumpDay(exec, feed, cfg.tuplesPerDay, cfg.batch, progress)
+		if err != nil {
 			return err
 		}
 		exec.Advance(cfg.dayTicks() - advanced)
 		exec.Stop()
+		elapsed := time.Since(dayStart).Seconds()
+		runtime.ReadMemStats(&memAfter)
+		// One line of hot-path health per executed day: push rate through the
+		// day (Stop's drain included, so the whole dataflow is accounted) and
+		// heap allocations per pushed tuple — the number batch pooling and
+		// operator fusion exist to hold down.
+		dayTuples := cfg.tuplesPerDay + (cfg.tuplesPerDay+4)/5
+		fmt.Printf("  day throughput: %d batches in %.2fs — %.0f batches/s, %.0f tuples/s, %.1f heap allocs/tuple\n",
+			batches, elapsed, float64(batches)/elapsed, float64(dayTuples)/elapsed,
+			float64(memAfter.Mallocs-memBefore.Mallocs)/float64(dayTuples))
 
 		// Feed the measured loads forward and judge the executed period. The
 		// auction prices demand, so it sees the OFFERED load — shed tuples'
@@ -575,18 +601,38 @@ func reprice(s cloud.Submission, measured map[string]float64) cloud.Submission {
 	return s
 }
 
-// pumpDay pushes one day of synthetic market data in batches. The progress
-// callback, when non-nil, is invoked after every pushed quote with the
-// running count — the hook mid-period shed replanning samples on.
-func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int, progress func(pushed int)) error {
+// pumpDay pushes one day of synthetic market data in batches and returns how
+// many batches it pushed. The progress callback, when non-nil, is invoked
+// after every pushed quote with the running count — the hook mid-period shed
+// replanning samples on.
+//
+// On backends offering the zero-copy ingress (engine.OwnedBatchPusher) the
+// pump runs the fully recycled loop: each batch buffer is leased from the
+// engine's pool, filled, and pushed owned — no ingress copy, and the buffer
+// re-enters the pool once the dataflow is done with it. The synchronous
+// engine keeps the plain PushBatch path with one reused local buffer.
+func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int, progress func(pushed int)) (batches int, err error) {
 	if batch < 1 {
 		batch = 1
 	}
-	stocks := make([]stream.Tuple, 0, batch)
-	news := make([]stream.Tuple, 0, batch)
+	owner, owned := exec.(engine.OwnedBatchPusher)
+	lease := func() []stream.Tuple {
+		if owned {
+			return engine.GetBatch(batch)
+		}
+		return make([]stream.Tuple, 0, batch)
+	}
+	stocks := lease()
+	news := lease()
 	flush := func(source string, pending *[]stream.Tuple) error {
 		if len(*pending) == 0 {
 			return nil
+		}
+		batches++
+		if owned {
+			err := owner.PushOwnedBatch(source, *pending)
+			*pending = lease()
+			return err
 		}
 		err := exec.PushBatch(source, *pending)
 		*pending = (*pending)[:0]
@@ -596,14 +642,14 @@ func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int, progress fun
 		stocks = append(stocks, feed.Quote())
 		if len(stocks) == batch {
 			if err := flush("stocks", &stocks); err != nil {
-				return err
+				return batches, err
 			}
 		}
 		if i%5 == 0 {
 			news = append(news, feed.Headline())
 			if len(news) == batch {
 				if err := flush("news", &news); err != nil {
-					return err
+					return batches, err
 				}
 			}
 		}
@@ -612,9 +658,17 @@ func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int, progress fun
 		}
 	}
 	if err := flush("stocks", &stocks); err != nil {
-		return err
+		return batches, err
 	}
-	return flush("news", &news)
+	if err := flush("news", &news); err != nil {
+		return batches, err
+	}
+	if owned {
+		// The final flushes leased replacement buffers nothing will fill.
+		engine.PutBatch(stocks)
+		engine.PutBatch(news)
+	}
+	return batches, nil
 }
 
 // evaluateQoS simulates the measured operator loads under round-robin

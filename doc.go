@@ -54,6 +54,45 @@
 // StartSharded now verifies that via the plan's partition-key metadata
 // instead of silently assuming field 0.
 //
+// # The hot path: operator fusion, batch pooling, zero-copy ingress
+//
+// Three mechanisms make batch execution cheap enough that the per-tuple cost
+// of a stateless prefix is the operator work itself, not the machinery
+// around it:
+//
+// Operator fusion (engine/fuse.go). At runtime start, maximal chains of
+// stateless unary operators (filter→map→filter→…) collapse into one
+// execution unit: the chain head's goroutine runs every constituent as a
+// loop over the batch, in place, so a k-operator prefix costs one channel
+// hop and one stats flush per batch instead of k. Fusion is an
+// execution-time construct only — the Plan's node list, Analyze/stage
+// split, shed owner resolution and per-node Stats see the unfused topology,
+// and every constituent meters its own counters. stream.BatchTransform is
+// the contract that makes in-place application sound: ApplyBatch(in, out)
+// with out = in[:0] is legal exactly for forward-scanning operators that
+// emit at most one tuple per input (Filter, Map declare it natively;
+// stream.BatchApply adapts everything else per tuple). Punctuation markers
+// keep their stream position — data runs through the chain as
+// marker-delimited segments while the marker itself is rewritten by the
+// composed punctuator chain.
+//
+// Batch pooling (engine/pool.go). Every batch buffer on the concurrent
+// dataflow — ingress copies, operator outputs, fan-out clones — cycles
+// through a shared sync.Pool under a single-owner rule (the full contract
+// is on Executor.PushBatch in engine/executor.go): each buffer has exactly
+// one owner, and the last consumer — the sink/tap boundary, an exchange
+// merge after copying, an operator done with its input — returns it to the
+// pool. Steady-state execution allocates no batch slices.
+//
+// Zero-copy ingress (engine.OwnedBatchPusher). PushOwnedBatch is PushBatch
+// with the ownership arrow reversed: the caller hands the buffer to the
+// executor and the defensive ingress copy disappears. A producer that
+// leases buffers via engine.GetBatch, fills them and pushes them owned
+// (dsmsd's pump does) runs a fully recycled, allocation-free ingress loop.
+// A fused filter→map prefix fed this way executes with zero heap
+// allocations per tuple end to end — pinned by TestFusedSteadyStateZeroAllocs
+// and the BenchmarkFusedPrefix / BenchmarkPushOwnedBatch gates.
+//
 // # Staged execution and exchange edges
 //
 // Plans that mix keyed and global operators run on the Staged executor

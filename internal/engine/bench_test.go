@@ -188,6 +188,118 @@ func BenchmarkExchangeQuietShard(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
 }
 
+// benchDeepPlan builds the 4-deep stateless-prefix plan the hot-path
+// benchmarks run: filter→map→filter→map into one sink, with predicates every
+// generated tuple passes and maps that reuse their input's Vals. Nothing is
+// filtered and nothing allocates per tuple, so the numbers isolate pure
+// per-hop execution cost — exactly what operator fusion removes.
+func benchDeepPlan() *Plan {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	cur := p.AddUnary(stream.NewFilter("f0", 1, stream.FieldCmp(1, stream.Gt, 0)), FromSource("s"))
+	cur = p.AddUnary(stream.NewMap("m0", 1, nil, func(t stream.Tuple) []any { return t.Vals }), cur)
+	cur = p.AddUnary(stream.NewFilter("f1", 1, stream.FieldCmp(1, stream.Lt, 100)), cur)
+	cur = p.AddUnary(stream.NewMap("m1", 1, nil, func(t stream.Tuple) []any { return t.Vals }), cur)
+	p.AddSink("q", cur)
+	return p
+}
+
+// benchDeepTemplate pre-builds one batch of benchBatch tuples for the deep
+// chain: values in (0, 100) so both filters pass everything.
+func benchDeepTemplate() []stream.Tuple {
+	template := make([]stream.Tuple, benchBatch)
+	for i := range template {
+		template[i] = tup(int64(i+1), "k0", float64(i%7)+1)
+	}
+	return template
+}
+
+// recycleTap is a sink tap that just returns each delivered batch to the
+// pool — the cheapest possible consumer, keeping the benchmarks focused on
+// the dataflow path rather than Results accumulation.
+func recycleTap() map[string]func([]stream.Tuple) {
+	return map[string]func([]stream.Tuple){"q": func(ts []stream.Tuple) { PutBatch(ts) }}
+}
+
+// driveOwned pushes b.N tuples through rt as owned pooled batches and waits
+// for the drain, reporting tuples/s.
+func driveOwned(b *testing.B, rt *Runtime, template []stream.Tuple) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for pushed := 0; pushed < b.N; pushed += benchBatch {
+		n := benchBatch
+		if pushed+n > b.N {
+			n = b.N - pushed
+		}
+		buf := GetBatch(n)
+		buf = append(buf, template[:n]...)
+		if err := rt.PushOwnedBatch("s", buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rt.Stop()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkFusedPrefix measures operator fusion on the 4-deep stateless
+// prefix: the fused arm runs the whole chain as one goroutine (one channel
+// hop, one batch loop), the unfused arm pays four hops per batch. Gated by
+// cmd/benchgate in CI; the fused arm is also the zero-alloc hot path
+// (b.ReportAllocs should stay at 0 allocs/op).
+func BenchmarkFusedPrefix(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"fused", false}, {"unfused", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rt, err := StartRuntime(benchDeepPlan(), RuntimeConfig{
+				Buf: 256, Taps: recycleTap(), DisableFusion: mode.disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			driveOwned(b, rt, benchDeepTemplate())
+		})
+	}
+}
+
+// BenchmarkPushOwnedBatch compares the two ingress paths on the fused deep
+// chain: owned pushes transfer a pooled buffer (zero-copy, allocation-free),
+// copied pushes pay PushBatch's defensive memcpy into a pooled buffer. Gated
+// by cmd/benchgate in CI.
+func BenchmarkPushOwnedBatch(b *testing.B) {
+	b.Run("owned", func(b *testing.B) {
+		rt, err := StartRuntime(benchDeepPlan(), RuntimeConfig{Buf: 256, Taps: recycleTap()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		driveOwned(b, rt, benchDeepTemplate())
+	})
+	b.Run("copied", func(b *testing.B) {
+		rt, err := StartRuntime(benchDeepPlan(), RuntimeConfig{Buf: 256, Taps: recycleTap()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		template := benchDeepTemplate()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for pushed := 0; pushed < b.N; pushed += benchBatch {
+			n := benchBatch
+			if pushed+n > b.N {
+				n = b.N - pushed
+			}
+			if err := rt.PushBatch("s", template[:n]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rt.Stop()
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+	})
+}
+
 // BenchmarkExecutor compares the three Executor backends on one workload:
 // the synchronous reference Engine, the single concurrent Runtime, and the
 // sharded executor at GOMAXPROCS shards. Compare the tuples/s metric.

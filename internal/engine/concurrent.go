@@ -18,6 +18,16 @@ import (
 // batch stays a batch through the routers, and each operator accumulates its
 // outputs for a batch into one downstream send.
 //
+// Two hot-path optimizations sit on top of that (see doc.go's hot-path
+// section): maximal stateless unary chains are fused into one goroutine each
+// (see fuse.go) so a filter→map→filter prefix costs one channel hop and one
+// stats flush per batch instead of three, and every batch buffer on the data
+// path — ingress copies, operator outputs, fan-out clones — cycles through a
+// sync.Pool (pool.go), recycled where its last owner consumes it, so steady-
+// state execution allocates no batch slices. PushOwnedBatch extends the
+// cycle to the caller: a pushed buffer whose ownership transfers skips the
+// ingress copy entirely.
+//
 // The synchronous Engine remains the reference implementation (deterministic
 // interleaving, transition phase); Runtime is the throughput-oriented
 // executor for a fixed plan. Results are identical up to tuple interleaving
@@ -95,12 +105,19 @@ type RuntimeConfig struct {
 	// where shedding already happened at the true ingress.
 	NoShedSources map[string]bool
 	// Taps maps sink names to streaming batch consumers: a tapped sink's
-	// batches are handed to the tap (which takes ownership of the slice)
-	// the moment they are emitted, instead of accumulating for Results.
+	// batches are handed to the tap (which takes ownership of the slice,
+	// and may recycle it via PutBatch once done) the moment they are
+	// emitted, instead of accumulating for Results.
 	// Taps are invoked from operator goroutines, possibly concurrently, and
 	// must not block indefinitely — a blocking tap stalls its producer. The
 	// staged executor uses taps as the shard side of exchange edges.
 	Taps map[string]func([]stream.Tuple)
+	// DisableFusion turns off stateless-chain operator fusion, restoring one
+	// goroutine and one channel hop per operator. Fusion changes neither
+	// results nor per-node Stats (the equivalence harness sweeps it on and
+	// off to prove exactly that); the switch exists for that sweep and for
+	// A/B benchmarking.
+	DisableFusion bool
 }
 
 // StartConcurrent builds and starts the runtime over a built plan with the
@@ -134,6 +151,29 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 		stats:   make([]runtimeCounters, len(p.nodes)),
 	}
 
+	// Fuse maximal stateless unary chains (see fuse.go): each chain runs in
+	// one goroutine reading the head's input channel; the interior members'
+	// channels and goroutines are elided entirely. chainAt maps a head node
+	// to its chain; fused marks every non-head member (no goroutine, no
+	// producers); internalOut marks every non-tail member (its single output
+	// edge is consumed inside the chain, not via a channel).
+	var chains [][]int
+	if !cfg.DisableFusion {
+		chains = fusedChains(p)
+	}
+	chainAt := make(map[int]int, len(chains))
+	fused := make([]bool, len(p.nodes))
+	internalOut := make([]bool, len(p.nodes))
+	for ci, chain := range chains {
+		chainAt[chain[0]] = ci
+		for _, id := range chain[1:] {
+			fused[id] = true
+		}
+		for _, id := range chain[:len(chain)-1] {
+			internalOut[id] = true
+		}
+	}
+
 	// One tagged input channel per node; unary nodes use side Left only.
 	nodeIn := make([]chan sidedBatch, len(p.nodes))
 	// producers counts the writers per node channel so the last one closes it.
@@ -158,16 +198,25 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 	for _, s := range p.sources {
 		addProducers(s.out)
 	}
-	for _, n := range p.nodes {
+	for i, n := range p.nodes {
+		if internalOut[i] {
+			continue // chain-internal edge: consumed in-goroutine, no channel
+		}
 		addProducers(n.out)
 	}
 
 	// emit fans one batch out across a node's output edges. Sibling
 	// consumers get their own deep copies; when the producer owns the batch
 	// (it won't touch it again), the final edge takes it as-is — on the
-	// common single-consumer path that makes emission copy-free.
+	// common single-consumer path that makes emission copy-free. Every emit
+	// call site passes pool-eligible owned buffers, so an owned batch with
+	// nothing to carry or nowhere to go is recycled here instead of leaking
+	// to the garbage collector.
 	emit := func(out []edge, ts []stream.Tuple, owned bool) {
-		if len(ts) == 0 {
+		if len(ts) == 0 || len(out) == 0 {
+			if owned {
+				putBatch(ts)
+			}
 			return
 		}
 		last := len(out) - 1
@@ -208,11 +257,16 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 	}
 	emitIngress := func(out []edge, states []shedState, ts []stream.Tuple) {
 		last := len(out) - 1
+		// tsSent flips once ts itself is handed to a consumer; otherwise the
+		// router still owns it at the end and recycles it.
+		tsSent := false
 		for i, e := range out {
 			if e.node < 0 {
 				batch := ts
 				if i < last {
 					batch = cloneBatch(ts)
+				} else {
+					tsSent = true
 				}
 				r.deliver(e.sink, batch)
 				continue
@@ -221,13 +275,17 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 			st.refresh(cfg.Shedder, owners[e.node])
 			counters := &r.stats[e.node]
 			kept := ts
+			// owns marks kept as a fresh buffer this loop must recycle unless
+			// a consumer takes it.
+			owns := false
 			if st.ratio > 0 {
 				// Filtering builds a fresh slice; tuples deep-copy only when
 				// a sibling edge will also read ts (emit's ownership rule).
 				// Punctuation markers bypass the sampler: shedding drops
 				// data, not the promise that the data has advanced.
 				deep := i < last
-				kept = make([]stream.Tuple, 0, len(ts))
+				kept = getBatch(len(ts))
+				owns = true
 				dropped := 0
 				for _, t := range ts {
 					if !t.IsPunct() && st.drop() {
@@ -245,12 +303,19 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 				// Zero ratio: same ownership rule as emit — only the final
 				// edge may take the router-owned batch copy-free.
 				kept = cloneBatch(ts)
+				owns = true
 			}
 			if len(kept) == 0 {
+				if owns {
+					putBatch(kept)
+				}
 				continue
 			}
 			select {
 			case nodeIn[e.node] <- sidedBatch{kept, e.side}:
+				if !owns {
+					tsSent = true
+				}
 			default:
 				// Overflow drops the whole batch; only the data tuples in it
 				// count as shed (a lost marker just delays liveness — the
@@ -263,7 +328,13 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 				}
 				counters.shed.Add(n)
 				counters.shedUtil.Add(float64(n) * st.util)
+				if owns {
+					putBatch(kept)
+				}
 			}
+		}
+		if !tsSent {
+			putBatch(ts)
 		}
 	}
 
@@ -292,17 +363,79 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 		}()
 	}
 
-	// Operator goroutines.
+	// Operator goroutines. A fused chain's head goroutine runs the whole
+	// chain; interior chain members get neither a goroutine nor a live
+	// channel (their nodeIn exists but nothing writes to it).
 	for i, n := range p.nodes {
-		node := n
+		if fused[i] {
+			continue
+		}
 		in := nodeIn[i]
 		prod := producers[i]
-		counters := &r.stats[i]
 		// Close the node's input once every producer has finished.
 		go func() {
 			prod.Wait()
 			close(in)
 		}()
+
+		if ci, ok := chainAt[i]; ok {
+			fr := newFusedRunner(p, chains[ci], r.stats)
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				for m := range in {
+					out, reused := fr.runBatch(m.ts)
+					if len(out) == 0 {
+						// reused means out aliases m.ts — one backing array,
+						// one recycle.
+						putBatch(m.ts)
+						if !reused {
+							putBatch(out)
+						}
+						continue
+					}
+					emit(fr.tail.out, out, true)
+					if !reused {
+						putBatch(m.ts)
+					}
+				}
+				if !r.noFlush.Load() {
+					// Constituents flush in chain order; each flush routes
+					// through the downstream constituents exactly as its
+					// emission would unfused. The copy keeps in-place batch
+					// application off operator-owned Flush slices.
+					for k := range fr.members {
+						flushed := fr.members[k].unary.Flush()
+						fr.stats[k].out.Add(int64(len(flushed)))
+						if len(flushed) == 0 {
+							continue
+						}
+						fb := getBatch(len(flushed))
+						fb = append(fb, flushed...)
+						out, reused := fb, true
+						if k+1 < len(fr.members) {
+							out, reused = fr.runSeg(fb, k+1)
+						}
+						if len(out) == 0 {
+							putBatch(fb)
+							if !reused {
+								putBatch(out)
+							}
+							continue
+						}
+						emit(fr.tail.out, out, true)
+						if !reused {
+							putBatch(fb)
+						}
+					}
+				}
+				done(fr.tail.out)
+			}()
+			continue
+		}
+
+		node := n
+		counters := &r.stats[i]
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
@@ -313,7 +446,7 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 				// them, and never touch the metering counters — Stats must
 				// match the punctuation-free sync Engine exactly.
 				var nIn, nOut int64
-				outs := make([]stream.Tuple, 0, len(m.ts))
+				outs := getBatch(len(m.ts))
 				for _, t := range m.ts {
 					if t.IsPunct() {
 						if w, ok := punctuate(node, m.side, t.Ts); ok {
@@ -336,6 +469,7 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 				counters.tuples.Add(nIn)
 				counters.out.Add(nOut)
 				emit(node.out, outs, true)
+				putBatch(m.ts)
 			}
 			if !r.noFlush.Load() {
 				var flushed []stream.Tuple
@@ -345,7 +479,13 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 					flushed = node.binary.Flush()
 				}
 				counters.out.Add(int64(len(flushed)))
-				emit(node.out, flushed, true)
+				if len(flushed) > 0 {
+					// Copy before emitting: the consumer recycles what it
+					// receives, and a transform may retain its Flush slice.
+					fb := getBatch(len(flushed))
+					fb = append(fb, flushed...)
+					emit(node.out, fb, true)
+				}
 			}
 			done(node.out)
 		}()
@@ -357,19 +497,21 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 // installed, otherwise into the Results accumulator. Taps receive
 // punctuation markers in stream position (the staged exchange merge is
 // built on exactly that); Results never contain them — a query's output is
-// data only.
+// data only. The sink boundary is where batch buffers leave the dataflow
+// graph, so an untapped batch re-enters the pool here once its tuples are
+// copied out; a tapped batch's ownership passes to the tap instead.
 func (r *Runtime) deliver(sink string, batch []stream.Tuple) {
 	if tap := r.taps[sink]; tap != nil {
 		tap(batch)
 		return
 	}
-	batch = dropPuncts(batch)
-	if len(batch) == 0 {
-		return
+	kept := dropPuncts(batch)
+	if len(kept) > 0 {
+		r.mu.Lock()
+		r.results[sink] = append(r.results[sink], kept...)
+		r.mu.Unlock()
 	}
-	r.mu.Lock()
-	r.results[sink] = append(r.results[sink], batch...)
-	r.mu.Unlock()
+	putBatch(batch) // kept aliases batch: one backing array, one recycle
 }
 
 // punctuate routes one punctuation marker through a node's operator: the
@@ -403,11 +545,13 @@ func dropPuncts(ts []stream.Tuple) []stream.Tuple {
 	return kept
 }
 
-// cloneBatch deep-copies a batch so each consumer owns its tuples.
+// cloneBatch deep-copies a batch so each consumer owns its tuples. The
+// clone's slice comes from the batch pool (its Vals are fresh allocations —
+// deep tuple copies are the price of fan-out, not of the batch buffer).
 func cloneBatch(ts []stream.Tuple) []stream.Tuple {
-	out := make([]stream.Tuple, len(ts))
-	for i, t := range ts {
-		out[i] = t.Clone()
+	out := getBatch(len(ts))
+	for _, t := range ts {
+		out = append(out, t.Clone())
 	}
 	return out
 }
@@ -419,7 +563,8 @@ func (r *Runtime) Push(source string, t stream.Tuple) error {
 }
 
 // PushBatch sends a batch of tuples into a source stream as one channel
-// send. Tuples that fail the source schema are dropped (counted) and the
+// send. Tuples that fail the source schema are dropped (counted locally,
+// folded into the drop counter under one lock acquisition per call) and the
 // first failure is reported after the conforming remainder is sent.
 func (r *Runtime) PushBatch(source string, batch []stream.Tuple) error {
 	r.stopMu.RLock()
@@ -435,10 +580,12 @@ func (r *Runtime) PushBatch(source string, batch []stream.Tuple) error {
 		return fmt.Errorf("engine: unknown source %q", source)
 	}
 	s := r.plan.sources[source]
-	// Copy into a fresh slice: the batch crosses a channel and outlives this
+	// Copy into a pooled slice: the batch crosses a channel and outlives this
 	// call, while the caller keeps ownership of (and may reuse) its slice.
-	send := make([]stream.Tuple, 0, len(batch))
+	// PushOwnedBatch is the opt-out for callers willing to transfer ownership.
+	send := getBatch(len(batch))
 	var first error
+	dropped := 0
 	for _, t := range batch {
 		// Punctuation markers carry no field values and are exempt from
 		// schema validation — they are control entries, not source data.
@@ -446,15 +593,83 @@ func (r *Runtime) PushBatch(source string, batch []stream.Tuple) error {
 			if first == nil {
 				first = fmt.Errorf("engine: tuple does not conform to source %q schema %s", source, s.schema)
 			}
-			r.mu.Lock()
-			r.dropped++
-			r.mu.Unlock()
+			dropped++
 			continue
 		}
 		send = append(send, t)
 	}
+	if dropped > 0 {
+		r.mu.Lock()
+		r.dropped += dropped
+		r.mu.Unlock()
+	}
 	if len(send) > 0 {
 		ch <- send
+	} else {
+		putBatch(send)
+	}
+	return first
+}
+
+// PushOwnedBatch is PushBatch with ownership transfer: the caller hands the
+// batch slice (and its backing array) to the runtime and must not read,
+// write, or reuse it after the call — in exchange the defensive ingress copy
+// is skipped entirely, making the push zero-copy. Non-conforming tuples are
+// compacted out of the owned slice in place. The buffer re-enters the
+// engine's batch pool once its last consumer is done with it; lease buffers
+// via GetBatch to close the cycle without allocating. See the batch
+// ownership contract in executor.go.
+func (r *Runtime) PushOwnedBatch(source string, batch []stream.Tuple) error {
+	r.stopMu.RLock()
+	defer r.stopMu.RUnlock()
+	if r.closed {
+		// Ownership transfers even on error: the caller may not touch the
+		// slice after the call, so an unconsumed batch recycles here.
+		putBatch(batch)
+		return errStopped
+	}
+	ch, ok := r.srcIn[source]
+	if !ok {
+		r.mu.Lock()
+		r.dropped += len(batch)
+		r.mu.Unlock()
+		putBatch(batch)
+		return fmt.Errorf("engine: unknown source %q", source)
+	}
+	s := r.plan.sources[source]
+	var first error
+	if s.schema != nil {
+		// Validate without moving anything until the first failure — the
+		// conforming common case is a pure scan.
+		i := 0
+		for i < len(batch) {
+			t := batch[i]
+			if !t.IsPunct() && !s.schema.Conforms(t) {
+				break
+			}
+			i++
+		}
+		if i < len(batch) {
+			first = fmt.Errorf("engine: tuple does not conform to source %q schema %s", source, s.schema)
+			kept := batch[:i]
+			dropped := 0
+			for _, t := range batch[i:] {
+				if !t.IsPunct() && !s.schema.Conforms(t) {
+					dropped++
+					continue
+				}
+				kept = append(kept, t)
+			}
+			batch = kept
+			r.mu.Lock()
+			r.dropped += dropped
+			r.mu.Unlock()
+		}
+	}
+	if len(batch) > 0 {
+		ch <- batch
+	} else {
+		putBatch(batch)
 	}
 	return first
 }

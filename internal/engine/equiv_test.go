@@ -13,13 +13,14 @@ import (
 // equiv_test.go is the randomized executor-equivalence harness: it generates
 // random plans (filter / map / window-agg / hash-join / union over 1–3
 // sources), random batch schedules, random shard counts, random mid-run
-// Reshard calls and random heartbeat cadences, and asserts that every
+// Reshard calls and random heartbeat cadences — sweeping operator fusion on
+// and off and owned vs copied ingress on top — and asserts that every
 // executor produces results tuple-identical (after canonical ordering) to
 // the synchronous Engine oracle, with per-node tuple counters to match. It
 // is the regression net for all executor work: a change that breaks
 // partitioning, exchange merging, stage analysis, stats merging, reshard
-// state movement or punctuation forwarding fails here with a reproducible
-// case seed.
+// state movement, punctuation forwarding, chain fusion or batch-buffer
+// recycling fails here with a reproducible case seed.
 //
 // Quiet exchange edges are generated deliberately: a slice of the plans
 // carry a dead filter (threshold no tuple reaches — the edge below it never
@@ -260,8 +261,12 @@ func genSchedule(rng *rand.Rand, nSources int) []equivEvent {
 
 // runEquivSchedule drives one executor through the schedule. Reshard events
 // apply only to Resharders (the oracle ignores them); grow/shrink are
-// tallied into the suite-wide coverage counters.
-func runEquivSchedule(t *testing.T, ex Executor, es equivSpec, events []equivEvent, grew, shrank *int) map[string][]string {
+// tallied into the suite-wide coverage counters. With owned set, batches are
+// copied into pool-leased buffers and pushed through PushOwnedBatch on
+// executors that offer it (the copy keeps the shared schedule reusable
+// across executors while still exercising the ownership-transfer ingress
+// and its recycling end to end).
+func runEquivSchedule(t *testing.T, ex Executor, es equivSpec, events []equivEvent, grew, shrank *int, owned bool) map[string][]string {
 	t.Helper()
 	for _, ev := range events {
 		if ev.src < 0 {
@@ -285,8 +290,17 @@ func runEquivSchedule(t *testing.T, ex Executor, es equivSpec, events []equivEve
 			}
 			continue
 		}
-		if err := ex.PushBatch(es.sourceName(ev.src), ev.batch); err != nil {
-			t.Fatalf("push %s: %v", es.sourceName(ev.src), err)
+		src := es.sourceName(ev.src)
+		if op, ok := ex.(OwnedBatchPusher); ok && owned {
+			buf := GetBatch(len(ev.batch))
+			buf = append(buf, ev.batch...)
+			if err := op.PushOwnedBatch(src, buf); err != nil {
+				t.Fatalf("push owned %s: %v", src, err)
+			}
+			continue
+		}
+		if err := ex.PushBatch(src, ev.batch); err != nil {
+			t.Fatalf("push %s: %v", src, err)
 		}
 	}
 	ex.Stop()
@@ -333,12 +347,12 @@ func TestEquivalenceRandomized(t *testing.T) {
 			fail("oracle: %v", err)
 		}
 		var g0, s0 int
-		want := runEquivSchedule(t, oracle, es, events.events, &g0, &s0)
+		want := runEquivSchedule(t, oracle, es, events.events, &g0, &s0, false)
 		oracle.Advance(1)
 		wantCounts := countStats(oracle.Stats())
 
-		check := func(name string, ex Executor, grew, shrank *int) {
-			got := runEquivSchedule(t, ex, es, events.events, grew, shrank)
+		check := func(name string, ex Executor, grew, shrank *int, owned bool) {
+			got := runEquivSchedule(t, ex, es, events.events, grew, shrank, owned)
 			for q, w := range want {
 				if !reflect.DeepEqual(got[q], w) {
 					fail("%s: query %q diverges from sync oracle (%d vs %d tuples)\n got %v\nwant %v",
@@ -358,25 +372,40 @@ func TestEquivalenceRandomized(t *testing.T) {
 		// be oracle-identical at every setting — punctuation may only move
 		// WHEN the merge releases, never WHAT reaches the global stage.
 		heartbeat := []int{-1, 0, 1, 2, 5}[rng.Intn(5)]
-		st, err := StartStaged(func() (*Plan, error) { return es.build(), nil },
-			StagedConfig{Shards: shards, Buf: buf, Heartbeat: heartbeat})
-		if err != nil {
-			fail("StartStaged: %v", err)
-		}
-		cov := coverage["staged"]
-		check("staged", st, &cov[0], &cov[1])
-		if late := st.lateArrivals.Load(); late != 0 {
-			fail("staged: %d exchange tuples arrived below an emitted punctuation (heartbeat %d)", late, heartbeat)
+		// Sweep operator fusion and the ingress path: every case runs the
+		// staged executor both fused and unfused, with opposite ingress modes,
+		// so all four {fusion}×{owned,copied} combinations are continuously
+		// re-proven oracle-identical — fusion and buffer pooling must change
+		// neither results nor any constituent node's counters.
+		ownedFirst := c%2 == 0
+		for _, variant := range []struct {
+			name     string
+			noFusion bool
+			owned    bool
+		}{
+			{"staged", false, ownedFirst},
+			{"staged-unfused", true, !ownedFirst},
+		} {
+			st, err := StartStaged(func() (*Plan, error) { return es.build(), nil },
+				StagedConfig{Shards: shards, Buf: buf, Heartbeat: heartbeat, DisableFusion: variant.noFusion})
+			if err != nil {
+				fail("StartStaged (%s): %v", variant.name, err)
+			}
+			cov := coverage["staged"]
+			check(variant.name, st, &cov[0], &cov[1], variant.owned)
+			if late := st.lateArrivals.Load(); late != 0 {
+				fail("%s: %d exchange tuples arrived below an emitted punctuation (heartbeat %d)", variant.name, late, heartbeat)
+			}
 		}
 
 		if split, err := es.build().Analyze(); err == nil && split.FullyParallel() {
 			sh, err := StartSharded(func() (*Plan, error) { return es.build(), nil },
-				ShardedConfig{Shards: shards, Buf: buf, Partition: split.Partition()})
+				ShardedConfig{Shards: shards, Buf: buf, Partition: split.Partition(), DisableFusion: c%4 >= 2})
 			if err != nil {
 				fail("StartSharded: %v", err)
 			}
 			cov := coverage["sharded"]
-			check("sharded", sh, &cov[0], &cov[1])
+			check("sharded", sh, &cov[0], &cov[1], ownedFirst)
 		}
 	}
 	for name, cov := range coverage {

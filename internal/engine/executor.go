@@ -21,9 +21,14 @@ type Executor interface {
 	// PushBatch injects a batch of tuples into the named source stream in
 	// order. Implementations keep processing the rest of a batch when one
 	// tuple is rejected; the returned error reports the first rejection.
-	// The batch slice stays owned by the caller and may be reused once
-	// PushBatch returns (implementations copy what they retain); the
-	// tuples' Vals must not be mutated afterwards.
+	//
+	// Batch ownership: the batch slice stays owned by the caller and may be
+	// reused once PushBatch returns — implementations copy what they retain
+	// (into the engine's batch pool, so the copy is an allocation-free
+	// memcpy at steady state). The tuples' Vals must not be mutated
+	// afterwards: value slices are shared, not copied, all the way to
+	// Results. Callers that can give the slice up entirely should push
+	// through OwnedBatchPusher instead and skip the copy.
 	PushBatch(source string, batch []stream.Tuple) error
 	// Advance moves the executor's metering clock forward; Stats loads are
 	// accumulated operator cost divided by elapsed ticks.
@@ -40,11 +45,31 @@ type Executor interface {
 	Stop()
 }
 
-// Compile-time checks that every executor satisfies the interface.
+// OwnedBatchPusher is the zero-copy ingress path the concurrent executors
+// offer on top of Executor. PushOwnedBatch is PushBatch with the ownership
+// arrow reversed: the slice and its backing array transfer to the executor
+// at the call — the caller must not read, write, reuse or recycle it
+// afterwards, even when an error is returned — and in exchange the
+// defensive ingress copy is skipped. The buffer re-enters the engine's
+// shared batch pool once its last consumer finishes, so a producer that
+// leases buffers via GetBatch, fills them, and pushes them owned runs a
+// fully recycled, allocation-free ingress loop.
+//
+// The synchronous Engine does not implement it: its Push path holds no
+// batch buffers, so there is no copy to skip.
+type OwnedBatchPusher interface {
+	PushOwnedBatch(source string, batch []stream.Tuple) error
+}
+
+// Compile-time checks that every executor satisfies the interfaces.
 var (
 	_ Executor = (*Engine)(nil)
 	_ Executor = (*Runtime)(nil)
 	_ Executor = (*Sharded)(nil)
+
+	_ OwnedBatchPusher = (*Runtime)(nil)
+	_ OwnedBatchPusher = (*Sharded)(nil)
+	_ OwnedBatchPusher = (*Staged)(nil)
 )
 
 // PushBatch pushes each tuple of the batch in order. Rejected tuples

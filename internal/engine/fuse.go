@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"repro/internal/stream"
+)
+
+// Operator fusion collapses maximal chains of stateless unary operators
+// (filter→map→filter→…) into a single execution unit: one goroutine runs
+// the whole chain as a loop over each batch, so a k-operator prefix costs
+// one channel hop and one stats flush per batch instead of k. Fusion is an
+// execution-time construct: the Plan's node list is untouched, so
+// Plan.Analyze, stage splitting, shed-plan owner resolution and dsmsd
+// replanning see exactly the topology they see today, and every constituent
+// keeps its own runtimeCounters slot — per-node Stats (and the OfferedLoad
+// reconstruction built on them) are indistinguishable from unfused
+// execution.
+//
+// A chain link i→j requires: both nodes unary and declaring StatelessOp,
+// node i's entire fan-out being the single edge into j, and j having no
+// other producer. The head of a chain may have any number of producers (its
+// input channel is the chain's input); the tail's fan-out is the chain's
+// output. Only chains of length >= 2 are fused.
+
+// fusableNode reports whether a plan node can be a fused-chain constituent:
+// a unary operator declaring statelessness.
+func fusableNode(n *node) bool {
+	if n.unary == nil {
+		return false
+	}
+	s, ok := n.unary.(stream.StatelessOp)
+	return ok && s.Stateless()
+}
+
+// fusedChains returns the maximal fusable chains of a plan as slices of node
+// indices in dataflow order, each of length >= 2. Node indices are
+// topological (edges only point forward), so walking the nodes in order
+// visits every chain head before its members.
+func fusedChains(p *Plan) [][]int {
+	inDeg := make([]int, len(p.nodes))
+	count := func(out []edge) {
+		for _, e := range out {
+			if e.node >= 0 {
+				inDeg[e.node]++
+			}
+		}
+	}
+	for _, s := range p.sources {
+		count(s.out)
+	}
+	for _, n := range p.nodes {
+		count(n.out)
+	}
+
+	// next[i] is i's fused successor (or -1): the single consumer of i's
+	// single output edge, when both ends are fusable and the consumer has no
+	// other producer.
+	next := make([]int, len(p.nodes))
+	prev := make([]int, len(p.nodes))
+	for i := range next {
+		next[i], prev[i] = -1, -1
+	}
+	for i, n := range p.nodes {
+		if !fusableNode(n) || len(n.out) != 1 {
+			continue
+		}
+		e := n.out[0]
+		if e.node < 0 || inDeg[e.node] != 1 || !fusableNode(p.nodes[e.node]) {
+			continue
+		}
+		next[i] = e.node
+		prev[e.node] = i
+	}
+
+	var chains [][]int
+	for i := range p.nodes {
+		if next[i] < 0 || prev[i] >= 0 {
+			continue // not the head of a multi-node chain
+		}
+		chain := []int{i}
+		for j := next[i]; j >= 0; j = next[j] {
+			chain = append(chain, j)
+		}
+		chains = append(chains, chain)
+	}
+	return chains
+}
+
+// fusedRunner executes one fused chain inside its owning goroutine. It holds
+// the constituents in dataflow order with their batch fast paths,
+// punctuators and counter slots resolved once at start.
+type fusedRunner struct {
+	tail    *node // chain tail; its out edges are the chain's output
+	members []*node
+	natives []stream.BatchTransform // per member; nil -> per-tuple Apply fallback
+	puncts  []stream.Punctuator     // per member; nil -> marker swallowed
+	stats   []*runtimeCounters      // per member: the node's own Stats slot
+}
+
+func newFusedRunner(p *Plan, chain []int, stats []runtimeCounters) *fusedRunner {
+	fr := &fusedRunner{
+		members: make([]*node, 0, len(chain)),
+		natives: make([]stream.BatchTransform, 0, len(chain)),
+		puncts:  make([]stream.Punctuator, 0, len(chain)),
+		stats:   make([]*runtimeCounters, 0, len(chain)),
+	}
+	for _, id := range chain {
+		n := p.nodes[id]
+		fr.members = append(fr.members, n)
+		bt, _ := n.unary.(stream.BatchTransform)
+		fr.natives = append(fr.natives, bt)
+		pc, _ := n.unary.(stream.Punctuator)
+		fr.puncts = append(fr.puncts, pc)
+		fr.stats = append(fr.stats, &stats[id])
+	}
+	fr.tail = fr.members[len(fr.members)-1]
+	return fr
+}
+
+// punctuate threads one marker through every constituent's Punctuator in
+// chain order — the composition of the per-operator promise rewrites, which
+// is exactly what the marker would experience hopping node to node unfused.
+// A constituent without a Punctuator swallows the marker (always sound).
+func (fr *fusedRunner) punctuate(ts int64) (int64, bool) {
+	for _, pc := range fr.puncts {
+		if pc == nil {
+			return 0, false
+		}
+		var ok bool
+		if ts, ok = pc.Punctuate(ts); !ok {
+			return 0, false
+		}
+	}
+	return ts, true
+}
+
+// runSeg runs constituents from..end over a punctuation-free segment,
+// metering each constituent's in/out counts. Constituents with a native
+// BatchTransform run in place on the segment (out = in[:0], sound because
+// they emit at most one tuple per input scanning forward); a constituent
+// without one falls back to per-tuple Apply into a fresh slice — a
+// correctness fallback, since every in-repo stateless operator is native.
+// The bool result reports whether the returned batch still shares seg's
+// backing array (false once the fallback allocated).
+func (fr *fusedRunner) runSeg(seg []stream.Tuple, from int) ([]stream.Tuple, bool) {
+	cur, reused := seg, true
+	for k := from; k < len(fr.members); k++ {
+		c := fr.stats[k]
+		c.tuples.Add(int64(len(cur)))
+		if bt := fr.natives[k]; bt != nil {
+			cur = bt.ApplyBatch(cur, cur[:0])
+		} else {
+			next := make([]stream.Tuple, 0, len(cur))
+			for _, t := range cur {
+				next = append(next, fr.members[k].unary.Apply(t)...)
+			}
+			cur, reused = next, false
+		}
+		c.out.Add(int64(len(cur)))
+		if len(cur) == 0 {
+			// Downstream constituents see nothing — exactly as unfused, where
+			// an empty batch is never sent, so their counters stay untouched.
+			break
+		}
+	}
+	return cur, reused
+}
+
+// runBatch processes one owned input batch through the whole chain and
+// returns the chain's output batch. Punctuation markers keep their stream
+// position: the data runs around each marker process as in-place segments,
+// and the marker itself is rewritten by the composed punctuator chain. The
+// bool result reports whether the output shares the input's backing array
+// (true on the marker-free fast path); when false the caller still owns —
+// and should recycle — the input buffer.
+func (fr *fusedRunner) runBatch(ts []stream.Tuple) ([]stream.Tuple, bool) {
+	hasPunct := false
+	for i := range ts {
+		if ts[i].IsPunct() {
+			hasPunct = true
+			break
+		}
+	}
+	if !hasPunct {
+		return fr.runSeg(ts, 0)
+	}
+	out := getBatch(len(ts))
+	i := 0
+	for i < len(ts) {
+		if ts[i].IsPunct() {
+			if w, ok := fr.punctuate(ts[i].Ts); ok {
+				out = append(out, stream.NewPunctuation(w))
+			}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(ts) && !ts[j].IsPunct() {
+			j++
+		}
+		seg, _ := fr.runSeg(ts[i:j], 0)
+		out = append(out, seg...)
+		i = j
+	}
+	return out, false
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestFusedSteadyStateZeroAllocs pins the hot-path allocation contract: a
+// batch leased from the pool, pushed owned, run through the fused 4-deep
+// filter→map→filter→map prefix and recycled at the sink tap completes the
+// whole cycle without a single heap allocation — no ingress copy, no
+// per-operator output slices, no per-tuple Vals (the maps reuse their
+// input's values). One buffer circulates: the owned push travels the chain
+// in place and the tap returns it to the pool before the next lease.
+//
+// Each measured run waits for its batch to reach the tap, so the pipeline is
+// fully drained — and the pool refilled — between runs; that makes the pool
+// hit deterministic rather than a race between producer and consumer.
+func TestFusedSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is not meaningful under the race detector")
+	}
+	var delivered atomic.Int64
+	rt, err := StartRuntime(benchDeepPlan(), RuntimeConfig{
+		Buf: 4,
+		Taps: map[string]func([]stream.Tuple){"q": func(ts []stream.Tuple) {
+			n := int64(len(ts))
+			PutBatch(ts) // recycle before signaling, so the pusher's next lease hits the pool
+			delivered.Add(n)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	template := benchDeepTemplate()
+	push := func() {
+		want := delivered.Load() + int64(len(template))
+		buf := GetBatch(len(template))
+		buf = append(buf, template...)
+		if err := rt.PushOwnedBatch("s", buf); err != nil {
+			t.Fatal(err)
+		}
+		for delivered.Load() < want {
+			runtime.Gosched()
+		}
+	}
+	// Warm the cycle: the first trips allocate the circulating buffer and any
+	// lazily-grown runtime internals.
+	for i := 0; i < 8; i++ {
+		push()
+	}
+	if avg := testing.AllocsPerRun(200, push); avg != 0 {
+		t.Errorf("fused steady state allocates %.2f times per %d-tuple owned batch, want 0", avg, len(template))
+	}
+	rt.Stop()
+}

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// The batch pool recycles []stream.Tuple buffers around the concurrent
+// executors' hot path so steady-state execution allocates no batch slices:
+// ingress copies, operator output batches and fan-out clones are drawn from
+// the pool, travel the channel graph under the single-owner rule (see the
+// batch-ownership contract in executor.go), and re-enter the pool where
+// their last owner consumes them — the sink/tap boundary, or an operator
+// goroutine that has finished reading its input batch.
+//
+// Two pools cycle together so a put allocates nothing: batchPool holds
+// loaded boxes (*[]stream.Tuple with a usable buffer), boxPool holds the
+// empty boxes getBatch leaves behind. A pooled buffer keeps its backing
+// array's Tuple contents beyond len 0 until overwritten, which pins their
+// Vals slices; that retention is bounded by the pool's working set and the
+// maximum batch size, the usual sync.Pool trade.
+var (
+	batchPool sync.Pool
+	boxPool   sync.Pool
+)
+
+// getBatch returns an empty batch buffer, pooled when available. capHint is
+// the expected final length — used only when the pool is empty; a smaller
+// pooled buffer is still returned (append grows it once and the grown buffer
+// re-enters the pool, so capacities converge on the workload's batch size).
+func getBatch(capHint int) []stream.Tuple {
+	if p, ok := batchPool.Get().(*[]stream.Tuple); ok {
+		b := (*p)[:0]
+		*p = nil
+		boxPool.Put(p)
+		return b
+	}
+	if capHint < 1 {
+		capHint = 1
+	}
+	return make([]stream.Tuple, 0, capHint)
+}
+
+// putBatch returns a buffer to the pool. The caller must own b outright: no
+// other goroutine may hold b or any slice sharing its backing array, and b
+// must not be a sub-slice of a buffer something else still reads.
+func putBatch(b []stream.Tuple) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	p, ok := boxPool.Get().(*[]stream.Tuple)
+	if !ok {
+		p = new([]stream.Tuple)
+	}
+	*p = b
+	batchPool.Put(p)
+}
+
+// GetBatch leases an empty tuple buffer from the engine's shared batch pool,
+// with capacity sized by capHint when the pool has nothing to reuse. It is
+// the producer half of the zero-copy ingress cycle: fill the buffer, hand it
+// to PushOwnedBatch, and the engine recycles it into the pool once the last
+// operator consuming it is done — so a steady push loop allocates no batch
+// buffers at all.
+func GetBatch(capHint int) []stream.Tuple { return getBatch(capHint) }
+
+// PutBatch returns a leased or owned buffer to the engine's batch pool
+// without pushing it. The ownership rule of putBatch applies: the caller
+// must be the slice's sole owner. Useful when a producer fills a buffer it
+// then decides not to push.
+func PutBatch(b []stream.Tuple) { putBatch(b) }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count tests skip themselves under it.
+const raceEnabled = false

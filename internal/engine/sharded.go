@@ -35,6 +35,9 @@ type ShardedConfig struct {
 	// carries over to the runtimes a Reshard starts, so a drop plan survives
 	// the boundary.
 	Shedder Shedder
+	// DisableFusion turns off stateless-chain operator fusion in every shard
+	// runtime (see RuntimeConfig.DisableFusion).
+	DisableFusion bool
 }
 
 // Sharded executes N independent copies of a plan, hash-partitioning source
@@ -57,12 +60,13 @@ type ShardedConfig struct {
 // see Resharder. Stats, Results and Dropped aggregate across every epoch of
 // the executor's lifetime.
 type Sharded struct {
-	factory func() (*Plan, error)
-	buf     int
-	shedder Shedder
-	part    PartitionFunc
-	sources map[string]bool
-	topo    *Plan // epoch-0 shard-0 plan: the stable stats topology
+	factory  func() (*Plan, error)
+	buf      int
+	shedder  Shedder
+	noFusion bool
+	part     PartitionFunc
+	sources  map[string]bool
+	topo     *Plan // epoch-0 shard-0 plan: the stable stats topology
 
 	// mu guards the epoch state below: pushers and readers hold the read
 	// side, Reshard and Stop swap under the write side.
@@ -143,13 +147,14 @@ func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, e
 		buf = 64
 	}
 	s := &Sharded{
-		factory: factory,
-		buf:     buf,
-		shedder: cfg.Shedder,
-		part:    cfg.Partition,
-		sources: make(map[string]bool),
-		pmap:    newPartitionMap(n),
-		carried: make(map[string][]stream.Tuple),
+		factory:  factory,
+		buf:      buf,
+		shedder:  cfg.Shedder,
+		noFusion: cfg.DisableFusion,
+		part:     cfg.Partition,
+		sources:  make(map[string]bool),
+		pmap:     newPartitionMap(n),
+		carried:  make(map[string][]stream.Tuple),
 	}
 	for i := 0; i < n; i++ {
 		p, err := factory()
@@ -177,7 +182,7 @@ func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, e
 				s.part = PartitionByField(0)
 			}
 		}
-		rt, err := StartRuntime(p, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder})
+		rt, err := StartRuntime(p, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion})
 		if err != nil {
 			s.Stop()
 			return nil, err
@@ -252,7 +257,7 @@ func (s *Sharded) Reshard(n int) error {
 	moveKeyedState(s.plans, newPlans, stateDest(s.pmap))
 	shards := make([]*Runtime, n)
 	for i, p := range newPlans {
-		rt, err := StartRuntime(p, RuntimeConfig{Buf: s.buf, Shedder: s.shedder})
+		rt, err := StartRuntime(p, RuntimeConfig{Buf: s.buf, Shedder: s.shedder, DisableFusion: s.noFusion})
 		if err != nil {
 			// Mid-swap failure: the old epoch is gone, so the executor
 			// cannot keep running. Fail it loudly rather than half-swapped.
@@ -306,7 +311,10 @@ func addCounters(dst *NodeLoad, nl NodeLoad) {
 // PushBatch partitions the batch across shards and forwards each sub-batch
 // with one channel send per shard touched. Tuple order is preserved within
 // a partition key, which is the strongest order a sharded executor can (and
-// the correctness contract needs to) keep.
+// the correctness contract needs to) keep. Sub-batches come from the batch
+// pool and transfer into the shard runtimes owned (PushOwnedBatch), so the
+// partitioning adds no defensive copy and no steady-state allocation; the
+// caller's own slice is never retained.
 func (s *Sharded) PushBatch(source string, batch []stream.Tuple) error {
 	if s.stopped.Load() {
 		return errStopped
@@ -323,11 +331,17 @@ func (s *Sharded) PushBatch(source string, batch []stream.Tuple) error {
 			// A punctuation marker promises the SOURCE stream has advanced,
 			// so every shard's partition of it has too: broadcast.
 			for i := range sub {
+				if sub[i] == nil {
+					sub[i] = getBatch(len(batch))
+				}
 				sub[i] = append(sub[i], t)
 			}
 			continue
 		}
 		i := s.pmap.route(s.part(source, t))
+		if sub[i] == nil {
+			sub[i] = getBatch(len(batch))
+		}
 		sub[i] = append(sub[i], t)
 	}
 	var first error
@@ -335,11 +349,21 @@ func (s *Sharded) PushBatch(source string, batch []stream.Tuple) error {
 		if len(ts) == 0 {
 			continue
 		}
-		if err := s.shards[i].PushBatch(source, ts); err != nil && first == nil {
+		if err := s.shards[i].PushOwnedBatch(source, ts); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// PushOwnedBatch implements OwnedBatchPusher: identical routing to
+// PushBatch, but ownership of the caller's slice transfers to the executor,
+// which recycles it into the batch pool once the partition scan has copied
+// its tuples out.
+func (s *Sharded) PushOwnedBatch(source string, batch []stream.Tuple) error {
+	err := s.PushBatch(source, batch)
+	putBatch(batch)
+	return err
 }
 
 // Advance moves the merged metering clock forward (shard clocks stay at

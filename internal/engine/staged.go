@@ -47,6 +47,9 @@ type StagedConfig struct {
 	// with heartbeats they additionally forfeit the watermark promise —
 	// results remain complete and the merge remains live either way.
 	Heartbeat int
+	// DisableFusion turns off stateless-chain operator fusion in every
+	// runtime of both stages (see RuntimeConfig.DisableFusion).
+	DisableFusion bool
 }
 
 // Staged executes any plan across shards by splitting it into two stages
@@ -96,6 +99,7 @@ type Staged struct {
 	part      PartitionFunc
 	buf       int
 	shedder   Shedder
+	noFusion  bool
 	heartbeat int // batches between source punctuation; <0 disabled
 	// hbCount counts pushed batches per prefix source for the heartbeat
 	// cadence; entries are created at start, so pushers only load.
@@ -167,6 +171,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		part:      split.Partition(),
 		buf:       buf,
 		shedder:   cfg.Shedder,
+		noFusion:  cfg.DisableFusion,
 		heartbeat: cfg.Heartbeat,
 		hbCount:   make(map[string]*atomic.Int64),
 		carried:   make(map[string][]stream.Tuple),
@@ -179,7 +184,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		// Fully global: no parallel stage, no exchanges — the whole plan
 		// (sources included, even unconsumed ones) runs on one Runtime,
 		// reusing the analyzed plan's instances.
-		s.global, err = StartRuntime(full, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder})
+		s.global, err = StartRuntime(full, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion})
 		if err != nil {
 			return nil, err
 		}
@@ -199,7 +204,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		for _, id := range split.Exchanges {
 			noShed[ExchangeName(id)] = true
 		}
-		s.global, err = StartRuntime(suffix, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder, NoShedSources: noShed})
+		s.global, err = StartRuntime(suffix, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder, NoShedSources: noShed, DisableFusion: cfg.DisableFusion})
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +216,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		s.Stop()
 		return nil, err
 	}
-	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder)
+	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder, s.noFusion)
 	if err != nil {
 		s.Stop()
 		return nil, err
@@ -254,7 +259,7 @@ func (s *Staged) carveEpoch(n int) ([]*Plan, []*exchangeMerge, error) {
 // startShardRuntimes starts one Runtime per carved prefix plan with that
 // shard's exchange taps installed. On error everything started so far is
 // stopped and the error returned.
-func startShardRuntimes(plans []*Plan, exchanges []*exchangeMerge, buf int, shedder Shedder) ([]*Runtime, error) {
+func startShardRuntimes(plans []*Plan, exchanges []*exchangeMerge, buf int, shedder Shedder, noFusion bool) ([]*Runtime, error) {
 	shards := make([]*Runtime, 0, len(plans))
 	for i, prefix := range plans {
 		var taps map[string]func([]stream.Tuple)
@@ -264,7 +269,7 @@ func startShardRuntimes(plans []*Plan, exchanges []*exchangeMerge, buf int, shed
 				taps[x.name] = x.offer(i)
 			}
 		}
-		rt, err := StartRuntime(prefix, RuntimeConfig{Buf: buf, Shedder: shedder, Taps: taps})
+		rt, err := StartRuntime(prefix, RuntimeConfig{Buf: buf, Shedder: shedder, Taps: taps, DisableFusion: noFusion})
 		if err != nil {
 			for _, started := range shards {
 				started.Stop()
@@ -347,7 +352,7 @@ func (s *Staged) Reshard(n int) error {
 	s.retireEpoch()
 	s.pmap.rebalance(n)
 	moveKeyedState(s.prefixPlans, plans, stateDest(s.pmap))
-	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder)
+	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder, s.noFusion)
 	if err != nil {
 		// Mid-swap failure: the old epoch is gone, so the executor cannot
 		// keep running. Fail it loudly rather than half-swapped.
@@ -444,6 +449,10 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 		}
 	}
 	if prefix {
+		// Per-shard sub-batches come from the batch pool and transfer into
+		// the shard runtimes owned (PushOwnedBatch below) — the carved prefix
+		// plans carry no schemas, so the owned push is a plain channel send
+		// and the buffers recycle at the shards' operator goroutines.
 		sub := make([][]stream.Tuple, len(s.shards))
 		maxTs, sawData := int64(0), false
 		for _, t := range batch {
@@ -451,6 +460,9 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 				// A caller-supplied marker promises the whole source stream
 				// advanced, so every shard's partition of it has: broadcast.
 				for i := range sub {
+					if sub[i] == nil {
+						sub[i] = getBatch(len(batch))
+					}
 					sub[i] = append(sub[i], t)
 				}
 				continue
@@ -459,6 +471,9 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 				maxTs, sawData = t.Ts, true
 			}
 			i := s.pmap.route(s.part(source, t))
+			if sub[i] == nil {
+				sub[i] = getBatch(len(batch))
+			}
 			sub[i] = append(sub[i], t)
 		}
 		// Heartbeat: every heartbeat-th batch is followed by a source
@@ -482,6 +497,9 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 			if s.hbCount[source].Add(1)%every == 0 {
 				p := stream.NewPunctuation(maxTs - 1)
 				for i := range sub {
+					if sub[i] == nil {
+						sub[i] = getBatch(1)
+					}
 					sub[i] = append(sub[i], p)
 				}
 			}
@@ -490,12 +508,22 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 			if len(ts) == 0 {
 				continue
 			}
-			if err := s.shards[i].PushBatch(source, ts); err != nil && first == nil {
+			if err := s.shards[i].PushOwnedBatch(source, ts); err != nil && first == nil {
 				first = err
 			}
 		}
 	}
 	return first
+}
+
+// PushOwnedBatch implements OwnedBatchPusher: identical routing and
+// validation to PushBatch, but ownership of the caller's slice transfers to
+// the executor, which recycles it into the batch pool once the routing scan
+// has copied its tuples out.
+func (s *Staged) PushOwnedBatch(source string, batch []stream.Tuple) error {
+	err := s.PushBatch(source, batch)
+	putBatch(batch)
+	return err
 }
 
 // Advance moves the merged metering clock forward; the stage runtimes stay
@@ -775,7 +803,11 @@ func newExchangeMerge(name string, shards int, late *atomic.Int64) *exchangeMerg
 // offer returns the tap installed on one shard's exchange sink. Punctuation
 // markers advance the shard's low-watermark instead of buffering; the
 // in-stream position guarantees every tuple buffered before the marker was
-// emitted before the promise was made.
+// emitted before the promise was made. The tap owns the batch it receives
+// (RuntimeConfig.Taps contract), and the buffering loop copies every tuple
+// into the per-shard FIFO, so the batch recycles into the pool on the way
+// out — the shard runtime that produced it gets it back at its next
+// getBatch.
 func (x *exchangeMerge) offer(shard int) func([]stream.Tuple) {
 	return func(ts []stream.Tuple) {
 		x.mu.Lock()
@@ -793,6 +825,7 @@ func (x *exchangeMerge) offer(shard int) func([]stream.Tuple) {
 		}
 		x.mu.Unlock()
 		x.cond.Broadcast()
+		putBatch(ts)
 	}
 }
 
@@ -824,11 +857,14 @@ func (x *exchangeMerge) close() {
 // can be below it, which is why the promise must travel in-band through
 // every operator (stream.Punctuator) and be re-derived at each hop.
 func (x *exchangeMerge) run(global *Runtime, batch int) {
-	out := make([]stream.Tuple, 0, batch)
+	// The release buffer is leased from the batch pool once and reused for
+	// every flush of this merger's lifetime: the global runtime's PushBatch
+	// copies what it retains (into its own pooled ingress buffer), so out
+	// never escapes, and it returns to the pool when the edge closes.
+	out := getBatch(batch)
 	flush := func() {
 		if len(out) > 0 {
-			// The global runtime copies the batch; reusing out is safe. A
-			// post-Stop error cannot happen here (Stop and the reshard
+			// A post-Stop error cannot happen here (Stop and the reshard
 			// retirement both wait for this loop before stopping global).
 			_ = global.PushBatch(x.name, out)
 			out = out[:0]
@@ -910,6 +946,7 @@ func (x *exchangeMerge) run(global *Runtime, batch int) {
 	}
 	x.mu.Unlock()
 	flush()
+	putBatch(out)
 }
 
 // Compile-time check that Staged satisfies the executor contract.

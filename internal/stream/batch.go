@@ -1,0 +1,41 @@
+package stream
+
+// BatchTransform is the batch-at-a-time fast path of Transform: ApplyBatch
+// processes a whole input batch in one call, appending every emission to out
+// and returning the extended slice. It exists so hot paths (the engine's
+// fused operator chains, Pipeline.RunBatches) can run an operator over a
+// batch without the per-tuple []Tuple allocation Transform.Apply forces on
+// every call.
+//
+// Contract, beyond "equivalent to calling Apply per tuple in order":
+//
+//   - ApplyBatch must tolerate out sharing in's backing array as out =
+//     in[:0] (in-place operation). That is only sound for operators that
+//     scan forward emitting at most one tuple per input — the write cursor
+//     then never passes the read cursor — so an operator that can emit more
+//     than one tuple per input must not implement BatchTransform.
+//   - in never contains punctuation markers; callers route markers through
+//     Punctuator, exactly as they do for Apply.
+//
+// Filter and Map implement it natively; BatchApply adapts everything else.
+type BatchTransform interface {
+	ApplyBatch(in []Tuple, out []Tuple) []Tuple
+}
+
+// BatchApply runs t over every tuple of in, appending emissions to out and
+// returning the extended slice. It uses the operator's native ApplyBatch
+// when t implements BatchTransform and falls back to per-tuple Apply
+// otherwise.
+//
+// out may alias in's backing array (out = in[:0]) only when t implements
+// BatchTransform — the fallback path appends to out while still reading in,
+// and a multi-tuple emission would overrun the read cursor.
+func BatchApply(t Transform, in []Tuple, out []Tuple) []Tuple {
+	if bt, ok := t.(BatchTransform); ok {
+		return bt.ApplyBatch(in, out)
+	}
+	for _, tup := range in {
+		out = append(out, t.Apply(tup)...)
+	}
+	return out
+}

@@ -30,6 +30,19 @@ func (f *Filter) Apply(t Tuple) []Tuple {
 	return nil
 }
 
+// ApplyBatch implements BatchTransform: one pass over the batch appending
+// exactly the passing tuples, with no per-tuple slice allocation. A filter
+// emits at most one tuple per input scanning forward, so out may alias in's
+// backing array (out = in[:0]) for in-place filtering.
+func (f *Filter) ApplyBatch(in []Tuple, out []Tuple) []Tuple {
+	for _, t := range in {
+		if f.pred(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // Flush implements Transform; filters hold no state.
 func (f *Filter) Flush() []Tuple { return nil }
 

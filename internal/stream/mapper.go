@@ -26,6 +26,17 @@ func (m *Map) Apply(t Tuple) []Tuple {
 	return []Tuple{{Ts: t.Ts, Vals: m.fn(t)}}
 }
 
+// ApplyBatch implements BatchTransform: one pass over the batch emitting the
+// mapped tuple for each input without the per-tuple []Tuple wrapper Apply
+// allocates. A map emits exactly one tuple per input scanning forward, so
+// out may alias in's backing array (out = in[:0]) for in-place rewriting.
+func (m *Map) ApplyBatch(in []Tuple, out []Tuple) []Tuple {
+	for _, t := range in {
+		out = append(out, Tuple{Ts: t.Ts, Vals: m.fn(t)})
+	}
+	return out
+}
+
 // Flush implements Transform; maps hold no state.
 func (m *Map) Flush() []Tuple { return nil }
 

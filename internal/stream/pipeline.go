@@ -48,21 +48,27 @@ func (p *Pipeline) Run(src <-chan Tuple) <-chan Tuple {
 // RunBatches wires the pipeline over batch channels: every channel send
 // carries a whole []Tuple, amortizing the per-send synchronization cost
 // across the batch — the same batch-oriented dataflow the engine package's
-// concurrent executors use. Each stage applies the transform to every tuple
-// of an input batch and forwards the accumulated outputs as one batch;
-// empty result batches are not forwarded. Closing the source drains every
-// stage (Flush) in order: flushed tuples arrive as a final batch after all
-// applied output, then the output channel closes.
+// concurrent executors use. Each stage runs the transform over an input
+// batch via BatchApply (operators implementing BatchTransform process the
+// batch natively, with no per-tuple slice allocation) and forwards the
+// outputs as one batch; batch ownership transfers with each send, so a stage
+// that emits at most one tuple per input rewrites the arriving batch in
+// place. Empty result batches are not forwarded. Closing the source drains
+// every stage (Flush) in order: flushed tuples arrive as a final batch after
+// all applied output, then the output channel closes.
 func (p *Pipeline) RunBatches(src <-chan []Tuple) <-chan []Tuple {
 	in := src
 	for _, stage := range p.stages {
 		out := make(chan []Tuple, p.buf)
 		go func(t Transform, in <-chan []Tuple, out chan<- []Tuple) {
 			defer close(out)
+			_, inPlace := t.(BatchTransform)
 			for batch := range in {
 				var emitted []Tuple
-				for _, tup := range batch {
-					emitted = append(emitted, t.Apply(tup)...)
+				if inPlace {
+					emitted = BatchApply(t, batch, batch[:0])
+				} else {
+					emitted = BatchApply(t, batch, make([]Tuple, 0, len(batch)))
 				}
 				if len(emitted) > 0 {
 					out <- emitted
