@@ -1,0 +1,30 @@
+package main
+
+import (
+	"flag"
+
+	"repro/internal/engine"
+)
+
+// execFlags are the executor knobs shared by every dsmsd subcommand: both
+// `sim` and `serve` drive the same staged executor, so the flags that shape
+// it — backend choice, shard width, batch size, heartbeat cadence — are
+// registered once here and parsed into each subcommand's FlagSet.
+type execFlags struct {
+	executor  string
+	shards    int
+	batch     int
+	heartbeat int
+}
+
+func (f *execFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&f.executor, "executor", "sharded", "execution backend: sharded (staged), runtime, or sync")
+	fs.IntVar(&f.shards, "shards", 0, "shard count for the sharded executor (0 = GOMAXPROCS)")
+	fs.IntVar(&f.batch, "batch", 64, "tuples per executor batch")
+	fs.IntVar(&f.heartbeat, "heartbeat", 0, "sharded executor: emit source punctuation every K batches so quiet exchange shards release mid-run (0 = every batch, negative = disable)")
+}
+
+// execConfig converts the parsed flags into the engine's shared knob struct.
+func (f *execFlags) execConfig(shedder engine.Shedder) engine.ExecConfig {
+	return engine.ExecConfig{Shards: f.shards, Buf: f.batch, Shedder: shedder}
+}

@@ -1,14 +1,25 @@
-// Command dsmsd runs an end-to-end multi-day simulation of the paper's DSMS
-// cloud center: a population of clients submits continuous queries over
-// stock-quote and news streams with daily bids; each day the center runs the
-// configured admission auction and bills the winners, the daemon compiles
-// the winning queries into one shared plan, executes a day of market tuples
-// through the configured executor (synchronous engine, concurrent runtime,
-// or the staged sharded executor), and feeds the *measured* per-operator
-// costs back into the next day's auction — the paper's "load can be
-// reasonably approximated by the system", closed as a real loop. The daily
-// report shows admissions, revenue, utilization, per-query result counts,
-// and whether the measured load was schedulable and met QoS.
+// Command dsmsd is the paper's DSMS cloud center as a runnable daemon, with
+// two front ends over the same auction + executor machinery:
+//
+//	dsmsd sim   [flags]   multi-day closed-loop simulation (the default)
+//	dsmsd serve [flags]   live tenant service plane over HTTP
+//
+// A bare `dsmsd [flags]` still runs the simulation, so existing invocations
+// keep working.
+//
+// # sim
+//
+// An end-to-end multi-day simulation of the paper's DSMS cloud center: a
+// population of clients submits continuous queries over stock-quote and news
+// streams with daily bids; each day the center runs the configured admission
+// auction and bills the winners, the daemon compiles the winning queries
+// into one shared plan, executes a day of market tuples through the
+// configured executor (synchronous engine, concurrent runtime, or the staged
+// sharded executor), and feeds the *measured* per-operator costs back into
+// the next day's auction — the paper's "load can be reasonably approximated
+// by the system", closed as a real loop. The daily report shows admissions,
+// revenue, utilization, per-query result counts, and whether the measured
+// load was schedulable and met QoS.
 //
 // The sharded backend accepts every admitted plan: engine.StartStaged
 // splits each day's shared plan into a keyed parallel stage (N shard
@@ -18,10 +29,8 @@
 // (-heartbeat, punctuation through the shard pipelines) keep the exchange
 // merges releasing mid-run even when a selective filter or a skewed key
 // distribution leaves shards permanently quiet on an edge — so the mid-day
-// monitoring samples below see the global stage's true load instead of the
-// zero a held merge used to report. The daemon logs the stage split, the
-// per-stage measured loads each day, and (when mid-day sampling is on) the
-// per-stage loads at each sample.
+// monitoring samples see the global stage's true load instead of the zero a
+// held merge used to report.
 //
 // When load shedding is enabled (-shed utility|random), the daemon also
 // closes the paper's overload loop: each period's measured loads feed a
@@ -37,762 +46,39 @@
 // water marks and the per-shard skew against a 2x threshold, and calls
 // engine.Reshard to grow, shrink or rebalance the parallel stage at that
 // boundary — keyed operator state moves with its keys, so no tuple is lost
-// or duplicated. Decisions are logged like the shed/replan decisions.
+// or duplicated.
 //
-// Usage:
+// # serve
 //
-//	dsmsd [-days N] [-clients N] [-capacity F] [-mechanism CAT] [-seed N]
-//	      [-tuples N] [-executor sharded|runtime|sync] [-shards N] [-batch N]
-//	      [-heartbeat K] [-shed off|utility|random] [-rate F] [-replan K]
-//	      [-elastic] [-shard-hwm F] [-shard-lwm F] [-pprof ADDR]
+// The live service plane: a long-running HTTP/JSON API where tenants
+// register, submit CQL query templates with QoS graphs and bids, push
+// stream tuples, and receive results over per-query SSE streams while
+// admission cycles meter their usage onto the billing ledger. See
+// internal/server for the API surface and cmd/dsmsd/README.md for a
+// quickstart.
 package main
 
 import (
-	"flag"
 	"fmt"
-	"math/rand"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
-	"runtime"
-	"time"
-
-	"repro/internal/auction"
-	"repro/internal/cloud"
-	"repro/internal/engine"
-	"repro/internal/market"
-	"repro/internal/qos"
-	"repro/internal/sched"
-	"repro/internal/shed"
-	"repro/internal/stream"
+	"strings"
 )
 
 func main() {
-	var (
-		days      = flag.Int("days", 5, "number of subscription periods to simulate")
-		clients   = flag.Int("clients", 40, "number of client users")
-		capacity  = flag.Float64("capacity", 60, "server capacity")
-		mechanism = flag.String("mechanism", "CAT", "admission mechanism: CAR CAF CAF+ CAT CAT+ GV Two-price")
-		seed      = flag.Int64("seed", 7, "simulation seed")
-		tuples    = flag.Int("tuples", 2000, "tuples pushed per stream per day")
-		executor  = flag.String("executor", "sharded", "execution backend: sharded (staged), runtime, or sync")
-		shards    = flag.Int("shards", 0, "shard count for the sharded executor (0 = GOMAXPROCS)")
-		batch     = flag.Int("batch", 64, "tuples per executor batch")
-		heartbeat = flag.Int("heartbeat", 0, "sharded executor: emit source punctuation every K batches so quiet exchange shards release mid-run (0 = every batch, negative = disable)")
-		shedMode  = flag.String("shed", "off", "load shedding under overload: off, utility (QoS slope) or random")
-		rate      = flag.Float64("rate", 1, "input tuples per tick; the auction prices loads at rate 1, so >1 overloads the executed period")
-		replan    = flag.Int("replan", 4, "with -shed or -elastic: sample measured stats this many times within each day (0 = plan only at period start)")
-		elastic   = flag.Bool("elastic", false, "grow/shrink/rebalance the staged executor's shards at period boundaries from measured load and skew")
-		shardHWM  = flag.Float64("shard-hwm", 8, "with -elastic: grow when measured offered load per shard exceeds this")
-		shardLWM  = flag.Float64("shard-lwm", 1, "with -elastic: shrink when measured offered load per shard falls below this")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) to profile the executing days live")
-	)
-	flag.Parse()
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "dsmsd: pprof server:", err)
-			}
-		}()
-		fmt.Printf("dsmsd: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	args := os.Args[1:]
+	// Back-compat: a bare flag list (or nothing) is the simulation, which
+	// was the whole program before the service plane existed.
+	cmd := "sim"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
 	}
-	mech, err := auction.ByName(*mechanism, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsmsd:", err)
-		os.Exit(1)
-	}
-	switch *executor {
-	case "sharded", "runtime", "sync":
+	switch cmd {
+	case "sim":
+		runSimCmd(args)
+	case "serve":
+		runServeCmd(args)
 	default:
-		// Reject up front: by the time the first period needs an executor,
-		// the auction has already closed and billed clients.
-		fmt.Fprintf(os.Stderr, "dsmsd: unknown executor %q (want sharded, runtime or sync)\n", *executor)
-		os.Exit(1)
-	}
-	switch *shedMode {
-	case "off", "utility", "random":
-	default:
-		fmt.Fprintf(os.Stderr, "dsmsd: unknown shed policy %q (want off, utility or random)\n", *shedMode)
-		os.Exit(1)
-	}
-	if *rate <= 0 {
-		fmt.Fprintln(os.Stderr, "dsmsd: -rate must be positive")
-		os.Exit(1)
-	}
-	if *replan < 0 {
-		fmt.Fprintln(os.Stderr, "dsmsd: -replan must be >= 0")
-		os.Exit(1)
-	}
-	if *elastic && *executor != "sharded" {
-		fmt.Fprintln(os.Stderr, "dsmsd: -elastic requires the sharded (staged) executor")
-		os.Exit(1)
-	}
-	if *shardLWM >= *shardHWM {
-		fmt.Fprintln(os.Stderr, "dsmsd: -shard-lwm must be below -shard-hwm")
-		os.Exit(1)
-	}
-	cfg := daemonConfig{
-		days: *days, clients: *clients, capacity: *capacity, seed: *seed,
-		tuplesPerDay: *tuples, executor: *executor, shards: *shards, batch: *batch,
-		heartbeat: *heartbeat, shed: *shedMode, rate: *rate, replan: *replan,
-		elastic: *elastic, shardHWM: *shardHWM, shardLWM: *shardLWM,
-	}
-	if err := run(mech, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "dsmsd:", err)
-		os.Exit(1)
-	}
-}
-
-type daemonConfig struct {
-	days, clients int
-	capacity      float64
-	seed          int64
-	tuplesPerDay  int
-	executor      string
-	shards, batch int
-	heartbeat     int
-	shed          string
-	rate          float64
-	replan        int
-	elastic       bool
-	shardHWM      float64
-	shardLWM      float64
-}
-
-// dayTicks is the metering-clock span of one executed day: pushing
-// tuplesPerDay tuples over fewer ticks than tuples models a feed arriving
-// faster than the unit rate the auction priced, which is what overloads the
-// executor and engages the shedder.
-func (c daemonConfig) dayTicks() int64 {
-	ticks := int64(float64(c.tuplesPerDay) / c.rate)
-	if ticks < 1 {
-		ticks = 1
-	}
-	return ticks
-}
-
-var symbols = []string{"AAA", "BBB", "CCC", "DDD", "EEE", "FFF"}
-
-// clientSpec is one client's recurring query: a template instantiated with
-// a symbol and threshold, re-submitted daily with a drifting bid.
-type clientSpec struct {
-	user      int
-	template  int // 0: alert, 1: vwap, 2: correlate
-	symbol    string
-	threshold float64
-	baseBid   float64
-}
-
-// defaultQoS is the latency-utility graph applied to every admitted query:
-// full utility through 2 ticks of queueing delay, decaying to zero at 20.
-var defaultQoS = qos.MustGraph(
-	qos.Point{Latency: 2, Utility: 1},
-	qos.Point{Latency: 20, Utility: 0},
-)
-
-func run(mech auction.Mechanism, cfg daemonConfig) error {
-	rng := rand.New(rand.NewSource(cfg.seed))
-	feed := market.MustFeed(cfg.seed, symbols...)
-	center := cloud.New(mech, cfg.capacity)
-	center.DeclareSource("stocks", market.QuoteSchema)
-	center.DeclareSource("news", market.NewsSchema)
-
-	specs := make([]clientSpec, cfg.clients)
-	for i := range specs {
-		specs[i] = clientSpec{
-			user:      i + 1,
-			template:  rng.Intn(3),
-			symbol:    symbols[rng.Intn(len(symbols))],
-			threshold: 50 + float64(rng.Intn(4))*50,
-			baseBid:   5 + rng.Float64()*95,
-		}
-	}
-
-	nShards := cfg.shards
-	if nShards <= 0 {
-		nShards = runtime.GOMAXPROCS(0)
-	}
-	// shedder, when enabled, is the second feedback loop: measured loads in,
-	// per-query drop ratios out, installed in every day's executor. The one
-	// instance persists across days so a plan computed from day N shapes day
-	// N+1 — same cadence as the measured-load repricing below.
-	var shedder *shed.Shedder
-	switch cfg.shed {
-	case "utility":
-		shedder = shed.New(shed.UtilitySlope{})
-	case "random":
-		shedder = shed.New(shed.Random{})
-	}
-	fmt.Printf("dsmsd: %d clients, capacity %.0f, mechanism %s, executor %s, shedding %s\n\n",
-		cfg.clients, cfg.capacity, mech.Name(), describeExecutor(cfg.executor, nShards), cfg.shed)
-
-	// measured carries per-operator loads from one day's execution into the
-	// next day's auction: the closed monitoring-pricing loop.
-	measured := make(map[string]float64)
-	for day := 0; day < cfg.days; day++ {
-		// Full submissions (with Deploy) stay with the daemon, which owns
-		// execution; the center sees auction-only copies and handles
-		// admission and billing.
-		full := make(map[string]cloud.Submission, len(specs))
-		for _, spec := range specs {
-			// Bids drift day to day: demand shifts, admissions change, the
-			// executed plan changes with them.
-			bid := spec.baseBid * (0.8 + 0.4*rng.Float64())
-			sub := reprice(buildSubmission(spec, bid), measured)
-			full[sub.Name] = sub
-			auctionOnly := sub
-			auctionOnly.Deploy = nil
-			if err := center.Submit(auctionOnly); err != nil {
-				return err
-			}
-		}
-		report, err := center.ClosePeriod()
-		if err != nil {
-			return err
-		}
-
-		// Sanity check at declared loads: a correct mechanism never admits
-		// an unschedulable set.
-		schedNote := "schedulable"
-		if _, err := sched.ValidateAdmission(report.Outcome, 200, sched.RoundRobin{}); err != nil {
-			schedNote = "NOT SCHEDULABLE"
-		}
-		fmt.Printf("day %d: admitted %d/%d  revenue $%.2f  utilization %.0f%%  (%s)\n",
-			day+1, len(report.Admitted), len(report.Admitted)+len(report.Rejected),
-			report.Revenue, 100*report.Utilization, schedNote)
-
-		if len(report.Admitted) == 0 {
-			continue
-		}
-
-		// Compile the winners into one shared plan and execute the day.
-		winners := make([]cloud.Submission, 0, len(report.Admitted))
-		for _, a := range report.Admitted {
-			winners = append(winners, full[a.Name])
-		}
-		// Replan shedding for the set about to run, before execution — a
-		// stale plan from yesterday's (different) admitted set must never
-		// shed a winner set that fits.
-		if shedder != nil {
-			planShedding(shedder, cfg, winners, measured)
-		}
-		exec, err := startExecutor(cfg, nShards, center.Sources(), winners, shedder)
-		if err != nil {
-			return err
-		}
-		var split *engine.StageSplit
-		var staged *engine.Staged
-		if st, ok := exec.(*engine.Staged); ok {
-			staged = st
-			split = st.Split()
-			fmt.Printf("  stage split: %s\n", split)
-		}
-		// Mid-period monitoring: sample measured stats -replan times within
-		// the day, update the shed plan (so a burst inside a period is shed
-		// before the day ends — the executors re-resolve their cached ratios
-		// when the plan generation moves) and drive the elasticity
-		// controller (grow/shrink/rebalance the staged shards at the sample
-		// boundary from offered load per shard and measured skew).
-		var advanced int64
-		var progress func(int)
-		if (shedder != nil || (cfg.elastic && staged != nil)) && cfg.replan > 0 {
-			interval := cfg.tuplesPerDay / (cfg.replan + 1)
-			if interval < 1 {
-				interval = 1
-			}
-			next := interval
-			progress = func(pushed int) {
-				if pushed < next || pushed >= cfg.tuplesPerDay {
-					return
-				}
-				next += interval
-				ticksSoFar := int64(float64(pushed) / cfg.rate)
-				if ticksSoFar <= advanced {
-					return
-				}
-				exec.Advance(ticksSoFar - advanced)
-				advanced = ticksSoFar
-				// SettleStats, not Stats: the concurrent executors meter
-				// asynchronously, and the simulated day outruns their
-				// operator goroutines.
-				loads := engine.SettleStats(exec)
-				// Mid-run per-stage load: with punctuation flowing, a quiet
-				// exchange edge no longer hides the global stage's work from
-				// mid-day samples — log what the replan decisions now see.
-				// (Before heartbeats, this line read global 0.00 on any
-				// quiet-edge day until Stop.)
-				if split != nil && !split.FullyParallel() {
-					par, glob := stageLoads(split, loads)
-					fmt.Printf("  mid-day stage load @%d tuples: parallel %.2f, global %.2f\n", pushed, par, glob)
-				}
-				if shedder != nil {
-					graphs := make(map[string]*qos.Graph)
-					for name := range qos.QueryOperators(loads) {
-						graphs[name] = defaultQoS
-					}
-					queries := shed.QueriesFromLoads(loads, graphs, advanced)
-					drops := shedder.Update(cfg.capacity, shed.OfferedLoad(loads), queries)
-					fmt.Printf("  mid-day replan @%d tuples: offered %.2f/%.0f, %d queries shedding\n",
-						pushed, shed.OfferedLoad(loads), cfg.capacity, len(drops))
-				}
-				if cfg.elastic && staged != nil {
-					maybeReshard(staged, loads, cfg, pushed)
-				}
-			}
-		}
-		var memBefore, memAfter runtime.MemStats
-		runtime.ReadMemStats(&memBefore)
-		dayStart := time.Now()
-		batches, err := pumpDay(exec, feed, cfg.tuplesPerDay, cfg.batch, progress)
-		if err != nil {
-			return err
-		}
-		exec.Advance(cfg.dayTicks() - advanced)
-		exec.Stop()
-		elapsed := time.Since(dayStart).Seconds()
-		runtime.ReadMemStats(&memAfter)
-		// One line of hot-path health per executed day: push rate through the
-		// day (Stop's drain included, so the whole dataflow is accounted) and
-		// heap allocations per pushed tuple — the number batch pooling and
-		// operator fusion exist to hold down.
-		dayTuples := cfg.tuplesPerDay + (cfg.tuplesPerDay+4)/5
-		fmt.Printf("  day throughput: %d batches in %.2fs — %.0f batches/s, %.0f tuples/s, %.1f heap allocs/tuple\n",
-			batches, elapsed, float64(batches)/elapsed, float64(dayTuples)/elapsed,
-			float64(memAfter.Mallocs-memBefore.Mallocs)/float64(dayTuples))
-
-		// Feed the measured loads forward and judge the executed period. The
-		// auction prices demand, so it sees the OFFERED load — shed tuples'
-		// cost included. Pricing the post-shed residue would under-declare
-		// exactly the operators the shedder throttled and re-admit an
-		// over-capacity set next day.
-		loads := exec.Stats()
-		for _, nl := range loads {
-			if nl.Tuples+nl.ShedTuples > 0 {
-				measured[nl.Name] = nl.OfferedLoad
-			}
-		}
-		utility := evaluateQoS(cfg.capacity, loads)
-		for _, a := range report.Admitted {
-			fmt.Printf("  %-18s user %2d  bid $%6.2f  paid $%6.2f  results %d\n",
-				a.Name, a.User, a.Bid, a.Payment, len(exec.Results(a.Name)))
-		}
-		fmt.Printf("  measured: %d operators, total load %.2f/%.0f (offered %.2f), mean QoS utility %.2f\n",
-			len(loads), shed.ExecutedLoad(loads), cfg.capacity, shed.OfferedLoad(loads), utility)
-		if split != nil && !split.FullyParallel() {
-			par, glob := stageLoads(split, loads)
-			fmt.Printf("  per-stage load: parallel %.2f, global %.2f\n", par, glob)
-		}
-
-		if shedder != nil {
-			reportShedding(loads)
-		}
-	}
-	fmt.Printf("\ntotal revenue: $%.2f\n", center.Ledger().Revenue(-1))
-	fmt.Println("top accounts:")
-	for _, u := range center.Ledger().TopUsers(5) {
-		fmt.Printf("  user %2d: $%.2f\n", u, center.Ledger().Balance(u))
-	}
-	return nil
-}
-
-// stageLoads splits measured per-node loads by the stage each node runs in.
-func stageLoads(split *engine.StageSplit, loads []engine.NodeLoad) (parallel, global float64) {
-	for _, nl := range loads {
-		if split.Global[nl.ID] {
-			global += nl.Load
-		} else {
-			parallel += nl.Load
-		}
-	}
-	return parallel, global
-}
-
-func describeExecutor(kind string, shards int) string {
-	if kind == "sharded" {
-		return fmt.Sprintf("sharded×%d", shards)
-	}
-	return kind
-}
-
-// startExecutor compiles the winners and starts the configured backend with
-// the (possibly nil) shedder installed. The sharded backend is the staged
-// executor: every admitted plan runs on it unconditionally — plans with
-// global (ungrouped) operators split into a keyed parallel stage and a
-// global stage connected by exchange edges, and the partition keys are
-// derived from the plan's own GroupBy/JoinOn metadata rather than assumed
-// to be field 0.
-func startExecutor(cfg daemonConfig, nShards int, sources []cloud.SourceDecl, winners []cloud.Submission, shedder *shed.Shedder) (engine.Executor, error) {
-	factory := func() (*engine.Plan, error) { return cloud.CompilePlan(sources, winners) }
-	// A typed-nil *shed.Shedder must become a true nil interface, or the
-	// executors would take the shedding path and call methods on nil.
-	var hook engine.Shedder
-	if shedder != nil {
-		hook = shedder
-	}
-	switch cfg.executor {
-	case "sharded":
-		return engine.StartStaged(factory, engine.StagedConfig{
-			Shards: nShards, Buf: cfg.batch, Shedder: hook, Heartbeat: cfg.heartbeat,
-		})
-	case "runtime":
-		plan, err := factory()
-		if err != nil {
-			return nil, err
-		}
-		return engine.StartRuntime(plan, engine.RuntimeConfig{Buf: cfg.batch, Shedder: hook})
-	case "sync":
-		plan, err := factory()
-		if err != nil {
-			return nil, err
-		}
-		eng, err := engine.New(plan)
-		if err != nil {
-			return nil, err
-		}
-		eng.SetShedder(hook)
-		return eng, nil
-	default:
-		return nil, fmt.Errorf("unknown executor %q (want sharded, runtime or sync)", cfg.executor)
-	}
-}
-
-// maybeReshard is the per-period elasticity controller: from the settled
-// loads it derives the offered load per parallel shard and the per-shard
-// executed-load skew, and reshapes the staged executor at this boundary —
-// grow (double, capped at max(4, twice GOMAXPROCS)) when a shard carries
-// more offered load than the high-water mark, shrink (halve) when it carries
-// less than the low-water mark, and rebalance at the same width when one
-// shard executes more than twice its fair share. Decisions (and refusals,
-// e.g. an operator without state movement) are logged like shed decisions.
-func maybeReshard(staged *engine.Staged, loads []engine.NodeLoad, cfg daemonConfig, pushed int) {
-	n := staged.NumShards()
-	if n == 0 {
-		return
-	}
-	split := staged.Split()
-	var parallelOffered float64
-	for _, nl := range loads {
-		if !split.Global[nl.ID] {
-			parallelOffered += nl.OfferedLoad
-		}
-	}
-	perShard := parallelOffered / float64(n)
-	var maxLoad, totalLoad float64
-	for _, sl := range staged.ShardStats() {
-		var l float64
-		for _, nl := range sl.Loads {
-			l += nl.Load
-		}
-		if l > maxLoad {
-			maxLoad = l
-		}
-		totalLoad += l
-	}
-	skew := 1.0
-	if totalLoad > 0 {
-		skew = maxLoad * float64(n) / totalLoad
-	}
-	// Cap growth at twice the core count, but never below 4 so elasticity
-	// stays demonstrable on small machines.
-	maxShards := 2 * runtime.GOMAXPROCS(0)
-	if maxShards < 4 {
-		maxShards = 4
-	}
-	target, reason := n, ""
-	switch {
-	case perShard > cfg.shardHWM && n < maxShards:
-		target = 2 * n
-		if target > maxShards {
-			target = maxShards
-		}
-		reason = "grow"
-	case perShard < cfg.shardLWM && n > 1:
-		target = (n + 1) / 2
-		reason = "shrink"
-	case skew > 2 && n > 1:
-		reason = "rebalance"
-	default:
-		return
-	}
-	if err := staged.Reshard(target); err != nil {
-		fmt.Printf("  reshard @%d tuples: %s %d→%d refused: %v\n", pushed, reason, n, target, err)
-		return
-	}
-	fmt.Printf("  reshard @%d tuples: %s %d→%d shards (offered %.2f/shard vs hwm %.1f lwm %.1f, skew %.1fx)\n",
-		pushed, reason, n, target, perShard, cfg.shardHWM, cfg.shardLWM, skew)
-}
-
-// planShedding replans for the winner set about to execute. Expected
-// per-operator load is the auction's declared value — already
-// measurement-informed for operators that ran before (reprice) — scaled by
-// -rate for never-measured operators, whose declarations assume a
-// unit-rate feed. This is exactly the gap shedding covers that admission
-// cannot: the auction admits on declared loads, and the shedder absorbs
-// the surplus a faster-than-declared feed delivers before any measurement
-// exists. Once every operator is measured, repricing lets the auction
-// regulate and the plan stays empty. The planned ratios are printed so
-// utility-slope and random runs compare day by day.
-func planShedding(shedder *shed.Shedder, cfg daemonConfig, winners []cloud.Submission, measured map[string]float64) {
-	// Expected load per operator key; shared operators count once.
-	expected := make(map[string]float64)
-	for _, w := range winners {
-		for _, op := range w.Operators {
-			if _, ok := measured[op.Key]; ok {
-				expected[op.Key] = op.Load
-			} else {
-				expected[op.Key] = op.Load * cfg.rate
-			}
-		}
-	}
-	offered := 0.0
-	for _, load := range expected {
-		offered += load
-	}
-	queries := make([]shed.Query, 0, len(winners))
-	for _, w := range winners {
-		cost := 0.0
-		for _, op := range w.Operators {
-			cost += expected[op.Key]
-		}
-		queries = append(queries, shed.Query{
-			Name:  w.Name,
-			Graph: defaultQoS,
-			// Every query's ingress sees the full feed rate; its per-tuple
-			// cost is its expected load spread over that rate, keeping
-			// sheddable = Rate × CostPerTuple = the query's expected load.
-			Rate:         cfg.rate,
-			CostPerTuple: cost / cfg.rate,
-		})
-	}
-	drops := shedder.Update(cfg.capacity, offered, queries)
-	if len(drops) == 0 {
-		fmt.Printf("  shed plan: expected load %.2f fits capacity, no shedding today\n", offered)
-		return
-	}
-	for _, d := range drops {
-		fmt.Printf("  shed plan: %s\n", d)
-	}
-}
-
-// reportShedding logs what the finished day actually shed.
-func reportShedding(loads []engine.NodeLoad) {
-	var shedTuples int64
-	var shedUtil float64
-	for _, nl := range loads {
-		shedTuples += nl.ShedTuples
-		shedUtil += nl.ShedUtilityLost
-	}
-	if shedTuples > 0 {
-		fmt.Printf("  shed: %d tuples dropped, %.1f utility lost\n", shedTuples, shedUtil)
-	}
-}
-
-// reprice replaces each operator's declared load with the previous day's
-// measured value where one exists — the feedback step the paper assumes the
-// system performs for its clients.
-func reprice(s cloud.Submission, measured map[string]float64) cloud.Submission {
-	ops := append([]cloud.OperatorSpec(nil), s.Operators...)
-	for i, op := range ops {
-		if m, ok := measured[op.Key]; ok && m > 0 {
-			ops[i].Load = m
-		}
-	}
-	s.Operators = ops
-	return s
-}
-
-// pumpDay pushes one day of synthetic market data in batches and returns how
-// many batches it pushed. The progress callback, when non-nil, is invoked
-// after every pushed quote with the running count — the hook mid-period shed
-// replanning samples on.
-//
-// On backends offering the zero-copy ingress (engine.OwnedBatchPusher) the
-// pump runs the fully recycled loop: each batch buffer is leased from the
-// engine's pool, filled, and pushed owned — no ingress copy, and the buffer
-// re-enters the pool once the dataflow is done with it. The synchronous
-// engine keeps the plain PushBatch path with one reused local buffer.
-func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int, progress func(pushed int)) (batches int, err error) {
-	if batch < 1 {
-		batch = 1
-	}
-	owner, owned := exec.(engine.OwnedBatchPusher)
-	lease := func() []stream.Tuple {
-		if owned {
-			return engine.GetBatch(batch)
-		}
-		return make([]stream.Tuple, 0, batch)
-	}
-	stocks := lease()
-	news := lease()
-	flush := func(source string, pending *[]stream.Tuple) error {
-		if len(*pending) == 0 {
-			return nil
-		}
-		batches++
-		if owned {
-			err := owner.PushOwnedBatch(source, *pending)
-			*pending = lease()
-			return err
-		}
-		err := exec.PushBatch(source, *pending)
-		*pending = (*pending)[:0]
-		return err
-	}
-	for i := 0; i < n; i++ {
-		stocks = append(stocks, feed.Quote())
-		if len(stocks) == batch {
-			if err := flush("stocks", &stocks); err != nil {
-				return batches, err
-			}
-		}
-		if i%5 == 0 {
-			news = append(news, feed.Headline())
-			if len(news) == batch {
-				if err := flush("news", &news); err != nil {
-					return batches, err
-				}
-			}
-		}
-		if progress != nil {
-			progress(i + 1)
-		}
-	}
-	if err := flush("stocks", &stocks); err != nil {
-		return batches, err
-	}
-	if err := flush("news", &news); err != nil {
-		return batches, err
-	}
-	if owned {
-		// The final flushes leased replacement buffers nothing will fill.
-		engine.PutBatch(stocks)
-		engine.PutBatch(news)
-	}
-	return batches, nil
-}
-
-// evaluateQoS simulates the measured operator loads under round-robin
-// scheduling and returns the mean QoS utility across admitted queries
-// (0 when the measured load is not schedulable).
-func evaluateQoS(capacity float64, loads []engine.NodeLoad) float64 {
-	report, err := sched.ValidateMeasured(capacity, loads, 200, sched.RoundRobin{})
-	if err != nil {
-		return 0
-	}
-	queryOps := qos.QueryOperators(loads)
-	graphs := make(map[string]*qos.Graph, len(queryOps))
-	for name := range queryOps {
-		graphs[name] = defaultQoS
-	}
-	evaluated, err := qos.Evaluate(report, graphs, queryOps)
-	if err != nil || len(evaluated) == 0 {
-		return 0
-	}
-	total := 0.0
-	for _, q := range evaluated {
-		total += q.Utility
-	}
-	return total / float64(len(evaluated))
-}
-
-// buildSubmission instantiates a client's template into operators + deploy
-// function. Operator keys encode the full upstream semantics, so identical
-// sub-plans are physically shared across clients; keys double as the
-// operator names the executor reports in Stats, which is what lets measured
-// loads flow back into next-day submissions by key.
-func buildSubmission(spec clientSpec, bid float64) cloud.Submission {
-	switch spec.template {
-	case 0: // alert: stocks where symbol == S and price > T
-		selSym := fmt.Sprintf("sel-sym-%s", spec.symbol)
-		selHigh := fmt.Sprintf("%s-price>%.0f", selSym, spec.threshold)
-		return cloud.Submission{
-			User: spec.user,
-			Name: fmt.Sprintf("alert-%d", spec.user),
-			Bid:  bid,
-			Operators: []cloud.OperatorSpec{
-				{Key: selSym, Load: 2},
-				{Key: selHigh, Load: 1},
-			},
-			Deploy: func(reg *cloud.SharedOps) error {
-				src, err := reg.Source("stocks")
-				if err != nil {
-					return err
-				}
-				sym := reg.Unary(selSym, src, func() stream.Transform {
-					s := spec.symbol
-					return stream.NewFilter(selSym, 2, stream.FieldEqString(0, s))
-				})
-				high := reg.Unary(selHigh, sym, func() stream.Transform {
-					th := spec.threshold
-					return stream.NewFilter(selHigh, 1, stream.FieldCmp(1, stream.Gt, th))
-				})
-				reg.Sink(high)
-				return nil
-			},
-		}
-	case 1: // vwap-ish: avg price over a tumbling window per symbol
-		selSym := fmt.Sprintf("sel-sym-%s", spec.symbol)
-		avg := fmt.Sprintf("%s-avg20", selSym)
-		return cloud.Submission{
-			User: spec.user,
-			Name: fmt.Sprintf("vwap-%d", spec.user),
-			Bid:  bid,
-			Operators: []cloud.OperatorSpec{
-				{Key: selSym, Load: 2},
-				{Key: avg, Load: 3},
-			},
-			Deploy: func(reg *cloud.SharedOps) error {
-				src, err := reg.Source("stocks")
-				if err != nil {
-					return err
-				}
-				sym := reg.Unary(selSym, src, func() stream.Transform {
-					s := spec.symbol
-					return stream.NewFilter(selSym, 2, stream.FieldEqString(0, s))
-				})
-				out := reg.Unary(avg, sym, func() stream.Transform {
-					return stream.MustWindowAgg(avg, 3, stream.WindowSpec{
-						Size: 20, Agg: stream.AggAvg, Field: 1, GroupBy: -1,
-					})
-				})
-				reg.Sink(out)
-				return nil
-			},
-		}
-	default: // correlate: join high-value trades with news on symbol
-		selHigh := fmt.Sprintf("sel-price>%.0f", spec.threshold)
-		join := fmt.Sprintf("join-%s-news", selHigh)
-		return cloud.Submission{
-			User: spec.user,
-			Name: fmt.Sprintf("corr-%d", spec.user),
-			Bid:  bid,
-			Operators: []cloud.OperatorSpec{
-				{Key: selHigh, Load: 2},
-				{Key: "news-pass", Load: 1},
-				{Key: join, Load: 4},
-			},
-			Deploy: func(reg *cloud.SharedOps) error {
-				stocks, err := reg.Source("stocks")
-				if err != nil {
-					return err
-				}
-				news, err := reg.Source("news")
-				if err != nil {
-					return err
-				}
-				high := reg.Unary(selHigh, stocks, func() stream.Transform {
-					th := spec.threshold
-					return stream.NewFilter(selHigh, 2, stream.FieldCmp(1, stream.Gt, th))
-				})
-				pass := reg.Unary("news-pass", news, func() stream.Transform {
-					return stream.NewFilter("news-pass", 1, func(stream.Tuple) bool { return true })
-				})
-				out := reg.Binary(join, high, pass, func() stream.BinaryTransform {
-					return stream.NewHashJoin(join, 4, 0, 0, 16)
-				})
-				reg.Sink(out)
-				return nil
-			},
-		}
+		fmt.Fprintf(os.Stderr, "dsmsd: unknown command %q (want sim or serve)\n", cmd)
+		os.Exit(2)
 	}
 }

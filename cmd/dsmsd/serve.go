@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/cql"
+	"repro/internal/market"
+	"repro/internal/server"
+)
+
+// runServeCmd starts the tenant service plane: the admission auction, the
+// staged executor and the billing ledger behind a long-running HTTP API.
+// The stream catalog matches the simulation's market feeds — stocks
+// (symbol, price, volume) and news (symbol, sentiment) — so the CQL
+// tenants submit over HTTP queries the same schemas `dsmsd sim` executes.
+func runServeCmd(args []string) {
+	fs := flag.NewFlagSet("dsmsd serve", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", "localhost:8080", "HTTP listen address")
+		capacity   = fs.Float64("capacity", 60, "server capacity the admission auction packs against")
+		mechanism  = fs.String("mechanism", "CAT", "admission mechanism: CAR CAF CAF+ CAT CAT+ GV Two-price")
+		seed       = fs.Int64("seed", 7, "auction mechanism seed")
+		meterPrice = fs.Float64("meter-price", 0.1, "usage price per unit of measured load per cycle (0 = admission fees only)")
+		cycle      = fs.Duration("cycle", 0, "run the admission cycle on this period (0 = only on POST /v1/admission/run)")
+		backlog    = fs.Int("backlog", 1024, "per-query result tuples retained for replay to late subscribers")
+	)
+	var ef execFlags
+	ef.register(fs)
+	fs.Parse(args)
+	if ef.executor != "sharded" {
+		// The service plane redeploys plans across admission cycles, which
+		// only the staged executor supports.
+		fmt.Fprintf(os.Stderr, "dsmsd serve: only the sharded (staged) executor is supported, not %q\n", ef.executor)
+		os.Exit(1)
+	}
+	mech, err := auction.ByName(*mechanism, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmsd:", err)
+		os.Exit(1)
+	}
+	logger := log.New(os.Stdout, "dsmsd: ", log.LstdFlags)
+	s, err := server.New(server.Config{
+		Mechanism:  mech,
+		Capacity:   *capacity,
+		MeterPrice: *meterPrice,
+		Exec:       ef.execConfig(nil),
+		Heartbeat:  ef.heartbeat,
+		Catalog: cql.Catalog{
+			"stocks": {Schema: market.QuoteSchema, Rate: 1},
+			"news":   {Schema: market.NewsSchema, Rate: 0.2},
+		},
+		CyclePeriod: *cycle,
+		Backlog:     *backlog,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmsd:", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("serving on http://%s (capacity %.0f, mechanism %s, meter $%.2f/load, cycle %v)",
+		*addr, *capacity, mech.Name(), *meterPrice, *cycle)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "dsmsd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "dsmsd: shutdown:", err)
+	}
+}

@@ -232,6 +232,49 @@
 // loop above, and -rate overloads the executed period relative to the
 // rate the auction priced.
 //
+// # The tenant service plane
+//
+// internal/server turns the same machinery into a live, multi-tenant
+// service: `dsmsd serve` runs a long-lived HTTP/JSON API where tenants
+// submit CQL query templates with bids and QoS graphs, admission cycles
+// auction the candidate set against capacity, winning plans deploy on the
+// staged executor, and results stream back per query over Server-Sent
+// Events through the internal/subscription hub — the paper's for-profit
+// DSMS as an actual service rather than a simulation. Where `dsmsd sim`
+// resets the world every day, the service plane runs one continuous
+// admission cycle loop (POST /v1/admission/run, or -cycle for a timer):
+// each cycle settles the running executor, feeds the MEASURED per-operator
+// loads into the next auction's prices (the same closed loop as sim), bills
+// metered usage (MeterPrice × measured load per query) onto the
+// billing.Ledger next to the admission payments, and redeploys the new
+// winner set. Between cycles, tenants push tuples into the declared
+// streams and the deployed plan's sink taps publish each result batch into
+// the hub, which fans it out to subscribers with a bounded replay ring per
+// query and drop-oldest (counted, never blocking) delivery to slow
+// consumers — backpressure can never reach the executor.
+//
+// The API surface:
+//
+//	POST /v1/tenants                            register {"name": ...} → {"user": N}
+//	POST /v1/queries                            submit CQL + bid + QoS
+//	GET  /v1/queries[?tenant=T]                 list queries and statuses
+//	GET  /v1/queries/{tenant}/{name}            one query: status, payment, loads
+//	GET  /v1/queries/{tenant}/{name}/results    stream results (SSE; ?max=N to bound)
+//	POST /v1/streams/{source}                   push tuples {"tuples": [{"ts", "vals"}]}
+//	POST /v1/admission/run                      run one admission cycle now
+//	GET  /v1/load /v1/prices /v1/invoices /v1/stats /v1/healthz
+//
+// A query submission and its streamed result:
+//
+//	POST /v1/queries
+//	{"tenant": "acme", "name": "alerts", "bid": 10,
+//	 "cql": "SELECT * FROM stocks WHERE price > 100",
+//	 "qos": [{"latency": 2, "utility": 1}, {"latency": 20, "utility": 0}]}
+//	→ 201 {"id": "acme/alerts", "status": "pending", "declared_load": ...}
+//
+//	GET /v1/queries/acme/alerts/results        (after an admission cycle)
+//	data: [{"ts": 42, "vals": ["ACME", 150.5, 10]}]
+//
 // The root package holds the benchmark harness (bench_test.go) that
 // regenerates every table and figure in the paper's Section VI; the library
 // lives under internal/ (see DESIGN.md for the module map), the runnable

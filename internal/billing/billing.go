@@ -11,14 +11,28 @@ import (
 )
 
 // Invoice records one charge: a user owes Amount for running Query during
-// Period.
+// Period. Kind distinguishes the paper's per-period auction payment
+// (KindAdmission) from the service plane's usage metering (KindUsage); the
+// empty string reads as KindAdmission, so invoices exported before the
+// field existed restore unchanged.
 type Invoice struct {
 	ID     int
 	Period int
 	User   int
 	Query  string
 	Amount float64
+	Kind   string `json:",omitempty"`
 }
+
+// Invoice kinds.
+const (
+	// KindAdmission is an auction payment: the critical value charged for
+	// holding a subscription through one period.
+	KindAdmission = "admission"
+	// KindUsage is a metered charge: price per unit of measured operator
+	// load the query imposed on the center during one period.
+	KindUsage = "usage"
+)
 
 // Ledger accumulates invoices and per-user balances. It is safe for
 // concurrent use.
@@ -62,11 +76,27 @@ func (l *Ledger) Charge(period, user int, queryName string, amount float64) (Inv
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	inv := Invoice{ID: l.nextID, Period: period, User: user, Query: queryName, Amount: amount}
+	return l.record(Invoice{Period: period, User: user, Query: queryName, Amount: amount, Kind: KindAdmission}), nil
+}
+
+// ChargeUsage records a metered-usage invoice: amount is the measured load
+// the query imposed during the period times the center's metering price.
+func (l *Ledger) ChargeUsage(period, user int, queryName string, amount float64) (Invoice, error) {
+	if amount < 0 {
+		return Invoice{}, fmt.Errorf("billing: negative usage charge %.4f for user %d", amount, user)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.record(Invoice{Period: period, User: user, Query: queryName, Amount: amount, Kind: KindUsage}), nil
+}
+
+// record issues the next invoice ID and books the invoice; callers hold mu.
+func (l *Ledger) record(inv Invoice) Invoice {
+	inv.ID = l.nextID
 	l.nextID++
 	l.invoices = append(l.invoices, inv)
-	l.balances[user] += amount
-	return inv, nil
+	l.balances[inv.User] += inv.Amount
+	return inv
 }
 
 // Balance returns the total charged to a user across all periods.

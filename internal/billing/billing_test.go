@@ -100,3 +100,48 @@ func mustCharge(t *testing.T, l *Ledger, period, user int, amount float64) {
 		t.Fatal(err)
 	}
 }
+
+func TestChargeUsageKinds(t *testing.T) {
+	l := NewLedger()
+	adm, err := l.Charge(3, 1, "q1", 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Kind != KindAdmission {
+		t.Errorf("Charge kind = %q, want %q", adm.Kind, KindAdmission)
+	}
+	use, err := l.ChargeUsage(3, 1, "q1", 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if use.Kind != KindUsage {
+		t.Errorf("ChargeUsage kind = %q, want %q", use.Kind, KindUsage)
+	}
+	if use.ID != adm.ID+1 {
+		t.Errorf("usage invoice ID = %d, want %d: both kinds share one ID sequence", use.ID, adm.ID+1)
+	}
+	if _, err := l.ChargeUsage(3, 1, "q1", -1); err == nil {
+		t.Error("negative usage charge accepted, want error")
+	}
+	if got := l.Balance(1); got != 3.25 {
+		t.Errorf("balance = %v, want 3.25: both kinds accrue to the balance", got)
+	}
+	if got := l.Revenue(3); got != 3.25 {
+		t.Errorf("revenue = %v, want 3.25", got)
+	}
+
+	// Round-trip through Restore, including a legacy invoice with no Kind.
+	invs := l.Invoices()
+	legacy := Invoice{ID: len(invs), Period: 4, User: 2, Query: "q2", Amount: 1}
+	restored, err := Restore(append(invs, legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Invoices()
+	if got[0].Kind != KindAdmission || got[1].Kind != KindUsage || got[2].Kind != "" {
+		t.Errorf("restored kinds = %q/%q/%q, want admission/usage/(empty legacy)", got[0].Kind, got[1].Kind, got[2].Kind)
+	}
+	if restored.Balance(1) != 3.25 || restored.Balance(2) != 1 {
+		t.Errorf("restored balances = %v/%v, want 3.25/1", restored.Balance(1), restored.Balance(2))
+	}
+}

@@ -17,20 +17,23 @@ import (
 	"repro/internal/stream"
 )
 
-// OperatorSpec declares one operator of a submitted query. Key identifies
-// the operator globally: two submissions declaring the same Key share one
-// physical operator (and its load is paid once) — the paper's shared
-// processing. Load is the operator's estimated fraction of server capacity
-// (c_j); the engine's measured loads can be fed back through it.
-type OperatorSpec struct {
-	Key  string
-	Load float64
-}
+// OperatorSpec is the shared submission vocabulary (see query.OperatorSpec):
+// Key identifies the operator globally — two submissions declaring the same
+// Key share one physical operator, and its load is paid once — and Load is
+// the operator's estimated fraction of server capacity. The alias keeps one
+// spec type across both admission paths (cloud and subscription), so a
+// compiled operator list submits unchanged to either.
+type OperatorSpec = query.OperatorSpec
 
 // Submission is one client's entry into the next period's auction.
 type Submission struct {
 	// User is the submitting principal (billing account).
 	User int
+	// Tenant optionally names the submitting service-plane tenant; the
+	// simulator's synthetic users leave it empty. It rides through the
+	// auction so PeriodReport entries can be routed back to the tenant's
+	// session without a side table.
+	Tenant string
 	// Name identifies the query; it is also the engine sink name. Names
 	// must be unique within a period.
 	Name string
@@ -57,6 +60,7 @@ type DeployFunc func(reg *SharedOps) error
 type AdmittedQuery struct {
 	Name    string
 	User    int
+	Tenant  string `json:",omitempty"`
 	Bid     float64
 	Payment float64
 }
@@ -212,7 +216,7 @@ func (c *Center) ClosePeriod() (*PeriodReport, error) {
 			return nil, err
 		}
 		report.Admitted = append(report.Admitted, AdmittedQuery{
-			Name: name, User: s.User, Bid: s.Bid, Payment: out.Payment(id),
+			Name: name, User: s.User, Tenant: s.Tenant, Bid: s.Bid, Payment: out.Payment(id),
 		})
 		winners = append(winners, s)
 	}

@@ -353,7 +353,7 @@ func TestGlobalWindowQueryOnStagedBackend(t *testing.T) {
 	}
 	want := push(eng)
 
-	st, err := engine.StartStaged(factory, engine.StagedConfig{Shards: 4})
+	st, err := engine.StartStaged(factory, engine.StagedConfig{ExecConfig: engine.ExecConfig{Shards: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}

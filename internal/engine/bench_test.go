@@ -124,7 +124,7 @@ func driveExecutor(b *testing.B, ex Executor, batches [][]stream.Tuple) {
 // CI: a regression here means period boundaries stall the feed longer.
 func BenchmarkReshard(b *testing.B) {
 	st, err := StartStaged(func() (*Plan, error) { return benchKeyedPlan(), nil },
-		StagedConfig{Shards: 2})
+		StagedConfig{ExecConfig: ExecConfig{Shards: 2}})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func BenchmarkReshard(b *testing.B) {
 // watermark bookkeeping in the merge loop stays cheap.
 func BenchmarkExchangeQuietShard(b *testing.B) {
 	st, err := StartStaged(func() (*Plan, error) { return benchPlan(4), nil },
-		StagedConfig{Shards: 4})
+		StagedConfig{ExecConfig: ExecConfig{Shards: 4}})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -254,9 +254,7 @@ func BenchmarkFusedPrefix(b *testing.B) {
 		disable bool
 	}{{"fused", false}, {"unfused", true}} {
 		b.Run(mode.name, func(b *testing.B) {
-			rt, err := StartRuntime(benchDeepPlan(), RuntimeConfig{
-				Buf: 256, Taps: recycleTap(), DisableFusion: mode.disable,
-			})
+			rt, err := StartRuntime(benchDeepPlan(), RuntimeConfig{ExecConfig: ExecConfig{Buf: 256, DisableFusion: mode.disable}, Taps: recycleTap()})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -271,14 +269,14 @@ func BenchmarkFusedPrefix(b *testing.B) {
 // by cmd/benchgate in CI.
 func BenchmarkPushOwnedBatch(b *testing.B) {
 	b.Run("owned", func(b *testing.B) {
-		rt, err := StartRuntime(benchDeepPlan(), RuntimeConfig{Buf: 256, Taps: recycleTap()})
+		rt, err := StartRuntime(benchDeepPlan(), RuntimeConfig{ExecConfig: ExecConfig{Buf: 256}, Taps: recycleTap()})
 		if err != nil {
 			b.Fatal(err)
 		}
 		driveOwned(b, rt, benchDeepTemplate())
 	})
 	b.Run("copied", func(b *testing.B) {
-		rt, err := StartRuntime(benchDeepPlan(), RuntimeConfig{Buf: 256, Taps: recycleTap()})
+		rt, err := StartRuntime(benchDeepPlan(), RuntimeConfig{ExecConfig: ExecConfig{Buf: 256}, Taps: recycleTap()})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -84,21 +84,17 @@ type sidedBatch struct {
 const DefaultRuntimeBuf = 64
 
 // RuntimeConfig tunes StartRuntime. The zero value is usable: a
-// DefaultRuntimeBuf-batch buffer per edge and no load shedding.
+// DefaultRuntimeBuf-batch buffer per edge and no load shedding. The shared
+// knobs (Buf, Shedder, DisableFusion; Shards is ignored here) live in the
+// embedded ExecConfig. The runtime's shedding sits at the source-ingress
+// edges: the planned ratio of tuples is dropped before the first operator,
+// and ingress channel sends become non-blocking — a full ingress channel
+// drops the batch (counted per node as shed overflow) instead of stalling
+// the source. Interior edges keep blocking sends, so a slow interior
+// operator backs pressure up to the ingress where the shedder absorbs it;
+// sources never stall.
 type RuntimeConfig struct {
-	// Buf is the per-edge channel buffer in batches (not tuples); <= 0 means
-	// DefaultRuntimeBuf. It is the runtime's backpressure knob: deeper
-	// buffers absorb longer bursts before producers block (or, with a
-	// Shedder installed, before ingress overflow shedding begins).
-	Buf int
-	// Shedder, when non-nil, turns on load shedding at the source-ingress
-	// edges: the planned ratio of tuples is dropped before the first
-	// operator, and ingress channel sends become non-blocking — a full
-	// ingress channel drops the batch (counted per node as shed overflow)
-	// instead of stalling the source. Interior edges keep blocking sends, so
-	// a slow interior operator backs pressure up to the ingress where the
-	// shedder absorbs it; sources never stall.
-	Shedder Shedder
+	ExecConfig
 	// NoShedSources exempts the named sources from the Shedder: their
 	// ingress edges keep the lossless blocking path. The staged executor
 	// uses it for exchange sources — interior edges of the staged graph,
@@ -110,14 +106,9 @@ type RuntimeConfig struct {
 	// emitted, instead of accumulating for Results.
 	// Taps are invoked from operator goroutines, possibly concurrently, and
 	// must not block indefinitely — a blocking tap stalls its producer. The
-	// staged executor uses taps as the shard side of exchange edges.
+	// staged executor uses taps as the shard side of exchange edges; the
+	// service plane uses them as per-query result fan-out.
 	Taps map[string]func([]stream.Tuple)
-	// DisableFusion turns off stateless-chain operator fusion, restoring one
-	// goroutine and one channel hop per operator. Fusion changes neither
-	// results nor per-node Stats (the equivalence harness sweeps it on and
-	// off to prove exactly that); the switch exists for that sweep and for
-	// A/B benchmarking.
-	DisableFusion bool
 }
 
 // StartConcurrent builds and starts the runtime over a built plan with the
@@ -129,7 +120,7 @@ func StartConcurrent(p *Plan, buf int) (*Runtime, error) {
 	if buf < 1 {
 		buf = 1
 	}
-	return StartRuntime(p, RuntimeConfig{Buf: buf})
+	return StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf}})
 }
 
 // StartRuntime builds and starts the runtime over a built plan.
@@ -139,10 +130,7 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 			return nil, err
 		}
 	}
-	buf := cfg.Buf
-	if buf < 1 {
-		buf = DefaultRuntimeBuf
-	}
+	buf := cfg.bufOrDefault()
 	r := &Runtime{
 		plan:    p,
 		srcIn:   make(map[string]chan []stream.Tuple),

@@ -1,0 +1,55 @@
+package engine
+
+import "runtime"
+
+// ExecConfig is the knob set every executor constructor shares, embedded in
+// RuntimeConfig, ShardedConfig and StagedConfig so the three stop drifting:
+// one struct carries the shard width, edge buffering, shedding hook and
+// fusion switch to whichever backend a deployment chooses. The zero value
+// is usable everywhere — default width, default buffers, no shedding,
+// fusion on.
+type ExecConfig struct {
+	// Shards is the shard width for the partitioned executors (Sharded's
+	// copies, Staged's parallel stage); 0 means GOMAXPROCS, negative values
+	// are rejected with an error. StartRuntime ignores it — a Runtime is
+	// always a single pipeline.
+	Shards int
+	// Buf is the per-edge channel buffer in batches (not tuples); <= 0
+	// means DefaultRuntimeBuf. It is the backpressure knob: deeper buffers
+	// absorb longer bursts before producers block (or, with a Shedder
+	// installed, before ingress overflow shedding begins).
+	Buf int
+	// Shedder, when non-nil, turns on load shedding at the true
+	// source-ingress edges: the planned ratio of tuples is dropped before
+	// the first operator and ingress sends become non-blocking, so sources
+	// never stall. Each executor documents where its ingress edges are
+	// (RuntimeConfig, ShardedConfig, StagedConfig).
+	Shedder Shedder
+	// DisableFusion turns off stateless-chain operator fusion, restoring
+	// one goroutine and one channel hop per operator. Fusion changes
+	// neither results nor per-node Stats (the equivalence harness sweeps it
+	// on and off to prove exactly that); the switch exists for that sweep
+	// and for A/B benchmarking.
+	DisableFusion bool
+}
+
+// bufOrDefault resolves the configured edge buffer, applying the shared
+// default.
+func (c ExecConfig) bufOrDefault() int {
+	if c.Buf <= 0 {
+		return DefaultRuntimeBuf
+	}
+	return c.Buf
+}
+
+// shardCount validates the configured shard width and resolves the default
+// (clamped GOMAXPROCS), so the partitioned constructors share one rule.
+func (c ExecConfig) shardCount() (int, error) {
+	if err := checkShards(c.Shards); err != nil {
+		return 0, err
+	}
+	if c.Shards == 0 {
+		return clampShards(runtime.GOMAXPROCS(0)), nil
+	}
+	return c.Shards, nil
+}

@@ -84,7 +84,7 @@ func TestShardedReshardPreservesKeyedState(t *testing.T) {
 				initial = 3
 			}
 			sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
-				ShardedConfig{Shards: initial, Buf: 8})
+				ShardedConfig{ExecConfig: ExecConfig{Shards: initial, Buf: 8}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -122,7 +122,7 @@ func TestStagedReshardPreservesState(t *testing.T) {
 				initial = 4
 			}
 			st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
-				StagedConfig{Shards: initial, Buf: 8})
+				StagedConfig{ExecConfig: ExecConfig{Shards: initial, Buf: 8}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -156,7 +156,7 @@ func TestReshardStatsSpanEpochs(t *testing.T) {
 	eng.Advance(ticks)
 	want := eng.Stats()
 
-	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil }, StagedConfig{Shards: 3})
+	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil }, StagedConfig{ExecConfig: ExecConfig{Shards: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,22 +198,22 @@ func TestReshardStatsSpanEpochs(t *testing.T) {
 // errStopped, and a fully global plan treats Reshard as a no-op.
 func TestReshardValidation(t *testing.T) {
 	if _, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
-		ShardedConfig{Shards: -1}); err == nil || !strings.Contains(err.Error(), "negative") {
+		ShardedConfig{ExecConfig: ExecConfig{Shards: -1}}); err == nil || !strings.Contains(err.Error(), "negative") {
 		t.Fatalf("StartSharded(-1) err = %v, want negative-shards rejection", err)
 	}
 	if _, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
-		StagedConfig{Shards: -3}); err == nil || !strings.Contains(err.Error(), "negative") {
+		StagedConfig{ExecConfig: ExecConfig{Shards: -3}}); err == nil || !strings.Contains(err.Error(), "negative") {
 		t.Fatalf("StartStaged(-3) err = %v, want negative-shards rejection", err)
 	}
 
 	// Beyond the partition map's bucket granularity the extra shards could
 	// never receive a tuple; reject instead of idling them silently.
 	if _, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
-		ShardedConfig{Shards: partitionBuckets + 1}); err == nil || !strings.Contains(err.Error(), "bucket") {
+		ShardedConfig{ExecConfig: ExecConfig{Shards: partitionBuckets + 1}}); err == nil || !strings.Contains(err.Error(), "bucket") {
 		t.Fatalf("StartSharded(>buckets) err = %v, want bucket-granularity rejection", err)
 	}
 
-	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{Shards: 2})
+	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{ExecConfig: ExecConfig{Shards: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestReshardValidation(t *testing.T) {
 		p.AddSink("q", w)
 		return p
 	}
-	st, err := StartStaged(func() (*Plan, error) { return globalOnly(), nil }, StagedConfig{Shards: 4})
+	st, err := StartStaged(func() (*Plan, error) { return globalOnly(), nil }, StagedConfig{ExecConfig: ExecConfig{Shards: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestStagedDrainFlushTieOrder(t *testing.T) {
 	eng, _ := New(plan())
 	want := runExecutor(t, eng, tuples, 16, "q")
 
-	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{Shards: 4})
+	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{ExecConfig: ExecConfig{Shards: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,7 @@ func TestReshardRejectsUnmovableKeyedState(t *testing.T) {
 		p.AddSink("q", op)
 		return p
 	}
-	sh, err := StartSharded(func() (*Plan, error) { return plan(), nil }, ShardedConfig{Shards: 2})
+	sh, err := StartSharded(func() (*Plan, error) { return plan(), nil }, ShardedConfig{ExecConfig: ExecConfig{Shards: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +417,7 @@ func TestStagedReshardRebalancesZipfSkew(t *testing.T) {
 	}
 
 	st, err := StartStaged(func() (*Plan, error) { return shardablePlan(), nil },
-		StagedConfig{Shards: shards})
+		StagedConfig{ExecConfig: ExecConfig{Shards: shards}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -470,7 +470,7 @@ func TestStagedReshardRebalancesZipfSkew(t *testing.T) {
 func TestShardedReshardUnderShedding(t *testing.T) {
 	shedder := &stubShedder{ratio: 0.5, util: 1, gen: 1}
 	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
-		ShardedConfig{Shards: 2, Buf: 64, Shedder: shedder})
+		ShardedConfig{ExecConfig: ExecConfig{Shards: 2, Buf: 64, Shedder: shedder}})
 	if err != nil {
 		t.Fatal(err)
 	}

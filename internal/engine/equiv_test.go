@@ -387,7 +387,7 @@ func TestEquivalenceRandomized(t *testing.T) {
 			{"staged-unfused", true, !ownedFirst},
 		} {
 			st, err := StartStaged(func() (*Plan, error) { return es.build(), nil },
-				StagedConfig{Shards: shards, Buf: buf, Heartbeat: heartbeat, DisableFusion: variant.noFusion})
+				StagedConfig{ExecConfig: ExecConfig{Shards: shards, Buf: buf, DisableFusion: variant.noFusion}, Heartbeat: heartbeat})
 			if err != nil {
 				fail("StartStaged (%s): %v", variant.name, err)
 			}
@@ -400,7 +400,7 @@ func TestEquivalenceRandomized(t *testing.T) {
 
 		if split, err := es.build().Analyze(); err == nil && split.FullyParallel() {
 			sh, err := StartSharded(func() (*Plan, error) { return es.build(), nil },
-				ShardedConfig{Shards: shards, Buf: buf, Partition: split.Partition(), DisableFusion: c%4 >= 2})
+				ShardedConfig{ExecConfig: ExecConfig{Shards: shards, Buf: buf, DisableFusion: c%4 >= 2}, Partition: split.Partition()})
 			if err != nil {
 				fail("StartSharded: %v", err)
 			}

@@ -90,7 +90,7 @@ func TestExecutorsAgree(t *testing.T) {
 	gotRT := runExecutor(t, rt, tuples, 64, "raw", "sums")
 
 	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
-		ShardedConfig{Shards: 4, Buf: 8})
+		ShardedConfig{ExecConfig: ExecConfig{Shards: 4, Buf: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestExecutorStatsAgree(t *testing.T) {
 	want := eng.Stats()
 
 	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
-		ShardedConfig{Shards: 3})
+		ShardedConfig{ExecConfig: ExecConfig{Shards: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestPushBatchCallerReusesSlice(t *testing.T) {
 	for name, start := range map[string]func() (Executor, error){
 		"runtime": func() (Executor, error) { return StartConcurrent(shardablePlan(), 4) },
 		"sharded": func() (Executor, error) {
-			return StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{Shards: 2})
+			return StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{ExecConfig: ExecConfig{Shards: 2}})
 		},
 	} {
 		t.Run(name, func(t *testing.T) {
@@ -223,7 +223,7 @@ func TestPushBatchCallerReusesSlice(t *testing.T) {
 
 func TestShardedUnknownSource(t *testing.T) {
 	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
-		ShardedConfig{Shards: 2})
+		ShardedConfig{ExecConfig: ExecConfig{Shards: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestStopDuringPush(t *testing.T) {
 	for name, start := range map[string]func() (Executor, error){
 		"runtime": func() (Executor, error) { return StartConcurrent(shardablePlan(), 1) },
 		"sharded": func() (Executor, error) {
-			return StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{Shards: 2, Buf: 1})
+			return StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{ExecConfig: ExecConfig{Shards: 2, Buf: 1}})
 		},
 	} {
 		t.Run(name, func(t *testing.T) {

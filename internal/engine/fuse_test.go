@@ -25,7 +25,7 @@ func TestFusedSteadyStateZeroAllocs(t *testing.T) {
 	}
 	var delivered atomic.Int64
 	rt, err := StartRuntime(benchDeepPlan(), RuntimeConfig{
-		Buf: 4,
+		ExecConfig: ExecConfig{Buf: 4},
 		Taps: map[string]func([]stream.Tuple){"q": func(ts []stream.Tuple) {
 			n := int64(len(ts))
 			PutBatch(ts) // recycle before signaling, so the pusher's next lease hits the pool

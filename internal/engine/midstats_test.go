@@ -13,7 +13,7 @@ import "testing"
 // computation dsmsd's replan path performs.
 func TestQuietEdgeMidRunStatsAttribution(t *testing.T) {
 	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
-		StagedConfig{Shards: 4})
+		StagedConfig{ExecConfig: ExecConfig{Shards: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestQuietEdgeMidRunStatsAttribution(t *testing.T) {
 // executor's counters are written asynchronously by shard and global-stage
 // goroutines, and SettleStats bridges that gap.
 func TestStagedSettledMidRunStats(t *testing.T) {
-	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil }, StagedConfig{Shards: 2})
+	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil }, StagedConfig{ExecConfig: ExecConfig{Shards: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"hash/maphash"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -15,29 +14,21 @@ import (
 type PartitionFunc func(source string, t stream.Tuple) uint64
 
 // ShardedConfig tunes StartSharded. The zero value is usable: GOMAXPROCS
-// shards, a 64-batch channel buffer per edge, and partitioning by the hash
-// of each tuple's first field.
+// shards, a default channel buffer per edge, and partitioning by the hash
+// of each tuple's first field. The shared knobs live in the embedded
+// ExecConfig; a configured Shedder is installed in every shard runtime —
+// each shard sheds independently at its own ingress edges (per-shard
+// sampler state and overflow accounting against the shared plan), Stats
+// merges the per-shard drop counts by node ID like every other counter,
+// and the shedder carries over to the runtimes a Reshard starts, so a drop
+// plan survives the boundary.
 type ShardedConfig struct {
-	// Shards is the number of shard runtimes; 0 means GOMAXPROCS. Negative
-	// values are rejected with an error.
-	Shards int
-	// Buf is the per-edge channel buffer in batches; <= 0 means 64.
-	Buf int
+	ExecConfig
 	// Partition routes tuples to shards. When nil, StartSharded verifies
 	// via Plan.Analyze that PartitionByField(0) is correct for the plan and
 	// uses it — or returns an error, instead of silently mis-partitioning a
 	// plan keyed on another field.
 	Partition PartitionFunc
-	// Shedder, when non-nil, is installed in every shard runtime: each shard
-	// sheds independently at its own ingress edges (per-shard sampler state
-	// and overflow accounting against the shared plan), and Stats merges the
-	// per-shard drop counts by node ID like every other counter. The shedder
-	// carries over to the runtimes a Reshard starts, so a drop plan survives
-	// the boundary.
-	Shedder Shedder
-	// DisableFusion turns off stateless-chain operator fusion in every shard
-	// runtime (see RuntimeConfig.DisableFusion).
-	DisableFusion bool
 }
 
 // Sharded executes N independent copies of a plan, hash-partitioning source
@@ -135,17 +126,11 @@ func writeUint64(h *maphash.Hash, v uint64) {
 // Partition to override the check, or use StartStaged, which derives the
 // partition from the analysis and runs global operators in a merge stage.
 func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, error) {
-	if err := checkShards(cfg.Shards); err != nil {
+	n, err := cfg.shardCount()
+	if err != nil {
 		return nil, err
 	}
-	n := cfg.Shards
-	if n == 0 {
-		n = clampShards(runtime.GOMAXPROCS(0))
-	}
-	buf := cfg.Buf
-	if buf <= 0 {
-		buf = 64
-	}
+	buf := cfg.bufOrDefault()
 	s := &Sharded{
 		factory:  factory,
 		buf:      buf,
@@ -182,7 +167,7 @@ func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, e
 				s.part = PartitionByField(0)
 			}
 		}
-		rt, err := StartRuntime(p, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion})
+		rt, err := StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion}})
 		if err != nil {
 			s.Stop()
 			return nil, err
@@ -257,7 +242,7 @@ func (s *Sharded) Reshard(n int) error {
 	moveKeyedState(s.plans, newPlans, stateDest(s.pmap))
 	shards := make([]*Runtime, n)
 	for i, p := range newPlans {
-		rt, err := StartRuntime(p, RuntimeConfig{Buf: s.buf, Shedder: s.shedder, DisableFusion: s.noFusion})
+		rt, err := StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{Buf: s.buf, Shedder: s.shedder, DisableFusion: s.noFusion}})
 		if err != nil {
 			// Mid-swap failure: the old epoch is gone, so the executor
 			// cannot keep running. Fail it loudly rather than half-swapped.

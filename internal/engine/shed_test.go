@@ -85,7 +85,7 @@ func TestEngineShedderRemoval(t *testing.T) {
 // every batch of the run so no overflow shedding can add to the planned
 // drops and the counts stay deterministic.
 func TestRuntimeShedsPlannedRatio(t *testing.T) {
-	rt, err := StartRuntime(shardablePlan(), RuntimeConfig{Buf: 64, Shedder: &stubShedder{ratio: 0.5, util: 1, gen: 1}})
+	rt, err := StartRuntime(shardablePlan(), RuntimeConfig{ExecConfig: ExecConfig{Buf: 64, Shedder: &stubShedder{ratio: 0.5, util: 1, gen: 1}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestRuntimeShedsPlannedRatio(t *testing.T) {
 // above, buffers are sized to rule out overflow drops.
 func TestShardedMergedShedStats(t *testing.T) {
 	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
-		ShardedConfig{Shards: 4, Buf: 64, Shedder: &stubShedder{ratio: 0.5, util: 0.5, gen: 1}})
+		ShardedConfig{ExecConfig: ExecConfig{Shards: 4, Buf: 64, Shedder: &stubShedder{ratio: 0.5, util: 0.5, gen: 1}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestShedderGenerationRefresh(t *testing.T) {
 // TestRuntimeShedUnknownSource keeps the error contract intact under
 // shedding: unknown sources still reject whole batches.
 func TestRuntimeShedUnknownSource(t *testing.T) {
-	rt, err := StartRuntime(shardablePlan(), RuntimeConfig{Shedder: &stubShedder{gen: 1}})
+	rt, err := StartRuntime(shardablePlan(), RuntimeConfig{ExecConfig: ExecConfig{Shedder: &stubShedder{gen: 1}}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,7 +50,7 @@ func TestPunctuationSoak(t *testing.T) {
 		t.Skip("soak test")
 	}
 	st, err := StartStaged(func() (*Plan, error) { return punctSoakPlan(), nil },
-		StagedConfig{Shards: 3, Buf: 16})
+		StagedConfig{ExecConfig: ExecConfig{Shards: 3, Buf: 16}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +134,11 @@ func TestElasticSoak(t *testing.T) {
 	start := map[string]func() (Resharder, error){
 		"sharded": func() (Resharder, error) {
 			return StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
-				ShardedConfig{Shards: 3, Buf: 16})
+				ShardedConfig{ExecConfig: ExecConfig{Shards: 3, Buf: 16}})
 		},
 		"staged": func() (Resharder, error) {
 			return StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
-				StagedConfig{Shards: 3, Buf: 16})
+				StagedConfig{ExecConfig: ExecConfig{Shards: 3, Buf: 16}})
 		},
 	}
 	for name, startEx := range start {

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -12,20 +11,28 @@ import (
 )
 
 // StagedConfig tunes StartStaged. The zero value is usable: GOMAXPROCS
-// shards, a 64-batch buffer per edge, partition keys inferred from the plan.
+// shards, a default buffer per edge, partition keys inferred from the plan.
+// The shared knobs live in the embedded ExecConfig; a configured Shedder
+// sheds at the true ingress edges only — every shard's source routers and
+// the global stage's direct source feeds. Exchange edges never shed: they
+// are interior edges of the staged graph, and dropping there would
+// double-penalize tuples that already survived ingress shedding. The
+// shedder carries over to the runtimes a Reshard starts, so a drop plan
+// survives the boundary.
 type StagedConfig struct {
-	// Shards is the parallel-stage width; 0 means GOMAXPROCS. Negative
-	// values are rejected with an error.
-	Shards int
-	// Buf is the per-edge channel buffer in batches; <= 0 means 64.
-	Buf int
-	// Shedder, when non-nil, sheds at the true ingress edges only: every
-	// shard's source routers and the global stage's direct source feeds.
-	// Exchange edges never shed — they are interior edges of the staged
-	// graph, and dropping there would double-penalize tuples that already
-	// survived ingress shedding. The shedder carries over to the runtimes a
-	// Reshard starts, so a drop plan survives the boundary.
-	Shedder Shedder
+	ExecConfig
+	// Taps maps sink (query) names to streaming batch consumers, the
+	// executor-level result fan-out the service plane streams tenant
+	// results through (see RuntimeConfig.Taps for the ownership and
+	// concurrency contract). A tapped sink's batches bypass the Results
+	// accumulator wherever the sink runs: taps are installed on the global
+	// runtime for suffix sinks and on every shard runtime (current and
+	// reshard-started epochs alike) for sinks of fully parallel queries —
+	// so a tap on a parallel sink may be invoked from several shards
+	// concurrently, and tuples of the executor-wide stream arrive in
+	// per-shard order only. End-of-run flush emissions reaching a tapped
+	// prefix sink through Stop's drain are delivered to the tap as well.
+	Taps map[string]func([]stream.Tuple)
 	// Heartbeat controls source punctuation, the liveness signal that lets
 	// the exchange merge release tuples past a quiet shard mid-run: after
 	// every Heartbeat-th batch pushed to a prefix source, a punctuation
@@ -47,9 +54,6 @@ type StagedConfig struct {
 	// with heartbeats they additionally forfeit the watermark promise —
 	// results remain complete and the merge remains live either way.
 	Heartbeat int
-	// DisableFusion turns off stateless-chain operator fusion in every
-	// runtime of both stages (see RuntimeConfig.DisableFusion).
-	DisableFusion bool
 }
 
 // Staged executes any plan across shards by splitting it into two stages
@@ -100,6 +104,7 @@ type Staged struct {
 	buf       int
 	shedder   Shedder
 	noFusion  bool
+	taps      map[string]func([]stream.Tuple)
 	heartbeat int // batches between source punctuation; <0 disabled
 	// hbCount counts pushed batches per prefix source for the heartbeat
 	// cadence; entries are created at start, so pushers only load.
@@ -145,17 +150,11 @@ type Staged struct {
 // instances, exactly like StartSharded's; it is retained to build the
 // plans later Reshard calls need.
 func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, error) {
-	if err := checkShards(cfg.Shards); err != nil {
+	n, err := cfg.shardCount()
+	if err != nil {
 		return nil, err
 	}
-	n := cfg.Shards
-	if n == 0 {
-		n = clampShards(runtime.GOMAXPROCS(0))
-	}
-	buf := cfg.Buf
-	if buf <= 0 {
-		buf = 64
-	}
+	buf := cfg.bufOrDefault()
 	full, err := factory()
 	if err != nil {
 		return nil, fmt.Errorf("engine: staged plan factory: %w", err)
@@ -172,6 +171,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		buf:       buf,
 		shedder:   cfg.Shedder,
 		noFusion:  cfg.DisableFusion,
+		taps:      cfg.Taps,
 		heartbeat: cfg.Heartbeat,
 		hbCount:   make(map[string]*atomic.Int64),
 		carried:   make(map[string][]stream.Tuple),
@@ -184,7 +184,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		// Fully global: no parallel stage, no exchanges — the whole plan
 		// (sources included, even unconsumed ones) runs on one Runtime,
 		// reusing the analyzed plan's instances.
-		s.global, err = StartRuntime(full, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion})
+		s.global, err = StartRuntime(full, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion}, Taps: stripPunctTaps(cfg.Taps)})
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +204,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		for _, id := range split.Exchanges {
 			noShed[ExchangeName(id)] = true
 		}
-		s.global, err = StartRuntime(suffix, RuntimeConfig{Buf: buf, Shedder: cfg.Shedder, NoShedSources: noShed, DisableFusion: cfg.DisableFusion})
+		s.global, err = StartRuntime(suffix, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion}, NoShedSources: noShed, Taps: stripPunctTaps(cfg.Taps)})
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +216,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		s.Stop()
 		return nil, err
 	}
-	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder, s.noFusion)
+	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder, s.noFusion, s.taps)
 	if err != nil {
 		s.Stop()
 		return nil, err
@@ -256,20 +256,59 @@ func (s *Staged) carveEpoch(n int) ([]*Plan, []*exchangeMerge, error) {
 	return plans, exchanges, nil
 }
 
+// stripPunctTaps wraps every user result tap in stripPunct; nil maps pass
+// through.
+func stripPunctTaps(taps map[string]func([]stream.Tuple)) map[string]func([]stream.Tuple) {
+	if len(taps) == 0 {
+		return taps
+	}
+	out := make(map[string]func([]stream.Tuple), len(taps))
+	for name, tap := range taps {
+		out[name] = stripPunct(tap)
+	}
+	return out
+}
+
+// stripPunct wraps a user result tap so punctuation markers — the heartbeat
+// liveness signal the exchange merge consumes, not query results — never
+// reach the consumer: markers are compacted out of the batch in place, and
+// an all-marker batch is recycled instead of delivered.
+func stripPunct(tap func([]stream.Tuple)) func([]stream.Tuple) {
+	return func(ts []stream.Tuple) {
+		out := ts[:0]
+		for _, t := range ts {
+			if !t.IsPunct() {
+				out = append(out, t)
+			}
+		}
+		if len(out) == 0 {
+			PutBatch(ts)
+			return
+		}
+		tap(out)
+	}
+}
+
 // startShardRuntimes starts one Runtime per carved prefix plan with that
-// shard's exchange taps installed. On error everything started so far is
-// stopped and the error returned.
-func startShardRuntimes(plans []*Plan, exchanges []*exchangeMerge, buf int, shedder Shedder, noFusion bool) ([]*Runtime, error) {
+// shard's exchange taps — and the executor's user result taps, so fully
+// parallel sinks stream too — installed. On error everything started so far
+// is stopped and the error returned.
+func startShardRuntimes(plans []*Plan, exchanges []*exchangeMerge, buf int, shedder Shedder, noFusion bool, userTaps map[string]func([]stream.Tuple)) ([]*Runtime, error) {
 	shards := make([]*Runtime, 0, len(plans))
 	for i, prefix := range plans {
 		var taps map[string]func([]stream.Tuple)
-		if len(exchanges) > 0 {
-			taps = make(map[string]func([]stream.Tuple), len(exchanges))
+		if len(exchanges) > 0 || len(userTaps) > 0 {
+			taps = make(map[string]func([]stream.Tuple), len(exchanges)+len(userTaps))
+			for name, tap := range userTaps {
+				taps[name] = stripPunct(tap)
+			}
+			// Exchange taps win on a (never expected) name collision: the
+			// merge edges are what keeps the staged graph correct.
 			for _, x := range exchanges {
 				taps[x.name] = x.offer(i)
 			}
 		}
-		rt, err := StartRuntime(prefix, RuntimeConfig{Buf: buf, Shedder: shedder, Taps: taps, DisableFusion: noFusion})
+		rt, err := StartRuntime(prefix, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: shedder, DisableFusion: noFusion}, Taps: taps})
 		if err != nil {
 			for _, started := range shards {
 				started.Stop()
@@ -352,7 +391,7 @@ func (s *Staged) Reshard(n int) error {
 	s.retireEpoch()
 	s.pmap.rebalance(n)
 	moveKeyedState(s.prefixPlans, plans, stateDest(s.pmap))
-	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder, s.noFusion)
+	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder, s.noFusion, s.taps)
 	if err != nil {
 		// Mid-swap failure: the old epoch is gone, so the executor cannot
 		// keep running. Fail it loudly rather than half-swapped.
@@ -656,14 +695,21 @@ func (s *Staged) drainPrefix() {
 		isExchange[ExchangeName(id)] = true
 	}
 	xbuf := make(map[string][]stream.Tuple)
+	// tapBuf collects flush tuples reaching tapped (non-exchange) prefix
+	// sinks; they are handed to the taps after the drain, preserving the
+	// taps-bypass-Results contract through Stop.
+	tapBuf := make(map[string][]stream.Tuple)
 	s.carriedMu.Lock()
 	defer s.carriedMu.Unlock()
 	var route func(shard int, eg edge, t stream.Tuple)
 	route = func(shard int, eg edge, t stream.Tuple) {
 		if eg.node < 0 {
-			if isExchange[eg.sink] {
+			switch {
+			case isExchange[eg.sink]:
 				xbuf[eg.sink] = append(xbuf[eg.sink], t)
-			} else {
+			case s.taps[eg.sink] != nil:
+				tapBuf[eg.sink] = append(tapBuf[eg.sink], t)
+			default:
 				s.carried[eg.sink] = append(s.carried[eg.sink], t)
 			}
 			return
@@ -728,6 +774,10 @@ func (s *Staged) drainPrefix() {
 			// drain); its ingress preserves push order per source.
 			_ = s.global.PushBatch(name, batch)
 		}
+	}
+	for name, batch := range tapBuf {
+		// Ownership of the drain-local batch transfers to the tap.
+		s.taps[name](batch)
 	}
 }
 

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// tapCollector accumulates tapped batches under a lock, since taps on
+// parallel sinks are invoked from several shard runtimes concurrently. It
+// copies tuples out before recycling the batch, exercising the ownership
+// contract a real streaming consumer follows.
+type tapCollector struct {
+	mu  sync.Mutex
+	got map[string][]stream.Tuple
+}
+
+func newTapCollector() *tapCollector {
+	return &tapCollector{got: make(map[string][]stream.Tuple)}
+}
+
+func (c *tapCollector) tap(q string) func([]stream.Tuple) {
+	return func(ts []stream.Tuple) {
+		c.mu.Lock()
+		c.got[q] = append(c.got[q], ts...)
+		c.mu.Unlock()
+		PutBatch(ts)
+	}
+}
+
+func (c *tapCollector) results(q string) []stream.Tuple {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.got[q]
+}
+
+// TestStagedTapsAllSinks pins the service-plane delivery contract on the
+// staged executor: tapping every sink of a mixed plan — parallel sinks that
+// live on the shard runtimes, a global sink that lives on the suffix
+// runtime — streams exactly the tuples the synchronous Engine accumulates,
+// including the end-of-run flush emissions Stop drains, while Results stays
+// empty for every tapped sink.
+func TestStagedTapsAllSinks(t *testing.T) {
+	tuples := keyedTuples(1000, 7)
+
+	eng, err := New(mixedPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runExecutor(t, eng, tuples, 64, "raw", "ksums", "gsums")
+
+	col := newTapCollector()
+	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
+		StagedConfig{
+			ExecConfig: ExecConfig{Shards: 4, Buf: 8},
+			Taps: map[string]func([]stream.Tuple){
+				"raw":   col.tap("raw"),
+				"ksums": col.tap("ksums"),
+				"gsums": col.tap("gsums"),
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runExecutor(t, st, tuples, 64, "raw", "ksums", "gsums")
+
+	for _, q := range []string{"raw", "ksums", "gsums"} {
+		if len(got[q]) != 0 {
+			t.Errorf("Results(%q) = %d tuples, want 0: tapped sinks bypass the accumulator", q, len(got[q]))
+		}
+	}
+	// The global sink's tap sees the merged, timestamp-ordered stream the
+	// suffix runtime produces: exact sequence equality with the sync run.
+	if !reflect.DeepEqual(multiset(col.results("gsums")), multiset(want["gsums"])) {
+		t.Fatalf("tapped global results differ:\n got %v\nwant %v", col.results("gsums"), want["gsums"])
+	}
+	// Parallel sinks deliver in per-shard order only: multiset equality.
+	for _, q := range []string{"raw", "ksums"} {
+		g, w := multiset(col.results(q)), multiset(want[q])
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("tapped %q multiset mismatch (%d vs %d tuples)", q, len(g), len(w))
+		}
+	}
+}
+
+// TestStagedTapsSurviveReshard checks that user taps carry over to the shard
+// runtimes a Reshard starts: tuples pushed after the boundary still reach
+// the tap, and nothing is double-delivered.
+func TestStagedTapsSurviveReshard(t *testing.T) {
+	tuples := keyedTuples(800, 5)
+
+	eng, err := New(shardablePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runExecutor(t, eng, tuples, 50, "raw", "sums")
+
+	col := newTapCollector()
+	st, err := StartStaged(func() (*Plan, error) { return shardablePlan(), nil },
+		StagedConfig{
+			ExecConfig: ExecConfig{Shards: 2, Buf: 8},
+			Taps: map[string]func([]stream.Tuple){
+				"raw":  col.tap("raw"),
+				"sums": col.tap("sums"),
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(tuples) / 2
+	if err := st.PushBatch("s", tuples[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Reshard(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PushBatch("s", tuples[half:]); err != nil {
+		t.Fatal(err)
+	}
+	st.Stop()
+
+	for _, q := range []string{"raw", "sums"} {
+		if n := len(st.Results(q)); n != 0 {
+			t.Errorf("Results(%q) = %d tuples after reshard, want 0", q, n)
+		}
+		g, w := multiset(col.results(q)), multiset(want[q])
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("tapped %q across reshard: multiset mismatch (%d vs %d tuples)", q, len(g), len(w))
+		}
+	}
+}

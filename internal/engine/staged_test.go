@@ -70,7 +70,7 @@ func TestStagedGlobalWindowMatchesSync(t *testing.T) {
 	want := runExecutor(t, eng, tuples, 64, "raw", "ksums", "gsums")
 
 	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
-		StagedConfig{Shards: 4, Buf: 8})
+		StagedConfig{ExecConfig: ExecConfig{Shards: 4, Buf: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestStagedStatsBothStages(t *testing.T) {
 	want := eng.Stats()
 
 	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
-		StagedConfig{Shards: 3})
+		StagedConfig{ExecConfig: ExecConfig{Shards: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestStagedFullyParallel(t *testing.T) {
 	want := runExecutor(t, eng, tuples, 32, "raw", "sums")
 
 	st, err := StartStaged(func() (*Plan, error) { return shardablePlan(), nil },
-		StagedConfig{Shards: 4})
+		StagedConfig{ExecConfig: ExecConfig{Shards: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestStagedFullyGlobal(t *testing.T) {
 	eng, _ := New(plan())
 	want := runExecutor(t, eng, tuples, 16, "avgs")
 
-	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{Shards: 4})
+	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{ExecConfig: ExecConfig{Shards: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,12 +211,12 @@ func nonZeroKeyPlan() *Plan {
 // must fail loudly, not mis-partition, when the plan's inferred key is a
 // different field — and keep working when a Partition is given explicitly.
 func TestStartShardedRejectsInferredNonZeroKey(t *testing.T) {
-	_, err := StartSharded(func() (*Plan, error) { return nonZeroKeyPlan(), nil }, ShardedConfig{Shards: 2})
+	_, err := StartSharded(func() (*Plan, error) { return nonZeroKeyPlan(), nil }, ShardedConfig{ExecConfig: ExecConfig{Shards: 2}})
 	if err == nil || !strings.Contains(err.Error(), "field 1") {
 		t.Fatalf("err = %v, want inferred-key rejection naming field 1", err)
 	}
 	sh, err := StartSharded(func() (*Plan, error) { return nonZeroKeyPlan(), nil },
-		ShardedConfig{Shards: 2, Partition: PartitionByField(1)})
+		ShardedConfig{ExecConfig: ExecConfig{Shards: 2}, Partition: PartitionByField(1)})
 	if err != nil {
 		t.Fatalf("explicit Partition rejected: %v", err)
 	}
@@ -226,7 +226,7 @@ func TestStartShardedRejectsInferredNonZeroKey(t *testing.T) {
 // TestStartShardedRejectsGlobalPlan: plans needing a global stage are
 // pointed at StartStaged instead of running wrong.
 func TestStartShardedRejectsGlobalPlan(t *testing.T) {
-	_, err := StartSharded(func() (*Plan, error) { return mixedPlan(), nil }, ShardedConfig{Shards: 2})
+	_, err := StartSharded(func() (*Plan, error) { return mixedPlan(), nil }, ShardedConfig{ExecConfig: ExecConfig{Shards: 2}})
 	if err == nil || !strings.Contains(err.Error(), "StartStaged") {
 		t.Fatalf("err = %v, want global-operator rejection pointing at StartStaged", err)
 	}
@@ -240,7 +240,7 @@ func TestStagedInferredKeyPartition(t *testing.T) {
 	eng, _ := New(nonZeroKeyPlan())
 	want := runExecutor(t, eng, tuples, 32, "counts")
 
-	st, err := StartStaged(func() (*Plan, error) { return nonZeroKeyPlan(), nil }, StagedConfig{Shards: 3})
+	st, err := StartStaged(func() (*Plan, error) { return nonZeroKeyPlan(), nil }, StagedConfig{ExecConfig: ExecConfig{Shards: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestStagedKeyedJoinParallel(t *testing.T) {
 
 	eng, _ := New(plan())
 	want := push(eng)
-	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{Shards: 4})
+	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{ExecConfig: ExecConfig{Shards: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestStagedSkewedPartitioning(t *testing.T) {
 	}
 
 	st, err := StartStaged(func() (*Plan, error) { return shardablePlan(), nil },
-		StagedConfig{Shards: 4})
+		StagedConfig{ExecConfig: ExecConfig{Shards: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,11 +443,11 @@ func TestAnalyzeClosedDefaultForUndeclaredState(t *testing.T) {
 	if !split.Global[0] {
 		t.Fatal("undeclared-state transform classified shardable")
 	}
-	if _, err := StartSharded(func() (*Plan, error) { return plan(), nil }, ShardedConfig{Shards: 2}); err == nil {
+	if _, err := StartSharded(func() (*Plan, error) { return plan(), nil }, ShardedConfig{ExecConfig: ExecConfig{Shards: 2}}); err == nil {
 		t.Fatal("StartSharded accepted a plan with undeclared state")
 	}
 	// Staged runs it — globally, so the counter stays one sequence.
-	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{Shards: 2})
+	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{ExecConfig: ExecConfig{Shards: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,7 +463,7 @@ func TestAnalyzeClosedDefaultForUndeclaredState(t *testing.T) {
 // TestShardedShardStats: the legacy Sharded executor exposes per-shard
 // loads too, consistent with its merged Stats.
 func TestShardedShardStats(t *testing.T) {
-	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{Shards: 2})
+	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil }, ShardedConfig{ExecConfig: ExecConfig{Shards: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -538,7 +538,7 @@ func globalTuplesEventually(st *Staged, globalID int, want int64) int64 {
 func TestExchangeMergeReleasesQuietShardsMidRun(t *testing.T) {
 	tuples := quietShardTuples(200)
 	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
-		StagedConfig{Shards: 4, Buf: 8})
+		StagedConfig{ExecConfig: ExecConfig{Shards: 4, Buf: 8}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -590,7 +590,7 @@ func TestExchangeMergeReleasesQuietShardsMidRun(t *testing.T) {
 func TestExchangeMergeLegacyHoldsWithoutPunctuation(t *testing.T) {
 	tuples := quietShardTuples(200)
 	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
-		StagedConfig{Shards: 4, Buf: 8, Heartbeat: -1})
+		StagedConfig{ExecConfig: ExecConfig{Shards: 4, Buf: 8}, Heartbeat: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -640,7 +640,7 @@ func TestStagedDualStageSourceValidatesOnce(t *testing.T) {
 		p.AddSink("counts", gw)
 		return p
 	}
-	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{Shards: 2})
+	st, err := StartStaged(func() (*Plan, error) { return plan(), nil }, StagedConfig{ExecConfig: ExecConfig{Shards: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

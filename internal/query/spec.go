@@ -1,0 +1,18 @@
+package query
+
+// OperatorSpec declares one operator of a submitted query in the shared
+// submission vocabulary used by every admission path (the cloud center's
+// period auctions and the subscription manager's per-category auctions
+// alike). Key identifies the operator globally: two submissions declaring
+// the same Key share one physical operator, and its load is paid once —
+// the paper's shared processing. Load is the operator's estimated fraction
+// of server capacity (c_j); measured loads from the execution layer can be
+// fed back through it between periods.
+//
+// The cloud and subscription packages alias this type, so a spec list
+// compiled once (e.g. by the CQL compiler) submits unchanged to either
+// admission path.
+type OperatorSpec struct {
+	Key  string  `json:"key"`
+	Load float64 `json:"load"`
+}

@@ -1,0 +1,569 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/billing"
+	"repro/internal/cql"
+	"repro/internal/engine"
+	"repro/internal/qos"
+	"repro/internal/stream"
+)
+
+// Handler returns the service plane's HTTP API:
+//
+//	POST /v1/tenants                         register a tenant (idempotent)
+//	POST /v1/queries                         submit a CQL query with bid + QoS
+//	GET  /v1/queries[?tenant=]               list queries
+//	GET  /v1/queries/{tenant}/{name}         one query's status
+//	GET  /v1/queries/{tenant}/{name}/results stream results (SSE)
+//	POST /v1/streams/{source}                push tuples into a stream
+//	POST /v1/admission/run                   run one admission cycle now
+//	GET  /v1/load                            live measured load vs capacity
+//	GET  /v1/prices                          meter price + measured operator loads
+//	GET  /v1/invoices?tenant=                a tenant's ledger entries
+//	GET  /v1/stats                           per-operator executor statistics
+//	GET  /v1/healthz                         liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants", s.handleRegisterTenant)
+	mux.HandleFunc("POST /v1/queries", s.handleSubmitQuery)
+	mux.HandleFunc("GET /v1/queries", s.handleListQueries)
+	mux.HandleFunc("GET /v1/queries/{tenant}/{name}", s.handleGetQuery)
+	mux.HandleFunc("GET /v1/queries/{tenant}/{name}/results", s.handleResults)
+	mux.HandleFunc("POST /v1/streams/{source}", s.handleIngest)
+	mux.HandleFunc("POST /v1/admission/run", s.handleRunAdmission)
+	mux.HandleFunc("GET /v1/load", s.handleLoad)
+	mux.HandleFunc("GET /v1/prices", s.handlePrices)
+	mux.HandleFunc("GET /v1/invoices", s.handleInvoices)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the API's error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body, rejecting unknown fields so typos
+// in tenant requests fail loudly instead of silently defaulting.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRegisterTenant(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "tenant name required")
+		return
+	}
+	s.mu.Lock()
+	user, ok := s.tenants[req.Name]
+	if !ok {
+		s.nextUser++
+		user = s.nextUser
+		s.tenants[req.Name] = user
+	}
+	s.mu.Unlock()
+	status := http.StatusCreated
+	if ok {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, map[string]any{"tenant": req.Name, "user": user})
+}
+
+// queryJSON is the wire form of a query's status.
+type queryJSON struct {
+	ID           string         `json:"id"`
+	Tenant       string         `json:"tenant"`
+	Name         string         `json:"name"`
+	CQL          string         `json:"cql"`
+	Bid          float64        `json:"bid"`
+	Status       string         `json:"status"`
+	Payment      float64        `json:"payment,omitempty"`
+	DeclaredLoad float64        `json:"declared_load"`
+	MeasuredLoad float64        `json:"measured_load,omitempty"`
+	Results      int64          `json:"results"`
+	QoS          []qosPointJSON `json:"qos,omitempty"`
+	Operators    []opJSON       `json:"operators"`
+}
+
+// qosPointJSON is the wire form of one QoS graph vertex.
+type qosPointJSON struct {
+	Latency float64 `json:"latency"`
+	Utility float64 `json:"utility"`
+}
+
+type opJSON struct {
+	Key  string  `json:"key"`
+	Load float64 `json:"load"`
+}
+
+func (s *Server) queryJSONLocked(q *tenantQuery) queryJSON {
+	out := queryJSON{
+		ID: q.id, Tenant: q.tenant, Name: q.name, CQL: q.text, Bid: q.bid,
+		Status: q.status, Payment: q.payment, DeclaredLoad: q.declared,
+		MeasuredLoad: q.measured, Results: q.results.Load(),
+	}
+	out.QoS = q.qosPoints
+	for _, op := range q.comp.Operators {
+		out.Operators = append(out.Operators, opJSON{Key: op.Key, Load: op.Load})
+	}
+	return out
+}
+
+func (s *Server) handleSubmitQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Tenant string         `json:"tenant"`
+		Name   string         `json:"name"`
+		CQL    string         `json:"cql"`
+		Bid    float64        `json:"bid"`
+		QoS    []qosPointJSON `json:"qos"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "query name required")
+		return
+	}
+	if req.Bid < 0 {
+		writeError(w, http.StatusBadRequest, "bid must be non-negative, got %g", req.Bid)
+		return
+	}
+	parsed, err := cql.Parse(req.CQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed CQL: %v", err)
+		return
+	}
+	costs := s.costs
+	s.mu.RLock()
+	measured := make(map[string]float64, len(s.measured))
+	for k, v := range s.measured {
+		measured[k] = v
+	}
+	s.mu.RUnlock()
+	costs.Measured = measured
+	comp, err := cql.Compile(parsed, s.cfg.Catalog, costs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "CQL does not compile: %v", err)
+		return
+	}
+	var graph *qos.Graph
+	if len(req.QoS) > 0 {
+		pts := make([]qos.Point, len(req.QoS))
+		for i, p := range req.QoS {
+			pts[i] = qos.Point{Latency: p.Latency, Utility: p.Utility}
+		}
+		graph, err = qos.NewGraph(pts...)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid QoS graph: %v", err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	user, ok := s.tenants[req.Tenant]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown tenant %q: register it via POST /v1/tenants", req.Tenant)
+		return
+	}
+	id := req.Tenant + "/" + req.Name
+	if _, dup := s.queries[id]; dup {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "query %q already registered", id)
+		return
+	}
+	q := &tenantQuery{
+		id: id, tenant: req.Tenant, user: user, name: req.Name,
+		text: parsed.String(), bid: req.Bid, qos: graph, qosPoints: req.QoS,
+		comp: comp, status: StatusPending,
+	}
+	for _, op := range comp.Operators {
+		q.declared += op.Load
+	}
+	s.queries[id] = q
+	s.order = append(s.order, id)
+	resp := s.queryJSONLocked(q)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleListQueries(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	s.mu.RLock()
+	out := make([]queryJSON, 0, len(s.order))
+	for _, id := range s.order {
+		q := s.queries[id]
+		if tenant != "" && q.tenant != tenant {
+			continue
+		}
+		out = append(out, s.queryJSONLocked(q))
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"queries": out})
+}
+
+// lookupQuery resolves {tenant}/{name} path values, writing a 404 on miss.
+func (s *Server) lookupQuery(w http.ResponseWriter, r *http.Request) (*tenantQuery, bool) {
+	id := r.PathValue("tenant") + "/" + r.PathValue("name")
+	s.mu.RLock()
+	q, ok := s.queries[id]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown query %q", id)
+		return nil, false
+	}
+	return q, true
+}
+
+func (s *Server) handleGetQuery(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.lookupQuery(w, r)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	resp := s.queryJSONLocked(q)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// tupleJSON is the wire form of a stream tuple: vals in schema order, ts
+// optional (0 lets the server assign the next timestamp).
+type tupleJSON struct {
+	Ts   int64 `json:"ts,omitempty"`
+	Vals []any `json:"vals"`
+}
+
+// handleResults streams a query's results as server-sent events, one
+// `data:` event per delivered batch. The stream replays the retained
+// backlog first, then follows the live run; ?max=N closes the stream after
+// at least N tuples, which is what lets one-shot clients (tests, the CI
+// smoke probe) terminate cleanly.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.lookupQuery(w, r)
+	if !ok {
+		return
+	}
+	max := 0
+	if m := r.URL.Query().Get("max"); m != "" {
+		v, err := strconv.Atoi(m)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "invalid max %q", m)
+			return
+		}
+		max = v
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	sub := s.hub.Subscribe(q.id, 32)
+	defer sub.Cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case batch, live := <-sub.C():
+			if !live {
+				return
+			}
+			out := make([]tupleJSON, len(batch))
+			for i, t := range batch {
+				out[i] = tupleJSON{Ts: t.Ts, Vals: t.Vals}
+			}
+			if _, err := fmt.Fprint(w, "data: "); err != nil {
+				return
+			}
+			if err := enc.Encode(out); err != nil {
+				return
+			}
+			if _, err := fmt.Fprint(w, "\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+			sent += len(batch)
+			if max > 0 && sent >= max {
+				return
+			}
+		}
+	}
+}
+
+// handleIngest pushes a batch of tuples into one declared stream. Numbers
+// arrive as JSON float64; integer fields coerce when the value is whole.
+// Timestamps must be nondecreasing per source (the staged merge's ordering
+// precondition); omitted timestamps continue from the source's frontier.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	source := r.PathValue("source")
+	var req struct {
+		Tuples []tupleJSON `json:"tuples"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Tuples) == 0 {
+		writeError(w, http.StatusBadRequest, "no tuples")
+		return
+	}
+	// The write lock: ingest advances the source frontier and the metering
+	// clock, and must not interleave with an admission cycle's executor
+	// swap mid-push.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.srcs[source]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", source)
+		return
+	}
+	if s.exec == nil {
+		writeError(w, http.StatusConflict, "no admitted plan is running; run an admission cycle first")
+		return
+	}
+	batch := engine.GetBatch(len(req.Tuples))
+	lastTs := st.lastTs
+	for i, in := range req.Tuples {
+		t, err := coerceTuple(st.schema, in, lastTs)
+		if err != nil {
+			engine.PutBatch(batch)
+			writeError(w, http.StatusBadRequest, "tuple %d: %v", i, err)
+			return
+		}
+		lastTs = t.Ts
+		batch = append(batch, t)
+	}
+	n := len(batch)
+	pusher, owned := s.exec.(engine.OwnedBatchPusher)
+	var err error
+	if owned {
+		err = pusher.PushOwnedBatch(source, batch)
+	} else {
+		err = s.exec.PushBatch(source, batch)
+		engine.PutBatch(batch)
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, "push rejected: %v", err)
+		return
+	}
+	st.lastTs = lastTs
+	st.tuples += int64(n)
+	s.exec.Advance(1)
+	s.ticks++
+	writeJSON(w, http.StatusOK, map[string]any{"pushed": n, "source": source, "frontier": lastTs})
+}
+
+// coerceTuple converts one wire tuple to a stream.Tuple conforming to the
+// schema, assigning the next timestamp past lastTs when none is given.
+func coerceTuple(schema *stream.Schema, in tupleJSON, lastTs int64) (stream.Tuple, error) {
+	if len(in.Vals) != schema.NumFields() {
+		return stream.Tuple{}, fmt.Errorf("want %d values, got %d", schema.NumFields(), len(in.Vals))
+	}
+	vals := make([]any, len(in.Vals))
+	for i, v := range in.Vals {
+		f := schema.Field(i)
+		switch f.Kind {
+		case stream.KindInt:
+			fv, ok := v.(float64)
+			if !ok || fv != float64(int64(fv)) {
+				return stream.Tuple{}, fmt.Errorf("field %d (%s): want integer, got %v", i, f.Name, v)
+			}
+			vals[i] = int64(fv)
+		case stream.KindFloat:
+			fv, ok := v.(float64)
+			if !ok {
+				return stream.Tuple{}, fmt.Errorf("field %d (%s): want number, got %v", i, f.Name, v)
+			}
+			vals[i] = fv
+		case stream.KindString:
+			sv, ok := v.(string)
+			if !ok {
+				return stream.Tuple{}, fmt.Errorf("field %d (%s): want string, got %v", i, f.Name, v)
+			}
+			vals[i] = sv
+		default:
+			return stream.Tuple{}, fmt.Errorf("field %d (%s): unsupported kind", i, f.Name)
+		}
+	}
+	ts := in.Ts
+	if ts == 0 {
+		ts = lastTs + 1
+	}
+	if ts < lastTs {
+		return stream.Tuple{}, fmt.Errorf("timestamp %d regresses below the stream frontier %d", ts, lastTs)
+	}
+	t := stream.Tuple{Ts: ts, Vals: vals}
+	if !schema.Conforms(t) {
+		return stream.Tuple{}, fmt.Errorf("does not conform to schema %s", schema)
+	}
+	return t, nil
+}
+
+func (s *Server) handleRunAdmission(w http.ResponseWriter, _ *http.Request) {
+	report, err := s.RunCycle()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "admission cycle: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+// handleLoad reports the live measured load — engine.SettleStats on the
+// running executor, so a mid-period read sees settled counters rather than
+// a racing snapshot — against capacity, plus per-source ingress frontiers.
+func (s *Server) handleLoad(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	exec := s.exec
+	period := s.period
+	ticks := s.ticks
+	type srcJSON struct {
+		Tuples   int64 `json:"tuples"`
+		Frontier int64 `json:"frontier"`
+	}
+	srcs := make(map[string]srcJSON, len(s.srcs))
+	for name, st := range s.srcs {
+		srcs[name] = srcJSON{Tuples: st.tuples, Frontier: st.lastTs}
+	}
+	s.mu.RUnlock()
+
+	resp := map[string]any{
+		"period":   period,
+		"capacity": s.cfg.Capacity,
+		"running":  exec != nil,
+		"ticks":    ticks,
+		"sources":  srcs,
+	}
+	if exec != nil {
+		loads := engine.SettleStats(exec)
+		var executed, offered float64
+		for _, nl := range loads {
+			executed += nl.Load
+			offered += nl.OfferedLoad
+		}
+		resp["executed_load"] = executed
+		resp["offered_load"] = offered
+		if st, ok := exec.(*engine.Staged); ok {
+			resp["shards"] = st.NumShards()
+			resp["epoch"] = st.Epoch()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePrices publishes the center's price signals: the usage meter price
+// and the measured per-operator loads the next auction will charge declared
+// bids against — what a tenant needs to reprice a resubmission.
+func (s *Server) handlePrices(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	ops := make(map[string]float64, len(s.measured))
+	for k, v := range s.measured {
+		ops[k] = v
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity":       s.cfg.Capacity,
+		"meter_price":    s.cfg.MeterPrice,
+		"measured_loads": ops,
+	})
+}
+
+func (s *Server) handleInvoices(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	var user int
+	if tenant != "" {
+		s.mu.RLock()
+		u, ok := s.tenants[tenant]
+		s.mu.RUnlock()
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown tenant %q", tenant)
+			return
+		}
+		user = u
+	}
+	var invoices []billing.Invoice
+	var balance float64
+	for _, inv := range s.Ledger().Invoices() {
+		if tenant == "" || inv.User == user {
+			invoices = append(invoices, inv)
+			balance += inv.Amount
+		}
+	}
+	if invoices == nil {
+		invoices = []billing.Invoice{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": tenant, "invoices": invoices, "balance": balance,
+	})
+}
+
+// handleStats reports per-operator executor statistics for the running
+// period: node loads with owners, and per-shard loads on the staged
+// backend.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	exec := s.exec
+	s.mu.RUnlock()
+	if exec == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"running": false})
+		return
+	}
+	loads := engine.SettleStats(exec)
+	type nodeJSON struct {
+		ID          int      `json:"id"`
+		Name        string   `json:"name"`
+		Tuples      int64    `json:"tuples"`
+		OutTuples   int64    `json:"out_tuples"`
+		Load        float64  `json:"load"`
+		OfferedLoad float64  `json:"offered_load"`
+		ShedTuples  int64    `json:"shed_tuples,omitempty"`
+		Owners      []string `json:"owners,omitempty"`
+	}
+	nodes := make([]nodeJSON, len(loads))
+	for i, nl := range loads {
+		nodes[i] = nodeJSON{
+			ID: nl.ID, Name: nl.Name, Tuples: nl.Tuples, OutTuples: nl.OutTuples,
+			Load: nl.Load, OfferedLoad: nl.OfferedLoad, ShedTuples: nl.ShedTuples,
+			Owners: nl.Owners,
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	resp := map[string]any{"running": true, "nodes": nodes}
+	if st, ok := exec.(*engine.Staged); ok {
+		resp["shards"] = st.NumShards()
+		resp["epoch"] = st.Epoch()
+		resp["split"] = st.Split().String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,430 @@
+// Package server is the DSMS center's tenant service plane: a long-lived
+// HTTP/JSON API through which tenants submit CQL query templates with QoS
+// graphs and bids, push stream tuples, and receive each admitted query's
+// results as a live stream — the online counterpart of cmd/dsmsd's batch
+// simulator, running the same auction, executor and ledger.
+//
+// The plane is organized around a continuous admission cycle (RunCycle,
+// driven by a timer or by POST /v1/admission/run): the finishing period's
+// executor settles and its measured per-operator loads are fed back as the
+// next auction's declared loads (the paper's monitoring-pricing loop) and
+// metered against each tenant's ledger balance; then every live query —
+// pending, admitted, or previously rejected — enters the auction at its
+// standing bid, winners are billed their critical-value payments and
+// compiled into one shared plan on the staged executor, and each winner's
+// sink is tapped into a subscription.Hub that fans result batches out to
+// the tenant's open result streams.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/billing"
+	"repro/internal/cloud"
+	"repro/internal/cql"
+	"repro/internal/engine"
+	"repro/internal/qos"
+	"repro/internal/stream"
+	"repro/internal/subscription"
+)
+
+// Config assembles a service plane.
+type Config struct {
+	// Mechanism is the admission auction run at every cycle.
+	Mechanism auction.Mechanism
+	// Capacity is the server capacity the auction packs against.
+	Capacity float64
+	// MeterPrice is the usage price per unit of measured offered load per
+	// period; 0 disables metered billing (admission payments remain).
+	MeterPrice float64
+	// Exec carries the shared executor knobs (shards, buffers, shedding)
+	// to the staged executor each cycle starts.
+	Exec engine.ExecConfig
+	// Heartbeat is the staged executor's punctuation cadence (see
+	// engine.StagedConfig.Heartbeat).
+	Heartbeat int
+	// Catalog declares the input streams tenants may query.
+	Catalog cql.Catalog
+	// Costs is the CQL compiler's cost model; the zero value means
+	// cql.DefaultCosts().
+	Costs cql.Costs
+	// CyclePeriod, when positive, runs the admission cycle on a timer; 0
+	// leaves cycles to POST /v1/admission/run.
+	CyclePeriod time.Duration
+	// Backlog is the per-query result replay ring (tuples) for late
+	// subscribers; <= 0 means 1024.
+	Backlog int
+	// Logf, when non-nil, receives one line per cycle and per deploy.
+	Logf func(format string, args ...any)
+}
+
+// Query lifecycle statuses.
+const (
+	StatusPending  = "pending"  // submitted, no auction has seen it yet
+	StatusAdmitted = "admitted" // won the last auction; plan deployed
+	StatusRejected = "rejected" // lost the last auction; re-enters the next
+	StatusEvicted  = "evicted"  // admitted before, displaced by the last auction
+)
+
+// tenantQuery is one tenant's standing query registration.
+type tenantQuery struct {
+	id     string // tenant/name: the engine sink name
+	tenant string
+	user   int
+	name   string
+	text   string // canonical CQL
+	bid    float64
+	qos    *qos.Graph
+	// qosPoints keeps the submitted graph vertices in wire form for echo.
+	qosPoints []qosPointJSON
+	comp      *cql.Compiled
+
+	status   string
+	payment  float64 // last admission payment
+	declared float64 // operator loads as last submitted (measurement-informed)
+	measured float64 // offered load attributed to the query last period
+	results  atomic.Int64
+}
+
+// sourceState tracks one declared stream's ingress: pushed tuple count and
+// the monotone timestamp frontier ingest enforces.
+type sourceState struct {
+	schema *stream.Schema
+	tuples int64
+	lastTs int64
+}
+
+// Server is the service plane's state: the auction center, the tenant and
+// query registries, the live executor, and the result hub. One write lock
+// serializes admission cycles and registrations against each other; data
+// pushes and reads share the read side, so ingest never races an executor
+// swap.
+type Server struct {
+	cfg     Config
+	costs   cql.Costs
+	center  *cloud.Center
+	sources []cloud.SourceDecl
+	hub     *subscription.Hub
+	logf    func(string, ...any)
+
+	mu       sync.RWMutex
+	tenants  map[string]int // tenant name -> billing user ID
+	nextUser int
+	queries  map[string]*tenantQuery
+	order    []string // registration order: deterministic auction pools
+	srcs     map[string]*sourceState
+	exec     engine.Executor
+	measured map[string]float64 // operator key -> last measured offered load
+	period   int
+	ticks    int64
+	closed   bool
+
+	stopTicker chan struct{}
+	tickerDone sync.WaitGroup
+}
+
+// New builds a service plane and, when CyclePeriod is set, starts its
+// admission timer.
+func New(cfg Config) (*Server, error) {
+	if cfg.Mechanism == nil {
+		return nil, fmt.Errorf("server: nil mechanism")
+	}
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("server: capacity must be positive, got %g", cfg.Capacity)
+	}
+	if len(cfg.Catalog) == 0 {
+		return nil, fmt.Errorf("server: empty catalog")
+	}
+	if cfg.MeterPrice < 0 {
+		return nil, fmt.Errorf("server: negative meter price %g", cfg.MeterPrice)
+	}
+	costs := cfg.Costs
+	if costs.Filter == 0 && costs.Project == 0 && costs.Window == 0 && costs.Join == 0 && costs.Selectivity == 0 {
+		costs = cql.DefaultCosts()
+	}
+	backlog := cfg.Backlog
+	if backlog <= 0 {
+		backlog = 1024
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:      cfg,
+		costs:    costs,
+		center:   cloud.New(cfg.Mechanism, cfg.Capacity),
+		hub:      subscription.NewHub(backlog),
+		logf:     logf,
+		tenants:  make(map[string]int),
+		queries:  make(map[string]*tenantQuery),
+		srcs:     make(map[string]*sourceState),
+		measured: make(map[string]float64),
+	}
+	// Deterministic source order: the center's declarations drive plan
+	// construction.
+	names := make([]string, 0, len(cfg.Catalog))
+	for name := range cfg.Catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src := cfg.Catalog[name]
+		if src.Schema == nil {
+			return nil, fmt.Errorf("server: source %q has no schema", name)
+		}
+		s.center.DeclareSource(name, src.Schema)
+		s.srcs[name] = &sourceState{schema: src.Schema}
+	}
+	s.sources = s.center.Sources()
+	if cfg.CyclePeriod > 0 {
+		s.stopTicker = make(chan struct{})
+		s.tickerDone.Add(1)
+		go s.cycleLoop(cfg.CyclePeriod)
+	}
+	return s, nil
+}
+
+// cycleLoop drives timed admission cycles until Close.
+func (s *Server) cycleLoop(period time.Duration) {
+	defer s.tickerDone.Done()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopTicker:
+			return
+		case <-t.C:
+			if _, err := s.RunCycle(); err != nil {
+				s.logf("server: admission cycle: %v", err)
+			}
+		}
+	}
+}
+
+// Ledger exposes the billing ledger (invoices, balances, revenue).
+func (s *Server) Ledger() *billing.Ledger { return s.center.Ledger() }
+
+// Close stops the admission timer, the live executor, and every open result
+// stream. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	exec := s.exec
+	s.exec = nil
+	stop := s.stopTicker
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		s.tickerDone.Wait()
+	}
+	if exec != nil {
+		exec.Stop()
+	}
+	s.hub.Close()
+}
+
+// CycleAdmission is one admitted query in a cycle report.
+type CycleAdmission struct {
+	ID      string  `json:"id"`
+	Tenant  string  `json:"tenant"`
+	Payment float64 `json:"payment"`
+}
+
+// CycleCharge is one metered usage charge in a cycle report.
+type CycleCharge struct {
+	ID     string  `json:"id"`
+	Tenant string  `json:"tenant"`
+	Load   float64 `json:"load"`
+	Amount float64 `json:"amount"`
+}
+
+// CycleReport summarizes one admission cycle.
+type CycleReport struct {
+	Period      int              `json:"period"`
+	Candidates  int              `json:"candidates"`
+	Admitted    []CycleAdmission `json:"admitted"`
+	Rejected    []string         `json:"rejected,omitempty"`
+	Evicted     []string         `json:"evicted,omitempty"`
+	Revenue     float64          `json:"revenue"`
+	Utilization float64          `json:"utilization"`
+	Metered     []CycleCharge    `json:"metered,omitempty"`
+}
+
+// RunCycle executes one admission cycle: settle and meter the finishing
+// period from the executor's measured loads, auction every live query at
+// its standing bid with measurement-informed operator loads, bill the
+// winners, and deploy them as one shared plan on a fresh staged executor
+// whose sinks stream into the result hub. With no registered queries it is
+// a no-op returning an empty report.
+func (s *Server) RunCycle() (*CycleReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server: closed")
+	}
+	report := &CycleReport{Period: s.period}
+
+	// 1. Settle the finishing period: the executor stops (its taps deliver
+	// the end-of-run flush results through the hub), measured offered loads
+	// flow into the next auction's declarations, and usage is metered.
+	if s.exec != nil {
+		s.exec.Stop()
+		loads := s.exec.Stats()
+		s.exec = nil
+		for _, nl := range loads {
+			if nl.Tuples+nl.ShedTuples > 0 {
+				s.measured[nl.Name] = nl.OfferedLoad
+			}
+		}
+		perQuery := attributeLoads(loads)
+		for _, id := range s.order {
+			q := s.queries[id]
+			if q.status != StatusAdmitted {
+				continue
+			}
+			q.measured = perQuery[id]
+			if s.cfg.MeterPrice <= 0 || q.measured <= 0 {
+				continue
+			}
+			amount := s.cfg.MeterPrice * q.measured
+			if _, err := s.center.Ledger().ChargeUsage(s.period, q.user, id, amount); err != nil {
+				return nil, err
+			}
+			report.Metered = append(report.Metered, CycleCharge{ID: id, Tenant: q.tenant, Load: q.measured, Amount: amount})
+		}
+	}
+
+	if len(s.order) == 0 {
+		s.period++
+		return report, nil
+	}
+
+	// 2. Auction: every live query re-enters at its standing bid, with each
+	// operator's declared load replaced by the measured value where one
+	// exists. The center sees auction-only submissions; deployment stays
+	// with the server, mirroring the simulator's split.
+	report.Candidates = len(s.order)
+	for _, id := range s.order {
+		q := s.queries[id]
+		ops := repriceOps(q.comp.Operators, s.measured)
+		q.declared = 0
+		for _, op := range ops {
+			q.declared += op.Load
+		}
+		if err := s.center.Submit(cloud.Submission{
+			User: q.user, Tenant: q.tenant, Name: id, Bid: q.bid, Operators: ops,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	out, err := s.center.ClosePeriod()
+	if err != nil {
+		return nil, err
+	}
+	report.Revenue = out.Revenue
+	report.Utilization = out.Utilization
+
+	// 3. Statuses and winner set.
+	admitted := make(map[string]float64, len(out.Admitted))
+	for _, a := range out.Admitted {
+		admitted[a.Name] = a.Payment
+	}
+	var winners []cloud.Submission
+	for _, id := range s.order {
+		q := s.queries[id]
+		pay, won := admitted[id]
+		if won {
+			q.status = StatusAdmitted
+			q.payment = pay
+			report.Admitted = append(report.Admitted, CycleAdmission{ID: id, Tenant: q.tenant, Payment: pay})
+			winners = append(winners, cloud.Submission{
+				User: q.user, Tenant: q.tenant, Name: id, Bid: q.bid,
+				Operators: q.comp.Operators, Deploy: q.comp.Deploy,
+			})
+			continue
+		}
+		if q.status == StatusAdmitted {
+			q.status = StatusEvicted
+			report.Evicted = append(report.Evicted, id)
+		} else {
+			q.status = StatusRejected
+			report.Rejected = append(report.Rejected, id)
+		}
+		q.payment = 0
+	}
+
+	// 4. Deploy the winners on a fresh staged executor, tapping each
+	// winner's sink into the hub. The tap owns each batch: the hub copies
+	// what it retains, so the batch recycles into the engine's pool.
+	if len(winners) > 0 {
+		taps := make(map[string]func([]stream.Tuple), len(winners))
+		for _, w := range winners {
+			q := s.queries[w.Name]
+			id := w.Name
+			taps[id] = func(b []stream.Tuple) {
+				s.hub.Publish(id, b)
+				q.results.Add(int64(len(b)))
+				engine.PutBatch(b)
+			}
+		}
+		sources := s.sources
+		winnersCopy := winners
+		factory := func() (*engine.Plan, error) { return cloud.CompilePlan(sources, winnersCopy) }
+		exec, err := engine.StartStaged(factory, engine.StagedConfig{
+			ExecConfig: s.cfg.Exec,
+			Heartbeat:  s.cfg.Heartbeat,
+			Taps:       taps,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: deploying period %d plan: %w", s.period, err)
+		}
+		s.exec = exec
+	}
+	s.ticks = 0
+	for _, st := range s.srcs {
+		st.lastTs = 0
+	}
+	s.period++
+	s.logf("server: period %d: admitted %d/%d, revenue $%.2f, utilization %.0f%%",
+		report.Period, len(report.Admitted), report.Candidates, report.Revenue, 100*report.Utilization)
+	return report, nil
+}
+
+// attributeLoads splits each node's measured offered load evenly across the
+// queries that own it — the shared-operator cost split usage metering
+// charges by — and returns the per-query totals keyed by sink name.
+func attributeLoads(loads []engine.NodeLoad) map[string]float64 {
+	out := make(map[string]float64)
+	for _, nl := range loads {
+		if len(nl.Owners) == 0 || nl.OfferedLoad <= 0 {
+			continue
+		}
+		share := nl.OfferedLoad / float64(len(nl.Owners))
+		for _, owner := range nl.Owners {
+			out[owner] += share
+		}
+	}
+	return out
+}
+
+// repriceOps replaces declared operator loads with measured values where
+// available, leaving the input untouched.
+func repriceOps(ops []cloud.OperatorSpec, measured map[string]float64) []cloud.OperatorSpec {
+	out := append([]cloud.OperatorSpec(nil), ops...)
+	for i, op := range out {
+		if m, ok := measured[op.Key]; ok && m > 0 {
+			out[i].Load = m
+		}
+	}
+	return out
+}

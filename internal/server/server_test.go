@@ -1,0 +1,376 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/billing"
+	"repro/internal/cql"
+	"repro/internal/engine"
+	"repro/internal/market"
+)
+
+func testCatalog() cql.Catalog {
+	return cql.Catalog{
+		"stocks": {Schema: market.QuoteSchema, Rate: 1},
+		"news":   {Schema: market.NewsSchema, Rate: 0.2},
+	}
+}
+
+func newTestServer(t *testing.T, capacity float64) (*Server, *httptest.Server) {
+	t.Helper()
+	mech, err := auction.ByName("CAT", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Mechanism:  mech,
+		Capacity:   capacity,
+		MeterPrice: 0.5,
+		Exec:       engine.ExecConfig{Shards: 2, Buf: 8},
+		Catalog:    testCatalog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// call posts (or gets) JSON and decodes the response envelope into out.
+func call(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// readSSE reads one result stream until the server closes it, returning the
+// streamed tuples.
+func readSSE(t *testing.T, url string) []tupleJSON {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d, want 200", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("results Content-Type = %q, want text/event-stream", ct)
+	}
+	var tuples []tupleJSON
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var batch []tupleJSON
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &batch); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		tuples = append(tuples, batch...)
+	}
+	return tuples
+}
+
+// TestServicePlaneE2E is the acceptance path: a tenant registers, submits a
+// CQL query with a bid and QoS graph over HTTP, an admission cycle admits
+// and deploys it, tuples pushed AFTER admission stream back over the
+// query's result stream, and after the next cycle the tenant's ledger holds
+// both the admission payment and a metered usage charge.
+func TestServicePlaneE2E(t *testing.T) {
+	s, ts := newTestServer(t, 100)
+
+	if code := call(t, "POST", ts.URL+"/v1/tenants", map[string]string{"name": "acme"}, nil); code != http.StatusCreated {
+		t.Fatalf("register tenant = %d, want 201", code)
+	}
+	// Re-registration is idempotent.
+	var reg struct {
+		User int `json:"user"`
+	}
+	if code := call(t, "POST", ts.URL+"/v1/tenants", map[string]string{"name": "acme"}, &reg); code != http.StatusOK || reg.User != 1 {
+		t.Fatalf("re-register = %d user %d, want 200 user 1", code, reg.User)
+	}
+
+	var q queryJSON
+	code := call(t, "POST", ts.URL+"/v1/queries", map[string]any{
+		"tenant": "acme", "name": "alerts",
+		"cql": "SELECT * FROM stocks WHERE price > 100",
+		"bid": 10.0,
+		"qos": []map[string]float64{{"latency": 2, "utility": 1}, {"latency": 20, "utility": 0}},
+	}, &q)
+	if code != http.StatusCreated {
+		t.Fatalf("submit query = %d, want 201", code)
+	}
+	if q.ID != "acme/alerts" || q.Status != StatusPending || len(q.Operators) == 0 {
+		t.Fatalf("submitted query = %+v", q)
+	}
+
+	var cycle CycleReport
+	if code := call(t, "POST", ts.URL+"/v1/admission/run", nil, &cycle); code != http.StatusOK {
+		t.Fatalf("admission run = %d, want 200", code)
+	}
+	if len(cycle.Admitted) != 1 || cycle.Admitted[0].ID != "acme/alerts" {
+		t.Fatalf("cycle admitted %+v, want acme/alerts", cycle.Admitted)
+	}
+
+	if code := call(t, "GET", ts.URL+"/v1/queries/acme/alerts", nil, &q); code != http.StatusOK || q.Status != StatusAdmitted {
+		t.Fatalf("query after admission: code %d status %q, want 200 admitted", code, q.Status)
+	}
+
+	// Push tuples after admission: two pass the predicate, one does not.
+	var push struct {
+		Pushed int `json:"pushed"`
+	}
+	code = call(t, "POST", ts.URL+"/v1/streams/stocks", map[string]any{
+		"tuples": []map[string]any{
+			{"vals": []any{"AAA", 150.5, 10}},
+			{"vals": []any{"BBB", 50.0, 5}},
+			{"vals": []any{"AAA", 200.0, 3}},
+		},
+	}, &push)
+	if code != http.StatusOK || push.Pushed != 3 {
+		t.Fatalf("ingest = %d pushed %d, want 200/3", code, push.Pushed)
+	}
+
+	got := readSSE(t, ts.URL+"/v1/queries/acme/alerts/results?max=2")
+	if len(got) < 2 {
+		t.Fatalf("streamed %d tuples, want >= 2", len(got))
+	}
+	for _, tp := range got {
+		price, ok := tp.Vals[1].(float64)
+		if !ok || price <= 100 {
+			t.Fatalf("streamed tuple %+v does not satisfy price > 100", tp)
+		}
+	}
+
+	// The next cycle settles the period: measured loads reprice the auction
+	// and usage is metered on the ledger.
+	if code := call(t, "POST", ts.URL+"/v1/admission/run", nil, &cycle); code != http.StatusOK {
+		t.Fatalf("second admission run = %d", code)
+	}
+	if len(cycle.Metered) != 1 || cycle.Metered[0].Amount <= 0 {
+		t.Fatalf("metered charges = %+v, want one positive usage charge", cycle.Metered)
+	}
+
+	var inv struct {
+		Invoices []billing.Invoice `json:"invoices"`
+		Balance  float64           `json:"balance"`
+	}
+	if code := call(t, "GET", ts.URL+"/v1/invoices?tenant=acme", nil, &inv); code != http.StatusOK {
+		t.Fatalf("invoices = %d", code)
+	}
+	kinds := map[string]int{}
+	for _, i := range inv.Invoices {
+		kinds[i.Kind]++
+	}
+	if kinds[billing.KindAdmission] < 1 || kinds[billing.KindUsage] != 1 {
+		t.Fatalf("invoice kinds = %v, want >=1 admission and 1 usage", kinds)
+	}
+	if inv.Balance != s.Ledger().Balance(1) || inv.Balance <= 0 {
+		t.Fatalf("balance over HTTP = %v, ledger = %v", inv.Balance, s.Ledger().Balance(1))
+	}
+
+	// The usage charge equals MeterPrice times the measured load the cycle
+	// reported for the query.
+	var usage billing.Invoice
+	for _, i := range inv.Invoices {
+		if i.Kind == billing.KindUsage {
+			usage = i
+		}
+	}
+	if want := 0.5 * cycle.Metered[0].Load; usage.Amount != want {
+		t.Fatalf("usage amount = %v, want MeterPrice * load = %v", usage.Amount, want)
+	}
+}
+
+// TestSubmitRejections pins the handler's failure modes: malformed CQL,
+// unknown tenant, duplicate names, bad QoS, bad bids.
+func TestSubmitRejections(t *testing.T) {
+	_, ts := newTestServer(t, 100)
+	call(t, "POST", ts.URL+"/v1/tenants", map[string]string{"name": "acme"}, nil)
+
+	submit := func(body map[string]any) (int, string) {
+		var e struct {
+			Error string `json:"error"`
+		}
+		code := call(t, "POST", ts.URL+"/v1/queries", body, &e)
+		return code, e.Error
+	}
+
+	if code, msg := submit(map[string]any{"tenant": "acme", "name": "q", "cql": "SELECT * FROM stocks WHERE", "bid": 1.0}); code != http.StatusBadRequest || !strings.Contains(msg, "malformed CQL") {
+		t.Errorf("malformed CQL: code %d msg %q", code, msg)
+	}
+	if code, msg := submit(map[string]any{"tenant": "acme", "name": "q", "cql": "SELECT * FROM nosuch", "bid": 1.0}); code != http.StatusBadRequest || !strings.Contains(msg, "compile") {
+		t.Errorf("unknown source: code %d msg %q", code, msg)
+	}
+	if code, _ := submit(map[string]any{"tenant": "ghost", "name": "q", "cql": "SELECT * FROM stocks", "bid": 1.0}); code != http.StatusNotFound {
+		t.Errorf("unknown tenant: code %d, want 404", code)
+	}
+	if code, _ := submit(map[string]any{"tenant": "acme", "name": "q", "cql": "SELECT * FROM stocks", "bid": -1.0}); code != http.StatusBadRequest {
+		t.Errorf("negative bid: code %d, want 400", code)
+	}
+	if code, _ := submit(map[string]any{"tenant": "acme", "name": "q", "cql": "SELECT * FROM stocks", "bid": 1.0, "qos": []map[string]float64{{"latency": 1, "utility": 7}}}); code != http.StatusBadRequest {
+		t.Errorf("invalid QoS: code %d, want 400", code)
+	}
+	if code, _ := submit(map[string]any{"tenant": "acme", "name": "q", "cql": "SELECT * FROM stocks", "bid": 1.0}); code != http.StatusCreated {
+		t.Errorf("valid submit: code %d, want 201", code)
+	}
+	if code, _ := submit(map[string]any{"tenant": "acme", "name": "q", "cql": "SELECT * FROM stocks", "bid": 2.0}); code != http.StatusConflict {
+		t.Errorf("duplicate name: code %d, want 409", code)
+	}
+}
+
+// TestOverCapacityBidRejected submits a query whose declared load cannot fit
+// the center's capacity: the auction must reject it, the status surface must
+// say so, and no plan may be deployed for it.
+func TestOverCapacityBidRejected(t *testing.T) {
+	_, ts := newTestServer(t, 0.01)
+	call(t, "POST", ts.URL+"/v1/tenants", map[string]string{"name": "acme"}, nil)
+	var q queryJSON
+	if code := call(t, "POST", ts.URL+"/v1/queries", map[string]any{
+		"tenant": "acme", "name": "big", "cql": "SELECT * FROM stocks WHERE price > 1", "bid": 1000.0,
+	}, &q); code != http.StatusCreated {
+		t.Fatalf("submit = %d", code)
+	}
+	if q.DeclaredLoad <= 0.01 {
+		t.Fatalf("declared load %v not over the test capacity", q.DeclaredLoad)
+	}
+	var cycle CycleReport
+	if code := call(t, "POST", ts.URL+"/v1/admission/run", nil, &cycle); code != http.StatusOK {
+		t.Fatalf("admission run = %d", code)
+	}
+	if len(cycle.Admitted) != 0 || len(cycle.Rejected) != 1 {
+		t.Fatalf("cycle = %+v, want pure rejection", cycle)
+	}
+	if code := call(t, "GET", ts.URL+"/v1/queries/acme/big", nil, &q); code != http.StatusOK || q.Status != StatusRejected {
+		t.Fatalf("status = %q, want rejected", q.Status)
+	}
+	// With nothing deployed, ingest must refuse rather than drop silently.
+	var e struct {
+		Error string `json:"error"`
+	}
+	code := call(t, "POST", ts.URL+"/v1/streams/stocks", map[string]any{
+		"tuples": []map[string]any{{"vals": []any{"AAA", 5.0, 1}}},
+	}, &e)
+	if code != http.StatusConflict {
+		t.Fatalf("ingest with no plan = %d (%s), want 409", code, e.Error)
+	}
+}
+
+// TestIngestValidation pins the ingress contract: schema arity and kinds,
+// integer coercion, unknown streams, and the monotone timestamp frontier.
+func TestIngestValidation(t *testing.T) {
+	_, ts := newTestServer(t, 100)
+	call(t, "POST", ts.URL+"/v1/tenants", map[string]string{"name": "acme"}, nil)
+	call(t, "POST", ts.URL+"/v1/queries", map[string]any{
+		"tenant": "acme", "name": "q", "cql": "SELECT * FROM stocks", "bid": 5.0,
+	}, nil)
+	call(t, "POST", ts.URL+"/v1/admission/run", nil, nil)
+
+	push := func(source string, tuples []map[string]any) int {
+		return call(t, "POST", ts.URL+"/v1/streams/"+source, map[string]any{"tuples": tuples}, nil)
+	}
+	if code := push("nosuch", []map[string]any{{"vals": []any{1.0}}}); code != http.StatusNotFound {
+		t.Errorf("unknown stream = %d, want 404", code)
+	}
+	if code := push("stocks", []map[string]any{{"vals": []any{"AAA", 1.0}}}); code != http.StatusBadRequest {
+		t.Errorf("wrong arity = %d, want 400", code)
+	}
+	if code := push("stocks", []map[string]any{{"vals": []any{"AAA", 1.0, 2.5}}}); code != http.StatusBadRequest {
+		t.Errorf("fractional int field = %d, want 400", code)
+	}
+	if code := push("stocks", []map[string]any{{"vals": []any{42.0, 1.0, 2}}}); code != http.StatusBadRequest {
+		t.Errorf("number for string field = %d, want 400", code)
+	}
+	if code := push("stocks", []map[string]any{{"ts": 100, "vals": []any{"AAA", 1.0, 2}}}); code != http.StatusOK {
+		t.Errorf("valid explicit ts = %d, want 200", code)
+	}
+	if code := push("stocks", []map[string]any{{"ts": 50, "vals": []any{"AAA", 1.0, 2}}}); code != http.StatusBadRequest {
+		t.Errorf("timestamp regression = %d, want 400", code)
+	}
+	var load struct {
+		Sources map[string]struct {
+			Tuples   int64 `json:"tuples"`
+			Frontier int64 `json:"frontier"`
+		} `json:"sources"`
+		Running bool `json:"running"`
+	}
+	if code := call(t, "GET", ts.URL+"/v1/load", nil, &load); code != http.StatusOK {
+		t.Fatalf("load = %d", code)
+	}
+	if !load.Running || load.Sources["stocks"].Tuples != 1 || load.Sources["stocks"].Frontier != 100 {
+		t.Fatalf("load = %+v, want running with stocks frontier 100 after one accepted push", load)
+	}
+}
+
+// TestEvictionAcrossCycles drives two tenants whose combined measured load
+// exceeds capacity once measurement replaces the static estimate: the
+// lower-bid query is evicted at the cycle boundary and its status says so.
+func TestEvictionAcrossCycles(t *testing.T) {
+	_, ts := newTestServer(t, 100)
+	call(t, "POST", ts.URL+"/v1/tenants", map[string]string{"name": "a"}, nil)
+	call(t, "POST", ts.URL+"/v1/tenants", map[string]string{"name": "b"}, nil)
+	// Different predicates: no operator sharing, so the auction trades the
+	// two queries off independently.
+	call(t, "POST", ts.URL+"/v1/queries", map[string]any{
+		"tenant": "a", "name": "q", "cql": "SELECT * FROM stocks WHERE price > 10", "bid": 50.0,
+	}, nil)
+	call(t, "POST", ts.URL+"/v1/queries", map[string]any{
+		"tenant": "b", "name": "q", "cql": "SELECT * FROM stocks WHERE price > 20", "bid": 1.0,
+	}, nil)
+	var cycle CycleReport
+	call(t, "POST", ts.URL+"/v1/admission/run", nil, &cycle)
+	if len(cycle.Admitted) != 2 {
+		t.Fatalf("first cycle admitted %d, want both", len(cycle.Admitted))
+	}
+	// One heavy tick: 60 tuples in one metering tick pushes measured load
+	// far past the declared estimates, so next cycle's repriced auction
+	// cannot keep both.
+	tuples := make([]map[string]any, 60)
+	for i := range tuples {
+		tuples[i] = map[string]any{"vals": []any{"AAA", float64(30 + i), 1}}
+	}
+	if code := call(t, "POST", ts.URL+"/v1/streams/stocks", map[string]any{"tuples": tuples}, nil); code != http.StatusOK {
+		t.Fatalf("ingest = %d", code)
+	}
+	call(t, "POST", ts.URL+"/v1/admission/run", nil, &cycle)
+	if len(cycle.Evicted) != 1 || cycle.Evicted[0] != "b/q" {
+		t.Fatalf("second cycle evicted %v, want [b/q] (lower bid loses)", cycle.Evicted)
+	}
+	var q queryJSON
+	if code := call(t, "GET", ts.URL+"/v1/queries/b/q", nil, &q); code != http.StatusOK || q.Status != StatusEvicted {
+		t.Fatalf("evicted status = %q, want %q", q.Status, StatusEvicted)
+	}
+}

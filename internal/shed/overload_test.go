@@ -163,14 +163,14 @@ func TestOverloadAgreesAcrossExecutors(t *testing.T) {
 		t.Fatalf("gold lost tuples under utility shedding: %d/%d", want["gold"], overloadTuples)
 	}
 
-	rt, err := engine.StartRuntime(overloadPlan(), engine.RuntimeConfig{Buf: 256, Shedder: mkShedder()})
+	rt, err := engine.StartRuntime(overloadPlan(), engine.RuntimeConfig{ExecConfig: engine.ExecConfig{Buf: 256, Shedder: mkShedder()}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	pushOverload(t, rt)
 
 	sh, err := engine.StartSharded(func() (*engine.Plan, error) { return overloadPlan(), nil },
-		engine.ShardedConfig{Shards: 3, Buf: 256, Shedder: mkShedder()})
+		engine.ShardedConfig{ExecConfig: engine.ExecConfig{Shards: 3, Buf: 256, Shedder: mkShedder()}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestRuntimeSourcesStayUnblocked(t *testing.T) {
 	}), engine.FromSource("s"))
 	p.AddSink("q", slow)
 
-	rt, err := engine.StartRuntime(p, engine.RuntimeConfig{Buf: 1, Shedder: New(UtilitySlope{})})
+	rt, err := engine.StartRuntime(p, engine.RuntimeConfig{ExecConfig: engine.ExecConfig{Buf: 1, Shedder: New(UtilitySlope{})}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,7 +35,7 @@ func TestDropPlanSurvivesReshard(t *testing.T) {
 		t.Fatalf("drop plan = %v, want ~0.5 ratio for q", drops)
 	}
 
-	st, err := engine.StartStaged(plan, engine.StagedConfig{Shards: 2, Buf: 64, Shedder: shedder})
+	st, err := engine.StartStaged(plan, engine.StagedConfig{ExecConfig: engine.ExecConfig{Shards: 2, Buf: 64, Shedder: shedder}})
 	if err != nil {
 		t.Fatal(err)
 	}

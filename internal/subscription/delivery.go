@@ -1,0 +1,201 @@
+package subscription
+
+import (
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Hub fans executor result batches out to per-query subscribers — the
+// delivery half of a subscription: the auction decides who runs, the hub
+// decides who hears. Executor taps publish into it; service-plane result
+// streams subscribe out of it. It is safe for concurrent use from any mix
+// of publishers and subscribers.
+//
+// Delivery is lossy by design, in the same spirit as load shedding: a
+// subscriber that cannot keep up loses its OLDEST undelivered batches
+// (newest results are the valuable ones in a monitoring stream), and every
+// loss is counted on the subscription rather than hidden. Publishing never
+// blocks on a slow subscriber, so backpressure can never reach the
+// executor's sink taps.
+type Hub struct {
+	backlog int
+
+	mu      sync.Mutex
+	queries map[string]*hubQuery
+	closed  bool
+}
+
+// hubQuery is one query's fan-out state: the replay ring and live subs.
+type hubQuery struct {
+	// ring holds the most recent published tuples (bounded by Hub.backlog),
+	// replayed to new subscribers so a tenant that connects a moment after
+	// admission still sees results published before its GET arrived.
+	ring []stream.Tuple
+	subs map[*Sub]bool
+	done bool
+}
+
+// NewHub creates a hub retaining up to backlog tuples per query for replay
+// to late subscribers; backlog <= 0 disables replay.
+func NewHub(backlog int) *Hub {
+	if backlog < 0 {
+		backlog = 0
+	}
+	return &Hub{backlog: backlog, queries: make(map[string]*hubQuery)}
+}
+
+// Publish delivers one result batch for a query. The hub copies the tuples
+// it retains, so the caller keeps ownership of the batch slice (an executor
+// tap may recycle it via engine.PutBatch immediately after Publish
+// returns). Tuple values are shared, never mutated.
+func (h *Hub) Publish(query string, batch []stream.Tuple) {
+	if len(batch) == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	q := h.query(query)
+	if q.done {
+		return
+	}
+	if h.backlog > 0 {
+		q.ring = append(q.ring, batch...)
+		if over := len(q.ring) - h.backlog; over > 0 {
+			q.ring = append(q.ring[:0], q.ring[over:]...)
+		}
+	}
+	if len(q.subs) == 0 {
+		return
+	}
+	// One copy shared by all subscribers: batches are read-only downstream.
+	out := append([]stream.Tuple(nil), batch...)
+	for s := range q.subs {
+		s.offer(out)
+	}
+}
+
+// Subscribe opens a result stream for a query, replaying the retained
+// backlog first. buf is the subscriber's channel depth in batches; <= 0
+// gets a small default. Subscribing to a finished query yields a channel
+// that delivers the backlog and closes.
+func (h *Hub) Subscribe(query string, buf int) *Sub {
+	if buf <= 0 {
+		buf = 8
+	}
+	s := &Sub{hub: h, query: query, ch: make(chan []stream.Tuple, buf)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	q := h.query(query)
+	if replay := q.ring; len(replay) > 0 {
+		s.offer(append([]stream.Tuple(nil), replay...))
+	}
+	if q.done || h.closed {
+		close(s.ch)
+		s.done = true
+		return s
+	}
+	q.subs[s] = true
+	return s
+}
+
+// CloseQuery ends a query's result stream — the plan was evicted or the
+// daemon is retiring the sink — closing every subscriber's channel after
+// its buffered batches drain. The replay ring is kept, so late subscribers
+// still receive the final results; later publishes are dropped.
+func (h *Hub) CloseQuery(query string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	q := h.query(query)
+	q.done = true
+	for s := range q.subs {
+		close(s.ch)
+		s.done = true
+	}
+	q.subs = make(map[*Sub]bool)
+}
+
+// Close shuts the hub down, closing every subscriber of every query.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for _, q := range h.queries {
+		for s := range q.subs {
+			close(s.ch)
+			s.done = true
+		}
+		q.subs = make(map[*Sub]bool)
+	}
+}
+
+// query returns (creating if needed) a query's fan-out state; callers hold
+// mu.
+func (h *Hub) query(name string) *hubQuery {
+	q := h.queries[name]
+	if q == nil {
+		q = &hubQuery{subs: make(map[*Sub]bool)}
+		h.queries[name] = q
+	}
+	return q
+}
+
+// Sub is one subscriber's view of a query's result stream.
+type Sub struct {
+	hub     *Hub
+	query   string
+	ch      chan []stream.Tuple
+	done    bool
+	dropped int64
+}
+
+// C returns the subscriber's batch channel. It closes when the query or the
+// hub closes, or after Cancel.
+func (s *Sub) C() <-chan []stream.Tuple { return s.ch }
+
+// Dropped returns how many batches this subscriber lost to backpressure.
+func (s *Sub) Dropped() int64 {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel detaches the subscriber and closes its channel; safe to call at
+// most once per Sub, and a no-op after the query or hub closed it.
+func (s *Sub) Cancel() {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	if s.done {
+		return
+	}
+	if q := s.hub.queries[s.query]; q != nil {
+		delete(q.subs, s)
+	}
+	close(s.ch)
+	s.done = true
+}
+
+// offer enqueues a batch without ever blocking: when the subscriber's
+// buffer is full the oldest undelivered batch is discarded (and counted) to
+// make room. Callers hold hub.mu, which also serializes offers, so the
+// drop-one-retry loop cannot race another producer.
+func (s *Sub) offer(batch []stream.Tuple) {
+	for {
+		select {
+		case s.ch <- batch:
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.dropped++
+		default:
+		}
+	}
+}

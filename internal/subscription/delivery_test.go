@@ -1,0 +1,129 @@
+package subscription
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func batchOf(ts ...int64) []stream.Tuple {
+	out := make([]stream.Tuple, len(ts))
+	for i, t := range ts {
+		out[i] = stream.Tuple{Ts: t, Vals: []any{t}}
+	}
+	return out
+}
+
+func collect(s *Sub) []int64 {
+	var got []int64
+	for b := range s.C() {
+		for _, t := range b {
+			got = append(got, t.Ts)
+		}
+	}
+	return got
+}
+
+func TestHubDeliversAndReplays(t *testing.T) {
+	h := NewHub(100)
+	live := h.Subscribe("q", 8)
+	h.Publish("q", batchOf(1, 2))
+	h.Publish("q", batchOf(3))
+	// A late subscriber sees the backlog replayed before anything new.
+	late := h.Subscribe("q", 8)
+	h.Publish("q", batchOf(4))
+	h.CloseQuery("q")
+
+	if got := collect(live); len(got) != 4 || got[0] != 1 || got[3] != 4 {
+		t.Fatalf("live subscriber got %v, want [1 2 3 4]", got)
+	}
+	if got := collect(late); len(got) != 4 || got[0] != 1 || got[3] != 4 {
+		t.Fatalf("late subscriber got %v, want replay then live: [1 2 3 4]", got)
+	}
+	// After CloseQuery the ring survives for still-later subscribers...
+	post := h.Subscribe("q", 8)
+	if got := collect(post); len(got) != 4 {
+		t.Fatalf("post-close subscriber got %v, want full 4-tuple backlog", got)
+	}
+	// ...but new publishes are dropped.
+	h.Publish("q", batchOf(5))
+	if got := collect(h.Subscribe("q", 8)); len(got) != 4 {
+		t.Fatalf("publish after CloseQuery leaked: %v", got)
+	}
+}
+
+func TestHubPublishCopiesBatch(t *testing.T) {
+	h := NewHub(10)
+	s := h.Subscribe("q", 8)
+	batch := batchOf(1, 2, 3)
+	h.Publish("q", batch)
+	// Caller keeps ownership: clobbering the slice after Publish must not
+	// corrupt what subscribers or the replay ring see.
+	for i := range batch {
+		batch[i] = stream.Tuple{Ts: -9}
+	}
+	h.CloseQuery("q")
+	if got := collect(s); len(got) != 3 || got[0] != 1 {
+		t.Fatalf("subscriber saw caller's mutation: %v", got)
+	}
+}
+
+func TestHubBacklogRingBounded(t *testing.T) {
+	h := NewHub(3)
+	for i := int64(1); i <= 10; i++ {
+		h.Publish("q", batchOf(i))
+	}
+	h.CloseQuery("q")
+	got := collect(h.Subscribe("q", 8))
+	if len(got) != 3 || got[0] != 8 || got[2] != 10 {
+		t.Fatalf("replay ring = %v, want most recent [8 9 10]", got)
+	}
+}
+
+func TestHubSlowSubscriberDropsOldest(t *testing.T) {
+	h := NewHub(0)
+	s := h.Subscribe("q", 2)
+	for i := int64(1); i <= 5; i++ {
+		h.Publish("q", batchOf(i))
+	}
+	h.CloseQuery("q")
+	got := collect(s)
+	if len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("slow subscriber got %v, want newest [4 5]", got)
+	}
+	if d := s.Dropped(); d != 3 {
+		t.Fatalf("Dropped = %d, want 3", d)
+	}
+}
+
+func TestHubCancelAndConcurrency(t *testing.T) {
+	h := NewHub(0)
+	s := h.Subscribe("q", 4)
+	s.Cancel()
+	s.Cancel() // idempotent
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.Publish("q", batchOf(int64(g*1000+i)))
+			}
+		}(g)
+	}
+	subs := make([]*Sub, 8)
+	for i := range subs {
+		subs[i] = h.Subscribe("q", 4)
+	}
+	wg.Wait()
+	h.Close()
+	for _, s := range subs {
+		collect(s) // must terminate: Close closed every channel
+	}
+	// Publishing and subscribing after Close are safe no-ops.
+	h.Publish("q", batchOf(1))
+	if got := collect(h.Subscribe("q", 4)); got != nil {
+		t.Fatalf("subscribe after Close delivered %v", got)
+	}
+}

@@ -54,12 +54,10 @@ type Request struct {
 	Operators []OperatorSpec
 }
 
-// OperatorSpec mirrors cloud.OperatorSpec (kept local so the package stands
-// alone in auction-only studies).
-type OperatorSpec struct {
-	Key  string
-	Load float64
-}
+// OperatorSpec is the shared submission vocabulary (see query.OperatorSpec):
+// the same alias cloud.Submission uses, so a request's operator list moves
+// between the two admission paths without conversion.
+type OperatorSpec = query.OperatorSpec
 
 // Active is a running subscription.
 type Active struct {
