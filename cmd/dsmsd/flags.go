@@ -15,6 +15,7 @@ type execFlags struct {
 	shards    int
 	batch     int
 	heartbeat int
+	columnar  bool
 }
 
 func (f *execFlags) register(fs *flag.FlagSet) {
@@ -22,9 +23,10 @@ func (f *execFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&f.shards, "shards", 0, "shard count for the sharded executor (0 = GOMAXPROCS)")
 	fs.IntVar(&f.batch, "batch", 64, "tuples per executor batch")
 	fs.IntVar(&f.heartbeat, "heartbeat", 0, "sharded executor: emit source punctuation every K batches so quiet exchange shards release mid-run (0 = every batch, negative = disable)")
+	fs.BoolVar(&f.columnar, "columnar", false, "push ingress as struct-of-arrays (columnar) batches and run qualified fused chains column-at-a-time (concurrent backends only; sync falls back to rows)")
 }
 
 // execConfig converts the parsed flags into the engine's shared knob struct.
 func (f *execFlags) execConfig(shedder engine.Shedder) engine.ExecConfig {
-	return engine.ExecConfig{Shards: f.shards, Buf: f.batch, Shedder: shedder}
+	return engine.ExecConfig{Shards: f.shards, Buf: f.batch, Shedder: shedder, Columnar: f.columnar}
 }

@@ -292,10 +292,18 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 				}
 			}
 		}
+		// Layout reports what the pump actually did: -columnar on a backend
+		// without the columnar ingress (sync) silently falls back to rows.
+		_, colCapable := exec.(engine.OwnedColBatchPusher)
+		columnar := cfg.exec.columnar && colCapable
+		layout := "row"
+		if columnar {
+			layout = "columnar"
+		}
 		var memBefore, memAfter runtime.MemStats
 		runtime.ReadMemStats(&memBefore)
 		dayStart := time.Now()
-		batches, err := pumpDay(exec, feed, cfg.tuplesPerDay, cfg.exec.batch, progress)
+		batches, err := pumpDay(exec, feed, cfg.tuplesPerDay, cfg.exec.batch, columnar, progress)
 		if err != nil {
 			return err
 		}
@@ -308,8 +316,8 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 		// heap allocations per pushed tuple — the number batch pooling and
 		// operator fusion exist to hold down.
 		dayTuples := cfg.tuplesPerDay + (cfg.tuplesPerDay+4)/5
-		fmt.Printf("  day throughput: %d batches in %.2fs — %.0f batches/s, %.0f tuples/s, %.1f heap allocs/tuple\n",
-			batches, elapsed, float64(batches)/elapsed, float64(dayTuples)/elapsed,
+		fmt.Printf("  day throughput: %d %s batches in %.2fs — %.0f batches/s, %.0f tuples/s, %.1f heap allocs/tuple\n",
+			batches, layout, elapsed, float64(batches)/elapsed, float64(dayTuples)/elapsed,
 			float64(memAfter.Mallocs-memBefore.Mallocs)/float64(dayTuples))
 
 		// Feed the measured loads forward and judge the executed period. The
@@ -564,9 +572,19 @@ func reprice(s cloud.Submission, measured map[string]float64) cloud.Submission {
 // engine's pool, filled, and pushed owned — no ingress copy, and the buffer
 // re-enters the pool once the dataflow is done with it. The synchronous
 // engine keeps the plain PushBatch path with one reused local buffer.
-func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int, progress func(pushed int)) (batches int, err error) {
+//
+// With columnar set (and a backend offering engine.OwnedColBatchPusher) the
+// pump leases struct-of-arrays batches instead: tuples are unboxed into
+// typed columns at the feed boundary, so qualified fused chains downstream
+// never see a boxed row at all.
+func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int, columnar bool, progress func(pushed int)) (batches int, err error) {
 	if batch < 1 {
 		batch = 1
+	}
+	if columnar {
+		if colOwner, ok := exec.(engine.OwnedColBatchPusher); ok {
+			return pumpDayColumnar(colOwner, feed, n, batch, progress)
+		}
 	}
 	owner, owned := exec.(engine.OwnedBatchPusher)
 	lease := func() []stream.Tuple {
@@ -621,6 +639,53 @@ func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int, progress fun
 		engine.PutBatch(stocks)
 		engine.PutBatch(news)
 	}
+	return batches, nil
+}
+
+// pumpDayColumnar is pumpDay on the struct-of-arrays ingress: batches are
+// leased per layout class from the engine's column pools, each feed tuple is
+// unboxed into typed columns as it arrives, and the filled batch is pushed
+// owned — the dataflow recycles it when done.
+func pumpDayColumnar(owner engine.OwnedColBatchPusher, feed *market.Feed, n, batch int, progress func(pushed int)) (batches int, err error) {
+	stocks := engine.GetColBatch(market.QuoteSchema, batch)
+	news := engine.GetColBatch(market.NewsSchema, batch)
+	flush := func(source string, pending **stream.ColBatch, schema *stream.Schema) error {
+		if (*pending).Len() == 0 {
+			return nil
+		}
+		batches++
+		err := owner.PushOwnedColBatch(source, *pending)
+		*pending = engine.GetColBatch(schema, batch)
+		return err
+	}
+	for i := 0; i < n; i++ {
+		stocks.AppendTuple(feed.Quote())
+		if stocks.Len() == batch {
+			if err := flush("stocks", &stocks, market.QuoteSchema); err != nil {
+				return batches, err
+			}
+		}
+		if i%5 == 0 {
+			news.AppendTuple(feed.Headline())
+			if news.Len() == batch {
+				if err := flush("news", &news, market.NewsSchema); err != nil {
+					return batches, err
+				}
+			}
+		}
+		if progress != nil {
+			progress(i + 1)
+		}
+	}
+	if err := flush("stocks", &stocks, market.QuoteSchema); err != nil {
+		return batches, err
+	}
+	if err := flush("news", &news, market.NewsSchema); err != nil {
+		return batches, err
+	}
+	// The final flushes leased replacement batches nothing will fill.
+	engine.PutColBatch(stocks)
+	engine.PutColBatch(news)
 	return batches, nil
 }
 

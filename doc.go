@@ -93,6 +93,44 @@
 // allocations per tuple end to end — pinned by TestFusedSteadyStateZeroAllocs
 // and the BenchmarkFusedPrefix / BenchmarkPushOwnedBatch gates.
 //
+// # Columnar layout: struct-of-arrays on the fused hot path
+//
+// With ExecConfig.Columnar set, the fused hot path drops the boxed row
+// layout entirely. stream.ColBatch is a schema-typed struct-of-arrays
+// batch — one []int64 timestamp column plus one typed slice per field — so
+// a filter or map kernel touches contiguous typed memory instead of chasing
+// a []any pointer per value; punctuation rides out-of-band as a batch
+// watermark (folding a marker to the end of its batch is sound: a
+// punctuation is a promise about FUTURE tuples, so the fold delays only
+// liveness, never correctness), and the boundary conversion back to rows
+// re-emits it as one trailing in-band marker.
+//
+// A fused chain executes columnar when every constituent implements
+// stream.ColumnarTransform (the structured operator forms: NewCmpFilter's
+// comparison specs compile to selection-vector refinement with one gather;
+// NewAddMap to an in-place add over one float column), accepts the input
+// schema (ColumnarOK), and preserves the physical column layout through its
+// OutSchema — qualification is per chain at runtime start, from schemas
+// propagated source-to-sink through the plan. Everything else stays on the
+// row path by conversion at its own boundary: stateful operators, exchange
+// edges, sinks and taps keep the Tuple API, every consumer accepts either
+// layout, and the sharded executors split columnar batches by key straight
+// out of the typed columns through the same per-kind hash cores the boxed
+// path uses, so a columnar tuple lands on exactly the shard its boxed twin
+// would.
+//
+// Column buffers follow the same single-owner pooling as row batches,
+// classed by physical layout (engine.GetColBatch / PutColBatch) so pools
+// survive executor swaps across admission cycles; engine.OwnedColBatchPusher
+// is the zero-copy columnar ingress (dsmsd's pump and the service plane's
+// stream ingest both use it under -columnar), and under `go test -race` the
+// pool guard turns double puts and use-after-put into immediate failures.
+// Equivalence with the row path — results and per-node counters, across
+// fusion on/off and all three concurrent executors — is continuously proven
+// by the randomized harness's columnar arms; the layout win and the
+// zero-alloc contract are pinned by BenchmarkColumnarPrefix and
+// TestColumnarSteadyStateZeroAllocs.
+//
 // # Staged execution and exchange edges
 //
 // Plans that mix keyed and global operators run on the Staged executor

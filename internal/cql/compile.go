@@ -160,23 +160,24 @@ func (c *compiler) build(src Source) (*Compiled, error) {
 	var stages []stage
 	upstream := fmt.Sprintf("src[%s]", q.From)
 
-	// Filter stage (canonical conjunction).
+	// Filter stage (canonical conjunction), built structured (NewCmpFilter)
+	// rather than from opaque closures so the engine can run it columnar on
+	// the fused prefix path.
 	if len(q.Where) > 0 {
 		canon := make([]string, len(q.Where))
-		preds := make([]stream.Predicate, len(q.Where))
+		specs := make([]stream.CmpSpec, len(q.Where))
 		for i, cmp := range q.Where {
 			canon[i] = cmp.Canon()
-			preds[i] = c.predicate(schema, cmp)
+			specs[i] = cmpSpec(schema, cmp)
 		}
 		key := fmt.Sprintf("σ[%s][%s]", upstream, strings.Join(canon, "&"))
 		cost := c.costs.Filter
-		pred := stream.And(preds...)
 		stages = append(stages, stage{
 			key:  key,
 			load: cost * rate,
 			wire: func(reg *cloud.SharedOps, in anyPort) anyPort {
 				return anyPort{port: reg.Unary(key, in.port, func() stream.Transform {
-					return stream.NewFilter(key, cost, pred)
+					return stream.NewCmpFilter(key, cost, specs...)
 				})}
 			},
 		})
@@ -262,7 +263,8 @@ func (c *compiler) build(src Source) (*Compiled, error) {
 
 	if len(stages) == 0 {
 		// SELECT * with no WHERE: a passthrough filter so the query owns at
-		// least one operator (the model requires ≥ 1).
+		// least one operator (the model requires ≥ 1). The empty conjunction
+		// keeps it structured, hence columnar-eligible.
 		key := fmt.Sprintf("σ[src[%s]][true]", q.From)
 		cost := c.costs.Filter
 		stages = append(stages, stage{
@@ -270,7 +272,7 @@ func (c *compiler) build(src Source) (*Compiled, error) {
 			load: cost * rate,
 			wire: func(reg *cloud.SharedOps, in anyPort) anyPort {
 				return anyPort{port: reg.Unary(key, in.port, func() stream.Transform {
-					return stream.NewFilter(key, cost, func(stream.Tuple) bool { return true })
+					return stream.NewCmpFilter(key, cost)
 				})}
 			},
 		})
@@ -309,32 +311,37 @@ func (c *compiler) selectivity(key string) float64 {
 	return c.costs.Selectivity
 }
 
-// predicate builds the stream predicate for one comparison.
-func (c *compiler) predicate(schema *stream.Schema, cmp Cmp) stream.Predicate {
-	idx := schema.IndexOf(cmp.Field)
+// cmpSpec renders one parsed comparison as a structured stream.CmpSpec; the
+// row-path predicates NewCmpFilter derives from it match what the compiler
+// historically built by hand (FieldEqString / negated string equality /
+// FieldCmp).
+func cmpSpec(schema *stream.Schema, cmp Cmp) stream.CmpSpec {
+	spec := stream.CmpSpec{Field: schema.IndexOf(cmp.Field), Op: cmpOp(cmp.Op)}
 	if cmp.IsStr {
-		if cmp.Op == "=" {
-			return stream.FieldEqString(idx, cmp.Str)
-		}
-		want := cmp.Str
-		return func(t stream.Tuple) bool { return t.Str(idx) != want }
+		spec.IsStr = true
+		spec.Str = cmp.Str
+	} else {
+		spec.Num = cmp.Num
 	}
-	var op stream.CmpOp
-	switch cmp.Op {
+	return spec
+}
+
+func cmpOp(op string) stream.CmpOp {
+	switch op {
 	case "=":
-		op = stream.Eq
+		return stream.Eq
 	case "!=":
-		op = stream.Ne
+		return stream.Ne
 	case "<":
-		op = stream.Lt
+		return stream.Lt
 	case "<=":
-		op = stream.Le
+		return stream.Le
 	case ">":
-		op = stream.Gt
+		return stream.Gt
 	case ">=":
-		op = stream.Ge
+		return stream.Ge
 	}
-	return stream.FieldCmp(idx, op, cmp.Num)
+	return stream.Eq
 }
 
 // anyPort threads an engine port (plus a deferred error) through the wiring

@@ -263,6 +263,58 @@ func BenchmarkFusedPrefix(b *testing.B) {
 	}
 }
 
+// driveOwnedCol is driveOwned on the columnar ingress: pooled
+// struct-of-arrays batches bulk-filled from a template and pushed owned.
+func driveOwnedCol(b *testing.B, rt *Runtime, template *stream.ColBatch) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	pushed := 0
+	for pushed < b.N {
+		buf := GetColBatch(template.Schema(), template.Len())
+		buf.AppendCols(template)
+		if err := rt.PushOwnedColBatch("s", buf); err != nil {
+			b.Fatal(err)
+		}
+		pushed += template.Len()
+	}
+	rt.Stop()
+	b.StopTimer()
+	b.ReportMetric(float64(pushed)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkColumnarPrefix measures the struct-of-arrays layout against the
+// boxed row layout on the SAME fused 4-deep int/float filter+map chain
+// (colDeepPlan): the row arm runs the fused chain batch-at-a-time over
+// []Tuple with per-value boxing and type assertions, the columnar arm runs
+// it column-at-a-time over typed slices with selection-vector filters and
+// in-place adds. Both arms are zero-copy owned ingress with recycling sink
+// taps, so the delta isolates layout. Gated by cmd/benchgate in CI; the
+// columnar arm is also a zero-alloc hot path (b.ReportAllocs should stay at
+// 0 allocs/op — see TestColumnarSteadyStateZeroAllocs).
+func BenchmarkColumnarPrefix(b *testing.B) {
+	b.Run("row-fused", func(b *testing.B) {
+		rt, err := StartRuntime(colDeepPlan(), RuntimeConfig{
+			ExecConfig: ExecConfig{Buf: 256},
+			Taps:       recycleTap(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		driveOwned(b, rt, colRowTemplate(benchBatch))
+	})
+	b.Run("columnar", func(b *testing.B) {
+		rt, err := StartRuntime(colDeepPlan(), RuntimeConfig{
+			ExecConfig: ExecConfig{Buf: 256, Columnar: true},
+			ColTaps:    map[string]func(*stream.ColBatch){"q": PutColBatch},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		driveOwnedCol(b, rt, colColTemplate(benchBatch))
+	})
+}
+
 // BenchmarkPushOwnedBatch compares the two ingress paths on the fused deep
 // chain: owned pushes transfer a pooled buffer (zero-copy, allocation-free),
 // copied pushes pay PushBatch's defensive memcpy into a pooled buffer. Gated

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// colSchema is the int/float schema the columnar hot-path tests and
+// benchmarks run on: no string column, so the whole batch is two typed
+// numeric slices plus timestamps.
+var colSchema = stream.MustSchema(
+	stream.Field{Name: "a", Kind: stream.KindInt},
+	stream.Field{Name: "b", Kind: stream.KindFloat},
+)
+
+// colDeepPlan builds the 4-deep structured stateless prefix
+// (filter→map→filter→map into one sink) out of the columnar-executable
+// operator forms: CmpFilter specs refine a selection vector, AddMaps rewrite
+// the float column in place. Predicates pass every generated tuple, so the
+// numbers isolate pure per-row execution cost — boxed Vals traversal on the
+// row path versus contiguous typed columns on the columnar path.
+func colDeepPlan() *Plan {
+	p := NewPlan()
+	p.AddSource("s", colSchema)
+	cur := p.AddUnary(stream.NewCmpFilter("f0", 1, stream.CmpSpec{Field: 1, Op: stream.Gt, Num: 0}), FromSource("s"))
+	cur = p.AddUnary(stream.NewAddMap("m0", 1, 1, 1), cur)
+	cur = p.AddUnary(stream.NewCmpFilter("f1", 1, stream.CmpSpec{Field: 1, Op: stream.Lt, Num: 1e9}), cur)
+	cur = p.AddUnary(stream.NewAddMap("m1", 1, 1, 1), cur)
+	p.AddSink("q", cur)
+	return p
+}
+
+// colRowTemplate pre-builds one row-layout batch conforming to colSchema.
+func colRowTemplate(n int) []stream.Tuple {
+	template := make([]stream.Tuple, n)
+	for i := range template {
+		template[i] = stream.NewTuple(int64(i+1), int64(i%5), float64(i%7)+1)
+	}
+	return template
+}
+
+// colColTemplate is colRowTemplate in columnar layout.
+func colColTemplate(n int) *stream.ColBatch {
+	cb := stream.NewColBatch(colSchema, n)
+	for _, t := range colRowTemplate(n) {
+		cb.AppendTuple(t)
+	}
+	return cb
+}
+
+// TestRuntimeColumnarIngressMatchesRows pushes one workload twice through
+// the same plan — boxed rows on one Runtime, struct-of-arrays batches on
+// another — and requires identical sink results and identical per-node
+// counters. Punctuation rides along: the row arm appends an in-band marker
+// where the columnar arm folds the same promise into the batch watermark,
+// pinning the out-of-band carry and its boundary re-emission to the in-band
+// semantics.
+func TestRuntimeColumnarIngressMatchesRows(t *testing.T) {
+	run := func(columnar bool) (map[string][]string, [][2]int64) {
+		rt, err := StartRuntime(colDeepPlan(), RuntimeConfig{ExecConfig: ExecConfig{Buf: 8, Columnar: columnar}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 10; batch++ {
+			base := int64(batch * 16)
+			if columnar {
+				cb := GetColBatch(colSchema, 16)
+				for i := 0; i < 16; i++ {
+					cb.AppendTuple(stream.NewTuple(base+int64(i)+1, int64(i%3), float64(i%7)+1))
+				}
+				cb.SetWatermark(base + 16)
+				if err := rt.PushOwnedColBatch("s", cb); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				buf := GetBatch(17)
+				for i := 0; i < 16; i++ {
+					buf = append(buf, stream.NewTuple(base+int64(i)+1, int64(i%3), float64(i%7)+1))
+				}
+				buf = append(buf, stream.NewPunctuation(base+16))
+				if err := rt.PushOwnedBatch("s", buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		rt.Stop()
+		out := map[string][]string{"q": canonTs(rt.Results("q"))}
+		rt.Advance(1)
+		return out, countStats(rt.Stats())
+	}
+	wantOut, wantCounts := run(false)
+	gotOut, gotCounts := run(true)
+	if !reflect.DeepEqual(gotOut, wantOut) {
+		t.Errorf("columnar ingress diverges from row ingress\n got %v\nwant %v", gotOut, wantOut)
+	}
+	if !reflect.DeepEqual(gotCounts, wantCounts) {
+		t.Errorf("columnar per-node counters diverge\n got %v\nwant %v", gotCounts, wantCounts)
+	}
+	if len(wantOut["q"]) == 0 {
+		t.Fatal("workload produced no results; the comparison is vacuous")
+	}
+}
+
+// TestColumnarSteadyStateZeroAllocs pins the columnar hot path's allocation
+// contract, the column twin of TestFusedSteadyStateZeroAllocs: a batch
+// leased from the layout-classed pool, bulk-filled, pushed owned, run
+// through the fused columnar chain (selection-vector filters, in-place adds)
+// and recycled at the columnar sink tap completes the cycle without a single
+// heap allocation — and in particular without boxing one value.
+func TestColumnarSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is not meaningful under the race detector")
+	}
+	var delivered atomic.Int64
+	rt, err := StartRuntime(colDeepPlan(), RuntimeConfig{
+		ExecConfig: ExecConfig{Buf: 4, Columnar: true},
+		ColTaps: map[string]func(*stream.ColBatch){"q": func(cb *stream.ColBatch) {
+			n := int64(cb.Len())
+			PutColBatch(cb) // recycle before signaling, so the pusher's next lease hits the pool
+			delivered.Add(n)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	template := colColTemplate(benchBatch)
+	push := func() {
+		want := delivered.Load() + int64(template.Len())
+		buf := GetColBatch(colSchema, template.Len())
+		buf.AppendCols(template)
+		if err := rt.PushOwnedColBatch("s", buf); err != nil {
+			t.Fatal(err)
+		}
+		for delivered.Load() < want {
+			runtime.Gosched()
+		}
+	}
+	// Warm the cycle: the first trips allocate the circulating batch, its
+	// selection-vector scratch and any lazily-grown runtime internals.
+	for i := 0; i < 8; i++ {
+		push()
+	}
+	if avg := testing.AllocsPerRun(200, push); avg != 0 {
+		t.Errorf("columnar steady state allocates %.2f times per %d-row owned batch, want 0", avg, template.Len())
+	}
+	rt.Stop()
+}

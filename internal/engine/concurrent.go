@@ -34,11 +34,13 @@ import (
 // across independent paths.
 type Runtime struct {
 	plan *Plan
-	// srcIn carries tuple batches from PushBatch into the per-source router.
-	srcIn map[string]chan []stream.Tuple
-	// taps holds the streaming sink consumers from RuntimeConfig; read-only
-	// after start.
-	taps map[string]func([]stream.Tuple)
+	// srcIn carries ingress batches — boxed rows or columnar — from the push
+	// methods into the per-source router.
+	srcIn map[string]chan srcMsg
+	// taps and colTaps hold the streaming sink consumers from RuntimeConfig;
+	// read-only after start.
+	taps    map[string]func([]stream.Tuple)
+	colTaps map[string]func(*stream.ColBatch)
 
 	mu      sync.Mutex
 	results map[string][]stream.Tuple
@@ -73,9 +75,22 @@ type runtimeCounters struct {
 	shedUtil atomicFloat64
 }
 
-// sidedBatch tags a tuple batch with the binary-operator input it belongs to.
+// srcMsg is one ingress send: exactly one of rows / cols is set, depending on
+// which push path produced it. Both layouts flow through the same source
+// channel so ordering across mixed pushes is preserved.
+type srcMsg struct {
+	rows []stream.Tuple
+	cols *stream.ColBatch
+}
+
+// sidedBatch tags one dataflow-edge batch with the binary-operator input it
+// belongs to. Exactly one of ts / cols is set: edges carry whichever layout
+// the producer emitted, and every consumer accepts both — columnar-capable
+// fused chains run cols natively, everything else converts to rows at its
+// own loop top (the row↔column boundary rule from doc.go).
 type sidedBatch struct {
 	ts   []stream.Tuple
+	cols *stream.ColBatch
 	side stream.Side
 }
 
@@ -109,6 +124,20 @@ type RuntimeConfig struct {
 	// staged executor uses taps as the shard side of exchange edges; the
 	// service plane uses them as per-query result fan-out.
 	Taps map[string]func([]stream.Tuple)
+	// ColTaps maps sink names to streaming columnar consumers. A ColTap fires
+	// only when the producing edge delivers a columnar batch (ownership of the
+	// *stream.ColBatch transfers to the tap, which recycles it via PutColBatch
+	// once done); batches arriving as rows still go to the sink's row Tap, so
+	// a sink expecting both layouts installs both. Without a ColTap a columnar
+	// sink batch converts to rows at the boundary and follows the row rules.
+	ColTaps map[string]func(*stream.ColBatch)
+	// SourceSchemas supplies per-source schemas for columnar chain
+	// qualification only — it never adds ingress validation. The staged
+	// executor builds shard plans whose sources deliberately carry nil schemas
+	// (tuples were validated once at the staged ingress); without the planning
+	// schema the fused chains behind those sources could never qualify for
+	// columnar execution. Ignored unless ExecConfig.Columnar is set.
+	SourceSchemas map[string]*stream.Schema
 }
 
 // StartConcurrent builds and starts the runtime over a built plan with the
@@ -133,8 +162,9 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 	buf := cfg.bufOrDefault()
 	r := &Runtime{
 		plan:    p,
-		srcIn:   make(map[string]chan []stream.Tuple),
+		srcIn:   make(map[string]chan srcMsg),
 		taps:    cfg.Taps,
+		colTaps: cfg.ColTaps,
 		results: make(map[string][]stream.Tuple),
 		stats:   make([]runtimeCounters, len(p.nodes)),
 	}
@@ -160,6 +190,14 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 		for _, id := range chain[:len(chain)-1] {
 			internalOut[id] = true
 		}
+	}
+
+	// Columnar qualification needs the schema flowing into each chain head.
+	// Plans own their source schemas in the common case; SourceSchemas covers
+	// the staged shard plans whose sources are deliberately schema-free.
+	var headIn []*stream.Schema
+	if cfg.Columnar && len(chains) > 0 {
+		headIn = planInputSchemas(p, cfg.SourceSchemas)
 	}
 
 	// One tagged input channel per node; unary nodes use side Left only.
@@ -214,10 +252,35 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 				batch = cloneBatch(ts)
 			}
 			if e.node >= 0 {
-				nodeIn[e.node] <- sidedBatch{batch, e.side}
+				nodeIn[e.node] <- sidedBatch{ts: batch, side: e.side}
 				continue
 			}
 			r.deliver(e.sink, batch)
+		}
+	}
+
+	// colEmit is emit for owned columnar batches: the final edge takes the
+	// batch as-is, siblings get column-level copies, and a batch with nothing
+	// to carry (no rows, no watermark) or nowhere to go recycles here. Unlike
+	// emit there is no unowned variant — columnar batches always travel under
+	// the single-owner rule.
+	colEmit := func(out []edge, cb *stream.ColBatch) {
+		_, hasWM := cb.Watermark()
+		if (cb.Len() == 0 && !hasWM) || len(out) == 0 {
+			putColBatch(cb)
+			return
+		}
+		last := len(out) - 1
+		for i, e := range out {
+			batch := cb
+			if i < last {
+				batch = cloneColBatch(cb)
+			}
+			if e.node >= 0 {
+				nodeIn[e.node] <- sidedBatch{cols: batch, side: e.side}
+				continue
+			}
+			r.deliverCol(e.sink, batch)
 		}
 	}
 
@@ -300,7 +363,7 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 				continue
 			}
 			select {
-			case nodeIn[e.node] <- sidedBatch{kept, e.side}:
+			case nodeIn[e.node] <- sidedBatch{ts: kept, side: e.side}:
 				if !owns {
 					tsSent = true
 				}
@@ -326,9 +389,12 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 		}
 	}
 
-	// Source routers.
+	// Source routers. Columnar ingress stays columnar through a shed-free
+	// router (the common hot path); a shedding router demotes it to rows
+	// first — the sampler filters per edge and per tuple, which is exactly
+	// the boxed layout's job.
 	for name, s := range p.sources {
-		ch := make(chan []stream.Tuple, buf)
+		ch := make(chan srcMsg, buf)
 		r.srcIn[name] = ch
 		src := s
 		shedHere := cfg.Shedder != nil && !cfg.NoShedSources[name]
@@ -338,13 +404,21 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 			if shedHere {
 				// Per-edge sampler state is owned by this router goroutine.
 				states := make([]shedState, len(src.out))
-				for ts := range ch {
+				for m := range ch {
+					ts := m.rows
+					if m.cols != nil {
+						ts = colToRows(m.cols)
+					}
 					emitIngress(src.out, states, ts)
 				}
 			} else {
-				for ts := range ch {
-					// PushBatch allocates the batch per send; the router owns it.
-					emit(src.out, ts, true)
+				for m := range ch {
+					if m.cols != nil {
+						colEmit(src.out, m.cols)
+						continue
+					}
+					// The push path allocated the batch; the router owns it.
+					emit(src.out, m.rows, true)
 				}
 			}
 			done(src.out)
@@ -368,10 +442,24 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 
 		if ci, ok := chainAt[i]; ok {
 			fr := newFusedRunner(p, chains[ci], r.stats)
+			if headIn != nil {
+				fr.initColumnar(headIn[i])
+			}
 			r.wg.Add(1)
 			go func() {
 				defer r.wg.Done()
 				for m := range in {
+					if m.cols != nil {
+						if fr.colOK {
+							// Columnar fast path: the whole chain runs in place
+							// on the typed columns — no boxing in, none out.
+							cb := m.cols
+							fr.runColBatch(cb)
+							colEmit(fr.tail.out, cb)
+							continue
+						}
+						m.ts, m.cols = colToRows(m.cols), nil
+					}
 					out, reused := fr.runBatch(m.ts)
 					if len(out) == 0 {
 						// reused means out aliases m.ts — one backing array,
@@ -428,14 +516,21 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 		go func() {
 			defer r.wg.Done()
 			for m := range in {
+				// Stateful and unfused operators keep the boxed Tuple API:
+				// a columnar batch converts to rows once at this boundary
+				// (its watermark re-emerges as a trailing in-band marker).
+				ts := m.ts
+				if m.cols != nil {
+					ts = colToRows(m.cols)
+				}
 				// Punctuation markers are control entries: they route through
 				// the operator's Punctuator contract (or are swallowed),
 				// stay in stream position relative to the data tuples around
 				// them, and never touch the metering counters — Stats must
 				// match the punctuation-free sync Engine exactly.
 				var nIn, nOut int64
-				outs := getBatch(len(m.ts))
-				for _, t := range m.ts {
+				outs := getBatch(len(ts))
+				for _, t := range ts {
 					if t.IsPunct() {
 						if w, ok := punctuate(node, m.side, t.Ts); ok {
 							outs = append(outs, stream.NewPunctuation(w))
@@ -457,7 +552,7 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 				counters.tuples.Add(nIn)
 				counters.out.Add(nOut)
 				emit(node.out, outs, true)
-				putBatch(m.ts)
+				putBatch(ts)
 			}
 			if !r.noFlush.Load() {
 				var flushed []stream.Tuple
@@ -500,6 +595,94 @@ func (r *Runtime) deliver(sink string, batch []stream.Tuple) {
 		r.mu.Unlock()
 	}
 	putBatch(batch) // kept aliases batch: one backing array, one recycle
+}
+
+// deliverCol routes one owned columnar sink batch: to the sink's columnar tap
+// when one is installed (ownership passes to the tap), otherwise it converts
+// to rows at the boundary and follows deliver's rules — row tap, or the
+// Results accumulator.
+func (r *Runtime) deliverCol(sink string, cb *stream.ColBatch) {
+	if tap := r.colTaps[sink]; tap != nil {
+		tap(cb)
+		return
+	}
+	r.deliver(sink, colToRows(cb))
+}
+
+// colToRows is the column→row boundary conversion: it boxes an owned
+// columnar batch into a pooled row batch, re-emits the batch watermark as one
+// trailing in-band punctuation marker, and recycles the columnar buffer. The
+// trailing position is the one the out-of-band fold licenses — a watermark is
+// a floor for everything still ahead, so surfacing it after the rows it rode
+// with only tightens it.
+func colToRows(cb *stream.ColBatch) []stream.Tuple {
+	rows := getBatch(cb.Len() + 1)
+	rows = cb.AppendTo(rows)
+	if wm, ok := cb.Watermark(); ok {
+		rows = append(rows, stream.NewPunctuation(wm))
+	}
+	putColBatch(cb)
+	return rows
+}
+
+// cloneColBatch copies a columnar batch — column-level memcpys, no boxing —
+// so each fan-out consumer owns its data.
+func cloneColBatch(cb *stream.ColBatch) *stream.ColBatch {
+	out := getColBatch(cb.Schema(), cb.Len())
+	out.AppendCols(cb)
+	return out
+}
+
+// planInputSchemas propagates schemas forward through a built plan and
+// returns the schema arriving at each node's left input (nil where unknown) —
+// what fusedRunner.initColumnar needs for its chain head. Node indices are
+// topological, so one pass suffices. overrides supplies schemas for sources
+// whose plan entry carries none (see RuntimeConfig.SourceSchemas); an input
+// fed by producers that disagree on schema is treated as unknown.
+func planInputSchemas(p *Plan, overrides map[string]*stream.Schema) []*stream.Schema {
+	inL := make([]*stream.Schema, len(p.nodes))
+	inR := make([]*stream.Schema, len(p.nodes))
+	haveL := make([]bool, len(p.nodes))
+	haveR := make([]bool, len(p.nodes))
+	feed := func(out []edge, s *stream.Schema) {
+		for _, e := range out {
+			if e.node < 0 {
+				continue
+			}
+			in, have := &inL[e.node], &haveL[e.node]
+			if e.side == stream.Right {
+				in, have = &inR[e.node], &haveR[e.node]
+			}
+			if !*have {
+				*in, *have = s, true
+			} else if *in != s {
+				*in = nil
+			}
+		}
+	}
+	for name, s := range p.sources {
+		ss := s.schema
+		if ss == nil {
+			ss = overrides[name]
+		}
+		if ss != nil {
+			feed(s.out, ss)
+		}
+	}
+	for i, n := range p.nodes {
+		var out *stream.Schema
+		if n.unary != nil {
+			if inL[i] != nil {
+				out = n.unary.OutSchema(inL[i])
+			}
+		} else if inL[i] != nil && inR[i] != nil {
+			out = n.binary.OutSchema(inL[i], inR[i])
+		}
+		if out != nil {
+			feed(n.out, out)
+		}
+	}
+	return inL
 }
 
 // punctuate routes one punctuation marker through a node's operator: the
@@ -592,7 +775,7 @@ func (r *Runtime) PushBatch(source string, batch []stream.Tuple) error {
 		r.mu.Unlock()
 	}
 	if len(send) > 0 {
-		ch <- send
+		ch <- srcMsg{rows: send}
 	} else {
 		putBatch(send)
 	}
@@ -655,11 +838,51 @@ func (r *Runtime) PushOwnedBatch(source string, batch []stream.Tuple) error {
 		}
 	}
 	if len(batch) > 0 {
-		ch <- batch
+		ch <- srcMsg{rows: batch}
 	} else {
 		putBatch(batch)
 	}
 	return first
+}
+
+// PushOwnedColBatch implements OwnedColBatchPusher: the caller hands an owned
+// struct-of-arrays batch (leased via GetColBatch) to the runtime and must not
+// touch it afterwards, even on error. The batch crosses the dataflow in
+// columnar form — chains that qualified for columnar execution run it in
+// place; everything else converts to rows at its own boundary. Validation is
+// by physical layout against the source schema: a mismatched batch is
+// rejected whole (per-tuple salvage would require boxing, defeating the
+// point), counted as dropped.
+func (r *Runtime) PushOwnedColBatch(source string, cb *stream.ColBatch) error {
+	r.stopMu.RLock()
+	defer r.stopMu.RUnlock()
+	if r.closed {
+		putColBatch(cb)
+		return errStopped
+	}
+	ch, ok := r.srcIn[source]
+	if !ok {
+		r.mu.Lock()
+		r.dropped += cb.Len()
+		r.mu.Unlock()
+		putColBatch(cb)
+		return fmt.Errorf("engine: unknown source %q", source)
+	}
+	s := r.plan.sources[source]
+	if s.schema != nil && cb.Layout() != s.schema.Layout() {
+		n := cb.Len()
+		r.mu.Lock()
+		r.dropped += n
+		r.mu.Unlock()
+		putColBatch(cb)
+		return fmt.Errorf("engine: columnar batch layout %q does not match source %q schema %s", cb.Layout(), source, s.schema)
+	}
+	if _, hasWM := cb.Watermark(); cb.Len() == 0 && !hasWM {
+		putColBatch(cb)
+		return nil
+	}
+	ch <- srcMsg{cols: cb}
+	return nil
 }
 
 // Advance moves the metering clock forward (see Stats).

@@ -31,6 +31,16 @@ type ExecConfig struct {
 	// on and off to prove exactly that); the switch exists for that sweep
 	// and for A/B benchmarking.
 	DisableFusion bool
+	// Columnar enables struct-of-arrays execution on fused chains: a fused
+	// prefix whose members all implement stream.ColumnarTransform (at the
+	// schemas flowing into them) executes column-at-a-time on
+	// stream.ColBatch batches instead of boxed tuple rows. Row↔column
+	// conversion happens only at the chain boundaries, so results and
+	// per-node Stats are identical either way (the equivalence harness
+	// sweeps columnar × fusion to prove it). Columnar ingress
+	// (PushOwnedColBatch) is accepted regardless of this switch — the
+	// switch governs whether chains execute on columns.
+	Columnar bool
 }
 
 // bufOrDefault resolves the configured edge buffer, applying the shared

@@ -488,3 +488,72 @@ func TestShardedReshardUnderShedding(t *testing.T) {
 		t.Fatalf("ShedTuples = %d, want %d±6", loads[0].ShedTuples, n/2)
 	}
 }
+
+// TestPartitionMapTrafficDecay pins the traffic counters' exponential decay
+// on the metering clock: once partitionDecayTicks Advance ticks accumulate,
+// every bucket counter halves — repeatedly when the clock jumps several
+// intervals at once — so the counters approximate recent traffic, not an
+// all-time sum.
+func TestPartitionMapTrafficDecay(t *testing.T) {
+	pm := newPartitionMap(2)
+	for i := 0; i < 1024; i++ {
+		pm.route(3)
+	}
+	for i := 0; i < 64; i++ {
+		pm.route(7)
+	}
+	pm.observeTicks(partitionDecayTicks - 1)
+	if got := pm.counts[3].Load(); got != 1024 {
+		t.Fatalf("bucket 3 decayed %d ticks early: count %d, want 1024", partitionDecayTicks-1, got)
+	}
+	pm.observeTicks(1)
+	if got := pm.counts[3].Load(); got != 512 {
+		t.Fatalf("bucket 3 after one decay interval: count %d, want 512", got)
+	}
+	pm.observeTicks(3 * partitionDecayTicks)
+	if got := pm.counts[3].Load(); got != 64 {
+		t.Fatalf("bucket 3 after a 3-interval clock jump: count %d, want 64", got)
+	}
+	if got := pm.counts[7].Load(); got != 4 {
+		t.Fatalf("bucket 7 after four total decay intervals: count %d, want 4", got)
+	}
+}
+
+// TestPartitionMapDecayFavorsRecentTraffic is the decay's reason to exist:
+// a bucket that was scorching long ago must not outweigh the bucket that is
+// hot NOW when a rebalance places buckets. Without decay the ancient bucket
+// keeps the larger all-time count and gets the isolation the current hot
+// bucket needs.
+func TestPartitionMapDecayFavorsRecentTraffic(t *testing.T) {
+	pm := newPartitionMap(4)
+	// Bucket 3 carries a huge burst long ago...
+	for i := 0; i < 8*partitionBuckets; i++ {
+		pm.route(3)
+	}
+	// ...then eight decay intervals pass under light, even traffic...
+	for e := 0; e < 8; e++ {
+		for b := 0; b < partitionBuckets; b++ {
+			pm.route(uint64(b))
+		}
+		pm.observeTicks(partitionDecayTicks)
+	}
+	// ...and bucket 7 runs hot today.
+	for i := 0; i < 4*partitionBuckets; i++ {
+		pm.route(7)
+	}
+	if ancient, recent := pm.counts[3].Load(), pm.counts[7].Load(); ancient >= recent {
+		t.Fatalf("ancient-hot bucket (count %d) still outweighs the recently-hot bucket (count %d)", ancient, recent)
+	}
+	pm.rebalance(4)
+	hot := pm.shardOf(7)
+	share := make([]int, 4)
+	for b := 0; b < partitionBuckets; b++ {
+		share[pm.shardOf(uint64(b))]++
+	}
+	if share[hot] > partitionBuckets/16 {
+		t.Fatalf("recently-hot bucket's shard owns %d buckets, want it (nearly) isolated (shares %v)", share[hot], share)
+	}
+	if pm.shardOf(3) == hot {
+		t.Errorf("the decayed ancient-hot bucket still shares the isolation shard")
+	}
+}

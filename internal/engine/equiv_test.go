@@ -14,7 +14,8 @@ import (
 // random plans (filter / map / window-agg / hash-join / union over 1–3
 // sources), random batch schedules, random shard counts, random mid-run
 // Reshard calls and random heartbeat cadences — sweeping operator fusion on
-// and off and owned vs copied ingress on top — and asserts that every
+// and off, owned vs copied ingress, and row vs columnar batch layout on top
+// — and asserts that every
 // executor produces results tuple-identical (after canonical ordering) to
 // the synchronous Engine oracle, with per-node tuple counters to match. It
 // is the regression net for all executor work: a change that breaks
@@ -83,11 +84,15 @@ func (es equivSpec) build() *Plan {
 		var out PortRef
 		switch op.kind {
 		case "filter":
-			out = p.AddUnary(stream.NewFilter(name, 1, stream.FieldCmp(1, op.cmp, op.thresh)), ports[op.in1])
+			// Structured (NewCmpFilter) rather than an opaque closure, so
+			// generated stateless chains qualify for the columnar kernels the
+			// columnar arms sweep; row-path semantics are identical to
+			// FieldCmp(1, cmp, thresh).
+			out = p.AddUnary(stream.NewCmpFilter(name, 1, stream.CmpSpec{Field: 1, Op: op.cmp, Num: op.thresh}), ports[op.in1])
 		case "map":
-			out = p.AddUnary(stream.NewMap(name, 1, nil, func(t stream.Tuple) []any {
-				return []any{t.Vals[0], t.Float(1) + 1}
-			}), ports[op.in1])
+			// Structured add-map: same row semantics as the closure form
+			// ({Vals[0], Float(1)+1}) with a columnar-executable rewrite.
+			out = p.AddUnary(stream.NewAddMap(name, 1, 1, 1), ports[op.in1])
 		case "window":
 			out = p.AddUnary(stream.MustWindowAgg(name, 1, op.spec), ports[op.in1])
 		case "join":
@@ -265,8 +270,11 @@ func genSchedule(rng *rand.Rand, nSources int) []equivEvent {
 // copied into pool-leased buffers and pushed through PushOwnedBatch on
 // executors that offer it (the copy keeps the shared schedule reusable
 // across executors while still exercising the ownership-transfer ingress
-// and its recycling end to end).
-func runEquivSchedule(t *testing.T, ex Executor, es equivSpec, events []equivEvent, grew, shrank *int, owned bool) map[string][]string {
+// and its recycling end to end). With columnar set, batches are instead
+// unboxed into pool-leased struct-of-arrays batches and pushed through
+// PushOwnedColBatch, exercising the columnar ingress, partition split and
+// row-boundary conversions end to end.
+func runEquivSchedule(t *testing.T, ex Executor, es equivSpec, events []equivEvent, grew, shrank *int, owned, columnar bool) map[string][]string {
 	t.Helper()
 	for _, ev := range events {
 		if ev.src < 0 {
@@ -291,6 +299,16 @@ func runEquivSchedule(t *testing.T, ex Executor, es equivSpec, events []equivEve
 			continue
 		}
 		src := es.sourceName(ev.src)
+		if op, ok := ex.(OwnedColBatchPusher); ok && columnar {
+			cb := GetColBatch(testSchema, len(ev.batch))
+			for _, tp := range ev.batch {
+				cb.AppendTuple(tp)
+			}
+			if err := op.PushOwnedColBatch(src, cb); err != nil {
+				t.Fatalf("push owned columnar %s: %v", src, err)
+			}
+			continue
+		}
 		if op, ok := ex.(OwnedBatchPusher); ok && owned {
 			buf := GetBatch(len(ev.batch))
 			buf = append(buf, ev.batch...)
@@ -347,12 +365,12 @@ func TestEquivalenceRandomized(t *testing.T) {
 			fail("oracle: %v", err)
 		}
 		var g0, s0 int
-		want := runEquivSchedule(t, oracle, es, events.events, &g0, &s0, false)
+		want := runEquivSchedule(t, oracle, es, events.events, &g0, &s0, false, false)
 		oracle.Advance(1)
 		wantCounts := countStats(oracle.Stats())
 
-		check := func(name string, ex Executor, grew, shrank *int, owned bool) {
-			got := runEquivSchedule(t, ex, es, events.events, grew, shrank, owned)
+		check := func(name string, ex Executor, grew, shrank *int, owned, columnar bool) {
+			got := runEquivSchedule(t, ex, es, events.events, grew, shrank, owned, columnar)
 			for q, w := range want {
 				if !reflect.DeepEqual(got[q], w) {
 					fail("%s: query %q diverges from sync oracle (%d vs %d tuples)\n got %v\nwant %v",
@@ -372,40 +390,48 @@ func TestEquivalenceRandomized(t *testing.T) {
 		// be oracle-identical at every setting — punctuation may only move
 		// WHEN the merge releases, never WHAT reaches the global stage.
 		heartbeat := []int{-1, 0, 1, 2, 5}[rng.Intn(5)]
-		// Sweep operator fusion and the ingress path: every case runs the
-		// staged executor both fused and unfused, with opposite ingress modes,
-		// so all four {fusion}×{owned,copied} combinations are continuously
-		// re-proven oracle-identical — fusion and buffer pooling must change
-		// neither results nor any constituent node's counters.
+		// Sweep operator fusion, the ingress path and the batch layout: every
+		// case runs the staged executor through all four {fusion on,off} ×
+		// {columnar on,off} combinations (the row arms additionally alternate
+		// owned vs copied ingress), so fusion, buffer pooling, columnar
+		// kernels and the row↔column boundary conversions are all
+		// continuously re-proven oracle-identical — none may change results
+		// or any constituent node's counters. The unfused-columnar arm is
+		// deliberate: with no fused chains every columnar batch converts to
+		// rows at its consumer, which is the conversion path's soak.
 		ownedFirst := c%2 == 0
 		for _, variant := range []struct {
 			name     string
 			noFusion bool
 			owned    bool
+			columnar bool
 		}{
-			{"staged", false, ownedFirst},
-			{"staged-unfused", true, !ownedFirst},
+			{"staged", false, ownedFirst, false},
+			{"staged-unfused", true, !ownedFirst, false},
+			{"staged-columnar", false, true, true},
+			{"staged-unfused-columnar", true, true, true},
 		} {
 			st, err := StartStaged(func() (*Plan, error) { return es.build(), nil },
-				StagedConfig{ExecConfig: ExecConfig{Shards: shards, Buf: buf, DisableFusion: variant.noFusion}, Heartbeat: heartbeat})
+				StagedConfig{ExecConfig: ExecConfig{Shards: shards, Buf: buf, DisableFusion: variant.noFusion, Columnar: variant.columnar}, Heartbeat: heartbeat})
 			if err != nil {
 				fail("StartStaged (%s): %v", variant.name, err)
 			}
 			cov := coverage["staged"]
-			check(variant.name, st, &cov[0], &cov[1], variant.owned)
+			check(variant.name, st, &cov[0], &cov[1], variant.owned, variant.columnar)
 			if late := st.lateArrivals.Load(); late != 0 {
 				fail("%s: %d exchange tuples arrived below an emitted punctuation (heartbeat %d)", variant.name, late, heartbeat)
 			}
 		}
 
 		if split, err := es.build().Analyze(); err == nil && split.FullyParallel() {
+			columnar := c%2 == 1
 			sh, err := StartSharded(func() (*Plan, error) { return es.build(), nil },
-				ShardedConfig{ExecConfig: ExecConfig{Shards: shards, Buf: buf, DisableFusion: c%4 >= 2}, Partition: split.Partition()})
+				ShardedConfig{ExecConfig: ExecConfig{Shards: shards, Buf: buf, DisableFusion: c%4 >= 2, Columnar: columnar}, Partition: split.Partition()})
 			if err != nil {
 				fail("StartSharded: %v", err)
 			}
 			cov := coverage["sharded"]
-			check("sharded", sh, &cov[0], &cov[1], ownedFirst)
+			check("sharded", sh, &cov[0], &cov[1], ownedFirst, columnar)
 		}
 	}
 	for name, cov := range coverage {

@@ -61,6 +61,20 @@ type OwnedBatchPusher interface {
 	PushOwnedBatch(source string, batch []stream.Tuple) error
 }
 
+// OwnedColBatchPusher is the columnar twin of OwnedBatchPusher: the caller
+// hands a schema-typed struct-of-arrays batch (leased via GetColBatch) to
+// the executor, transferring ownership exactly as PushOwnedBatch does — the
+// batch must not be touched after the call, even on error. A columnar push
+// skips the boxed row layout entirely on ingress: fused chains whose
+// operators run columnar (ExecConfig.Columnar) execute it column-at-a-time,
+// and anything that needs rows converts once at its own boundary.
+// Punctuation rides out-of-band as the batch watermark
+// (ColBatch.SetWatermark); validation is by physical layout, so a batch
+// whose schema layout differs from the source's is rejected whole.
+type OwnedColBatchPusher interface {
+	PushOwnedColBatch(source string, cb *stream.ColBatch) error
+}
+
 // Compile-time checks that every executor satisfies the interfaces.
 var (
 	_ Executor = (*Engine)(nil)
@@ -70,6 +84,10 @@ var (
 	_ OwnedBatchPusher = (*Runtime)(nil)
 	_ OwnedBatchPusher = (*Sharded)(nil)
 	_ OwnedBatchPusher = (*Staged)(nil)
+
+	_ OwnedColBatchPusher = (*Runtime)(nil)
+	_ OwnedColBatchPusher = (*Sharded)(nil)
+	_ OwnedColBatchPusher = (*Staged)(nil)
 )
 
 // PushBatch pushes each tuple of the batch in order. Rejected tuples

@@ -94,6 +94,12 @@ type fusedRunner struct {
 	natives []stream.BatchTransform // per member; nil -> per-tuple Apply fallback
 	puncts  []stream.Punctuator     // per member; nil -> marker swallowed
 	stats   []*runtimeCounters      // per member: the node's own Stats slot
+
+	// colOK marks the chain columnar-capable: every member implements
+	// stream.ColumnarTransform and accepts the schema flowing into it (see
+	// initColumnar). colMembers holds the per-member columnar kernels.
+	colOK      bool
+	colMembers []stream.ColumnarTransform
 }
 
 func newFusedRunner(p *Plan, chain []int, stats []runtimeCounters) *fusedRunner {
@@ -114,6 +120,66 @@ func newFusedRunner(p *Plan, chain []int, stats []runtimeCounters) *fusedRunner 
 	}
 	fr.tail = fr.members[len(fr.members)-1]
 	return fr
+}
+
+// initColumnar qualifies the chain for struct-of-arrays execution given the
+// schema arriving at its head. The chain qualifies when every constituent
+// implements stream.ColumnarTransform, accepts its propagated input schema
+// (ColumnarOK), and preserves the physical column layout through OutSchema —
+// the contract that lets one ColBatch run the whole chain in place. Any
+// failure leaves the chain on the boxed row path, which is always correct.
+func (fr *fusedRunner) initColumnar(in *stream.Schema) {
+	if in == nil {
+		return
+	}
+	cols := make([]stream.ColumnarTransform, len(fr.members))
+	cur := in
+	for k, n := range fr.members {
+		ct, ok := n.unary.(stream.ColumnarTransform)
+		if !ok || !ct.ColumnarOK(cur) {
+			return
+		}
+		cols[k] = ct
+		next := n.unary.OutSchema(cur)
+		if next == nil || next.Layout() != cur.Layout() {
+			return
+		}
+		cur = next
+	}
+	fr.colMembers = cols
+	fr.colOK = true
+}
+
+// runColBatch processes one owned columnar batch through the whole chain in
+// place: per constituent, one stats flush and one kernel call over the
+// typed columns — no boxing, no per-tuple dispatch. The batch watermark
+// (the out-of-band rendering of in-band punctuation) is rewritten once by
+// the composed punctuator chain, exactly as a trailing in-band marker would
+// be. Metering matches the row path: a constituent that empties the batch
+// stops the walk with downstream counters untouched, and watermarks never
+// touch counters. The caller keeps ownership of the (possibly now empty)
+// batch.
+func (fr *fusedRunner) runColBatch(cb *stream.ColBatch) {
+	if wm, ok := cb.Watermark(); ok {
+		cb.ClearWatermark()
+		if w, ok := fr.punctuate(wm); ok {
+			cb.SetWatermark(w)
+		}
+	}
+	if cb.Len() == 0 {
+		return
+	}
+	for k, ct := range fr.colMembers {
+		c := fr.stats[k]
+		c.tuples.Add(int64(cb.Len()))
+		ct.ApplyColBatch(cb)
+		c.out.Add(int64(cb.Len()))
+		if cb.Len() == 0 {
+			// Downstream constituents see nothing — as unfused, where an
+			// empty batch is never sent, so their counters stay untouched.
+			break
+		}
+	}
 }
 
 // punctuate threads one marker through every constituent's Punctuator in

@@ -34,21 +34,27 @@ func getBatch(capHint int) []stream.Tuple {
 		b := (*p)[:0]
 		*p = nil
 		boxPool.Put(p)
+		guardGetBatch(b)
 		return b
 	}
 	if capHint < 1 {
 		capHint = 1
 	}
-	return make([]stream.Tuple, 0, capHint)
+	b := make([]stream.Tuple, 0, capHint)
+	guardGetBatch(b)
+	return b
 }
 
 // putBatch returns a buffer to the pool. The caller must own b outright: no
 // other goroutine may hold b or any slice sharing its backing array, and b
-// must not be a sub-slice of a buffer something else still reads.
+// must not be a sub-slice of a buffer something else still reads. Race
+// builds enforce the rule: guardPutBatch panics on a double put and poisons
+// the returned contents so stale aliases read impossible data.
 func putBatch(b []stream.Tuple) {
 	if cap(b) == 0 {
 		return
 	}
+	guardPutBatch(b)
 	b = b[:0]
 	p, ok := boxPool.Get().(*[]stream.Tuple)
 	if !ok {
@@ -56,6 +62,69 @@ func putBatch(b []stream.Tuple) {
 	}
 	*p = b
 	batchPool.Put(p)
+}
+
+// colPools recycles *stream.ColBatch buffers per physical column layout
+// (Schema.Layout): batches of different schemas with identical layouts share
+// one pool class, so the executor swap across admission cycles doesn't
+// strand a warmed-up pool. Like the row pool, column buffers travel the
+// dataflow under the single-owner rule and re-enter the pool where their
+// last owner consumes them. The registry is a plain RWMutex map rather than
+// a sync.Map: layout classes are few and long-lived, and a string-keyed map
+// lookup stays allocation-free on the hot get/put path where sync.Map would
+// box the key (and LoadOrStore its value) on every call.
+var colPools struct {
+	sync.RWMutex
+	m map[string]*sync.Pool
+}
+
+// colPool returns (creating once) the pool class for a layout.
+func colPool(layout string) *sync.Pool {
+	colPools.RLock()
+	p := colPools.m[layout]
+	colPools.RUnlock()
+	if p != nil {
+		return p
+	}
+	colPools.Lock()
+	defer colPools.Unlock()
+	if colPools.m == nil {
+		colPools.m = make(map[string]*sync.Pool)
+	}
+	if p = colPools.m[layout]; p == nil {
+		p = &sync.Pool{}
+		colPools.m[layout] = p
+	}
+	return p
+}
+
+// getColBatch returns an empty columnar batch bound to schema, pooled when
+// one of the matching layout class is available.
+func getColBatch(schema *stream.Schema, capHint int) *stream.ColBatch {
+	if cb, ok := colPool(schema.Layout()).Get().(*stream.ColBatch); ok {
+		guardGetCol(cb)
+		cb.ResetFor(schema)
+		return cb
+	}
+	if capHint < 1 {
+		capHint = 1
+	}
+	cb := stream.NewColBatch(schema, capHint)
+	guardGetCol(cb)
+	return cb
+}
+
+// putColBatch returns a columnar batch to its layout class pool. The
+// single-owner rule of putBatch applies: no other goroutine may hold cb or
+// any of its column slices. Race builds enforce it: guardPutCol panics on a
+// double put and invalidates the batch so a stale reference panics on use.
+func putColBatch(cb *stream.ColBatch) {
+	if cb == nil {
+		return
+	}
+	cb.Reset()
+	guardPutCol(cb)
+	colPool(cb.Layout()).Put(cb)
 }
 
 // GetBatch leases an empty tuple buffer from the engine's shared batch pool,
@@ -71,3 +140,20 @@ func GetBatch(capHint int) []stream.Tuple { return getBatch(capHint) }
 // must be the slice's sole owner. Useful when a producer fills a buffer it
 // then decides not to push.
 func PutBatch(b []stream.Tuple) { putBatch(b) }
+
+// GetColBatch leases an empty columnar batch bound to schema from the
+// engine's layout-classed column pools, sized by capHint rows when the pool
+// has nothing to reuse. It is the producer half of the zero-copy columnar
+// ingress cycle: append rows (ColBatch.AppendTuple or the typed columns
+// directly), hand the batch to an OwnedColBatchPusher, and the engine
+// recycles it once the dataflow is done — no boxed values, no batch
+// allocation at steady state.
+func GetColBatch(schema *stream.Schema, capHint int) *stream.ColBatch {
+	return getColBatch(schema, capHint)
+}
+
+// PutColBatch returns a leased or owned columnar batch to the pool without
+// pushing it. The single-owner rule applies. Columnar sink taps
+// (RuntimeConfig.ColTaps) call this once they are done with a delivered
+// batch.
+func PutColBatch(cb *stream.ColBatch) { putColBatch(cb) }

@@ -1,0 +1,17 @@
+//go:build !race
+
+package engine
+
+import "repro/internal/stream"
+
+// No-op twin of the race-build pool guard (pool_guard_race.go): normal
+// builds pay nothing for the single-owner enforcement. The guard calls sit
+// on the pool chokepoints either way so the instrumented build needs no
+// extra wiring.
+
+const raceGuardEnabled = false
+
+func guardGetBatch([]stream.Tuple) {}
+func guardPutBatch([]stream.Tuple) {}
+func guardGetCol(*stream.ColBatch) {}
+func guardPutCol(*stream.ColBatch) {}

@@ -1,0 +1,94 @@
+//go:build race
+
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+
+	"repro/internal/stream"
+)
+
+// Race-build pool correctness guard. The batch pools' single-owner contract
+// ("exactly one owner; putting a buffer ends your ownership") is enforced by
+// convention on normal builds — a violation shows up, if at all, as data
+// corruption far from the bug. Under `go test -race` this guard turns both
+// violation modes into immediate, attributable failures:
+//
+//   - double put: returning a buffer (row batch backing array or *ColBatch)
+//     that is already in the pool panics at the second put site;
+//   - use after put: a returned row buffer is poisoned (every slot's Ts set
+//     to poisonTs, Vals cleared) so a stale alias reads impossible data, and
+//     a returned ColBatch is invalidated so any schema-dependent access
+//     through a stale reference nil-panics.
+//
+// Tracking is keyed by identity — the backing-array pointer for row batches
+// (unsafe.SliceData), the *ColBatch pointer for columnar batches — held in a
+// mutexed map. Keys are real pointers, so the GC keeps tracked buffers
+// alive and an address is never reused under a stale map entry; the map
+// grows with the pool's lifetime working set, an acceptable cost for an
+// instrumented test build. Non-race builds compile the no-op twin
+// (pool_guard_norace.go) and pay nothing.
+
+// poisonTs is the timestamp written into every slot of a row buffer at put:
+// large, negative, and recognizable in a failure dump.
+const poisonTs int64 = -0x5EADBEEFCAFE
+
+const raceGuardEnabled = true
+
+var poolGuard = struct {
+	sync.Mutex
+	// pooled[key] is true while the buffer sits in a pool, false while
+	// leased out.
+	rows map[unsafe.Pointer]bool
+	cols map[*stream.ColBatch]bool
+}{
+	rows: make(map[unsafe.Pointer]bool),
+	cols: make(map[*stream.ColBatch]bool),
+}
+
+func guardGetBatch(b []stream.Tuple) {
+	if cap(b) == 0 {
+		return
+	}
+	k := unsafe.Pointer(unsafe.SliceData(b))
+	poolGuard.Lock()
+	poolGuard.rows[k] = false
+	poolGuard.Unlock()
+}
+
+func guardPutBatch(b []stream.Tuple) {
+	if cap(b) == 0 {
+		return
+	}
+	k := unsafe.Pointer(unsafe.SliceData(b))
+	poolGuard.Lock()
+	if pooled, seen := poolGuard.rows[k]; seen && pooled {
+		poolGuard.Unlock()
+		panic(fmt.Sprintf("engine: double put of batch buffer %p (cap %d): a pooled buffer was returned again — some path kept using a batch after handing it off", k, cap(b)))
+	}
+	poolGuard.rows[k] = true
+	poolGuard.Unlock()
+	full := b[:cap(b)]
+	for i := range full {
+		full[i] = stream.Tuple{Ts: poisonTs}
+	}
+}
+
+func guardGetCol(cb *stream.ColBatch) {
+	poolGuard.Lock()
+	poolGuard.cols[cb] = false
+	poolGuard.Unlock()
+}
+
+func guardPutCol(cb *stream.ColBatch) {
+	poolGuard.Lock()
+	if pooled, seen := poolGuard.cols[cb]; seen && pooled {
+		poolGuard.Unlock()
+		panic(fmt.Sprintf("engine: double put of ColBatch %p (layout %q): a pooled columnar batch was returned again — some path kept using it after handing it off", cb, cb.Layout()))
+	}
+	poolGuard.cols[cb] = true
+	poolGuard.Unlock()
+	cb.Invalidate()
+}

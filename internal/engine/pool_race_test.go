@@ -1,0 +1,73 @@
+//go:build race
+
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// pool_race_test.go proves the race-build pool guard (pool_guard_race.go)
+// actually catches the violations it exists for, by committing each one
+// deliberately: a double put must panic at the second put site, and a
+// buffer used after its put must read as obviously-impossible data (rows)
+// or panic (columnar batches). These tests only build under `go test -race`
+// — the same builds where the guard is armed.
+
+// mustPanic runs fn and requires it to panic with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("deliberate pool violation did not panic (want message containing %q)", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("violation panicked with %v, want message containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestRaceGuardCatchesDoublePutRows(t *testing.T) {
+	b := GetBatch(4)
+	b = append(b, tup(1, "k", 1))
+	PutBatch(b)
+	mustPanic(t, "double put of batch buffer", func() { PutBatch(b) })
+}
+
+func TestRaceGuardCatchesDoublePutCols(t *testing.T) {
+	cb := GetColBatch(testSchema, 4)
+	cb.AppendTuple(tup(1, "k", 1))
+	PutColBatch(cb)
+	mustPanic(t, "double put of ColBatch", func() { PutColBatch(cb) })
+}
+
+func TestRaceGuardPoisonsRowsAfterPut(t *testing.T) {
+	b := GetBatch(4)
+	b = append(b, tup(7, "k", 1), tup(8, "k", 2))
+	alias := b // the use-after-put bug: a second reference survives the put
+	PutBatch(b)
+	for i := range alias {
+		if alias[i].Ts != poisonTs || alias[i].Vals != nil {
+			t.Fatalf("slot %d of a returned buffer still readable: %+v, want poisoned", i, alias[i])
+		}
+	}
+}
+
+func TestRaceGuardInvalidatesColsAfterPut(t *testing.T) {
+	cb := GetColBatch(testSchema, 4)
+	cb.AppendTuple(tup(7, "k", 1))
+	PutColBatch(cb)
+	if cb.Len() != 0 {
+		t.Fatalf("returned ColBatch still holds %d rows, want invalidated", cb.Len())
+	}
+	// Any schema-dependent access through the stale reference must panic
+	// (the schema is cleared at put) instead of corrupting the next lease.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("appending through a stale ColBatch reference did not panic")
+		}
+	}()
+	cb.AppendTuple(tup(8, "k", 2))
+}

@@ -60,14 +60,24 @@ type ShardLoad struct {
 // while leaving enough granularity to isolate a hot key on its own shard.
 const partitionBuckets = 256
 
+// partitionDecayTicks is the metering-tick interval of the traffic decay:
+// every time this many Advance ticks accumulate, every bucket counter halves.
+// The counters thus approximate exponentially-weighted recent traffic rather
+// than an all-time sum, so a rebalance long after a hot spell places buckets
+// by where the heat is now, not where it once was.
+const partitionDecayTicks = 256
+
 // partitionMap routes partition-key hashes to shards through virtual
 // buckets and counts per-bucket traffic, so a reshard can place observed-hot
 // buckets first (LPT-style) instead of striping blindly. The owner table is
 // replaced wholesale under the owning executor's write lock; the traffic
-// counters are atomic because concurrent pushers route under the read lock.
+// counters are atomic because concurrent pushers route under the read lock,
+// and decay on the owning executor's metering clock (see observeTicks).
 type partitionMap struct {
 	owner  []int32
 	counts []atomic.Int64
+	// tickAcc accumulates Advance ticks toward the next decay step.
+	tickAcc atomic.Int64
 }
 
 // newPartitionMap returns a map striping buckets across shards round-robin.
@@ -93,6 +103,34 @@ func (pm *partitionMap) route(h uint64) int {
 // when routing exported state, which is not feed traffic).
 func (pm *partitionMap) shardOf(h uint64) int {
 	return int(pm.owner[h%partitionBuckets])
+}
+
+// observeTicks advances the traffic decay clock by the executor's metering
+// ticks: once partitionDecayTicks have accumulated, every bucket counter
+// halves (repeatedly, if the clock jumped several intervals at once). Called
+// from the sharded executors' Advance; CAS loops keep it lock-free against
+// concurrent route() increments — a lost-in-flight increment during the halve
+// is noise well under the decay's own resolution.
+func (pm *partitionMap) observeTicks(ticks int64) {
+	if ticks <= 0 {
+		return
+	}
+	acc := pm.tickAcc.Add(ticks)
+	for acc >= partitionDecayTicks {
+		if !pm.tickAcc.CompareAndSwap(acc, acc-partitionDecayTicks) {
+			acc = pm.tickAcc.Load()
+			continue
+		}
+		acc -= partitionDecayTicks
+		for b := range pm.counts {
+			for {
+				c := pm.counts[b].Load()
+				if pm.counts[b].CompareAndSwap(c, c/2) {
+					break
+				}
+			}
+		}
+	}
 }
 
 // rebalance rebuilds the owner table for n shards from the traffic observed
@@ -132,25 +170,110 @@ func (pm *partitionMap) rebalance(n int) {
 // keyed on field i holds the key VALUE of that field, so hashing the value
 // lands the state on the same shard its future tuples route to.
 func hashValue(v any) (h64 uint64, ok bool) {
-	var h maphash.Hash
-	h.SetSeed(partitionSeed)
 	switch v := v.(type) {
 	case string:
-		h.WriteString(v)
+		return hashString(v), true
 	case int64:
-		writeUint64(&h, uint64(v))
+		return hashInt(v), true
 	case float64:
-		writeUint64(&h, uint64(int64(v)))
+		return hashFloat(v), true
 	case bool:
-		if v {
-			h.WriteByte(1)
-		} else {
-			h.WriteByte(0)
-		}
-	default:
-		return 0, false
+		return hashBool(v), true
 	}
-	return h.Sum64(), true
+	return 0, false
+}
+
+// The per-kind hash cores below are shared between the boxed path (hashValue
+// above) and the columnar split (splitColByField), which reads values out of
+// typed columns without ever boxing them. Keeping one implementation per kind
+// is a correctness requirement, not tidiness: keyed-state movement
+// (stateDest) hashes exported key VALUES through hashValue, so a columnar
+// tuple must land on exactly the shard its boxed twin would.
+
+func hashString(v string) uint64 {
+	var h maphash.Hash
+	h.SetSeed(partitionSeed)
+	h.WriteString(v)
+	return h.Sum64()
+}
+
+func hashInt(v int64) uint64 {
+	var h maphash.Hash
+	h.SetSeed(partitionSeed)
+	writeUint64(&h, uint64(v))
+	return h.Sum64()
+}
+
+// hashFloat truncates like the boxed float64 case always has: equal-keyed
+// tuples agree on a shard, which is all partitioning needs.
+func hashFloat(v float64) uint64 { return hashInt(int64(v)) }
+
+func hashBool(v bool) uint64 {
+	var h maphash.Hash
+	h.SetSeed(partitionSeed)
+	if v {
+		h.WriteByte(1)
+	} else {
+		h.WriteByte(0)
+	}
+	return h.Sum64()
+}
+
+// splitColByField partitions an owned columnar batch across shards by the
+// hash of one field, reading the key straight out of its typed column — the
+// columnar twin of the sharded executors' per-tuple route loop, producing
+// shard-identical placement (see the hash cores above). Absent or unhashable
+// key fields fall back to the timestamp, like hashField. The batch watermark
+// broadcasts to every shard (a source-stream promise covers every partition
+// of it), mirroring the row path's punctuation broadcast. The input batch is
+// consumed; the returned per-shard batches (nil where a shard gets nothing)
+// are owned by the caller.
+func splitColByField(pm *partitionMap, cb *stream.ColBatch, field int, shards int) []*stream.ColBatch {
+	sub := make([]*stream.ColBatch, shards)
+	schema := cb.Schema()
+	n := cb.Len()
+	lease := func(i int) *stream.ColBatch {
+		if sub[i] == nil {
+			sub[i] = getColBatch(schema, n)
+		}
+		return sub[i]
+	}
+	if field < 0 || field >= schema.NumFields() {
+		ts := cb.Ts()
+		for r := 0; r < n; r++ {
+			lease(pm.route(uint64(ts[r]))).AppendRowFrom(cb, r)
+		}
+	} else {
+		switch schema.Field(field).Kind {
+		case stream.KindInt:
+			col := cb.Ints(field)
+			for r := 0; r < n; r++ {
+				lease(pm.route(hashInt(col[r]))).AppendRowFrom(cb, r)
+			}
+		case stream.KindFloat:
+			col := cb.Floats(field)
+			for r := 0; r < n; r++ {
+				lease(pm.route(hashFloat(col[r]))).AppendRowFrom(cb, r)
+			}
+		case stream.KindString:
+			col := cb.Strs(field)
+			for r := 0; r < n; r++ {
+				lease(pm.route(hashString(col[r]))).AppendRowFrom(cb, r)
+			}
+		case stream.KindBool:
+			col := cb.Bools(field)
+			for r := 0; r < n; r++ {
+				lease(pm.route(hashBool(col[r]))).AppendRowFrom(cb, r)
+			}
+		}
+	}
+	if wm, ok := cb.Watermark(); ok {
+		for i := 0; i < shards; i++ {
+			lease(i).SetWatermark(wm)
+		}
+	}
+	putColBatch(cb)
+	return sub
 }
 
 // transformOf returns a node's operator instance, whichever arity it has.

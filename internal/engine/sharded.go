@@ -55,9 +55,15 @@ type Sharded struct {
 	buf      int
 	shedder  Shedder
 	noFusion bool
+	columnar bool
 	part     PartitionFunc
-	sources  map[string]bool
-	topo     *Plan // epoch-0 shard-0 plan: the stable stats topology
+	// partField is the partition key's field index when it is known (the
+	// defaulted PartitionByField(0) case) — what the columnar split hashes
+	// natively. partFieldOpaque means the PartitionFunc came from the caller
+	// and the key field is unknowable; columnar pushes then route boxed.
+	partField int
+	sources   map[string]bool
+	topo      *Plan // epoch-0 shard-0 plan: the stable stats topology
 
 	// mu guards the epoch state below: pushers and readers hold the read
 	// side, Reshard and Stop swap under the write side.
@@ -82,6 +88,10 @@ type Sharded struct {
 
 // partitionSeed makes hash partitioning stable within a process.
 var partitionSeed = maphash.MakeSeed()
+
+// partFieldOpaque marks a caller-supplied PartitionFunc whose key field the
+// executor cannot see (distinct from -1, hashField's route-by-timestamp).
+const partFieldOpaque = -2
 
 // PartitionByField returns a PartitionFunc hashing the i-th field of each
 // tuple (falling back to the timestamp when the field is absent). Streams
@@ -132,14 +142,16 @@ func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, e
 	}
 	buf := cfg.bufOrDefault()
 	s := &Sharded{
-		factory:  factory,
-		buf:      buf,
-		shedder:  cfg.Shedder,
-		noFusion: cfg.DisableFusion,
-		part:     cfg.Partition,
-		sources:  make(map[string]bool),
-		pmap:     newPartitionMap(n),
-		carried:  make(map[string][]stream.Tuple),
+		factory:   factory,
+		buf:       buf,
+		shedder:   cfg.Shedder,
+		noFusion:  cfg.DisableFusion,
+		columnar:  cfg.Columnar,
+		part:      cfg.Partition,
+		partField: partFieldOpaque,
+		sources:   make(map[string]bool),
+		pmap:      newPartitionMap(n),
+		carried:   make(map[string][]stream.Tuple),
 	}
 	for i := 0; i < n; i++ {
 		p, err := factory()
@@ -165,9 +177,10 @@ func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, e
 					}
 				}
 				s.part = PartitionByField(0)
+				s.partField = 0
 			}
 		}
-		rt, err := StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion}})
+		rt, err := StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion, Columnar: cfg.Columnar}})
 		if err != nil {
 			s.Stop()
 			return nil, err
@@ -242,7 +255,7 @@ func (s *Sharded) Reshard(n int) error {
 	moveKeyedState(s.plans, newPlans, stateDest(s.pmap))
 	shards := make([]*Runtime, n)
 	for i, p := range newPlans {
-		rt, err := StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{Buf: s.buf, Shedder: s.shedder, DisableFusion: s.noFusion}})
+		rt, err := StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{Buf: s.buf, Shedder: s.shedder, DisableFusion: s.noFusion, Columnar: s.columnar}})
 		if err != nil {
 			// Mid-swap failure: the old epoch is gone, so the executor
 			// cannot keep running. Fail it loudly rather than half-swapped.
@@ -310,6 +323,13 @@ func (s *Sharded) PushBatch(source string, batch []stream.Tuple) error {
 		s.dropped.Add(int64(len(batch)))
 		return fmt.Errorf("engine: unknown source %q", source)
 	}
+	return s.pushRowsLocked(source, batch)
+}
+
+// pushRowsLocked is PushBatch's partition-and-forward core; callers hold the
+// epoch read lock and have validated the source. The caller keeps ownership
+// of batch.
+func (s *Sharded) pushRowsLocked(source string, batch []stream.Tuple) error {
 	sub := make([][]stream.Tuple, len(s.shards))
 	for _, t := range batch {
 		if t.IsPunct() {
@@ -351,9 +371,50 @@ func (s *Sharded) PushOwnedBatch(source string, batch []stream.Tuple) error {
 	return err
 }
 
+// PushOwnedColBatch implements OwnedColBatchPusher: the owned columnar batch
+// splits across shards straight off its typed key column (splitColByField —
+// placement identical to the boxed route loop) and each shard's sub-batch
+// pushes onward columnar, so a qualified chain behind the partition never
+// sees a boxed tuple. When the partition function is caller-supplied, its key
+// field is opaque and the batch demotes to rows for routing.
+func (s *Sharded) PushOwnedColBatch(source string, cb *stream.ColBatch) error {
+	if s.stopped.Load() {
+		putColBatch(cb)
+		return errStopped
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.sources[source] {
+		s.dropped.Add(int64(cb.Len()))
+		putColBatch(cb)
+		return fmt.Errorf("engine: unknown source %q", source)
+	}
+	if s.partField == partFieldOpaque {
+		rows := colToRows(cb)
+		err := s.pushRowsLocked(source, rows)
+		putBatch(rows)
+		return err
+	}
+	sub := splitColByField(s.pmap, cb, s.partField, len(s.shards))
+	var first error
+	for i, scb := range sub {
+		if scb == nil {
+			continue
+		}
+		if err := s.shards[i].PushOwnedColBatch(source, scb); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Advance moves the merged metering clock forward (shard clocks stay at
-// zero so their raw costs sum cleanly).
-func (s *Sharded) Advance(ticks int64) { s.ticks.Add(ticks) }
+// zero so their raw costs sum cleanly) and drives the partition map's
+// traffic decay, so rebalances weigh recent buckets over ancient ones.
+func (s *Sharded) Advance(ticks int64) {
+	s.ticks.Add(ticks)
+	s.pmap.observeTicks(ticks)
+}
 
 // Results concatenates the named query's outputs — tuples carried over from
 // retired epochs first, then the current shards in shard order — and clears

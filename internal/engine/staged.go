@@ -104,8 +104,16 @@ type Staged struct {
 	buf       int
 	shedder   Shedder
 	noFusion  bool
+	columnar  bool
 	taps      map[string]func([]stream.Tuple)
 	heartbeat int // batches between source punctuation; <0 disabled
+	// partFields is each prefix source's inferred key field (the field
+	// Partition hashes), what the columnar split hashes natively.
+	partFields map[string]int
+	// srcSchemas carries the analyzed plan's source schemas into the shard
+	// runtimes for columnar chain qualification — the carved prefix plans
+	// deliberately hold none (validation happens once at the staged ingress).
+	srcSchemas map[string]*stream.Schema
 	// hbCount counts pushed batches per prefix source for the heartbeat
 	// cadence; entries are created at start, so pushers only load.
 	hbCount map[string]*atomic.Int64
@@ -164,27 +172,38 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		return nil, err
 	}
 	s := &Staged{
-		factory:   factory,
-		split:     split,
-		topo:      full,
-		part:      split.Partition(),
-		buf:       buf,
-		shedder:   cfg.Shedder,
-		noFusion:  cfg.DisableFusion,
-		taps:      cfg.Taps,
-		heartbeat: cfg.Heartbeat,
-		hbCount:   make(map[string]*atomic.Int64),
-		carried:   make(map[string][]stream.Tuple),
+		factory:    factory,
+		split:      split,
+		topo:       full,
+		part:       split.Partition(),
+		buf:        buf,
+		shedder:    cfg.Shedder,
+		noFusion:   cfg.DisableFusion,
+		columnar:   cfg.Columnar,
+		taps:       cfg.Taps,
+		heartbeat:  cfg.Heartbeat,
+		hbCount:    make(map[string]*atomic.Int64),
+		partFields: make(map[string]int),
+		srcSchemas: make(map[string]*stream.Schema),
+		carried:    make(map[string][]stream.Tuple),
 	}
 	for name := range split.PrefixSources {
 		s.hbCount[name] = new(atomic.Int64)
+		k := split.SourceKeys[name]
+		if k < 0 {
+			k = 0 // Partition's unconstrained-source default
+		}
+		s.partFields[name] = k
+	}
+	for name, src := range full.sources {
+		s.srcSchemas[name] = src.schema
 	}
 
 	if split.NumParallel() == 0 {
 		// Fully global: no parallel stage, no exchanges — the whole plan
 		// (sources included, even unconsumed ones) runs on one Runtime,
 		// reusing the analyzed plan's instances.
-		s.global, err = StartRuntime(full, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion}, Taps: stripPunctTaps(cfg.Taps)})
+		s.global, err = StartRuntime(full, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion, Columnar: cfg.Columnar}, Taps: stripPunctTaps(cfg.Taps)})
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +223,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		for _, id := range split.Exchanges {
 			noShed[ExchangeName(id)] = true
 		}
-		s.global, err = StartRuntime(suffix, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion}, NoShedSources: noShed, Taps: stripPunctTaps(cfg.Taps)})
+		s.global, err = StartRuntime(suffix, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion, Columnar: cfg.Columnar}, NoShedSources: noShed, Taps: stripPunctTaps(cfg.Taps)})
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +235,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		s.Stop()
 		return nil, err
 	}
-	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder, s.noFusion, s.taps)
+	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder, s.noFusion, s.columnar, s.srcSchemas, s.taps)
 	if err != nil {
 		s.Stop()
 		return nil, err
@@ -293,7 +312,7 @@ func stripPunct(tap func([]stream.Tuple)) func([]stream.Tuple) {
 // shard's exchange taps — and the executor's user result taps, so fully
 // parallel sinks stream too — installed. On error everything started so far
 // is stopped and the error returned.
-func startShardRuntimes(plans []*Plan, exchanges []*exchangeMerge, buf int, shedder Shedder, noFusion bool, userTaps map[string]func([]stream.Tuple)) ([]*Runtime, error) {
+func startShardRuntimes(plans []*Plan, exchanges []*exchangeMerge, buf int, shedder Shedder, noFusion, columnar bool, srcSchemas map[string]*stream.Schema, userTaps map[string]func([]stream.Tuple)) ([]*Runtime, error) {
 	shards := make([]*Runtime, 0, len(plans))
 	for i, prefix := range plans {
 		var taps map[string]func([]stream.Tuple)
@@ -308,7 +327,7 @@ func startShardRuntimes(plans []*Plan, exchanges []*exchangeMerge, buf int, shed
 				taps[x.name] = x.offer(i)
 			}
 		}
-		rt, err := StartRuntime(prefix, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: shedder, DisableFusion: noFusion}, Taps: taps})
+		rt, err := StartRuntime(prefix, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: shedder, DisableFusion: noFusion, Columnar: columnar}, SourceSchemas: srcSchemas, Taps: taps})
 		if err != nil {
 			for _, started := range shards {
 				started.Stop()
@@ -391,7 +410,7 @@ func (s *Staged) Reshard(n int) error {
 	s.retireEpoch()
 	s.pmap.rebalance(n)
 	moveKeyedState(s.prefixPlans, plans, stateDest(s.pmap))
-	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder, s.noFusion, s.taps)
+	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder, s.noFusion, s.columnar, s.srcSchemas, s.taps)
 	if err != nil {
 		// Mid-swap failure: the old epoch is gone, so the executor cannot
 		// keep running. Fail it loudly rather than half-swapped.
@@ -565,9 +584,102 @@ func (s *Staged) PushOwnedBatch(source string, batch []stream.Tuple) error {
 	return err
 }
 
+// PushOwnedColBatch implements OwnedColBatchPusher: a prefix source's owned
+// columnar batch splits across the parallel stage straight off its typed key
+// column (splitColByField — placement identical to the boxed route loop) and
+// stays columnar into the shard runtimes; the heartbeat cadence folds its
+// source punctuation into each shard batch's out-of-band watermark instead of
+// appending an in-band marker. Sources the global stage consumes (directly,
+// or because the plan has no parallel stage) see the batch as rows — the
+// global ingress is the row boundary. Validation is by physical layout
+// against the analyzed plan's source schema; a mismatched batch is rejected
+// whole.
+func (s *Staged) PushOwnedColBatch(source string, cb *stream.ColBatch) error {
+	if s.stopped.Load() {
+		putColBatch(cb)
+		return errStopped
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	prefix := s.split.PrefixSources[source] && len(s.shards) > 0
+	direct := s.split.DirectSources[source] || (s.split.PrefixSources[source] && len(s.shards) == 0)
+	if !prefix && !direct {
+		s.dropped.Add(int64(cb.Len()))
+		putColBatch(cb)
+		return fmt.Errorf("engine: unknown source %q", source)
+	}
+	if schema := s.topo.sources[source].schema; schema != nil && cb.Layout() != schema.Layout() {
+		s.dropped.Add(int64(cb.Len()))
+		putColBatch(cb)
+		return fmt.Errorf("engine: columnar batch layout %q does not match source %q schema %s", cb.Layout(), source, schema)
+	}
+	var first error
+	if direct && !prefix {
+		rows := colToRows(cb)
+		first = s.global.PushBatch(source, rows)
+		putBatch(rows)
+		return first
+	}
+	if direct {
+		// Feeds both stages: the global stage gets a boxed copy (its PushBatch
+		// copies what it retains), the shards keep the columnar original.
+		rows := getBatch(cb.Len() + 1)
+		rows = cb.AppendTo(rows)
+		if wm, ok := cb.Watermark(); ok {
+			rows = append(rows, stream.NewPunctuation(wm))
+		}
+		first = s.global.PushBatch(source, rows)
+		putBatch(rows)
+	}
+	// Heartbeat before the split consumes the batch: every heartbeat-th batch
+	// carries a source punctuation at one below its highest timestamp to
+	// EVERY shard (see PushBatch for why maxTs-1), here folded into the
+	// out-of-band watermark.
+	heartbeatWM, haveHB := int64(0), false
+	if n := cb.Len(); n > 0 && s.heartbeat >= 0 && len(s.exchanges) > 0 {
+		every := int64(s.heartbeat)
+		if every == 0 {
+			every = 1
+		}
+		if s.hbCount[source].Add(1)%every == 0 {
+			maxTs := cb.Ts()[0]
+			for _, ts := range cb.Ts()[1:] {
+				if ts > maxTs {
+					maxTs = ts
+				}
+			}
+			heartbeatWM, haveHB = maxTs-1, true
+		}
+	}
+	schema := cb.Schema()
+	sub := splitColByField(s.pmap, cb, s.partFields[source], len(s.shards))
+	for i, scb := range sub {
+		if haveHB {
+			if scb == nil {
+				scb = getColBatch(schema, 1)
+				sub[i] = scb
+			}
+			scb.SetWatermark(heartbeatWM)
+		}
+		if scb == nil {
+			continue
+		}
+		if err := s.shards[i].PushOwnedColBatch(source, scb); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Advance moves the merged metering clock forward; the stage runtimes stay
-// at zero ticks so their raw costs aggregate cleanly.
-func (s *Staged) Advance(ticks int64) { s.ticks.Add(ticks) }
+// at zero ticks so their raw costs aggregate cleanly. It also drives the
+// partition map's traffic decay (see partitionMap.observeTicks).
+func (s *Staged) Advance(ticks int64) {
+	s.ticks.Add(ticks)
+	if s.pmap != nil {
+		s.pmap.observeTicks(ticks)
+	}
+}
 
 // Results concatenates the named query's outputs — tuples carried over from
 // retired shard epochs first, then the current shards in shard order, then

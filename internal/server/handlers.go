@@ -353,6 +353,34 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "no admitted plan is running; run an admission cycle first")
 		return
 	}
+	// Columnar ingest: with -columnar on a backend offering the columnar
+	// ingress, coerced tuples unbox straight into a pooled struct-of-arrays
+	// batch — qualified fused chains downstream never see a boxed row.
+	if colPusher, ok := s.exec.(engine.OwnedColBatchPusher); ok && s.cfg.Exec.Columnar {
+		cb := engine.GetColBatch(st.schema, len(req.Tuples))
+		lastTs := st.lastTs
+		for i, in := range req.Tuples {
+			t, err := coerceTuple(st.schema, in, lastTs)
+			if err != nil {
+				engine.PutColBatch(cb)
+				writeError(w, http.StatusBadRequest, "tuple %d: %v", i, err)
+				return
+			}
+			lastTs = t.Ts
+			cb.AppendTuple(t)
+		}
+		n := cb.Len()
+		if err := colPusher.PushOwnedColBatch(source, cb); err != nil {
+			writeError(w, http.StatusConflict, "push rejected: %v", err)
+			return
+		}
+		st.lastTs = lastTs
+		st.tuples += int64(n)
+		s.exec.Advance(1)
+		s.ticks++
+		writeJSON(w, http.StatusOK, map[string]any{"pushed": n, "source": source, "frontier": lastTs})
+		return
+	}
 	batch := engine.GetBatch(len(req.Tuples))
 	lastTs := st.lastTs
 	for i, in := range req.Tuples {

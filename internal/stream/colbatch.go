@@ -1,0 +1,322 @@
+package stream
+
+import "fmt"
+
+// ColBatch is a schema-typed struct-of-arrays batch: one []int64 timestamp
+// column plus one typed column per schema field. It is the unit of execution
+// on the engine's fused columnar path — a Filter or Map kernel touches one
+// contiguous typed slice per field instead of chasing a boxed-any pointer
+// per value, which is what removes the row layout's per-field allocation and
+// type-assertion cost.
+//
+// Punctuation is carried out-of-band: a ColBatch never interleaves markers
+// with rows. Ingress folds any in-band markers into the batch watermark
+// (SetWatermark), and the boundary conversion back to rows re-emits the
+// watermark as one trailing NewPunctuation marker. Folding a marker to the
+// end of its batch is always sound — a punctuation is a promise about future
+// tuples, so delaying it only delays liveness, never correctness.
+//
+// Ownership follows the engine's single-owner batch contract: exactly one
+// goroutine owns a ColBatch at a time, and the owner either hands it
+// downstream or returns it to the pool. Columns must never be retained
+// past the hand-off.
+type ColBatch struct {
+	schema *Schema
+	// layout is the physical column layout the batch was built with; it
+	// outlives Invalidate so a pooled batch can re-bind to any schema of
+	// the same layout.
+	layout string
+	ts     []int64
+	ints   [][]int64
+	floats [][]float64
+	strs   [][]string
+	bools  [][]bool
+	// colOf[i] indexes field i's column inside its kind-specific slice-of
+	// -slices above.
+	colOf []int
+	// sel is reusable selection-vector scratch for filter kernels.
+	sel []int32
+	// wm is the out-of-band watermark folded from in-band punctuation;
+	// hasWM records whether one was observed.
+	wm    int64
+	hasWM bool
+}
+
+// NewColBatch builds an empty columnar batch for the schema with capacity
+// for capHint rows per column.
+func NewColBatch(schema *Schema, capHint int) *ColBatch {
+	if capHint < 0 {
+		capHint = 0
+	}
+	b := &ColBatch{schema: schema, layout: schema.Layout(), ts: make([]int64, 0, capHint)}
+	b.buildCols(capHint)
+	return b
+}
+
+// buildCols allocates one typed column per schema field.
+func (b *ColBatch) buildCols(capHint int) {
+	n := b.schema.NumFields()
+	b.colOf = make([]int, n)
+	b.ints, b.floats, b.strs, b.bools = nil, nil, nil, nil
+	for i := 0; i < n; i++ {
+		switch b.schema.Field(i).Kind {
+		case KindInt:
+			b.colOf[i] = len(b.ints)
+			b.ints = append(b.ints, make([]int64, 0, capHint))
+		case KindFloat:
+			b.colOf[i] = len(b.floats)
+			b.floats = append(b.floats, make([]float64, 0, capHint))
+		case KindString:
+			b.colOf[i] = len(b.strs)
+			b.strs = append(b.strs, make([]string, 0, capHint))
+		case KindBool:
+			b.colOf[i] = len(b.bools)
+			b.bools = append(b.bools, make([]bool, 0, capHint))
+		}
+	}
+}
+
+// Schema returns the batch's schema.
+func (b *ColBatch) Schema() *Schema { return b.schema }
+
+// Layout returns the batch's physical column layout (see Schema.Layout).
+func (b *ColBatch) Layout() string { return b.layout }
+
+// Len returns the number of rows.
+func (b *ColBatch) Len() int { return len(b.ts) }
+
+// Ts returns the timestamp column.
+func (b *ColBatch) Ts() []int64 { return b.ts }
+
+// Ints returns field i's column; the field must be KindInt.
+func (b *ColBatch) Ints(i int) []int64 { return b.ints[b.colOf[i]] }
+
+// Floats returns field i's column; the field must be KindFloat.
+func (b *ColBatch) Floats(i int) []float64 { return b.floats[b.colOf[i]] }
+
+// Strs returns field i's column; the field must be KindString.
+func (b *ColBatch) Strs(i int) []string { return b.strs[b.colOf[i]] }
+
+// Bools returns field i's column; the field must be KindBool.
+func (b *ColBatch) Bools(i int) []bool { return b.bools[b.colOf[i]] }
+
+// SetWatermark folds a punctuation promise into the batch's out-of-band
+// watermark, keeping the strongest (maximum) one.
+func (b *ColBatch) SetWatermark(ts int64) {
+	if !b.hasWM || ts > b.wm {
+		b.wm = ts
+		b.hasWM = true
+	}
+}
+
+// Watermark returns the folded punctuation watermark, if any.
+func (b *ColBatch) Watermark() (int64, bool) { return b.wm, b.hasWM }
+
+// ClearWatermark drops the batch's watermark (used after the engine has
+// re-emitted it in-band at a row boundary).
+func (b *ColBatch) ClearWatermark() { b.wm, b.hasWM = 0, false }
+
+// AppendTuple appends one row, converting from the boxed row layout. The
+// caller must have validated conformance (plan ingress does); a kind
+// mismatch panics like the Tuple accessors would. Punctuation markers must
+// not be appended — fold them with SetWatermark instead.
+func (b *ColBatch) AppendTuple(t Tuple) {
+	if t.punct {
+		panic("stream: punctuation appended to ColBatch; fold with SetWatermark")
+	}
+	b.ts = append(b.ts, t.Ts)
+	for i := range b.colOf {
+		c := b.colOf[i]
+		switch b.schema.Field(i).Kind {
+		case KindInt:
+			b.ints[c] = append(b.ints[c], t.Vals[i].(int64))
+		case KindFloat:
+			// Same widening as Tuple.Float: schemas admit int64 values in
+			// float fields, the typed column stores the widened value.
+			switch v := t.Vals[i].(type) {
+			case float64:
+				b.floats[c] = append(b.floats[c], v)
+			case int64:
+				b.floats[c] = append(b.floats[c], float64(v))
+			default:
+				panic(fmt.Sprintf("stream: field %d is %T, not numeric", i, t.Vals[i]))
+			}
+		case KindString:
+			b.strs[c] = append(b.strs[c], t.Vals[i].(string))
+		case KindBool:
+			b.bools[c] = append(b.bools[c], t.Vals[i].(bool))
+		}
+	}
+}
+
+// AppendTo converts the batch back to the boxed row layout, appending one
+// Tuple per row to out. This is the boundary conversion cost: every scalar
+// is boxed into an any. The watermark is NOT appended — the caller re-emits
+// it in-band (NewPunctuation) after the rows if it needs to survive.
+func (b *ColBatch) AppendTo(out []Tuple) []Tuple {
+	n := b.schema.NumFields()
+	for r := range b.ts {
+		vals := make([]any, n)
+		for i, c := range b.colOf {
+			switch b.schema.Field(i).Kind {
+			case KindInt:
+				vals[i] = b.ints[c][r]
+			case KindFloat:
+				vals[i] = b.floats[c][r]
+			case KindString:
+				vals[i] = b.strs[c][r]
+			case KindBool:
+				vals[i] = b.bools[c][r]
+			}
+		}
+		out = append(out, Tuple{Ts: b.ts[r], Vals: vals})
+	}
+	return out
+}
+
+// AppendCols bulk-appends every row of src (same layout required) onto b —
+// the columnar clone/copy primitive. The watermark also folds over.
+func (b *ColBatch) AppendCols(src *ColBatch) {
+	if b.Layout() != src.Layout() {
+		panic(fmt.Sprintf("stream: AppendCols layout mismatch %q vs %q", b.Layout(), src.Layout()))
+	}
+	b.ts = append(b.ts, src.ts...)
+	for c := range b.ints {
+		b.ints[c] = append(b.ints[c], src.ints[c]...)
+	}
+	for c := range b.floats {
+		b.floats[c] = append(b.floats[c], src.floats[c]...)
+	}
+	for c := range b.strs {
+		b.strs[c] = append(b.strs[c], src.strs[c]...)
+	}
+	for c := range b.bools {
+		b.bools[c] = append(b.bools[c], src.bools[c]...)
+	}
+	if src.hasWM {
+		b.SetWatermark(src.wm)
+	}
+}
+
+// AppendRowFrom appends row r of src (same layout required) onto b without
+// boxing — the typed single-row copy partition splits use.
+func (b *ColBatch) AppendRowFrom(src *ColBatch, r int) {
+	b.ts = append(b.ts, src.ts[r])
+	for c := range b.ints {
+		b.ints[c] = append(b.ints[c], src.ints[c][r])
+	}
+	for c := range b.floats {
+		b.floats[c] = append(b.floats[c], src.floats[c][r])
+	}
+	for c := range b.strs {
+		b.strs[c] = append(b.strs[c], src.strs[c][r])
+	}
+	for c := range b.bools {
+		b.bools[c] = append(b.bools[c], src.bools[c][r])
+	}
+}
+
+// Reset truncates every column and clears the watermark, keeping capacity.
+// String columns are zeroed before truncation so recycled batches don't pin
+// old string backing arrays live.
+func (b *ColBatch) Reset() {
+	b.ts = b.ts[:0]
+	for c := range b.ints {
+		b.ints[c] = b.ints[c][:0]
+	}
+	for c := range b.floats {
+		b.floats[c] = b.floats[c][:0]
+	}
+	for c := range b.strs {
+		s := b.strs[c]
+		for i := range s {
+			s[i] = ""
+		}
+		b.strs[c] = s[:0]
+	}
+	for c := range b.bools {
+		b.bools[c] = b.bools[c][:0]
+	}
+	b.ClearWatermark()
+}
+
+// ResetFor rebinds a (possibly pooled, possibly Invalidate-d) batch to
+// schema and truncates it. The layouts must match — pools class batches by
+// layout, so a mismatch is a pool-keying bug, not a recoverable condition.
+func (b *ColBatch) ResetFor(schema *Schema) {
+	if b.layout != schema.Layout() {
+		panic(fmt.Sprintf("stream: ResetFor layout mismatch: batch %q, schema %q", b.layout, schema.Layout()))
+	}
+	b.schema = schema
+	b.Reset()
+}
+
+// AllSel returns the batch's reusable selection-vector scratch filled with
+// every row index [0, Len). Filter kernels refine it in place.
+func (b *ColBatch) AllSel() []int32 {
+	n := len(b.ts)
+	if cap(b.sel) < n {
+		b.sel = make([]int32, n)
+	}
+	sel := b.sel[:n]
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return sel
+}
+
+// Keep compacts the batch in place to exactly the rows named by sel, in sel
+// order. sel must be strictly increasing row indices (the shape filter
+// kernels produce), which makes the gather a forward scan — safe in place.
+func (b *ColBatch) Keep(sel []int32) {
+	if len(sel) == len(b.ts) {
+		return
+	}
+	for i, r := range sel {
+		b.ts[i] = b.ts[int(r)]
+	}
+	b.ts = b.ts[:len(sel)]
+	for c := range b.ints {
+		col := b.ints[c]
+		for i, r := range sel {
+			col[i] = col[int(r)]
+		}
+		b.ints[c] = col[:len(sel)]
+	}
+	for c := range b.floats {
+		col := b.floats[c]
+		for i, r := range sel {
+			col[i] = col[int(r)]
+		}
+		b.floats[c] = col[:len(sel)]
+	}
+	for c := range b.strs {
+		col := b.strs[c]
+		for i, r := range sel {
+			col[i] = col[int(r)]
+		}
+		// Zero the dropped tail so the column doesn't pin dead strings.
+		for i := len(sel); i < len(col); i++ {
+			col[i] = ""
+		}
+		b.strs[c] = col[:len(sel)]
+	}
+	for c := range b.bools {
+		col := b.bools[c]
+		for i, r := range sel {
+			col[i] = col[int(r)]
+		}
+		b.bools[c] = col[:len(sel)]
+	}
+}
+
+// Invalidate poisons the batch after it returns to a pool: the schema is
+// cleared (so any later schema-dependent access through a stale reference
+// panics with a nil dereference instead of silently corrupting the next
+// lease) and every row is truncated away. Column capacity is kept — the
+// pool's next Get re-binds the schema via ResetFor. Only the engine's
+// race-build pool guard calls this.
+func (b *ColBatch) Invalidate() {
+	b.Reset()
+	b.schema = nil
+}

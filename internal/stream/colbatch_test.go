@@ -1,0 +1,255 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+var colSchema = MustSchema(
+	Field{Name: "sym", Kind: KindString},
+	Field{Name: "qty", Kind: KindInt},
+	Field{Name: "px", Kind: KindFloat},
+	Field{Name: "hot", Kind: KindBool},
+)
+
+func TestSchemaLayout(t *testing.T) {
+	if got := colSchema.Layout(); got != "sifb" {
+		t.Fatalf("layout = %q, want %q", got, "sifb")
+	}
+	other := MustSchema(
+		Field{Name: "a", Kind: KindString},
+		Field{Name: "b", Kind: KindInt},
+		Field{Name: "c", Kind: KindFloat},
+		Field{Name: "d", Kind: KindBool},
+	)
+	if other.Layout() != colSchema.Layout() {
+		t.Fatalf("same-kind schemas must share a layout")
+	}
+}
+
+func randColTuples(rng *rand.Rand, n int) []Tuple {
+	ts := make([]Tuple, n)
+	for i := range ts {
+		ts[i] = NewTuple(int64(i+1),
+			[]string{"AAA", "BBB", "CCC"}[rng.Intn(3)],
+			int64(rng.Intn(200)),
+			float64(rng.Intn(200)),
+			rng.Intn(2) == 0,
+		)
+	}
+	return ts
+}
+
+func TestColBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := randColTuples(rng, 57)
+	b := NewColBatch(colSchema, 8)
+	for _, tp := range in {
+		b.AppendTuple(tp)
+	}
+	if b.Len() != len(in) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(in))
+	}
+	out := b.AppendTo(nil)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %v\nout: %v", in, out)
+	}
+}
+
+func TestColBatchWidensIntInFloatField(t *testing.T) {
+	// Schemas admit int64 values in float fields (checkValue); the typed
+	// column stores the widened value, so the round trip normalizes the box.
+	b := NewColBatch(colSchema, 1)
+	b.AppendTuple(NewTuple(1, "AAA", int64(2), int64(42), true))
+	got := b.AppendTo(nil)[0]
+	if v, ok := got.Vals[2].(float64); !ok || v != 42 {
+		t.Fatalf("float field = %#v, want float64(42)", got.Vals[2])
+	}
+}
+
+func TestColBatchKeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := randColTuples(rng, 30)
+	b := NewColBatch(colSchema, 0)
+	for _, tp := range in {
+		b.AppendTuple(tp)
+	}
+	b.Keep([]int32{0, 7, 29})
+	want := []Tuple{in[0], in[7], in[29]}
+	if got := b.AppendTo(nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keep gather mismatch: got %v want %v", got, want)
+	}
+	b.Keep(nil)
+	if b.Len() != 0 {
+		t.Fatalf("Keep(nil) left %d rows", b.Len())
+	}
+}
+
+func TestColBatchWatermarkFolds(t *testing.T) {
+	b := NewColBatch(colSchema, 0)
+	if _, ok := b.Watermark(); ok {
+		t.Fatal("fresh batch has a watermark")
+	}
+	b.SetWatermark(5)
+	b.SetWatermark(3) // weaker promise must not regress the fold
+	b.SetWatermark(9)
+	if wm, ok := b.Watermark(); !ok || wm != 9 {
+		t.Fatalf("watermark = %d,%v want 9,true", wm, ok)
+	}
+	b.Reset()
+	if _, ok := b.Watermark(); ok {
+		t.Fatal("Reset kept the watermark")
+	}
+}
+
+func TestColBatchAppendColsAndRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randColTuples(rng, 12)
+	src := NewColBatch(colSchema, 0)
+	for _, tp := range in {
+		src.AppendTuple(tp)
+	}
+	src.SetWatermark(11)
+	dst := NewColBatch(colSchema, 0)
+	dst.AppendCols(src)
+	dst.AppendRowFrom(src, 3)
+	want := append(append([]Tuple(nil), in...), in[3])
+	if got := dst.AppendTo(nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendCols+AppendRowFrom mismatch")
+	}
+	if wm, ok := dst.Watermark(); !ok || wm != 11 {
+		t.Fatalf("AppendCols dropped the watermark: %d,%v", wm, ok)
+	}
+}
+
+// applyRows runs a transform tuple-at-a-time over rows — the oracle the
+// columnar kernels are compared against.
+func applyRows(tr Transform, in []Tuple) []Tuple {
+	var out []Tuple
+	for _, t := range in {
+		out = append(out, tr.Apply(t)...)
+	}
+	return out
+}
+
+func TestCmpFilterColumnarMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	filters := []*Filter{
+		NewCmpFilter("f-gt", 1, CmpSpec{Field: 2, Op: Gt, Num: 100}),
+		NewCmpFilter("f-int", 1, CmpSpec{Field: 1, Op: Le, Num: 120}),
+		NewCmpFilter("f-str", 1, CmpSpec{Field: 0, Op: Eq, Str: "AAA", IsStr: true}),
+		NewCmpFilter("f-str-ne", 1, CmpSpec{Field: 0, Op: Ne, Str: "BBB", IsStr: true}),
+		NewCmpFilter("f-conj", 1,
+			CmpSpec{Field: 2, Op: Ge, Num: 50},
+			CmpSpec{Field: 1, Op: Lt, Num: 150},
+			CmpSpec{Field: 0, Op: Ne, Str: "CCC", IsStr: true},
+		),
+		NewCmpFilter("f-none", 1, CmpSpec{Field: 2, Op: Gt, Num: 1e9}),
+		NewCmpFilter("f-pass", 1),
+	}
+	for _, f := range filters {
+		if !f.ColumnarOK(colSchema) {
+			t.Fatalf("%s: ColumnarOK = false", f.Name())
+		}
+		in := randColTuples(rng, 100)
+		want := applyRows(f, in)
+		b := NewColBatch(colSchema, 0)
+		for _, tp := range in {
+			b.AppendTuple(tp)
+		}
+		f.ApplyColBatch(b)
+		got := b.AppendTo(nil)
+		// The row oracle keeps int-boxed float fields; normalize through a
+		// round trip so both sides carry the widened representation.
+		norm := NewColBatch(colSchema, 0)
+		for _, tp := range want {
+			norm.AppendTuple(tp)
+		}
+		if want = norm.AppendTo(nil); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: columnar %v != rows %v", f.Name(), got, want)
+		}
+	}
+}
+
+func TestAddMapColumnarMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewAddMap("m-add", 1, 2, 2.5)
+	if !m.ColumnarOK(colSchema) {
+		t.Fatal("ColumnarOK = false on a float field")
+	}
+	if m.OutSchema(colSchema) != colSchema {
+		t.Fatal("OutSchema must preserve a float-field schema")
+	}
+	in := randColTuples(rng, 64)
+	want := applyRows(m, in)
+	b := NewColBatch(colSchema, 0)
+	for _, tp := range in {
+		b.AppendTuple(tp)
+	}
+	m.ApplyColBatch(b)
+	if got := b.AppendTo(nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("columnar add %v != rows %v", got, want)
+	}
+}
+
+func TestColumnarQualification(t *testing.T) {
+	// Closure-built operators are opaque and must not qualify.
+	cf := NewFilter("closure", 1, func(Tuple) bool { return true })
+	if cf.ColumnarOK(colSchema) {
+		t.Fatal("closure filter qualified")
+	}
+	cm := NewMap("closure", 1, colSchema, func(t Tuple) []any { return t.Vals })
+	if cm.ColumnarOK(colSchema) {
+		t.Fatal("closure map qualified")
+	}
+	// An add over an int field would widen — layout change, row path only.
+	im := NewAddMap("int-add", 1, 1, 1)
+	if im.ColumnarOK(colSchema) {
+		t.Fatal("int-field add qualified")
+	}
+	if out := im.OutSchema(colSchema); out.Field(1).Kind != KindFloat {
+		t.Fatalf("int-add OutSchema field kind = %v, want float", out.Field(1).Kind)
+	}
+	// Out-of-range or mistyped specs disqualify the filter.
+	if NewCmpFilter("oob", 1, CmpSpec{Field: 9, Op: Gt, Num: 1}).ColumnarOK(colSchema) {
+		t.Fatal("out-of-range spec qualified")
+	}
+	if NewCmpFilter("str-lt", 1, CmpSpec{Field: 0, Op: Lt, Str: "x", IsStr: true}).ColumnarOK(colSchema) {
+		t.Fatal("string Lt qualified")
+	}
+	if NewCmpFilter("num-on-str", 1, CmpSpec{Field: 0, Op: Gt, Num: 1}).ColumnarOK(colSchema) {
+		t.Fatal("numeric spec on string field qualified")
+	}
+}
+
+func TestColBatchResetForAndInvalidate(t *testing.T) {
+	b := NewColBatch(colSchema, 4)
+	b.AppendTuple(NewTuple(1, "AAA", int64(1), 2.0, true))
+	b.Invalidate()
+	if b.Len() != 0 {
+		t.Fatal("Invalidate kept rows")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("append through an invalidated batch did not panic")
+			}
+		}()
+		b.AppendTuple(NewTuple(2, "BBB", int64(1), 2.0, true))
+	}()
+	b.ResetFor(colSchema)
+	b.AppendTuple(NewTuple(3, "CCC", int64(1), 2.0, true))
+	if b.Len() != 1 {
+		t.Fatal("ResetFor did not revive the batch")
+	}
+	mismatched := MustSchema(Field{Name: "x", Kind: KindInt})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ResetFor with a different layout did not panic")
+			}
+		}()
+		b.ResetFor(mismatched)
+	}()
+}

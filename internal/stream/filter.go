@@ -11,12 +11,56 @@ type Filter struct {
 	name string
 	pred Predicate
 	cost float64
+	// specs is the structured conjunction the predicate was built from
+	// (NewCmpFilter) — the form the columnar kernels execute. structured
+	// distinguishes an empty conjunction (columnar passthrough) from a
+	// closure-built filter (NewFilter), which is opaque and row-only.
+	specs      []CmpSpec
+	structured bool
 }
 
 // NewFilter builds a filter with the given display name, predicate and
-// simulated per-tuple cost.
+// simulated per-tuple cost. Closure predicates are opaque, so the filter
+// runs on the boxed row path only; use NewCmpFilter for field-comparison
+// conjunctions to unlock the columnar kernels.
 func NewFilter(name string, cost float64, pred Predicate) *Filter {
 	return &Filter{name: name, pred: pred, cost: cost}
+}
+
+// CmpSpec is one structured field comparison: field Op literal. IsStr
+// selects the string literal (Eq/Ne only); otherwise Num compares
+// numerically with int fields widened to float64 — exactly FieldCmp's
+// semantics, so the row and columnar paths agree bit-for-bit.
+type CmpSpec struct {
+	Field int
+	Op    CmpOp
+	Num   float64
+	Str   string
+	IsStr bool
+}
+
+// NewCmpFilter builds a filter from a conjunction of structured field
+// comparisons. Row-path semantics are identical to And(FieldCmp...) /
+// FieldEqString, but the structured form also compiles to columnar
+// selection-vector kernels, so chains containing it qualify for the
+// engine's struct-of-arrays fused path. Zero specs yield a passthrough.
+func NewCmpFilter(name string, cost float64, specs ...CmpSpec) *Filter {
+	specs = append([]CmpSpec(nil), specs...)
+	preds := make([]Predicate, len(specs))
+	for i, sp := range specs {
+		if sp.IsStr {
+			idx, want, op := sp.Field, sp.Str, sp.Op
+			if op == Ne {
+				preds[i] = func(t Tuple) bool { return t.Str(idx) != want }
+			} else {
+				preds[i] = FieldEqString(idx, want)
+			}
+		} else {
+			preds[i] = FieldCmp(sp.Field, sp.Op, sp.Num)
+		}
+	}
+	// And of zero predicates is the always-true passthrough.
+	return &Filter{name: name, pred: And(preds...), cost: cost, specs: specs, structured: true}
 }
 
 // Name implements Transform.
@@ -64,6 +108,130 @@ func (f *Filter) Cost() float64 { return f.cost }
 
 // OutSchema implements Transform; selection preserves the schema.
 func (f *Filter) OutSchema(in *Schema) *Schema { return in }
+
+// ColumnarOK implements ColumnarTransform: only structured (NewCmpFilter)
+// filters qualify, and every spec must resolve against the schema — a
+// numeric comparison needs an int or float field, a string comparison needs
+// a string field with Eq/Ne.
+func (f *Filter) ColumnarOK(in *Schema) bool {
+	if !f.structured || in == nil {
+		return false
+	}
+	for _, sp := range f.specs {
+		if sp.Field < 0 || sp.Field >= in.NumFields() {
+			return false
+		}
+		k := in.Field(sp.Field).Kind
+		if sp.IsStr {
+			if k != KindString || (sp.Op != Eq && sp.Op != Ne) {
+				return false
+			}
+		} else if k != KindInt && k != KindFloat {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyColBatch implements ColumnarTransform: each spec refines the
+// selection vector over its typed column, then one gather compacts the
+// batch to the surviving rows. Int columns widen per element to float64,
+// matching the row path's Tuple.Float semantics exactly.
+func (f *Filter) ApplyColBatch(b *ColBatch) {
+	sel := b.AllSel()
+	for _, sp := range f.specs {
+		if len(sel) == 0 {
+			break
+		}
+		if sp.IsStr {
+			col := b.Strs(sp.Field)
+			if sp.Op == Ne {
+				sel = refine(sel, func(r int32) bool { return col[r] != sp.Str })
+			} else {
+				sel = refine(sel, func(r int32) bool { return col[r] == sp.Str })
+			}
+			continue
+		}
+		switch b.Schema().Field(sp.Field).Kind {
+		case KindFloat:
+			sel = refineCmp(sel, b.Floats(sp.Field), sp.Op, sp.Num)
+		case KindInt:
+			col := b.Ints(sp.Field)
+			th := sp.Num
+			switch sp.Op {
+			case Eq:
+				sel = refine(sel, func(r int32) bool { return float64(col[r]) == th })
+			case Ne:
+				sel = refine(sel, func(r int32) bool { return float64(col[r]) != th })
+			case Lt:
+				sel = refine(sel, func(r int32) bool { return float64(col[r]) < th })
+			case Le:
+				sel = refine(sel, func(r int32) bool { return float64(col[r]) <= th })
+			case Gt:
+				sel = refine(sel, func(r int32) bool { return float64(col[r]) > th })
+			case Ge:
+				sel = refine(sel, func(r int32) bool { return float64(col[r]) >= th })
+			}
+		}
+	}
+	b.Keep(sel)
+}
+
+// refine compacts sel in place to the rows keep admits.
+func refine(sel []int32, keep func(int32) bool) []int32 {
+	out := sel[:0]
+	for _, r := range sel {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// refineCmp is refine specialized per operator over a float64 column — the
+// hottest kernel, kept branch-free inside the scan loop.
+func refineCmp(sel []int32, col []float64, op CmpOp, th float64) []int32 {
+	out := sel[:0]
+	switch op {
+	case Eq:
+		for _, r := range sel {
+			if col[r] == th {
+				out = append(out, r)
+			}
+		}
+	case Ne:
+		for _, r := range sel {
+			if col[r] != th {
+				out = append(out, r)
+			}
+		}
+	case Lt:
+		for _, r := range sel {
+			if col[r] < th {
+				out = append(out, r)
+			}
+		}
+	case Le:
+		for _, r := range sel {
+			if col[r] <= th {
+				out = append(out, r)
+			}
+		}
+	case Gt:
+		for _, r := range sel {
+			if col[r] > th {
+				out = append(out, r)
+			}
+		}
+	case Ge:
+		for _, r := range sel {
+			if col[r] >= th {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
 
 // CmpOp is a comparison operator for field predicates.
 type CmpOp int

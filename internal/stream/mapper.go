@@ -11,11 +11,36 @@ type Map struct {
 	fn   MapFunc
 	out  *Schema
 	cost float64
+	// addField/addDelta describe the structured add-to-field rewrite
+	// (NewAddMap) the columnar kernel executes; addField is -1 for
+	// closure-built maps, which stay row-only.
+	addField int
+	addDelta float64
 }
 
 // NewMap builds a map operator emitting tuples with the given output schema.
+// Closure map functions are opaque, so the operator runs on the boxed row
+// path only; use NewAddMap for the structured rewrite the columnar kernels
+// can execute.
 func NewMap(name string, cost float64, out *Schema, fn MapFunc) *Map {
-	return &Map{name: name, fn: fn, out: out, cost: cost}
+	return &Map{name: name, fn: fn, out: out, cost: cost, addField: -1}
+}
+
+// NewAddMap builds a map operator that adds delta to numeric field i,
+// passing every other field through unchanged. Row-path semantics follow
+// Tuple.Float — an int input widens and the result is stored as float64 —
+// so the output schema records field i as KindFloat. On the engine's
+// columnar path the rewrite compiles to one in-place add over field i's
+// float column; the chain qualifies when the field is already KindFloat
+// (an int column would change layout when widened, which the columnar
+// contract forbids, so int inputs take the row path).
+func NewAddMap(name string, cost float64, field int, delta float64) *Map {
+	return &Map{name: name, cost: cost, addField: field, addDelta: delta, fn: func(t Tuple) []any {
+		vals := make([]any, len(t.Vals))
+		copy(vals, t.Vals)
+		vals[field] = t.Float(field) + delta
+		return vals
+	}}
 }
 
 // Name implements Transform.
@@ -51,8 +76,49 @@ func (m *Map) Punctuate(ts int64) (int64, bool) { return ts, true }
 // Cost implements Transform.
 func (m *Map) Cost() float64 { return m.cost }
 
-// OutSchema implements Transform.
-func (m *Map) OutSchema(*Schema) *Schema { return m.out }
+// OutSchema implements Transform. A structured add-map derives its output
+// schema from the input: the rewritten field becomes KindFloat (Tuple.Float
+// widening), everything else passes through.
+func (m *Map) OutSchema(in *Schema) *Schema {
+	if m.addField < 0 {
+		return m.out
+	}
+	if in == nil || m.addField >= in.NumFields() {
+		return nil
+	}
+	if in.Field(m.addField).Kind == KindFloat {
+		return in
+	}
+	fields := make([]Field, in.NumFields())
+	for i := range fields {
+		fields[i] = in.Field(i)
+	}
+	fields[m.addField].Kind = KindFloat
+	out, err := NewSchema(fields...)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// ColumnarOK implements ColumnarTransform: the structured add rewrites one
+// float column in place. An int field is excluded — the row path widens it
+// to float64, which would change the batch's physical layout, and the
+// columnar contract requires layout preservation — so int-field add chains
+// simply run on the row path.
+func (m *Map) ColumnarOK(in *Schema) bool {
+	return m.addField >= 0 && in != nil && m.addField < in.NumFields() &&
+		in.Field(m.addField).Kind == KindFloat
+}
+
+// ApplyColBatch implements ColumnarTransform: one vectorizable pass adding
+// the delta over the field's float column.
+func (m *Map) ApplyColBatch(b *ColBatch) {
+	col := b.Floats(m.addField)
+	for i := range col {
+		col[i] += m.addDelta
+	}
+}
 
 // NewProject builds a map operator keeping only the given field positions
 // of the input schema.

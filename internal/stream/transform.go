@@ -41,6 +41,31 @@ type BinaryTransform interface {
 	OutSchema(left, right *Schema) *Schema
 }
 
+// ColumnarTransform is implemented by stateless unary transforms that can
+// execute natively on a struct-of-arrays ColBatch, avoiding the boxed row
+// layout entirely. The engine's fused prefix path runs a chain column-at-a
+// -time when every member implements this interface and accepts the schema
+// flowing into it.
+//
+// The contract mirrors BatchTransform's single-owner aliasing rule, applied
+// to whole batches: ApplyColBatch mutates b in place (compacting rows,
+// rewriting columns) and must preserve the batch's physical layout — a
+// columnar member may change field semantics (e.g. widen a value) but never
+// the column layout, so the batch stays in its pool class and downstream
+// members address the same columns. Emitting more rows than arrived is not
+// allowed (the same ≤1-emission rule that makes in-place row fusion sound).
+// Implementations must not retain b or any column slice past the call.
+type ColumnarTransform interface {
+	// ColumnarOK reports whether the transform can run natively on columnar
+	// batches of the given input schema. A false return (unsupported field
+	// kind, closure-based predicate, schema-changing projection) routes the
+	// whole chain through the boxed row path instead — correct either way,
+	// just slower.
+	ColumnarOK(in *Schema) bool
+	// ApplyColBatch processes every row of b in place.
+	ApplyColBatch(b *ColBatch)
+}
+
 // PartitionKeyer is implemented by stateful unary transforms whose internal
 // state is partitioned by one input field. PartitionField returns that
 // field's position, or -1 when the state is global — a single group spanning

@@ -49,12 +49,14 @@ type Field struct {
 type Schema struct {
 	fields []Field
 	index  map[string]int
+	layout string
 }
 
 // NewSchema builds a schema from the given fields. Field names must be
 // unique and non-empty.
 func NewSchema(fields ...Field) (*Schema, error) {
 	idx := make(map[string]int, len(fields))
+	lay := make([]byte, len(fields))
 	for i, f := range fields {
 		if f.Name == "" {
 			return nil, fmt.Errorf("stream: field %d has empty name", i)
@@ -63,8 +65,25 @@ func NewSchema(fields ...Field) (*Schema, error) {
 			return nil, fmt.Errorf("stream: duplicate field %q", f.Name)
 		}
 		idx[f.Name] = i
+		lay[i] = layoutByte(f.Kind)
 	}
-	return &Schema{fields: append([]Field(nil), fields...), index: idx}, nil
+	return &Schema{fields: append([]Field(nil), fields...), index: idx, layout: string(lay)}, nil
+}
+
+// layoutByte is the one-byte layout code for a field kind.
+func layoutByte(k Kind) byte {
+	switch k {
+	case KindInt:
+		return 'i'
+	case KindFloat:
+		return 'f'
+	case KindString:
+		return 's'
+	case KindBool:
+		return 'b'
+	default:
+		return '?'
+	}
 }
 
 // MustSchema is NewSchema that panics on error, for fixtures.
@@ -89,6 +108,12 @@ func (s *Schema) IndexOf(name string) int {
 	}
 	return -1
 }
+
+// Layout returns the schema's physical column layout as one byte per field
+// ('i', 'f', 's' or 'b'). Two schemas with equal layouts store their columns
+// identically, which is what the columnar batch pool classes buffers by —
+// field names and widened-vs-declared kinds don't matter to storage.
+func (s *Schema) Layout() string { return s.layout }
 
 // String renders the schema as "(name:kind, ...)".
 func (s *Schema) String() string {
