@@ -11,11 +11,13 @@ import (
 // it — backend choice, shard width, batch size, heartbeat cadence — are
 // registered once here and parsed into each subcommand's FlagSet.
 type execFlags struct {
-	executor  string
-	shards    int
-	batch     int
-	heartbeat int
-	columnar  bool
+	executor      string
+	shards        int
+	batch         int
+	heartbeat     int
+	columnar      bool
+	stagingBudget int64
+	spillDir      string
 }
 
 func (f *execFlags) register(fs *flag.FlagSet) {
@@ -24,9 +26,14 @@ func (f *execFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&f.batch, "batch", 64, "tuples per executor batch")
 	fs.IntVar(&f.heartbeat, "heartbeat", 0, "sharded executor: emit source punctuation every K batches so quiet exchange shards release mid-run (0 = every batch, negative = disable)")
 	fs.BoolVar(&f.columnar, "columnar", false, "push ingress as struct-of-arrays (columnar) batches and run qualified fused chains column-at-a-time (concurrent backends only; sync falls back to rows)")
+	fs.Int64Var(&f.stagingBudget, "staging-budget", 0, "bounded staging: byte budget for tuples buffered at exchange merges, transition holds, and loss-intolerant ingress overflow; beyond it tuples spill to disk segments and replay in order (0 = staging off, overflow drops/errors as before)")
+	fs.StringVar(&f.spillDir, "spill-dir", "", "parent directory for staging spill segments (default: the system temp dir); a private subdirectory is created and removed on shutdown")
 }
 
 // execConfig converts the parsed flags into the engine's shared knob struct.
 func (f *execFlags) execConfig(shedder engine.Shedder) engine.ExecConfig {
-	return engine.ExecConfig{Shards: f.shards, Buf: f.batch, Shedder: shedder, Columnar: f.columnar}
+	return engine.ExecConfig{
+		Shards: f.shards, Buf: f.batch, Shedder: shedder, Columnar: f.columnar,
+		StagingBudget: f.stagingBudget, SpillDir: f.spillDir,
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/sched"
 	"repro/internal/shed"
+	"repro/internal/staging"
 	"repro/internal/stream"
 )
 
@@ -319,6 +320,15 @@ func run(mech auction.Mechanism, cfg daemonConfig) error {
 		fmt.Printf("  day throughput: %d %s batches in %.2fs — %.0f batches/s, %.0f tuples/s, %.1f heap allocs/tuple\n",
 			batches, layout, elapsed, float64(batches)/elapsed, float64(dayTuples)/elapsed,
 			float64(memAfter.Mallocs-memBefore.Mallocs)/float64(dayTuples))
+		// With -staging-budget set, one line of staging health per day: how
+		// close the resident buffers came to the budget, and how much went
+		// through the spill path instead of being dropped.
+		if sg, ok := exec.(interface{ StagingStats() (staging.Stats, bool) }); ok {
+			if ss, on := sg.StagingStats(); on {
+				fmt.Printf("  staging: resident peak %dB of %dB budget, spilled %dB in %d segments (%d tuples), %d replays\n",
+					ss.ResidentPeakBytes, ss.BudgetBytes, ss.SpilledBytes, ss.Segments, ss.SpilledTuples, ss.Replays)
+			}
+		}
 
 		// Feed the measured loads forward and judge the executed period. The
 		// auction prices demand, so it sees the OFFERED load — shed tuples'

@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/staging"
+	"repro/internal/stream"
+)
+
+// Operator-state checkpoints: a periodic snapshot of the parallel stage's
+// open keyed state (window buffers, join windows — everything a reshard
+// already knows how to move via stream.KeyedStateMover), written to disk in
+// the staging segment frame format and restorable into a fresh executor via
+// StagedConfig.Restore. A killed or restarted deployment resumes mid-window
+// instead of losing the open period.
+//
+// A checkpoint is a reshard to the SAME width whose moved state additionally
+// lands on disk: the current shard epoch quiesces at a period boundary (the
+// exchange merges drain into the still-running global stage), every key's
+// open state is exported, recorded, and re-imported into a fresh epoch under
+// the unchanged partition map. Consistency is exactly the reshard boundary's:
+// tuples pushed before Checkpoint are fully owned by the snapshot, tuples
+// pushed after by the resumed epoch. The global stage's state is not part of
+// the snapshot — it is not keyed, and the restore path rebuilds it empty.
+
+// checkpointFile is the segment file a checkpoint writes inside its
+// directory; writes go to a temp file first and rename into place, so a
+// crash mid-checkpoint leaves the previous snapshot intact.
+const checkpointFile = "state.ckpt"
+
+// stateRec is one exported keyed-state entry: the prefix-plan node position
+// it belongs to (structurally identical across epochs and executor restarts,
+// since both carve from the same factory), the partition key, and the
+// operator's exported state. Encoded one gob frame per record.
+type stateRec struct {
+	Node  int
+	Key   any
+	State any
+}
+
+// Checkpoint snapshots the parallel stage's keyed operator state into dir
+// and resumes on a fresh shard epoch, global stage untouched. On a fully
+// global plan it writes an empty (valid, restorable) checkpoint. The write
+// error, if any, is returned after the executor has already resumed — a
+// failed snapshot never takes the pipeline down.
+func (s *Staged) Checkpoint(dir string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped.Load() {
+		return errStopped
+	}
+	if len(s.shards) == 0 {
+		return writeCheckpoint(dir, nil)
+	}
+	if err := reshardable(s.prefixPlans[0]); err != nil {
+		return err
+	}
+	// Carve the next epoch before touching the running one, like Reshard: a
+	// factory failure must leave the executor fully operational.
+	plans, exchanges, err := s.carveEpoch(len(s.shards))
+	if err != nil {
+		return err
+	}
+	s.retireEpoch()
+	recs := exportStateRecs(s.prefixPlans)
+	werr := writeCheckpoint(dir, recs)
+	// Import regardless of the write outcome: the executor resumes with its
+	// state either way.
+	importStateRecs(plans, recs, stateDest(s.pmap))
+	shards, err := startShardRuntimes(plans, exchanges, s.shardRuntimeConfig(), s.taps)
+	if err != nil {
+		// Mid-swap failure: the old epoch is gone. Fail loudly, like Reshard.
+		s.stopped.Store(true)
+		return fmt.Errorf("engine: checkpoint resume: %w", err)
+	}
+	s.shards, s.prefixPlans, s.exchanges = shards, plans, exchanges
+	s.startMergers()
+	s.epoch++
+	return werr
+}
+
+// restoreCheckpoint reads dir's snapshot and imports it into the carved
+// prefix plans of a starting executor, routed by the current partition map —
+// the restored width may differ from the checkpointed one, exactly as a
+// reshard's state movement allows. Called by StartStaged before the shard
+// runtimes start. A checkpoint from a structurally different plan is
+// rejected rather than half-imported.
+func (s *Staged) restoreCheckpoint(dir string, plans []*Plan) (err error) {
+	recs, rerr := readCheckpoint(dir)
+	if rerr != nil {
+		return fmt.Errorf("engine: restore checkpoint %q: %w", dir, rerr)
+	}
+	if len(plans) == 0 || len(recs) == 0 {
+		return nil
+	}
+	for _, rec := range recs {
+		if rec.Node < 0 || rec.Node >= len(plans[0].nodes) {
+			return fmt.Errorf("engine: restore checkpoint %q: node %d out of range (plan has %d prefix nodes)", dir, rec.Node, len(plans[0].nodes))
+		}
+	}
+	// An operator importing state of the wrong concrete type panics inside
+	// its ImportKeyedState assertion; surface that as a plan-mismatch error
+	// instead of crashing the starting executor.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: restore checkpoint %q: state does not match the plan: %v", dir, r)
+		}
+	}()
+	importStateRecs(plans, recs, stateDest(s.pmap))
+	return nil
+}
+
+// exportStateRecs drains every KeyedStateMover node's per-key state out of
+// the quiesced epoch's plans, ordered by (node, rendered key) so the
+// checkpoint bytes and the import-side first-seen order are deterministic.
+func exportStateRecs(plans []*Plan) []stateRec {
+	if len(plans) == 0 {
+		return nil
+	}
+	var recs []stateRec
+	for j := range plans[0].nodes {
+		for _, p := range plans {
+			mover, ok := transformOf(p.nodes[j]).(stream.KeyedStateMover)
+			if !ok {
+				continue
+			}
+			for key, st := range mover.ExportKeyedState() {
+				recs = append(recs, stateRec{Node: j, Key: key, State: st})
+			}
+		}
+	}
+	sort.SliceStable(recs, func(a, b int) bool {
+		if recs[a].Node != recs[b].Node {
+			return recs[a].Node < recs[b].Node
+		}
+		return fmt.Sprint(recs[a].Key) < fmt.Sprint(recs[b].Key)
+	})
+	return recs
+}
+
+// importStateRecs routes each record's key through dest and imports the
+// state into that shard's plan, the same placement moveKeyedState uses.
+func importStateRecs(plans []*Plan, recs []stateRec, dest func(key any) int) {
+	for _, rec := range recs {
+		mover, ok := transformOf(plans[dest(rec.Key)].nodes[rec.Node]).(stream.KeyedStateMover)
+		if !ok {
+			continue
+		}
+		mover.ImportKeyedState(rec.Key, rec.State)
+	}
+}
+
+// writeCheckpoint writes the records to dir/state.ckpt atomically: segment
+// frames into a temp file, flushed by Close, renamed into place.
+func writeCheckpoint(dir string, recs []stateRec) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "."+checkpointFile+".tmp")
+	sw, err := staging.CreateSegment(tmp)
+	if err != nil {
+		return err
+	}
+	abort := func(e error) error {
+		sw.Close()
+		os.Remove(tmp)
+		return e
+	}
+	for _, rec := range recs {
+		var b bytes.Buffer
+		if err := gob.NewEncoder(&b).Encode(&rec); err != nil {
+			return abort(fmt.Errorf("engine: checkpoint encode: %w", err))
+		}
+		if err := sw.Frame(b.Bytes()); err != nil {
+			return abort(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, checkpointFile))
+}
+
+// readCheckpoint decodes dir/state.ckpt back into records.
+func readCheckpoint(dir string) ([]stateRec, error) {
+	var recs []stateRec
+	err := staging.ReadSegment(filepath.Join(dir, checkpointFile), func(p []byte) error {
+		var rec stateRec
+		if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&rec); err != nil {
+			return fmt.Errorf("engine: checkpoint decode: %w", err)
+		}
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

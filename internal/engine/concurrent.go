@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/staging"
 	"repro/internal/stream"
 )
 
@@ -50,6 +51,13 @@ type Runtime struct {
 	// goroutine and read via atomics so Stats is safe mid-run.
 	stats []runtimeCounters
 	ticks atomic.Int64
+
+	// stager, when non-nil, backs the loss-intolerant ingress overflow
+	// lanes; ownStager marks a runtime-created (vs executor-shared) one,
+	// closed at Stop.
+	stager     *staging.Stager
+	ownStager  bool
+	stagerOnce sync.Once
 
 	wg sync.WaitGroup
 	// stopMu serializes Stop's channel closes against in-flight PushBatch
@@ -138,6 +146,11 @@ type RuntimeConfig struct {
 	// schema the fused chains behind those sources could never qualify for
 	// columnar execution. Ignored unless ExecConfig.Columnar is set.
 	SourceSchemas map[string]*stream.Schema
+	// stager, when non-nil, is an executor-shared staging subsystem (the
+	// Staged and Sharded backends hand every runtime of every epoch the
+	// same one, so StagingBudget bounds the executor, not budget × shards).
+	// When nil and StagingBudget > 0, the runtime creates and owns its own.
+	stager *staging.Stager
 }
 
 // StartConcurrent builds and starts the runtime over a built plan with the
@@ -167,6 +180,14 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 		colTaps: cfg.ColTaps,
 		results: make(map[string][]stream.Tuple),
 		stats:   make([]runtimeCounters, len(p.nodes)),
+		stager:  cfg.stager,
+	}
+	if r.stager == nil && cfg.StagingBudget > 0 {
+		st, err := staging.New(cfg.StagingBudget, cfg.SpillDir)
+		if err != nil {
+			return nil, err
+		}
+		r.stager, r.ownStager = st, true
 	}
 
 	// Fuse maximal stateless unary chains (see fuse.go): each chain runs in
@@ -302,11 +323,20 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 	// as overflow, charged to that node. Sink edges (a source wired straight
 	// to a query) never shed. Unlike emit, every edge gets its own clone;
 	// shedding filters per edge, so batches cannot be shared.
+	//
+	// With a stager configured, overflow on a LOSS-INTOLERANT edge (planned
+	// ratio 0 — the shed plan says this query must not drop) stages instead
+	// of shedding: the batch lands on the edge's bounded staging queue
+	// (spilling to disk past the budget) and replays, in order and ahead of
+	// fresh tuples, as soon as the channel accepts again — with a final
+	// blocking drain when the source closes. Edges with a positive planned
+	// ratio keep the legacy overflow shed: the plan already priced their
+	// losses.
 	var owners [][]string
 	if cfg.Shedder != nil {
 		owners = nodeOwners(p)
 	}
-	emitIngress := func(out []edge, states []shedState, ts []stream.Tuple) {
+	emitIngress := func(out []edge, states []shedState, stage *ingressStage, ts []stream.Tuple) {
 		last := len(out) - 1
 		// tsSent flips once ts itself is handed to a consumer; otherwise the
 		// router still owns it at the end and recycles it.
@@ -325,6 +355,11 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 			st := &states[i]
 			st.refresh(cfg.Shedder, owners[e.node])
 			counters := &r.stats[e.node]
+			// Staged backlog replays first so the edge stays FIFO.
+			backlog := false
+			if stage != nil {
+				backlog = stage.drain(i, nodeIn[e.node], e.side)
+			}
 			kept := ts
 			// owns marks kept as a fresh buffer this loop must recycle unless
 			// a consumer takes it.
@@ -359,6 +394,24 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 			if len(kept) == 0 {
 				if owns {
 					putBatch(kept)
+				}
+				continue
+			}
+			if stage != nil && st.ratio == 0 {
+				// Loss-intolerant edge under staging: never drop. Order the
+				// fresh batch behind any remaining backlog, else try the
+				// channel and stage on overflow.
+				if backlog {
+					stage.stash(i, kept, owns)
+					continue
+				}
+				select {
+				case nodeIn[e.node] <- sidedBatch{ts: kept, side: e.side}:
+					if !owns {
+						tsSent = true
+					}
+				default:
+					stage.stash(i, kept, owns)
 				}
 				continue
 			}
@@ -398,18 +451,31 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 		r.srcIn[name] = ch
 		src := s
 		shedHere := cfg.Shedder != nil && !cfg.NoShedSources[name]
+		stageName := "ingress-" + name
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
 			if shedHere {
-				// Per-edge sampler state is owned by this router goroutine.
+				// Per-edge sampler state is owned by this router goroutine,
+				// as are the staging lanes backing loss-intolerant overflow.
 				states := make([]shedState, len(src.out))
+				var stage *ingressStage
+				if r.stager != nil {
+					stage = newIngressStage(r.stager, stageName, len(src.out))
+				}
 				for m := range ch {
 					ts := m.rows
 					if m.cols != nil {
 						ts = colToRows(m.cols)
 					}
-					emitIngress(src.out, states, ts)
+					emitIngress(src.out, states, stage, ts)
+				}
+				if stage != nil {
+					// Blocking final drain: the consumers stay live until this
+					// router calls done, so every staged tuple lands before the
+					// downstream channels close. Nothing loss-intolerant is lost
+					// across a whole run.
+					stage.flush(src.out, nodeIn)
 				}
 			} else {
 				for m := range ch {
@@ -574,6 +640,116 @@ func StartRuntime(p *Plan, cfg RuntimeConfig) (*Runtime, error) {
 		}()
 	}
 	return r, nil
+}
+
+// ingressReplayBatch caps how many staged records one replay pop pulls back
+// into a pooled batch: the in-flight replay buffer per edge is bounded slack
+// on top of the staging budget, not a second unbounded buffer.
+const ingressReplayBatch = 256
+
+// ingressStage holds one shedding router's per-edge staging lanes: when the
+// shed plan marks an edge loss-intolerant (ratio 0) and its channel is full,
+// overflow batches land on a bounded staging queue (resident up to the shared
+// budget, spilled to disk segments beyond it) instead of being dropped, and
+// replay in FIFO order as the channel drains. It is owned by the router
+// goroutine — no locking beyond the queues' own.
+type ingressStage struct {
+	stager *staging.Stager
+	// qs and pending are indexed by the source's out-edge position. pending
+	// holds at most one replayed-but-unsent batch per edge (popped from the
+	// queue, then refused by a non-blocking send), kept aside so replay
+	// never re-spills what it already paid to read back.
+	qs      []*staging.Queue
+	pending [][]stream.Tuple
+	name    string
+	recs    []staging.Rec
+}
+
+func newIngressStage(s *staging.Stager, name string, n int) *ingressStage {
+	return &ingressStage{
+		stager:  s,
+		name:    name,
+		qs:      make([]*staging.Queue, n),
+		pending: make([][]stream.Tuple, n),
+	}
+}
+
+// next returns edge i's oldest staged batch (the pending holdover, else a
+// fresh pop of up to ingressReplayBatch records) or nil when the lane is dry.
+func (g *ingressStage) next(i int) []stream.Tuple {
+	if b := g.pending[i]; b != nil {
+		g.pending[i] = nil
+		return b
+	}
+	q := g.qs[i]
+	if q == nil || q.Empty() {
+		return nil
+	}
+	g.recs = q.PopBatch(g.recs[:0], ingressReplayBatch)
+	if len(g.recs) == 0 {
+		return nil
+	}
+	b := getBatch(len(g.recs))
+	for _, rec := range g.recs {
+		b = append(b, rec.Tuple)
+	}
+	return b
+}
+
+// drain replays edge i's staged backlog into its channel without blocking and
+// reports whether backlog remains — fresh batches must queue behind it to
+// keep the edge FIFO.
+func (g *ingressStage) drain(i int, ch chan<- sidedBatch, side stream.Side) bool {
+	for {
+		b := g.next(i)
+		if b == nil {
+			return false
+		}
+		select {
+		case ch <- sidedBatch{ts: b, side: side}:
+		default:
+			g.pending[i] = b
+			return true
+		}
+	}
+}
+
+// stash appends an overflow batch to edge i's staging lane. Tuple structs are
+// copied in (Vals backing arrays are shared under the same single-owner rule
+// the exchange offer path relies on), so an owned buffer recycles here.
+func (g *ingressStage) stash(i int, kept []stream.Tuple, owns bool) {
+	q := g.qs[i]
+	if q == nil {
+		q = g.stager.NewQueue(fmt.Sprintf("%s-e%d", g.name, i))
+		g.qs[i] = q
+	}
+	for _, t := range kept {
+		q.Append("", t)
+	}
+	if owns {
+		putBatch(kept)
+	}
+}
+
+// flush blocking-drains every lane into its channel and closes the queues.
+// Called by the router after its input closes and before done: the consumers
+// are still live (this router is a registered producer), so the sends cannot
+// deadlock and no staged tuple is lost at shutdown.
+func (g *ingressStage) flush(out []edge, nodeIn []chan sidedBatch) {
+	for i, e := range out {
+		if e.node >= 0 {
+			for {
+				b := g.next(i)
+				if b == nil {
+					break
+				}
+				nodeIn[e.node] <- sidedBatch{ts: b, side: e.side}
+			}
+		}
+		if g.qs[i] != nil {
+			g.qs[i].Close()
+		}
+	}
 }
 
 // deliver routes one owned sink batch: to the sink's tap when one is
@@ -964,6 +1140,21 @@ func (r *Runtime) Stop() {
 	}
 	r.stopMu.Unlock()
 	r.wg.Wait()
+	if r.ownStager {
+		// Only a runtime-owned stager closes here; an executor-shared one
+		// outlives this runtime (the staged/sharded backends reuse it across
+		// epochs and close it themselves).
+		r.stagerOnce.Do(func() { r.stager.Close() })
+	}
+}
+
+// StagingStats reports the staging subsystem's counters and whether staging
+// is enabled for this runtime.
+func (r *Runtime) StagingStats() (staging.Stats, bool) {
+	if r.stager == nil {
+		return staging.Stats{}, false
+	}
+	return r.stager.Stats(), true
 }
 
 // Quiesce drains the runtime like Stop — input closes, every in-flight

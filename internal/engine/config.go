@@ -41,6 +41,20 @@ type ExecConfig struct {
 	// (PushOwnedColBatch) is accepted regardless of this switch — the
 	// switch governs whether chains execute on columns.
 	Columnar bool
+	// StagingBudget, when > 0, turns on bounded staging (internal/staging):
+	// the executor's staging lanes — the staged exchange merges' tails
+	// behind a stalled shard, and the concurrent ingress's overflow for
+	// loss-intolerant (shed ratio 0) queries — hold at most this many
+	// resident bytes between them and spill to disk segments beyond it,
+	// replaying in order when pressure subsides. The bound is the budget
+	// plus bounded replay slack (up to one segment per draining lane). 0
+	// keeps the legacy behavior: unbounded exchange buffers, and ingress
+	// overflow shed even at ratio 0.
+	StagingBudget int64
+	// SpillDir is where staging spill segments live; the executor creates
+	// (and removes on Stop) a private subdirectory. Empty means the OS temp
+	// dir. Ignored unless StagingBudget > 0.
+	SpillDir string
 }
 
 // bufOrDefault resolves the configured edge buffer, applying the shared

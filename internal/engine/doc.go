@@ -1,0 +1,59 @@
+// Package engine is the Aurora-style continuous-query engine the paper's
+// DSMS center assumes (Section II): a shared physical operator graph where
+// one operator instance serves every query that contains it, upstream
+// connection points that can hold and replay tuples, and an end-of-period
+// transition phase that drains the subnetworks being modified before the
+// plan changes — so queries that survive the auction keep producing correct
+// results across periods.
+//
+// Execution is synchronous push-based (deterministic, single goroutine),
+// which makes transition-phase correctness testable; the stream package's
+// Pipeline offers goroutine execution for standalone operator chains. The
+// concurrent executors (Runtime, Sharded, Staged) layer goroutine-per-
+// operator and hash-partitioned execution on top of the same plans.
+//
+// # Bounded staging and spill
+//
+// Three places in the execution stack buffer tuples they cannot yet release,
+// and each used to trade either memory or correctness for it: the staged
+// executor's exchange merges grow per-shard FIFOs until punctuation arrives,
+// the synchronous Engine drops held tuples past the transition cap, and the
+// concurrent Runtime's non-blocking ingress sheds overflow even for queries
+// whose plans promised zero loss. ExecConfig.StagingBudget bounds all three
+// with one subsystem (internal/staging): buffered tuples are accounted
+// against a shared byte budget, tuples past the budget spill to append-only
+// framed disk segments under ExecConfig.SpillDir, and spilled runs replay in
+// arrival order — after the resident tuples of the same lane — once pressure
+// subsides. Memory stays within budget plus a bounded replay slack (one
+// in-flight segment chunk per lane), and no tuple is dropped: a spill-write
+// failure degrades that lane to resident-only buffering rather than losing
+// data. Executors expose the accounting via StagingStats (resident and
+// spilled bytes, segment and replay counts); dsmsd surfaces it per day
+// (sim) and under "staging" in GET /v1/stats (serve).
+//
+// # Checkpoints
+//
+// The same segment format carries operator-state checkpoints:
+// (*Staged).Checkpoint quiesces the parallel stage exactly like a reshard,
+// exports every stream.KeyedStateMover's per-key state (open window buffers,
+// join windows), writes it atomically to a state.ckpt segment, and resumes
+// on a fresh epoch with the state re-imported. StagedConfig.Restore points a
+// starting executor at such a directory and rebuilds the keyed state under
+// the current partition map — a restarted deployment resumes mid-window
+// instead of losing the open period. The global stage is not part of the
+// snapshot: its state is unkeyed and rebuilds empty.
+//
+// # The punctuation contract
+//
+// Mid-run liveness of the staged executor depends on punctuation flowing
+// through every operator: an exchange merge can only release a shard's
+// buffered tuples up to the minimum punctuation watermark it has seen from
+// all shards, so an operator that swallows markers stalls release until
+// Stop. Built-in operators forward punctuation; a custom stream.Transform
+// must declare how it does so by implementing stream.Punctuator (or
+// stream.BinaryPunctuator for binary operators). An operator that declares
+// neither still computes correct results, but every heartbeat entering it
+// dies there — downstream exchange merges then hold (or, with staging,
+// spill) tuples until the run ends. Plan analysis logs a one-time warning
+// naming each such dark operator type.
+package engine

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/staging"
 	"repro/internal/stream"
 )
 
@@ -16,11 +17,15 @@ type Engine struct {
 	// Connection-point state: while holding, pushed tuples are buffered
 	// per-source instead of processed, exactly like Aurora's upstream
 	// connection points during plan modification. The buffer is bounded by
-	// heldCap so a stalled transition cannot grow memory without limit.
+	// heldCap so a stalled transition cannot grow memory without limit; with
+	// staging enabled (EnableStaging) tuples past the cap stage to heldQ —
+	// bounded memory AND no loss — instead of being dropped.
 	holding     bool
 	held        []heldTuple
 	heldCap     int
 	heldDropped int
+	stager      *staging.Stager
+	heldQ       *staging.Queue
 
 	// results accumulates per-query outputs for the current period.
 	results map[string][]stream.Tuple
@@ -88,6 +93,34 @@ func (e *Engine) SetHeldCap(n int) { e.heldCap = n }
 // HeldDropped returns the number of tuples dropped at full held buffers.
 func (e *Engine) HeldDropped() int { return e.heldDropped }
 
+// EnableStaging turns on bounded staging for the transition-phase hold
+// buffer: tuples pushed past the held cap land on a staging queue — resident
+// up to budget bytes, spilled to disk segments under dir beyond it — and
+// replay after the in-memory held tuples at the next Transition, so a long
+// hold loses nothing while memory stays bounded. Idempotent per engine; the
+// staging resources release at Stop.
+func (e *Engine) EnableStaging(budget int64, dir string) error {
+	if e.stager != nil {
+		return fmt.Errorf("engine: staging already enabled")
+	}
+	s, err := staging.New(budget, dir)
+	if err != nil {
+		return err
+	}
+	e.stager = s
+	e.heldQ = s.NewQueue("held")
+	return nil
+}
+
+// StagingStats reports the staging subsystem's counters and whether staging
+// is enabled.
+func (e *Engine) StagingStats() (staging.Stats, bool) {
+	if e.stager == nil {
+		return staging.Stats{}, false
+	}
+	return e.stager.Stats(), true
+}
+
 // SetShedder installs (or, with nil, removes) a load shedder. Shedding
 // applies at the source-ingress edges from the next Push on; drops are
 // accounted in Loads as ShedTuples / ShedUtilityLost.
@@ -124,6 +157,15 @@ func (e *Engine) Push(sourceName string, t stream.Tuple) error {
 	}
 	if e.holding {
 		if e.heldCap > 0 && len(e.held) >= e.heldCap {
+			if e.heldQ != nil {
+				// Staging on: overflow stages (spilling past the budget)
+				// instead of dropping, and replays after the held buffer at
+				// the next Transition. A spill failure degrades to resident
+				// staging (Queue keeps the tuple either way), so the tuple is
+				// never lost.
+				e.heldQ.Append(sourceName, t)
+				return nil
+			}
 			e.heldDropped++
 			return fmt.Errorf("engine: held-tuple buffer full (%d tuples) during transition; tuple dropped", e.heldCap)
 		}
@@ -348,7 +390,9 @@ func (e *Engine) Transition(newPlan *Plan) error {
 	// Node IDs changed with the plan; restart the shed samplers against it.
 	e.resetShedStates()
 
-	// Replay held tuples in arrival order before resuming live input.
+	// Replay held tuples in arrival order before resuming live input: the
+	// in-memory buffer first, then the staged overflow (which holds the
+	// tuples that arrived after the buffer filled, so FIFO order is exact).
 	held := e.held
 	e.held = nil
 	e.holding = false
@@ -356,6 +400,15 @@ func (e *Engine) Transition(newPlan *Plan) error {
 		// Sources dropped from the new plan lose their held tuples, which
 		// matches disconnecting the stream; ignore the error.
 		_ = e.Push(h.source, h.tuple)
+	}
+	if e.heldQ != nil {
+		for {
+			r, ok := e.heldQ.Pop()
+			if !ok {
+				break
+			}
+			_ = e.Push(r.Source, r.Tuple)
+		}
 	}
 	return nil
 }

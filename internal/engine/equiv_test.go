@@ -399,20 +399,26 @@ func TestEquivalenceRandomized(t *testing.T) {
 		// or any constituent node's counters. The unfused-columnar arm is
 		// deliberate: with no fused chains every columnar batch converts to
 		// rows at its consumer, which is the conversion path's soak.
+		// The spill arm re-runs the default arm under a deliberately tiny
+		// staging budget: exchange buffering then continuously spills to disk
+		// segments and replays, and the whole staging path must be invisible —
+		// identical results and per-node counters, zero lost tuples.
 		ownedFirst := c%2 == 0
 		for _, variant := range []struct {
 			name     string
 			noFusion bool
 			owned    bool
 			columnar bool
+			staging  int64 // staging byte budget; 0 = staging off
 		}{
-			{"staged", false, ownedFirst, false},
-			{"staged-unfused", true, !ownedFirst, false},
-			{"staged-columnar", false, true, true},
-			{"staged-unfused-columnar", true, true, true},
+			{"staged", false, ownedFirst, false, 0},
+			{"staged-unfused", true, !ownedFirst, false, 0},
+			{"staged-columnar", false, true, true, 0},
+			{"staged-unfused-columnar", true, true, true, 0},
+			{"staged-spill", false, ownedFirst, false, 2048},
 		} {
 			st, err := StartStaged(func() (*Plan, error) { return es.build(), nil },
-				StagedConfig{ExecConfig: ExecConfig{Shards: shards, Buf: buf, DisableFusion: variant.noFusion, Columnar: variant.columnar}, Heartbeat: heartbeat})
+				StagedConfig{ExecConfig: ExecConfig{Shards: shards, Buf: buf, DisableFusion: variant.noFusion, Columnar: variant.columnar, StagingBudget: variant.staging}, Heartbeat: heartbeat})
 			if err != nil {
 				fail("StartStaged (%s): %v", variant.name, err)
 			}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 
@@ -91,9 +92,19 @@ var (
 )
 
 // PushBatch pushes each tuple of the batch in order. Rejected tuples
-// (unknown source, schema mismatch, held-buffer overflow) are counted and
-// skipped; the first error is returned after the whole batch is attempted.
+// (unknown source, schema mismatch) are counted and skipped; the first
+// error is returned after the whole batch is attempted.
+//
+// Held-buffer overflow is the exception: mid-transition, a batch that would
+// overflow the held cap (and has no staging queue to absorb it) is rejected
+// whole, up front — a mid-batch overflow would otherwise apply a prefix and
+// drop the rest, which a caller reporting "batch rejected" cannot retry
+// without duplicating the applied prefix. The rejected batch stays fully
+// owned by the caller; HeldDropped does not count it.
 func (e *Engine) PushBatch(source string, batch []stream.Tuple) error {
+	if e.holding && e.heldQ == nil && e.heldCap > 0 && len(e.held)+len(batch) > e.heldCap {
+		return fmt.Errorf("engine: held-tuple buffer full (%d held, cap %d) during transition; batch of %d rejected whole", len(e.held), e.heldCap, len(batch))
+	}
 	var first error
 	for _, t := range batch {
 		if err := e.Push(source, t); err != nil && first == nil {
@@ -118,6 +129,10 @@ func (e *Engine) Stop() {
 	e.stopped = true
 	for _, n := range e.plan.nodes {
 		e.drainNode(n)
+	}
+	if e.stager != nil {
+		e.stager.Close()
+		e.stager, e.heldQ = nil, nil
 	}
 }
 

@@ -1,14 +1,3 @@
-// Package engine is the Aurora-style continuous-query engine the paper's
-// DSMS center assumes (Section II): a shared physical operator graph where
-// one operator instance serves every query that contains it, upstream
-// connection points that can hold and replay tuples, and an end-of-period
-// transition phase that drains the subnetworks being modified before the
-// plan changes — so queries that survive the auction keep producing correct
-// results across periods.
-//
-// Execution is synchronous push-based (deterministic, single goroutine),
-// which makes transition-phase correctness testable; the stream package's
-// Pipeline offers goroutine execution for standalone operator chains.
 package engine
 
 import (

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/staging"
 	"repro/internal/stream"
 )
 
@@ -80,6 +81,11 @@ type Sharded struct {
 	carriedMu sync.Mutex
 	carried   map[string][]stream.Tuple
 
+	// stager, when non-nil, is the executor's shared bounded-staging
+	// subsystem (ExecConfig.StagingBudget), handed to every shard runtime of
+	// every epoch so the budget bounds the executor, not budget × shards.
+	stager *staging.Stager
+
 	ticks    atomic.Int64
 	dropped  atomic.Int64
 	stopped  atomic.Bool
@@ -153,6 +159,12 @@ func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, e
 		pmap:      newPartitionMap(n),
 		carried:   make(map[string][]stream.Tuple),
 	}
+	if cfg.StagingBudget > 0 {
+		s.stager, err = staging.New(cfg.StagingBudget, cfg.SpillDir)
+		if err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < n; i++ {
 		p, err := factory()
 		if err != nil {
@@ -180,7 +192,7 @@ func StartSharded(factory func() (*Plan, error), cfg ShardedConfig) (*Sharded, e
 				s.partField = 0
 			}
 		}
-		rt, err := StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion, Columnar: cfg.Columnar}})
+		rt, err := StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion, Columnar: cfg.Columnar}, stager: s.stager})
 		if err != nil {
 			s.Stop()
 			return nil, err
@@ -255,7 +267,7 @@ func (s *Sharded) Reshard(n int) error {
 	moveKeyedState(s.plans, newPlans, stateDest(s.pmap))
 	shards := make([]*Runtime, n)
 	for i, p := range newPlans {
-		rt, err := StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{Buf: s.buf, Shedder: s.shedder, DisableFusion: s.noFusion, Columnar: s.columnar}})
+		rt, err := StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{Buf: s.buf, Shedder: s.shedder, DisableFusion: s.noFusion, Columnar: s.columnar}, stager: s.stager})
 		if err != nil {
 			// Mid-swap failure: the old epoch is gone, so the executor
 			// cannot keep running. Fail it loudly rather than half-swapped.
@@ -512,7 +524,19 @@ func (s *Sharded) Stop() {
 			}(sh)
 		}
 		wg.Wait()
+		if s.stager != nil {
+			s.stager.Close()
+		}
 	})
+}
+
+// StagingStats reports the shared staging subsystem's accounting; ok is
+// false when no staging budget is configured.
+func (s *Sharded) StagingStats() (staging.Stats, bool) {
+	if s.stager == nil {
+		return staging.Stats{}, false
+	}
+	return s.stager.Stats(), true
 }
 
 // Dropped returns the number of rejected tuples across shards and epochs.

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/stream"
 )
@@ -285,7 +287,42 @@ func (p *Plan) Analyze() (*StageSplit, error) {
 			s.PrefixSources[name] = true
 		}
 	}
+	warnDarkPunctuation(p)
 	return s, nil
+}
+
+// darkPunctWarned dedups the dark-operator warning below by concrete
+// transform type: once per type per process, not once per plan analysis.
+var darkPunctWarned sync.Map
+
+// warnDarkPunctuation logs, once per concrete type, every operator that
+// implements neither stream.Punctuator nor stream.BinaryPunctuator. Such a
+// "dark" operator silently swallows punctuation markers — always sound (a
+// dropped promise only delays liveness), but it cuts the heartbeat chain:
+// every exchange merge downstream of it degrades to hold-until-Stop
+// buffering for that shard, exactly the stall the staging subsystem then has
+// to absorb. The warning names the operator so the omission is a visible
+// choice instead of a silent one; see the punctuation contract in this
+// package's doc.go.
+func warnDarkPunctuation(p *Plan) {
+	for _, n := range p.nodes {
+		dark := false
+		if n.unary != nil {
+			_, ok := n.unary.(stream.Punctuator)
+			dark = !ok
+		} else {
+			_, ok := n.binary.(stream.BinaryPunctuator)
+			dark = !ok
+		}
+		if !dark {
+			continue
+		}
+		key := fmt.Sprintf("%T", transformOf(n))
+		if _, seen := darkPunctWarned.LoadOrStore(key, true); seen {
+			continue
+		}
+		log.Printf("engine: operator %q (%s) declares no punctuation contract (stream.Punctuator / stream.BinaryPunctuator); it will swallow heartbeat markers, so exchange merges behind it hold tuples until Stop — implement Punctuate to restore mid-run liveness (see engine doc.go)", n.name(), key)
+	}
 }
 
 // copyOwners merges src's query ownership into dst.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/staging"
 	"repro/internal/stream"
 )
 
@@ -54,6 +55,11 @@ type StagedConfig struct {
 	// with heartbeats they additionally forfeit the watermark promise —
 	// results remain complete and the merge remains live either way.
 	Heartbeat int
+	// Restore names a checkpoint directory written by Checkpoint; the keyed
+	// operator state recorded there is imported into the fresh shard plans
+	// (routed by the current partition map) before execution starts, so a
+	// restarted executor resumes mid-window instead of losing the period.
+	Restore string
 }
 
 // Staged executes any plan across shards by splitting it into two stages
@@ -141,6 +147,12 @@ type Staged struct {
 	exchanges []*exchangeMerge
 	mergeWG   sync.WaitGroup
 
+	// stager, when non-nil, is the executor's shared bounded-staging
+	// subsystem (ExecConfig.StagingBudget): the exchange merges' un-releasable
+	// tails and the runtimes' loss-intolerant ingress overflow stage against
+	// one budget, spilling to disk segments beyond it.
+	stager *staging.Stager
+
 	// carried holds result tuples drained from quiesced epochs' runtimes.
 	carriedMu sync.Mutex
 	carried   map[string][]stream.Tuple
@@ -198,13 +210,20 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 	for name, src := range full.sources {
 		s.srcSchemas[name] = src.schema
 	}
+	if cfg.StagingBudget > 0 {
+		s.stager, err = staging.New(cfg.StagingBudget, cfg.SpillDir)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	if split.NumParallel() == 0 {
 		// Fully global: no parallel stage, no exchanges — the whole plan
 		// (sources included, even unconsumed ones) runs on one Runtime,
 		// reusing the analyzed plan's instances.
-		s.global, err = StartRuntime(full, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion, Columnar: cfg.Columnar}, Taps: stripPunctTaps(cfg.Taps)})
+		s.global, err = StartRuntime(full, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion, Columnar: cfg.Columnar}, Taps: stripPunctTaps(cfg.Taps), stager: s.stager})
 		if err != nil {
+			s.closeStager()
 			return nil, err
 		}
 		s.globalIDs = identity(len(full.nodes))
@@ -217,14 +236,16 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		// shard below gets its own factory instances.
 		suffix, ids, err := split.suffixPlan(full)
 		if err != nil {
+			s.closeStager()
 			return nil, err
 		}
 		noShed := make(map[string]bool, len(split.Exchanges))
 		for _, id := range split.Exchanges {
 			noShed[ExchangeName(id)] = true
 		}
-		s.global, err = StartRuntime(suffix, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion, Columnar: cfg.Columnar}, NoShedSources: noShed, Taps: stripPunctTaps(cfg.Taps)})
+		s.global, err = StartRuntime(suffix, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: cfg.Shedder, DisableFusion: cfg.DisableFusion, Columnar: cfg.Columnar}, NoShedSources: noShed, Taps: stripPunctTaps(cfg.Taps), stager: s.stager})
 		if err != nil {
+			s.closeStager()
 			return nil, err
 		}
 		s.globalIDs = ids
@@ -235,7 +256,13 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 		s.Stop()
 		return nil, err
 	}
-	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder, s.noFusion, s.columnar, s.srcSchemas, s.taps)
+	if cfg.Restore != "" {
+		if err := s.restoreCheckpoint(cfg.Restore, plans); err != nil {
+			s.Stop()
+			return nil, err
+		}
+	}
+	shards, err := startShardRuntimes(plans, exchanges, s.shardRuntimeConfig(), s.taps)
 	if err != nil {
 		s.Stop()
 		return nil, err
@@ -245,6 +272,33 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 	return s, nil
 }
 
+// closeStager releases the staging subsystem (spill dir included); safe to
+// call with no stager configured.
+func (s *Staged) closeStager() {
+	if s.stager != nil {
+		s.stager.Close()
+	}
+}
+
+// shardRuntimeConfig is the RuntimeConfig template every shard runtime of
+// every epoch starts from (minus the per-shard exchange taps).
+func (s *Staged) shardRuntimeConfig() RuntimeConfig {
+	return RuntimeConfig{
+		ExecConfig:    ExecConfig{Buf: s.buf, Shedder: s.shedder, DisableFusion: s.noFusion, Columnar: s.columnar},
+		SourceSchemas: s.srcSchemas,
+		stager:        s.stager,
+	}
+}
+
+// StagingStats reports the shared staging subsystem's accounting; ok is
+// false when no staging budget is configured.
+func (s *Staged) StagingStats() (staging.Stats, bool) {
+	if s.stager == nil {
+		return staging.Stats{}, false
+	}
+	return s.stager.Stats(), true
+}
+
 // carveEpoch builds one parallel-stage epoch's skeleton: n prefix plans
 // carved from fresh factory plans (keyed state still empty — Reshard
 // imports moved state into them before the runtimes start) and one fresh
@@ -252,7 +306,7 @@ func StartStaged(factory func() (*Plan, error), cfg StagedConfig) (*Staged, erro
 func (s *Staged) carveEpoch(n int) ([]*Plan, []*exchangeMerge, error) {
 	var exchanges []*exchangeMerge
 	for _, id := range s.split.Exchanges {
-		exchanges = append(exchanges, newExchangeMerge(ExchangeName(id), n, &s.lateArrivals))
+		exchanges = append(exchanges, newExchangeMerge(ExchangeName(id), n, &s.lateArrivals, s.stager))
 	}
 	plans := make([]*Plan, n)
 	for i := 0; i < n; i++ {
@@ -308,11 +362,12 @@ func stripPunct(tap func([]stream.Tuple)) func([]stream.Tuple) {
 	}
 }
 
-// startShardRuntimes starts one Runtime per carved prefix plan with that
-// shard's exchange taps — and the executor's user result taps, so fully
-// parallel sinks stream too — installed. On error everything started so far
-// is stopped and the error returned.
-func startShardRuntimes(plans []*Plan, exchanges []*exchangeMerge, buf int, shedder Shedder, noFusion, columnar bool, srcSchemas map[string]*stream.Schema, userTaps map[string]func([]stream.Tuple)) ([]*Runtime, error) {
+// startShardRuntimes starts one Runtime per carved prefix plan from the
+// shared config template, with that shard's exchange taps — and the
+// executor's user result taps, so fully parallel sinks stream too —
+// installed. On error everything started so far is stopped and the error
+// returned.
+func startShardRuntimes(plans []*Plan, exchanges []*exchangeMerge, base RuntimeConfig, userTaps map[string]func([]stream.Tuple)) ([]*Runtime, error) {
 	shards := make([]*Runtime, 0, len(plans))
 	for i, prefix := range plans {
 		var taps map[string]func([]stream.Tuple)
@@ -327,7 +382,9 @@ func startShardRuntimes(plans []*Plan, exchanges []*exchangeMerge, buf int, shed
 				taps[x.name] = x.offer(i)
 			}
 		}
-		rt, err := StartRuntime(prefix, RuntimeConfig{ExecConfig: ExecConfig{Buf: buf, Shedder: shedder, DisableFusion: noFusion, Columnar: columnar}, SourceSchemas: srcSchemas, Taps: taps})
+		cfg := base
+		cfg.Taps = taps
+		rt, err := StartRuntime(prefix, cfg)
 		if err != nil {
 			for _, started := range shards {
 				started.Stop()
@@ -410,7 +467,7 @@ func (s *Staged) Reshard(n int) error {
 	s.retireEpoch()
 	s.pmap.rebalance(n)
 	moveKeyedState(s.prefixPlans, plans, stateDest(s.pmap))
-	shards, err := startShardRuntimes(plans, exchanges, s.buf, s.shedder, s.noFusion, s.columnar, s.srcSchemas, s.taps)
+	shards, err := startShardRuntimes(plans, exchanges, s.shardRuntimeConfig(), s.taps)
 	if err != nil {
 		// Mid-swap failure: the old epoch is gone, so the executor cannot
 		// keep running. Fail it loudly rather than half-swapped.
@@ -771,6 +828,7 @@ func (s *Staged) Stop() {
 		if s.global != nil {
 			s.global.Stop()
 		}
+		s.closeStager()
 	})
 }
 
@@ -929,7 +987,7 @@ type exchangeMerge struct {
 	name string
 	mu   sync.Mutex
 	cond *sync.Cond
-	bufs [][]stream.Tuple // per-shard FIFO
+	bufs [][]stream.Tuple // per-shard FIFO (the resident front)
 	head []int            // per-shard consumed prefix
 	done []bool           // per-shard closed flag
 	// wm is the per-shard punctuation low-watermark: the shard's pipeline
@@ -939,14 +997,32 @@ type exchangeMerge struct {
 	// watermark), shared across the executor's merges; see
 	// Staged.lateArrivals.
 	late *atomic.Int64
+	// stager, when non-nil, bounds the resident buffers: a shard's tuples
+	// past the shared budget stage (spilling to disk) on its stg queue and
+	// replay into bufs when the merge consumes the front. Per-shard order is
+	// bufs[i][head[i]:] then stg[i]; a shard with a non-empty queue appends
+	// there unconditionally so the order holds.
+	stager *staging.Stager
+	stg    []*staging.Queue
 }
+
+// Exchange buffer hygiene thresholds: a consumed prefix of at least
+// compactAfter tuples that covers half the buffer is compacted away (the
+// live tail moves to a right-sized pooled buffer), and a fully drained
+// buffer whose capacity grew past largeExchangeBuf is recycled rather than
+// kept — so a stall's spike is returned to the pool instead of pinned until
+// Stop.
+const (
+	compactAfter     = 256
+	largeExchangeBuf = 4096
+)
 
 // noWatermark is the wm value of a shard that has not punctuated yet: it
 // clears no timestamp, so the merge behaves exactly like the pre-
 // punctuation hold-until-Stop merge for that shard.
 const noWatermark = math.MinInt64
 
-func newExchangeMerge(name string, shards int, late *atomic.Int64) *exchangeMerge {
+func newExchangeMerge(name string, shards int, late *atomic.Int64, stager *staging.Stager) *exchangeMerge {
 	x := &exchangeMerge{
 		name: name,
 		bufs: make([][]stream.Tuple, shards),
@@ -954,6 +1030,10 @@ func newExchangeMerge(name string, shards int, late *atomic.Int64) *exchangeMerg
 		done: make([]bool, shards),
 		wm:   make([]int64, shards),
 		late: late,
+	}
+	if stager != nil {
+		x.stager = stager
+		x.stg = make([]*staging.Queue, shards)
 	}
 	for i := range x.wm {
 		x.wm[i] = noWatermark
@@ -983,12 +1063,51 @@ func (x *exchangeMerge) offer(shard int) func([]stream.Tuple) {
 			if t.Ts <= x.wm[shard] {
 				x.late.Add(1)
 			}
+			if x.stager != nil {
+				// Bounded mode: stage behind an existing spill tail (order),
+				// or once the shared budget is exhausted.
+				if q := x.stg[shard]; q != nil && !q.Empty() {
+					q.Append("", t)
+					continue
+				}
+				if !x.stager.TryReserve(staging.SizeOf(t)) {
+					if x.stg[shard] == nil {
+						x.stg[shard] = x.stager.NewQueue(x.name + "-s" + fmt.Sprint(shard))
+					}
+					x.stg[shard].Append("", t)
+					continue
+				}
+			}
 			x.bufs[shard] = append(x.bufs[shard], t)
 		}
 		x.mu.Unlock()
 		x.cond.Broadcast()
 		putBatch(ts)
 	}
+}
+
+// refill replays a chunk of shard i's staged tail into its (consumed)
+// resident buffer. Caller holds x.mu and guarantees head[i] == len(bufs[i]).
+// The chunk reservation is unconditional — replay slack, bounded by max —
+// so a full budget cannot wedge the merge.
+func (x *exchangeMerge) refill(i, max int) {
+	buf := x.bufs[i][:0]
+	if cap(buf) >= largeExchangeBuf {
+		putBatch(x.bufs[i])
+		buf = nil
+	}
+	x.head[i] = 0
+	recs := x.stg[i].PopBatch(nil, max)
+	if buf == nil {
+		buf = getBatch(len(recs))
+	}
+	var sz int64
+	for _, r := range recs {
+		buf = append(buf, r.Tuple)
+		sz += staging.SizeOf(r.Tuple)
+	}
+	x.stager.Reserve(sz)
+	x.bufs[i] = buf
 }
 
 // close marks every shard's stream ended; called after all shards stopped.
@@ -1043,6 +1162,12 @@ func (x *exchangeMerge) run(global *Runtime, batch int) {
 		barrier := int64(math.MaxInt64)
 		idle := true // no shard has a visible head or pending work
 		for i := range x.bufs {
+			if x.stg != nil && x.head[i] >= len(x.bufs[i]) && x.stg[i] != nil && !x.stg[i].Empty() {
+				// The resident front is consumed but the shard has a staged
+				// tail: replay a chunk so the scan sees its true head (a
+				// closed shard with staged tuples must not look drained).
+				x.refill(i, batch)
+			}
 			if x.head[i] < len(x.bufs[i]) {
 				idle = false
 				ts := x.bufs[i][x.head[i]].Ts
@@ -1083,6 +1208,7 @@ func (x *exchangeMerge) run(global *Runtime, batch int) {
 		// lock traffic amortize over the run.
 		buf := x.bufs[min]
 		h := x.head[min]
+		var released int64
 		for h < len(buf) && len(out) < batch {
 			ts := buf[h].Ts
 			if ts > barrier {
@@ -1092,18 +1218,46 @@ func (x *exchangeMerge) run(global *Runtime, batch int) {
 				break
 			}
 			out = append(out, buf[h])
+			if x.stager != nil {
+				released += staging.SizeOf(buf[h])
+			}
 			h++
 		}
 		x.head[min] = h
+		if released > 0 {
+			x.stager.Release(released)
+		}
 		if h == len(buf) {
-			// Reclaim the consumed buffer; append will reuse the capacity.
-			x.bufs[min] = buf[:0]
+			if cap(buf) >= largeExchangeBuf {
+				// A stall grew this buffer; recycle it instead of pinning the
+				// spike until Stop.
+				putBatch(buf)
+				x.bufs[min] = nil
+			} else {
+				// Reclaim the consumed buffer; append will reuse the capacity.
+				x.bufs[min] = buf[:0]
+			}
+			x.head[min] = 0
+		} else if h >= compactAfter && h*2 >= len(buf) {
+			// Compact the consumed prefix: head keeps advancing but append
+			// writes past len, so without this the released tuples stay
+			// pinned in the backing array until the buffer fully drains.
+			live := buf[h:]
+			fresh := getBatch(len(live))
+			fresh = append(fresh, live...)
+			putBatch(buf)
+			x.bufs[min] = fresh
 			x.head[min] = 0
 		}
 		if len(out) == batch {
 			x.mu.Unlock()
 			flush()
 			x.mu.Lock()
+		}
+	}
+	for i := range x.bufs {
+		if x.stg != nil && x.stg[i] != nil {
+			x.stg[i].Close()
 		}
 	}
 	x.mu.Unlock()

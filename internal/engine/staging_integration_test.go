@@ -1,0 +1,405 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// stallPlan is the staging acceptance plan: a stateless filter (parallel
+// stage) feeding a global ungrouped windowed sum, so every pushed tuple
+// crosses an exchange edge. With heartbeats disabled the exchange merge can
+// release nothing until Stop — the worst-case stall the staging budget
+// exists for.
+func stallPlan() *Plan {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	flt := p.AddUnary(stream.NewFilter("pos", 1, stream.FieldCmp(1, stream.Gt, 0)), FromSource("s"))
+	agg := p.AddUnary(stream.MustWindowAgg("gsum", 2, stream.WindowSpec{
+		Size: 1024, Agg: stream.AggSum, Field: 1, GroupBy: -1,
+	}), flt)
+	p.AddSink("gsums", agg)
+	return p
+}
+
+// stallTuples: every value positive, so the whole stream reaches the
+// exchange.
+func stallTuples(n int) []stream.Tuple {
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		out[i] = tup(int64(i), fmt.Sprintf("k%d", i%7), float64(1+i%9))
+	}
+	return out
+}
+
+// TestStagedBoundedMemoryUnderStall is the tentpole acceptance scenario: a
+// staged run whose exchange edge is fully stalled (heartbeats disabled, so
+// no watermark ever releases the merge) pushes a stream many times larger
+// than the staging budget. The heap must stay within the budget plus a fixed
+// slack — the overflow spills to disk segments — and after the stall lifts
+// (Stop drains and replays everything) the results must match the sync
+// oracle exactly. With STAGING_STATS_OUT set, the final staging counters are
+// written there as JSON for the CI soak job.
+func TestStagedBoundedMemoryUnderStall(t *testing.T) {
+	const (
+		n      = 200_000
+		budget = 2 << 20 // 2 MiB; the stream is ~10x larger by staging accounting
+		batch  = 512
+	)
+	tuples := stallTuples(n)
+
+	oracle, err := New(stallPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runExecutor(t, oracle, tuples, batch, "gsums")
+
+	st, err := StartStaged(func() (*Plan, error) { return stallPlan(), nil },
+		StagedConfig{ExecConfig: ExecConfig{Shards: 2, Buf: 8, StagingBudget: budget, SpillDir: t.TempDir()}, Heartbeat: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	for i := 0; i < n; i += batch {
+		end := i + batch
+		if end > n {
+			end = n
+		}
+		if err := st.PushBatch("s", tuples[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the shard pipelines drain into the (stalled) exchange so the
+	// measurement sees the steady stalled state, not tuples still in flight.
+	SettleStats(st)
+	runtime.GC()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	stats, on := st.StagingStats()
+	if !on {
+		t.Fatal("StagingStats reports staging off")
+	}
+	if stats.SpilledBytes == 0 || stats.Segments == 0 {
+		t.Fatalf("stalled run did not spill: %+v", stats)
+	}
+	// The bound: resident staging accounting must respect the budget (plus
+	// the documented replay slack of one segment chunk), and the process heap
+	// delta must be nowhere near the unstaged footprint (~25 MiB of buffered
+	// tuples for this stream). The slack absorbs executor structures, pooled
+	// batches and accounting-vs-Go-heap overhead per resident tuple.
+	const heapSlack = 14 << 20
+	if delta := int64(after.HeapAlloc) - int64(before.HeapAlloc); delta > budget+heapSlack {
+		t.Fatalf("stalled heap delta %d B exceeds budget %d B + slack %d B (staging failed to bound memory)", delta, budget, heapSlack)
+	}
+
+	st.Stop()
+	finalStats, _ := st.StagingStats()
+	if finalStats.Replays == 0 {
+		t.Fatalf("drain did not replay spilled segments: %+v", finalStats)
+	}
+	got := st.Results("gsums")
+	if gm, wm := multiset(got), multiset(want["gsums"]); len(gm) != len(wm) {
+		t.Fatalf("staged results = %d tuples, oracle %d", len(gm), len(wm))
+	} else {
+		for i := range wm {
+			if gm[i] != wm[i] {
+				t.Fatalf("staged results diverge from oracle at %d: %q vs %q", i, gm[i], wm[i])
+			}
+		}
+	}
+
+	if out := os.Getenv("STAGING_STATS_OUT"); out != "" {
+		b, err := json.MarshalIndent(finalStats, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExchangeMergeCompactsConsumedPrefix drives an exchange merge directly:
+// shard 0 offers 600 tuples, shard 1 stays quiet but punctuates 450, so the
+// merge releases a 450-tuple prefix and must then hold the 150-tuple tail.
+// Before the compaction fix the released prefix stayed pinned in the backing
+// array (head advanced, len did not shrink) until the buffer fully drained;
+// now the live tail moves to a right-sized pooled buffer and the prefix's
+// capacity is freed.
+func TestExchangeMergeCompactsConsumedPrefix(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("exch", testSchema)
+	flt := p.AddUnary(stream.NewFilter("id", 1, func(stream.Tuple) bool { return true }), FromSource("exch"))
+	p.AddSink("out", flt)
+	rt, err := StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{Buf: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var late atomic.Int64
+	x := newExchangeMerge("exch", 2, &late, nil)
+	done := make(chan struct{})
+	go func() { x.run(rt, 64); close(done) }()
+
+	const n = 600
+	const released = n * 3 / 4 // past compactAfter, and over half the buffer
+	batch := getBatch(n)
+	for i := 1; i <= n; i++ {
+		batch = append(batch, tup(int64(i), "k", 1))
+	}
+	x.offer(0)(batch)
+	x.mu.Lock()
+	capFull := cap(x.bufs[0])
+	x.mu.Unlock()
+	if capFull < n {
+		t.Fatalf("shard buffer cap %d after offer, want >= %d", capFull, n)
+	}
+	pb := getBatch(1)
+	pb = append(pb, stream.NewPunctuation(int64(released)))
+	x.offer(1)(pb)
+
+	// Wait for the runtime to have received the released prefix.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		loads := rt.Stats()
+		if len(loads) > 0 && loads[0].Tuples >= released {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("merge released %d tuples, want %d", loads[0].Tuples, released)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	x.mu.Lock()
+	length, head, capNow := len(x.bufs[0]), x.head[0], cap(x.bufs[0])
+	x.mu.Unlock()
+	if length >= n {
+		t.Fatalf("consumed prefix not compacted: len %d (head %d), released tuples still pinned", length, head)
+	}
+	if capNow >= capFull {
+		t.Fatalf("compaction freed no capacity: cap %d, was %d", capNow, capFull)
+	}
+	if live := length - head; live != n-released {
+		t.Fatalf("live tail = %d tuples, want %d", live, n-released)
+	}
+
+	x.close()
+	<-done
+	rt.Stop()
+	if got := len(rt.Results("out")); got != n {
+		t.Fatalf("released %d tuples end to end, want %d", got, n)
+	}
+	if late.Load() != 0 {
+		t.Fatalf("%d late arrivals", late.Load())
+	}
+}
+
+// TestEngineHeldStagingNoDrops: with staging enabled, the synchronous
+// engine's transition hold loses nothing past the held cap — overflow lands
+// on the staging queue (spilling at this tiny budget) and replays in arrival
+// order at Transition. HeldDropped must stay 0.
+func TestEngineHeldStagingNoDrops(t *testing.T) {
+	eng, err := New(shardablePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableStaging(512, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	eng.SetHeldCap(4)
+	eng.Hold()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := eng.Push("s", tup(int64(i), "k", 1)); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if d := eng.HeldDropped(); d != 0 {
+		t.Fatalf("HeldDropped = %d with staging enabled, want 0", d)
+	}
+	stats, on := eng.StagingStats()
+	if !on || stats.SpilledTuples == 0 {
+		t.Fatalf("held overflow did not spill at a 512 B budget: %+v (on=%v)", stats, on)
+	}
+	if err := eng.Transition(shardablePlan()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(eng.Results("raw")); got != n {
+		t.Fatalf("replayed %d tuples through the transition, want %d", got, n)
+	}
+}
+
+// TestEnginePushBatchHoldAllOrNothing: a batch that would overflow the held
+// cap (no staging) is rejected whole — no prefix is applied — so the HTTP
+// ingress can report "batch rejected" and the client can retry safely.
+func TestEnginePushBatchHoldAllOrNothing(t *testing.T) {
+	eng, err := New(shardablePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetHeldCap(2)
+	eng.Hold()
+	if err := eng.PushBatch("s", []stream.Tuple{tup(1, "k", 1), tup(2, "k", 1), tup(3, "k", 1)}); err == nil {
+		t.Fatal("want whole-batch rejection at held cap")
+	}
+	if got := len(eng.held); got != 0 {
+		t.Fatalf("rejected batch applied a %d-tuple prefix, want 0", got)
+	}
+	if d := eng.HeldDropped(); d != 0 {
+		t.Fatalf("HeldDropped = %d for a whole-batch rejection, want 0 (caller keeps the batch)", d)
+	}
+	if err := eng.PushBatch("s", []stream.Tuple{tup(1, "k", 1), tup(2, "k", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Transition(shardablePlan()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(eng.Results("raw")); got != 2 {
+		t.Fatalf("replayed %d tuples, want exactly the accepted batch of 2", got)
+	}
+}
+
+// TestRuntimeLossIntolerantOverflowStages: a loss-intolerant ingress (shed
+// ratio 0) whose consumer is slower than the pusher used to shed overflow at
+// the non-blocking edge. With staging enabled the overflow stages (spilling
+// past the tiny budget) and replays in order — every tuple arrives, in
+// arrival order, and nothing is counted shed.
+func TestRuntimeLossIntolerantOverflowStages(t *testing.T) {
+	p := NewPlan()
+	p.AddSource("s", testSchema)
+	var seen int
+	slow := p.AddUnary(stream.NewFilter("slow", 1, func(stream.Tuple) bool {
+		if seen++; seen%64 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		return true
+	}), FromSource("s"))
+	p.AddSink("out", slow)
+
+	rt, err := StartRuntime(p, RuntimeConfig{ExecConfig: ExecConfig{
+		Buf:           1,
+		Shedder:       &stubShedder{ratio: 0, util: 0, gen: 1},
+		StagingBudget: 2048,
+		SpillDir:      t.TempDir(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	tuples := stallTuples(n)
+	for i := 0; i < n; i += 100 {
+		if err := rt.PushBatch("s", tuples[i:i+100]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, on := rt.StagingStats()
+	if !on {
+		t.Fatal("StagingStats reports staging off")
+	}
+	if stats.ResidentPeakBytes == 0 {
+		t.Fatalf("no ingress overflow ever staged: %+v", stats)
+	}
+	rt.Stop()
+	got := rt.Results("out")
+	if len(got) != n {
+		t.Fatalf("loss-intolerant query received %d of %d tuples", len(got), n)
+	}
+	for i, g := range got {
+		if g.Ts != int64(i) {
+			t.Fatalf("tuple %d has ts %d: staged replay broke arrival order", i, g.Ts)
+		}
+	}
+	for _, nl := range rt.Stats() {
+		if nl.ShedTuples != 0 {
+			t.Fatalf("node %q shed %d tuples on a ratio-0 plan", nl.Name, nl.ShedTuples)
+		}
+	}
+}
+
+// TestStagedCheckpointKillShardRestore is the kill-a-shard acceptance test:
+// push half the stream, checkpoint, then "crash" the executor — its
+// post-checkpoint flush is discarded, exactly what a kill loses — and start
+// a fresh executor (at a different width) restoring from the checkpoint.
+// The pre-checkpoint results plus the restored run's results must equal the
+// sync oracle over the whole stream: the open window state crossed the
+// crash on disk.
+func TestStagedCheckpointKillShardRestore(t *testing.T) {
+	mk := func(n, off int) []stream.Tuple {
+		out := make([]stream.Tuple, n)
+		for i := range out {
+			out[i] = tup(int64(off+i), fmt.Sprintf("k%d", (off+i)%3), float64(1+(off+i)%5))
+		}
+		return out
+	}
+	b1, b2 := mk(10, 0), mk(14, 10)
+
+	oracle, err := New(shardablePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runExecutor(t, oracle, append(append([]stream.Tuple{}, b1...), b2...), 5, "raw", "sums")
+
+	dir := t.TempDir()
+	a, err := StartStaged(func() (*Plan, error) { return shardablePlan(), nil },
+		StagedConfig{ExecConfig: ExecConfig{Shards: 2, Buf: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PushBatch("s", b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("checkpoint recorded no open keyed state")
+	}
+	// Everything b1 completed is in the results now (Checkpoint quiesced the
+	// epoch); the open windows live only in the snapshot.
+	resA := map[string][]stream.Tuple{"raw": a.Results("raw"), "sums": a.Results("sums")}
+	// The "kill": Stop still flushes a's restored open state into results,
+	// but nobody reads them — that flush is what the crash loses.
+	a.Stop()
+
+	b, err := StartStaged(func() (*Plan, error) { return shardablePlan(), nil },
+		StagedConfig{ExecConfig: ExecConfig{Shards: 3, Buf: 4}, Restore: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runExecutor(t, b, b2, 5, "raw", "sums")
+	for _, q := range []string{"raw", "sums"} {
+		merged := multiset(append(append([]stream.Tuple{}, resA[q]...), got[q]...))
+		wantM := multiset(want[q])
+		if len(merged) != len(wantM) {
+			t.Fatalf("query %q: %d tuples across the restart, oracle has %d\n got %v\nwant %v",
+				q, len(merged), len(wantM), merged, wantM)
+		}
+		for i := range wantM {
+			if merged[i] != wantM[i] {
+				t.Fatalf("query %q diverges at %d: %q vs %q", q, i, merged[i], wantM[i])
+			}
+		}
+	}
+
+	// A structurally different plan must be rejected, not half-imported.
+	if _, err := StartStaged(func() (*Plan, error) { return stallPlan(), nil },
+		StagedConfig{ExecConfig: ExecConfig{Shards: 2}, Restore: dir}); err == nil {
+		t.Fatal("restore into a structurally different plan succeeded, want rejection")
+	}
+}

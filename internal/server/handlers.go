@@ -11,6 +11,7 @@ import (
 	"repro/internal/cql"
 	"repro/internal/engine"
 	"repro/internal/qos"
+	"repro/internal/staging"
 	"repro/internal/stream"
 )
 
@@ -327,6 +328,14 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 // arrive as JSON float64; integer fields coerce when the value is whole.
 // Timestamps must be nondecreasing per source (the staged merge's ordering
 // precondition); omitted timestamps continue from the source's frontier.
+//
+// Ingest is all-or-nothing per request: the entire batch is coerced and
+// validated — schema kinds and per-source timestamp monotonicity — before a
+// single tuple reaches the executor, and the source frontier, tuple count,
+// and metering clock advance only after the executor accepted the whole
+// batch. A 400 (validation) or 409 (push rejected) response therefore
+// guarantees the stream is exactly as it was, so clients can repair and
+// resubmit the same batch without double-applying a prefix.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	source := r.PathValue("source")
 	var req struct {
@@ -353,50 +362,29 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "no admitted plan is running; run an admission cycle first")
 		return
 	}
+	// Phase 1: validate and coerce the whole batch. Nothing has been pushed
+	// yet, so any rejection here discards the leased buffer and returns with
+	// the stream untouched.
+	batch, lastTs, idx, cerr := coerceBatch(st.schema, req.Tuples, st.lastTs)
+	if cerr != nil {
+		engine.PutBatch(batch)
+		writeError(w, http.StatusBadRequest, "tuple %d: %v", idx, cerr)
+		return
+	}
+	n := len(batch)
+	// Phase 2: hand the validated batch to the executor in one push.
 	// Columnar ingest: with -columnar on a backend offering the columnar
 	// ingress, coerced tuples unbox straight into a pooled struct-of-arrays
 	// batch — qualified fused chains downstream never see a boxed row.
+	var err error
 	if colPusher, ok := s.exec.(engine.OwnedColBatchPusher); ok && s.cfg.Exec.Columnar {
-		cb := engine.GetColBatch(st.schema, len(req.Tuples))
-		lastTs := st.lastTs
-		for i, in := range req.Tuples {
-			t, err := coerceTuple(st.schema, in, lastTs)
-			if err != nil {
-				engine.PutColBatch(cb)
-				writeError(w, http.StatusBadRequest, "tuple %d: %v", i, err)
-				return
-			}
-			lastTs = t.Ts
+		cb := engine.GetColBatch(st.schema, n)
+		for _, t := range batch {
 			cb.AppendTuple(t)
 		}
-		n := cb.Len()
-		if err := colPusher.PushOwnedColBatch(source, cb); err != nil {
-			writeError(w, http.StatusConflict, "push rejected: %v", err)
-			return
-		}
-		st.lastTs = lastTs
-		st.tuples += int64(n)
-		s.exec.Advance(1)
-		s.ticks++
-		writeJSON(w, http.StatusOK, map[string]any{"pushed": n, "source": source, "frontier": lastTs})
-		return
-	}
-	batch := engine.GetBatch(len(req.Tuples))
-	lastTs := st.lastTs
-	for i, in := range req.Tuples {
-		t, err := coerceTuple(st.schema, in, lastTs)
-		if err != nil {
-			engine.PutBatch(batch)
-			writeError(w, http.StatusBadRequest, "tuple %d: %v", i, err)
-			return
-		}
-		lastTs = t.Ts
-		batch = append(batch, t)
-	}
-	n := len(batch)
-	pusher, owned := s.exec.(engine.OwnedBatchPusher)
-	var err error
-	if owned {
+		engine.PutBatch(batch)
+		err = colPusher.PushOwnedColBatch(source, cb)
+	} else if pusher, owned := s.exec.(engine.OwnedBatchPusher); owned {
 		err = pusher.PushOwnedBatch(source, batch)
 	} else {
 		err = s.exec.PushBatch(source, batch)
@@ -411,6 +399,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.exec.Advance(1)
 	s.ticks++
 	writeJSON(w, http.StatusOK, map[string]any{"pushed": n, "source": source, "frontier": lastTs})
+}
+
+// coerceBatch coerces every wire tuple against the schema and the source
+// frontier into a leased batch, enforcing timestamp monotonicity across the
+// whole request before anything is pushed. On error it returns the index of
+// the offending tuple; the (partially filled) leased batch is returned in
+// all cases so the caller can recycle it.
+func coerceBatch(schema *stream.Schema, in []tupleJSON, lastTs int64) ([]stream.Tuple, int64, int, error) {
+	batch := engine.GetBatch(len(in))
+	for i, tj := range in {
+		t, err := coerceTuple(schema, tj, lastTs)
+		if err != nil {
+			return batch, 0, i, err
+		}
+		lastTs = t.Ts
+		batch = append(batch, t)
+	}
+	return batch, lastTs, -1, nil
 }
 
 // coerceTuple converts one wire tuple to a stream.Tuple conforming to the
@@ -592,6 +598,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp["shards"] = st.NumShards()
 		resp["epoch"] = st.Epoch()
 		resp["split"] = st.Split().String()
+	}
+	// Bounded-staging counters (resident/spilled bytes, segments, replays)
+	// when the running backend has a staging budget configured.
+	if sg, ok := exec.(interface{ StagingStats() (staging.Stats, bool) }); ok {
+		if stats, on := sg.StagingStats(); on {
+			resp["staging"] = stats
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -335,6 +335,112 @@ func TestIngestValidation(t *testing.T) {
 	}
 }
 
+// TestIngestAllOrNothing pins the batch atomicity contract: a rejected
+// batch — whether the bad tuple is first, last, or in the middle — applies
+// nothing. The frontier and tuple count move only when the whole batch was
+// accepted, so a client can repair and resubmit without double-applying a
+// prefix.
+func TestIngestAllOrNothing(t *testing.T) {
+	_, ts := newTestServer(t, 100)
+	call(t, "POST", ts.URL+"/v1/tenants", map[string]string{"name": "acme"}, nil)
+	call(t, "POST", ts.URL+"/v1/queries", map[string]any{
+		"tenant": "acme", "name": "q", "cql": "SELECT * FROM stocks", "bid": 5.0,
+	}, nil)
+	call(t, "POST", ts.URL+"/v1/admission/run", nil, nil)
+
+	push := func(tuples []map[string]any) int {
+		return call(t, "POST", ts.URL+"/v1/streams/stocks", map[string]any{"tuples": tuples}, nil)
+	}
+	loadState := func() (tuples, frontier int64) {
+		var load struct {
+			Sources map[string]struct {
+				Tuples   int64 `json:"tuples"`
+				Frontier int64 `json:"frontier"`
+			} `json:"sources"`
+		}
+		if code := call(t, "GET", ts.URL+"/v1/load", nil, &load); code != http.StatusOK {
+			t.Fatalf("load = %d", code)
+		}
+		return load.Sources["stocks"].Tuples, load.Sources["stocks"].Frontier
+	}
+
+	// Two valid tuples ahead of a mid-batch timestamp regression: the whole
+	// batch must bounce, including the valid prefix.
+	if code := push([]map[string]any{
+		{"ts": 10, "vals": []any{"AAA", 1.0, 2}},
+		{"ts": 20, "vals": []any{"AAA", 1.0, 2}},
+		{"ts": 5, "vals": []any{"AAA", 1.0, 2}},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("mid-batch regression = %d, want 400", code)
+	}
+	if n, f := loadState(); n != 0 || f != 0 {
+		t.Fatalf("rejected batch applied a prefix: %d tuples, frontier %d", n, f)
+	}
+
+	if code := push([]map[string]any{
+		{"ts": 10, "vals": []any{"AAA", 1.0, 2}},
+		{"ts": 20, "vals": []any{"AAA", 1.0, 2}},
+	}); code != http.StatusOK {
+		t.Fatalf("valid batch = %d, want 200", code)
+	}
+	if n, f := loadState(); n != 2 || f != 20 {
+		t.Fatalf("after accepted batch: %d tuples, frontier %d, want 2 and 20", n, f)
+	}
+
+	// A schema error behind a valid tuple: still nothing applied, frontier
+	// still at the last accepted batch.
+	if code := push([]map[string]any{
+		{"ts": 30, "vals": []any{"AAA", 1.0, 2}},
+		{"ts": 31, "vals": []any{"AAA", 1.0}},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("mid-batch arity error = %d, want 400", code)
+	}
+	if n, f := loadState(); n != 2 || f != 20 {
+		t.Fatalf("rejected second batch moved state: %d tuples, frontier %d", n, f)
+	}
+}
+
+// TestStatsReportsStaging: with a staging budget configured, /v1/stats
+// carries the staging counters next to the shard/epoch block.
+func TestStatsReportsStaging(t *testing.T) {
+	mech, err := auction.ByName("CAT", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Mechanism:  mech,
+		Capacity:   100,
+		MeterPrice: 0.5,
+		Exec:       engine.ExecConfig{Shards: 2, Buf: 8, StagingBudget: 1 << 20, SpillDir: t.TempDir()},
+		Catalog:    testCatalog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	call(t, "POST", ts.URL+"/v1/tenants", map[string]string{"name": "acme"}, nil)
+	call(t, "POST", ts.URL+"/v1/queries", map[string]any{
+		"tenant": "acme", "name": "q", "cql": "SELECT * FROM stocks", "bid": 5.0,
+	}, nil)
+	call(t, "POST", ts.URL+"/v1/admission/run", nil, nil)
+	var stats struct {
+		Running bool `json:"running"`
+		Staging *struct {
+			BudgetBytes int64 `json:"budget_bytes"`
+		} `json:"staging"`
+	}
+	if code := call(t, "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if !stats.Running || stats.Staging == nil || stats.Staging.BudgetBytes != 1<<20 {
+		t.Fatalf("stats = %+v, want staging block with the configured budget", stats)
+	}
+}
+
 // TestEvictionAcrossCycles drives two tenants whose combined measured load
 // exceeds capacity once measurement replaces the static estimate: the
 // lower-bid query is evicted at the cycle boundary and its status says so.

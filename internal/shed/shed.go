@@ -264,6 +264,14 @@ func (s *Shedder) Generation() uint64 { return s.gen.Load() }
 // charged the owners' summed per-tuple utility. The utility charge comes
 // from the weights of every known owner, not from the drop plan: overflow
 // drops occur even for unshed queries and must not be billed as free.
+//
+// A returned ratio of 0 marks the edge loss-intolerant: the plan priced no
+// drops for any owner, so the executors must not discard its tuples. With
+// staging configured (engine.RuntimeConfig.StagingBudget) ratio-0 ingress
+// overflow is staged — buffered to the budget, spilled to disk beyond it —
+// and replayed in order, instead of being shed as an unplanned overflow
+// drop. Edges with a positive ratio keep the overflow-shed path: their loss
+// was already priced by the plan.
 func (s *Shedder) NodePolicy(owners []string) (ratio, utilityPerTuple float64) {
 	if len(owners) == 0 {
 		return 0, 0

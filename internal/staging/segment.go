@@ -1,0 +1,241 @@
+package staging
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/stream"
+)
+
+// Segment files are append-only framed logs: a 4-byte magic header followed
+// by frames of [uint32 little-endian length][payload]. The payload is opaque
+// at this layer — tuple records use the codec below, operator-state
+// checkpoints put a gob stream in each frame — so the spill lane and the
+// checkpoint path share one on-disk format and one reader.
+const segmentMagic = "DSG1"
+
+// maxFrameBytes bounds a single frame so a corrupt length prefix cannot ask
+// the reader to allocate gigabytes.
+const maxFrameBytes = 64 << 20
+
+// A SegmentWriter appends frames to a segment file through a buffered
+// writer. Close flushes; the file is complete and readable afterwards.
+type SegmentWriter struct {
+	f *os.File
+	w *bufio.Writer
+	n int64
+}
+
+// CreateSegment creates (truncating) a segment file at path and writes the
+// magic header.
+func CreateSegment(path string) (*SegmentWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 32<<10)
+	if _, err := w.WriteString(segmentMagic); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return &SegmentWriter{f: f, w: w, n: int64(len(segmentMagic))}, nil
+}
+
+// Frame appends one length-prefixed frame.
+func (sw *SegmentWriter) Frame(payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(payload); err != nil {
+		return err
+	}
+	sw.n += int64(4 + len(payload))
+	return nil
+}
+
+// Bytes reports how many bytes the segment holds, header included.
+func (sw *SegmentWriter) Bytes() int64 { return sw.n }
+
+// Close flushes and closes the file.
+func (sw *SegmentWriter) Close() error {
+	ferr := sw.w.Flush()
+	cerr := sw.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// ReadSegment opens a segment file and calls fn for every frame in order.
+// The payload slice is reused between calls; fn must not retain it.
+func ReadSegment(path string, fn func(payload []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 32<<10)
+	magic := make([]byte, len(segmentMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("staging: segment %s: reading magic: %w", path, err)
+	}
+	if string(magic) != segmentMagic {
+		return fmt.Errorf("staging: segment %s: bad magic %q", path, magic)
+	}
+	var hdr [4]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("staging: segment %s: reading frame header: %w", path, err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > maxFrameBytes {
+			return fmt.Errorf("staging: segment %s: frame of %d bytes exceeds limit", path, n)
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("staging: segment %s: reading frame body: %w", path, err)
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+	}
+}
+
+// Tuple record codec: one spilled tuple per frame. Layout (little-endian):
+//
+//	flags   byte    bit0 = punctuation marker
+//	ts      int64
+//	source  uvarint length + bytes
+//	nvals   uvarint
+//	vals    kind byte ('i','f','s','b') + payload each
+//
+// Only the engine's four scalar kinds serialize; a tuple carrying any other
+// value type returns an error and the caller keeps it resident instead.
+const (
+	recFlagPunct = 1 << 0
+
+	kindInt    = 'i'
+	kindFloat  = 'f'
+	kindString = 's'
+	kindBool   = 'b'
+)
+
+// AppendRec appends the encoded record for (source, t) to buf and returns
+// the extended slice.
+func AppendRec(buf []byte, source string, t stream.Tuple) ([]byte, error) {
+	var flags byte
+	if t.IsPunct() {
+		flags |= recFlagPunct
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Ts))
+	buf = binary.AppendUvarint(buf, uint64(len(source)))
+	buf = append(buf, source...)
+	buf = binary.AppendUvarint(buf, uint64(len(t.Vals)))
+	for _, v := range t.Vals {
+		switch v := v.(type) {
+		case int64:
+			buf = append(buf, kindInt)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+		case float64:
+			buf = append(buf, kindFloat)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		case string:
+			buf = append(buf, kindString)
+			buf = binary.AppendUvarint(buf, uint64(len(v)))
+			buf = append(buf, v...)
+		case bool:
+			b := byte(0)
+			if v {
+				b = 1
+			}
+			buf = append(buf, kindBool, b)
+		default:
+			return nil, fmt.Errorf("staging: cannot spill value of type %T", v)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeRec decodes one record payload back into (source, tuple).
+func DecodeRec(p []byte) (Rec, error) {
+	var r Rec
+	if len(p) < 9 {
+		return r, fmt.Errorf("staging: record truncated (%d bytes)", len(p))
+	}
+	flags := p[0]
+	ts := int64(binary.LittleEndian.Uint64(p[1:9]))
+	p = p[9:]
+	srcLen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < srcLen {
+		return r, fmt.Errorf("staging: record source field truncated")
+	}
+	r.Source = string(p[n : n+int(srcLen)])
+	p = p[n+int(srcLen):]
+	nvals, n := binary.Uvarint(p)
+	if n <= 0 {
+		return r, fmt.Errorf("staging: record val count truncated")
+	}
+	p = p[n:]
+	var t stream.Tuple
+	if flags&recFlagPunct != 0 {
+		t = stream.NewPunctuation(ts)
+	} else {
+		t = stream.Tuple{Ts: ts}
+	}
+	if nvals > 0 {
+		t.Vals = make([]any, 0, nvals)
+	}
+	for i := uint64(0); i < nvals; i++ {
+		if len(p) < 1 {
+			return r, fmt.Errorf("staging: record val %d truncated", i)
+		}
+		kind := p[0]
+		p = p[1:]
+		switch kind {
+		case kindInt:
+			if len(p) < 8 {
+				return r, fmt.Errorf("staging: record val %d truncated", i)
+			}
+			t.Vals = append(t.Vals, int64(binary.LittleEndian.Uint64(p[:8])))
+			p = p[8:]
+		case kindFloat:
+			if len(p) < 8 {
+				return r, fmt.Errorf("staging: record val %d truncated", i)
+			}
+			t.Vals = append(t.Vals, math.Float64frombits(binary.LittleEndian.Uint64(p[:8])))
+			p = p[8:]
+		case kindString:
+			sl, n := binary.Uvarint(p)
+			if n <= 0 || uint64(len(p)-n) < sl {
+				return r, fmt.Errorf("staging: record val %d truncated", i)
+			}
+			t.Vals = append(t.Vals, string(p[n:n+int(sl)]))
+			p = p[n+int(sl):]
+		case kindBool:
+			if len(p) < 1 {
+				return r, fmt.Errorf("staging: record val %d truncated", i)
+			}
+			t.Vals = append(t.Vals, p[0] != 0)
+			p = p[1:]
+		default:
+			return r, fmt.Errorf("staging: record val %d has unknown kind %q", i, kind)
+		}
+	}
+	r.Tuple = t
+	return r, nil
+}

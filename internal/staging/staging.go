@@ -1,0 +1,419 @@
+// Package staging is the executors' bounded staging subsystem: an in-memory
+// buffer up to a byte budget, append-only spill segments on disk beyond it,
+// and in-order replay when pressure subsides.
+//
+// A Stager owns one budget and one private spill directory; the executor's
+// staging lanes — the exchange merge's per-shard tails, the sync Engine's
+// transition hold overflow, the concurrent Runtime's loss-intolerant ingress
+// overflow — each hold a Queue on the shared Stager, so the budget bounds
+// the executor's total resident staging memory, not each lane separately.
+//
+// A Queue is strictly FIFO. Records append to memory while the queue has
+// nothing on disk and the budget has room; otherwise they append to the
+// current spill segment (rolled at a size cap). Pops drain memory first,
+// then replay segments oldest-first: a replayed segment is loaded back into
+// memory whole, which may overshoot the budget by up to one segment — the
+// documented slack. If a spill write fails (disk full, bad dir), the record
+// stays resident instead: staging degrades to unbounded memory rather than
+// losing tuples, and the error is surfaced in Stats.
+package staging
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stream"
+)
+
+// Stats is a point-in-time snapshot of a Stager's accounting. Spilled
+// counters are cumulative over the Stager's lifetime.
+type Stats struct {
+	BudgetBytes       int64 `json:"budget_bytes"`
+	ResidentBytes     int64 `json:"resident_bytes"`
+	ResidentPeakBytes int64 `json:"resident_peak_bytes"`
+	SpilledBytes      int64 `json:"spilled_bytes"`
+	SpilledTuples     int64 `json:"spilled_tuples"`
+	Segments          int64 `json:"segments"`
+	Replays           int64 `json:"replays"`
+	SpillErrors       int64 `json:"spill_errors"`
+}
+
+// A Stager owns a staging budget and the spill directory its queues write
+// segments into. Safe for concurrent use.
+type Stager struct {
+	budget int64
+	segMax int64
+	dir    string
+
+	resident      atomic.Int64
+	peak          atomic.Int64
+	spilledBytes  atomic.Int64
+	spilledTuples atomic.Int64
+	segments      atomic.Int64
+	replays       atomic.Int64
+	spillErrs     atomic.Int64
+	seq           atomic.Int64
+}
+
+// New creates a Stager holding at most budget resident bytes, spilling into
+// a private temp subdirectory of dir (the OS temp dir when dir is empty).
+// Close removes the subdirectory. budget <= 0 means no bound: everything
+// stays resident and nothing spills.
+func New(budget int64, dir string) (*Stager, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("staging: spill dir: %w", err)
+		}
+	}
+	d, err := os.MkdirTemp(dir, "staging-")
+	if err != nil {
+		return nil, fmt.Errorf("staging: spill dir: %w", err)
+	}
+	segMax := budget / 2
+	if segMax < 16<<10 {
+		segMax = 16 << 10
+	}
+	if segMax > 1<<20 {
+		segMax = 1 << 20
+	}
+	return &Stager{budget: budget, segMax: segMax, dir: d}, nil
+}
+
+// Dir reports the private spill directory.
+func (s *Stager) Dir() string { return s.dir }
+
+// Close removes the spill directory and everything in it. Queues on the
+// Stager must be closed (or abandoned) first.
+func (s *Stager) Close() error { return os.RemoveAll(s.dir) }
+
+// Stats snapshots the accounting.
+func (s *Stager) Stats() Stats {
+	return Stats{
+		BudgetBytes:       s.budget,
+		ResidentBytes:     s.resident.Load(),
+		ResidentPeakBytes: s.peak.Load(),
+		SpilledBytes:      s.spilledBytes.Load(),
+		SpilledTuples:     s.spilledTuples.Load(),
+		Segments:          s.segments.Load(),
+		Replays:           s.replays.Load(),
+		SpillErrors:       s.spillErrs.Load(),
+	}
+}
+
+// TryReserve reserves n resident bytes if the budget has room.
+func (s *Stager) TryReserve(n int64) bool {
+	for {
+		cur := s.resident.Load()
+		if s.budget > 0 && cur+n > s.budget {
+			return false
+		}
+		if s.resident.CompareAndSwap(cur, cur+n) {
+			s.bumpPeak(cur + n)
+			return true
+		}
+	}
+}
+
+// Reserve reserves n resident bytes unconditionally — the replay path uses
+// it to load a whole segment back, accepting up to one segment of slack
+// over the budget.
+func (s *Stager) Reserve(n int64) { s.bumpPeak(s.resident.Add(n)) }
+
+// Release returns n resident bytes to the budget.
+func (s *Stager) Release(n int64) { s.resident.Add(-n) }
+
+func (s *Stager) bumpPeak(v int64) {
+	for {
+		p := s.peak.Load()
+		if v <= p || s.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// nextSegPath names a fresh segment file for a queue label.
+func (s *Stager) nextSegPath(label string) string {
+	n := s.seq.Add(1)
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, label)
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%08d.seg", clean, n))
+}
+
+// SizeOf estimates the resident footprint of one tuple: struct and slice
+// headers plus boxed values. It intentionally overcounts small tuples a
+// little — the budget is a bound, not a measurement.
+func SizeOf(t stream.Tuple) int64 {
+	n := int64(48)
+	for _, v := range t.Vals {
+		if s, ok := v.(string); ok {
+			n += 16 + int64(len(s))
+		} else {
+			n += 16
+		}
+	}
+	return n
+}
+
+// Rec is one staged record: the tuple plus the source/edge label the lane
+// needs to replay it correctly (empty where the lane is single-source).
+type Rec struct {
+	Source string
+	Tuple  stream.Tuple
+}
+
+// spillSeg is one closed on-disk segment with its record count.
+type spillSeg struct {
+	path string
+	recs int64
+}
+
+// A Queue is one strictly-FIFO staging lane on a Stager. Safe for
+// concurrent use.
+type Queue struct {
+	s     *Stager
+	label string
+
+	mu       sync.Mutex
+	mem      []Rec // in-memory front; mem[head:] is live
+	head     int
+	segs     []spillSeg // closed segments, oldest first
+	cur      *SegmentWriter
+	curPath  string
+	curRecs  int64
+	diskRecs int64 // records in segs + cur
+	tail     []Rec // resident overflow after a spill-write failure
+	scratch  []byte
+	err      error // first spill error; queue degrades to resident-only
+}
+
+// NewQueue creates a staging lane. The label names its segment files.
+func (s *Stager) NewQueue(label string) *Queue {
+	return &Queue{s: s, label: label}
+}
+
+// Err reports the first spill I/O error, if any. The queue keeps working
+// (resident-only) after an error; no record is lost.
+func (q *Queue) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// Len reports how many records the queue holds, resident and spilled.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.mem) - q.head + int(q.diskRecs) + len(q.tail)
+}
+
+// Empty reports whether the queue holds nothing.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// Append stages one record at the back of the queue.
+func (q *Queue) Append(source string, t stream.Tuple) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.normalize()
+	sz := SizeOf(t)
+	// Resident fast path: nothing on disk ahead of us and the budget has
+	// room. Once anything is spilled, order forces new records behind it.
+	if q.diskRecs == 0 && len(q.tail) == 0 && q.s.TryReserve(sz) {
+		q.mem = append(q.mem, Rec{source, t})
+		return
+	}
+	if q.err == nil {
+		if werr := q.spill(source, t); werr == nil {
+			return
+		} else {
+			q.fail(werr)
+		}
+	}
+	// Spilling unavailable: keep the record resident past the budget —
+	// correctness over the bound.
+	q.s.Reserve(sz)
+	q.tail = append(q.tail, Rec{source, t})
+}
+
+// spill writes one record to the current segment, rolling it at the size
+// cap. Caller holds q.mu.
+func (q *Queue) spill(source string, t stream.Tuple) error {
+	enc, err := AppendRec(q.scratch[:0], source, t)
+	if err != nil {
+		return err
+	}
+	q.scratch = enc[:0]
+	if q.cur == nil {
+		path := q.s.nextSegPath(q.label)
+		sw, err := CreateSegment(path)
+		if err != nil {
+			return err
+		}
+		q.cur, q.curPath, q.curRecs = sw, path, 0
+		q.s.segments.Add(1)
+	}
+	if err := q.cur.Frame(enc); err != nil {
+		return err
+	}
+	q.curRecs++
+	q.diskRecs++
+	q.s.spilledTuples.Add(1)
+	q.s.spilledBytes.Add(int64(4 + len(enc)))
+	if q.cur.Bytes() >= q.s.segMax {
+		return q.roll()
+	}
+	return nil
+}
+
+// roll closes the current segment onto the replay list. Caller holds q.mu.
+func (q *Queue) roll() error {
+	if q.cur == nil {
+		return nil
+	}
+	err := q.cur.Close()
+	if err == nil {
+		q.segs = append(q.segs, spillSeg{q.curPath, q.curRecs})
+	} else {
+		// The closed file may be unreadable; drop it from accounting and
+		// degrade. Records in it fall to the resident tail on future appends.
+		q.diskRecs -= q.curRecs
+		os.Remove(q.curPath)
+	}
+	q.cur, q.curPath, q.curRecs = nil, "", 0
+	return err
+}
+
+// fail records the first spill error.
+func (q *Queue) fail(err error) {
+	if q.err == nil {
+		q.err = err
+		q.s.spillErrs.Add(1)
+	}
+}
+
+// normalize folds the resident tail back into the front once nothing on
+// disk separates them. Caller holds q.mu.
+func (q *Queue) normalize() {
+	if q.diskRecs == 0 && len(q.tail) > 0 {
+		if q.head == len(q.mem) {
+			q.mem, q.head = q.mem[:0], 0
+		}
+		q.mem = append(q.mem, q.tail...)
+		for i := range q.tail {
+			q.tail[i] = Rec{}
+		}
+		q.tail = q.tail[:0]
+	}
+}
+
+// Pop removes and returns the oldest record.
+func (q *Queue) Pop() (Rec, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pop()
+}
+
+// PopBatch appends up to max oldest records to dst and returns it.
+func (q *Queue) PopBatch(dst []Rec, max int) []Rec {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(dst) < max {
+		r, ok := q.pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, r)
+	}
+	return dst
+}
+
+// pop is Pop with q.mu held.
+func (q *Queue) pop() (Rec, bool) {
+	for {
+		q.normalize()
+		if q.head < len(q.mem) {
+			r := q.mem[q.head]
+			q.mem[q.head] = Rec{}
+			q.head++
+			q.s.Release(SizeOf(r.Tuple))
+			if q.head == len(q.mem) {
+				q.mem, q.head = q.mem[:0], 0
+			}
+			return r, true
+		}
+		if q.diskRecs == 0 {
+			return Rec{}, false
+		}
+		q.load()
+	}
+}
+
+// load replays the oldest segment into memory whole (Reserve, not
+// TryReserve: replay may overshoot the budget by one segment). Caller
+// holds q.mu.
+func (q *Queue) load() {
+	if len(q.segs) == 0 {
+		if err := q.roll(); err != nil {
+			q.fail(err)
+		}
+		if len(q.segs) == 0 {
+			// The roll failed and dropped the segment (fail() recorded the
+			// error); nothing replayable remains.
+			q.diskRecs = 0
+			return
+		}
+	}
+	seg := q.segs[0]
+	q.segs = q.segs[1:]
+	q.mem, q.head = q.mem[:0], 0
+	err := ReadSegment(seg.path, func(p []byte) error {
+		r, derr := DecodeRec(p)
+		if derr != nil {
+			return derr
+		}
+		q.s.Reserve(SizeOf(r.Tuple))
+		q.mem = append(q.mem, r)
+		return nil
+	})
+	os.Remove(seg.path)
+	if err != nil {
+		q.fail(err)
+	}
+	q.diskRecs -= seg.recs
+	q.s.replays.Add(1)
+}
+
+// Close drops everything the queue holds, releasing resident accounting
+// and removing its segment files.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var freed int64
+	for _, r := range q.mem[q.head:] {
+		freed += SizeOf(r.Tuple)
+	}
+	for _, r := range q.tail {
+		freed += SizeOf(r.Tuple)
+	}
+	q.s.Release(freed)
+	q.mem, q.head, q.tail = nil, 0, nil
+	if q.cur != nil {
+		q.cur.Close()
+		os.Remove(q.curPath)
+		q.cur, q.curPath, q.curRecs = nil, "", 0
+	}
+	for _, seg := range q.segs {
+		os.Remove(seg.path)
+	}
+	q.segs = nil
+	q.diskRecs = 0
+}

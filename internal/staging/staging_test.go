@@ -1,0 +1,261 @@
+package staging
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func mkTuple(ts int64, vals ...any) stream.Tuple {
+	return stream.Tuple{Ts: ts, Vals: vals}
+}
+
+// TestRecCodecRoundTrip exercises every value kind plus punctuation.
+func TestRecCodecRoundTrip(t *testing.T) {
+	recs := []Rec{
+		{Source: "stocks", Tuple: mkTuple(1, int64(7), 3.5, "AAA", true)},
+		{Source: "", Tuple: mkTuple(-42, false, "")},
+		{Source: "xchg:n3", Tuple: stream.NewPunctuation(99)},
+		{Source: "s", Tuple: stream.Tuple{Ts: 5}},
+	}
+	for _, want := range recs {
+		enc, err := AppendRec(nil, want.Source, want.Tuple)
+		if err != nil {
+			t.Fatalf("AppendRec(%v): %v", want, err)
+		}
+		got, err := DecodeRec(enc)
+		if err != nil {
+			t.Fatalf("DecodeRec(%v): %v", want, err)
+		}
+		if got.Source != want.Source || got.Tuple.Ts != want.Tuple.Ts ||
+			got.Tuple.IsPunct() != want.Tuple.IsPunct() {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		if len(got.Tuple.Vals) != len(want.Tuple.Vals) {
+			t.Fatalf("round trip vals: got %v want %v", got.Tuple.Vals, want.Tuple.Vals)
+		}
+		for i := range want.Tuple.Vals {
+			if !reflect.DeepEqual(got.Tuple.Vals[i], want.Tuple.Vals[i]) {
+				t.Fatalf("val %d: got %#v want %#v", i, got.Tuple.Vals[i], want.Tuple.Vals[i])
+			}
+		}
+	}
+}
+
+// TestQueueFIFOAcrossSpill pushes far past a tiny budget and checks strict
+// FIFO order through the spill-and-replay cycle, plus the stats surface.
+func TestQueueFIFOAcrossSpill(t *testing.T) {
+	s, err := New(2048, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q := s.NewQueue("fifo")
+	const n = 5000
+	for i := 0; i < n; i++ {
+		q.Append("src", mkTuple(int64(i), int64(i*3), fmt.Sprintf("v%d", i)))
+	}
+	if err := q.Err(); err != nil {
+		t.Fatalf("spill error: %v", err)
+	}
+	st := s.Stats()
+	if st.SpilledTuples == 0 || st.Segments == 0 {
+		t.Fatalf("expected spill past a 2KB budget, stats %+v", st)
+	}
+	if st.ResidentBytes > 2048 {
+		t.Fatalf("resident %d exceeds budget while appending", st.ResidentBytes)
+	}
+	if got := q.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		r, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue dry at %d/%d", i, n)
+		}
+		if r.Source != "src" || r.Tuple.Ts != int64(i) {
+			t.Fatalf("out of order at %d: got ts %d src %q", i, r.Tuple.Ts, r.Source)
+		}
+		if v := r.Tuple.Vals[0].(int64); v != int64(i*3) {
+			t.Fatalf("val corrupt at %d: %d", i, v)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+	st = s.Stats()
+	if st.Replays == 0 {
+		t.Fatalf("expected segment replays, stats %+v", st)
+	}
+	if st.ResidentBytes != 0 {
+		t.Fatalf("drained queue leaks %d resident bytes", st.ResidentBytes)
+	}
+	q.Close()
+}
+
+// TestQueueInterleavedAppendPop alternates producers and consumers so
+// replayed segments and fresh appends interleave; order must hold.
+func TestQueueInterleavedAppendPop(t *testing.T) {
+	s, err := New(1024, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q := s.NewQueue("mix")
+	next, want := int64(0), int64(0)
+	push := func(k int) {
+		for i := 0; i < k; i++ {
+			q.Append("", mkTuple(next, next))
+			next++
+		}
+	}
+	pull := func(k int) {
+		for i := 0; i < k; i++ {
+			r, ok := q.Pop()
+			if !ok {
+				t.Fatalf("dry at %d", want)
+			}
+			if r.Tuple.Ts != want {
+				t.Fatalf("order: got %d want %d", r.Tuple.Ts, want)
+			}
+			want++
+		}
+	}
+	push(500)
+	pull(200)
+	push(1500)
+	pull(1000)
+	push(100)
+	pull(int(next - want))
+	if !q.Empty() {
+		t.Fatalf("queue not empty: %d left", q.Len())
+	}
+}
+
+// TestQueueCloseReleasesBudgetAndFiles closes a spilled queue and checks
+// the resident accounting returns to zero and segments are deleted.
+func TestQueueCloseReleasesBudgetAndFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(512, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q := s.NewQueue("close")
+	for i := 0; i < 2000; i++ {
+		q.Append("", mkTuple(int64(i), "some payload string"))
+	}
+	q.Close()
+	if got := s.Stats().ResidentBytes; got != 0 {
+		t.Fatalf("Close left %d resident bytes", got)
+	}
+	ents, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("Close left %d segment files behind", len(ents))
+	}
+}
+
+// TestStagerSharedBudget runs two queues on one Stager: the second queue
+// spills because the first consumed the shared budget.
+func TestStagerSharedBudget(t *testing.T) {
+	s, err := New(4096, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a, b := s.NewQueue("a"), s.NewQueue("b")
+	for i := 0; i < 60; i++ { // ~64B each: fills most of 4KB
+		a.Append("", mkTuple(int64(i), int64(i)))
+	}
+	for i := 0; i < 200; i++ {
+		b.Append("", mkTuple(int64(i), int64(i)))
+	}
+	if s.Stats().SpilledTuples == 0 {
+		t.Fatalf("second queue should have spilled under the shared budget, stats %+v", s.Stats())
+	}
+	for i := 0; i < 200; i++ {
+		r, ok := b.Pop()
+		if !ok || r.Tuple.Ts != int64(i) {
+			t.Fatalf("queue b order at %d: %v %v", i, r, ok)
+		}
+	}
+	a.Close()
+	b.Close()
+}
+
+// TestSpillErrorFallsBackToMemory points the current segment at an
+// unwritable path by breaking the spill dir; records must stay resident and
+// ordered rather than be lost.
+func TestSpillErrorFallsBackToMemory(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(256, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: remove the private spill dir so CreateSegment fails.
+	if err := os.RemoveAll(s.Dir()); err != nil {
+		t.Fatal(err)
+	}
+	q := s.NewQueue("broken")
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.Append("", mkTuple(int64(i), int64(i)))
+	}
+	if q.Err() == nil {
+		t.Fatal("expected a spill error")
+	}
+	if st := s.Stats(); st.SpillErrors == 0 {
+		t.Fatalf("stats should count the spill error: %+v", st)
+	}
+	for i := 0; i < n; i++ {
+		r, ok := q.Pop()
+		if !ok {
+			t.Fatalf("lost records after spill failure: dry at %d/%d", i, n)
+		}
+		if r.Tuple.Ts != int64(i) {
+			t.Fatalf("order after spill failure at %d: got %d", i, r.Tuple.Ts)
+		}
+	}
+	q.Close()
+}
+
+// TestSegmentFrames checks the generic frame layer used by checkpoints.
+func TestSegmentFrames(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.seg")
+	sw, err := CreateSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("alpha"), {}, []byte("gamma-longer-frame")}
+	for _, f := range want {
+		if err := sw.Frame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	err = ReadSegment(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("frames: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("frame %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}

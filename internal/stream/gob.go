@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Checkpoint serialization support. The engine's operator-state checkpoints
+// gob-encode exported keyed state (stream.KeyedStateMover) into staging
+// segment frames; the state types travel inside interface values, so the
+// concrete types — scalar partition keys and the operators' unexported state
+// structs — register here, and the structs (whose fields are unexported by
+// design) provide explicit GobEncode/GobDecode hooks.
+//
+// A Tuple's punctuation flag is deliberately NOT serialized: operator state
+// buffers hold data tuples only (markers are control entries that never enter
+// windows or join buffers), so nothing is lost.
+
+func init() {
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register(&windowState{})
+	gob.Register(&joinKeyState{})
+}
+
+// gobWindowState mirrors windowState with exported fields for encoding.
+type gobWindowState struct {
+	Buf []float64
+	Ts  int64
+}
+
+// GobEncode implements gob.GobEncoder for checkpointed window state.
+func (s *windowState) GobEncode() ([]byte, error) {
+	var b bytes.Buffer
+	err := gob.NewEncoder(&b).Encode(gobWindowState{Buf: s.buf, Ts: s.ts})
+	return b.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *windowState) GobDecode(p []byte) error {
+	var g gobWindowState
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&g); err != nil {
+		return err
+	}
+	s.buf, s.ts = g.Buf, g.Ts
+	return nil
+}
+
+// gobJoinKeyState mirrors joinKeyState with exported fields for encoding.
+type gobJoinKeyState struct {
+	Left, Right []Tuple
+}
+
+// GobEncode implements gob.GobEncoder for checkpointed join-window state.
+func (s *joinKeyState) GobEncode() ([]byte, error) {
+	var b bytes.Buffer
+	err := gob.NewEncoder(&b).Encode(gobJoinKeyState{Left: s.left, Right: s.right})
+	return b.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (s *joinKeyState) GobDecode(p []byte) error {
+	var g gobJoinKeyState
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&g); err != nil {
+		return err
+	}
+	s.left, s.right = g.Left, g.Right
+	return nil
+}

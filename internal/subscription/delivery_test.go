@@ -81,6 +81,61 @@ func TestHubBacklogRingBounded(t *testing.T) {
 	}
 }
 
+// TestHubRingWraparoundMidBatch exercises the replay ring across batch
+// boundaries: batches that straddle the backlog limit trim mid-batch, a
+// single batch larger than the whole backlog keeps only its newest suffix,
+// and a late subscriber always receives exactly the newest window in order.
+// A slow live subscriber riding through the wraparound loses exactly the
+// batches that drop-oldest discarded, and its counter says so.
+func TestHubRingWraparoundMidBatch(t *testing.T) {
+	h := NewHub(5)
+	slow := h.Subscribe("q", 1)
+
+	// 3 + 4 tuples: the second batch wraps mid-batch; ring keeps [3..7].
+	h.Publish("q", batchOf(1, 2, 3))
+	h.Publish("q", batchOf(4, 5, 6, 7))
+	late := h.Subscribe("q", 8)
+	if got := drainReady(late); len(got) != 5 || got[0] != 3 || got[4] != 7 {
+		t.Fatalf("late subscriber after mid-batch wrap got %v, want [3 4 5 6 7]", got)
+	}
+
+	// One batch larger than the whole backlog: only its newest suffix stays.
+	h.Publish("q", batchOf(8, 9, 10, 11, 12, 13, 14, 15))
+	later := h.Subscribe("q", 8)
+	if got := drainReady(later); len(got) != 5 || got[0] != 11 || got[4] != 15 {
+		t.Fatalf("late subscriber after oversized batch got %v, want [11 12 13 14 15]", got)
+	}
+
+	h.CloseQuery("q")
+	// The slow subscriber (depth 1) kept only the newest publish; the two
+	// displaced batches are counted, not hidden.
+	if got := collect(slow); len(got) != 8 || got[0] != 8 || got[7] != 15 {
+		t.Fatalf("slow subscriber got %v, want the newest batch [8..15]", got)
+	}
+	if d := slow.Dropped(); d != 2 {
+		t.Fatalf("slow.Dropped = %d, want 2 (first two publishes displaced)", d)
+	}
+}
+
+// drainReady reads everything already buffered on a subscription without
+// waiting for close.
+func drainReady(s *Sub) []int64 {
+	var got []int64
+	for {
+		select {
+		case b, ok := <-s.C():
+			if !ok {
+				return got
+			}
+			for _, t := range b {
+				got = append(got, t.Ts)
+			}
+		default:
+			return got
+		}
+	}
+}
+
 func TestHubSlowSubscriberDropsOldest(t *testing.T) {
 	h := NewHub(0)
 	s := h.Subscribe("q", 2)
