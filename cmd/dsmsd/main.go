@@ -1,8 +1,9 @@
 // Command dsmsd is the paper's DSMS cloud center as a runnable daemon, with
 // two front ends over the same auction + executor machinery:
 //
-//	dsmsd sim   [flags]   multi-day closed-loop simulation (the default)
-//	dsmsd serve [flags]   live tenant service plane over HTTP
+//	dsmsd sim    [flags]   multi-day closed-loop simulation (the default)
+//	dsmsd serve  [flags]   live tenant service plane over HTTP
+//	dsmsd worker [flags]   cluster worker hosting remote shards for serve
 //
 // A bare `dsmsd [flags]` still runs the simulation, so existing invocations
 // keep working.
@@ -56,6 +57,22 @@
 // admission cycles meter their usage onto the billing ledger. See
 // internal/server for the API surface and cmd/dsmsd/README.md for a
 // quickstart.
+//
+// With -workers, serve becomes the coordinator of a distributed deployment:
+// each admission cycle's shared plan splits as usual, but the parallel
+// stage runs on the listed dsmsd workers over framed TCP while the
+// coordinator keeps ingress, the timestamp-ordered exchange merges and the
+// global stage local (see internal/cluster). A worker that dies mid-period
+// is recovered onto the survivors from the coordinator's replay log; a
+// serve with no reachable workers degrades to the local staged executor.
+//
+// # worker
+//
+// One cluster worker: a TCP server that hosts a parallel-stage shard per
+// coordinator deployment. Workers are stateless between deployments — the
+// coordinator ships the catalog and the winning queries' CQL in the deploy
+// payload and the worker recompiles them, so a worker needs nothing but an
+// address. See cmd/dsmsd/README.md for a two-worker quickstart.
 package main
 
 import (
@@ -77,8 +94,10 @@ func main() {
 		runSimCmd(args)
 	case "serve":
 		runServeCmd(args)
+	case "worker":
+		runWorkerCmd(args)
 	default:
-		fmt.Fprintf(os.Stderr, "dsmsd: unknown command %q (want sim or serve)\n", cmd)
+		fmt.Fprintf(os.Stderr, "dsmsd: unknown command %q (want sim, serve or worker)\n", cmd)
 		os.Exit(2)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -16,6 +17,17 @@ import (
 	"repro/internal/market"
 	"repro/internal/server"
 )
+
+// splitWorkers parses the -workers list; empty means a purely local serve.
+func splitWorkers(list string) []string {
+	var out []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
 
 // runServeCmd starts the tenant service plane: the admission auction, the
 // staged executor and the billing ledger behind a long-running HTTP API.
@@ -32,6 +44,9 @@ func runServeCmd(args []string) {
 		meterPrice = fs.Float64("meter-price", 0.1, "usage price per unit of measured load per cycle (0 = admission fees only)")
 		cycle      = fs.Duration("cycle", 0, "run the admission cycle on this period (0 = only on POST /v1/admission/run)")
 		backlog    = fs.Int("backlog", 1024, "per-query result tuples retained for replay to late subscribers")
+		workers    = fs.String("workers", "", "comma-separated dsmsd worker addresses; when set, each cycle's parallel stage deploys across them")
+		dialWait   = fs.Duration("dial-timeout", 5*time.Second, "per-worker dial budget, connection retries included")
+		ckptDir    = fs.String("checkpoint-dir", "", "distributed keyed-state checkpoint directory (with -workers)")
 	)
 	var ef execFlags
 	ef.register(fs)
@@ -58,9 +73,12 @@ func runServeCmd(args []string) {
 			"stocks": {Schema: market.QuoteSchema, Rate: 1},
 			"news":   {Schema: market.NewsSchema, Rate: 0.2},
 		},
-		CyclePeriod: *cycle,
-		Backlog:     *backlog,
-		Logf:        logger.Printf,
+		CyclePeriod:   *cycle,
+		Backlog:       *backlog,
+		Workers:       splitWorkers(*workers),
+		DialTimeout:   *dialWait,
+		CheckpointDir: *ckptDir,
+		Logf:          logger.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmsd:", err)

@@ -612,6 +612,10 @@ func pumpDay(exec engine.Executor, feed *market.Feed, n, batch int, columnar boo
 		batches++
 		if owned {
 			err := owner.PushOwnedBatch(source, *pending)
+			if err != nil {
+				// Rejected whole: the buffer is still ours to recycle.
+				engine.PutBatch(*pending)
+			}
 			*pending = lease()
 			return err
 		}
@@ -665,6 +669,10 @@ func pumpDayColumnar(owner engine.OwnedColBatchPusher, feed *market.Feed, n, bat
 		}
 		batches++
 		err := owner.PushOwnedColBatch(source, *pending)
+		if err != nil {
+			// Rejected whole: the batch is still ours to recycle.
+			engine.PutColBatch(*pending)
+		}
 		*pending = engine.GetColBatch(schema, batch)
 		return err
 	}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cluster"
+)
+
+// runWorkerCmd starts a cluster worker: a framed-TCP server hosting one
+// parallel-stage shard per coordinator deployment. The worker carries no
+// configuration of its own beyond its address — the coordinator ships the
+// source catalog and the admitted queries' CQL in every deploy payload, and
+// the worker recompiles them into the exact plan the coordinator analyzed
+// (cluster.PlanFactory).
+func runWorkerCmd(args []string) {
+	fs := flag.NewFlagSet("dsmsd worker", flag.ExitOnError)
+	var (
+		addr = fs.String("addr", "localhost:7071", "worker TCP listen address")
+		name = fs.String("name", "", "worker name reported to the coordinator (default: the listen address)")
+	)
+	fs.Parse(args)
+	logger := log.New(os.Stdout, "dsmsd-worker: ", log.LstdFlags)
+	w, err := cluster.Listen(cluster.WorkerConfig{Addr: *addr, Name: *name, Logf: logger.Printf})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmsd:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Printf("shutting down")
+		w.Close()
+	}()
+	logger.Printf("listening on %s", w.Addr())
+	if err := w.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "dsmsd:", err)
+		os.Exit(1)
+	}
+}

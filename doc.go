@@ -270,6 +270,52 @@
 // loop above, and -rate overloads the executed period relative to the
 // rate the auction priced.
 //
+// # Distributed execution: worker mode over framed TCP
+//
+// The staged split also runs across machines. engine.StartDistributed is
+// the coordinator half: the same prefix/suffix carve as Staged, but each
+// parallel shard lives on a remote worker (engine.RemoteShardHost) while
+// everything order-sensitive stays local — ingress validation, partition
+// routing, the per-shard low-watermark exchange merges, the global-stage
+// runtime, and the end-of-run drain that interleaves the shards' flush
+// emissions back into the synchronous drain order. internal/cluster is the
+// transport: a "DSMW" handshake, then length-prefixed frames — one-way push
+// frames coordinator→worker, asynchronous exchange/sink frames back, and
+// one-outstanding control requests (deploy, quiesce, export, resume, drain,
+// counters, stop) each answered by exactly one ok/err reply. Tuple batches
+// cross the wire in the staging record codec, not gob, because exchange
+// edges carry the punctuation markers the merge's low-watermarks order by
+// and a tuple's gob encoding deliberately drops the marker flag; control
+// payloads (deploy specs, exported keyed state) are gob. Because each
+// connection has a single read loop, TCP order makes the worker's quiesce
+// reply a barrier: every exchange frame the shard emitted while draining is
+// already delivered when Quiesce returns. Workers are stateless between
+// deployments — the deploy payload ships the source catalog and the
+// admitted queries' CQL, and the worker recompiles them into a plan
+// structurally identical to the coordinator's (CQL compilation is
+// canonical), which is what shard-state export/resume requires.
+//
+// The fault contract is explicit. Failure-free runs are exactly-once and
+// tuple-identical to the synchronous Engine. Every routed sub-batch is
+// appended to an in-memory per-shard replay log before it is pushed, and
+// the log — not the worker — is the acknowledgement: push frames are
+// fire-and-forget. When a worker dies (connection loss fires its Dead
+// channel) the coordinator quiesces the survivors, discards the dead
+// shard's undelivered merge backlog, folds the dead shard's keyed-state
+// baseline share back in under the OLD partition map, rebalances the map
+// over the survivors, resumes them on a fresh epoch, and replays the dead
+// shard's log through normal routing. No acknowledged tuple is lost;
+// tuples the merge had already released may be re-released by replay, so
+// delivery across a failure is at-least-once — duplicates possible, loss
+// not — and a replayed tuple can land below an already-promised watermark,
+// which the lateArrivals counter (surfaced as late_arrivals in /v1/stats)
+// makes observable rather than silent. Logs truncate at every epoch
+// boundary (Checkpoint or recovery), bounding them by checkpoint cadence.
+// `dsmsd worker` runs one worker; `dsmsd serve -workers a,b` makes the
+// service plane the coordinator, with per-worker liveness rows in
+// /v1/stats and graceful degradation to the local staged executor when no
+// worker link survives.
+//
 // # The tenant service plane
 //
 // internal/server turns the same machinery into a live, multi-tenant

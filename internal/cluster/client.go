@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/stream"
+)
+
+// DialOptions tunes Dial.
+type DialOptions struct {
+	// Timeout bounds the whole dial, retries included; <= 0 means 10s.
+	Timeout time.Duration
+	// Logf, when non-nil, receives retry and failure notices.
+	Logf func(string, ...any)
+}
+
+// Client is the coordinator's handle on one remote worker: it implements
+// engine.RemoteShardHost over a framed TCP connection. One Client is one
+// connection is one shard; it is reusable across deployments (each Start
+// replaces the worker's host) but not across connection loss — a dead
+// Client stays dead, and the coordinator's recovery path absorbs the shard.
+type Client struct {
+	name string
+	cn   *conn
+	logf func(string, ...any)
+
+	// reqMu admits one control request at a time, so every fOK/fErr the
+	// read loop sees belongs to the request currently waiting on reply.
+	reqMu sync.Mutex
+	reply chan frameMsg
+
+	// cbMu guards the deploy-time callbacks the read loop dispatches
+	// asynchronous exchange/sink frames through.
+	cbMu       sync.Mutex
+	onExchange func(edge string, batch []stream.Tuple)
+	onSink     func(sink string, batch []stream.Tuple)
+
+	dead     chan struct{}
+	deadOnce sync.Once
+	errMu    sync.Mutex
+	err      error
+}
+
+type frameMsg struct {
+	typ     byte
+	payload []byte
+}
+
+var _ engine.RemoteShardHost = (*Client)(nil)
+
+// Dial connects to a worker with capped-backoff retries (the worker may
+// still be starting), performs the handshake, and starts the read loop.
+// There is no redial after a successful connect: connection loss is shard
+// death, handled by the coordinator's recovery, not hidden by the transport.
+func Dial(addr string, opts DialOptions) (*Client, error) {
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	deadline := time.Now().Add(timeout)
+	backoff := 50 * time.Millisecond
+	var (
+		nc  net.Conn
+		err error
+	)
+	for {
+		nc, err = net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		logf("cluster: dial %s: %v (retrying in %s)", addr, err, backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+	cn := newConn(nc)
+	hello := append([]byte(magic), protoVersion)
+	if err := cn.writeFrame(fHello, hello); err != nil {
+		cn.close()
+		return nil, fmt.Errorf("cluster: handshake %s: %w", addr, err)
+	}
+	nc.SetReadDeadline(time.Now().Add(timeout))
+	typ, p, err := cn.readFrame()
+	nc.SetReadDeadline(time.Time{})
+	if err != nil {
+		cn.close()
+		return nil, fmt.Errorf("cluster: handshake %s: %w", addr, err)
+	}
+	if typ == fErr {
+		cn.close()
+		return nil, fmt.Errorf("cluster: handshake %s: %s", addr, p)
+	}
+	if typ != fOK || len(p) == 0 {
+		cn.close()
+		return nil, fmt.Errorf("cluster: handshake %s: unexpected frame type %d", addr, typ)
+	}
+	c := &Client{
+		name:  string(p),
+		cn:    cn,
+		logf:  logf,
+		reply: make(chan frameMsg, 1),
+		dead:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Name returns the worker's self-reported name from the handshake.
+func (c *Client) Name() string { return c.name }
+
+// Dead returns a channel closed when the connection is lost.
+func (c *Client) Dead() <-chan struct{} { return c.dead }
+
+// Close tears the connection down. The read loop exits and Dead fires;
+// intended for coordinator shutdown after the executor has stopped.
+func (c *Client) Close() error {
+	c.fail(fmt.Errorf("cluster: client closed"))
+	return c.cn.close()
+}
+
+// fail records the first error, fires Dead, and closes the connection so
+// both loops unwind. Idempotent.
+func (c *Client) fail(err error) {
+	c.deadOnce.Do(func() {
+		c.errMu.Lock()
+		c.err = err
+		c.errMu.Unlock()
+		close(c.dead)
+		c.cn.close()
+	})
+}
+
+func (c *Client) deadErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	if c.err == nil {
+		return fmt.Errorf("cluster: %s: connection lost", c.name)
+	}
+	return fmt.Errorf("cluster: %s: %w", c.name, c.err)
+}
+
+// readLoop is the connection's single reader: asynchronous exchange/sink
+// frames dispatch to the deploy callbacks inline (so TCP order is delivery
+// order — the quiesce barrier depends on every exchange frame sent before
+// the worker's quiesce reply being delivered before that reply), and
+// control replies route to the waiting request.
+func (c *Client) readLoop() {
+	for {
+		typ, p, err := c.cn.readFrame()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch typ {
+		case fExchange, fSink:
+			name, batch, err := decodeBatch(p)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.cbMu.Lock()
+			ex, sk := c.onExchange, c.onSink
+			c.cbMu.Unlock()
+			switch {
+			case typ == fExchange && ex != nil:
+				ex(name, batch)
+			case typ == fSink && sk != nil:
+				sk(name, batch)
+			default:
+				engine.PutBatch(batch)
+			}
+		case fOK, fErr:
+			select {
+			case c.reply <- frameMsg{typ, p}:
+			default:
+				// A reply nobody is waiting for is a protocol violation.
+				c.fail(fmt.Errorf("cluster: %s: unsolicited reply frame %d", c.name, typ))
+				return
+			}
+		default:
+			c.fail(fmt.Errorf("cluster: %s: unexpected frame type %d", c.name, typ))
+			return
+		}
+	}
+}
+
+// request sends one control frame and blocks for its reply.
+func (c *Client) request(typ byte, payload []byte) ([]byte, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	select {
+	case <-c.dead:
+		return nil, c.deadErr()
+	default:
+	}
+	if err := c.cn.writeFrame(typ, payload); err != nil {
+		c.fail(err)
+		return nil, c.deadErr()
+	}
+	select {
+	case f := <-c.reply:
+		if f.typ == fErr {
+			return nil, fmt.Errorf("cluster: %s: %s", c.name, f.payload)
+		}
+		return f.payload, nil
+	case <-c.dead:
+		return nil, c.deadErr()
+	}
+}
+
+// Start deploys the shard: callbacks install locally, the rest of the spec
+// crosses as a DeploySpec. The worker derives its plan factory from
+// spec.Payload.
+func (c *Client) Start(spec engine.HostSpec) error {
+	c.cbMu.Lock()
+	c.onExchange, c.onSink = spec.OnExchange, spec.OnSink
+	c.cbMu.Unlock()
+	p, err := encodeGob(DeploySpec{
+		Shard: spec.Shard, Width: spec.Width, Buf: spec.Buf,
+		DisableFusion: spec.DisableFusion, Columnar: spec.Columnar,
+		Payload: spec.Payload,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = c.request(fDeploy, p)
+	return err
+}
+
+// PushOwned streams a batch to the worker's shard, fire-and-forget: a nil
+// return means the frame was written, not that the worker applied it — the
+// coordinator's replay log is the acknowledgement (engine.Distributed logs
+// before pushing and replays the log on shard death). On error the batch
+// stays owned by the caller, per the owned-push contract; on success it
+// recycles here, since only its encoding crosses the wire.
+func (c *Client) PushOwned(source string, batch []stream.Tuple) error {
+	select {
+	case <-c.dead:
+		return c.deadErr()
+	default:
+	}
+	p, err := appendBatch(nil, source, batch)
+	if err != nil {
+		return err
+	}
+	if err := c.cn.writeFrame(fPush, p); err != nil {
+		c.fail(err)
+		return c.deadErr()
+	}
+	engine.PutBatch(batch)
+	return nil
+}
+
+// Quiesce drains the worker's shard. Its reply doubles as the exchange
+// barrier: every exchange frame the shard emitted while draining precedes
+// the reply in TCP order and is therefore already delivered when Quiesce
+// returns (see readLoop).
+func (c *Client) Quiesce() error {
+	_, err := c.request(fQuiesce, nil)
+	return err
+}
+
+// ExportState pulls the quiesced shard's keyed operator state.
+func (c *Client) ExportState() ([]engine.StateRec, error) {
+	p, err := c.request(fExport, nil)
+	if err != nil {
+		return nil, err
+	}
+	var recs []engine.StateRec
+	if err := decodeGob(p, &recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Resume restarts the quiesced shard on a fresh epoch.
+func (c *Client) Resume(spec engine.ResumeSpec) error {
+	p, err := encodeGob(spec)
+	if err != nil {
+		return err
+	}
+	_, err = c.request(fResume, p)
+	return err
+}
+
+// Drain performs the shard's end-of-run flush and returns its emissions.
+func (c *Client) Drain() (*engine.HostDrain, error) {
+	p, err := c.request(fDrain, nil)
+	if err != nil {
+		return nil, err
+	}
+	var d engine.HostDrain
+	if err := decodeGob(p, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Counters polls the shard's raw accounting.
+func (c *Client) Counters() (*engine.HostCounters, error) {
+	p, err := c.request(fCounters, nil)
+	if err != nil {
+		return nil, err
+	}
+	var hc engine.HostCounters
+	if err := decodeGob(p, &hc); err != nil {
+		return nil, err
+	}
+	return &hc, nil
+}
+
+// Stop halts the worker's shard. The connection stays up for a later
+// redeploy; Close tears it down.
+func (c *Client) Stop() error {
+	_, err := c.request(fStop, nil)
+	return err
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// conn frames a TCP connection. Writes are mutex-serialized so frames from
+// concurrent producers (a worker's per-sink tap goroutines, a coordinator's
+// pushes racing a control request) interleave whole, never byte-wise; reads
+// are single-reader by construction — each side runs exactly one read loop.
+type conn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wmu  sync.Mutex
+	wbuf []byte // frame assembly buffer; one write syscall per frame
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, br: bufio.NewReaderSize(c, 64<<10)}
+}
+
+// writeFrame sends one frame as a single write.
+func (cn *conn) writeFrame(typ byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("cluster: frame type %d payload %d exceeds max %d", typ, len(payload), maxFrame)
+	}
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	b := append(cn.wbuf[:0], typ)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	cn.wbuf = b[:0]
+	_, err := cn.c.Write(b)
+	return err
+}
+
+// readFrame blocks for the next frame. The payload is freshly allocated and
+// owned by the caller.
+func (cn *conn) readFrame() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(cn.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: frame type %d declares %d bytes (max %d)", hdr[0], n, maxFrame)
+	}
+	if n == 0 {
+		return hdr[0], nil, nil
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(cn.br, p); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], p, nil
+}
+
+func (cn *conn) close() error { return cn.c.Close() }

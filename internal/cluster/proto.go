@@ -1,0 +1,182 @@
+// Package cluster is the framed-TCP transport of the distributed staged
+// executor: a coordinator-side Client implementing engine.RemoteShardHost
+// and a worker-side Worker hosting one engine.ShardHost per deployment.
+//
+// Wire protocol (version 1). After the TCP connect the coordinator sends a
+// hello frame carrying the magic "DSMW" and the protocol version; the worker
+// answers with an OK frame carrying its name. From then on both directions
+// exchange frames of the form
+//
+//	type    byte
+//	length  uint32, little-endian payload length
+//	payload length bytes
+//
+// Control frames (deploy, quiesce, export, resume, drain, counters, stop)
+// flow coordinator→worker and each is answered by exactly one fOK (with an
+// optional gob payload) or fErr (error text) — the coordinator keeps at most
+// one control request outstanding, so replies need no correlation ids. Push
+// frames are one-way fire-and-forget data: the coordinator's replay log, not
+// the transport, is the acknowledgement (see engine.Distributed). Exchange
+// and sink frames flow worker→coordinator asynchronously as the shard's
+// prefix emits output.
+//
+// Tuple batches (push, exchange, sink frames) do NOT use gob: a tuple's
+// punctuation flag is deliberately dropped by its gob encoding (operator
+// state holds data tuples only), but exchange edges carry the low-watermark
+// markers the coordinator's merge orders by. Batches therefore use the
+// staging record codec (staging.AppendRec/DecodeRec), which round-trips the
+// flag:
+//
+//	name    uvarint length + bytes (source / edge / sink name)
+//	records repeated: uvarint record length + staging record
+//
+// Control payloads — deploy specs, exported state, drains, counters — hold
+// data only and travel as gob (the engine's state types register their
+// concrete kinds in internal/stream).
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/staging"
+	"repro/internal/stream"
+)
+
+const (
+	// magic opens every handshake; a listener that answers anything else is
+	// not a dsmsd worker.
+	magic = "DSMW"
+	// protoVersion is bumped on any wire-incompatible change; the worker
+	// rejects mismatches at handshake time.
+	protoVersion = 1
+	// maxFrame bounds a single frame's payload so a corrupt or hostile
+	// length prefix cannot balloon into an arbitrary allocation.
+	maxFrame = 64 << 20
+)
+
+// Frame types. Replies (fOK/fErr) answer the control frames only; fPush,
+// fExchange and fSink are one-way.
+const (
+	fHello    = byte(iota + 1) // coordinator→worker: magic + version
+	fDeploy                    // gob(DeploySpec) → fOK/fErr
+	fPush                      // batch(source), one-way
+	fExchange                  // worker→coordinator: batch(edge), one-way
+	fSink                      // worker→coordinator: batch(sink), one-way
+	fQuiesce                   // empty → fOK/fErr
+	fExport                    // empty → fOK(gob []engine.StateRec)/fErr
+	fResume                    // gob(engine.ResumeSpec) → fOK/fErr
+	fDrain                     // empty → fOK(gob engine.HostDrain)/fErr
+	fCounters                  // empty → fOK(gob engine.HostCounters)/fErr
+	fStop                      // empty → fOK/fErr
+	fOK                        // reply: success, optional gob payload
+	fErr                       // reply: failure, payload is the error text
+)
+
+// DeploySpec is the wire form of an engine.HostSpec: the shard assignment
+// plus the opaque payload the worker derives its plan factory from. The
+// callbacks stay out — they are the transport itself.
+type DeploySpec struct {
+	Shard, Width  int
+	Buf           int
+	DisableFusion bool
+	Columnar      bool
+	Payload       any
+}
+
+// SourceSpec is one declared input stream in wire form; the worker rebuilds
+// the *stream.Schema from the field list.
+type SourceSpec struct {
+	Name   string
+	Fields []stream.Field
+}
+
+// QuerySpec is one admitted query in wire form: enough for a worker to
+// recompile the exact dataflow the coordinator deployed. CQL compilation is
+// canonical — the same text against the same catalog yields the same
+// operator keys and plan wiring — so coordinator and workers derive
+// structurally identical plans from the same specs, which is what the
+// shard-state export/resume cycle requires.
+type QuerySpec struct {
+	User              int
+	Tenant, Name, CQL string
+}
+
+// PlanPayload is the standard deploy payload dsmsd ships: the source
+// catalog and the admitted queries, in the coordinator's deterministic
+// compile order.
+type PlanPayload struct {
+	Sources []SourceSpec
+	Queries []QuerySpec
+}
+
+func init() {
+	gob.Register(PlanPayload{})
+}
+
+// encodeGob gob-encodes a control payload.
+func encodeGob(v any) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return nil, fmt.Errorf("cluster: encode: %w", err)
+	}
+	return b.Bytes(), nil
+}
+
+// decodeGob decodes a control payload into v.
+func decodeGob(p []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(v); err != nil {
+		return fmt.Errorf("cluster: decode: %w", err)
+	}
+	return nil
+}
+
+// appendBatch encodes a named tuple batch — punctuation included — onto buf
+// using the staging record codec. Tuples whose values fall outside the
+// engine's scalar kinds do not serialize; the first such tuple aborts the
+// whole batch (the caller keeps ownership and reports the error).
+func appendBatch(buf []byte, name string, batch []stream.Tuple) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	var rec []byte
+	for _, t := range batch {
+		var err error
+		if rec, err = staging.AppendRec(rec[:0], "", t); err != nil {
+			return nil, fmt.Errorf("cluster: batch %q: %w", name, err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(rec)))
+		buf = append(buf, rec...)
+	}
+	return buf, nil
+}
+
+// decodeBatch decodes a batch frame payload. The returned batch is leased
+// from the engine's pool; the consumer owns it (recycle via
+// engine.PutBatch).
+func decodeBatch(p []byte) (string, []stream.Tuple, error) {
+	nameLen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < nameLen {
+		return "", nil, fmt.Errorf("cluster: batch name truncated")
+	}
+	name := string(p[n : n+int(nameLen)])
+	p = p[n+int(nameLen):]
+	batch := engine.GetBatch(0)
+	for len(p) > 0 {
+		recLen, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)-n) < recLen {
+			engine.PutBatch(batch)
+			return "", nil, fmt.Errorf("cluster: batch %q: record truncated", name)
+		}
+		r, err := staging.DecodeRec(p[n : n+int(recLen)])
+		if err != nil {
+			engine.PutBatch(batch)
+			return "", nil, fmt.Errorf("cluster: batch %q: %w", name, err)
+		}
+		batch = append(batch, r.Tuple)
+		p = p[n+int(recLen):]
+	}
+	return name, batch, nil
+}

@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/cql"
+	"repro/internal/engine"
+	"repro/internal/stream"
+)
+
+// WorkerConfig assembles a worker process.
+type WorkerConfig struct {
+	// Addr is the TCP listen address (e.g. ":7071").
+	Addr string
+	// Name is the worker's self-reported identity, echoed in the handshake
+	// and surfaced in the coordinator's /v1/stats workers block.
+	Name string
+	// Plans derives a plan factory from a deploy payload. Nil means
+	// PlanFactory (the standard PlanPayload route); tests inject fixed
+	// factories here.
+	Plans func(payload any) (func() (*engine.Plan, error), error)
+	// Logf, when non-nil, receives connection and push-failure notices.
+	Logf func(string, ...any)
+}
+
+// Worker is the remote half of a distributed deployment: it accepts one
+// coordinator connection at a time, hosts one engine.ShardHost per deploy,
+// and frames the shard's exchange/sink output back over the connection. A
+// lost connection kills the hosted shard (its output has nowhere to go; the
+// coordinator replays the shard's log onto survivors) and the worker goes
+// back to accepting — a fresh coordinator, or the same one re-deploying,
+// starts a fresh shard.
+type Worker struct {
+	cfg WorkerConfig
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	cur    net.Conn
+}
+
+// Listen binds the worker's address. Serve starts accepting.
+func Listen(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Name == "" {
+		cfg.Name = cfg.Addr
+	}
+	if cfg.Plans == nil {
+		cfg.Plans = PlanFactory
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Addr, err)
+	}
+	return &Worker{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Serve accepts and serves coordinator connections, one at a time, until
+// Close. Returns nil after Close, the accept error otherwise.
+func (w *Worker) Serve() error {
+	for {
+		nc, err := w.ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("cluster: worker %s: accept: %w", w.cfg.Name, err)
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		w.cur = nc
+		w.mu.Unlock()
+		w.serveConn(newConn(nc))
+		w.mu.Lock()
+		w.cur = nil
+		w.mu.Unlock()
+	}
+}
+
+// Close stops accepting and severs the current coordinator, if any.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	w.closed = true
+	cur := w.cur
+	w.mu.Unlock()
+	err := w.ln.Close()
+	if cur != nil {
+		cur.Close()
+	}
+	return err
+}
+
+// serveConn runs one coordinator session: handshake, then a frame loop
+// hosting at most one ShardHost. The loop is the connection's single
+// reader; the host's tap goroutines write exchange/sink frames concurrently
+// through the conn's write mutex.
+func (w *Worker) serveConn(cn *conn) {
+	defer cn.close()
+	typ, p, err := cn.readFrame()
+	if err != nil || typ != fHello || len(p) != len(magic)+1 ||
+		string(p[:len(magic)]) != magic || p[len(magic)] != protoVersion {
+		if err == nil {
+			cn.writeFrame(fErr, []byte(fmt.Sprintf("%s: bad handshake", w.cfg.Name)))
+		}
+		return
+	}
+	if err := cn.writeFrame(fOK, []byte(w.cfg.Name)); err != nil {
+		return
+	}
+	w.cfg.Logf("cluster: worker %s: coordinator connected (%s)", w.cfg.Name, cn.c.RemoteAddr())
+
+	var host *engine.ShardHost
+	defer func() {
+		if host != nil {
+			host.Kill()
+			host.Stop()
+		}
+	}()
+	for {
+		typ, p, err := cn.readFrame()
+		if err != nil {
+			w.cfg.Logf("cluster: worker %s: coordinator gone: %v", w.cfg.Name, err)
+			return
+		}
+		switch typ {
+		case fDeploy:
+			host = w.handleDeploy(cn, host, p)
+		case fPush:
+			name, batch, err := decodeBatch(p)
+			if err != nil {
+				w.cfg.Logf("cluster: worker %s: bad push frame: %v", w.cfg.Name, err)
+				continue
+			}
+			if host == nil {
+				engine.PutBatch(batch)
+				continue
+			}
+			if err := host.PushOwned(name, batch); err != nil {
+				// Rejected whole: ownership stayed here. Pushes are one-way;
+				// the coordinator's replay log covers the loss.
+				engine.PutBatch(batch)
+				w.cfg.Logf("cluster: worker %s: push %s: %v", w.cfg.Name, name, err)
+			}
+		case fQuiesce:
+			reply(cn, nil, withHost(host, func() error { return host.Quiesce() }))
+		case fExport:
+			if host == nil {
+				reply(cn, nil, errNoHost)
+				continue
+			}
+			recs, err := host.ExportState()
+			replyGob(cn, recs, err)
+		case fResume:
+			var spec engine.ResumeSpec
+			err := decodeGob(p, &spec)
+			if err == nil {
+				err = withHost(host, func() error { return host.Resume(spec) })
+			}
+			reply(cn, nil, err)
+		case fDrain:
+			if host == nil {
+				reply(cn, nil, errNoHost)
+				continue
+			}
+			d, err := host.Drain()
+			replyGob(cn, d, err)
+		case fCounters:
+			if host == nil {
+				reply(cn, nil, errNoHost)
+				continue
+			}
+			hc, err := host.Counters()
+			replyGob(cn, hc, err)
+		case fStop:
+			reply(cn, nil, withHost(host, func() error { return host.Stop() }))
+		default:
+			reply(cn, nil, fmt.Errorf("unexpected frame type %d", typ))
+		}
+	}
+}
+
+// handleDeploy replaces the hosted shard with a fresh one built from the
+// deploy spec, replying fOK/fErr. A failed deploy leaves no host.
+func (w *Worker) handleDeploy(cn *conn, old *engine.ShardHost, p []byte) *engine.ShardHost {
+	if old != nil {
+		old.Kill()
+		old.Stop()
+	}
+	var spec DeploySpec
+	err := decodeGob(p, &spec)
+	var factory func() (*engine.Plan, error)
+	if err == nil {
+		factory, err = w.cfg.Plans(spec.Payload)
+	}
+	if err != nil {
+		reply(cn, nil, err)
+		return nil
+	}
+	host := engine.NewShardHost(w.cfg.Name, factory)
+	err = host.Start(engine.HostSpec{
+		Shard: spec.Shard, Width: spec.Width, Buf: spec.Buf,
+		DisableFusion: spec.DisableFusion, Columnar: spec.Columnar,
+		OnExchange: w.emitter(cn, fExchange),
+		OnSink:     w.emitter(cn, fSink),
+	})
+	if err != nil {
+		reply(cn, nil, err)
+		return nil
+	}
+	reply(cn, nil, nil)
+	return host
+}
+
+// emitter wraps one output direction (exchange edges or parallel sinks) as
+// a frame writer. The callback owns each batch; it always recycles. Write
+// errors are dropped on the floor — the read loop sees the same dead
+// connection and kills the host.
+func (w *Worker) emitter(cn *conn, typ byte) func(string, []stream.Tuple) {
+	return func(name string, batch []stream.Tuple) {
+		p, err := appendBatch(nil, name, batch)
+		if err != nil {
+			w.cfg.Logf("cluster: worker %s: encode %s: %v", w.cfg.Name, name, err)
+		} else if err := cn.writeFrame(typ, p); err != nil {
+			w.cfg.Logf("cluster: worker %s: emit %s: %v", w.cfg.Name, name, err)
+		}
+		engine.PutBatch(batch)
+	}
+}
+
+var errNoHost = fmt.Errorf("no deployed shard")
+
+// withHost runs fn if a host is deployed.
+func withHost(host *engine.ShardHost, fn func() error) error {
+	if host == nil {
+		return errNoHost
+	}
+	return fn()
+}
+
+// reply answers a control frame.
+func reply(cn *conn, payload []byte, err error) {
+	if err != nil {
+		cn.writeFrame(fErr, []byte(err.Error()))
+		return
+	}
+	cn.writeFrame(fOK, payload)
+}
+
+// replyGob answers a control frame with a gob payload.
+func replyGob(cn *conn, v any, err error) {
+	if err == nil {
+		var p []byte
+		if p, err = encodeGob(v); err == nil {
+			reply(cn, p, nil)
+			return
+		}
+	}
+	reply(cn, nil, err)
+}
+
+// PlanFactory is the standard deploy-payload interpreter: the payload is a
+// PlanPayload, the factory recompiles its queries against its catalog with
+// cloud.CompilePlan — the same deterministic compile the coordinator ran,
+// yielding a structurally identical plan (which the export/resume state
+// cycle requires).
+func PlanFactory(payload any) (func() (*engine.Plan, error), error) {
+	pp, ok := payload.(PlanPayload)
+	if !ok {
+		return nil, fmt.Errorf("cluster: deploy payload is %T, want cluster.PlanPayload", payload)
+	}
+	sources := make([]cloud.SourceDecl, 0, len(pp.Sources))
+	catalog := make(cql.Catalog, len(pp.Sources))
+	for _, s := range pp.Sources {
+		schema, err := stream.NewSchema(s.Fields...)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: source %q: %w", s.Name, err)
+		}
+		sources = append(sources, cloud.SourceDecl{Name: s.Name, Schema: schema})
+		catalog[s.Name] = cql.Source{Schema: schema}
+	}
+	costs := cql.DefaultCosts()
+	winners := make([]cloud.Submission, 0, len(pp.Queries))
+	for _, q := range pp.Queries {
+		parsed, err := cql.Parse(q.CQL)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: query %q: %w", q.Name, err)
+		}
+		comp, err := cql.Compile(parsed, catalog, costs)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: query %q: %w", q.Name, err)
+		}
+		winners = append(winners, cloud.Submission{
+			User: q.User, Tenant: q.Tenant, Name: q.Name,
+			Operators: comp.Operators, Deploy: comp.Deploy,
+		})
+	}
+	return func() (*engine.Plan, error) { return cloud.CompilePlan(sources, winners) }, nil
+}

@@ -33,11 +33,15 @@ import (
 // crash mid-checkpoint leaves the previous snapshot intact.
 const checkpointFile = "state.ckpt"
 
-// stateRec is one exported keyed-state entry: the prefix-plan node position
+// StateRec is one exported keyed-state entry: the prefix-plan node position
 // it belongs to (structurally identical across epochs and executor restarts,
 // since both carve from the same factory), the partition key, and the
-// operator's exported state. Encoded one gob frame per record.
-type stateRec struct {
+// operator's exported state. Encoded one gob frame per record. Exported so
+// the cluster transport can carry checkpoint/resume state between a
+// coordinator and its workers; the key and state types must be gob-encodable
+// (the built-in scalar kinds and the windowed operators' movers are
+// registered in internal/stream).
+type StateRec struct {
 	Node  int
 	Key   any
 	State any
@@ -118,11 +122,11 @@ func (s *Staged) restoreCheckpoint(dir string, plans []*Plan) (err error) {
 // exportStateRecs drains every KeyedStateMover node's per-key state out of
 // the quiesced epoch's plans, ordered by (node, rendered key) so the
 // checkpoint bytes and the import-side first-seen order are deterministic.
-func exportStateRecs(plans []*Plan) []stateRec {
+func exportStateRecs(plans []*Plan) []StateRec {
 	if len(plans) == 0 {
 		return nil
 	}
-	var recs []stateRec
+	var recs []StateRec
 	for j := range plans[0].nodes {
 		for _, p := range plans {
 			mover, ok := transformOf(p.nodes[j]).(stream.KeyedStateMover)
@@ -130,7 +134,7 @@ func exportStateRecs(plans []*Plan) []stateRec {
 				continue
 			}
 			for key, st := range mover.ExportKeyedState() {
-				recs = append(recs, stateRec{Node: j, Key: key, State: st})
+				recs = append(recs, StateRec{Node: j, Key: key, State: st})
 			}
 		}
 	}
@@ -145,7 +149,7 @@ func exportStateRecs(plans []*Plan) []stateRec {
 
 // importStateRecs routes each record's key through dest and imports the
 // state into that shard's plan, the same placement moveKeyedState uses.
-func importStateRecs(plans []*Plan, recs []stateRec, dest func(key any) int) {
+func importStateRecs(plans []*Plan, recs []StateRec, dest func(key any) int) {
 	for _, rec := range recs {
 		mover, ok := transformOf(plans[dest(rec.Key)].nodes[rec.Node]).(stream.KeyedStateMover)
 		if !ok {
@@ -157,7 +161,7 @@ func importStateRecs(plans []*Plan, recs []stateRec, dest func(key any) int) {
 
 // writeCheckpoint writes the records to dir/state.ckpt atomically: segment
 // frames into a temp file, flushed by Close, renamed into place.
-func writeCheckpoint(dir string, recs []stateRec) error {
+func writeCheckpoint(dir string, recs []StateRec) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -188,10 +192,10 @@ func writeCheckpoint(dir string, recs []stateRec) error {
 }
 
 // readCheckpoint decodes dir/state.ckpt back into records.
-func readCheckpoint(dir string) ([]stateRec, error) {
-	var recs []stateRec
+func readCheckpoint(dir string) ([]StateRec, error) {
+	var recs []StateRec
 	err := staging.ReadSegment(filepath.Join(dir, checkpointFile), func(p []byte) error {
-		var rec stateRec
+		var rec StateRec
 		if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&rec); err != nil {
 			return fmt.Errorf("engine: checkpoint decode: %w", err)
 		}

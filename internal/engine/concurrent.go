@@ -958,59 +958,33 @@ func (r *Runtime) PushBatch(source string, batch []stream.Tuple) error {
 	return first
 }
 
-// PushOwnedBatch is PushBatch with ownership transfer: the caller hands the
-// batch slice (and its backing array) to the runtime and must not read,
-// write, or reuse it after the call — in exchange the defensive ingress copy
-// is skipped entirely, making the push zero-copy. Non-conforming tuples are
-// compacted out of the owned slice in place. The buffer re-enters the
-// engine's batch pool once its last consumer is done with it; lease buffers
-// via GetBatch to close the cycle without allocating. See the batch
-// ownership contract in executor.go.
+// PushOwnedBatch is PushBatch with ownership transfer: on success the caller
+// hands the batch slice (and its backing array) to the runtime and must not
+// read, write, or reuse it after the call — in exchange the defensive
+// ingress copy is skipped entirely, making the push zero-copy. The buffer
+// re-enters the engine's batch pool once its last consumer is done with it;
+// lease buffers via GetBatch to close the cycle without allocating.
+//
+// An error rejects the batch whole: validation runs before anything is
+// consumed, nothing is applied, and ownership stays with the caller (see
+// the rejection-ownership contract in executor.go). Rejected tuples are not
+// counted as dropped — the executor discarded nothing.
 func (r *Runtime) PushOwnedBatch(source string, batch []stream.Tuple) error {
 	r.stopMu.RLock()
 	defer r.stopMu.RUnlock()
 	if r.closed {
-		// Ownership transfers even on error: the caller may not touch the
-		// slice after the call, so an unconsumed batch recycles here.
-		putBatch(batch)
 		return errStopped
 	}
 	ch, ok := r.srcIn[source]
 	if !ok {
-		r.mu.Lock()
-		r.dropped += len(batch)
-		r.mu.Unlock()
-		putBatch(batch)
 		return fmt.Errorf("engine: unknown source %q", source)
 	}
 	s := r.plan.sources[source]
-	var first error
 	if s.schema != nil {
-		// Validate without moving anything until the first failure — the
-		// conforming common case is a pure scan.
-		i := 0
-		for i < len(batch) {
-			t := batch[i]
+		for _, t := range batch {
 			if !t.IsPunct() && !s.schema.Conforms(t) {
-				break
+				return fmt.Errorf("engine: tuple does not conform to source %q schema %s; owned batch rejected whole", source, s.schema)
 			}
-			i++
-		}
-		if i < len(batch) {
-			first = fmt.Errorf("engine: tuple does not conform to source %q schema %s", source, s.schema)
-			kept := batch[:i]
-			dropped := 0
-			for _, t := range batch[i:] {
-				if !t.IsPunct() && !s.schema.Conforms(t) {
-					dropped++
-					continue
-				}
-				kept = append(kept, t)
-			}
-			batch = kept
-			r.mu.Lock()
-			r.dropped += dropped
-			r.mu.Unlock()
 		}
 	}
 	if len(batch) > 0 {
@@ -1018,39 +992,30 @@ func (r *Runtime) PushOwnedBatch(source string, batch []stream.Tuple) error {
 	} else {
 		putBatch(batch)
 	}
-	return first
+	return nil
 }
 
-// PushOwnedColBatch implements OwnedColBatchPusher: the caller hands an owned
-// struct-of-arrays batch (leased via GetColBatch) to the runtime and must not
-// touch it afterwards, even on error. The batch crosses the dataflow in
-// columnar form — chains that qualified for columnar execution run it in
+// PushOwnedColBatch implements OwnedColBatchPusher: on success the caller
+// hands an owned struct-of-arrays batch (leased via GetColBatch) to the
+// runtime and must not touch it afterwards. The batch crosses the dataflow
+// in columnar form — chains that qualified for columnar execution run it in
 // place; everything else converts to rows at its own boundary. Validation is
 // by physical layout against the source schema: a mismatched batch is
 // rejected whole (per-tuple salvage would require boxing, defeating the
-// point), counted as dropped.
+// point), and like every owned-push rejection the batch stays the caller's
+// to recycle or retry (see executor.go).
 func (r *Runtime) PushOwnedColBatch(source string, cb *stream.ColBatch) error {
 	r.stopMu.RLock()
 	defer r.stopMu.RUnlock()
 	if r.closed {
-		putColBatch(cb)
 		return errStopped
 	}
 	ch, ok := r.srcIn[source]
 	if !ok {
-		r.mu.Lock()
-		r.dropped += cb.Len()
-		r.mu.Unlock()
-		putColBatch(cb)
 		return fmt.Errorf("engine: unknown source %q", source)
 	}
 	s := r.plan.sources[source]
 	if s.schema != nil && cb.Layout() != s.schema.Layout() {
-		n := cb.Len()
-		r.mu.Lock()
-		r.dropped += n
-		r.mu.Unlock()
-		putColBatch(cb)
 		return fmt.Errorf("engine: columnar batch layout %q does not match source %q schema %s", cb.Layout(), source, s.schema)
 	}
 	if _, hasWM := cb.Watermark(); cb.Len() == 0 && !hasWM {

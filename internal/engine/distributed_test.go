@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Loopback tests for the distributed coordinator: in-process ShardHosts play
+// the workers, so the full coordinator machinery — routing, replay logs,
+// exchange merges over host callbacks, checkpoint/resume, death recovery,
+// drain interleaving — runs without a TCP transport (internal/cluster adds
+// that layer and re-proves equivalence over real sockets).
+
+func loopbackHosts(n int, factory func() (*Plan, error)) ([]*ShardHost, []RemoteShardHost) {
+	hosts := make([]*ShardHost, n)
+	remote := make([]RemoteShardHost, n)
+	for i := range hosts {
+		hosts[i] = NewShardHost("loop"+string(rune('0'+i)), factory)
+		remote[i] = hosts[i]
+	}
+	return hosts, remote
+}
+
+// TestDistributedMatchesSync is the core acceptance equivalence: a staged
+// plan (parallel prefix, global window) distributed over two worker hosts
+// must produce tuple-identical results to the synchronous Engine.
+func TestDistributedMatchesSync(t *testing.T) {
+	tuples := keyedTuples(1000, 7) // strictly increasing Ts
+
+	eng, err := New(mixedPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runExecutor(t, eng, tuples, 64, "raw", "ksums", "gsums")
+
+	factory := func() (*Plan, error) { return mixedPlan(), nil }
+	_, remote := loopbackHosts(2, factory)
+	d, err := StartDistributed(factory, DistConfig{ExecConfig: ExecConfig{Buf: 8}, Hosts: remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumShards() != 2 {
+		t.Fatalf("NumShards = %d, want 2", d.NumShards())
+	}
+	got := runExecutor(t, d, tuples, 64, "raw", "ksums", "gsums")
+
+	// Global-stage results: exact sequence equality.
+	if !reflect.DeepEqual(got["gsums"], want["gsums"]) {
+		t.Fatalf("global window results differ:\n got %v\nwant %v", got["gsums"], want["gsums"])
+	}
+	// Parallel-stage results: equality up to ordering, like Sharded.
+	for _, q := range []string{"raw", "ksums"} {
+		if !reflect.DeepEqual(canonTs(got[q]), canonTs(want[q])) {
+			t.Fatalf("query %q differs from sync oracle", q)
+		}
+	}
+	if late := d.LateArrivals(); late != 0 {
+		t.Fatalf("failure-free ordered run broke %d watermark promises", late)
+	}
+	ws := d.WorkerStats()
+	if len(ws) != 2 || !ws[0].Alive || !ws[1].Alive {
+		t.Fatalf("worker stats = %+v, want 2 alive workers", ws)
+	}
+	if ws[0].Pushed == 0 || ws[1].Pushed == 0 {
+		t.Fatalf("worker stats show an idle shard: %+v", ws)
+	}
+}
+
+// TestDistributedFullyParallel distributes a plan with no global stage: every
+// sink lives on the workers, results stream back over the sink callbacks.
+func TestDistributedFullyParallel(t *testing.T) {
+	tuples := keyedTuples(600, 5)
+
+	eng, err := New(shardablePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runExecutor(t, eng, tuples, 48, "raw", "sums")
+
+	factory := func() (*Plan, error) { return shardablePlan(), nil }
+	_, remote := loopbackHosts(3, factory)
+	d, err := StartDistributed(factory, DistConfig{ExecConfig: ExecConfig{Buf: 8}, Hosts: remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runExecutor(t, d, tuples, 48, "raw", "sums")
+	for _, q := range []string{"raw", "sums"} {
+		if !reflect.DeepEqual(canonTs(got[q]), canonTs(want[q])) {
+			t.Fatalf("query %q differs from sync oracle", q)
+		}
+	}
+}
+
+// TestDistributedFullyGlobal: a plan with no parallel stage needs no workers
+// at all — the coordinator degenerates to a local runtime.
+func TestDistributedFullyGlobal(t *testing.T) {
+	plan := func() *Plan {
+		p := NewPlan()
+		p.AddSource("s", testSchema)
+		g := p.AddUnary(stream.MustWindowAgg("gsum", 2, stream.WindowSpec{
+			Size: 5, Agg: stream.AggSum, Field: 1, GroupBy: -1,
+		}), FromSource("s"))
+		p.AddSink("gsums", g)
+		return p
+	}
+	tuples := keyedTuples(400, 3)
+
+	eng, err := New(plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runExecutor(t, eng, tuples, 32, "gsums")
+
+	d, err := StartDistributed(func() (*Plan, error) { return plan(), nil },
+		DistConfig{ExecConfig: ExecConfig{Buf: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumShards() != 0 {
+		t.Fatalf("fully global plan claims %d worker shards", d.NumShards())
+	}
+	got := runExecutor(t, d, tuples, 32, "gsums")
+	if !reflect.DeepEqual(got["gsums"], want["gsums"]) {
+		t.Fatalf("fully global results differ:\n got %v\nwant %v", got["gsums"], want["gsums"])
+	}
+}
+
+// TestDistributedCheckpointBoundary: a mid-run Checkpoint — quiesce, export,
+// resume on a fresh epoch with truncated logs — must be invisible in the
+// results (clean boundary, no loss, no duplication) and bump the epoch.
+func TestDistributedCheckpointBoundary(t *testing.T) {
+	tuples := keyedTuples(1000, 7)
+
+	eng, err := New(mixedPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runExecutor(t, eng, tuples, 64, "raw", "ksums", "gsums")
+
+	factory := func() (*Plan, error) { return mixedPlan(), nil }
+	_, remote := loopbackHosts(2, factory)
+	dir := t.TempDir()
+	d, err := StartDistributed(factory, DistConfig{ExecConfig: ExecConfig{Buf: 8}, Hosts: remote, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(ts []stream.Tuple) {
+		for i := 0; i < len(ts); i += 64 {
+			end := i + 64
+			if end > len(ts) {
+				end = len(ts)
+			}
+			if err := d.PushBatch("s", ts[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	push(tuples[:500])
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch after checkpoint = %d, want 1", d.Epoch())
+	}
+	push(tuples[500:])
+	d.Stop()
+	got := map[string][]stream.Tuple{}
+	for _, q := range []string{"raw", "ksums", "gsums"} {
+		got[q] = d.Results(q)
+	}
+	if !reflect.DeepEqual(got["gsums"], want["gsums"]) {
+		t.Fatalf("global window results differ across checkpoint:\n got %v\nwant %v", got["gsums"], want["gsums"])
+	}
+	for _, q := range []string{"raw", "ksums"} {
+		if !reflect.DeepEqual(canonTs(got[q]), canonTs(want[q])) {
+			t.Fatalf("query %q differs from sync oracle across checkpoint", q)
+		}
+	}
+
+	// The snapshot restores into a fresh deployment: the checkpointed keyed
+	// state (tuples 0..499) carries over, so pushing only the second half
+	// yields every window the oracle closes after the boundary.
+	_, remote2 := loopbackHosts(2, factory)
+	d2, err := StartDistributed(factory, DistConfig{ExecConfig: ExecConfig{Buf: 8}, Hosts: remote2, Restore: dir})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for i := 500; i < len(tuples); i += 64 {
+		end := i + 64
+		if end > len(tuples) {
+			end = len(tuples)
+		}
+		if err := d2.PushBatch("s", tuples[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d2.Stop()
+	// Keyed windows spanning the boundary must have closed with their
+	// pre-checkpoint prefix intact: compare against the oracle's ksums
+	// restricted to emissions at or after the restore point.
+	var wantTail []stream.Tuple
+	for _, kt := range want["ksums"] {
+		if kt.Ts >= 500 {
+			wantTail = append(wantTail, kt)
+		}
+	}
+	if !reflect.DeepEqual(canonTs(d2.Results("ksums")), canonTs(wantTail)) {
+		t.Fatal("restored deployment lost checkpointed keyed state")
+	}
+}
+
+// TestDistributedWorkerDeathNoAcknowledgedLoss is the kill-a-worker
+// acceptance: after one of three workers dies mid-run, the coordinator
+// replays its logged ingress onto the survivors and keeps running — every
+// acknowledged tuple still reaches the results (duplicates are allowed
+// across the failure, loss is not), pushes keep succeeding, and the stats
+// surface reports the dead worker.
+func TestDistributedWorkerDeathNoAcknowledgedLoss(t *testing.T) {
+	tuples := keyedTuples(900, 7)
+
+	eng, err := New(mixedPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runExecutor(t, eng, tuples, 50, "raw", "gsums")
+
+	factory := func() (*Plan, error) { return mixedPlan(), nil }
+	hosts, remote := loopbackHosts(3, factory)
+	d, err := StartDistributed(factory, DistConfig{ExecConfig: ExecConfig{Buf: 8}, Hosts: remote, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(ts []stream.Tuple) {
+		for i := 0; i < len(ts); i += 50 {
+			end := i + 50
+			if end > len(ts) {
+				end = len(ts)
+			}
+			if err := d.PushBatch("s", ts[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	push(tuples[:400])
+	hosts[1].Kill()
+	deadline := time.Now().Add(5 * time.Second)
+	for d.NumShards() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("recovery never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	push(tuples[400:])
+	d.Stop()
+
+	// At-least-once across the failure: for every distinct oracle tuple the
+	// distributed run must deliver at least as many copies.
+	count := func(ts []stream.Tuple) map[string]int {
+		m := make(map[string]int)
+		for _, k := range canonTs(ts) {
+			m[k]++
+		}
+		return m
+	}
+	gotRaw, wantRaw := count(d.Results("raw")), count(want["raw"])
+	for k, w := range wantRaw {
+		if gotRaw[k] < w {
+			t.Fatalf("acknowledged tuple lost across worker death: %q seen %d times, want >= %d", k, gotRaw[k], w)
+		}
+	}
+	if len(d.Results("gsums")) == 0 && len(want["gsums"]) > 0 {
+		t.Fatal("global stage produced nothing after recovery")
+	}
+	var deadRows int
+	for _, ws := range d.WorkerStats() {
+		if !ws.Alive {
+			deadRows++
+		}
+	}
+	if deadRows != 1 {
+		t.Fatalf("worker stats report %d dead workers, want 1", deadRows)
+	}
+	// The broken-promise counter stays observable (replay may tick it; a
+	// clean recovery leaves it at zero — either way it must be readable).
+	_ = d.LateArrivals()
+}
+
+// TestDistributedPushOwnedContract: Distributed honors the same
+// rejection-ownership contract as the in-process executors.
+func TestDistributedPushOwnedContract(t *testing.T) {
+	factory := func() (*Plan, error) { return mixedPlan(), nil }
+	_, remote := loopbackHosts(2, factory)
+	d, err := StartDistributed(factory, DistConfig{ExecConfig: ExecConfig{Buf: 8}, Hosts: remote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := GetBatch(2)
+	batch = append(batch, tup(1, "a", 1), stream.NewTuple(2, "bad", "not-a-float"))
+	if err := d.PushOwnedBatch("s", batch); err == nil {
+		t.Fatal("nonconforming owned batch must be rejected whole")
+	}
+	if got := d.Dropped(); got != 0 {
+		t.Fatalf("whole-rejection counted %d dropped tuples", got)
+	}
+	PutBatch(batch)
+
+	good := GetBatch(2)
+	good = append(good, tup(1, "a", 1), tup(2, "b", 2))
+	if err := d.PushOwnedBatch("s", good); err != nil {
+		t.Fatalf("owned push: %v", err)
+	}
+	d.Stop()
+	if res := d.Results("raw"); len(res) != 2 {
+		t.Fatalf("owned push delivered %d tuples, want 2", len(res))
+	}
+}

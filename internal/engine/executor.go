@@ -48,13 +48,20 @@ type Executor interface {
 
 // OwnedBatchPusher is the zero-copy ingress path the concurrent executors
 // offer on top of Executor. PushOwnedBatch is PushBatch with the ownership
-// arrow reversed: the slice and its backing array transfer to the executor
-// at the call — the caller must not read, write, reuse or recycle it
-// afterwards, even when an error is returned — and in exchange the
-// defensive ingress copy is skipped. The buffer re-enters the engine's
-// shared batch pool once its last consumer finishes, so a producer that
-// leases buffers via GetBatch, fills them, and pushes them owned runs a
-// fully recycled, allocation-free ingress loop.
+// arrow reversed: on success (nil error) the slice and its backing array
+// transfer to the executor at the call — the caller must not read, write,
+// reuse or recycle it afterwards — and in exchange the defensive ingress
+// copy is skipped. The buffer re-enters the engine's shared batch pool once
+// its last consumer finishes, so a producer that leases buffers via
+// GetBatch, fills them, and pushes them owned runs a fully recycled,
+// allocation-free ingress loop.
+//
+// Rejection ownership: a returned error means the batch was rejected whole
+// and ownership stays with the caller, who may retry, recycle (PutBatch) or
+// drop it. Owned pushes are therefore all-or-nothing — an implementation
+// validates before it consumes, unlike PushBatch's push-what-conforms
+// contract — so an error never leaves a prefix of the batch applied, and
+// the caller's recycle can never race a recycle inside the executor.
 //
 // The synchronous Engine does not implement it: its Push path holds no
 // batch buffers, so there is no copy to skip.
@@ -64,12 +71,13 @@ type OwnedBatchPusher interface {
 
 // OwnedColBatchPusher is the columnar twin of OwnedBatchPusher: the caller
 // hands a schema-typed struct-of-arrays batch (leased via GetColBatch) to
-// the executor, transferring ownership exactly as PushOwnedBatch does — the
-// batch must not be touched after the call, even on error. A columnar push
-// skips the boxed row layout entirely on ingress: fused chains whose
-// operators run columnar (ExecConfig.Columnar) execute it column-at-a-time,
-// and anything that needs rows converts once at its own boundary.
-// Punctuation rides out-of-band as the batch watermark
+// the executor, transferring ownership exactly as PushOwnedBatch does — on
+// success the batch must not be touched again; on error it was rejected
+// whole and stays the caller's to recycle (PutColBatch) or retry. A
+// columnar push skips the boxed row layout entirely on ingress: fused
+// chains whose operators run columnar (ExecConfig.Columnar) execute it
+// column-at-a-time, and anything that needs rows converts once at its own
+// boundary. Punctuation rides out-of-band as the batch watermark
 // (ColBatch.SetWatermark); validation is by physical layout, so a batch
 // whose schema layout differs from the source's is rejected whole.
 type OwnedColBatchPusher interface {
@@ -81,10 +89,15 @@ var (
 	_ Executor = (*Engine)(nil)
 	_ Executor = (*Runtime)(nil)
 	_ Executor = (*Sharded)(nil)
+	_ Executor = (*Distributed)(nil)
 
 	_ OwnedBatchPusher = (*Runtime)(nil)
 	_ OwnedBatchPusher = (*Sharded)(nil)
 	_ OwnedBatchPusher = (*Staged)(nil)
+	// Distributed takes owned row batches too; its columnar ingress is the
+	// row boundary (sub-batches cross the wire as rows), so it deliberately
+	// does NOT implement OwnedColBatchPusher — callers fall back to rows.
+	_ OwnedBatchPusher = (*Distributed)(nil)
 
 	_ OwnedColBatchPusher = (*Runtime)(nil)
 	_ OwnedColBatchPusher = (*Sharded)(nil)

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// These tests pin the rejection-ownership contract on OwnedBatchPusher /
+// OwnedColBatchPusher: an error rejects the batch whole — nothing applied,
+// nothing counted as dropped — and ownership stays with the caller, whose
+// single PutBatch afterwards must be the buffer's only recycle (the race
+// build's pool guard panics on a double put, so running these under -race
+// also proves no executor recycled a rejected batch behind the caller).
+
+// ownedPushers builds one of each concurrent executor over the same simple
+// shardable plan.
+func ownedPushers(t *testing.T) map[string]Executor {
+	t.Helper()
+	rt, err := StartConcurrent(shardablePlan(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := StartSharded(func() (*Plan, error) { return shardablePlan(), nil },
+		ShardedConfig{ExecConfig: ExecConfig{Shards: 2, Buf: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := StartStaged(func() (*Plan, error) { return mixedPlan(), nil },
+		StagedConfig{ExecConfig: ExecConfig{Shards: 2, Buf: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Executor{"runtime": rt, "sharded": sh, "staged": st}
+}
+
+type droppedCounter interface{ Dropped() int }
+
+// TestOwnedPushSchemaRejectionIsWhole pushes an owned batch with one
+// nonconforming tuple: every executor must reject the whole batch — no
+// prefix applied, no drops counted — and hand ownership back, so the caller
+// can recycle the lease exactly once.
+func TestOwnedPushSchemaRejectionIsWhole(t *testing.T) {
+	for name, ex := range ownedPushers(t) {
+		t.Run(name, func(t *testing.T) {
+			pusher := ex.(OwnedBatchPusher)
+			batch := GetBatch(3)
+			batch = append(batch,
+				tup(1, "a", 1),
+				stream.NewTuple(2, "bad", "not-a-float"), // violates field 1 kind
+				tup(3, "b", 2),
+			)
+			if err := pusher.PushOwnedBatch("s", batch); err == nil {
+				t.Fatal("nonconforming owned batch must be rejected")
+			}
+			// Rejected whole: the batch is still ours — recycle it once.
+			PutBatch(batch)
+			if got := ex.(droppedCounter).Dropped(); got != 0 {
+				t.Fatalf("whole-rejection counted %d dropped tuples; a rejected batch is not dropped", got)
+			}
+			ex.Stop()
+			for _, q := range []string{"raw"} {
+				if res := ex.Results(q); len(res) != 0 {
+					t.Fatalf("rejected batch leaked %d tuples into %q: %v", len(res), q, res)
+				}
+			}
+		})
+	}
+}
+
+// TestOwnedPushRejectedBatchIsReusable rejects a batch on an unknown source,
+// then pushes the very same slice to the real source: with ownership
+// returned on rejection, the retry is legal and must deliver every tuple.
+func TestOwnedPushRejectedBatchIsReusable(t *testing.T) {
+	for name, ex := range ownedPushers(t) {
+		t.Run(name, func(t *testing.T) {
+			pusher := ex.(OwnedBatchPusher)
+			batch := GetBatch(2)
+			batch = append(batch, tup(1, "a", 1), tup(2, "b", 2))
+			if err := pusher.PushOwnedBatch("nosuch", batch); err == nil {
+				t.Fatal("unknown source must reject")
+			}
+			if got := ex.(droppedCounter).Dropped(); got != 0 {
+				t.Fatalf("unknown-source rejection counted %d dropped tuples", got)
+			}
+			if err := pusher.PushOwnedBatch("s", batch); err != nil {
+				t.Fatalf("retry of the rejected batch: %v", err)
+			}
+			ex.Stop()
+			if res := ex.Results("raw"); len(res) != 2 {
+				t.Fatalf("retried batch delivered %d tuples to raw, want 2", len(res))
+			}
+		})
+	}
+}
+
+// TestOwnedPushStoppedExecutorKeepsOwnership pushes after Stop: errStopped
+// must come back with the batch still owned by the caller, whose recycle is
+// then the only put (double-put would panic under -race against executors
+// that recycle on the stopped path).
+func TestOwnedPushStoppedExecutorKeepsOwnership(t *testing.T) {
+	for name, ex := range ownedPushers(t) {
+		t.Run(name, func(t *testing.T) {
+			ex.Stop()
+			pusher := ex.(OwnedBatchPusher)
+			batch := GetBatch(1)
+			batch = append(batch, tup(1, "a", 1))
+			if err := pusher.PushOwnedBatch("s", batch); err == nil {
+				t.Fatal("push after Stop must fail")
+			}
+			// Still ours: writable and recyclable exactly once.
+			batch[0] = tup(9, "z", 9)
+			PutBatch(batch)
+		})
+	}
+}
+
+// TestOwnedColPushRejectionKeepsOwnership is the columnar twin: a layout
+// mismatch (and a stopped executor) must reject the ColBatch whole with
+// ownership retained by the caller.
+func TestOwnedColPushRejectionKeepsOwnership(t *testing.T) {
+	badSchema := stream.MustSchema(
+		stream.Field{Name: "x", Kind: stream.KindInt},
+	)
+	for name, ex := range ownedPushers(t) {
+		t.Run(name, func(t *testing.T) {
+			pusher := ex.(OwnedColBatchPusher)
+			cb := GetColBatch(badSchema, 1)
+			cb.AppendTuple(stream.NewTuple(1, int64(5)))
+			if err := pusher.PushOwnedColBatch("s", cb); err == nil {
+				t.Fatal("layout mismatch must reject")
+			}
+			if got := ex.(droppedCounter).Dropped(); got != 0 {
+				t.Fatalf("layout rejection counted %d dropped tuples", got)
+			}
+			PutColBatch(cb)
+
+			ex.Stop()
+			cb2 := GetColBatch(testSchema, 1)
+			cb2.AppendTuple(tup(1, "a", 1))
+			if err := pusher.PushOwnedColBatch("s", cb2); err == nil {
+				t.Fatal("columnar push after Stop must fail")
+			}
+			PutColBatch(cb2)
+		})
+	}
+}
+
+// TestStagedPushBatchSalvagesConformingTuples guards the other side of the
+// contract split: the non-owned PushBatch keeps its push-what-conforms
+// semantics — one bad tuple is dropped and counted, the rest of the batch
+// still flows.
+func TestStagedPushBatchSalvagesConformingTuples(t *testing.T) {
+	for name, ex := range ownedPushers(t) {
+		t.Run(name, func(t *testing.T) {
+			batch := []stream.Tuple{
+				tup(1, "a", 1),
+				stream.NewTuple(2, "bad", "not-a-float"),
+				tup(3, "b", 2),
+			}
+			if err := ex.PushBatch("s", batch); err == nil {
+				t.Fatal("nonconforming tuple must surface an error")
+			}
+			ex.Stop()
+			if res := ex.Results("raw"); len(res) != 2 {
+				t.Fatalf("PushBatch delivered %d tuples to raw, want the 2 conforming ones: %v", len(res), res)
+			}
+			if got := ex.(droppedCounter).Dropped(); got != 1 {
+				t.Fatalf("PushBatch counted %d dropped, want 1", got)
+			}
+		})
+	}
+}

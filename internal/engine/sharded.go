@@ -366,21 +366,50 @@ func (s *Sharded) pushRowsLocked(source string, batch []stream.Tuple) error {
 		if len(ts) == 0 {
 			continue
 		}
-		if err := s.shards[i].PushOwnedBatch(source, ts); err != nil && first == nil {
-			first = err
+		if err := s.shards[i].PushOwnedBatch(source, ts); err != nil {
+			// Rejected whole (a nonconforming tuple): ownership of the
+			// sub-batch came back. Salvage the conforming remainder through
+			// the copying push — it drops and counts per tuple, preserving
+			// PushBatch's push-what-conforms contract — then recycle.
+			if first == nil {
+				first = err
+			}
+			s.shards[i].PushBatch(source, ts)
+			putBatch(ts)
 		}
 	}
 	return first
 }
 
 // PushOwnedBatch implements OwnedBatchPusher: identical routing to
-// PushBatch, but ownership of the caller's slice transfers to the executor,
-// which recycles it into the batch pool once the partition scan has copied
-// its tuples out.
+// PushBatch, but ownership of the caller's slice transfers to the executor
+// on success, which recycles it into the batch pool once the partition scan
+// has copied its tuples out. An error rejects the batch whole — validation
+// runs before the partition scan consumes anything — and ownership stays
+// with the caller (see executor.go).
 func (s *Sharded) PushOwnedBatch(source string, batch []stream.Tuple) error {
-	err := s.PushBatch(source, batch)
+	if s.stopped.Load() {
+		return errStopped
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.sources[source] {
+		return fmt.Errorf("engine: unknown source %q", source)
+	}
+	if schema := s.topo.sources[source].schema; schema != nil {
+		for _, t := range batch {
+			if !t.IsPunct() && !schema.Conforms(t) {
+				return fmt.Errorf("engine: tuple does not conform to source %q schema %s; owned batch rejected whole", source, schema)
+			}
+		}
+	}
+	if err := s.pushRowsLocked(source, batch); err != nil {
+		// Unreachable after validation under the epoch read lock; surface
+		// without recycling — leaking a buffer beats a double put.
+		return err
+	}
 	putBatch(batch)
-	return err
+	return nil
 }
 
 // PushOwnedColBatch implements OwnedColBatchPusher: the owned columnar batch
@@ -388,18 +417,20 @@ func (s *Sharded) PushOwnedBatch(source string, batch []stream.Tuple) error {
 // placement identical to the boxed route loop) and each shard's sub-batch
 // pushes onward columnar, so a qualified chain behind the partition never
 // sees a boxed tuple. When the partition function is caller-supplied, its key
-// field is opaque and the batch demotes to rows for routing.
+// field is opaque and the batch demotes to rows for routing. An error
+// rejects the batch whole — layout validation runs before the split
+// consumes it — and ownership stays with the caller (see executor.go).
 func (s *Sharded) PushOwnedColBatch(source string, cb *stream.ColBatch) error {
 	if s.stopped.Load() {
-		putColBatch(cb)
 		return errStopped
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if !s.sources[source] {
-		s.dropped.Add(int64(cb.Len()))
-		putColBatch(cb)
 		return fmt.Errorf("engine: unknown source %q", source)
+	}
+	if schema := s.topo.sources[source].schema; schema != nil && cb.Layout() != schema.Layout() {
+		return fmt.Errorf("engine: columnar batch layout %q does not match source %q schema %s", cb.Layout(), source, schema)
 	}
 	if s.partField == partFieldOpaque {
 		rows := colToRows(cb)
@@ -413,8 +444,12 @@ func (s *Sharded) PushOwnedColBatch(source string, cb *stream.ColBatch) error {
 		if scb == nil {
 			continue
 		}
-		if err := s.shards[i].PushOwnedColBatch(source, scb); err != nil && first == nil {
-			first = err
+		if err := s.shards[i].PushOwnedColBatch(source, scb); err != nil {
+			// Rejected whole: ownership of the sub-batch came back.
+			putColBatch(scb)
+			if first == nil {
+				first = err
+			}
 		}
 	}
 	return first

@@ -1,0 +1,479 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stream"
+)
+
+// Worker-side half of the distributed executor (see distributed.go for the
+// coordinator). A ShardHost owns exactly one parallel-stage shard: it carves
+// the shardable prefix out of a factory plan exactly like Staged does for a
+// local shard, runs it on a Runtime, and streams the exchange-edge output —
+// tuples AND punctuation, the low-watermark promises the coordinator's merge
+// orders by — through the OnExchange callback instead of an in-process
+// exchangeMerge. The cluster transport wraps these callbacks in framed-TCP
+// writes; in-process tests wire them straight back into a Distributed
+// coordinator.
+
+// HostSpec is one shard assignment from a coordinator. Shard/Width identify
+// the slot in the coordinator's partition map (the host itself only reports
+// them back — partition routing happens coordinator-side, before tuples reach
+// PushOwned). The callbacks receive ownership of every batch they are handed
+// (recycle via PutBatch when done); OnExchange batches carry in-band
+// punctuation markers, OnSink batches are punctuation-stripped query results
+// of fully parallel sinks.
+type HostSpec struct {
+	Shard, Width  int
+	Buf           int
+	DisableFusion bool
+	Columnar      bool
+	// Payload rides the deploy to remote workers so they can derive the same
+	// plan factory the coordinator analyzed (e.g. the admitted query set);
+	// ShardHost itself ignores it — its factory arrives in NewShardHost.
+	Payload any
+	// OnExchange receives every batch a prefix exchange sink emits on this
+	// shard, punctuation included.
+	OnExchange func(edge string, batch []stream.Tuple)
+	// OnSink receives every batch a non-exchange prefix sink emits
+	// (fully parallel query results), punctuation stripped.
+	OnSink func(sink string, batch []stream.Tuple)
+}
+
+// ResumeSpec restarts a quiesced host on a fresh epoch: a new shard slot
+// (the width may have changed — a dead peer's slot compacts away) and the
+// keyed operator state the coordinator routed to this shard under the new
+// partition map.
+type ResumeSpec struct {
+	Shard, Width int
+	Recs         []StateRec
+}
+
+// HostCounters is a shard's raw per-node accounting, indexed by PREFIX-plan
+// node position (the coordinator maps positions onto analyzed-plan node IDs
+// via its shardIDs). Raw counts, no tick normalization — the coordinator
+// folds them into its retired accumulators at epoch boundaries.
+type HostCounters struct {
+	Tuples, Outs, Sheds []int64
+	ShedUtil            []float64
+	Dropped             int64
+}
+
+// SinkEmit is one contiguous run of same-sink tuples a drain emission
+// produced, in the emission's shard-local route order.
+type SinkEmit struct {
+	Sink   string
+	Tuples []stream.Tuple
+}
+
+// DrainEmit is one flush emission of one prefix node: the emitted tuple's
+// timestamp and tie-break key (what the coordinator's cross-shard merge
+// sorts by — the same (Ts, rendered-first-value) order Staged.drainPrefix
+// uses) and the terminal sink outputs that resulted from routing it through
+// the shard's downstream operators.
+type DrainEmit struct {
+	Ts   int64
+	Tie  string
+	Outs []SinkEmit
+}
+
+// HostDrain is the shard's end-of-run flush: per prefix node (topological
+// order), the node's flush emissions in shard-local order, plus the final
+// counters with all drain processing folded in. The coordinator merges the
+// per-node emission lists across shards to reproduce the synchronous drain
+// order exactly.
+type HostDrain struct {
+	Nodes    [][]DrainEmit
+	Counters HostCounters
+}
+
+// RemoteShardHost is what the distributed coordinator drives — one parallel
+// shard living somewhere else. ShardHost implements it in-process; the
+// cluster transport's client implements it over framed TCP. Every method is
+// coordinator-initiated and synchronous; only the HostSpec callbacks (and
+// Dead) flow the other way.
+//
+// Lifecycle: Start → PushOwned* → {Quiesce → ExportState → Resume}* →
+// Quiesce → Drain → Stop. Quiesce drains in-flight batches and parks the
+// operator state; ExportState/Drain are only valid on a quiesced host.
+// Dead returns a channel closed when the host is lost (transport failure,
+// process death); a dead host's methods fail and the coordinator recovers
+// the shard onto the survivors.
+type RemoteShardHost interface {
+	Name() string
+	Start(spec HostSpec) error
+	PushOwned(source string, batch []stream.Tuple) error
+	Quiesce() error
+	ExportState() ([]StateRec, error)
+	Resume(spec ResumeSpec) error
+	Drain() (*HostDrain, error)
+	Counters() (*HostCounters, error)
+	Stop() error
+	Dead() <-chan struct{}
+}
+
+// ShardHost is the in-process RemoteShardHost: one shard's prefix runtime
+// plus the carve/quiesce/export/drain machinery, shared by the cluster
+// worker (which frames its callbacks over TCP) and by loopback tests.
+type ShardHost struct {
+	name    string
+	factory func() (*Plan, error)
+
+	// killed is read by the runtime's tap goroutines (guard) while Quiesce
+	// holds mu across the pipeline drain — it must stay lock-free or the
+	// drain deadlocks against its own taps.
+	killed atomic.Bool
+
+	mu       sync.Mutex
+	spec     HostSpec
+	split    *StageSplit
+	topo     *Plan // analyzed factory plan: schema + sink metadata
+	prefix   *Plan
+	rt       *Runtime
+	quiesced bool
+	stopped  bool
+	dead     chan struct{}
+	// drain deltas, indexed by prefix node position, folded into the
+	// counters Drain returns.
+	drainTuples, drainOuts []int64
+}
+
+var _ RemoteShardHost = (*ShardHost)(nil)
+
+// NewShardHost builds an idle host around a plan factory (same contract as
+// StartStaged's: structurally identical plans, fresh operator instances).
+// Nothing runs until Start.
+func NewShardHost(name string, factory func() (*Plan, error)) *ShardHost {
+	return &ShardHost{name: name, factory: factory, dead: make(chan struct{})}
+}
+
+func (h *ShardHost) Name() string { return h.name }
+
+// Start analyzes the factory plan, carves this host's prefix, and starts the
+// shard runtime with the spec's callbacks installed as taps. A fully global
+// plan has no parallel stage to host and is rejected.
+func (h *ShardHost) Start(spec HostSpec) error {
+	if h.killed.Load() {
+		return fmt.Errorf("engine: shard host %q is dead", h.name)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.rt != nil && !h.quiesced {
+		return fmt.Errorf("engine: shard host %q already running", h.name)
+	}
+	full, err := h.factory()
+	if err != nil {
+		return fmt.Errorf("engine: shard host plan factory: %w", err)
+	}
+	split, err := full.Analyze()
+	if err != nil {
+		return err
+	}
+	if split.NumParallel() == 0 {
+		return fmt.Errorf("engine: plan is fully global; nothing to host on shard %d", spec.Shard)
+	}
+	prefix, _, err := split.prefixPlan(full)
+	if err != nil {
+		return err
+	}
+	h.spec, h.split, h.topo = spec, split, full
+	h.stopped, h.quiesced = false, false
+	h.drainTuples, h.drainOuts = nil, nil
+	return h.startRuntime(prefix)
+}
+
+// startRuntime starts a fresh Runtime over a carved prefix plan with the
+// exchange and sink taps wired to the spec callbacks. Caller holds h.mu.
+func (h *ShardHost) startRuntime(prefix *Plan) error {
+	isExchange := make(map[string]bool, len(h.split.Exchanges))
+	for _, id := range h.split.Exchanges {
+		isExchange[ExchangeName(id)] = true
+	}
+	taps := make(map[string]func([]stream.Tuple), len(prefix.sinks))
+	for sink := range prefix.sinks {
+		sink := sink
+		if isExchange[sink] {
+			if tap := h.spec.OnExchange; tap != nil {
+				taps[sink] = h.guard(func(ts []stream.Tuple) { tap(sink, ts) })
+			}
+		} else if tap := h.spec.OnSink; tap != nil {
+			taps[sink] = h.guard(stripPunct(func(ts []stream.Tuple) { tap(sink, ts) }))
+		}
+	}
+	srcSchemas := make(map[string]*stream.Schema, len(h.topo.sources))
+	for name, src := range h.topo.sources {
+		srcSchemas[name] = src.schema
+	}
+	// No shedder and no staging budget on a worker shard: shedding happened
+	// at the coordinator's ingress, and backpressure propagates through the
+	// transport instead of staging host-side.
+	rt, err := StartRuntime(prefix, RuntimeConfig{
+		ExecConfig:    ExecConfig{Buf: h.spec.Buf, DisableFusion: h.spec.DisableFusion, Columnar: h.spec.Columnar},
+		Taps:          taps,
+		SourceSchemas: srcSchemas,
+	})
+	if err != nil {
+		return err
+	}
+	h.prefix, h.rt, h.quiesced = prefix, rt, false
+	return nil
+}
+
+// guard wraps a tap so a killed host emits nothing — a crashed process
+// would not have delivered either, and tests that Kill a host rely on its
+// in-flight output vanishing rather than racing the recovery.
+func (h *ShardHost) guard(tap func([]stream.Tuple)) func([]stream.Tuple) {
+	return func(ts []stream.Tuple) {
+		if h.killed.Load() {
+			putBatch(ts)
+			return
+		}
+		tap(ts)
+	}
+}
+
+// PushOwned forwards a coordinator-routed sub-batch into the shard runtime,
+// ownership transferring on success. The carved prefix carries no source
+// schemas (the coordinator validated at ingress), so this is a plain channel
+// send.
+func (h *ShardHost) PushOwned(source string, batch []stream.Tuple) error {
+	h.mu.Lock()
+	rt, bad := h.rt, h.killed.Load() || h.quiesced || h.stopped
+	h.mu.Unlock()
+	if rt == nil || bad {
+		return fmt.Errorf("engine: shard host %q not accepting pushes", h.name)
+	}
+	return rt.PushOwnedBatch(source, batch)
+}
+
+// Quiesce drains the shard runtime without flushing keyed state; idempotent.
+func (h *ShardHost) Quiesce() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quiesceLocked()
+}
+
+func (h *ShardHost) quiesceLocked() error {
+	if h.rt == nil {
+		return fmt.Errorf("engine: shard host %q has no deployment", h.name)
+	}
+	if !h.quiesced {
+		h.rt.Quiesce()
+		h.quiesced = true
+	}
+	return nil
+}
+
+// ExportState drains the quiesced prefix's keyed operator state, in the same
+// deterministic (node, rendered key) order a local checkpoint uses.
+func (h *ShardHost) ExportState() ([]StateRec, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.rt == nil || !h.quiesced {
+		return nil, fmt.Errorf("engine: shard host %q must be quiesced to export state", h.name)
+	}
+	return exportStateRecs([]*Plan{h.prefix}), nil
+}
+
+// Resume replaces the quiesced epoch with a fresh factory carve, imports the
+// coordinator-routed state records (all of them — routing already happened),
+// and starts a new runtime. The old epoch's counters are gone after Resume;
+// the coordinator folds Counters() before calling it.
+func (h *ShardHost) Resume(spec ResumeSpec) error {
+	if h.killed.Load() {
+		return fmt.Errorf("engine: shard host %q is dead", h.name)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.rt == nil || !h.quiesced {
+		return fmt.Errorf("engine: shard host %q must be quiesced to resume", h.name)
+	}
+	full, err := h.factory()
+	if err != nil {
+		return fmt.Errorf("engine: shard host plan factory: %w", err)
+	}
+	if len(full.nodes) != len(h.topo.nodes) {
+		return fmt.Errorf("engine: shard host plan factory is not deterministic: %d nodes, want %d", len(full.nodes), len(h.topo.nodes))
+	}
+	prefix, _, err := h.split.prefixPlan(full)
+	if err != nil {
+		return err
+	}
+	for _, rec := range spec.Recs {
+		if rec.Node < 0 || rec.Node >= len(prefix.nodes) {
+			return fmt.Errorf("engine: resume state rec node %d out of range", rec.Node)
+		}
+	}
+	importStateRecs([]*Plan{prefix}, spec.Recs, func(any) int { return 0 })
+	h.spec.Shard, h.spec.Width = spec.Shard, spec.Width
+	h.drainTuples, h.drainOuts = nil, nil
+	return h.startRuntime(prefix)
+}
+
+// Counters reports the current epoch's raw per-node counts (prefix node
+// positions); valid mid-run and after quiesce.
+func (h *ShardHost) Counters() (*HostCounters, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.rt == nil {
+		return nil, fmt.Errorf("engine: shard host %q has no deployment", h.name)
+	}
+	return h.countersLocked(), nil
+}
+
+func (h *ShardHost) countersLocked() *HostCounters {
+	n := len(h.prefix.nodes)
+	c := &HostCounters{
+		Tuples:   make([]int64, n),
+		Outs:     make([]int64, n),
+		Sheds:    make([]int64, n),
+		ShedUtil: make([]float64, n),
+		Dropped:  int64(h.rt.Dropped()),
+	}
+	for j, nl := range h.rt.Stats() { // runtime ticks stay 0: raw counts
+		c.Tuples[j] = nl.Tuples
+		c.Outs[j] = nl.OutTuples
+		c.Sheds[j] = nl.ShedTuples
+		c.ShedUtil[j] = nl.ShedUtilityLost
+	}
+	for j := range h.drainTuples {
+		c.Tuples[j] += h.drainTuples[j]
+		c.Outs[j] += h.drainOuts[j]
+	}
+	return c
+}
+
+// Drain flushes the quiesced prefix front to back, exactly Staged's
+// drainPrefix restricted to one shard: each node's flush emissions route
+// through THIS shard's downstream operators (everything below a flushing
+// node is stateless, so shard-local routing is exact), and the terminal
+// sink outputs ride back per emission so the coordinator can interleave
+// emissions across shards in (Ts, tie-key) order before delivering them.
+// The returned counters are final: runtime counts plus all drain work.
+func (h *ShardHost) Drain() (*HostDrain, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.rt == nil {
+		return nil, fmt.Errorf("engine: shard host %q has no deployment", h.name)
+	}
+	if err := h.quiesceLocked(); err != nil {
+		return nil, err
+	}
+	n := len(h.prefix.nodes)
+	h.drainTuples = make([]int64, n)
+	h.drainOuts = make([]int64, n)
+	d := &HostDrain{Nodes: make([][]DrainEmit, n)}
+
+	var outs []SinkEmit
+	var route func(eg edge, t stream.Tuple)
+	route = func(eg edge, t stream.Tuple) {
+		if eg.node < 0 {
+			if k := len(outs) - 1; k >= 0 && outs[k].Sink == eg.sink {
+				outs[k].Tuples = append(outs[k].Tuples, t)
+			} else {
+				outs = append(outs, SinkEmit{Sink: eg.sink, Tuples: []stream.Tuple{t}})
+			}
+			return
+		}
+		node := h.prefix.nodes[eg.node]
+		h.drainTuples[eg.node]++
+		var emitted []stream.Tuple
+		if node.unary != nil {
+			emitted = node.unary.Apply(t)
+		} else if eg.side == stream.Left {
+			emitted = node.binary.ApplyLeft(t)
+		} else {
+			emitted = node.binary.ApplyRight(t)
+		}
+		h.drainOuts[eg.node] += int64(len(emitted))
+		for _, o := range emitted {
+			for _, next := range node.out {
+				route(next, o)
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		node := h.prefix.nodes[j]
+		var flushed []stream.Tuple
+		if node.unary != nil {
+			flushed = node.unary.Flush()
+		} else {
+			flushed = node.binary.Flush()
+		}
+		h.drainOuts[j] += int64(len(flushed))
+		for _, t := range flushed {
+			outs = nil
+			for _, next := range node.out {
+				route(next, t)
+			}
+			d.Nodes[j] = append(d.Nodes[j], DrainEmit{Ts: t.Ts, Tie: flushTieKey(t), Outs: outs})
+		}
+	}
+	// Results accumulated runtime-side (untapped sinks — only possible when
+	// the coordinator installed no OnSink) surface as zero-node emissions so
+	// nothing is lost; tapped deployments leave this empty.
+	for q := range h.prefix.sinks {
+		for _, t := range h.rt.Results(q) {
+			d.Nodes[0] = append(d.Nodes[0], DrainEmit{Ts: t.Ts, Tie: flushTieKey(t), Outs: []SinkEmit{{Sink: q, Tuples: []stream.Tuple{t}}}})
+		}
+	}
+	d.Counters = *h.countersLocked()
+	return d, nil
+}
+
+// Stop quiesces and abandons the deployment; the host returns to idle and a
+// new Start may follow. Idempotent.
+func (h *ShardHost) Stop() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.rt != nil && !h.quiesced {
+		h.rt.Quiesce()
+		h.quiesced = true
+	}
+	h.stopped = true
+	return nil
+}
+
+// Dead reports host loss; the in-process host only dies via Kill.
+func (h *ShardHost) Dead() <-chan struct{} { return h.dead }
+
+// Kill simulates the process crashing: pushes start failing, in-flight
+// exchange/sink output is swallowed (a dead process would not have framed it
+// either), and Dead() fires so the coordinator's watcher recovers the shard.
+// Test hook for the failure path; a clean shutdown uses Stop.
+func (h *ShardHost) Kill() {
+	if h.killed.Swap(true) {
+		return
+	}
+	h.mu.Lock()
+	rt, quiesced := h.rt, h.quiesced
+	h.mu.Unlock()
+	if rt != nil && !quiesced {
+		rt.Quiesce() // taps are guarded: the drain output vanishes
+		h.mu.Lock()
+		h.quiesced = true
+		h.mu.Unlock()
+	}
+	close(h.dead)
+}
+
+// mergeHostDrains interleaves per-shard drain emissions for one prefix node
+// into the synchronous drain order: (Ts, tie-key) ascending, ties by shard
+// index, shard-local order preserved — identical to drainPrefix's stable
+// sort over its shard-ordered emission list.
+func mergeHostDrains(perShard [][]DrainEmit) []DrainEmit {
+	var all []DrainEmit
+	for _, ems := range perShard {
+		all = append(all, ems...)
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].Ts != all[b].Ts {
+			return all[a].Ts < all[b].Ts
+		}
+		return all[a].Tie < all[b].Tie
+	})
+	return all
+}

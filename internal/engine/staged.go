@@ -556,6 +556,17 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 			return first
 		}
 	}
+	if err := s.routeBatchLocked(source, batch, prefix, direct); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// routeBatchLocked forwards a validated batch to the stage(s) consuming its
+// source. The caller holds the epoch read lock and keeps ownership of batch;
+// per-shard sub-batches are pooled copies.
+func (s *Staged) routeBatchLocked(source string, batch []stream.Tuple, prefix, direct bool) error {
+	var first error
 	if direct {
 		// Runtime.PushBatch copies what it retains, so the same caller
 		// slice can also feed the shards below.
@@ -623,8 +634,12 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 			if len(ts) == 0 {
 				continue
 			}
-			if err := s.shards[i].PushOwnedBatch(source, ts); err != nil && first == nil {
-				first = err
+			if err := s.shards[i].PushOwnedBatch(source, ts); err != nil {
+				// Rejected whole: ownership of the sub-batch came back.
+				putBatch(ts)
+				if first == nil {
+					first = err
+				}
 			}
 		}
 	}
@@ -633,12 +648,36 @@ func (s *Staged) PushBatch(source string, batch []stream.Tuple) error {
 
 // PushOwnedBatch implements OwnedBatchPusher: identical routing and
 // validation to PushBatch, but ownership of the caller's slice transfers to
-// the executor, which recycles it into the batch pool once the routing scan
-// has copied its tuples out.
+// the executor on success, which recycles it into the batch pool once the
+// routing scan has copied its tuples out. An error rejects the batch whole
+// — validation runs before routing consumes anything — and ownership stays
+// with the caller (see executor.go).
 func (s *Staged) PushOwnedBatch(source string, batch []stream.Tuple) error {
-	err := s.PushBatch(source, batch)
+	if s.stopped.Load() {
+		return errStopped
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	prefix := s.split.PrefixSources[source] && len(s.shards) > 0
+	direct := s.split.DirectSources[source] || (s.split.PrefixSources[source] && len(s.shards) == 0)
+	if !prefix && !direct {
+		return fmt.Errorf("engine: unknown source %q", source)
+	}
+	if schema := s.topo.sources[source].schema; schema != nil {
+		for _, t := range batch {
+			if !t.IsPunct() && !schema.Conforms(t) {
+				return fmt.Errorf("engine: tuple does not conform to source %q schema %s; owned batch rejected whole", source, schema)
+			}
+		}
+	}
+	if err := s.routeBatchLocked(source, batch, prefix, direct); err != nil {
+		// Unreachable under the epoch read lock (the stage runtimes only
+		// stop under the write side); surface the error without recycling —
+		// leaking a buffer beats a double put if it ever fires.
+		return err
+	}
 	putBatch(batch)
-	return err
+	return nil
 }
 
 // PushOwnedColBatch implements OwnedColBatchPusher: a prefix source's owned
@@ -650,10 +689,10 @@ func (s *Staged) PushOwnedBatch(source string, batch []stream.Tuple) error {
 // or because the plan has no parallel stage) see the batch as rows — the
 // global ingress is the row boundary. Validation is by physical layout
 // against the analyzed plan's source schema; a mismatched batch is rejected
-// whole.
+// whole and, like every owned-push rejection, stays the caller's to recycle
+// or retry (see executor.go).
 func (s *Staged) PushOwnedColBatch(source string, cb *stream.ColBatch) error {
 	if s.stopped.Load() {
-		putColBatch(cb)
 		return errStopped
 	}
 	s.mu.RLock()
@@ -661,13 +700,9 @@ func (s *Staged) PushOwnedColBatch(source string, cb *stream.ColBatch) error {
 	prefix := s.split.PrefixSources[source] && len(s.shards) > 0
 	direct := s.split.DirectSources[source] || (s.split.PrefixSources[source] && len(s.shards) == 0)
 	if !prefix && !direct {
-		s.dropped.Add(int64(cb.Len()))
-		putColBatch(cb)
 		return fmt.Errorf("engine: unknown source %q", source)
 	}
 	if schema := s.topo.sources[source].schema; schema != nil && cb.Layout() != schema.Layout() {
-		s.dropped.Add(int64(cb.Len()))
-		putColBatch(cb)
 		return fmt.Errorf("engine: columnar batch layout %q does not match source %q schema %s", cb.Layout(), source, schema)
 	}
 	var first error
@@ -721,8 +756,12 @@ func (s *Staged) PushOwnedColBatch(source string, cb *stream.ColBatch) error {
 		if scb == nil {
 			continue
 		}
-		if err := s.shards[i].PushOwnedColBatch(source, scb); err != nil && first == nil {
-			first = err
+		if err := s.shards[i].PushOwnedColBatch(source, scb); err != nil {
+			// Rejected whole: ownership of the sub-batch came back.
+			putColBatch(scb)
+			if first == nil {
+				first = err
+			}
 		}
 	}
 	return first
@@ -1108,6 +1147,37 @@ func (x *exchangeMerge) refill(i, max int) {
 	}
 	x.stager.Reserve(sz)
 	x.bufs[i] = buf
+}
+
+// discard drops one shard's entire undelivered backlog — the resident FIFO
+// past the consumed prefix and any staged spill tail — and marks the shard
+// closed, without touching what the merger already released downstream. The
+// distributed executor calls it when a worker dies: the backlog will be
+// regenerated by replaying the worker's ingress log onto the survivors, so
+// releasing it here would only manufacture guaranteed duplicates. Tuples the
+// merge had already released before the crash can still duplicate under
+// replay (at-least-once across failure); this trims the class that is
+// avoidable.
+func (x *exchangeMerge) discard(shard int) {
+	x.mu.Lock()
+	if x.stager != nil {
+		var sz int64
+		for _, t := range x.bufs[shard][x.head[shard]:] {
+			sz += staging.SizeOf(t)
+		}
+		if sz > 0 {
+			x.stager.Release(sz)
+		}
+		if x.stg != nil && x.stg[shard] != nil {
+			x.stg[shard].Close()
+			x.stg[shard] = nil
+		}
+	}
+	x.bufs[shard] = nil
+	x.head[shard] = 0
+	x.done[shard] = true
+	x.mu.Unlock()
+	x.cond.Broadcast()
 }
 
 // close marks every shard's stream ended; called after all shards stopped.

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+)
+
+// startClusterWorkers brings up n real TCP workers running the standard
+// PlanFactory payload route and returns their addresses.
+func startClusterWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		w, err := cluster.Listen(cluster.WorkerConfig{Addr: "127.0.0.1:0", Name: fmt.Sprintf("sw%d", i), Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = w.Addr()
+	}
+	return addrs
+}
+
+// TestServerDistributedDeploy drives the full coordinator path: a serve
+// configured with two TCP workers admits a keyed CQL query, deploys it
+// distributed (parallel stage on the workers), ingests tuples over HTTP,
+// surfaces the per-worker block in /v1/stats, and settles the period with
+// results flowing back through the hub.
+func TestServerDistributedDeploy(t *testing.T) {
+	addrs := startClusterWorkers(t, 2)
+	mech, err := auction.ByName("CAT", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Mechanism:   mech,
+		Capacity:    100,
+		Exec:        engine.ExecConfig{Buf: 8},
+		Catalog:     testCatalog(),
+		Workers:     addrs,
+		DialTimeout: 5 * time.Second,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := newHTTPServer(t, s)
+
+	call(t, "POST", url+"/v1/tenants", map[string]string{"name": "acme"}, nil)
+	code := call(t, "POST", url+"/v1/queries", map[string]any{
+		"tenant": "acme", "name": "persym",
+		"cql": "SELECT sum(price) FROM stocks WINDOW 4 GROUP BY symbol",
+		"bid": 10.0,
+	}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("submit query = %d, want 201", code)
+	}
+	var cycle CycleReport
+	if code := call(t, "POST", url+"/v1/admission/run", nil, &cycle); code != http.StatusOK || len(cycle.Admitted) != 1 {
+		t.Fatalf("cycle = %d admitted %d, want 200 / 1", code, len(cycle.Admitted))
+	}
+	s.mu.RLock()
+	_, distributed := s.exec.(*engine.Distributed)
+	s.mu.RUnlock()
+	if !distributed {
+		t.Fatal("executor after cycle is not *engine.Distributed")
+	}
+
+	for i := 0; i < 12; i++ {
+		tuples := []map[string]any{
+			{"vals": []any{"AAA", float64(i + 1), 10}},
+			{"vals": []any{"BBB", float64(i + 2), 10}},
+		}
+		if code := call(t, "POST", url+"/v1/streams/stocks", map[string]any{"tuples": tuples}, nil); code != http.StatusOK {
+			t.Fatalf("push %d = %d, want 200", i, code)
+		}
+	}
+
+	var stats struct {
+		Running bool `json:"running"`
+		Shards  int  `json:"shards"`
+		Workers []struct {
+			Name   string `json:"name"`
+			Alive  bool   `json:"alive"`
+			Pushed int64  `json:"pushed_tuples"`
+		} `json:"workers"`
+		LateArrivals *int64 `json:"late_arrivals"`
+	}
+	if code := call(t, "GET", url+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats = %d, want 200", code)
+	}
+	if !stats.Running || stats.Shards != 2 {
+		t.Fatalf("stats running=%v shards=%d, want running 2 shards", stats.Running, stats.Shards)
+	}
+	if len(stats.Workers) != 2 {
+		t.Fatalf("stats workers = %d rows, want 2", len(stats.Workers))
+	}
+	var pushed int64
+	for _, w := range stats.Workers {
+		if !w.Alive {
+			t.Errorf("worker %s reported dead", w.Name)
+		}
+		pushed += w.Pushed
+	}
+	if pushed == 0 {
+		t.Error("no tuples reported pushed to workers")
+	}
+	if stats.LateArrivals == nil {
+		t.Error("stats missing late_arrivals")
+	}
+
+	// Settling the period drains the distributed executor; the keyed sums
+	// computed on the workers must have reached the query's result counter.
+	if code := call(t, "POST", url+"/v1/admission/run", nil, &cycle); code != http.StatusOK {
+		t.Fatalf("second cycle = %d, want 200", code)
+	}
+	var list struct {
+		Queries []queryJSON `json:"queries"`
+	}
+	if code := call(t, "GET", url+"/v1/queries?tenant=acme", nil, &list); code != http.StatusOK || len(list.Queries) != 1 {
+		t.Fatalf("list queries = %d / %d entries", code, len(list.Queries))
+	}
+	if list.Queries[0].Results == 0 {
+		t.Error("admitted query streamed no results through the distributed deploy")
+	}
+}
+
+// TestServerDegradesWithoutWorkers pins the fallback: configured workers
+// that are unreachable must not fail New or RunCycle — the deploy runs on
+// the local staged executor instead.
+func TestServerDegradesWithoutWorkers(t *testing.T) {
+	mech, err := auction.ByName("CAT", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Mechanism:   mech,
+		Capacity:    100,
+		Exec:        engine.ExecConfig{Shards: 2, Buf: 8},
+		Catalog:     testCatalog(),
+		Workers:     []string{"127.0.0.1:1"}, // nothing listens here
+		DialTimeout: 50 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("New with unreachable worker: %v", err)
+	}
+	url := newHTTPServer(t, s)
+	call(t, "POST", url+"/v1/tenants", map[string]string{"name": "acme"}, nil)
+	call(t, "POST", url+"/v1/queries", map[string]any{
+		"tenant": "acme", "name": "q", "cql": "SELECT * FROM stocks", "bid": 5.0,
+	}, nil)
+	var cycle CycleReport
+	if code := call(t, "POST", url+"/v1/admission/run", nil, &cycle); code != http.StatusOK || len(cycle.Admitted) != 1 {
+		t.Fatalf("cycle = %d admitted %d, want 200 / 1", code, len(cycle.Admitted))
+	}
+	s.mu.RLock()
+	_, staged := s.exec.(*engine.Staged)
+	s.mu.RUnlock()
+	if !staged {
+		t.Fatal("executor did not fall back to *engine.Staged")
+	}
+}

@@ -255,9 +255,19 @@ func (s *Server) handleGetQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// tupleJSON is the wire form of a stream tuple: vals in schema order, ts
-// optional (0 lets the server assign the next timestamp).
+// tupleJSON is the wire form of an ingested stream tuple: vals in schema
+// order, ts optional. The timestamp is a pointer so the wire distinguishes
+// "assign the next timestamp" (field absent or null) from an explicit ts of
+// 0 — a client pushing at ts 0 on a fresh stream is a valid, distinct
+// request.
 type tupleJSON struct {
+	Ts   *int64 `json:"ts,omitempty"`
+	Vals []any  `json:"vals"`
+}
+
+// tupleOutJSON is the wire form of a result tuple: the timestamp is always
+// known on the way out, so it stays a plain integer.
+type tupleOutJSON struct {
 	Ts   int64 `json:"ts,omitempty"`
 	Vals []any `json:"vals"`
 }
@@ -302,9 +312,9 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 			if !live {
 				return
 			}
-			out := make([]tupleJSON, len(batch))
+			out := make([]tupleOutJSON, len(batch))
 			for i, t := range batch {
-				out[i] = tupleJSON{Ts: t.Ts, Vals: t.Vals}
+				out[i] = tupleOutJSON{Ts: t.Ts, Vals: t.Vals}
 			}
 			if _, err := fmt.Fprint(w, "data: "); err != nil {
 				return
@@ -376,6 +386,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Columnar ingest: with -columnar on a backend offering the columnar
 	// ingress, coerced tuples unbox straight into a pooled struct-of-arrays
 	// batch — qualified fused chains downstream never see a boxed row.
+	// An owned push that errors was rejected whole and ownership stays
+	// here (the rejection-ownership contract on the pusher interfaces), so
+	// the 409 path recycles the lease instead of leaking it.
 	var err error
 	if colPusher, ok := s.exec.(engine.OwnedColBatchPusher); ok && s.cfg.Exec.Columnar {
 		cb := engine.GetColBatch(st.schema, n)
@@ -383,9 +396,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			cb.AppendTuple(t)
 		}
 		engine.PutBatch(batch)
-		err = colPusher.PushOwnedColBatch(source, cb)
+		if err = colPusher.PushOwnedColBatch(source, cb); err != nil {
+			engine.PutColBatch(cb)
+		}
 	} else if pusher, owned := s.exec.(engine.OwnedBatchPusher); owned {
-		err = pusher.PushOwnedBatch(source, batch)
+		if err = pusher.PushOwnedBatch(source, batch); err != nil {
+			engine.PutBatch(batch)
+		}
 	} else {
 		err = s.exec.PushBatch(source, batch)
 		engine.PutBatch(batch)
@@ -451,9 +468,12 @@ func coerceTuple(schema *stream.Schema, in tupleJSON, lastTs int64) (stream.Tupl
 			return stream.Tuple{}, fmt.Errorf("field %d (%s): unsupported kind", i, f.Name)
 		}
 	}
-	ts := in.Ts
-	if ts == 0 {
-		ts = lastTs + 1
+	// nil means "assign the next timestamp"; an explicit value — including
+	// an explicit 0 — is taken as given and only checked against the
+	// frontier.
+	ts := lastTs + 1
+	if in.Ts != nil {
+		ts = *in.Ts
 	}
 	if ts < lastTs {
 		return stream.Tuple{}, fmt.Errorf("timestamp %d regresses below the stream frontier %d", ts, lastTs)
@@ -598,6 +618,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp["shards"] = st.NumShards()
 		resp["epoch"] = st.Epoch()
 		resp["split"] = st.Split().String()
+	}
+	// Distributed backend: per-worker liveness rows plus the broken-promise
+	// counter (tuples that arrived below an already-promised watermark —
+	// nonzero after a worker-death replay).
+	if dx, ok := exec.(*engine.Distributed); ok {
+		resp["shards"] = dx.NumShards()
+		resp["epoch"] = dx.Epoch()
+		resp["split"] = dx.Split().String()
+	}
+	if ws, ok := exec.(interface{ WorkerStats() []engine.WorkerStat }); ok {
+		resp["workers"] = ws.WorkerStats()
+	}
+	if la, ok := exec.(interface{ LateArrivals() int64 }); ok {
+		resp["late_arrivals"] = la.LateArrivals()
 	}
 	// Bounded-staging counters (resident/spilled bytes, segments, replays)
 	// when the running backend has a staging budget configured.

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/engine"
+	"repro/internal/stream"
+)
+
+// newHTTPServer wraps an already-built Server in an HTTP listener with
+// cleanup, for tests that need a non-default Config.
+func newHTTPServer(t *testing.T, s *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts.URL
+}
+
+// TestIngestExplicitZeroTimestamp pins the wire-timestamp tristate: an
+// omitted (or null) "ts" means "assign the next timestamp past the
+// frontier", while an explicit value — including an explicit 0 — is taken
+// as given. Before the *int64 wire field, an explicit 0 was
+// indistinguishable from absent and silently reassigned.
+func TestIngestExplicitZeroTimestamp(t *testing.T) {
+	_, ts := newTestServer(t, 100)
+	call(t, "POST", ts.URL+"/v1/tenants", map[string]string{"name": "acme"}, nil)
+	call(t, "POST", ts.URL+"/v1/queries", map[string]any{
+		"tenant": "acme", "name": "q", "cql": "SELECT * FROM stocks", "bid": 5.0,
+	}, nil)
+	call(t, "POST", ts.URL+"/v1/admission/run", nil, nil)
+
+	push := func(tuples []map[string]any) (int, int64) {
+		var resp struct {
+			Frontier int64 `json:"frontier"`
+		}
+		code := call(t, "POST", ts.URL+"/v1/streams/stocks", map[string]any{"tuples": tuples}, &resp)
+		return code, resp.Frontier
+	}
+
+	// An explicit ts 0 on a fresh stream is a valid timestamp, not a
+	// request for assignment: the frontier must stay at 0.
+	if code, f := push([]map[string]any{{"ts": 0, "vals": []any{"AAA", 1.0, 2}}}); code != http.StatusOK || f != 0 {
+		t.Fatalf("explicit ts 0 = %d frontier %d, want 200 frontier 0", code, f)
+	}
+	// Omitted ts: assigned frontier+1.
+	if code, f := push([]map[string]any{{"vals": []any{"AAA", 1.0, 2}}}); code != http.StatusOK || f != 1 {
+		t.Fatalf("omitted ts = %d frontier %d, want 200 frontier 1", code, f)
+	}
+	// JSON null is the same as omitted.
+	if code, f := push([]map[string]any{{"ts": nil, "vals": []any{"AAA", 1.0, 2}}}); code != http.StatusOK || f != 2 {
+		t.Fatalf("null ts = %d frontier %d, want 200 frontier 2", code, f)
+	}
+	// Assignment continues from an explicit jump within the same batch.
+	if code, f := push([]map[string]any{
+		{"ts": 10, "vals": []any{"AAA", 1.0, 2}},
+		{"vals": []any{"AAA", 1.0, 2}},
+	}); code != http.StatusOK || f != 11 {
+		t.Fatalf("explicit then omitted = %d frontier %d, want 200 frontier 11", code, f)
+	}
+	// An explicit 0 is still frontier-checked once the stream has moved.
+	if code, _ := push([]map[string]any{{"ts": 0, "vals": []any{"AAA", 1.0, 2}}}); code != http.StatusBadRequest {
+		t.Fatalf("regressing explicit ts 0 = %d, want 400", code)
+	}
+}
+
+// rejectingExec is an executor stub whose owned-push path refuses every
+// batch, simulating a backend rejection after validation passed. Per the
+// rejection-ownership contract it must NOT recycle what it rejects — the
+// handler owns the lease and recycles it, which the race build's pool guard
+// turns into a double-put panic if the executor misbehaves too.
+type rejectingExec struct {
+	pushes int
+	rows   int
+}
+
+func (r *rejectingExec) PushOwnedBatch(source string, batch []stream.Tuple) error {
+	r.pushes++
+	r.rows += len(batch)
+	return fmt.Errorf("stub: rejecting %d tuples", len(batch))
+}
+
+func (r *rejectingExec) PushBatch(string, []stream.Tuple) error { return fmt.Errorf("stub") }
+func (r *rejectingExec) Advance(int64)                          {}
+func (r *rejectingExec) Results(string) []stream.Tuple          { return nil }
+func (r *rejectingExec) Stats() []engine.NodeLoad               { return nil }
+func (r *rejectingExec) Stop()                                  {}
+
+// TestIngestPushRejection409LeavesStreamUntouched pins the 409 path of
+// handleIngest: when the executor rejects the owned push, the handler must
+// report 409, leave the source frontier and tuple count exactly as they
+// were, and recycle the leased batch itself (running this under -race backs
+// the recycle with the pool's double-put guard).
+func TestIngestPushRejection409LeavesStreamUntouched(t *testing.T) {
+	s, ts := newTestServer(t, 100)
+	call(t, "POST", ts.URL+"/v1/tenants", map[string]string{"name": "acme"}, nil)
+	call(t, "POST", ts.URL+"/v1/queries", map[string]any{
+		"tenant": "acme", "name": "q", "cql": "SELECT * FROM stocks", "bid": 5.0,
+	}, nil)
+	call(t, "POST", ts.URL+"/v1/admission/run", nil, nil)
+
+	// Swap in the rejecting stub behind the server's own lock, exactly
+	// where RunCycle would install a fresh executor.
+	stub := &rejectingExec{}
+	s.mu.Lock()
+	prev := s.exec
+	s.exec = stub
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.exec = prev
+		s.mu.Unlock()
+	}()
+
+	var e struct {
+		Error string `json:"error"`
+	}
+	for i := 0; i < 3; i++ {
+		code := call(t, "POST", ts.URL+"/v1/streams/stocks", map[string]any{
+			"tuples": []map[string]any{
+				{"ts": 10, "vals": []any{"AAA", 1.0, 2}},
+				{"ts": 11, "vals": []any{"BBB", 2.0, 3}},
+			},
+		}, &e)
+		if code != http.StatusConflict {
+			t.Fatalf("rejected push = %d (%s), want 409", code, e.Error)
+		}
+	}
+	if stub.pushes != 3 || stub.rows != 6 {
+		t.Fatalf("stub saw %d pushes / %d rows, want 3 / 6", stub.pushes, stub.rows)
+	}
+	var load struct {
+		Sources map[string]struct {
+			Tuples   int64 `json:"tuples"`
+			Frontier int64 `json:"frontier"`
+		} `json:"sources"`
+	}
+	if code := call(t, "GET", ts.URL+"/v1/load", nil, &load); code != http.StatusOK {
+		t.Fatalf("load = %d", code)
+	}
+	if st := load.Sources["stocks"]; st.Tuples != 0 || st.Frontier != 0 {
+		t.Fatalf("409s moved the stream: %d tuples, frontier %d", st.Tuples, st.Frontier)
+	}
+}
+
+// TestStatsSurfacesSpillErrors is the degraded-spill e2e: a staged deploy
+// with a byte-sized staging budget forces every exchange-held tuple to
+// spill, the staging directory is yanked out from under the executor, and
+// the plane must stay up — pushes keep returning 200, /v1/stats surfaces
+// spill_errors with zero lost tuples, and the next cycle still settles and
+// delivers the query's results.
+func TestStatsSurfacesSpillErrors(t *testing.T) {
+	mech, err := auction.ByName("CAT", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillDir := t.TempDir()
+	s, err := New(Config{
+		Mechanism:  mech,
+		Capacity:   100,
+		MeterPrice: 0.5,
+		Exec:       engine.ExecConfig{Shards: 2, Buf: 8, StagingBudget: 1, SpillDir: spillDir},
+		Heartbeat:  -1, // no punctuation: exchange-held tuples stay staged
+		Catalog:    testCatalog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hts := newHTTPServer(t, s)
+
+	call(t, "POST", hts+"/v1/tenants", map[string]string{"name": "acme"}, nil)
+	// The WHERE keeps a parallel prefix in front of the global window, so
+	// the plan has an exchange edge whose merge uses the stager.
+	call(t, "POST", hts+"/v1/queries", map[string]any{
+		"tenant": "acme", "name": "gsum",
+		"cql": "SELECT SUM(price) FROM stocks WHERE price > 0 WINDOW 4", "bid": 5.0,
+	}, nil)
+	var cycle CycleReport
+	if code := call(t, "POST", hts+"/v1/admission/run", nil, &cycle); code != http.StatusOK || len(cycle.Admitted) != 1 {
+		t.Fatalf("admission = %d admitted %v", code, cycle.Admitted)
+	}
+
+	// Break the spill path: the stager works inside a private staging-*
+	// subdirectory of the configured spill dir.
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := 0
+	for _, e := range ents {
+		if err := os.RemoveAll(filepath.Join(spillDir, e.Name())); err != nil {
+			t.Fatal(err)
+		}
+		removed++
+	}
+	if removed == 0 {
+		t.Fatal("no staging directory to remove; stager not engaged?")
+	}
+
+	// Push past the 1-byte budget: every held tuple tries to spill and
+	// fails. Ingest must stay 200 — degradation, not refusal.
+	for i := 0; i < 4; i++ {
+		tuples := make([]map[string]any, 8)
+		for j := range tuples {
+			tuples[j] = map[string]any{"vals": []any{"AAA", float64(10 + i*8 + j), 1}}
+		}
+		if code := call(t, "POST", hts+"/v1/streams/stocks", map[string]any{"tuples": tuples}, nil); code != http.StatusOK {
+			t.Fatalf("push %d = %d, want 200 despite broken spill dir", i, code)
+		}
+	}
+
+	// The exchange tap spills asynchronously to the push: poll the stats
+	// surface for the counter.
+	type stagingJSON struct {
+		SpillErrors int64 `json:"spill_errors"`
+		LostTuples  int64 `json:"lost_tuples"`
+	}
+	var stats struct {
+		Running bool         `json:"running"`
+		Staging *stagingJSON `json:"staging"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := call(t, "GET", hts+"/v1/stats", nil, &stats); code != http.StatusOK {
+			t.Fatalf("stats = %d", code)
+		}
+		if stats.Staging != nil && stats.Staging.SpillErrors > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never surfaced spill errors: %+v", stats.Staging)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if stats.Staging.LostTuples != 0 {
+		t.Fatalf("degraded spill lost %d tuples; fallback must keep them resident", stats.Staging.LostTuples)
+	}
+
+	// The next cycle stops and drains the degraded executor: the staged
+	// records must have stayed in memory, so the window results flow and
+	// the cycle settles without error.
+	if code := call(t, "POST", hts+"/v1/admission/run", nil, &cycle); code != http.StatusOK {
+		t.Fatalf("settling cycle = %d", code)
+	}
+	var q queryJSON
+	if code := call(t, "GET", hts+"/v1/queries/acme/gsum", nil, &q); code != http.StatusOK {
+		t.Fatalf("query fetch = %d", code)
+	}
+	if q.Results == 0 {
+		t.Fatal("no results after settling the degraded period; staged tuples were dropped")
+	}
+}

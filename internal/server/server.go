@@ -26,6 +26,7 @@ import (
 	"repro/internal/auction"
 	"repro/internal/billing"
 	"repro/internal/cloud"
+	"repro/internal/cluster"
 	"repro/internal/cql"
 	"repro/internal/engine"
 	"repro/internal/qos"
@@ -59,6 +60,17 @@ type Config struct {
 	// Backlog is the per-query result replay ring (tuples) for late
 	// subscribers; <= 0 means 1024.
 	Backlog int
+	// Workers lists cluster worker addresses. When any are reachable, each
+	// cycle's plan deploys distributed — the parallel stage pushed out to
+	// the workers over framed TCP, the global stage and exchange merges
+	// kept local. Unreachable workers are logged and skipped; with no live
+	// link left the deploy degrades to the local staged executor.
+	Workers []string
+	// DialTimeout bounds each worker dial, retries included; <= 0 means 5s.
+	DialTimeout time.Duration
+	// CheckpointDir, when set with Workers, is where the distributed
+	// executor snapshots keyed state at epoch boundaries.
+	CheckpointDir string
 	// Logf, when non-nil, receives one line per cycle and per deploy.
 	Logf func(format string, args ...any)
 }
@@ -111,6 +123,11 @@ type Server struct {
 	sources []cloud.SourceDecl
 	hub     *subscription.Hub
 	logf    func(string, ...any)
+	// links are the dialed cluster workers, in Config.Workers order minus
+	// dial failures. A link that dies stays in the slice (its Dead channel
+	// marks it) so operators can see which workers dropped; liveHosts
+	// filters at deploy time.
+	links []*cluster.Client
 
 	mu       sync.RWMutex
 	tenants  map[string]int // tenant name -> billing user ID
@@ -182,6 +199,22 @@ func New(cfg Config) (*Server, error) {
 		s.srcs[name] = &sourceState{schema: src.Schema}
 	}
 	s.sources = s.center.Sources()
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	for _, addr := range cfg.Workers {
+		c, err := cluster.Dial(addr, cluster.DialOptions{Timeout: dialTimeout, Logf: logf})
+		if err != nil {
+			logf("server: worker %s unreachable: %v (continuing without it)", addr, err)
+			continue
+		}
+		logf("server: linked worker %q at %s", c.Name(), addr)
+		s.links = append(s.links, c)
+	}
+	if len(cfg.Workers) > 0 && len(s.links) == 0 {
+		logf("server: no worker link established; deploys will run locally")
+	}
 	if cfg.CyclePeriod > 0 {
 		s.stopTicker = make(chan struct{})
 		s.tickerDone.Add(1)
@@ -230,7 +263,24 @@ func (s *Server) Close() {
 	if exec != nil {
 		exec.Stop()
 	}
+	for _, c := range s.links {
+		c.Close()
+	}
 	s.hub.Close()
+}
+
+// liveHosts returns the worker links whose connections are still up, as
+// remote shard hosts for the next distributed deploy.
+func (s *Server) liveHosts() []engine.RemoteShardHost {
+	var out []engine.RemoteShardHost
+	for _, c := range s.links {
+		select {
+		case <-c.Dead():
+		default:
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // CycleAdmission is one admitted query in a cycle report.
@@ -380,13 +430,35 @@ func (s *Server) RunCycle() (*CycleReport, error) {
 		sources := s.sources
 		winnersCopy := winners
 		factory := func() (*engine.Plan, error) { return cloud.CompilePlan(sources, winnersCopy) }
-		exec, err := engine.StartStaged(factory, engine.StagedConfig{
-			ExecConfig: s.cfg.Exec,
-			Heartbeat:  s.cfg.Heartbeat,
-			Taps:       taps,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("server: deploying period %d plan: %w", s.period, err)
+		var exec engine.Executor
+		if hosts := s.liveHosts(); len(hosts) > 0 {
+			d, derr := engine.StartDistributed(factory, engine.DistConfig{
+				ExecConfig:    s.cfg.Exec,
+				Hosts:         hosts,
+				Taps:          taps,
+				Heartbeat:     s.cfg.Heartbeat,
+				CheckpointDir: s.cfg.CheckpointDir,
+				Payload:       s.planPayload(winnersCopy),
+				Logf:          s.logf,
+			})
+			if derr != nil {
+				s.logf("server: period %d: distributed deploy across %d workers failed (%v); falling back to local staged executor",
+					s.period, len(hosts), derr)
+			} else {
+				s.logf("server: period %d: deployed across %d workers", s.period, len(hosts))
+				exec = d
+			}
+		}
+		if exec == nil {
+			st, err := engine.StartStaged(factory, engine.StagedConfig{
+				ExecConfig: s.cfg.Exec,
+				Heartbeat:  s.cfg.Heartbeat,
+				Taps:       taps,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("server: deploying period %d plan: %w", s.period, err)
+			}
+			exec = st
 		}
 		s.exec = exec
 	}
@@ -398,6 +470,32 @@ func (s *Server) RunCycle() (*CycleReport, error) {
 	s.logf("server: period %d: admitted %d/%d, revenue $%.2f, utilization %.0f%%",
 		report.Period, len(report.Admitted), report.Candidates, report.Revenue, 100*report.Utilization)
 	return report, nil
+}
+
+// planPayload assembles the deploy payload remote workers recompile the
+// period plan from: the source catalog in declaration order and the winning
+// queries' canonical CQL in winner order — the same inputs, in the same
+// order, the coordinator's own factory compiles, so both sides derive
+// structurally identical plans.
+func (s *Server) planPayload(winners []cloud.Submission) cluster.PlanPayload {
+	pp := cluster.PlanPayload{
+		Sources: make([]cluster.SourceSpec, 0, len(s.sources)),
+		Queries: make([]cluster.QuerySpec, 0, len(winners)),
+	}
+	for _, src := range s.sources {
+		fields := make([]stream.Field, src.Schema.NumFields())
+		for i := range fields {
+			fields[i] = src.Schema.Field(i)
+		}
+		pp.Sources = append(pp.Sources, cluster.SourceSpec{Name: src.Name, Fields: fields})
+	}
+	for _, w := range winners {
+		q := s.queries[w.Name]
+		pp.Queries = append(pp.Queries, cluster.QuerySpec{
+			User: w.User, Tenant: w.Tenant, Name: w.Name, CQL: q.text,
+		})
+	}
+	return pp
 }
 
 // attributeLoads splits each node's measured offered load evenly across the

@@ -40,6 +40,11 @@ type Stats struct {
 	Segments          int64 `json:"segments"`
 	Replays           int64 `json:"replays"`
 	SpillErrors       int64 `json:"spill_errors"`
+	// LostTuples counts records that were framed into a spill segment and
+	// could not be read back after the segment failed to close — the only
+	// way the staging layer ever loses a record, and it says so instead of
+	// pretending.
+	LostTuples int64 `json:"lost_tuples"`
 }
 
 // A Stager owns a staging budget and the spill directory its queues write
@@ -56,6 +61,7 @@ type Stager struct {
 	segments      atomic.Int64
 	replays       atomic.Int64
 	spillErrs     atomic.Int64
+	lostTuples    atomic.Int64
 	seq           atomic.Int64
 }
 
@@ -101,6 +107,7 @@ func (s *Stager) Stats() Stats {
 		Segments:          s.segments.Load(),
 		Replays:           s.replays.Load(),
 		SpillErrors:       s.spillErrs.Load(),
+		LostTuples:        s.lostTuples.Load(),
 	}
 }
 
@@ -194,6 +201,10 @@ type Queue struct {
 	tail     []Rec // resident overflow after a spill-write failure
 	scratch  []byte
 	err      error // first spill error; queue degrades to resident-only
+
+	// closeSeg closes the current segment writer; tests inject failures
+	// here. Nil means sw.Close().
+	closeSeg func(sw *SegmentWriter) error
 }
 
 // NewQueue creates a staging lane. The label names its segment files.
@@ -202,7 +213,9 @@ func (s *Stager) NewQueue(label string) *Queue {
 }
 
 // Err reports the first spill I/O error, if any. The queue keeps working
-// (resident-only) after an error; no record is lost.
+// (resident-only) after an error; no record is lost silently — the only
+// loss the queue admits is a spilled record that cannot be read back after
+// its segment fails to close, counted in Stats.LostTuples.
 func (q *Queue) Err() error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -232,10 +245,12 @@ func (q *Queue) Append(source string, t stream.Tuple) {
 		return
 	}
 	if q.err == nil {
-		if werr := q.spill(source, t); werr == nil {
-			return
-		} else {
+		staged, werr := q.spill(source, t)
+		if werr != nil {
 			q.fail(werr)
+		}
+		if staged {
+			return
 		}
 	}
 	// Spilling unavailable: keep the record resident past the budget —
@@ -245,49 +260,81 @@ func (q *Queue) Append(source string, t stream.Tuple) {
 }
 
 // spill writes one record to the current segment, rolling it at the size
-// cap. Caller holds q.mu.
-func (q *Queue) spill(source string, t stream.Tuple) error {
+// cap. Caller holds q.mu. staged reports whether the record made it into
+// the queue's accounting: true even when the roll that followed a
+// successful Frame failed, because roll's read-back already recovered or
+// counted the record — the caller must not re-append it.
+func (q *Queue) spill(source string, t stream.Tuple) (staged bool, err error) {
 	enc, err := AppendRec(q.scratch[:0], source, t)
 	if err != nil {
-		return err
+		return false, err
 	}
 	q.scratch = enc[:0]
 	if q.cur == nil {
 		path := q.s.nextSegPath(q.label)
 		sw, err := CreateSegment(path)
 		if err != nil {
-			return err
+			return false, err
 		}
 		q.cur, q.curPath, q.curRecs = sw, path, 0
 		q.s.segments.Add(1)
 	}
 	if err := q.cur.Frame(enc); err != nil {
-		return err
+		return false, err
 	}
 	q.curRecs++
 	q.diskRecs++
 	q.s.spilledTuples.Add(1)
 	q.s.spilledBytes.Add(int64(4 + len(enc)))
 	if q.cur.Bytes() >= q.s.segMax {
-		return q.roll()
+		return true, q.roll()
 	}
-	return nil
+	return true, nil
 }
 
 // roll closes the current segment onto the replay list. Caller holds q.mu.
+//
+// If the close fails the file may still be partially readable (Close flushes
+// before it fails, or fails partway through), so the queue reads back
+// whatever frames survive into the resident front of the tail — Reserve past
+// the budget, the same correctness-over-the-bound trade as the spill-error
+// path — before dropping the file. Only records that cannot be read back are
+// lost, and they are counted in Stats.LostTuples rather than vanishing.
 func (q *Queue) roll() error {
 	if q.cur == nil {
 		return nil
 	}
-	err := q.cur.Close()
+	closeFn := q.closeSeg
+	if closeFn == nil {
+		closeFn = (*SegmentWriter).Close
+	}
+	err := closeFn(q.cur)
 	if err == nil {
 		q.segs = append(q.segs, spillSeg{q.curPath, q.curRecs})
-	} else {
-		// The closed file may be unreadable; drop it from accounting and
-		// degrade. Records in it fall to the resident tail on future appends.
-		q.diskRecs -= q.curRecs
-		os.Remove(q.curPath)
+		q.cur, q.curPath, q.curRecs = nil, "", 0
+		return nil
 	}
+	var recovered []Rec
+	rerr := ReadSegment(q.curPath, func(p []byte) error {
+		r, derr := DecodeRec(p)
+		if derr != nil {
+			return derr
+		}
+		recovered = append(recovered, r)
+		return nil
+	})
+	_ = rerr // a truncated read-back is expected; whatever decoded is kept
+	for _, r := range recovered {
+		q.s.Reserve(SizeOf(r.Tuple))
+	}
+	// Recovered records were framed before anything now in the tail was
+	// appended, so they go in front of it.
+	q.tail = append(recovered, q.tail...)
+	if lost := q.curRecs - int64(len(recovered)); lost > 0 {
+		q.s.lostTuples.Add(lost)
+	}
+	q.diskRecs -= q.curRecs
+	os.Remove(q.curPath)
 	q.cur, q.curPath, q.curRecs = nil, "", 0
 	return err
 }

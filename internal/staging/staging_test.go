@@ -214,6 +214,9 @@ func TestSpillErrorFallsBackToMemory(t *testing.T) {
 	if st := s.Stats(); st.SpillErrors == 0 {
 		t.Fatalf("stats should count the spill error: %+v", st)
 	}
+	if got := q.Len(); got != n {
+		t.Fatalf("Len after degraded appends = %d, want %d (conservation)", got, n)
+	}
 	for i := 0; i < n; i++ {
 		r, ok := q.Pop()
 		if !ok {
@@ -258,4 +261,102 @@ func TestSegmentFrames(t *testing.T) {
 			t.Fatalf("frame %d: got %q want %q", i, got[i], want[i])
 		}
 	}
+}
+
+// TestRollCloseFailureRecoversRecords regresses the segment-close failure
+// path: a failing Close used to drop the whole segment from accounting,
+// silently losing every record framed into it. The fix reads the file back
+// into the resident tail, so a close failure whose file is still intact
+// loses nothing.
+func TestRollCloseFailureRecoversRecords(t *testing.T) {
+	s, err := New(1, t.TempDir()) // 1-byte budget: every record spills
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q := s.NewQueue("closefail")
+	q.closeSeg = func(sw *SegmentWriter) error {
+		// The flush succeeds (the file is complete on disk) but the close
+		// still reports failure, e.g. a deferred write-back error.
+		sw.Close()
+		return fmt.Errorf("injected close failure")
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.Append("src", mkTuple(int64(i), int64(i*2), fmt.Sprintf("v%d", i)))
+	}
+	if got := q.Len(); got != n {
+		t.Fatalf("Len before replay = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		r, ok := q.Pop()
+		if !ok {
+			t.Fatalf("records lost after close failure: dry at %d/%d", i, n)
+		}
+		if r.Source != "src" || r.Tuple.Ts != int64(i) {
+			t.Fatalf("order after close failure at %d: got %+v", i, r)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+	if err := q.Err(); err == nil {
+		t.Fatal("close failure should surface through Err")
+	}
+	if st := s.Stats(); st.LostTuples != 0 {
+		t.Fatalf("nothing was unrecoverable, LostTuples = %d", st.LostTuples)
+	}
+	q.Close()
+}
+
+// TestRollCloseFailurePartialLossCounted truncates the segment inside the
+// injected close failure: the readable prefix must be recovered in order and
+// the unreadable remainder counted in Stats.LostTuples instead of vanishing.
+func TestRollCloseFailurePartialLossCounted(t *testing.T) {
+	s, err := New(1, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q := s.NewQueue("truncated")
+	q.closeSeg = func(sw *SegmentWriter) error {
+		sw.Close()
+		fi, err := os.Stat(q.curPath)
+		if err != nil {
+			t.Fatalf("stat current segment: %v", err)
+		}
+		if err := os.Truncate(q.curPath, fi.Size()/2); err != nil {
+			t.Fatalf("truncate current segment: %v", err)
+		}
+		return fmt.Errorf("injected close failure")
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.Append("src", mkTuple(int64(i), int64(i)))
+	}
+	var popped int64
+	for {
+		r, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if r.Tuple.Ts != popped {
+			t.Fatalf("recovered prefix out of order at %d: got %d", popped, r.Tuple.Ts)
+		}
+		popped++
+	}
+	st := s.Stats()
+	if st.LostTuples == 0 {
+		t.Fatal("a truncated segment must count lost tuples")
+	}
+	if popped+st.LostTuples != n {
+		t.Fatalf("conservation: popped %d + lost %d != appended %d", popped, st.LostTuples, n)
+	}
+	if popped == 0 {
+		t.Fatal("the readable prefix should have been recovered")
+	}
+	if err := q.Err(); err == nil {
+		t.Fatal("close failure should surface through Err")
+	}
+	q.Close()
 }
